@@ -1,0 +1,215 @@
+// The measurement core shared by Tables 2/3 and Figure 7: runs every
+// (framework, primitive, dataset) combination once and records runtime
+// plus edge throughput.
+//
+// Framework roles (DESIGN.md section 2):
+//   gunrock   — this library's frontier-centric primitives
+//   serial    — textbook single-thread implementations (BGL role)
+//   gas       — mini gather-apply-scatter engine (PowerGraph/MapGraph/
+//               CuSha role)
+//   pregel    — mini message-passing engine (Medusa role)
+//   hardwired — fused per-primitive specialists (b40c / delta-stepping /
+//               gpu_BC / conn role)
+//
+// PageRank timings are normalized to one iteration (paper Table 3 note);
+// all PR runs execute a fixed 10 iterations.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "common.hpp"
+
+namespace bench {
+
+inline constexpr int kPrIterations = 10;
+
+struct Measurement {
+  double ms = 0.0;      // runtime (PR: per iteration)
+  double mteps = 0.0;   // 0 when throughput is not meaningful
+};
+
+using ResultKey = std::string;  // "<primitive>/<framework>/<dataset>"
+
+inline ResultKey Key(const std::string& prim, const std::string& fw,
+                     const std::string& ds) {
+  return prim + "/" + fw + "/" + ds;
+}
+
+inline const std::vector<std::string>& Primitives() {
+  static const std::vector<std::string> p = {"BFS", "SSSP", "BC", "PR",
+                                             "CC"};
+  return p;
+}
+
+inline const std::vector<std::string>& Frameworks() {
+  static const std::vector<std::string> f = {"serial", "gas", "pregel",
+                                             "hardwired", "gunrock"};
+  return f;
+}
+
+/// Runs the full measurement matrix. Skips nothing: every framework
+/// implements every primitive it supports; combinations without an
+/// implementation (gas/pregel BC, pregel CC) are absent from the map.
+inline std::map<ResultKey, Measurement> RunMatrix(
+    const std::vector<Dataset>& datasets) {
+  std::map<ResultKey, Measurement> results;
+  auto& pool = par::ThreadPool::Global();
+  const int reps = Reps();
+
+  for (const auto& d : datasets) {
+    const auto& g = d.graph;
+    const vid_t src = d.source;
+    const double m = static_cast<double>(g.num_edges());
+
+    // --- BFS ---
+    {
+      eid_t edges = 0;
+      const double ms = TimeMs(
+          [&] {
+            const auto r = serial::Bfs(g, src);
+            edges = static_cast<eid_t>(r.depth.size());
+          },
+          1);
+      results[Key("BFS", "serial", d.name)] = {ms, m / (ms * 1000.0)};
+    }
+    {
+      gas::GasBfsResult r;
+      const double ms =
+          TimeMs([&] { r = gas::Bfs(g, src, pool); }, reps);
+      results[Key("BFS", "gas", d.name)] = {
+          ms, static_cast<double>(r.stats.edges_processed) / (ms * 1000.0)};
+    }
+    {
+      pregel::PregelBfsResult r;
+      const double ms =
+          TimeMs([&] { r = pregel::Bfs(g, src, pool); }, reps);
+      results[Key("BFS", "pregel", d.name)] = {
+          ms, static_cast<double>(r.stats.messages_sent) / (ms * 1000.0)};
+    }
+    {
+      hardwired::TimedDepths r;
+      const double ms =
+          TimeMs([&] { r = hardwired::Bfs(g, src, pool); }, reps);
+      results[Key("BFS", "hardwired", d.name)] = {
+          ms, static_cast<double>(r.edges_visited) / (ms * 1000.0)};
+    }
+    {
+      BfsOptions opts;
+      opts.direction = core::Direction::kOptimizing;
+      BfsResult r;
+      const double ms = TimeMs([&] { r = Bfs(g, src, opts); }, reps);
+      results[Key("BFS", "gunrock", d.name)] = {
+          ms, static_cast<double>(r.stats.edges_visited) / (ms * 1000.0)};
+    }
+
+    // --- SSSP ---
+    {
+      const double ms = TimeMs([&] { serial::Dijkstra(g, src); }, 1);
+      results[Key("SSSP", "serial", d.name)] = {ms, m / (ms * 1000.0)};
+    }
+    {
+      gas::GasSsspResult r;
+      const double ms =
+          TimeMs([&] { r = gas::Sssp(g, src, pool); }, reps);
+      results[Key("SSSP", "gas", d.name)] = {
+          ms, static_cast<double>(r.stats.edges_processed) / (ms * 1000.0)};
+    }
+    {
+      pregel::PregelSsspResult r;
+      const double ms =
+          TimeMs([&] { r = pregel::Sssp(g, src, pool); }, reps);
+      results[Key("SSSP", "pregel", d.name)] = {
+          ms, static_cast<double>(r.stats.messages_sent) / (ms * 1000.0)};
+    }
+    {
+      hardwired::TimedDists r;
+      const double ms =
+          TimeMs([&] { r = hardwired::Sssp(g, src, pool); }, reps);
+      results[Key("SSSP", "hardwired", d.name)] = {
+          ms, static_cast<double>(r.edges_visited) / (ms * 1000.0)};
+    }
+    {
+      SsspResult r;
+      SsspOptions opts;
+      opts.compute_preds = false;
+      const double ms = TimeMs([&] { r = Sssp(g, src, opts); }, reps);
+      results[Key("SSSP", "gunrock", d.name)] = {
+          ms, static_cast<double>(r.stats.edges_visited) / (ms * 1000.0)};
+    }
+
+    // --- BC (single source, like the GPU comparators) ---
+    {
+      const double ms = TimeMs(
+          [&] {
+            std::vector<double> bc(g.num_vertices(), 0.0);
+            serial::BrandesAccumulate(g, src, &bc);
+          },
+          1);
+      results[Key("BC", "serial", d.name)] = {ms,
+                                              2 * m / (ms * 1000.0)};
+    }
+    {
+      hardwired::TimedBc r;
+      const double ms =
+          TimeMs([&] { r = hardwired::Bc(g, src, pool); }, reps);
+      results[Key("BC", "hardwired", d.name)] = {
+          ms, static_cast<double>(r.edges_visited) / (ms * 1000.0)};
+    }
+    {
+      BcResult r;
+      const double ms = TimeMs([&] { r = Bc(g, src); }, reps);
+      results[Key("BC", "gunrock", d.name)] = {
+          ms, static_cast<double>(r.stats.edges_visited) / (ms * 1000.0)};
+    }
+
+    // --- PageRank (per-iteration normalization) ---
+    {
+      const double ms = TimeMs(
+          [&] { serial::Pagerank(g, 0.85, 0.0, kPrIterations); }, 1);
+      results[Key("PR", "serial", d.name)] = {ms / kPrIterations, 0.0};
+    }
+    {
+      const double ms = TimeMs(
+          [&] { gas::Pagerank(g, pool, 0.85, 0.0, kPrIterations); },
+          reps);
+      results[Key("PR", "gas", d.name)] = {ms / kPrIterations, 0.0};
+    }
+    {
+      const double ms = TimeMs(
+          [&] { pregel::Pagerank(g, pool, 0.85, 0.0, kPrIterations); },
+          reps);
+      results[Key("PR", "pregel", d.name)] = {ms / kPrIterations, 0.0};
+    }
+    {
+      PagerankOptions opts;
+      opts.tolerance = 0.0;
+      opts.max_iterations = kPrIterations;
+      opts.pull = true;  // gather-reduce mode (datasets are symmetric)
+      const double ms = TimeMs([&] { Pagerank(g, opts); }, reps);
+      results[Key("PR", "gunrock", d.name)] = {ms / kPrIterations, 0.0};
+    }
+
+    // --- CC ---
+    {
+      const double ms =
+          TimeMs([&] { serial::ConnectedComponents(g); }, 1);
+      results[Key("CC", "serial", d.name)] = {ms, 0.0};
+    }
+    {
+      const double ms = TimeMs([&] { gas::Cc(g, pool); }, reps);
+      results[Key("CC", "gas", d.name)] = {ms, 0.0};
+    }
+    {
+      const double ms = TimeMs([&] { hardwired::Cc(g, pool); }, reps);
+      results[Key("CC", "hardwired", d.name)] = {ms, 0.0};
+    }
+    {
+      const double ms = TimeMs([&] { Cc(g); }, reps);
+      results[Key("CC", "gunrock", d.name)] = {ms, 0.0};
+    }
+  }
+  return results;
+}
+
+}  // namespace bench

@@ -1,0 +1,187 @@
+// Shared benchmark infrastructure: the six Table-1 dataset analogs, source
+// selection, timing helpers and table formatting.
+//
+// Dataset sizes are CPU-bench-friendly by default and scalable through the
+// environment:
+//   GUNROCK_BENCH_SCALE  integer delta applied to every generator scale
+//                        (e.g. -2 quarters the graphs, +2 quadruples)
+//   GUNROCK_BENCH_REPS   repetitions per timed measurement (default 3)
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gunrock.hpp"
+
+namespace bench {
+
+using namespace gunrock;
+
+inline int EnvScaleDelta() {
+  const char* s = std::getenv("GUNROCK_BENCH_SCALE");
+  return s ? std::atoi(s) : 0;
+}
+
+inline int Reps() {
+  const char* s = std::getenv("GUNROCK_BENCH_REPS");
+  const int r = s ? std::atoi(s) : 3;
+  return r > 0 ? r : 1;
+}
+
+struct Dataset {
+  std::string name;
+  std::string type;  // Table 1 taxonomy: rs / gs / gm / rm
+  graph::Csr graph;
+  vid_t source = 0;  // max-degree vertex (a connected, busy start)
+};
+
+inline vid_t MaxDegreeVertex(const graph::Csr& g) {
+  vid_t best = 0;
+  for (vid_t v = 1; v < g.num_vertices(); ++v) {
+    if (g.degree(v) > g.degree(best)) best = v;
+  }
+  return best;
+}
+
+inline Dataset MakeDataset(std::string name, std::string type,
+                           graph::Coo coo) {
+  graph::AttachRandomWeights(coo, 1, 64);  // paper: weights in [1, 64]
+  graph::BuildOptions opts;
+  opts.symmetrize = true;  // paper: "We converted all datasets to undirected"
+  Dataset d;
+  d.name = std::move(name);
+  d.type = std::move(type);
+  d.graph = graph::BuildCsr(coo, opts);
+  d.source = MaxDegreeVertex(d.graph);
+  return d;
+}
+
+/// The six datasets of Table 1, reproduced as topology classes:
+/// four scale-free (two social R-MATs, one web-crawl R-MAT, one Graph500
+/// Kronecker) and two small-degree large-diameter meshes (RGG, road).
+inline std::vector<Dataset> LoadDatasets() {
+  const int d = EnvScaleDelta();
+  auto& pool = par::ThreadPool::Global();
+  std::vector<Dataset> sets;
+
+  {
+    graph::RmatParams p;  // soc-orkut role: social, moderately skewed
+    p.scale = 16 + d;
+    p.edge_factor = 16;
+    p.a = 0.50;
+    p.b = 0.23;
+    p.c = 0.23;
+    p.seed = 101;
+    sets.push_back(MakeDataset("soc-rmat", "rs", GenerateRmat(p, pool)));
+  }
+  {
+    graph::RmatParams p;  // hollywood-09 role: denser collaboration net
+    p.scale = 15 + d;
+    p.edge_factor = 32;
+    p.a = 0.45;
+    p.b = 0.25;
+    p.c = 0.25;
+    p.seed = 102;
+    sets.push_back(MakeDataset("hollywood-rmat", "rs",
+                               GenerateRmat(p, pool)));
+  }
+  {
+    graph::RmatParams p;  // indochina-04 role: web crawl, extreme skew
+    p.scale = 16 + d;
+    p.edge_factor = 20;
+    p.a = 0.65;
+    p.b = 0.15;
+    p.c = 0.15;
+    p.seed = 103;
+    sets.push_back(MakeDataset("indochina-rmat", "rs",
+                               GenerateRmat(p, pool)));
+  }
+  {
+    graph::RmatParams p;  // kron_g500-logn21 role: Graph500 parameters
+    p.scale = 16 + d;
+    p.edge_factor = 16;
+    p.a = 0.57;
+    p.b = 0.19;
+    p.c = 0.19;
+    p.seed = 104;
+    sets.push_back(MakeDataset("kron-g500", "gs", GenerateRmat(p, pool)));
+  }
+  {
+    graph::RggParams p;  // rgg_n_2_24 role
+    p.scale = 17 + d;
+    p.seed = 105;
+    sets.push_back(MakeDataset("rgg", "gm", GenerateRgg(p, pool)));
+  }
+  {
+    graph::RoadParams p;  // roadnet_CA role
+    const int shift = d / 2;  // area scales quadratically
+    p.width = 512 >> (shift < 0 ? -shift : 0) << (shift > 0 ? shift : 0);
+    p.height = p.width;
+    p.seed = 106;
+    sets.push_back(MakeDataset("roadnet", "rm", GenerateRoad(p, pool)));
+  }
+  return sets;
+}
+
+/// Times fn() `reps` times, returns the average milliseconds.
+template <typename F>
+double TimeMs(F&& fn, int reps) {
+  double total = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    total += t.ElapsedMs();
+  }
+  return total / reps;
+}
+
+inline double Geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double logsum = 0.0;
+  for (const double x : xs) logsum += std::log(x);
+  return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+/// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int width = 14)
+      : headers_(std::move(headers)), width_(width) {}
+
+  void PrintHeader() const {
+    for (const auto& h : headers_) {
+      std::printf("%-*s", width_, h.c_str());
+    }
+    std::printf("\n");
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      for (int c = 0; c < width_ - 1; ++c) std::printf("-");
+      std::printf(" ");
+    }
+    std::printf("\n");
+  }
+
+  void Cell(const std::string& s) const {
+    std::printf("%-*s", width_, s.c_str());
+  }
+  void Cell(double v, const char* fmt = "%.2f") const {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    std::printf("%-*s", width_, buf);
+  }
+  void EndRow() const { std::printf("\n"); }
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+inline std::string Fmt(double v, const char* fmt = "%.2f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace bench

@@ -1,0 +1,44 @@
+// Figure 7: execution-time speedup of Gunrock vs each framework role on
+// each input, one dot per (primitive, framework, dataset).
+//
+// Paper rendering is a dot plot; ours prints the full speedup matrix with
+// the same win/lose marker semantics (black dot = Gunrock faster, white
+// dot = slower). The shape to check: nearly all cells > 1 against
+// serial/gas/pregel; the hardwired column hovers around 1 except CC.
+#include "bench_runner.hpp"
+
+int main() {
+  using namespace bench;
+  std::printf("=== Figure 7: Gunrock speedup per framework x dataset ===\n");
+  std::printf("(* = gunrock faster, o = gunrock slower; value = speedup)\n\n");
+  const auto datasets = LoadDatasets();
+  const auto results = RunMatrix(datasets);
+
+  for (const auto& prim : Primitives()) {
+    std::printf("--- %s ---\n", prim.c_str());
+    std::vector<std::string> headers = {"dataset"};
+    for (const auto& fw : Frameworks()) {
+      if (fw != "gunrock") headers.push_back("vs-" + fw);
+    }
+    Table t(headers);
+    t.PrintHeader();
+    for (const auto& d : datasets) {
+      t.Cell(d.name);
+      for (const auto& fw : Frameworks()) {
+        if (fw == "gunrock") continue;
+        const auto base = results.find(Key(prim, fw, d.name));
+        const auto ours = results.find(Key(prim, "gunrock", d.name));
+        if (base == results.end() || ours == results.end() ||
+            ours->second.ms <= 0) {
+          t.Cell("—");
+          continue;
+        }
+        const double speedup = base->second.ms / ours->second.ms;
+        t.Cell(Fmt(speedup, speedup >= 1.0 ? "* %.2f" : "o %.2f"));
+      }
+      t.EndRow();
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 8: the three optimization ablations on BFS, over the four
+// datasets the paper uses (hollywood, kron, rgg, roadnet analogs).
+//
+//   left:   fine-grained (TWC) vs coarse-grained (equal-work) workload
+//           mapping — paper: equal-work wins on the scale-free pair,
+//           TWC wins on the meshes;
+//   middle: idempotent vs non-idempotent (atomic) advance — paper:
+//           idempotent wins where concurrent discovery is common
+//           (scale-free), near-par on meshes;
+//   right:  forward-only vs direction-optimizing traversal — paper:
+//           direction-optimizing wins big on scale-free graphs
+//           (1.5x+), loses slightly on meshes.
+#include "bench_runner.hpp"
+
+int main() {
+  using namespace bench;
+  std::printf("=== Figure 8: BFS optimization ablations (runtime ms) ===\n\n");
+  auto all = LoadDatasets();
+  std::vector<Dataset> datasets;
+  for (auto& d : all) {
+    if (d.name == "hollywood-rmat" || d.name == "kron-g500" ||
+        d.name == "rgg" || d.name == "roadnet") {
+      datasets.push_back(std::move(d));
+    }
+  }
+  const int reps = Reps();
+
+  const auto time_bfs = [&](const Dataset& d, BfsOptions opts) {
+    opts.compute_preds = false;
+    return TimeMs([&] { Bfs(d.graph, d.source, opts); }, reps);
+  };
+
+  std::printf("--- left: workload mapping (paper: Fine.Grained vs Coarse.Grained) ---\n");
+  {
+    Table t({"dataset", "twc(fine)", "equal-work", "winner"});
+    t.PrintHeader();
+    for (const auto& d : datasets) {
+      BfsOptions twc;
+      twc.load_balance = core::LoadBalance::kTwc;
+      twc.direction = core::Direction::kPush;
+      BfsOptions lb;
+      lb.load_balance = core::LoadBalance::kEqualWork;
+      lb.direction = core::Direction::kPush;
+      const double t1 = time_bfs(d, twc);
+      const double t2 = time_bfs(d, lb);
+      t.Cell(d.name);
+      t.Cell(t1);
+      t.Cell(t2);
+      t.Cell(t1 < t2 ? "twc" : "equal-work");
+      t.EndRow();
+    }
+  }
+
+  std::printf("\n--- middle: idempotence (paper: Idem vs Non.idem) ---\n");
+  {
+    Table t({"dataset", "idempotent", "atomic", "winner"});
+    t.PrintHeader();
+    for (const auto& d : datasets) {
+      BfsOptions idem;
+      idem.idempotent = true;
+      idem.direction = core::Direction::kPush;
+      BfsOptions atomic;
+      atomic.idempotent = false;
+      atomic.direction = core::Direction::kPush;
+      const double t1 = time_bfs(d, idem);
+      const double t2 = time_bfs(d, atomic);
+      t.Cell(d.name);
+      t.Cell(t1);
+      t.Cell(t2);
+      t.Cell(t1 < t2 ? "idempotent" : "atomic");
+      t.EndRow();
+    }
+  }
+
+  std::printf("\n--- right: traversal direction (paper: Forward vs Direction.Optimal) ---\n");
+  {
+    Table t({"dataset", "forward", "dir-optimal", "speedup"});
+    t.PrintHeader();
+    for (const auto& d : datasets) {
+      BfsOptions fwd;
+      fwd.direction = core::Direction::kPush;
+      BfsOptions dopt;
+      dopt.direction = core::Direction::kOptimizing;
+      const double t1 = time_bfs(d, fwd);
+      const double t2 = time_bfs(d, dopt);
+      t.Cell(d.name);
+      t.Cell(t1);
+      t.Cell(t2);
+      t.Cell(t1 / t2, "%.2fx");
+      t.EndRow();
+    }
+    std::printf(
+        "\npaper: DO speedup 1.52x on scale-free, ~1.28x on meshes "
+        "(both measured against forward)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Micro-benchmarks (google-benchmark) for the substrate and the advance
+// strategies — the ablation data behind DESIGN.md's design choices, not a
+// paper table. Kept quick: small fixed inputs, real-time reporting.
+#include <benchmark/benchmark.h>
+
+#include "gunrock.hpp"
+#include "parallel/sort.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gunrock;
+
+par::ThreadPool& Pool() { return par::ThreadPool::Global(); }
+
+const graph::Csr& ScaleFreeGraph() {
+  static const graph::Csr g = [] {
+    graph::RmatParams p;
+    p.scale = 15;
+    p.edge_factor = 16;
+    graph::BuildOptions opts;
+    opts.symmetrize = true;
+    return graph::BuildCsr(GenerateRmat(p, Pool()), opts);
+  }();
+  return g;
+}
+
+const graph::Csr& MeshGraph() {
+  static const graph::Csr g = [] {
+    graph::RggParams p;
+    p.scale = 15;
+    graph::BuildOptions opts;
+    opts.symmetrize = true;
+    return graph::BuildCsr(GenerateRgg(p, Pool()), opts);
+  }();
+  return g;
+}
+
+void BM_Scan(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::int64_t> data(n, 3), out(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(par::ExclusiveScan<std::int64_t>(
+        Pool(), data, out));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Scan)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_RadixSort(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) keys[i] = SplitMix64(i);
+  std::vector<std::uint64_t> work(n);
+  for (auto _ : state) {
+    work = keys;
+    par::RadixSortKeys<std::uint64_t>(Pool(), work);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RadixSort)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Compact(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::int32_t> data(n), out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<std::int32_t>(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(par::CopyIf<std::int32_t>(
+        Pool(), data, out, [](std::int32_t v) { return v % 3 == 0; }));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Compact)->Arg(1 << 20);
+
+struct PassFunctor {
+  struct P {};
+  static bool CondEdge(vid_t, vid_t, eid_t, P&) { return true; }
+  static void ApplyEdge(vid_t, vid_t, eid_t, P&) {}
+};
+
+template <core::LoadBalance kLb, bool kScaleFree>
+void BM_AdvanceStrategy(benchmark::State& state) {
+  const auto& g = kScaleFree ? ScaleFreeGraph() : MeshGraph();
+  std::vector<vid_t> frontier;
+  for (vid_t v = 0; v < g.num_vertices(); v += 4) frontier.push_back(v);
+  core::AdvanceConfig cfg;
+  cfg.lb = kLb;
+  cfg.model_efficiency = false;
+  PassFunctor::P prob;
+  eid_t edges = 0;
+  for (auto _ : state) {
+    std::vector<vid_t> out;
+    const auto r = core::AdvancePush<PassFunctor>(Pool(), g, frontier,
+                                                  &out, prob, cfg);
+    edges = r.edges_visited;
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_AdvanceStrategy<core::LoadBalance::kThreadMapped, true>)
+    ->Name("BM_Advance/thread_mapped/scale_free");
+BENCHMARK(BM_AdvanceStrategy<core::LoadBalance::kTwc, true>)
+    ->Name("BM_Advance/twc/scale_free");
+BENCHMARK(BM_AdvanceStrategy<core::LoadBalance::kEqualWork, true>)
+    ->Name("BM_Advance/equal_work/scale_free");
+BENCHMARK(BM_AdvanceStrategy<core::LoadBalance::kThreadMapped, false>)
+    ->Name("BM_Advance/thread_mapped/mesh");
+BENCHMARK(BM_AdvanceStrategy<core::LoadBalance::kTwc, false>)
+    ->Name("BM_Advance/twc/mesh");
+BENCHMARK(BM_AdvanceStrategy<core::LoadBalance::kEqualWork, false>)
+    ->Name("BM_Advance/equal_work/mesh");
+
+void BM_FilterClaim(benchmark::State& state) {
+  struct Claim {
+    struct P {
+      par::Bitmap* seen;
+    };
+    static bool CondVertex(vid_t v, P& p) {
+      return p.seen->TestAndSet(static_cast<std::size_t>(v));
+    }
+    static void ApplyVertex(vid_t, P&) {}
+  };
+  const std::size_t n = 1 << 20;
+  std::vector<vid_t> input(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    input[i] = static_cast<vid_t>(SplitMix64(i) % (n / 2));
+  }
+  for (auto _ : state) {
+    par::Bitmap seen(n);
+    Claim::P prob{&seen};
+    std::vector<vid_t> out;
+    core::FilterVertex<Claim>(Pool(), input, &out, prob);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FilterClaim);
+
+void BM_BfsEndToEnd(benchmark::State& state) {
+  const auto& g = ScaleFreeGraph();
+  BfsOptions opts;
+  opts.direction = core::Direction::kOptimizing;
+  opts.compute_preds = false;
+  eid_t edges = 0;
+  for (auto _ : state) {
+    const auto r = Bfs(g, 0, opts);
+    edges = r.stats.edges_visited;
+    benchmark::DoNotOptimize(r.depth.data());
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_BfsEndToEnd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

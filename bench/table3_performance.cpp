@@ -1,0 +1,72 @@
+// Table 3: runtime (ms) and edge throughput (MTEPS) for all five
+// primitives across the six datasets and five framework roles.
+//
+// The paper's claims to check in this output:
+//  * Gunrock beats the GAS role (MapGraph/CuSha) and the Pregel role
+//    (Medusa) on every traversal primitive;
+//  * Gunrock is comparable to hardwired on BFS / SSSP / BC
+//    (within a small factor either way);
+//  * Gunrock CC is several times slower than the hardwired
+//    union-find-style CC (paper: 5x geomean);
+//  * scale-free datasets (soc/hollywood/indochina/kron) show larger
+//    Gunrock advantages than the meshes (rgg/roadnet).
+#include "bench_runner.hpp"
+
+int main() {
+  using namespace bench;
+  std::printf("=== Table 3: runtime (ms) / throughput (MTEPS) ===\n\n");
+  const auto datasets = LoadDatasets();
+  const auto results = RunMatrix(datasets);
+
+  for (const auto& prim : Primitives()) {
+    std::printf("--- %s: runtime ms [lower is better] ---\n", prim.c_str());
+    std::vector<std::string> headers = {"dataset"};
+    for (const auto& fw : Frameworks()) headers.push_back(fw);
+    Table t(headers);
+    t.PrintHeader();
+    for (const auto& d : datasets) {
+      t.Cell(d.name);
+      for (const auto& fw : Frameworks()) {
+        const auto it = results.find(Key(prim, fw, d.name));
+        if (it == results.end()) {
+          t.Cell("—");
+        } else {
+          t.Cell(it->second.ms, "%.2f");
+        }
+      }
+      t.EndRow();
+    }
+    if (prim == "BFS" || prim == "SSSP" || prim == "BC") {
+      std::printf("\n--- %s: edge throughput MTEPS [higher is better] ---\n",
+                  prim.c_str());
+      Table t2(headers);
+      t2.PrintHeader();
+      for (const auto& d : datasets) {
+        t2.Cell(d.name);
+        for (const auto& fw : Frameworks()) {
+          const auto it = results.find(Key(prim, fw, d.name));
+          if (it == results.end() || it->second.mteps <= 0) {
+            t2.Cell("—");
+          } else {
+            t2.Cell(it->second.mteps, "%.1f");
+          }
+        }
+        t2.EndRow();
+      }
+    }
+    std::printf("\n");
+  }
+
+  // The headline CC claim: hardwired vs gunrock geomean.
+  std::vector<double> cc_ratio;
+  for (const auto& d : datasets) {
+    const auto hw = results.find(Key("CC", "hardwired", d.name));
+    const auto gr = results.find(Key("CC", "gunrock", d.name));
+    if (hw != results.end() && gr != results.end() && hw->second.ms > 0) {
+      cc_ratio.push_back(gr->second.ms / hw->second.ms);
+    }
+  }
+  std::printf("CC slowdown vs hardwired (geomean): %.2fx  (paper: ~5x)\n",
+              Geomean(cc_ratio));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Table 4: average warp execution efficiency — the paper's load-balance
+// quality metric — per framework role on BFS, SSSP and PR.
+//
+// Paper shape: Gunrock 97%+ on BFS, ~83% on SSSP, 99%+ on PR across all
+// datasets; CuSha (GAS role) 50-91% with its worst numbers on the most
+// skewed graph (kron); MapGraph in between.
+//
+// We report the modeled SIMT lane efficiency each framework's schedule
+// produces on the *actual* frontiers it runs (see core/simt_model.hpp):
+// gunrock uses its hybrid advance strategies, the GAS role maps one
+// vertex per lane over the whole graph, the Pregel role maps one frontier
+// vertex per lane.
+#include "bench_runner.hpp"
+
+int main() {
+  using namespace bench;
+  std::printf("=== Table 4: modeled warp (SIMT lane) execution efficiency ===\n\n");
+  const auto datasets = LoadDatasets();
+  auto& pool = par::ThreadPool::Global();
+
+  for (const std::string prim : {"BFS", "SSSP", "PR"}) {
+    std::printf("--- %s ---\n", prim.c_str());
+    std::vector<std::string> headers = {"framework"};
+    for (const auto& d : datasets) headers.push_back(d.name);
+    Table t(headers);
+    t.PrintHeader();
+
+    std::vector<double> gunrock_eff, gas_eff, pregel_eff;
+    for (const auto& d : datasets) {
+      const auto& g = d.graph;
+      if (prim == "BFS") {
+        BfsOptions opts;
+        opts.direction = core::Direction::kPush;
+        gunrock_eff.push_back(Bfs(g, d.source, opts).stats.lane_efficiency);
+        gas_eff.push_back(
+            gas::Bfs(g, d.source, pool).stats.lane_efficiency);
+        pregel_eff.push_back(
+            pregel::Bfs(g, d.source, pool).stats.lane_efficiency);
+      } else if (prim == "SSSP") {
+        SsspOptions opts;
+        opts.model_lane_efficiency = true;
+        gunrock_eff.push_back(
+            Sssp(g, d.source, opts).stats.lane_efficiency);
+        gas_eff.push_back(
+            gas::Sssp(g, d.source, pool).stats.lane_efficiency);
+        pregel_eff.push_back(
+            pregel::Sssp(g, d.source, pool).stats.lane_efficiency);
+      } else {
+        PagerankOptions opts;
+        opts.tolerance = 0.0;
+        opts.max_iterations = 5;
+        opts.pull = true;  // match Table 3's configuration
+        gunrock_eff.push_back(Pagerank(g, opts).stats.lane_efficiency);
+        gas_eff.push_back(
+            gas::Pagerank(g, pool, 0.85, 0.0, 5).stats.lane_efficiency);
+        pregel_eff.push_back(
+            pregel::Pagerank(g, pool, 0.85, 0.0, 5)
+                .stats.lane_efficiency);
+      }
+    }
+    const auto print_row = [&](const char* name,
+                               const std::vector<double>& effs) {
+      t.Cell(name);
+      for (const double e : effs) t.Cell(e * 100.0, "%.2f%%");
+      t.EndRow();
+    };
+    print_row("gunrock", gunrock_eff);
+    print_row("gas", gas_eff);
+    print_row("pregel", pregel_eff);
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shape (paper): gunrock highest everywhere; the GAS role\n"
+      "collapses on the skewed graphs (indochina/kron) and is respectable\n"
+      "on the meshes; per-primitive, PR > BFS > SSSP for gunrock.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Social-network analytics: find influencers in a scale-free graph by
+// betweenness centrality and PageRank, then compare the two rankings —
+// the workload class the paper's introduction motivates ("relationships
+// between people (social networks)").
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "gunrock.hpp"
+
+namespace {
+
+std::vector<gunrock::vid_t> TopK(const std::vector<double>& score, int k) {
+  std::vector<gunrock::vid_t> ids(score.size());
+  for (std::size_t v = 0; v < score.size(); ++v) {
+    ids[v] = static_cast<gunrock::vid_t>(v);
+  }
+  std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
+                    [&](auto a, auto b) { return score[a] > score[b]; });
+  ids.resize(k);
+  return ids;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gunrock;
+
+  // A social-style R-MAT graph (soc-orkut class from Table 1).
+  graph::RmatParams params;
+  params.scale = 14;
+  params.edge_factor = 16;
+  params.a = 0.50;
+  params.b = 0.23;
+  params.c = 0.23;
+  graph::BuildOptions build;
+  build.symmetrize = true;
+  const auto g = graph::BuildCsr(
+      GenerateRmat(params, par::ThreadPool::Global()), build);
+  std::printf("social graph: %d members, %lld ties\n", g.num_vertices(),
+              static_cast<long long>(g.num_edges()));
+
+  // Approximate BC by sampling sources (exact BC needs all |V| sources;
+  // sampling is what large-scale studies and the GPU comparators do).
+  std::vector<vid_t> sources;
+  for (vid_t s = 0; s < g.num_vertices(); s += g.num_vertices() / 32) {
+    sources.push_back(s);
+  }
+  const auto bc = BcMultiSource(g, sources);
+  std::printf("BC (%zu sampled sources): %.1f ms, %.0f MTEPS\n",
+              sources.size(), bc.stats.elapsed_ms, bc.stats.Mteps());
+
+  PagerankOptions pr_opts;
+  pr_opts.pull = true;  // gather-reduce mode; the graph is symmetric
+  const auto pr = Pagerank(g, pr_opts);
+  std::printf("PageRank: %d iterations, %.1f ms\n", pr.iterations,
+              pr.stats.elapsed_ms);
+
+  const auto top_bc = TopK(bc.bc, 10);
+  const auto top_pr = TopK(pr.rank, 10);
+  std::printf("\n%-6s %-22s %-22s\n", "rank", "by betweenness",
+              "by pagerank");
+  for (int i = 0; i < 10; ++i) {
+    std::printf("%-6d v%-6d bc=%-12.1f v%-6d pr=%-10.6f\n", i + 1,
+                top_bc[i], bc.bc[top_bc[i]], top_pr[i],
+                pr.rank[top_pr[i]]);
+  }
+
+  // Overlap between the two notions of influence.
+  int overlap = 0;
+  for (const auto a : top_bc) {
+    for (const auto b : top_pr) {
+      if (a == b) ++overlap;
+    }
+  }
+  std::printf("\ntop-10 overlap between the two rankings: %d/10\n",
+              overlap);
+  return 0;
+}

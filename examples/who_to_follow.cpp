@@ -1,0 +1,78 @@
+// Twitter-style "who to follow" on a bipartite user->account graph: the
+// three node-ranking primitives of Geil et al. [9] (paper Section 5.5) —
+// personalized PageRank to build a circle of trust, SALSA over it, and
+// HITS for global hub/authority structure.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "gunrock.hpp"
+
+int main() {
+  using namespace gunrock;
+
+  graph::BipartiteParams params;
+  params.num_users = 4096;
+  params.num_items = 2048;  // "accounts worth following"
+  params.edges_per_user = 24;
+  params.skew = 0.85;
+  const auto g = graph::BuildCsr(
+      GenerateBipartite(params, par::ThreadPool::Global()));
+  const auto rg = graph::ReverseCsr(g, par::ThreadPool::Global());
+  std::printf("bipartite graph: %d users x %d accounts, %lld follows\n",
+              params.num_users, params.num_items,
+              static_cast<long long>(g.num_edges()));
+
+  // 1. Personalized PageRank from one user: their circle of trust.
+  const vid_t user = 42;
+  const vid_t seeds[] = {user};
+  const auto ppr = PersonalizedPagerank(g, seeds);
+  std::printf("personalized PageRank for user %d: %d iterations, %.1f ms\n",
+              user, ppr.iterations, ppr.stats.elapsed_ms);
+
+  std::vector<vid_t> accounts(params.num_items);
+  for (vid_t i = 0; i < params.num_items; ++i) {
+    accounts[i] = params.num_users + i;
+  }
+  std::sort(accounts.begin(), accounts.end(), [&](vid_t a, vid_t b) {
+    return ppr.rank[a] > ppr.rank[b];
+  });
+  std::printf("accounts user %d should follow (excluding existing):", user);
+  const auto following = g.neighbors(user);
+  int shown = 0;
+  for (const vid_t a : accounts) {
+    if (shown == 5) break;
+    if (std::binary_search(following.begin(), following.end(), a)) {
+      continue;  // already follows
+    }
+    std::printf(" a%d(%.4f)", a - params.num_users, ppr.rank[a]);
+    ++shown;
+  }
+  std::printf("\n");
+
+  // 2. SALSA: stochastic authority scores.
+  const auto salsa = Salsa(g, rg);
+  // 3. HITS: raw-sum authority scores.
+  const auto hits = Hits(g, rg);
+  std::printf("SALSA converged in %d iterations, HITS in %d\n",
+              salsa.iterations, hits.iterations);
+
+  std::sort(accounts.begin(), accounts.end(), [&](vid_t a, vid_t b) {
+    return salsa.authority[a] > salsa.authority[b];
+  });
+  std::printf("globally popular accounts (SALSA):");
+  for (int i = 0; i < 5; ++i) {
+    std::printf(" a%d", accounts[i] - params.num_users);
+  }
+  std::printf("\nglobally popular accounts (HITS): ");
+  auto by_hits = accounts;
+  std::sort(by_hits.begin(), by_hits.end(), [&](vid_t a, vid_t b) {
+    return hits.authority[a] > hits.authority[b];
+  });
+  for (int i = 0; i < 5; ++i) {
+    std::printf(" a%d", by_hits[i] - params.num_users);
+  }
+  std::printf("\n(the popular low-rank accounts dominate both: the "
+              "generator's preferential skew at work)\n");
+  return 0;
+}

@@ -1,0 +1,179 @@
+// GAS programs for BFS, SSSP, PageRank and CC (label propagation — the
+// PowerGraph formulation of connected components).
+#include "baselines/gas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "parallel/reduce.hpp"
+
+namespace gunrock::gas {
+
+namespace {
+
+struct BfsProgram {
+  using GatherT = std::int32_t;
+  static GatherT Identity() {
+    return std::numeric_limits<std::int32_t>::max();
+  }
+  static GatherT Gather(vid_t u, vid_t, eid_t, const BfsState& s) {
+    return s.depth[u] < 0 ? Identity() : s.depth[u] + 1;
+  }
+  static GatherT Combine(GatherT a, GatherT b) { return std::min(a, b); }
+  static bool Apply(vid_t v, GatherT acc, BfsState& s) {
+    if (acc == Identity()) return false;
+    if (s.depth[v] < 0 || acc < s.depth[v]) {
+      s.depth[v] = acc;
+      return true;
+    }
+    return false;
+  }
+};
+
+struct SsspProgram {
+  using GatherT = weight_t;
+  static GatherT Identity() { return kInfinity; }
+  static GatherT Gather(vid_t u, vid_t, eid_t e, const SsspState& s) {
+    // e indexes the reverse graph, whose weights mirror the forward ones.
+    return s.dist[u] + s.graph->weights()[e];
+  }
+  static GatherT Combine(GatherT a, GatherT b) { return std::min(a, b); }
+  static bool Apply(vid_t v, GatherT acc, SsspState& s) {
+    if (acc < s.dist[v]) {
+      s.dist[v] = acc;
+      return true;
+    }
+    return false;
+  }
+};
+
+struct PrProgram {
+  using GatherT = double;
+  static GatherT Identity() { return 0.0; }
+  static GatherT Gather(vid_t u, vid_t, eid_t, const PrState& s) {
+    return s.rank[u] * s.inv_outdeg[u];
+  }
+  static GatherT Combine(GatherT a, GatherT b) { return a + b; }
+  static bool Apply(vid_t v, GatherT acc, PrState& s) {
+    const double next = s.base + s.damping * acc;
+    const bool moving = std::abs(next - s.rank[v]) > s.tolerance;
+    s.rank[v] = next;
+    return moving;
+  }
+};
+
+struct CcProgram {
+  using GatherT = vid_t;
+  static GatherT Identity() {
+    return std::numeric_limits<vid_t>::max();
+  }
+  static GatherT Gather(vid_t u, vid_t, eid_t, const CcState& s) {
+    return s.comp[u];
+  }
+  static GatherT Combine(GatherT a, GatherT b) { return std::min(a, b); }
+  static bool Apply(vid_t v, GatherT acc, CcState& s) {
+    if (acc < s.comp[v]) {
+      s.comp[v] = acc;
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+GasBfsResult Bfs(const graph::Csr& g, vid_t source, par::ThreadPool& pool) {
+  GasBfsResult result;
+  BfsState state;
+  state.depth.assign(g.num_vertices(), -1);
+  state.depth[source] = 0;
+  const vid_t init[] = {source};
+  result.stats = Run<BfsProgram>(pool, g, g, state, init);
+  result.depth = std::move(state.depth);
+  return result;
+}
+
+GasSsspResult Sssp(const graph::Csr& g, vid_t source,
+                   par::ThreadPool& pool) {
+  GasSsspResult result;
+  SsspState state;
+  state.dist.assign(g.num_vertices(), kInfinity);
+  state.dist[source] = 0;
+  state.graph = &g;
+  const vid_t init[] = {source};
+  result.stats = Run<SsspProgram>(pool, g, g, state, init);
+  result.dist = std::move(state.dist);
+  return result;
+}
+
+GasPagerankResult Pagerank(const graph::Csr& g, par::ThreadPool& pool,
+                           double damping, double tolerance,
+                           int max_iterations) {
+  GasPagerankResult result;
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  if (n == 0) return result;
+  PrState state;
+  state.rank.assign(n, 1.0 / static_cast<double>(n));
+  state.inv_outdeg.assign(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const eid_t d = g.degree(static_cast<vid_t>(v));
+    state.inv_outdeg[v] = d > 0 ? 1.0 / static_cast<double>(d) : 0.0;
+  }
+  state.damping = damping;
+  state.tolerance = tolerance;
+
+  // PR runs supersteps one at a time so the dangling-mass base can be
+  // refreshed between iterations (GAS has no global-reduce step, so the
+  // driver does it — the same pattern PowerGraph applications use).
+  std::vector<vid_t> all(n);
+  for (std::size_t v = 0; v < n; ++v) all[v] = static_cast<vid_t>(v);
+  std::vector<double> prev = state.rank;
+  WallTimer timer;
+  for (int it = 0; it < max_iterations; ++it) {
+    double dangling = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (g.degree(static_cast<vid_t>(v)) == 0) dangling += state.rank[v];
+    }
+    state.base =
+        (1.0 - damping + damping * dangling) / static_cast<double>(n);
+    const GasStats step = Run<PrProgram>(pool, g, g, state, all, 1);
+    result.stats.edges_processed += step.edges_processed;
+    result.stats.lane_efficiency = step.lane_efficiency;
+    ++result.stats.supersteps;
+    // Driver-side convergence on the max residual vs the previous iterate
+    // (GAS itself has no global-reduce step).
+    bool moving = false;
+    for (std::size_t v = 0; v < n && !moving; ++v) {
+      if (std::abs(state.rank[v] - prev[v]) > tolerance) moving = true;
+    }
+    prev = state.rank;
+    if (!moving) break;
+  }
+  result.stats.elapsed_ms = timer.ElapsedMs();
+  result.rank = std::move(state.rank);
+  return result;
+}
+
+GasCcResult Cc(const graph::Csr& g, par::ThreadPool& pool) {
+  GasCcResult result;
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  CcState state;
+  state.comp.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    state.comp[v] = static_cast<vid_t>(v);
+  }
+  std::vector<vid_t> all(n);
+  for (std::size_t v = 0; v < n; ++v) all[v] = static_cast<vid_t>(v);
+  result.stats = Run<CcProgram>(pool, g, g, state, all);
+  result.component = std::move(state.comp);
+  result.num_components = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (result.component[v] == static_cast<vid_t>(v)) {
+      ++result.num_components;
+    }
+  }
+  return result;
+}
+
+}  // namespace gunrock::gas

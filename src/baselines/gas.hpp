@@ -1,0 +1,169 @@
+// Mini gather-apply-scatter engine: the PowerGraph / MapGraph / CuSha role
+// in the paper's comparisons (Sections 2.3 and 4.2).
+//
+// Deliberately faithful to what GPU GAS frameworks do — and therefore to
+// their costs the paper attributes the performance gap to:
+//  * three separate, unfused passes per superstep (gather, apply, scatter)
+//    with the gather result *materialized* to memory between them
+//    ("significant fragmentation of GAS programs across many kernels");
+//  * vertex-mapped gather over the full vertex set, walking each vertex's
+//    complete in-edge list (the load imbalance GAS inherits on power-law
+//    degree distributions);
+//  * no access to the frontier: activity is a per-vertex flag array, so
+//    work cannot be reorganized (no push/pull switch, no priority queue).
+//
+// Program contract:
+//   struct Program {
+//     using GatherT = <32/64-bit scalar>;
+//     static GatherT Identity();
+//     static GatherT Gather(vid_t u, vid_t v, eid_t e, const State&);
+//     static GatherT Combine(GatherT a, GatherT b);
+//     // Updates v's state from the combined gather; true = changed
+//     // (out-neighbors are activated for the next superstep).
+//     static bool Apply(vid_t v, GatherT acc, State&);
+//   };
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/simt_model.hpp"
+#include "graph/csr.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/for_each.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace gunrock::gas {
+
+struct GasStats {
+  int supersteps = 0;
+  eid_t edges_processed = 0;
+  double elapsed_ms = 0.0;
+  double lane_efficiency = 1.0;  // of the vertex-mapped gather
+  double Mteps() const {
+    return elapsed_ms > 0
+               ? static_cast<double>(edges_processed) / (elapsed_ms * 1000.0)
+               : 0.0;
+  }
+};
+
+/// Runs the synchronous GAS loop until no vertex changes (or the cap).
+/// `rg` is the reverse graph (gather reads in-edges); pass g itself for
+/// symmetric graphs.
+template <typename Program, typename State>
+GasStats Run(par::ThreadPool& pool, const graph::Csr& g,
+             const graph::Csr& rg, State& state,
+             std::span<const vid_t> initially_active,
+             int max_supersteps = 1 << 20) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  using GatherT = typename Program::GatherT;
+
+  std::vector<char> active(n, 0), next_active(n, 0);
+  for (const vid_t v : initially_active) {
+    active[static_cast<std::size_t>(v)] = 1;
+  }
+  // The materialized intermediate that kernel fusion would eliminate.
+  std::vector<GatherT> gathered(n);
+  std::vector<char> changed(n, 0);
+
+  GasStats stats;
+  // Vertex-mapped gather cost model: one lane per vertex, cost = in-degree
+  // (identical every superstep — GAS sweeps the whole edge list).
+  stats.lane_efficiency = core::LaneEfficiencyThreadMapped(
+      pool, n,
+      [&](std::size_t v) { return rg.degree(static_cast<vid_t>(v)); });
+
+  WallTimer timer;
+  bool any_active = !initially_active.empty();
+  while (any_active && stats.supersteps < max_supersteps) {
+    // --- Gather kernel (unfused, full sweep, vertex-mapped). ---
+    par::ParallelFor(pool, 0, n, [&](std::size_t vi) {
+      const vid_t v = static_cast<vid_t>(vi);
+      GatherT acc = Program::Identity();
+      for (eid_t e = rg.row_begin(v); e < rg.row_end(v); ++e) {
+        const vid_t u = rg.edge_dest(e);
+        if (!active[static_cast<std::size_t>(u)]) continue;
+        acc = Program::Combine(acc, Program::Gather(u, v, e, state));
+      }
+      gathered[vi] = acc;
+    });
+    stats.edges_processed += rg.num_edges();
+
+    // --- Apply kernel. ---
+    par::ParallelFor(pool, 0, n, [&](std::size_t vi) {
+      changed[vi] =
+          Program::Apply(static_cast<vid_t>(vi), gathered[vi], state) ? 1
+                                                                      : 0;
+    });
+
+    // --- Scatter kernel: a changed vertex stays active so its neighbors
+    // gather its new value next superstep (synchronous signal-and-pull,
+    // the PowerGraph sync-engine dataflow). ---
+    par::ParallelFor(pool, 0, n,
+                     [&](std::size_t vi) { next_active[vi] = changed[vi]; });
+    active.swap(next_active);
+    (void)g;
+    any_active = false;
+    for (std::size_t vi = 0; vi < n && !any_active; ++vi) {
+      if (active[vi]) any_active = true;
+    }
+    ++stats.supersteps;
+  }
+  stats.elapsed_ms = timer.ElapsedMs();
+  return stats;
+}
+
+// --- Programs for the paper's benchmarked primitives. ---
+
+struct BfsState {
+  std::vector<std::int32_t> depth;
+};
+
+struct SsspState {
+  std::vector<weight_t> dist;
+  const graph::Csr* graph = nullptr;
+};
+
+struct PrState {
+  std::vector<double> rank;
+  std::vector<double> inv_outdeg;
+  double damping = 0.85;
+  double tolerance = 1e-9;
+  double base = 0.0;
+};
+
+struct CcState {
+  std::vector<vid_t> comp;
+};
+
+struct GasBfsResult {
+  std::vector<std::int32_t> depth;
+  GasStats stats;
+};
+GasBfsResult Bfs(const graph::Csr& g, vid_t source, par::ThreadPool& pool);
+
+struct GasSsspResult {
+  std::vector<weight_t> dist;
+  GasStats stats;
+};
+GasSsspResult Sssp(const graph::Csr& g, vid_t source,
+                   par::ThreadPool& pool);
+
+struct GasPagerankResult {
+  std::vector<double> rank;
+  GasStats stats;
+};
+GasPagerankResult Pagerank(const graph::Csr& g, par::ThreadPool& pool,
+                           double damping = 0.85, double tolerance = 1e-9,
+                           int max_iterations = 1000);
+
+struct GasCcResult {
+  std::vector<vid_t> component;  // min-id labels (label propagation)
+  vid_t num_components = 0;
+  GasStats stats;
+};
+GasCcResult Cc(const graph::Csr& g, par::ThreadPool& pool);
+
+}  // namespace gunrock::gas

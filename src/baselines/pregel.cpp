@@ -1,0 +1,187 @@
+// Pregel/Medusa vertex programs for BFS, SSSP and PageRank.
+#include "baselines/pregel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gunrock::pregel {
+
+namespace {
+
+struct BfsState {
+  std::vector<std::int32_t> depth;
+};
+
+struct BfsProgram {
+  using MessageT = std::int32_t;
+  static MessageT Identity() {
+    return std::numeric_limits<std::int32_t>::max();
+  }
+  static MessageT Combine(MessageT a, MessageT b) { return std::min(a, b); }
+  static bool Compute(vid_t v, bool has_msg, MessageT msg, BfsState& s,
+                      int superstep, MessageT* out) {
+    if (superstep == 0) {
+      *out = s.depth[v] + 1;  // source seeds its neighbors
+      return true;
+    }
+    if (!has_msg) return false;
+    if (s.depth[v] >= 0 && s.depth[v] <= msg) return false;
+    s.depth[v] = msg;
+    *out = msg + 1;
+    return true;
+  }
+  static MessageT EdgeMessage(MessageT base, vid_t, vid_t, eid_t,
+                              const BfsState&) {
+    return base;
+  }
+};
+
+struct SsspState {
+  std::vector<weight_t> dist;
+  const graph::Csr* graph = nullptr;
+};
+
+struct SsspProgram {
+  using MessageT = weight_t;
+  static MessageT Identity() { return kInfinity; }
+  static MessageT Combine(MessageT a, MessageT b) { return std::min(a, b); }
+  static bool Compute(vid_t v, bool has_msg, MessageT msg, SsspState& s,
+                      int superstep, MessageT* out) {
+    if (superstep == 0) {
+      *out = s.dist[v];
+      return true;
+    }
+    if (!has_msg || msg >= s.dist[v]) return false;
+    s.dist[v] = msg;
+    *out = msg;
+    return true;
+  }
+  static MessageT EdgeMessage(MessageT base, vid_t, vid_t, eid_t e,
+                              const SsspState& s) {
+    return base + s.graph->weights()[e];
+  }
+};
+
+struct PrState {
+  std::vector<double> rank;
+  std::vector<double> inv_outdeg;
+  double damping = 0.85;
+  double tolerance = 1e-9;
+  double base = 0.0;
+  bool converged = true;  // any vertex moving resets this per superstep
+};
+
+struct PrProgram {
+  using MessageT = double;
+  static MessageT Identity() { return 0.0; }
+  static MessageT Combine(MessageT a, MessageT b) { return a + b; }
+  static bool Compute(vid_t v, bool has_msg, MessageT msg, PrState& s,
+                      int superstep, MessageT* out) {
+    if (superstep == 0) {
+      // Send phase of the driver iteration.
+      *out = s.rank[v] * s.inv_outdeg[v];
+      return true;
+    }
+    // Receive phase: update, send nothing (the driver reseeds).
+    const double next = s.base + s.damping * (has_msg ? msg : 0.0);
+    if (std::abs(next - s.rank[v]) > s.tolerance) {
+      par::AtomicStore(&s.converged, false);
+    }
+    s.rank[v] = next;
+    return false;
+  }
+  static MessageT EdgeMessage(MessageT base, vid_t, vid_t, eid_t,
+                              const PrState&) {
+    return base;
+  }
+};
+
+}  // namespace
+
+PregelBfsResult Bfs(const graph::Csr& g, vid_t source,
+                    par::ThreadPool& pool) {
+  PregelBfsResult result;
+  BfsState state;
+  state.depth.assign(g.num_vertices(), -1);
+  state.depth[source] = 0;
+  const vid_t init[] = {source};
+  result.stats = Run<BfsProgram>(pool, g, state, init);
+  result.depth = std::move(state.depth);
+  return result;
+}
+
+PregelSsspResult Sssp(const graph::Csr& g, vid_t source,
+                      par::ThreadPool& pool) {
+  PregelSsspResult result;
+  SsspState state;
+  state.dist.assign(g.num_vertices(), kInfinity);
+  state.dist[source] = 0;
+  state.graph = &g;
+  const vid_t init[] = {source};
+  result.stats = Run<SsspProgram>(pool, g, state, init);
+  result.dist = std::move(state.dist);
+  return result;
+}
+
+PregelPagerankResult Pagerank(const graph::Csr& g, par::ThreadPool& pool,
+                              double damping, double tolerance,
+                              int max_iterations) {
+  PregelPagerankResult result;
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  if (n == 0) return result;
+  PrState state;
+  state.rank.assign(n, 1.0 / static_cast<double>(n));
+  state.inv_outdeg.assign(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const eid_t d = g.degree(static_cast<vid_t>(v));
+    state.inv_outdeg[v] = d > 0 ? 1.0 / static_cast<double>(d) : 0.0;
+  }
+  state.damping = damping;
+  state.tolerance = tolerance;
+
+  std::vector<vid_t> all(n);
+  for (std::size_t v = 0; v < n; ++v) all[v] = static_cast<vid_t>(v);
+  // In-degrees: vertices that can never receive mail take the base value.
+  std::vector<eid_t> indeg(n, 0);
+  for (const vid_t d : g.col_indices()) {
+    ++indeg[static_cast<std::size_t>(d)];
+  }
+
+  WallTimer timer;
+  // Drive one superstep at a time: the dangling-mass base is a global
+  // reduction Pregel applications run as an aggregator between supersteps.
+  // Superstep k updates ranks from superstep k-1's messages, so one extra
+  // "flush" superstep follows convergence.
+  for (int it = 0; it < max_iterations; ++it) {
+    double dangling = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (g.degree(static_cast<vid_t>(v)) == 0) dangling += state.rank[v];
+    }
+    state.base =
+        (1.0 - damping + damping * dangling) / static_cast<double>(n);
+    state.converged = true;
+    // Each driver iteration replays seed-all (send) then one receive
+    // superstep; PregelStats accumulates across the driver loop.
+    const PregelStats step = Run<PrProgram>(pool, g, state, all, 2);
+    result.stats.messages_sent += step.messages_sent;
+    result.stats.lane_efficiency = step.lane_efficiency;
+    ++result.stats.supersteps;
+    // Vertices with no in-edges receive no message; their rank is the
+    // base value by definition.
+    for (std::size_t v = 0; v < n; ++v) {
+      if (indeg[v] == 0) {
+        if (std::abs(state.base - state.rank[v]) > tolerance) {
+          state.converged = false;
+        }
+        state.rank[v] = state.base;
+      }
+    }
+    if (state.converged) break;
+  }
+  result.stats.elapsed_ms = timer.ElapsedMs();
+  result.rank = std::move(state.rank);
+  return result;
+}
+
+}  // namespace gunrock::pregel

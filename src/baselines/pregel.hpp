@@ -1,0 +1,164 @@
+// Mini Pregel / Medusa engine: bulk-synchronous message passing with
+// per-destination combiners (the paper's Section 2.3 / 4.2 comparison).
+//
+// The cost structure the paper attributes to this model is kept intact:
+// every superstep materializes a combined per-vertex mailbox (value +
+// arrival flag) and runs message delivery and vertex compute as distinct
+// phases over memory — "the overhead of any management of messages is a
+// significant contributor to runtime". Like Medusa, vertex parallelism is
+// one vertex per lane, so power-law out-degrees imbalance the send phase.
+//
+// Program contract:
+//   struct Program {
+//     using MessageT = <32/64-bit arithmetic scalar>;
+//     static MessageT Identity();                        // combine identity
+//     static MessageT Combine(MessageT a, MessageT b);   // associative
+//     // Called for every vertex that received a message (and the initial
+//     // actives at superstep 0, with has_msg = false). May update state;
+//     // returns true to send `*out` along every out-edge. EdgeMessage()
+//     // can transform the payload per edge (e.g., add the edge weight).
+//     static bool Compute(vid_t v, bool has_msg, MessageT msg,
+//                         State& state, int superstep, MessageT* out);
+//     static MessageT EdgeMessage(MessageT base, vid_t src, vid_t dst,
+//                                 eid_t e, const State& state);
+//   };
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/simt_model.hpp"
+#include "core/stats.hpp"
+#include "graph/csr.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/compact.hpp"
+#include "parallel/for_each.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace gunrock::pregel {
+
+struct PregelStats {
+  int supersteps = 0;
+  eid_t messages_sent = 0;
+  double elapsed_ms = 0.0;
+  double lane_efficiency = 1.0;  // of the vertex-mapped send phase
+  double Mteps() const {
+    return elapsed_ms > 0
+               ? static_cast<double>(messages_sent) / (elapsed_ms * 1000.0)
+               : 0.0;
+  }
+};
+
+template <typename Program, typename State>
+PregelStats Run(par::ThreadPool& pool, const graph::Csr& g, State& state,
+                std::span<const vid_t> initially_active,
+                int max_supersteps = 1 << 20) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  using MessageT = typename Program::MessageT;
+
+  // Mailboxes: combined inbound value + arrival flag, double buffered.
+  std::vector<MessageT> inbox(n), outbox(n);
+  std::vector<char> in_flag(n, 0), out_flag(n, 0);
+
+  std::vector<vid_t> active(initially_active.begin(),
+                            initially_active.end());
+
+  PregelStats stats;
+  WallTimer timer;
+  core::EfficiencyAccumulator efficiency;
+
+  while (!active.empty() && stats.supersteps < max_supersteps) {
+    // Mailbox reset: part of the per-superstep message-management cost.
+    par::ParallelFor(pool, 0, n, [&](std::size_t v) {
+      out_flag[v] = 0;
+      outbox[v] = Program::Identity();
+    });
+
+    // Compute + send phase: one vertex per lane (Medusa's vertex-parallel
+    // EdgeProc/VertexProc shape).
+    const eid_t sendable = [&] {
+      eid_t acc = 0;
+      for (const vid_t v : active) acc += g.degree(v);
+      return acc;
+    }();
+    efficiency.Add(
+        core::LaneEfficiencyThreadMapped(
+            pool, active.size(),
+            [&](std::size_t i) { return g.degree(active[i]); }),
+        sendable);
+
+    const bool has_inbox = stats.supersteps > 0;
+    std::atomic<eid_t> sent{0};
+    par::ParallelFor(pool, 0, active.size(), [&](std::size_t i) {
+      const vid_t v = active[i];
+      MessageT out{};
+      const bool send = Program::Compute(
+          v, has_inbox && in_flag[static_cast<std::size_t>(v)],
+          inbox[static_cast<std::size_t>(v)], state, stats.supersteps,
+          &out);
+      if (!send) return;
+      eid_t local_sent = 0;
+      for (eid_t e = g.row_begin(v); e < g.row_end(v); ++e) {
+        const vid_t d = g.edge_dest(e);
+        const MessageT payload =
+            Program::EdgeMessage(out, v, d, e, state);
+        par::AtomicStore(&out_flag[static_cast<std::size_t>(d)], char{1});
+        // Combine into the destination mailbox atomically.
+        std::atomic_ref<MessageT> slot(
+            outbox[static_cast<std::size_t>(d)]);
+        MessageT cur = slot.load(std::memory_order_relaxed);
+        while (!slot.compare_exchange_weak(
+            cur, Program::Combine(cur, payload),
+            std::memory_order_relaxed)) {
+        }
+        ++local_sent;
+      }
+      sent.fetch_add(local_sent, std::memory_order_relaxed);
+    });
+    stats.messages_sent += sent.load();
+
+    // Delivery phase: vertices with mail become next superstep's actives.
+    std::vector<vid_t> next(n);
+    const std::size_t na = par::GenerateIf(
+        pool, n, std::span<vid_t>(next),
+        [&](std::size_t v) { return out_flag[v] != 0; },
+        [](std::size_t v) { return static_cast<vid_t>(v); });
+    next.resize(na);
+    active.swap(next);
+    inbox.swap(outbox);
+    in_flag.swap(out_flag);
+    ++stats.supersteps;
+  }
+  stats.elapsed_ms = timer.ElapsedMs();
+  stats.lane_efficiency = efficiency.Value();
+  return stats;
+}
+
+// --- Applications ---
+
+struct PregelBfsResult {
+  std::vector<std::int32_t> depth;
+  PregelStats stats;
+};
+PregelBfsResult Bfs(const graph::Csr& g, vid_t source,
+                    par::ThreadPool& pool);
+
+struct PregelSsspResult {
+  std::vector<weight_t> dist;
+  PregelStats stats;
+};
+PregelSsspResult Sssp(const graph::Csr& g, vid_t source,
+                      par::ThreadPool& pool);
+
+struct PregelPagerankResult {
+  std::vector<double> rank;
+  PregelStats stats;
+};
+PregelPagerankResult Pagerank(const graph::Csr& g, par::ThreadPool& pool,
+                              double damping = 0.85,
+                              double tolerance = 1e-9,
+                              int max_iterations = 1000);
+
+}  // namespace gunrock::pregel

@@ -1,0 +1,234 @@
+#include "baselines/serial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <stack>
+
+#include "util/error.hpp"
+
+namespace gunrock::serial {
+
+BfsOutput Bfs(const graph::Csr& g, vid_t source) {
+  GR_CHECK(source >= 0 && source < g.num_vertices(), "bad source");
+  BfsOutput out;
+  out.depth.assign(g.num_vertices(), -1);
+  out.pred.assign(g.num_vertices(), kInvalidVid);
+  std::queue<vid_t> q;
+  out.depth[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const vid_t u = q.front();
+    q.pop();
+    for (const vid_t v : g.neighbors(u)) {
+      if (out.depth[v] < 0) {
+        out.depth[v] = out.depth[u] + 1;
+        out.pred[v] = u;
+        q.push(v);
+      }
+    }
+  }
+  return out;
+}
+
+SsspOutput Dijkstra(const graph::Csr& g, vid_t source) {
+  GR_CHECK(source >= 0 && source < g.num_vertices(), "bad source");
+  GR_CHECK(g.has_weights(), "Dijkstra needs weights");
+  SsspOutput out;
+  out.dist.assign(g.num_vertices(), kInfinity);
+  out.pred.assign(g.num_vertices(), kInvalidVid);
+  using Entry = std::pair<weight_t, vid_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  out.dist[source] = 0;
+  heap.emplace(0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > out.dist[u]) continue;  // stale entry
+    for (eid_t e = g.row_begin(u); e < g.row_end(u); ++e) {
+      const vid_t v = g.edge_dest(e);
+      const weight_t nd = d + g.edge_weight(e);
+      if (nd < out.dist[v]) {
+        out.dist[v] = nd;
+        out.pred[v] = u;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  return out;
+}
+
+bool BellmanFord(const graph::Csr& g, vid_t source,
+                 std::vector<weight_t>* dist) {
+  GR_CHECK(g.has_weights(), "Bellman-Ford needs weights");
+  dist->assign(g.num_vertices(), kInfinity);
+  (*dist)[source] = 0;
+  const vid_t n = g.num_vertices();
+  for (vid_t round = 0; round < n; ++round) {
+    bool changed = false;
+    for (vid_t u = 0; u < n; ++u) {
+      if ((*dist)[u] == kInfinity) continue;
+      for (eid_t e = g.row_begin(u); e < g.row_end(u); ++e) {
+        const vid_t v = g.edge_dest(e);
+        const weight_t nd = (*dist)[u] + g.edge_weight(e);
+        if (nd < (*dist)[v]) {
+          (*dist)[v] = nd;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) return true;
+  }
+  // One more sweep: any improvement implies a negative cycle.
+  for (vid_t u = 0; u < n; ++u) {
+    if ((*dist)[u] == kInfinity) continue;
+    for (eid_t e = g.row_begin(u); e < g.row_end(u); ++e) {
+      if ((*dist)[u] + g.edge_weight(e) < (*dist)[g.edge_dest(e)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void BrandesAccumulate(const graph::Csr& g, vid_t source,
+                       std::vector<double>* bc) {
+  const vid_t n = g.num_vertices();
+  std::vector<std::int32_t> depth(n, -1);
+  std::vector<double> sigma(n, 0.0), delta(n, 0.0);
+  std::vector<vid_t> order;  // vertices in non-decreasing depth
+  order.reserve(n);
+  depth[source] = 0;
+  sigma[source] = 1.0;
+  std::queue<vid_t> q;
+  q.push(source);
+  while (!q.empty()) {
+    const vid_t u = q.front();
+    q.pop();
+    order.push_back(u);
+    for (const vid_t v : g.neighbors(u)) {
+      if (depth[v] < 0) {
+        depth[v] = depth[u] + 1;
+        q.push(v);
+      }
+      if (depth[v] == depth[u] + 1) sigma[v] += sigma[u];
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const vid_t u = *it;
+    for (const vid_t v : g.neighbors(u)) {
+      if (depth[v] == depth[u] + 1 && sigma[v] > 0) {
+        delta[u] += sigma[u] / sigma[v] * (1.0 + delta[v]);
+      }
+    }
+    if (u != source) (*bc)[u] += delta[u] / 2.0;
+  }
+}
+
+std::vector<double> Brandes(const graph::Csr& g,
+                            std::span<const vid_t> sources) {
+  std::vector<double> bc(g.num_vertices(), 0.0);
+  for (const vid_t s : sources) BrandesAccumulate(g, s, &bc);
+  return bc;
+}
+
+CcOutput ConnectedComponents(const graph::Csr& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&](vid_t v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (vid_t u = 0; u < n; ++u) {
+    for (const vid_t v : g.neighbors(u)) {
+      const vid_t ru = find(u), rv = find(v);
+      if (ru != rv) parent[std::max(ru, rv)] = std::min(ru, rv);
+    }
+  }
+  CcOutput out;
+  out.component.resize(n);
+  for (vid_t v = 0; v < n; ++v) out.component[v] = find(v);
+  for (vid_t v = 0; v < n; ++v) {
+    if (out.component[v] == v) ++out.num_components;
+  }
+  return out;
+}
+
+MstOutput KruskalMst(const graph::Csr& g) {
+  GR_CHECK(g.has_weights(), "Kruskal needs weights");
+  const vid_t n = g.num_vertices();
+  struct Arc {
+    weight_t w;
+    vid_t u, v;
+  };
+  std::vector<Arc> arcs;
+  for (vid_t u = 0; u < n; ++u) {
+    for (eid_t e = g.row_begin(u); e < g.row_end(u); ++e) {
+      const vid_t v = g.edge_dest(e);
+      if (u < v) arcs.push_back({g.edge_weight(e), u, v});
+    }
+  }
+  std::sort(arcs.begin(), arcs.end(),
+            [](const Arc& a, const Arc& b) { return a.w < b.w; });
+  std::vector<vid_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&](vid_t v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  MstOutput out;
+  for (const Arc& a : arcs) {
+    const vid_t ru = find(a.u), rv = find(a.v);
+    if (ru == rv) continue;
+    parent[std::max(ru, rv)] = std::min(ru, rv);
+    out.total_weight += a.w;
+    ++out.num_tree_edges;
+  }
+  return out;
+}
+
+PagerankOutput Pagerank(const graph::Csr& g, double damping,
+                        double tolerance, int max_iterations) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  PagerankOutput out;
+  if (n == 0) return out;
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n)), next(n);
+  for (; out.iterations < max_iterations; ++out.iterations) {
+    double dangling = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (g.degree(static_cast<vid_t>(v)) == 0) dangling += rank[v];
+    }
+    const double base =
+        (1.0 - damping + damping * dangling) / static_cast<double>(n);
+    std::fill(next.begin(), next.end(), base);
+    for (std::size_t u = 0; u < n; ++u) {
+      const eid_t deg = g.degree(static_cast<vid_t>(u));
+      if (deg == 0) continue;
+      const double share = damping * rank[u] / static_cast<double>(deg);
+      for (const vid_t v : g.neighbors(static_cast<vid_t>(u))) {
+        next[v] += share;
+      }
+    }
+    double residual = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      residual = std::max(residual, std::abs(next[v] - rank[v]));
+    }
+    rank.swap(next);
+    if (residual < tolerance) {
+      ++out.iterations;
+      break;
+    }
+  }
+  out.rank = std::move(rank);
+  return out;
+}
+
+}  // namespace gunrock::serial

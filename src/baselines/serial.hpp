@@ -1,0 +1,72 @@
+// Serial reference implementations (the Boost Graph Library role in the
+// paper's Table 2/3 comparisons, and the oracles for the test suite).
+//
+// Textbook algorithms, deliberately sequential: queue BFS, binary-heap
+// Dijkstra, Bellman-Ford, Brandes betweenness, union-find components,
+// power-iteration PageRank.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace gunrock::serial {
+
+struct BfsOutput {
+  std::vector<std::int32_t> depth;
+  std::vector<vid_t> pred;
+};
+
+BfsOutput Bfs(const graph::Csr& g, vid_t source);
+
+struct SsspOutput {
+  std::vector<weight_t> dist;
+  std::vector<vid_t> pred;
+};
+
+/// Dijkstra with a binary heap (non-negative weights).
+SsspOutput Dijkstra(const graph::Csr& g, vid_t source);
+
+/// Bellman-Ford; returns false if a negative cycle is reachable.
+bool BellmanFord(const graph::Csr& g, vid_t source,
+                 std::vector<weight_t>* dist);
+
+/// Brandes single-source BC contribution added into `bc` (must be sized
+/// |V|; halved per pair to match the library's undirected convention).
+void BrandesAccumulate(const graph::Csr& g, vid_t source,
+                       std::vector<double>* bc);
+
+/// BC from a set of sources (exact when all vertices).
+std::vector<double> Brandes(const graph::Csr& g,
+                            std::span<const vid_t> sources);
+
+/// Union-find with path compression.
+struct CcOutput {
+  std::vector<vid_t> component;  // labeled by smallest vertex id
+  vid_t num_components = 0;
+};
+
+CcOutput ConnectedComponents(const graph::Csr& g);
+
+struct MstOutput {
+  double total_weight = 0.0;
+  std::size_t num_tree_edges = 0;
+};
+
+/// Kruskal with union-find over the canonical (src < dst) arcs.
+MstOutput KruskalMst(const graph::Csr& g);
+
+struct PagerankOutput {
+  std::vector<double> rank;
+  int iterations = 0;
+};
+
+/// Power iteration with uniform dangling redistribution; stops when the
+/// max per-vertex residual drops below `tolerance`.
+PagerankOutput Pagerank(const graph::Csr& g, double damping = 0.85,
+                        double tolerance = 1e-9, int max_iterations = 1000);
+
+}  // namespace gunrock::serial

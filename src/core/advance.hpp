@@ -1,0 +1,329 @@
+// The advance operator (paper Sections 4.1 and 4.4).
+//
+// Advance generates a new frontier by visiting the neighbors of the
+// current frontier. The user supplies a functor type with two static
+// members that are *fused into the traversal loop at compile time* — the
+// C++ analog of the paper's kernel fusion (Figure 3):
+//
+//   struct MyFunctor {
+//     static bool CondEdge(vid_t src, vid_t dst, eid_t edge, Problem& p);
+//     static void ApplyEdge(vid_t src, vid_t dst, eid_t edge, Problem& p);
+//   };
+//
+// For every traversed edge, advance evaluates CondEdge; when it returns
+// true it runs ApplyEdge and emits the destination (or the edge id, for a
+// V2E advance) into the output frontier. Any per-edge computation — label
+// updates, atomic relaxations, sigma accumulation — lives in the functor,
+// so no intermediate results ever hit memory between "traversal" and
+// "computation" steps.
+//
+// Three workload mappings implement the paper's load-balancing strategies;
+// see policy.hpp. All of them report edges visited and a modeled SIMT lane
+// efficiency.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/simt_model.hpp"
+#include "graph/csr.hpp"
+#include "parallel/bitmap.hpp"
+#include "parallel/compact.hpp"
+#include "parallel/for_each.hpp"
+#include "parallel/scan.hpp"
+#include "parallel/sorted_search.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/types.hpp"
+
+namespace gunrock::core {
+
+struct AdvanceResult {
+  eid_t edges_visited = 0;
+  double lane_efficiency = 1.0;
+  std::size_t output_size = 0;
+};
+
+namespace detail {
+
+template <typename OutId>
+constexpr OutId Emitted(vid_t dst, eid_t edge) {
+  if constexpr (std::is_same_v<OutId, vid_t>) {
+    (void)edge;
+    return dst;
+  } else {
+    (void)dst;
+    return edge;
+  }
+}
+
+template <typename OutId>
+constexpr OutId InvalidOf() {
+  if constexpr (std::is_same_v<OutId, vid_t>) {
+    return kInvalidVid;
+  } else {
+    return kInvalidEid;
+  }
+}
+
+/// Serially expands items [lo, hi), appending passing destinations to
+/// `local` (when non-null). Returns edges visited.
+template <typename Functor, typename Problem, typename OutId>
+eid_t ExpandRange(const graph::Csr& g, std::span<const vid_t> items,
+                  std::size_t lo, std::size_t hi, Problem& prob,
+                  std::vector<OutId>* local) {
+  eid_t edges = 0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const vid_t u = items[i];
+    const eid_t rb = g.row_begin(u), re = g.row_end(u);
+    edges += re - rb;
+    for (eid_t e = rb; e < re; ++e) {
+      const vid_t v = g.edge_dest(e);
+      if (Functor::CondEdge(u, v, e, prob)) {
+        Functor::ApplyEdge(u, v, e, prob);
+        if (local) local->push_back(Emitted<OutId>(v, e));
+      }
+    }
+  }
+  return edges;
+}
+
+/// Appends per-chunk buffers to `out` in chunk order (deterministic for a
+/// given grain), with a parallel gather.
+template <typename OutId>
+void AppendChunks(par::ThreadPool& pool,
+                  std::vector<std::vector<OutId>>& locals,
+                  std::vector<OutId>* out) {
+  if (!out || locals.empty()) return;
+  std::vector<std::size_t> offsets(locals.size() + 1, 0);
+  for (std::size_t c = 0; c < locals.size(); ++c) {
+    offsets[c + 1] = offsets[c] + locals[c].size();
+  }
+  const std::size_t base = out->size();
+  out->resize(base + offsets.back());
+  par::ParallelFor(pool, 0, locals.size(), [&](std::size_t c) {
+    std::copy(locals[c].begin(), locals[c].end(),
+              out->begin() + base + offsets[c]);
+  });
+}
+
+/// Chunked expansion over an item list: the thread-mapped path and the
+/// small/medium TWC bins all reduce to this with different grains.
+template <typename Functor, typename Problem, typename OutId>
+eid_t ExpandChunked(par::ThreadPool& pool, const graph::Csr& g,
+                    std::span<const vid_t> items, std::size_t grain,
+                    Problem& prob, std::vector<OutId>* out) {
+  const std::size_t n = items.size();
+  if (n == 0) return 0;
+  if (grain == 0) grain = par::DefaultGrain(n, pool.num_threads());
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  std::vector<std::vector<OutId>> locals(out ? num_chunks : 0);
+  std::vector<eid_t> counts(num_chunks, 0);
+  par::ParallelForChunks(
+      pool, 0, n, grain, [&](std::size_t lo, std::size_t hi, unsigned) {
+        const std::size_t chunk = lo / grain;
+        // The serial fallback of ParallelForChunks may hand us a merged
+        // range spanning several chunks; chunk 0 then absorbs everything.
+        counts[chunk] += ExpandRange<Functor, Problem, OutId>(
+            g, items, lo, hi, prob, out ? &locals[chunk] : nullptr);
+      });
+  AppendChunks(pool, locals, out);
+  eid_t edges = 0;
+  for (const eid_t c : counts) edges += c;
+  return edges;
+}
+
+/// Equal-work expansion: scan degrees, chunk total edge work evenly,
+/// locate each chunk's first owner by sorted search (paper Figure 5).
+/// Produces output by writing a dense slot per edge then compacting —
+/// exactly the scatter-then-compact scheme of the paper's LB advance.
+template <typename Functor, typename Problem, typename OutId>
+eid_t ExpandEqualWork(par::ThreadPool& pool, const graph::Csr& g,
+                      std::span<const vid_t> items, Problem& prob,
+                      std::vector<OutId>* out) {
+  const std::size_t n = items.size();
+  if (n == 0) return 0;
+  std::vector<eid_t> offsets(n + 1);
+  const eid_t total = par::TransformExclusiveScan<eid_t>(
+      pool, n, offsets, eid_t{0},
+      [&](std::size_t i) { return g.degree(items[i]); });
+  offsets[n] = total;
+  if (total == 0) return 0;
+
+  std::vector<OutId> raw(out ? static_cast<std::size_t>(total) : 0);
+  const std::size_t grain = std::max<std::size_t>(
+      512, par::DefaultGrain(static_cast<std::size_t>(total),
+                             pool.num_threads()));
+  par::ParallelForChunks(
+      pool, 0, static_cast<std::size_t>(total), grain,
+      [&](std::size_t lo, std::size_t hi, unsigned) {
+        std::size_t s = par::FindOwner(std::span<const eid_t>(offsets),
+                                       static_cast<eid_t>(lo));
+        eid_t seg_end = offsets[s + 1];
+        for (std::size_t p = lo; p < hi; ++p) {
+          while (static_cast<eid_t>(p) >= seg_end) {
+            ++s;
+            seg_end = offsets[s + 1];
+          }
+          const vid_t u = items[s];
+          const eid_t e = g.row_begin(u) + (static_cast<eid_t>(p) -
+                                            offsets[s]);
+          const vid_t v = g.edge_dest(e);
+          const bool pass = Functor::CondEdge(u, v, e, prob);
+          if (pass) Functor::ApplyEdge(u, v, e, prob);
+          if (out) raw[p] = pass ? Emitted<OutId>(v, e)
+                                 : InvalidOf<OutId>();
+        }
+      });
+  if (out) {
+    const std::size_t base = out->size();
+    out->resize(base + raw.size());
+    const std::size_t kept = par::CopyIf(
+        pool, std::span<const OutId>(raw),
+        std::span<OutId>(out->data() + base, raw.size()),
+        [](OutId x) { return x != InvalidOf<OutId>(); });
+    out->resize(base + kept);
+  }
+  return total;
+}
+
+}  // namespace detail
+
+/// Push advance from a vertex frontier. OutId selects V2V (vid_t, default)
+/// or V2E (eid_t) output; pass output = nullptr for a visit-only advance
+/// (e.g., PageRank's distribute step before its filter).
+/// Emitted output may contain duplicates; a subsequent filter removes them
+/// (idempotent mode) or the functor's atomics prevent them (atomic mode) —
+/// exactly the paper's two advance flavors.
+template <typename Functor, typename Problem, typename OutId = vid_t>
+AdvanceResult AdvancePush(par::ThreadPool& pool, const graph::Csr& g,
+                          std::span<const vid_t> input,
+                          std::vector<OutId>* output, Problem& prob,
+                          const AdvanceConfig& cfg = {}) {
+  AdvanceResult result;
+  const std::size_t n = input.size();
+  if (n == 0) return result;
+  const std::size_t out_base = output ? output->size() : 0;
+  const auto degree_of = [&](std::size_t i) { return g.degree(input[i]); };
+
+  switch (ResolveLoadBalance(cfg)) {
+    case LoadBalance::kThreadMapped: {
+      result.edges_visited = detail::ExpandChunked<Functor, Problem, OutId>(
+          pool, g, input, cfg.grain, prob, output);
+      if (cfg.model_efficiency) {
+        result.lane_efficiency =
+            LaneEfficiencyThreadMapped(pool, n, degree_of);
+      }
+      break;
+    }
+    case LoadBalance::kTwc: {
+      // Bin items by neighbor-list size (paper Figure 4), then process
+      // each bin with a matched shape: small lists chunked many-per-lane,
+      // medium lists few-per-lane, large lists with equal-work splitting
+      // (the CTA-cooperative role).
+      std::vector<vid_t> small(n), medium(n), large(n);
+      const std::size_t ns = par::GenerateIf(
+          pool, n, std::span<vid_t>(small),
+          [&](std::size_t i) { return degree_of(i) <= kTwcWarpThreshold; },
+          [&](std::size_t i) { return input[i]; });
+      const std::size_t nm = par::GenerateIf(
+          pool, n, std::span<vid_t>(medium),
+          [&](std::size_t i) {
+            return degree_of(i) > kTwcWarpThreshold &&
+                   degree_of(i) <= kTwcCtaThreshold;
+          },
+          [&](std::size_t i) { return input[i]; });
+      const std::size_t nl = par::GenerateIf(
+          pool, n, std::span<vid_t>(large),
+          [&](std::size_t i) { return degree_of(i) > kTwcCtaThreshold; },
+          [&](std::size_t i) { return input[i]; });
+      small.resize(ns);
+      medium.resize(nm);
+      large.resize(nl);
+      result.edges_visited += detail::ExpandChunked<Functor, Problem, OutId>(
+          pool, g, small, std::max<std::size_t>(cfg.grain, 128), prob,
+          output);
+      result.edges_visited += detail::ExpandChunked<Functor, Problem, OutId>(
+          pool, g, medium, 16, prob, output);
+      result.edges_visited += detail::ExpandEqualWork<Functor, Problem,
+                                                      OutId>(
+          pool, g, large, prob, output);
+      if (cfg.model_efficiency) {
+        result.lane_efficiency = LaneEfficiencyTwc(pool, n, degree_of);
+      }
+      break;
+    }
+    case LoadBalance::kEqualWork:
+    case LoadBalance::kAuto: {  // kAuto already resolved; silences -Wswitch
+      result.edges_visited = detail::ExpandEqualWork<Functor, Problem,
+                                                     OutId>(
+          pool, g, input, prob, output);
+      if (cfg.model_efficiency) {
+        result.lane_efficiency =
+            LaneEfficiencyEqualWork(result.edges_visited);
+      }
+      break;
+    }
+  }
+  if (output) result.output_size = output->size() - out_base;
+  return result;
+}
+
+/// Pull ("bottom-up") advance, paper Section 4.5: instead of expanding the
+/// current frontier, iterate over *candidate* (unvisited) vertices and
+/// probe their incoming neighbors against a bitmap of the current
+/// frontier; on the first hit, run the functor and emit the candidate.
+/// The early break after the first valid parent is the source of pull's
+/// advantage on large frontiers.
+///
+/// `rg` must be the reverse graph (== g for undirected graphs). The edge
+/// id passed to the functor is a reverse-graph edge id.
+template <typename Functor, typename Problem>
+AdvanceResult AdvancePull(par::ThreadPool& pool, const graph::Csr& rg,
+                          const par::Bitmap& frontier_bitmap,
+                          std::span<const vid_t> candidates,
+                          std::vector<vid_t>* output, Problem& prob,
+                          const AdvanceConfig& cfg = {}) {
+  AdvanceResult result;
+  const std::size_t n = candidates.size();
+  if (n == 0) return result;
+  const std::size_t out_base = output ? output->size() : 0;
+  const std::size_t grain =
+      cfg.grain ? cfg.grain : par::DefaultGrain(n, pool.num_threads());
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  std::vector<std::vector<vid_t>> locals(output ? num_chunks : 0);
+  std::vector<eid_t> counts(num_chunks, 0);
+  par::ParallelForChunks(
+      pool, 0, n, grain, [&](std::size_t lo, std::size_t hi, unsigned) {
+        const std::size_t chunk = lo / grain;
+        eid_t edges = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const vid_t v = candidates[i];
+          for (eid_t e = rg.row_begin(v); e < rg.row_end(v); ++e) {
+            const vid_t u = rg.edge_dest(e);
+            ++edges;
+            if (frontier_bitmap.Test(static_cast<std::size_t>(u)) &&
+                Functor::CondEdge(u, v, e, prob)) {
+              Functor::ApplyEdge(u, v, e, prob);
+              if (output) locals[chunk].push_back(v);
+              break;
+            }
+          }
+        }
+        counts[chunk] += edges;
+      });
+  detail::AppendChunks(pool, locals, output);
+  for (const eid_t c : counts) result.edges_visited += c;
+  // Pull scans candidate lists item-per-lane; model accordingly.
+  if (cfg.model_efficiency) {
+    result.lane_efficiency = LaneEfficiencyThreadMapped(
+        pool, n, [&](std::size_t i) { return rg.degree(candidates[i]); });
+  }
+  if (output) result.output_size = output->size() - out_base;
+  return result;
+}
+
+}  // namespace gunrock::core

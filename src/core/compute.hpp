@@ -1,0 +1,34 @@
+// The compute operator (paper Section 4.1): "a programmer-specified
+// compute step defines an operation on all elements (vertices or edges)
+// in the current frontier; Gunrock then performs that operation in
+// parallel across all elements."
+//
+// In hot paths compute is fused into advance/filter functors; the
+// standalone form below covers regular per-element passes (initialization,
+// PageRank value swaps, convergence scans).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "parallel/for_each.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/types.hpp"
+
+namespace gunrock::core {
+
+/// fn(v) for every element of the frontier.
+template <typename Id, typename F>
+void ForEach(par::ThreadPool& pool, std::span<const Id> frontier, F&& fn) {
+  par::ParallelFor(pool, 0, frontier.size(),
+                   [&](std::size_t i) { fn(frontier[i]); });
+}
+
+/// fn(i) for every index in [0, n) — the "frontier contains all vertices"
+/// special case (PageRank, initialization).
+template <typename F>
+void ForAll(par::ThreadPool& pool, std::size_t n, F&& fn) {
+  par::ParallelFor(pool, 0, n, [&](std::size_t i) { fn(i); });
+}
+
+}  // namespace gunrock::core

@@ -1,0 +1,59 @@
+// Direction-optimizing traversal controller (paper Section 4.5, after
+// Beamer et al.).
+//
+// Push expands the active frontier; pull probes unvisited vertices for
+// active parents. "Beamer et al. showed this approach is beneficial when
+// the number of unvisited vertices drops below the size of the current
+// frontier." The controller implements the classic two-threshold state
+// machine: switch to pull when the frontier's outgoing edge count m_f
+// exceeds m_u / alpha (edges from unexplored vertices), and back to push
+// when the frontier shrinks below n / beta vertices.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace gunrock::core {
+
+class DirectionOptimizer {
+ public:
+  DirectionOptimizer(vid_t num_vertices, double alpha = 14.0,
+                     double beta = 24.0)
+      : n_(num_vertices), alpha_(alpha), beta_(beta) {}
+
+  /// Decides the direction of the next advance.
+  /// m_f: sum of out-degrees of frontier vertices;
+  /// m_u: sum of out-degrees of still-unvisited vertices;
+  /// n_f: frontier size.
+  ///
+  /// Beamer's switch applies only while the frontier is *growing*: a
+  /// shrinking tail frontier trivially satisfies m_f > m_u/alpha (m_u has
+  /// collapsed) but pull's per-iteration candidate scan would dominate —
+  /// the exact pathology on large-diameter meshes.
+  bool ShouldPull(eid_t m_f, eid_t m_u, vid_t n_f) {
+    const bool growing = n_f >= last_n_f_;
+    last_n_f_ = n_f;
+    if (pulling_) {
+      if (!growing &&
+          static_cast<double>(n_f) < static_cast<double>(n_) / beta_) {
+        pulling_ = false;
+      }
+    } else {
+      if (growing && static_cast<double>(m_f) >
+                         static_cast<double>(m_u) / alpha_) {
+        pulling_ = true;
+      }
+    }
+    return pulling_;
+  }
+
+  bool pulling() const { return pulling_; }
+
+ private:
+  vid_t n_;
+  double alpha_;
+  double beta_;
+  vid_t last_n_f_ = 0;
+  bool pulling_ = false;
+};
+
+}  // namespace gunrock::core

@@ -1,0 +1,149 @@
+// The filter operator (paper Section 4.1).
+//
+// Filter generates a new frontier by choosing a subset of the current
+// frontier. Functor contract (fused at compile time, Figure 3):
+//
+//   struct MyFunctor {
+//     static bool CondVertex(vid_t v, Problem& p);   // keep v?
+//     static void ApplyVertex(vid_t v, Problem& p);  // runs on kept items
+//   };
+//
+// Because advance in idempotent mode may emit duplicates, filter supports
+// the paper's "series of inexpensive heuristics to reduce, but not
+// eliminate, redundant entries": a per-chunk history hash that drops most
+// repeats without global synchronization. Exact dedup, when a primitive
+// needs it, belongs in the functor (e.g., an atomic claim on an epoch
+// array), matching how Gunrock's BFS/SSSP mark their output queue ids.
+//
+// Stateful functors run exactly once per surviving item: the operator
+// evaluates CondVertex in the same pass that writes the output buffer.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "graph/csr.hpp"
+#include "parallel/for_each.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/types.hpp"
+
+namespace gunrock::core {
+
+struct FilterConfig {
+  /// Enables the per-chunk history-hash dedup heuristic.
+  bool history_hash = false;
+  /// log2 of the per-chunk hash table size.
+  unsigned history_bits = 12;
+  std::size_t grain = 0;
+};
+
+struct FilterResult {
+  std::size_t input_size = 0;
+  std::size_t output_size = 0;
+};
+
+/// Vertex-frontier filter: writes surviving items of `input` into `output`
+/// (appending, chunk-ordered). kInvalidVid entries are always dropped.
+template <typename Functor, typename Problem>
+FilterResult FilterVertex(par::ThreadPool& pool,
+                          std::span<const vid_t> input,
+                          std::vector<vid_t>* output, Problem& prob,
+                          const FilterConfig& cfg = {}) {
+  FilterResult result;
+  result.input_size = input.size();
+  const std::size_t n = input.size();
+  if (n == 0) return result;
+  std::size_t grain =
+      cfg.grain ? cfg.grain : par::DefaultGrain(n, pool.num_threads());
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  std::vector<std::vector<vid_t>> locals(num_chunks);
+  const std::size_t hash_size = std::size_t{1} << cfg.history_bits;
+  const std::size_t hash_mask = hash_size - 1;
+  par::ParallelForChunks(
+      pool, 0, n, grain, [&](std::size_t lo, std::size_t hi, unsigned) {
+        auto& local = locals[lo / grain];
+        local.reserve(hi - lo);
+        std::vector<vid_t> history;
+        if (cfg.history_hash) history.assign(hash_size, kInvalidVid);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const vid_t v = input[i];
+          if (v == kInvalidVid) continue;
+          if (cfg.history_hash) {
+            const std::size_t slot =
+                static_cast<std::size_t>(v) & hash_mask;
+            if (history[slot] == v) continue;  // likely duplicate
+            history[slot] = v;
+          }
+          if (Functor::CondVertex(v, prob)) {
+            Functor::ApplyVertex(v, prob);
+            local.push_back(v);
+          }
+        }
+      });
+  std::size_t total = 0;
+  for (const auto& l : locals) total += l.size();
+  const std::size_t base = output->size();
+  output->resize(base + total);
+  std::vector<std::size_t> offsets(num_chunks + 1, 0);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    offsets[c + 1] = offsets[c] + locals[c].size();
+  }
+  par::ParallelFor(pool, 0, num_chunks, [&](std::size_t c) {
+    std::copy(locals[c].begin(), locals[c].end(),
+              output->begin() + base + offsets[c]);
+  });
+  result.output_size = total;
+  return result;
+}
+
+/// Edge-frontier filter (paper Section 5.4 uses this for CC hooking): the
+/// functor sees (src, dst, edge). Endpoint arrays come from
+/// Csr::edge_sources / any edge list the problem owns.
+///
+///   static bool CondEdge(vid_t src, vid_t dst, eid_t e, Problem& p);
+///   static void ApplyEdge(vid_t src, vid_t dst, eid_t e, Problem& p);
+template <typename Functor, typename Problem>
+FilterResult FilterEdge(par::ThreadPool& pool,
+                        std::span<const vid_t> edge_src,
+                        std::span<const vid_t> edge_dst,
+                        std::span<const eid_t> input,
+                        std::vector<eid_t>* output, Problem& prob,
+                        const FilterConfig& cfg = {}) {
+  FilterResult result;
+  result.input_size = input.size();
+  const std::size_t n = input.size();
+  if (n == 0) return result;
+  std::size_t grain =
+      cfg.grain ? cfg.grain : par::DefaultGrain(n, pool.num_threads());
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  std::vector<std::vector<eid_t>> locals(num_chunks);
+  par::ParallelForChunks(
+      pool, 0, n, grain, [&](std::size_t lo, std::size_t hi, unsigned) {
+        auto& local = locals[lo / grain];
+        for (std::size_t i = lo; i < hi; ++i) {
+          const eid_t e = input[i];
+          if (e == kInvalidEid) continue;
+          const vid_t s = edge_src[static_cast<std::size_t>(e)];
+          const vid_t d = edge_dst[static_cast<std::size_t>(e)];
+          if (Functor::CondEdge(s, d, e, prob)) {
+            Functor::ApplyEdge(s, d, e, prob);
+            local.push_back(e);
+          }
+        }
+      });
+  std::size_t total = 0;
+  for (const auto& l : locals) total += l.size();
+  const std::size_t base = output->size();
+  output->resize(base + total);
+  std::size_t at = base;
+  for (auto& l : locals) {
+    std::copy(l.begin(), l.end(), output->begin() + at);
+    at += l.size();
+  }
+  result.output_size = total;
+  return result;
+}
+
+}  // namespace gunrock::core

@@ -1,0 +1,70 @@
+// The frontier: Gunrock's central data structure (paper Section 4.1).
+//
+// "Rather than focusing on sequencing steps of computation, we instead
+// focus on manipulating a data structure, the frontier of vertices or
+// edges that represents the subset of the graph that is actively
+// participating in the computation."
+//
+// A frontier is a compact array of ids plus a ping-pong partner buffer, so
+// an advance/filter step reads `current()` and writes `next()` without
+// allocation churn — the CPU analog of the paper's ping_pong_working_queue.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gunrock::core {
+
+template <typename Id>
+class FrontierT {
+ public:
+  FrontierT() = default;
+
+  /// Reserves capacity in both buffers (typically |V| or |E|).
+  explicit FrontierT(std::size_t capacity_hint) {
+    buffers_[0].reserve(capacity_hint);
+    buffers_[1].reserve(capacity_hint);
+  }
+
+  std::vector<Id>& current() { return buffers_[selector_]; }
+  const std::vector<Id>& current() const { return buffers_[selector_]; }
+
+  /// The output buffer an operator fills before Flip().
+  std::vector<Id>& next() { return buffers_[selector_ ^ 1]; }
+
+  std::size_t size() const { return current().size(); }
+  bool empty() const { return current().empty(); }
+
+  /// Makes the freshly produced `next()` the current frontier and clears
+  /// the retired buffer for reuse.
+  void Flip() {
+    selector_ ^= 1;
+    buffers_[selector_ ^ 1].clear();
+  }
+
+  void Assign(std::span<const Id> items) {
+    current().assign(items.begin(), items.end());
+    next().clear();
+  }
+
+  void Assign(std::initializer_list<Id> items) {
+    current().assign(items);
+    next().clear();
+  }
+
+  void Clear() {
+    buffers_[0].clear();
+    buffers_[1].clear();
+  }
+
+ private:
+  std::vector<Id> buffers_[2];
+  int selector_ = 0;
+};
+
+using VertexFrontier = FrontierT<vid_t>;
+using EdgeFrontier = FrontierT<eid_t>;
+
+}  // namespace gunrock::core

@@ -1,0 +1,35 @@
+// Neighborhood gather-reduce operator.
+//
+// The paper's future-work list (Section 7) calls for exactly this: "We
+// believe a new gather-reduce operator on neighborhoods associated with
+// vertices in the current frontier both fits nicely into Gunrock's
+// abstraction and will significantly improve performance" — global and
+// neighborhood reductions otherwise require atomics. NeighborReduce
+// computes, for every vertex, a reduction over its (in-)edges with
+// equal-work partitioning and no atomics; PageRank's pull mode is built
+// on it.
+#pragma once
+
+#include <span>
+
+#include "graph/csr.hpp"
+#include "parallel/segmented.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/types.hpp"
+
+namespace gunrock::core {
+
+/// out[v] = identity op value(e) over e in rg.row(v), for every vertex.
+/// Pass the reverse graph to gather over in-edges (value() receives
+/// reverse-graph edge ids; rg.edge_dest(e) is the in-neighbor).
+/// Work is partitioned evenly over edges (sorted-search owner lookup), so
+/// power-law in-degrees do not imbalance the pass.
+template <typename T, typename Op, typename F>
+void NeighborReduce(par::ThreadPool& pool, const graph::Csr& rg,
+                    std::span<T> out, T identity, Op op, F&& value) {
+  par::SegmentedReduceBalanced<T, eid_t>(pool, rg.row_offsets(), out,
+                                         identity, op,
+                                         std::forward<F>(value));
+}
+
+}  // namespace gunrock::core

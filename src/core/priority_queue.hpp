@@ -1,0 +1,45 @@
+// Two-level ("near/far") priority queue (paper Section 4.5).
+//
+// "Gunrock generalizes the approach of Davidson et al. by allowing
+// user-defined priority functions to organize an output frontier into
+// 'near' and 'far' slices... Gunrock then considers only the near slice in
+// the next processing steps, adding any new elements that do not pass the
+// near criterion into the far slice, until the near slice is exhausted."
+//
+// The split is a single high-performance pass (two stable compactions over
+// the same predicate evaluations), directly manipulating the frontier —
+// the operation the paper notes GAS abstractions cannot express.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "parallel/compact.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/types.hpp"
+
+namespace gunrock::core {
+
+/// Splits `items` by `is_near`: near items overwrite `near_out`, far items
+/// are appended to `far_pile`. The predicate must be pure (it is evaluated
+/// twice).
+template <typename Id, typename Pred>
+void SplitNearFar(par::ThreadPool& pool, std::span<const Id> items,
+                  std::vector<Id>& near_out, std::vector<Id>& far_pile,
+                  Pred&& is_near) {
+  near_out.resize(items.size());
+  const std::size_t nn =
+      par::CopyIf(pool, items, std::span<Id>(near_out),
+                  [&](Id v) { return is_near(v); });
+  near_out.resize(nn);
+  const std::size_t far_base = far_pile.size();
+  far_pile.resize(far_base + items.size());
+  const std::size_t nf = par::CopyIf(
+      pool, items,
+      std::span<Id>(far_pile.data() + far_base, items.size()),
+      [&](Id v) { return !is_near(v); });
+  far_pile.resize(far_base + nf);
+}
+
+}  // namespace gunrock::core

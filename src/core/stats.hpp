@@ -1,0 +1,53 @@
+// Per-run statistics collected by enactors: runtime, edges touched (for
+// MTEPS, the paper's throughput metric), and the modeled SIMT lane
+// efficiency (the paper's Table 4 "warp execution efficiency").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gunrock::core {
+
+struct OperatorRecord {
+  std::string op;          ///< "advance", "filter", "compute", ...
+  int iteration = 0;
+  std::size_t input_size = 0;
+  std::size_t output_size = 0;
+  eid_t edges = 0;
+  double lane_efficiency = 1.0;
+};
+
+struct TraversalStats {
+  int iterations = 0;
+  eid_t edges_visited = 0;
+  double elapsed_ms = 0.0;
+  /// Work-weighted average of the per-advance lane-efficiency model.
+  double lane_efficiency = 1.0;
+  /// Populated only when a primitive is run with collect_records = true.
+  std::vector<OperatorRecord> records;
+
+  /// Millions of traversed edges per second (Table 3's MTEPS column).
+  double Mteps() const {
+    return elapsed_ms > 0.0
+               ? static_cast<double>(edges_visited) / (elapsed_ms * 1000.0)
+               : 0.0;
+  }
+};
+
+/// Accumulates the work-weighted lane-efficiency average.
+class EfficiencyAccumulator {
+ public:
+  void Add(double efficiency, eid_t work) {
+    weighted_ += efficiency * static_cast<double>(work);
+    work_ += static_cast<double>(work);
+  }
+  double Value() const { return work_ > 0 ? weighted_ / work_ : 1.0; }
+
+ private:
+  double weighted_ = 0.0;
+  double work_ = 0.0;
+};
+
+}  // namespace gunrock::core

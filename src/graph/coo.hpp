@@ -1,0 +1,38 @@
+// Coordinate-format edge list: the exchange format between generators,
+// Matrix Market I/O, and the CSR builder.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gunrock::graph {
+
+struct Coo {
+  vid_t num_vertices = 0;
+  std::vector<vid_t> src;
+  std::vector<vid_t> dst;
+  /// Empty when the graph is unweighted; otherwise parallel to src/dst.
+  std::vector<weight_t> weight;
+
+  eid_t num_edges() const { return static_cast<eid_t>(src.size()); }
+  bool has_weights() const { return !weight.empty(); }
+
+  void Reserve(std::size_t n) {
+    src.reserve(n);
+    dst.reserve(n);
+  }
+
+  void PushEdge(vid_t u, vid_t v) {
+    src.push_back(u);
+    dst.push_back(v);
+  }
+
+  void PushEdge(vid_t u, vid_t v, weight_t w) {
+    src.push_back(u);
+    dst.push_back(v);
+    weight.push_back(w);
+  }
+};
+
+}  // namespace gunrock::graph

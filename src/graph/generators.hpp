@@ -1,0 +1,110 @@
+// Synthetic graph generators reproducing the topology classes of the
+// paper's six datasets (Table 1): four scale-free graphs (two social-style
+// R-MATs, one web-crawl-style R-MAT, one Graph500 Kronecker) and two
+// small-degree large-diameter graphs (random geometric, road mesh).
+//
+// All generators are deterministic in (parameters, seed) and independent of
+// thread count: every edge/point derives its randomness from a counter RNG.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/coo.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace gunrock::graph {
+
+struct RmatParams {
+  int scale = 14;                 // num_vertices = 2^scale
+  int edge_factor = 16;           // directed edges before cleanup
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c (Graph500)
+  std::uint64_t seed = 1;
+  /// Randomly permute vertex ids to break the locality R-MAT bakes in
+  /// (Graph500 requires this; keeps "vertex 0 is the hub" artifacts out).
+  bool permute = true;
+};
+
+/// R-MAT / Kronecker generator (recursive quadrant sampling).
+Coo GenerateRmat(const RmatParams& p, par::ThreadPool& pool);
+
+struct RggParams {
+  int scale = 15;                 // num_points = 2^scale
+  /// Connection radius; 0 selects the radius that targets ~15 average
+  /// degree like rgg_n_2_24 in Table 1 (deg ≈ pi * r^2 * n).
+  double radius = 0.0;
+  std::uint64_t seed = 2;
+};
+
+/// Random geometric graph on the unit square via cell-list search.
+Coo GenerateRgg(const RggParams& p, par::ThreadPool& pool);
+
+struct RoadParams {
+  int width = 512;
+  int height = 512;
+  /// Probability that a lattice edge is removed (creates irregular blocks).
+  double drop_prob = 0.05;
+  /// Probability of adding a diagonal shortcut at a cell.
+  double diag_prob = 0.05;
+  std::uint64_t seed = 3;
+};
+
+/// Road-network-like mesh: 2D lattice with dropped edges, occasional
+/// diagonals, and Euclidean-style weights. Mimics roadnet_CA's profile
+/// (mean degree < 3, large diameter).
+Coo GenerateRoad(const RoadParams& p, par::ThreadPool& pool);
+
+struct ErdosRenyiParams {
+  vid_t num_vertices = 1 << 14;
+  eid_t num_edges = 1 << 18;     // directed samples before cleanup
+  std::uint64_t seed = 4;
+};
+
+/// Uniform random (Erdős–Rényi G(n, m)) graph.
+Coo GenerateErdosRenyi(const ErdosRenyiParams& p, par::ThreadPool& pool);
+
+struct BipartiteParams {
+  vid_t num_users = 1 << 12;
+  vid_t num_items = 1 << 12;
+  int edges_per_user = 16;
+  /// Preferential skew: item popularity follows ~ rank^-skew.
+  double skew = 0.8;
+  std::uint64_t seed = 5;
+};
+
+/// Bipartite user→item graph for the who-to-follow primitives (HITS,
+/// SALSA, personalized PageRank; paper Section 5.5). Users occupy vertex
+/// ids [0, num_users), items [num_users, num_users + num_items).
+Coo GenerateBipartite(const BipartiteParams& p, par::ThreadPool& pool);
+
+struct PlantedPartitionParams {
+  int num_clusters = 16;
+  vid_t cluster_size = 1 << 10;
+  int intra_edges_per_vertex = 8;
+  /// Number of random cross-cluster edges (0 keeps clusters disconnected —
+  /// handy for CC tests with a known component count).
+  eid_t inter_edges = 0;
+  std::uint64_t seed = 6;
+};
+
+/// Clustered graph with a known community structure.
+Coo GeneratePlantedPartition(const PlantedPartitionParams& p,
+                             par::ThreadPool& pool);
+
+/// Attaches uniform random integer weights in [lo, hi] to an unweighted
+/// COO (the paper: "edge weight values for each dataset are random values
+/// between 1 and 64"). Deterministic in seed.
+void AttachRandomWeights(Coo& coo, weight_t lo = 1, weight_t hi = 64,
+                         std::uint64_t seed = 7);
+
+// --- Deterministic toy graphs (test fixtures) ---
+
+Coo MakePath(vid_t n);              // 0-1-2-...-(n-1)
+Coo MakeCycle(vid_t n);
+Coo MakeStar(vid_t n);              // hub 0 connected to 1..n-1
+Coo MakeComplete(vid_t n);
+Coo MakeGrid(vid_t width, vid_t height);
+Coo MakeBinaryTree(int levels);     // complete binary tree
+/// Zachary's karate club (34 vertices, 78 undirected edges).
+Coo MakeKarate();
+
+}  // namespace gunrock::graph

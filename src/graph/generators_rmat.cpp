@@ -1,0 +1,149 @@
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "parallel/for_each.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace gunrock::graph {
+
+Coo GenerateRmat(const RmatParams& p, par::ThreadPool& pool) {
+  GR_CHECK(p.scale >= 1 && p.scale <= 30, "rmat scale out of range");
+  GR_CHECK(p.a > 0 && p.b >= 0 && p.c >= 0 && p.a + p.b + p.c < 1.0,
+           "rmat quadrant probabilities invalid");
+  const vid_t n = vid_t{1} << p.scale;
+  const std::size_t m =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(p.edge_factor);
+
+  Coo coo;
+  coo.num_vertices = n;
+  coo.src.resize(m);
+  coo.dst.resize(m);
+
+  // Optional id permutation: a deterministic Feistel-style mix keeps the
+  // permutation O(1) per lookup (no materialized table).
+  const std::uint64_t perm_key = SplitMix64(p.seed ^ 0xabcdef12345ULL);
+  const auto permute = [&](vid_t v) -> vid_t {
+    if (!p.permute) return v;
+    // Linear permutation x -> (x * A + B) mod 2^scale with odd A is
+    // bijective on the power-of-two id domain and O(1) per lookup.
+    const std::uint64_t mask = static_cast<std::uint64_t>(n) - 1;
+    const std::uint64_t a = (perm_key | 1) & mask;
+    const std::uint64_t b = SplitMix64(perm_key) & mask;
+    return static_cast<vid_t>((static_cast<std::uint64_t>(v) * a + b) &
+                              mask);
+  };
+
+  par::ParallelFor(pool, 0, m, [&](std::size_t i) {
+    CounterRng rng(p.seed, i);
+    vid_t u = 0, v = 0;
+    for (int bit = p.scale - 1; bit >= 0; --bit) {
+      const double r = rng.NextDouble();
+      if (r < p.a) {
+        // top-left: no bits set
+      } else if (r < p.a + p.b) {
+        v |= vid_t{1} << bit;
+      } else if (r < p.a + p.b + p.c) {
+        u |= vid_t{1} << bit;
+      } else {
+        u |= vid_t{1} << bit;
+        v |= vid_t{1} << bit;
+      }
+    }
+    coo.src[i] = permute(u);
+    coo.dst[i] = permute(v);
+  });
+  return coo;
+}
+
+Coo GenerateErdosRenyi(const ErdosRenyiParams& p, par::ThreadPool& pool) {
+  GR_CHECK(p.num_vertices > 0, "need at least one vertex");
+  Coo coo;
+  coo.num_vertices = p.num_vertices;
+  const std::size_t m = static_cast<std::size_t>(p.num_edges);
+  coo.src.resize(m);
+  coo.dst.resize(m);
+  par::ParallelFor(pool, 0, m, [&](std::size_t i) {
+    CounterRng rng(p.seed, i);
+    coo.src[i] = static_cast<vid_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(p.num_vertices)));
+    coo.dst[i] = static_cast<vid_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(p.num_vertices)));
+  });
+  return coo;
+}
+
+Coo GenerateBipartite(const BipartiteParams& p, par::ThreadPool& pool) {
+  GR_CHECK(p.num_users > 0 && p.num_items > 0, "empty side");
+  Coo coo;
+  coo.num_vertices = p.num_users + p.num_items;
+  const std::size_t m = static_cast<std::size_t>(p.num_users) *
+                        static_cast<std::size_t>(p.edges_per_user);
+  coo.src.resize(m);
+  coo.dst.resize(m);
+  const double exponent = 1.0 / (1.0 - std::min(p.skew, 0.99));
+  par::ParallelFor(pool, 0, m, [&](std::size_t i) {
+    CounterRng rng(p.seed, i);
+    const vid_t user = static_cast<vid_t>(i / p.edges_per_user);
+    // Inverse-CDF sample from an approximate power law over item ranks:
+    // item = floor(num_items * u^exponent) concentrates mass on low ranks.
+    const double u = rng.NextDouble();
+    const vid_t item = static_cast<vid_t>(
+        std::min<double>(p.num_items - 1,
+                         std::pow(u, exponent) * p.num_items));
+    coo.src[i] = user;
+    coo.dst[i] = p.num_users + item;
+  });
+  return coo;
+}
+
+Coo GeneratePlantedPartition(const PlantedPartitionParams& p,
+                             par::ThreadPool& pool) {
+  GR_CHECK(p.num_clusters > 0 && p.cluster_size > 1, "bad cluster shape");
+  Coo coo;
+  const vid_t n = static_cast<vid_t>(p.num_clusters) * p.cluster_size;
+  coo.num_vertices = n;
+  const std::size_t intra =
+      static_cast<std::size_t>(n) *
+      static_cast<std::size_t>(p.intra_edges_per_vertex);
+  const std::size_t m = intra + static_cast<std::size_t>(p.inter_edges);
+  coo.src.resize(m);
+  coo.dst.resize(m);
+  par::ParallelFor(pool, 0, m, [&](std::size_t i) {
+    CounterRng rng(p.seed, i);
+    if (i < intra) {
+      const vid_t v = static_cast<vid_t>(i / p.intra_edges_per_vertex);
+      const vid_t cluster = v / p.cluster_size;
+      const vid_t base = cluster * p.cluster_size;
+      vid_t other = base + static_cast<vid_t>(rng.NextBounded(
+                               static_cast<std::uint64_t>(p.cluster_size)));
+      if (other == v) other = base + (v - base + 1) % p.cluster_size;
+      coo.src[i] = v;
+      coo.dst[i] = other;
+    } else {
+      coo.src[i] = static_cast<vid_t>(
+          rng.NextBounded(static_cast<std::uint64_t>(n)));
+      coo.dst[i] = static_cast<vid_t>(
+          rng.NextBounded(static_cast<std::uint64_t>(n)));
+    }
+  });
+  return coo;
+}
+
+void AttachRandomWeights(Coo& coo, weight_t lo, weight_t hi,
+                         std::uint64_t seed) {
+  coo.weight.resize(coo.src.size());
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  for (std::size_t i = 0; i < coo.weight.size(); ++i) {
+    // Weight depends on the undirected endpoint pair, so that (u,v) and
+    // (v,u) carry the same weight and symmetrized graphs stay consistent.
+    const std::uint64_t a = static_cast<std::uint64_t>(
+        std::min(coo.src[i], coo.dst[i]));
+    const std::uint64_t b = static_cast<std::uint64_t>(
+        std::max(coo.src[i], coo.dst[i]));
+    const std::uint64_t h = SplitMix64(seed ^ (a * 0x100000001b3ULL + b));
+    coo.weight[i] = lo + static_cast<weight_t>(h % range);
+  }
+}
+
+}  // namespace gunrock::graph

@@ -1,0 +1,133 @@
+// Spatial generators: random geometric graph and road-style mesh.
+#include <cmath>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "parallel/for_each.hpp"
+#include "parallel/scan.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace gunrock::graph {
+
+Coo GenerateRgg(const RggParams& p, par::ThreadPool& pool) {
+  GR_CHECK(p.scale >= 4 && p.scale <= 26, "rgg scale out of range");
+  const std::size_t n = std::size_t{1} << p.scale;
+  // Target ~15 mean degree (rgg_n_2_24 has |E|/|V| ≈ 15.8): expected
+  // degree of an RGG is pi * r^2 * n.
+  const double radius =
+      p.radius > 0 ? p.radius
+                   : std::sqrt(15.0 / (3.14159265358979 *
+                                       static_cast<double>(n)));
+
+  std::vector<float> x(n), y(n);
+  par::ParallelFor(pool, 0, n, [&](std::size_t i) {
+    CounterRng rng(p.seed, i);
+    x[i] = static_cast<float>(rng.NextDouble());
+    y[i] = static_cast<float>(rng.NextDouble());
+  });
+
+  // Cell list: grid of side `cells` with cell width >= radius, so all
+  // neighbors of a point lie in its 3x3 cell neighborhood.
+  const std::size_t cells = std::max<std::size_t>(
+      1, static_cast<std::size_t>(1.0 / radius));
+  const auto cell_of = [&](std::size_t i) {
+    auto cx = std::min<std::size_t>(
+        cells - 1, static_cast<std::size_t>(x[i] * cells));
+    auto cy = std::min<std::size_t>(
+        cells - 1, static_cast<std::size_t>(y[i] * cells));
+    return cy * cells + cx;
+  };
+  // Counting sort points into cells.
+  const std::size_t num_cells = cells * cells;
+  std::vector<eid_t> cell_count(num_cells + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) ++cell_count[cell_of(i)];
+  std::vector<eid_t> cell_start(num_cells + 1);
+  par::ExclusiveScan<eid_t>(pool, cell_count, cell_start);
+  cell_start[num_cells] = static_cast<eid_t>(n);
+  std::vector<vid_t> order(n);
+  {
+    std::vector<eid_t> cursor(cell_start.begin(), cell_start.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      order[static_cast<std::size_t>(cursor[cell_of(i)]++)] =
+          static_cast<vid_t>(i);
+    }
+  }
+
+  // Emit each undirected edge once (i < j); the CSR builder symmetrizes.
+  const double r2 = radius * radius;
+  const std::size_t nblocks =
+      par::DefaultBlockCount(n, pool.num_threads());
+  std::vector<std::vector<vid_t>> bsrc(nblocks), bdst(nblocks);
+  par::FixedBlocks(pool, n, nblocks, [&](std::size_t blk, std::size_t lo,
+                                         std::size_t hi) {
+    auto& es = bsrc[blk];
+    auto& ed = bdst[blk];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t c = cell_of(i);
+      const std::size_t cx = c % cells, cy = c / cells;
+      for (std::size_t dy = cy == 0 ? 0 : cy - 1;
+           dy <= std::min(cells - 1, cy + 1); ++dy) {
+        for (std::size_t dx = cx == 0 ? 0 : cx - 1;
+             dx <= std::min(cells - 1, cx + 1); ++dx) {
+          const std::size_t cc = dy * cells + dx;
+          for (eid_t k = cell_start[cc]; k < cell_start[cc + 1]; ++k) {
+            const std::size_t j =
+                static_cast<std::size_t>(order[static_cast<std::size_t>(k)]);
+            if (j <= i) continue;
+            const double ddx = x[i] - x[j], ddy = y[i] - y[j];
+            if (ddx * ddx + ddy * ddy <= r2) {
+              es.push_back(static_cast<vid_t>(i));
+              ed.push_back(static_cast<vid_t>(j));
+            }
+          }
+        }
+      }
+    }
+  });
+
+  Coo coo;
+  coo.num_vertices = static_cast<vid_t>(n);
+  std::size_t total = 0;
+  for (const auto& b : bsrc) total += b.size();
+  coo.src.reserve(total);
+  coo.dst.reserve(total);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    coo.src.insert(coo.src.end(), bsrc[b].begin(), bsrc[b].end());
+    coo.dst.insert(coo.dst.end(), bdst[b].begin(), bdst[b].end());
+  }
+  return coo;
+}
+
+Coo GenerateRoad(const RoadParams& p, par::ThreadPool& pool) {
+  (void)pool;
+  GR_CHECK(p.width >= 2 && p.height >= 2, "road grid too small");
+  const vid_t w = p.width, h = p.height;
+  Coo coo;
+  coo.num_vertices = w * h;
+  const auto id = [&](vid_t cx, vid_t cy) { return cy * w + cx; };
+  coo.Reserve(static_cast<std::size_t>(w) * h * 2);
+  // Serial emission keeps the generator trivially deterministic; road
+  // grids are small relative to the scale-free datasets.
+  for (vid_t cy = 0; cy < h; ++cy) {
+    for (vid_t cx = 0; cx < w; ++cx) {
+      const vid_t v = id(cx, cy);
+      CounterRng rng(p.seed, static_cast<std::uint64_t>(v));
+      if (cx + 1 < w && rng.NextDouble() >= p.drop_prob) {
+        coo.PushEdge(v, id(cx + 1, cy),
+                     1.0f + rng.NextFloat(0.0f, 0.5f));
+      }
+      if (cy + 1 < h && rng.NextDouble() >= p.drop_prob) {
+        coo.PushEdge(v, id(cx, cy + 1),
+                     1.0f + rng.NextFloat(0.0f, 0.5f));
+      }
+      if (cx + 1 < w && cy + 1 < h && rng.NextDouble() < p.diag_prob) {
+        coo.PushEdge(v, id(cx + 1, cy + 1),
+                     1.4f + rng.NextFloat(0.0f, 0.5f));
+      }
+    }
+  }
+  return coo;
+}
+
+}  // namespace gunrock::graph

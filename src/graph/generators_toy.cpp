@@ -1,0 +1,83 @@
+// Small deterministic graphs used as test fixtures and documentation
+// examples.
+#include "graph/generators.hpp"
+
+namespace gunrock::graph {
+
+Coo MakePath(vid_t n) {
+  Coo coo;
+  coo.num_vertices = n;
+  for (vid_t v = 0; v + 1 < n; ++v) coo.PushEdge(v, v + 1);
+  return coo;
+}
+
+Coo MakeCycle(vid_t n) {
+  Coo coo = MakePath(n);
+  if (n > 2) coo.PushEdge(n - 1, 0);
+  return coo;
+}
+
+Coo MakeStar(vid_t n) {
+  Coo coo;
+  coo.num_vertices = n;
+  for (vid_t v = 1; v < n; ++v) coo.PushEdge(0, v);
+  return coo;
+}
+
+Coo MakeComplete(vid_t n) {
+  Coo coo;
+  coo.num_vertices = n;
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v = u + 1; v < n; ++v) coo.PushEdge(u, v);
+  }
+  return coo;
+}
+
+Coo MakeGrid(vid_t width, vid_t height) {
+  Coo coo;
+  coo.num_vertices = width * height;
+  for (vid_t y = 0; y < height; ++y) {
+    for (vid_t x = 0; x < width; ++x) {
+      const vid_t v = y * width + x;
+      if (x + 1 < width) coo.PushEdge(v, v + 1);
+      if (y + 1 < height) coo.PushEdge(v, v + width);
+    }
+  }
+  return coo;
+}
+
+Coo MakeBinaryTree(int levels) {
+  Coo coo;
+  const vid_t n = (vid_t{1} << levels) - 1;
+  coo.num_vertices = n;
+  for (vid_t v = 0; 2 * v + 2 < n + 1; ++v) {
+    if (2 * v + 1 < n) coo.PushEdge(v, 2 * v + 1);
+    if (2 * v + 2 < n) coo.PushEdge(v, 2 * v + 2);
+  }
+  return coo;
+}
+
+Coo MakeKarate() {
+  // Zachary (1977); 0-based, 78 undirected edges.
+  static constexpr int kEdges[78][2] = {
+      {0, 1},   {0, 2},   {0, 3},   {0, 4},   {0, 5},   {0, 6},   {0, 7},
+      {0, 8},   {0, 10},  {0, 11},  {0, 12},  {0, 13},  {0, 17},  {0, 19},
+      {0, 21},  {0, 31},  {1, 2},   {1, 3},   {1, 7},   {1, 13},  {1, 17},
+      {1, 19},  {1, 21},  {1, 30},  {2, 3},   {2, 7},   {2, 8},   {2, 9},
+      {2, 13},  {2, 27},  {2, 28},  {2, 32},  {3, 7},   {3, 12},  {3, 13},
+      {4, 6},   {4, 10},  {5, 6},   {5, 10},  {5, 16},  {6, 16},  {8, 30},
+      {8, 32},  {8, 33},  {9, 33},  {13, 33}, {14, 32}, {14, 33}, {15, 32},
+      {15, 33}, {18, 32}, {18, 33}, {19, 33}, {20, 32}, {20, 33}, {22, 32},
+      {22, 33}, {23, 25}, {23, 27}, {23, 29}, {23, 32}, {23, 33}, {24, 25},
+      {24, 27}, {24, 31}, {25, 31}, {26, 29}, {26, 33}, {27, 33}, {28, 31},
+      {28, 33}, {29, 32}, {29, 33}, {30, 32}, {30, 33}, {31, 32}, {31, 33},
+      {32, 33}};
+  Coo coo;
+  coo.num_vertices = 34;
+  for (const auto& e : kEdges) {
+    coo.PushEdge(static_cast<vid_t>(e[0]), static_cast<vid_t>(e[1]));
+  }
+  return coo;
+}
+
+}  // namespace gunrock::graph

@@ -1,0 +1,116 @@
+#include "graph/market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace gunrock::graph {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+Coo ReadMarket(std::istream& in) {
+  std::string line;
+  GR_CHECK(static_cast<bool>(std::getline(in, line)), "empty input");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  GR_CHECK(banner == "%%MatrixMarket", "missing MatrixMarket banner");
+  GR_CHECK(ToLower(object) == "matrix", "unsupported object: " + object);
+  GR_CHECK(ToLower(format) == "coordinate",
+           "unsupported format: " + format);
+  field = ToLower(field);
+  symmetry = ToLower(symmetry);
+  const bool pattern = field == "pattern";
+  GR_CHECK(pattern || field == "real" || field == "integer",
+           "unsupported field: " + field);
+  const bool symmetric = symmetry == "symmetric";
+  GR_CHECK(symmetric || symmetry == "general",
+           "unsupported symmetry: " + symmetry);
+
+  // Skip comments, read the size line.
+  long long rows = 0, cols = 0, nnz = 0;
+  for (;;) {
+    GR_CHECK(static_cast<bool>(std::getline(in, line)),
+             "missing size line");
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream sizes(line);
+    GR_CHECK(static_cast<bool>(sizes >> rows >> cols >> nnz),
+             "bad size line: " + line);
+    break;
+  }
+  GR_CHECK(rows >= 0 && cols >= 0 && nnz >= 0, "negative size");
+
+  Coo coo;
+  coo.num_vertices = static_cast<vid_t>(std::max(rows, cols));
+  coo.Reserve(static_cast<std::size_t>(nnz) * (symmetric ? 2 : 1));
+  if (!pattern) {
+    coo.weight.reserve(static_cast<std::size_t>(nnz) *
+                       (symmetric ? 2 : 1));
+  }
+
+  long long seen = 0;
+  while (seen < nnz && std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream entry(line);
+    long long r, c;
+    GR_CHECK(static_cast<bool>(entry >> r >> c), "bad entry: " + line);
+    GR_CHECK(r >= 1 && r <= rows && c >= 1 && c <= cols,
+             "entry out of range: " + line);
+    double w = 1.0;
+    if (!pattern) {
+      GR_CHECK(static_cast<bool>(entry >> w), "missing value: " + line);
+    }
+    const vid_t u = static_cast<vid_t>(r - 1);
+    const vid_t v = static_cast<vid_t>(c - 1);
+    if (pattern) {
+      coo.PushEdge(u, v);
+      if (symmetric && u != v) coo.PushEdge(v, u);
+    } else {
+      coo.PushEdge(u, v, static_cast<weight_t>(w));
+      if (symmetric && u != v) coo.PushEdge(v, u, static_cast<weight_t>(w));
+    }
+    ++seen;
+  }
+  GR_CHECK(seen == nnz, "expected " + std::to_string(nnz) + " entries, got " +
+                            std::to_string(seen));
+  return coo;
+}
+
+Coo ReadMarketFile(const std::string& path) {
+  std::ifstream f(path);
+  GR_CHECK(f.good(), "cannot open " + path);
+  return ReadMarket(f);
+}
+
+void WriteMarket(std::ostream& out, const Coo& coo) {
+  const bool pattern = !coo.has_weights();
+  out << "%%MatrixMarket matrix coordinate "
+      << (pattern ? "pattern" : "real") << " general\n";
+  out << coo.num_vertices << " " << coo.num_vertices << " "
+      << coo.src.size() << "\n";
+  for (std::size_t i = 0; i < coo.src.size(); ++i) {
+    out << (coo.src[i] + 1) << " " << (coo.dst[i] + 1);
+    if (!pattern) out << " " << coo.weight[i];
+    out << "\n";
+  }
+}
+
+void WriteMarketFile(const std::string& path, const Coo& coo) {
+  std::ofstream f(path);
+  GR_CHECK(f.good(), "cannot open " + path);
+  WriteMarket(f, coo);
+}
+
+}  // namespace gunrock::graph

@@ -1,0 +1,30 @@
+// Matrix Market (.mtx) coordinate-format reader/writer.
+//
+// The paper's artifact distributes all datasets as Matrix Market files
+// ("We currently only support matrix market format files as input").
+// Supported: `matrix coordinate {pattern|real|integer} {general|symmetric}`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/coo.hpp"
+
+namespace gunrock::graph {
+
+/// Parses a Matrix Market stream into a COO edge list. Symmetric files are
+/// expanded (both directions emitted for off-diagonal entries). Indices are
+/// converted from 1-based to 0-based. Throws gunrock::Error on malformed
+/// input.
+Coo ReadMarket(std::istream& in);
+
+/// Convenience: read from a file path.
+Coo ReadMarketFile(const std::string& path);
+
+/// Writes a COO edge list as `matrix coordinate real general` (or
+/// `pattern` when unweighted), 1-based.
+void WriteMarket(std::ostream& out, const Coo& coo);
+
+void WriteMarketFile(const std::string& path, const Coo& coo);
+
+}  // namespace gunrock::graph

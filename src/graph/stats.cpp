@@ -1,0 +1,121 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <queue>
+
+#include "parallel/for_each.hpp"
+#include "parallel/histogram.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/sort.hpp"
+
+namespace gunrock::graph {
+
+DegreeStats ComputeDegreeStats(const Csr& g, par::ThreadPool& pool) {
+  DegreeStats s;
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  if (n == 0) return s;
+  s.max_degree = par::TransformReduce(
+      pool, n, eid_t{0}, [](eid_t a, eid_t b) { return std::max(a, b); },
+      [&](std::size_t v) { return g.degree(static_cast<vid_t>(v)); });
+  s.min_degree = par::TransformReduce(
+      pool, n, g.degree(0), [](eid_t a, eid_t b) { return std::min(a, b); },
+      [&](std::size_t v) { return g.degree(static_cast<vid_t>(v)); });
+  s.mean_degree = g.average_degree();
+  const std::size_t below = par::TransformReduce(
+      pool, n, std::size_t{0}, [](std::size_t a, std::size_t b) { return a + b; },
+      [&](std::size_t v) {
+        return g.degree(static_cast<vid_t>(v)) < 64 ? std::size_t{1} : 0;
+      });
+  s.frac_degree_below_64 = static_cast<double>(below) / n;
+
+  // Gini = (2 * sum_i (i+1) * d_sorted[i]) / (n * sum d) - (n+1)/n.
+  std::vector<std::uint64_t> deg(n);
+  par::ParallelFor(pool, 0, n, [&](std::size_t v) {
+    deg[v] = static_cast<std::uint64_t>(g.degree(static_cast<vid_t>(v)));
+  });
+  par::RadixSortKeys<std::uint64_t>(pool, deg);
+  const double total = static_cast<double>(g.num_edges());
+  if (total > 0) {
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      weighted += static_cast<double>(i + 1) * static_cast<double>(deg[i]);
+    }
+    s.gini = 2.0 * weighted / (static_cast<double>(n) * total) -
+             (static_cast<double>(n) + 1.0) / static_cast<double>(n);
+  }
+  return s;
+}
+
+namespace {
+
+/// Simple serial BFS returning (farthest vertex, eccentricity). Local to
+/// stats to avoid depending on the primitives layer.
+std::pair<vid_t, std::int32_t> BfsEccentricity(const Csr& g, vid_t src) {
+  std::vector<std::int32_t> depth(g.num_vertices(), -1);
+  std::queue<vid_t> q;
+  depth[src] = 0;
+  q.push(src);
+  vid_t far = src;
+  while (!q.empty()) {
+    const vid_t u = q.front();
+    q.pop();
+    for (const vid_t v : g.neighbors(u)) {
+      if (depth[v] < 0) {
+        depth[v] = depth[u] + 1;
+        if (depth[v] > depth[far]) far = v;
+        q.push(v);
+      }
+    }
+  }
+  return {far, depth[far]};
+}
+
+}  // namespace
+
+std::int32_t PseudoDiameter(const Csr& g, vid_t seed_vertex) {
+  if (g.num_vertices() == 0) return 0;
+  // Start from a non-isolated vertex near the seed.
+  vid_t start = seed_vertex;
+  while (start < g.num_vertices() && g.degree(start) == 0) ++start;
+  if (start >= g.num_vertices()) return 0;
+  auto [far, ecc1] = BfsEccentricity(g, start);
+  auto [far2, ecc2] = BfsEccentricity(g, far);
+  (void)far2;
+  return std::max(ecc1, ecc2);
+}
+
+std::vector<std::int64_t> DegreeHistogram(const Csr& g,
+                                          par::ThreadPool& pool) {
+  std::vector<std::int64_t> hist(34, 0);
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  par::Histogram(pool, n, hist, [&](std::size_t v) {
+    const eid_t d = g.degree(static_cast<vid_t>(v));
+    if (d == 0) return std::size_t{0};
+    const int k = 64 - std::countl_zero(static_cast<std::uint64_t>(d));
+    return std::min<std::size_t>(static_cast<std::size_t>(k), 33);
+  });
+  return hist;
+}
+
+bool ComputeScaleFreeHint(const Csr& g, par::ThreadPool& pool) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  if (n == 0 || g.num_edges() == 0) return false;
+  const eid_t max_degree = par::TransformReduce(
+      pool, n, eid_t{0}, [](eid_t a, eid_t b) { return std::max(a, b); },
+      [&](std::size_t v) { return g.degree(static_cast<vid_t>(v)); });
+  return static_cast<double>(max_degree) / g.average_degree() > 16.0;
+}
+
+bool IsScaleFreeLike(const DegreeStats& stats) {
+  // Mesh-like graphs (rgg, roadnet) have max degree within a small factor
+  // of the mean and low Gini; scale-free graphs exceed both by orders of
+  // magnitude. Thresholds chosen so that all six Table 1 classes classify
+  // the way the paper describes them.
+  return stats.mean_degree > 0 &&
+         (static_cast<double>(stats.max_degree) / stats.mean_degree > 16.0 ||
+          stats.gini > 0.5);
+}
+
+}  // namespace gunrock::graph

@@ -1,0 +1,48 @@
+// Topology statistics used by Table 1 and by the Auto load-balance policy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace gunrock::graph {
+
+struct DegreeStats {
+  eid_t max_degree = 0;
+  eid_t min_degree = 0;
+  double mean_degree = 0.0;
+  /// Fraction of vertices with degree < 64 — the paper characterizes its
+  /// scale-free datasets by "80% of nodes have degree less than 64".
+  double frac_degree_below_64 = 0.0;
+  /// Gini coefficient of the degree distribution in [0, 1); higher means
+  /// more skew. Scale-free graphs land well above mesh-like graphs.
+  double gini = 0.0;
+};
+
+DegreeStats ComputeDegreeStats(const Csr& g, par::ThreadPool& pool);
+
+/// Lower bound on the diameter via the classic double-sweep heuristic:
+/// BFS from `seed_vertex`, then BFS again from the farthest vertex found.
+/// Matches how Table 1's "Diameter" column is normally estimated.
+std::int32_t PseudoDiameter(const Csr& g, vid_t seed_vertex = 0);
+
+/// Degree histogram with power-of-two buckets: bucket k counts vertices
+/// with degree in [2^k, 2^(k+1)).
+std::vector<std::int64_t> DegreeHistogram(const Csr& g,
+                                          par::ThreadPool& pool);
+
+/// The Auto load-balance policy classifies topology by skew: scale-free
+/// graphs (high skew) prefer equal-work partitioning, mesh-like graphs
+/// prefer fine-grained per-item mapping (paper Section 4.4: "our
+/// coarse-grained (load-balancing) traversal method performs better on
+/// social graphs with irregular distributed degrees, while the fine-grained
+/// method is superior on graphs where most nodes have small degrees").
+bool IsScaleFreeLike(const DegreeStats& stats);
+
+/// Cheap per-run version of the scale-free test (max/mean degree only, no
+/// sorting) — what primitives consult on every invocation.
+bool ComputeScaleFreeHint(const Csr& g, par::ThreadPool& pool);
+
+}  // namespace gunrock::graph

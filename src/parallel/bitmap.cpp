@@ -1,0 +1,19 @@
+#include "parallel/bitmap.hpp"
+
+#include <bit>
+
+#include "parallel/reduce.hpp"
+
+namespace gunrock::par {
+
+std::size_t Bitmap::Count(ThreadPool& pool) const {
+  return TransformReduce(
+      pool, words_.size(), std::size_t{0},
+      [](std::size_t a, std::size_t b) { return a + b; },
+      [&](std::size_t w) {
+        return static_cast<std::size_t>(
+            std::popcount(words_[w].load(std::memory_order_relaxed)));
+      });
+}
+
+}  // namespace gunrock::par

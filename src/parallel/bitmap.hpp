@@ -1,0 +1,70 @@
+// Concurrent bitmap over 64-bit words.
+//
+// Used for the paper's visited-status tests (idempotent BFS filter
+// heuristics) and for the pull-direction frontier representation
+// ("Gunrock internally converts the current frontier into a bitmap of
+// vertices", Section 4.5).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/for_each.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace gunrock::par {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64) {}
+
+  std::size_t size() const noexcept { return num_bits_; }
+
+  /// Clears all bits (parallel over words for large maps).
+  void Reset(ThreadPool& pool) {
+    ParallelFor(pool, 0, words_.size(), [&](std::size_t w) {
+      words_[w].store(0, std::memory_order_relaxed);
+    });
+  }
+
+  void Reset() {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  bool Test(std::size_t i) const {
+    return (words_[i >> 6].load(std::memory_order_relaxed) >>
+            (i & 63)) & 1ULL;
+  }
+
+  /// Sets bit i (relaxed; idempotent).
+  void Set(std::size_t i) {
+    words_[i >> 6].fetch_or(1ULL << (i & 63), std::memory_order_relaxed);
+  }
+
+  /// Sets bit i; returns true if this call flipped it (i.e., it was clear).
+  bool TestAndSet(std::size_t i) {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    const std::uint64_t prev =
+        words_[i >> 6].fetch_or(mask, std::memory_order_relaxed);
+    return (prev & mask) == 0;
+  }
+
+  /// Non-atomic set for single-threaded build-up phases.
+  void SetUnsynchronized(std::size_t i) {
+    auto& w = words_[i >> 6];
+    w.store(w.load(std::memory_order_relaxed) | (1ULL << (i & 63)),
+            std::memory_order_relaxed);
+  }
+
+  /// Population count (parallel).
+  std::size_t Count(ThreadPool& pool) const;
+
+ private:
+  std::size_t num_bits_ = 0;
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace gunrock::par

@@ -1,0 +1,88 @@
+// Stream compaction (parallel copy_if).
+//
+// The filter operator's backbone: "using parallel scan for efficient
+// filtering is well-understood on GPUs" (paper Section 4.1). Two fixed-block
+// phases — count, then scatter at scanned offsets — produce a stable
+// (order-preserving) compaction.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "parallel/for_each.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace gunrock::par {
+
+/// Copies in[i] to out (densely, preserving order) for every i where
+/// pred(i) is true. out must have room for n elements in the worst case.
+/// Returns the number of elements kept. `in` and `out` must not overlap.
+template <typename T, typename Pred>
+std::size_t CopyIfIndexed(ThreadPool& pool, std::span<const T> in,
+                          std::span<T> out, Pred pred) {
+  const std::size_t n = in.size();
+  if (n == 0) return 0;
+  const std::size_t nblocks = DefaultBlockCount(n, pool.num_threads());
+  std::vector<std::size_t> block_count(nblocks);
+  FixedBlocks(pool, n, nblocks,
+              [&](std::size_t b, std::size_t lo, std::size_t hi) {
+                std::size_t c = 0;
+                for (std::size_t i = lo; i < hi; ++i) c += pred(i) ? 1 : 0;
+                block_count[b] = c;
+              });
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::size_t c = block_count[b];
+    block_count[b] = total;
+    total += c;
+  }
+  FixedBlocks(pool, n, nblocks,
+              [&](std::size_t b, std::size_t lo, std::size_t hi) {
+                std::size_t pos = block_count[b];
+                for (std::size_t i = lo; i < hi; ++i) {
+                  if (pred(i)) out[pos++] = in[i];
+                }
+              });
+  return total;
+}
+
+/// Value-predicate overload.
+template <typename T, typename Pred>
+std::size_t CopyIf(ThreadPool& pool, std::span<const T> in, std::span<T> out,
+                   Pred pred) {
+  return CopyIfIndexed(pool, in, out,
+                       [&](std::size_t i) { return pred(in[i]); });
+}
+
+/// Produces transform(i) densely for every index i in [0, n) passing pred.
+/// Used to materialize index sets (e.g., "all unvisited vertices").
+template <typename T, typename Pred, typename F>
+std::size_t GenerateIf(ThreadPool& pool, std::size_t n, std::span<T> out,
+                       Pred pred, F&& transform) {
+  if (n == 0) return 0;
+  const std::size_t nblocks = DefaultBlockCount(n, pool.num_threads());
+  std::vector<std::size_t> block_count(nblocks);
+  FixedBlocks(pool, n, nblocks,
+              [&](std::size_t b, std::size_t lo, std::size_t hi) {
+                std::size_t c = 0;
+                for (std::size_t i = lo; i < hi; ++i) c += pred(i) ? 1 : 0;
+                block_count[b] = c;
+              });
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::size_t c = block_count[b];
+    block_count[b] = total;
+    total += c;
+  }
+  FixedBlocks(pool, n, nblocks,
+              [&](std::size_t b, std::size_t lo, std::size_t hi) {
+                std::size_t pos = block_count[b];
+                for (std::size_t i = lo; i < hi; ++i) {
+                  if (pred(i)) out[pos++] = transform(i);
+                }
+              });
+  return total;
+}
+
+}  // namespace gunrock::par

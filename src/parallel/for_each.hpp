@@ -1,0 +1,104 @@
+// Data-parallel loop helpers built on ThreadPool::Parallel.
+//
+// Two scheduling shapes cover everything in the library:
+//  - ParallelForChunks: dynamic self-scheduling over fixed-size chunks
+//    (an atomic ticket counter), good for irregular per-item cost — this is
+//    the CPU analog of a grid of CTAs draining a work queue.
+//  - FixedBlocks: a deterministic partition into `nblocks` contiguous
+//    blocks, used by multi-phase primitives (scan, compact, radix sort)
+//    that need stable block boundaries across phases.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+
+#include "parallel/thread_pool.hpp"
+
+namespace gunrock::par {
+
+/// Below this many items a loop runs serially on the caller; forking the
+/// pool costs ~a few microseconds and is not worth it.
+inline constexpr std::size_t kSerialCutoff = 2048;
+
+/// Chunk size that amortizes the ticket counter while keeping enough chunks
+/// for load balance (~8 chunks per lane).
+inline std::size_t DefaultGrain(std::size_t n, unsigned num_threads) {
+  const std::size_t target_chunks =
+      static_cast<std::size_t>(num_threads) * 8;
+  return std::max<std::size_t>(1, (n + target_chunks - 1) / target_chunks);
+}
+
+/// Start offset of block `b` out of `nblocks` over `n` items.
+inline std::size_t BlockStart(std::size_t n, std::size_t nblocks,
+                              std::size_t b) {
+  return n / nblocks * b + std::min<std::size_t>(n % nblocks, b);
+}
+
+/// Dynamic chunked loop: fn(lo, hi, rank) over chunk [lo, hi).
+template <typename F>
+void ParallelForChunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                       std::size_t grain, F&& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (grain == 0) grain = DefaultGrain(n, pool.num_threads());
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  if (num_chunks <= 1 || n <= kSerialCutoff || pool.num_threads() == 1) {
+    fn(begin, end, 0u);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  pool.Parallel([&](unsigned rank) {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const std::size_t lo = begin + c * grain;
+      const std::size_t hi = std::min(end, lo + grain);
+      fn(lo, hi, rank);
+    }
+  });
+}
+
+/// Dynamic per-index loop: fn(i) for i in [begin, end).
+template <typename F>
+void ParallelFor(ThreadPool& pool, std::size_t begin, std::size_t end,
+                 F&& fn, std::size_t grain = 0) {
+  ParallelForChunks(pool, begin, end, grain,
+                    [&](std::size_t lo, std::size_t hi, unsigned) {
+                      for (std::size_t i = lo; i < hi; ++i) fn(i);
+                    });
+}
+
+/// Deterministic partition into `nblocks` blocks; fn(b, lo, hi) per block.
+/// Blocks are processed with dynamic scheduling but their boundaries depend
+/// only on (n, nblocks), so a later phase can recompute them.
+template <typename F>
+void FixedBlocks(ThreadPool& pool, std::size_t n, std::size_t nblocks,
+                 F&& fn) {
+  if (n == 0 || nblocks == 0) return;
+  if (nblocks == 1 || pool.num_threads() == 1) {
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      fn(b, BlockStart(n, nblocks, b), BlockStart(n, nblocks, b + 1));
+    }
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  pool.Parallel([&](unsigned) {
+    for (;;) {
+      const std::size_t b = next.fetch_add(1, std::memory_order_relaxed);
+      if (b >= nblocks) break;
+      fn(b, BlockStart(n, nblocks, b), BlockStart(n, nblocks, b + 1));
+    }
+  });
+}
+
+/// A reasonable block count for multi-phase primitives: enough blocks to
+/// keep every lane busy, few enough that the serial inter-block phase
+/// stays negligible.
+inline std::size_t DefaultBlockCount(std::size_t n, unsigned num_threads) {
+  const std::size_t by_threads = static_cast<std::size_t>(num_threads) * 4;
+  const std::size_t by_size = std::max<std::size_t>(1, n / 4096);
+  return std::max<std::size_t>(1, std::min(by_threads, by_size));
+}
+
+}  // namespace gunrock::par

@@ -1,0 +1,36 @@
+// Parallel histogram with per-block privatized bins.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parallel/for_each.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace gunrock::par {
+
+/// bins[binner(i)] += 1 for i in [0, n). binner must return values in
+/// [0, bins.size()).
+template <typename F>
+void Histogram(ThreadPool& pool, std::size_t n, std::span<std::int64_t> bins,
+               F&& binner) {
+  const std::size_t num_bins = bins.size();
+  std::fill(bins.begin(), bins.end(), 0);
+  if (n == 0) return;
+  const std::size_t nblocks = DefaultBlockCount(n, pool.num_threads());
+  std::vector<std::int64_t> local(nblocks * num_bins, 0);
+  FixedBlocks(pool, n, nblocks,
+              [&](std::size_t b, std::size_t lo, std::size_t hi) {
+                std::int64_t* mine = &local[b * num_bins];
+                for (std::size_t i = lo; i < hi; ++i) ++mine[binner(i)];
+              });
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    for (std::size_t k = 0; k < num_bins; ++k) {
+      bins[k] += local[b * num_bins + k];
+    }
+  }
+}
+
+}  // namespace gunrock::par

@@ -1,0 +1,69 @@
+// Parallel reductions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "parallel/for_each.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace gunrock::par {
+
+/// Generic transform-reduce: op(acc, transform(i)) over i in [0, n).
+/// `identity` must satisfy op(identity, x) == x. Partial results are
+/// accumulated per block and combined serially, so the result is
+/// deterministic for associative/commutative op up to block partition
+/// (exactly deterministic for integers; floating point combines in block
+/// order, which is fixed for a given (n, pool size)).
+template <typename T, typename Op, typename F>
+T TransformReduce(ThreadPool& pool, std::size_t n, T identity, Op op,
+                  F&& transform) {
+  if (n == 0) return identity;
+  const std::size_t nblocks = DefaultBlockCount(n, pool.num_threads());
+  std::vector<T> partial(nblocks, identity);
+  FixedBlocks(pool, n, nblocks, [&](std::size_t b, std::size_t lo,
+                                    std::size_t hi) {
+    T acc = identity;
+    for (std::size_t i = lo; i < hi; ++i) acc = op(acc, transform(i));
+    partial[b] = acc;
+  });
+  T acc = identity;
+  for (const T& p : partial) acc = op(acc, p);
+  return acc;
+}
+
+/// Sum of a span.
+template <typename T>
+T ReduceSum(ThreadPool& pool, std::span<const T> data) {
+  return TransformReduce(pool, data.size(), T{},
+                         [](T a, T b) { return a + b; },
+                         [&](std::size_t i) { return data[i]; });
+}
+
+/// Maximum of a span (requires non-empty input semantics via identity).
+template <typename T>
+T ReduceMax(ThreadPool& pool, std::span<const T> data, T identity) {
+  return TransformReduce(pool, data.size(), identity,
+                         [](T a, T b) { return a < b ? b : a; },
+                         [&](std::size_t i) { return data[i]; });
+}
+
+/// Minimum of a span.
+template <typename T>
+T ReduceMin(ThreadPool& pool, std::span<const T> data, T identity) {
+  return TransformReduce(pool, data.size(), identity,
+                         [](T a, T b) { return b < a ? b : a; },
+                         [&](std::size_t i) { return data[i]; });
+}
+
+/// Count of elements satisfying pred.
+template <typename T, typename Pred>
+std::size_t CountIf(ThreadPool& pool, std::span<const T> data, Pred pred) {
+  return TransformReduce(
+      pool, data.size(), std::size_t{0},
+      [](std::size_t a, std::size_t b) { return a + b; },
+      [&](std::size_t i) { return pred(data[i]) ? std::size_t{1} : 0; });
+}
+
+}  // namespace gunrock::par

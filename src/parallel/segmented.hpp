@@ -1,0 +1,108 @@
+// Segmented reduction over CSR-style offsets.
+//
+// Two flavors mirror the frameworks under comparison: the segment-mapped
+// form assigns one segment per work item (the vertex-parallel gather of
+// GAS frameworks — deliberately load-imbalanced on power-law graphs), and
+// the balanced form partitions total work evenly (what Gunrock's advance
+// does internally).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "parallel/for_each.hpp"
+#include "parallel/sorted_search.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace gunrock::par {
+
+/// out[s] = identity op values(j) for j in [offsets[s], offsets[s+1]),
+/// one segment per work item (vertex-mapped).
+template <typename T, typename Off, typename Op, typename F>
+void SegmentedReduceSegmentMapped(ThreadPool& pool,
+                                  std::span<const Off> offsets,
+                                  std::span<T> out, T identity, Op op,
+                                  F&& values) {
+  const std::size_t num_segments = offsets.size() - 1;
+  ParallelFor(pool, 0, num_segments, [&](std::size_t s) {
+    T acc = identity;
+    for (Off j = offsets[s]; j < offsets[s + 1]; ++j) {
+      acc = op(acc, values(static_cast<std::size_t>(j)));
+    }
+    out[s] = acc;
+  });
+}
+
+/// Equal-work segmented reduce. The element range [0, total) is cut into
+/// equal chunks; each chunk locates its first segment by sorted search and
+/// walks forward. Segments fully inside a chunk are written directly; the
+/// chunk's first and last (possibly straddling) segments produce partials
+/// that a serial pass merges afterwards (at most 2 per chunk).
+template <typename T, typename Off, typename Op, typename F>
+void SegmentedReduceBalanced(ThreadPool& pool, std::span<const Off> offsets,
+                             std::span<T> out, T identity, Op op,
+                             F&& values) {
+  const std::size_t num_segments = offsets.size() - 1;
+  if (num_segments == 0) return;
+  const std::size_t total = static_cast<std::size_t>(offsets[num_segments]);
+  ParallelFor(pool, 0, num_segments,
+              [&](std::size_t s) { out[s] = identity; });
+  if (total == 0) return;
+
+  const std::size_t grain =
+      std::max<std::size_t>(256, DefaultGrain(total, pool.num_threads()));
+  const std::size_t num_chunks = (total + grain - 1) / grain;
+  struct Partial {
+    std::size_t segment;
+    T value;
+    bool present;
+  };
+  std::vector<Partial> heads(num_chunks), tails(num_chunks);
+
+  ParallelForChunks(
+      pool, 0, total, grain,
+      [&](std::size_t lo, std::size_t hi, unsigned) {
+        const std::size_t chunk = lo / grain;
+        std::size_t s = FindOwner(offsets, static_cast<Off>(lo));
+        const std::size_t first = s;
+        T acc = identity;
+        for (std::size_t j = lo; j < hi; ++j) {
+          while (j >= static_cast<std::size_t>(offsets[s + 1])) {
+            // Leaving segment s: the chunk's head segment may extend left
+            // of lo, so it becomes a partial; interior ones are complete.
+            if (s == first) {
+              heads[chunk] = {s, acc, true};
+            } else {
+              out[s] = acc;
+            }
+            acc = identity;
+            ++s;  // FindOwner skips empties at lo; the while skips the rest
+          }
+          acc = op(acc, values(j));
+        }
+        // Segment s holds element hi-1. It is complete inside this chunk
+        // iff it ends exactly at hi and did not begin before lo.
+        const bool ends_at_hi =
+            static_cast<std::size_t>(offsets[s + 1]) == hi;
+        if (s == first) {
+          heads[chunk] = {s, acc, true};
+          tails[chunk].present = false;
+        } else if (ends_at_hi) {
+          out[s] = acc;
+          tails[chunk].present = false;
+        } else {
+          tails[chunk] = {s, acc, true};
+        }
+      });
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    if (heads[c].present) {
+      out[heads[c].segment] = op(out[heads[c].segment], heads[c].value);
+    }
+    if (tails[c].present) {
+      out[tails[c].segment] = op(out[tails[c].segment], tails[c].value);
+    }
+  }
+}
+
+}  // namespace gunrock::par

@@ -1,0 +1,123 @@
+// Parallel LSD radix sort for unsigned keys with optional payload.
+//
+// The graph builder sorts (src, dst) edge pairs packed into 64-bit keys;
+// the near/far priority queue and several primitives sort (key, value)
+// pairs. 8-bit digits, per-block histograms, digit-major scan for stable
+// scatter — the standard GPU formulation transplanted to fixed CPU blocks.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "parallel/for_each.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace gunrock::par {
+
+namespace detail {
+
+inline constexpr int kRadixBits = 8;
+inline constexpr std::size_t kRadix = 1u << kRadixBits;
+
+template <typename K>
+inline unsigned Digit(K key, int pass) {
+  return static_cast<unsigned>((key >> (pass * kRadixBits)) &
+                               (kRadix - 1));
+}
+
+/// One stable counting-sort pass on digit `pass` from src to dst.
+/// Returns true if the pass was skipped because all keys share the digit.
+template <typename K, typename V, bool kHasValues>
+bool RadixPass(ThreadPool& pool, std::span<K> src_keys, std::span<K> dst_keys,
+               std::span<V> src_vals, std::span<V> dst_vals, int pass) {
+  const std::size_t n = src_keys.size();
+  const std::size_t nblocks = DefaultBlockCount(n, pool.num_threads());
+  // counts[b * kRadix + d] = occurrences of digit d in block b.
+  std::vector<std::size_t> counts(nblocks * kRadix, 0);
+  FixedBlocks(pool, n, nblocks,
+              [&](std::size_t b, std::size_t lo, std::size_t hi) {
+                std::size_t* local = &counts[b * kRadix];
+                for (std::size_t i = lo; i < hi; ++i) {
+                  ++local[Digit(src_keys[i], pass)];
+                }
+              });
+  // Skip the scatter when a single digit value covers all keys.
+  {
+    std::array<std::size_t, kRadix> totals{};
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      for (std::size_t d = 0; d < kRadix; ++d) {
+        totals[d] += counts[b * kRadix + d];
+      }
+    }
+    for (std::size_t d = 0; d < kRadix; ++d) {
+      if (totals[d] == n) return true;
+    }
+    // Digit-major exclusive scan: offset for (d, b) = all smaller digits
+    // plus same digit in earlier blocks — this is what makes LSD stable.
+    std::size_t run = 0;
+    for (std::size_t d = 0; d < kRadix; ++d) {
+      for (std::size_t b = 0; b < nblocks; ++b) {
+        const std::size_t c = counts[b * kRadix + d];
+        counts[b * kRadix + d] = run;
+        run += c;
+      }
+    }
+  }
+  FixedBlocks(pool, n, nblocks,
+              [&](std::size_t b, std::size_t lo, std::size_t hi) {
+                std::size_t* local = &counts[b * kRadix];
+                for (std::size_t i = lo; i < hi; ++i) {
+                  const std::size_t pos = local[Digit(src_keys[i], pass)]++;
+                  dst_keys[pos] = src_keys[i];
+                  if constexpr (kHasValues) dst_vals[pos] = src_vals[i];
+                }
+              });
+  return false;
+}
+
+template <typename K, typename V, bool kHasValues>
+void RadixSortImpl(ThreadPool& pool, std::span<K> keys, std::span<V> vals) {
+  static_assert(std::is_unsigned_v<K>, "radix sort needs unsigned keys");
+  const std::size_t n = keys.size();
+  if (n <= 1) return;
+  std::vector<K> tmp_keys(n);
+  std::vector<V> tmp_vals(kHasValues ? n : 0);
+  std::span<K> a = keys, b{tmp_keys};
+  std::span<V> av = vals, bv{tmp_vals};
+  const int passes = static_cast<int>(sizeof(K));
+  for (int p = 0; p < passes; ++p) {
+    if (!RadixPass<K, V, kHasValues>(pool, a, b, av, bv, p)) {
+      std::swap(a, b);
+      std::swap(av, bv);
+    }
+  }
+  if (a.data() != keys.data()) {
+    ParallelFor(pool, 0, n, [&](std::size_t i) {
+      keys[i] = a[i];
+      if constexpr (kHasValues) vals[i] = av[i];
+    });
+  }
+}
+
+struct NoValue {};
+
+}  // namespace detail
+
+/// Sorts keys ascending (stable, not that it matters for keys alone).
+template <typename K>
+void RadixSortKeys(ThreadPool& pool, std::span<K> keys) {
+  std::span<detail::NoValue> none;
+  detail::RadixSortImpl<K, detail::NoValue, false>(pool, keys, none);
+}
+
+/// Sorts (key, value) pairs by key ascending, stably.
+template <typename K, typename V>
+void RadixSortPairs(ThreadPool& pool, std::span<K> keys, std::span<V> vals) {
+  detail::RadixSortImpl<K, V, true>(pool, keys, vals);
+}
+
+}  // namespace gunrock::par

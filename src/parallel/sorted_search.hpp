@@ -1,0 +1,44 @@
+// Batched sorted search: the merge-path ingredient of load-balanced advance.
+//
+// Given the scanned degree offsets of a frontier, equal-work partitioning
+// must find, for each chunk's starting edge position, the frontier item that
+// owns it ("we use an efficient sorted search to map such indices with the
+// scanned edge offset queue", paper Section 4.4). Both the batch form and
+// the single-query form used inside the advance kernel live here.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "parallel/for_each.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace gunrock::par {
+
+/// Index of the last element of `haystack` (sorted ascending, non-empty
+/// prefix property: haystack[0] <= q assumed by callers) that is <= q.
+/// Equivalent to upper_bound(q) - 1.
+template <typename T>
+std::size_t FindOwner(std::span<const T> haystack, T q) {
+  std::size_t lo = 0, hi = haystack.size();
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (haystack[mid] <= q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// For every query q (ascending or not), writes FindOwner(haystack, q).
+template <typename T>
+void SortedSearch(ThreadPool& pool, std::span<const T> haystack,
+                  std::span<const T> queries, std::span<std::size_t> out) {
+  ParallelFor(pool, 0, queries.size(), [&](std::size_t i) {
+    out[i] = FindOwner(haystack, queries[i]);
+  });
+}
+
+}  // namespace gunrock::par

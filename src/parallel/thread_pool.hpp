@@ -1,0 +1,67 @@
+// Persistent fork-join thread pool: the CPU substitute for the GPU's
+// streaming multiprocessors.
+//
+// The pool exposes a single primitive — Parallel(fn) — which runs
+// fn(rank, num_threads) once on every worker plus the calling thread, then
+// joins. Everything higher level (parallel_for, scan, sort, the Gunrock
+// operators) is a data-parallel pass built from this one bulk-synchronous
+// primitive, mirroring how the paper's operators are bulk-synchronous
+// kernel launches.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gunrock::par {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` total lanes of execution (including
+  /// the caller). 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total number of execution lanes, including the calling thread.
+  unsigned num_threads() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs fn(rank) for every rank in [0, num_threads()) concurrently; the
+  /// calling thread participates as rank 0. Blocks until all lanes finish.
+  /// If any lane throws, the first exception is rethrown on the caller
+  /// after all lanes have completed (no lane is left running).
+  ///
+  /// Not reentrant: a lane must not call Parallel() on the same pool.
+  void Parallel(const std::function<void(unsigned)>& fn);
+
+  /// Process-wide default pool, sized to hardware concurrency. Constructed
+  /// on first use; safe to use from main() onward.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop(unsigned rank);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // signals a new job epoch to workers
+  std::condition_variable done_cv_;   // signals job completion to the caller
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  unsigned remaining_ = 0;
+  bool shutdown_ = false;
+
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace gunrock::par

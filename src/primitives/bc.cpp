@@ -1,0 +1,131 @@
+#include "primitives/bc.hpp"
+
+#include "core/advance.hpp"
+#include "core/compute.hpp"
+#include "core/frontier.hpp"
+#include "graph/stats.hpp"
+#include "parallel/atomics.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace gunrock {
+
+namespace {
+
+struct BcProblem {
+  std::int32_t* depth = nullptr;
+  double* sigma = nullptr;
+  double* delta = nullptr;
+  std::int32_t iteration = 0;
+};
+
+/// Forward phase: discover (CAS on depth) and accumulate sigma across
+/// every same-level edge. The atomic pattern guarantees each level-
+/// crossing edge contributes exactly once regardless of which thread won
+/// the discovery race.
+struct BcForwardFunctor {
+  static bool CondEdge(vid_t s, vid_t d, eid_t, BcProblem& p) {
+    const bool discovered =
+        par::AtomicCas(&p.depth[d], std::int32_t{-1}, p.iteration);
+    if (par::AtomicLoad(&p.depth[d]) == p.iteration) {
+      par::AtomicAdd(&p.sigma[d], par::AtomicLoad(&p.sigma[s]));
+    }
+    return discovered;
+  }
+  static void ApplyEdge(vid_t, vid_t, eid_t, BcProblem&) {}
+};
+
+/// Backward phase: visit-only advance over a stored level; every edge to a
+/// successor (depth + 1) pulls its dependency share. Runs with
+/// output = nullptr, so CondEdge performs the computation and returns
+/// false (nothing is emitted).
+struct BcBackwardFunctor {
+  static bool CondEdge(vid_t s, vid_t d, eid_t, BcProblem& p) {
+    if (p.depth[d] == p.depth[s] + 1 && p.sigma[d] > 0) {
+      const double share =
+          p.sigma[s] / p.sigma[d] * (1.0 + p.delta[d]);
+      par::AtomicAdd(&p.delta[s], share);
+    }
+    return false;
+  }
+  static void ApplyEdge(vid_t, vid_t, eid_t, BcProblem&) {}
+};
+
+void BcFromSource(const graph::Csr& g, vid_t source, const BcOptions& opts,
+                  par::ThreadPool& pool, bool scale_free, BcResult* result) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  result->depth.assign(n, -1);
+  result->sigma.assign(n, 0.0);
+  std::vector<double> delta(n, 0.0);
+
+  BcProblem prob;
+  prob.depth = result->depth.data();
+  prob.sigma = result->sigma.data();
+  prob.delta = delta.data();
+
+  core::AdvanceConfig adv_cfg;
+  adv_cfg.lb = opts.load_balance;
+  adv_cfg.scale_free_hint = scale_free;
+
+  result->depth[source] = 0;
+  result->sigma[source] = 1.0;
+
+  // Forward: store each level's frontier for the backward sweep.
+  std::vector<std::vector<vid_t>> levels;
+  levels.push_back({source});
+  while (!levels.back().empty()) {
+    prob.iteration = static_cast<std::int32_t>(levels.size());
+    std::vector<vid_t> next;
+    const auto adv = core::AdvancePush<BcForwardFunctor>(
+        pool, g, levels.back(), &next, prob, adv_cfg);
+    result->stats.edges_visited += adv.edges_visited;
+    ++result->stats.iterations;
+    levels.push_back(std::move(next));
+  }
+  levels.pop_back();  // drop the empty terminator
+
+  // Backward: deepest level first; level L pulls from level L+1.
+  for (std::size_t l = levels.size(); l-- > 1;) {
+    const auto adv = core::AdvancePush<BcBackwardFunctor>(
+        pool, g, levels[l], static_cast<std::vector<vid_t>*>(nullptr),
+        prob, adv_cfg);
+    result->stats.edges_visited += adv.edges_visited;
+  }
+
+  // Accumulate: undirected convention halves each pair's contribution.
+  double* bc = result->bc.data();
+  core::ForAll(pool, n, [&](std::size_t v) {
+    if (static_cast<vid_t>(v) != source) bc[v] += delta[v] / 2.0;
+  });
+}
+
+}  // namespace
+
+BcResult Bc(const graph::Csr& g, vid_t source, const BcOptions& opts) {
+  const vid_t src_list[] = {source};
+  return BcMultiSource(g, src_list, opts);
+}
+
+BcResult BcMultiSource(const graph::Csr& g, std::span<const vid_t> sources,
+                       const BcOptions& opts) {
+  par::ThreadPool& pool = opts.Pool();
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  BcResult result;
+  result.bc.assign(n, 0.0);
+  const bool scale_free = graph::ComputeScaleFreeHint(g, pool);
+  WallTimer timer;
+  for (const vid_t s : sources) {
+    GR_CHECK(s >= 0 && s < g.num_vertices(), "BC source out of range");
+    BcFromSource(g, s, opts, pool, scale_free, &result);
+  }
+  if (opts.normalize && n > 2) {
+    const double scale =
+        1.0 / (static_cast<double>(n - 1) * static_cast<double>(n - 2) /
+               2.0);
+    core::ForAll(pool, n, [&](std::size_t v) { result.bc[v] *= scale; });
+  }
+  result.stats.elapsed_ms = timer.ElapsedMs();
+  return result;
+}
+
+}  // namespace gunrock

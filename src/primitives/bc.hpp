@@ -1,0 +1,44 @@
+// Betweenness centrality (paper Section 5.3), Brandes' formulation.
+//
+// Two phases, both expressed with Gunrock operators: a forward BFS-style
+// advance that counts shortest paths (sigma) per vertex with atomicAdd,
+// storing each level's frontier; then a backward sweep over the stored
+// levels where an advance accumulates dependency (delta) values from each
+// vertex's successors. BC from multiple sources accumulates (exact BC =
+// all sources; the paper's GPU comparisons, like ours, sample sources).
+#pragma once
+
+#include <vector>
+
+#include "core/stats.hpp"
+#include "graph/csr.hpp"
+#include "primitives/options.hpp"
+
+namespace gunrock {
+
+struct BcOptions : CommonOptions {
+  /// Scale scores by 1/((n-1)(n-2)) like NetworkX's normalized BC.
+  bool normalize = false;
+};
+
+struct BcResult {
+  /// Accumulated centrality per vertex (undirected convention: each pair
+  /// contribution counted once — scores halved).
+  std::vector<double> bc;
+  /// Shortest-path counts from the last processed source.
+  std::vector<double> sigma;
+  /// BFS depth from the last processed source (-1 unreachable).
+  std::vector<std::int32_t> depth;
+  core::TraversalStats stats;
+};
+
+/// Single-source BC contribution.
+BcResult Bc(const graph::Csr& g, vid_t source, const BcOptions& opts = {});
+
+/// Accumulates BC over a set of sources (exact when sources = all
+/// vertices).
+BcResult BcMultiSource(const graph::Csr& g,
+                       std::span<const vid_t> sources,
+                       const BcOptions& opts = {});
+
+}  // namespace gunrock

@@ -1,0 +1,193 @@
+#include "primitives/bfs.hpp"
+
+#include "core/advance.hpp"
+#include "core/compute.hpp"
+#include "core/direction.hpp"
+#include "core/filter.hpp"
+#include "core/frontier.hpp"
+#include "graph/stats.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/bitmap.hpp"
+#include "parallel/compact.hpp"
+#include "parallel/reduce.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace gunrock {
+
+namespace {
+
+/// Problem data slice (the paper's Problem component): SoA per-vertex
+/// state shared by the functors.
+struct BfsProblem {
+  std::int32_t* depth = nullptr;
+  vid_t* pred = nullptr;          // nullptr when preds are not requested
+  par::Bitmap* visited = nullptr; // idempotent-mode claim bitmap
+  std::int32_t iteration = 0;     // depth to assign this iteration
+};
+
+/// Non-idempotent advance: atomic CAS on the depth label claims each
+/// vertex exactly once, so the output frontier is duplicate-free.
+struct BfsAtomicFunctor {
+  static bool CondEdge(vid_t s, vid_t d, eid_t, BfsProblem& p) {
+    if (par::AtomicCas(&p.depth[d], std::int32_t{-1}, p.iteration)) {
+      if (p.pred) p.pred[d] = s;
+      return true;
+    }
+    return false;
+  }
+  static void ApplyEdge(vid_t, vid_t, eid_t, BfsProblem&) {}
+};
+
+/// Idempotent advance: plain reads/writes — rediscovery is benign because
+/// every writer stores the same depth. Duplicates may be emitted.
+struct BfsIdempotentFunctor {
+  static bool CondEdge(vid_t s, vid_t d, eid_t, BfsProblem& p) {
+    if (par::AtomicLoad(&p.depth[d]) != -1) return false;
+    par::AtomicStore(&p.depth[d], p.iteration);
+    if (p.pred) par::AtomicStore(&p.pred[d], s);
+    return true;
+  }
+  static void ApplyEdge(vid_t, vid_t, eid_t, BfsProblem&) {}
+};
+
+/// Idempotent-mode filter: the visited bitmap's test-and-set is the exact
+/// dedup claim ("Gunrock's fastest BFS ... uses heuristics within its
+/// filter that reduce the concurrent discovery of child nodes").
+struct BfsFilterFunctor {
+  static bool CondVertex(vid_t v, BfsProblem& p) {
+    return p.visited->TestAndSet(static_cast<std::size_t>(v));
+  }
+  static void ApplyVertex(vid_t, BfsProblem&) {}
+};
+
+/// Pull advance: the operator already verified the parent is in the
+/// current frontier; the candidate is unvisited by construction.
+struct BfsPullFunctor {
+  static bool CondEdge(vid_t s, vid_t d, eid_t, BfsProblem& p) {
+    p.depth[d] = p.iteration;
+    if (p.pred) p.pred[d] = s;
+    return true;
+  }
+  static void ApplyEdge(vid_t, vid_t, eid_t, BfsProblem&) {}
+};
+
+}  // namespace
+
+BfsResult Bfs(const graph::Csr& g, vid_t source, const BfsOptions& opts) {
+  GR_CHECK(source >= 0 && source < g.num_vertices(),
+           "BFS source out of range");
+  par::ThreadPool& pool = opts.Pool();
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  const graph::Csr& rg = opts.reverse ? *opts.reverse : g;
+
+  BfsResult result;
+  result.depth.assign(n, -1);
+  if (opts.compute_preds) result.pred.assign(n, kInvalidVid);
+
+  par::Bitmap visited(n);
+  par::Bitmap frontier_bits(n);  // pull-mode frontier representation
+
+  BfsProblem prob;
+  prob.depth = result.depth.data();
+  prob.pred = opts.compute_preds ? result.pred.data() : nullptr;
+  prob.visited = &visited;
+
+  core::AdvanceConfig adv_cfg;
+  adv_cfg.lb = opts.load_balance;
+  adv_cfg.scale_free_hint = graph::ComputeScaleFreeHint(g, pool);
+  core::FilterConfig filter_cfg;
+  filter_cfg.history_hash = true;
+
+  core::DirectionOptimizer optimizer(g.num_vertices(), opts.do_alpha,
+                                     opts.do_beta);
+
+  core::VertexFrontier frontier(n);
+  frontier.Assign({source});
+  result.depth[source] = 0;
+  visited.Set(static_cast<std::size_t>(source));
+
+  // Edge counts for the direction controller: edges reachable from
+  // unvisited vertices shrink as the traversal claims them.
+  eid_t m_unvisited = g.num_edges() - g.degree(source);
+
+  core::EfficiencyAccumulator efficiency;
+  std::vector<vid_t> candidates;  // pull-mode unvisited list (reused)
+  WallTimer timer;
+
+  const bool optimizing = opts.direction == core::Direction::kOptimizing;
+  while (!frontier.empty()) {
+    prob.iteration = result.stats.iterations + 1;
+    const std::size_t n_f = frontier.size();
+
+    bool pull = opts.direction == core::Direction::kPull;
+    if (optimizing) {
+      // The controller's inputs (frontier out-edges, unexplored edges)
+      // are only worth computing when the direction can actually switch.
+      const eid_t m_f = par::TransformReduce(
+          pool, n_f, eid_t{0}, [](eid_t a, eid_t b) { return a + b; },
+          [&](std::size_t i) { return g.degree(frontier.current()[i]); });
+      pull = optimizer.ShouldPull(m_f, m_unvisited,
+                                  static_cast<vid_t>(n_f));
+    }
+
+    core::AdvanceResult adv;
+    if (pull) {
+      frontier_bits.Reset(pool);
+      core::ForEach(pool, std::span<const vid_t>(frontier.current()),
+                    [&](vid_t v) {
+                      frontier_bits.Set(static_cast<std::size_t>(v));
+                    });
+      candidates.resize(n);
+      const std::size_t nc = par::GenerateIf(
+          pool, n, std::span<vid_t>(candidates),
+          [&](std::size_t v) { return result.depth[v] == -1; },
+          [](std::size_t v) { return static_cast<vid_t>(v); });
+      candidates.resize(nc);
+      adv = core::AdvancePull<BfsPullFunctor>(pool, rg, frontier_bits,
+                                              candidates, &frontier.next(),
+                                              prob, adv_cfg);
+      // Pull discovers uniquely (one thread owns each candidate); mark
+      // visited so a later push iteration stays consistent.
+      core::ForEach(pool, std::span<const vid_t>(frontier.next()),
+                    [&](vid_t v) {
+                      visited.Set(static_cast<std::size_t>(v));
+                    });
+    } else if (opts.idempotent) {
+      std::vector<vid_t> raw;
+      adv = core::AdvancePush<BfsIdempotentFunctor>(
+          pool, g, frontier.current(), &raw, prob, adv_cfg);
+      core::FilterVertex<BfsFilterFunctor>(pool, raw, &frontier.next(),
+                                           prob, filter_cfg);
+    } else {
+      adv = core::AdvancePush<BfsAtomicFunctor>(
+          pool, g, frontier.current(), &frontier.next(), prob, adv_cfg);
+    }
+
+    result.stats.edges_visited += adv.edges_visited;
+    efficiency.Add(adv.lane_efficiency, adv.edges_visited);
+    if (opts.collect_records) {
+      result.stats.records.push_back(
+          {pull ? "advance-pull" : "advance-push", prob.iteration, n_f,
+           frontier.next().size(), adv.edges_visited,
+           adv.lane_efficiency});
+    }
+
+    if (optimizing) {
+      const eid_t m_new = par::TransformReduce(
+          pool, frontier.next().size(), eid_t{0},
+          [](eid_t a, eid_t b) { return a + b; },
+          [&](std::size_t i) { return g.degree(frontier.next()[i]); });
+      m_unvisited -= m_new;
+    }
+
+    frontier.Flip();
+    ++result.stats.iterations;
+  }
+
+  result.stats.elapsed_ms = timer.ElapsedMs();
+  result.stats.lane_efficiency = efficiency.Value();
+  return result;
+}
+
+}  // namespace gunrock

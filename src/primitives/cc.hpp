@@ -1,0 +1,31 @@
+// Connected components (paper Section 5.4), after Soman et al.
+//
+// Two PRAM kernels alternate, both expressed as Gunrock filters: *hooking*
+// runs on an edge frontier — each cross-component edge hooks the higher
+// component label onto the lower (atomicMin keeps the race monotone) and
+// edges inside one component are filtered away; *pointer jumping* runs on
+// a vertex frontier — each vertex short-cuts its label chain
+// (comp[v] = comp[comp[v]]) and converged vertices are filtered away.
+// The outer loop repeats until no cross-component edge remains.
+#pragma once
+
+#include <vector>
+
+#include "core/stats.hpp"
+#include "graph/csr.hpp"
+#include "primitives/options.hpp"
+
+namespace gunrock {
+
+struct CcOptions : CommonOptions {};
+
+struct CcResult {
+  /// Component label per vertex: the smallest vertex id in the component.
+  std::vector<vid_t> component;
+  vid_t num_components = 0;
+  core::TraversalStats stats;
+};
+
+CcResult Cc(const graph::Csr& g, const CcOptions& opts = {});
+
+}  // namespace gunrock

@@ -1,0 +1,101 @@
+#include "primitives/label_propagation.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/compute.hpp"
+#include "parallel/compact.hpp"
+#include "parallel/reduce.hpp"
+#include "util/timer.hpp"
+
+namespace gunrock {
+
+LabelPropagationResult LabelPropagation(
+    const graph::Csr& g, const LabelPropagationOptions& opts) {
+  par::ThreadPool& pool = opts.Pool();
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+
+  LabelPropagationResult result;
+  result.label.resize(n);
+  std::vector<vid_t> next_label(n);
+  core::ForAll(pool, n, [&](std::size_t v) {
+    result.label[v] = static_cast<vid_t>(v);
+    next_label[v] = static_cast<vid_t>(v);
+  });
+
+  std::vector<vid_t> frontier(n);
+  core::ForAll(pool, n, [&](std::size_t v) {
+    frontier[v] = static_cast<vid_t>(v);
+  });
+  std::vector<char> changed(n, 0);
+
+  WallTimer timer;
+  while (!frontier.empty() && result.iterations < opts.max_iterations) {
+    // Compute step: per-vertex neighborhood histogram (thread-local map;
+    // label domains are unbounded so a hash map it is).
+    core::ForEach(pool, std::span<const vid_t>(frontier), [&](vid_t v) {
+      changed[static_cast<std::size_t>(v)] = 0;
+      const auto nbrs = g.neighbors(v);
+      if (nbrs.empty()) return;
+      std::unordered_map<vid_t, std::int32_t> counts;
+      counts.reserve(nbrs.size());
+      for (const vid_t u : nbrs) {
+        ++counts[result.label[static_cast<std::size_t>(u)]];
+      }
+      vid_t best = result.label[static_cast<std::size_t>(v)];
+      std::int32_t best_count = 0;
+      for (const auto& [label, count] : counts) {
+        if (count > best_count ||
+            (count == best_count && label < best)) {
+          best = label;
+          best_count = count;
+        }
+      }
+      if (best != result.label[static_cast<std::size_t>(v)]) {
+        next_label[static_cast<std::size_t>(v)] = best;
+        changed[static_cast<std::size_t>(v)] = 1;
+      } else {
+        next_label[static_cast<std::size_t>(v)] = best;
+      }
+    });
+    result.stats.edges_visited += par::TransformReduce(
+        pool, frontier.size(), eid_t{0},
+        [](eid_t a, eid_t b) { return a + b; },
+        [&](std::size_t i) { return g.degree(frontier[i]); });
+
+    // Publish synchronously.
+    core::ForEach(pool, std::span<const vid_t>(frontier), [&](vid_t v) {
+      result.label[static_cast<std::size_t>(v)] =
+          next_label[static_cast<std::size_t>(v)];
+    });
+
+    // Filter step: the next frontier is every vertex adjacent to a
+    // change (plus the changed vertices themselves).
+    std::vector<char> active(n, 0);
+    core::ForEach(pool, std::span<const vid_t>(frontier), [&](vid_t v) {
+      if (!changed[static_cast<std::size_t>(v)]) return;
+      active[static_cast<std::size_t>(v)] = 1;
+      for (const vid_t u : g.neighbors(v)) {
+        active[static_cast<std::size_t>(u)] = 1;
+      }
+    });
+    frontier.resize(n);
+    const std::size_t kept = par::GenerateIf(
+        pool, n, std::span<vid_t>(frontier),
+        [&](std::size_t v) { return active[v] != 0; },
+        [](std::size_t v) { return static_cast<vid_t>(v); });
+    frontier.resize(kept);
+    ++result.iterations;
+  }
+
+  // Count distinct labels.
+  std::unordered_set<vid_t> distinct(result.label.begin(),
+                                     result.label.end());
+  result.num_communities = static_cast<vid_t>(distinct.size());
+  result.stats.iterations = result.iterations;
+  result.stats.elapsed_ms = timer.ElapsedMs();
+  return result;
+}
+
+}  // namespace gunrock

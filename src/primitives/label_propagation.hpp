@@ -1,0 +1,35 @@
+// Label-propagation community detection.
+//
+// The paper's Section 4.5 names "community detection and label
+// propagation algorithms" as the workloads its frontier reorganization
+// targets. This is the synchronous frontier formulation: every vertex in
+// the frontier adopts the most frequent label among its neighbors
+// (ties: smallest label); vertices whose label changed put their
+// neighborhood back into the next frontier. Converges when no label
+// moves (or at the iteration cap — synchronous LP can oscillate on
+// bipartite-ish structures, which the cap absorbs).
+#pragma once
+
+#include <vector>
+
+#include "core/stats.hpp"
+#include "graph/csr.hpp"
+#include "primitives/options.hpp"
+
+namespace gunrock {
+
+struct LabelPropagationOptions : CommonOptions {
+  int max_iterations = 100;
+};
+
+struct LabelPropagationResult {
+  std::vector<vid_t> label;
+  vid_t num_communities = 0;
+  int iterations = 0;
+  core::TraversalStats stats;
+};
+
+LabelPropagationResult LabelPropagation(
+    const graph::Csr& g, const LabelPropagationOptions& opts = {});
+
+}  // namespace gunrock

@@ -1,0 +1,174 @@
+#include "primitives/mst.hpp"
+
+#include <bit>
+
+#include "core/compute.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/compact.hpp"
+#include "parallel/reduce.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace gunrock {
+
+namespace {
+
+/// Packs (weight, edge id) into one atomically-minimizable 64-bit key.
+/// Positive IEEE floats compare like their bit patterns, so the weight
+/// occupies the high 32 bits and the edge id breaks ties.
+std::uint64_t PackCandidate(weight_t w, eid_t e) {
+  const std::uint32_t wbits = std::bit_cast<std::uint32_t>(w);
+  return (static_cast<std::uint64_t>(wbits) << 32) |
+         static_cast<std::uint32_t>(e);
+}
+
+eid_t UnpackEdge(std::uint64_t key) {
+  return static_cast<eid_t>(key & 0xffffffffu);
+}
+
+inline constexpr std::uint64_t kNoCandidate = ~std::uint64_t{0};
+
+}  // namespace
+
+MstResult Mst(const graph::Csr& g, const MstOptions& opts) {
+  GR_CHECK(g.has_weights(), "MST needs an edge-weighted graph");
+  par::ThreadPool& pool = opts.Pool();
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  const std::size_t m = static_cast<std::size_t>(g.num_edges());
+
+  MstResult result;
+  std::vector<vid_t> comp(n);
+  core::ForAll(pool, n,
+               [&](std::size_t v) { comp[v] = static_cast<vid_t>(v); });
+
+  const auto srcs = g.edge_sources(pool);
+  const auto dsts = g.col_indices();
+
+  WallTimer timer;
+
+  // Edge frontier: canonical arcs (src < dst). Both endpoints' components
+  // bid on each arc.
+  std::vector<eid_t> frontier(m), next_frontier;
+  {
+    const std::size_t kept = par::GenerateIf(
+        pool, m, std::span<eid_t>(frontier),
+        [&](std::size_t e) { return srcs[e] < dsts[e]; },
+        [](std::size_t e) { return static_cast<eid_t>(e); });
+    frontier.resize(kept);
+  }
+
+  std::vector<std::uint64_t> candidate(n);
+  while (!frontier.empty()) {
+    ++result.stats.iterations;
+    result.stats.edges_visited += static_cast<eid_t>(frontier.size());
+
+    // Step 1 (compute): every component's minimum outgoing edge.
+    core::ForAll(pool, n,
+                 [&](std::size_t v) { candidate[v] = kNoCandidate; });
+    core::ForEach(pool, std::span<const eid_t>(frontier), [&](eid_t e) {
+      const vid_t cu = comp[srcs[static_cast<std::size_t>(e)]];
+      const vid_t cv = comp[dsts[static_cast<std::size_t>(e)]];
+      if (cu == cv) return;
+      const std::uint64_t key =
+          PackCandidate(g.edge_weight(e), e);
+      par::AtomicMin(&candidate[static_cast<std::size_t>(cu)], key);
+      par::AtomicMin(&candidate[static_cast<std::size_t>(cv)], key);
+    });
+
+    // Step 2: winners join the forest (dedup: an edge may win for both of
+    // its endpoints' components) and hook the components together.
+    // The (weight, id) total order guarantees the hook graph is acyclic
+    // except for mutual pairs, which the min-id rule breaks.
+    std::vector<vid_t> hook(n);
+    core::ForAll(pool, n, [&](std::size_t r) {
+      hook[r] = static_cast<vid_t>(r);
+      if (comp[r] != static_cast<vid_t>(r)) return;  // not a root
+      const std::uint64_t key = candidate[r];
+      if (key == kNoCandidate) return;
+      const eid_t e = UnpackEdge(key);
+      const vid_t cu = comp[srcs[static_cast<std::size_t>(e)]];
+      const vid_t cv = comp[dsts[static_cast<std::size_t>(e)]];
+      hook[r] = (cu == static_cast<vid_t>(r)) ? cv : cu;
+    });
+    // Break mutual hooks (r <-> s choose the same edge): smaller id wins.
+    core::ForAll(pool, n, [&](std::size_t r) {
+      const vid_t h = hook[r];
+      if (h != static_cast<vid_t>(r) &&
+          hook[static_cast<std::size_t>(h)] == static_cast<vid_t>(r) &&
+          static_cast<vid_t>(r) < h) {
+        hook[r] = static_cast<vid_t>(r);
+      }
+    });
+    // Collect winning edges exactly once.
+    {
+      std::vector<eid_t> winners(n);
+      const std::size_t wn = par::GenerateIf(
+          pool, n, std::span<eid_t>(winners),
+          [&](std::size_t r) {
+            if (comp[r] != static_cast<vid_t>(r)) return false;
+            if (candidate[r] == kNoCandidate) return false;
+            const eid_t e = UnpackEdge(candidate[r]);
+            // The component that the edge's *winning* endpoint hooks from
+            // reports it; the mutual partner (if any) skips to avoid a
+            // duplicate. Owner = smaller component id among the two.
+            const vid_t cu = comp[srcs[static_cast<std::size_t>(e)]];
+            const vid_t cv = comp[dsts[static_cast<std::size_t>(e)]];
+            const vid_t other =
+                (cu == static_cast<vid_t>(r)) ? cv : cu;
+            if (candidate[static_cast<std::size_t>(other)] ==
+                candidate[r]) {
+              return static_cast<vid_t>(r) < other;
+            }
+            return true;
+          },
+          [&](std::size_t r) { return UnpackEdge(candidate[r]); });
+      winners.resize(wn);
+      result.tree_edges.insert(result.tree_edges.end(), winners.begin(),
+                               winners.end());
+    }
+    // Apply hooks, then pointer-jump to full compression.
+    core::ForAll(pool, n, [&](std::size_t r) {
+      if (hook[r] != static_cast<vid_t>(r)) comp[r] = hook[r];
+    });
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      core::ForAll(pool, n, [&](std::size_t v) {
+        const vid_t parent = comp[v];
+        const vid_t grand = comp[static_cast<std::size_t>(parent)];
+        if (parent != grand) {
+          comp[v] = grand;
+          par::AtomicStore(&changed, true);
+        }
+      });
+    }
+
+    // Step 3 (filter): drop arcs that became intra-component.
+    next_frontier.resize(frontier.size());
+    const std::size_t kept = par::CopyIf(
+        pool, std::span<const eid_t>(frontier),
+        std::span<eid_t>(next_frontier), [&](eid_t e) {
+          return comp[srcs[static_cast<std::size_t>(e)]] !=
+                 comp[dsts[static_cast<std::size_t>(e)]];
+        });
+    next_frontier.resize(kept);
+    frontier.swap(next_frontier);
+  }
+
+  result.total_weight = par::TransformReduce(
+      pool, result.tree_edges.size(), 0.0,
+      [](double a, double b) { return a + b; },
+      [&](std::size_t i) {
+        return static_cast<double>(g.edge_weight(result.tree_edges[i]));
+      });
+  result.num_components = static_cast<vid_t>(par::TransformReduce(
+      pool, n, std::size_t{0},
+      [](std::size_t a, std::size_t b) { return a + b; },
+      [&](std::size_t v) {
+        return comp[v] == static_cast<vid_t>(v) ? std::size_t{1} : 0;
+      }));
+  result.stats.elapsed_ms = timer.ElapsedMs();
+  return result;
+}
+
+}  // namespace gunrock

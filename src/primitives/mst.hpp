@@ -1,0 +1,35 @@
+// Minimum spanning forest (paper Section 5.5 lists MST among the
+// primitives "we have developed or are actively developing").
+//
+// Borůvka's algorithm in frontier form: each round, every component finds
+// its minimum-weight outgoing edge (an atomic-min over packed
+// (weight, edge-id) keys — the tie-breaking by edge id makes the choice a
+// total order, which prevents cycles), the chosen edges join the forest,
+// components merge by hooking + pointer jumping exactly like CC, and an
+// edge-frontier filter drops the arcs that became intra-component.
+#pragma once
+
+#include <vector>
+
+#include "core/stats.hpp"
+#include "graph/csr.hpp"
+#include "primitives/options.hpp"
+
+namespace gunrock {
+
+struct MstOptions : CommonOptions {};
+
+struct MstResult {
+  /// Edge slots (canonical arcs with src < dst) of the spanning forest.
+  std::vector<eid_t> tree_edges;
+  double total_weight = 0.0;
+  /// Components of the input graph (the forest spans each separately).
+  vid_t num_components = 0;
+  core::TraversalStats stats;
+};
+
+/// Computes a minimum spanning forest of an undirected weighted graph.
+/// Throws gunrock::Error if the graph has no weights.
+MstResult Mst(const graph::Csr& g, const MstOptions& opts = {});
+
+}  // namespace gunrock

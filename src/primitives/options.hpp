@@ -1,0 +1,22 @@
+// Options shared by every primitive's public API.
+#pragma once
+
+#include "core/policy.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace gunrock {
+
+struct CommonOptions {
+  /// Workload-mapping strategy for traversal steps (paper Section 4.4).
+  core::LoadBalance load_balance = core::LoadBalance::kAuto;
+  /// Thread pool to run on; nullptr selects the process-global pool.
+  par::ThreadPool* pool = nullptr;
+  /// Collect per-operator records into TraversalStats::records.
+  bool collect_records = false;
+
+  par::ThreadPool& Pool() const {
+    return pool ? *pool : par::ThreadPool::Global();
+  }
+};
+
+}  // namespace gunrock

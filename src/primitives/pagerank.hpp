@@ -1,0 +1,57 @@
+// PageRank (paper Section 5.5).
+//
+// "Each iteration contains one advance operator to compute the PageRank
+// value on the frontier of vertices, and one filter operator to remove the
+// vertices whose PageRanks have already converged. We accumulate PageRank
+// values with AtomicAdd operations."
+//
+// Two modes: the default runs the classic power iteration until the
+// global residual falls below the tolerance (every vertex pushes every
+// iteration; exactly comparable to the serial oracle), while
+// frontier_mode = true reproduces Gunrock's delta-style behavior where
+// converged vertices leave the frontier and stop pushing (faster, slightly
+// approximate tails). Dangling mass is redistributed uniformly in both.
+#pragma once
+
+#include <vector>
+
+#include "core/stats.hpp"
+#include "graph/csr.hpp"
+#include "primitives/options.hpp"
+
+namespace gunrock {
+
+struct PagerankOptions : CommonOptions {
+  double damping = 0.85;
+  /// Per-vertex convergence threshold on |rank - previous rank|.
+  double tolerance = 1e-9;
+  int max_iterations = 1000;
+  /// Gunrock-faithful frontier shrinking (see header comment).
+  bool frontier_mode = false;
+  /// Pull mode uses the gather-reduce operator (paper Section 7's
+  /// proposed extension): per-vertex neighborhood reductions with
+  /// equal-work partitioning and no atomics. The default (push) is the
+  /// paper's Section 5.5 formulation (advance + atomicAdd). Pull requires
+  /// a symmetric graph or an explicit reverse graph.
+  bool pull = false;
+  /// Reverse graph for pull mode on directed inputs; nullptr means the
+  /// graph is symmetric (g is its own reverse).
+  const graph::Csr* reverse = nullptr;
+};
+
+struct PagerankResult {
+  /// Stationary distribution; sums to 1.
+  std::vector<double> rank;
+  int iterations = 0;
+  core::TraversalStats stats;
+  /// Wall time divided by iterations (the paper's Table 3 normalizes all
+  /// PageRank timings to one iteration).
+  double MsPerIteration() const {
+    return iterations > 0 ? stats.elapsed_ms / iterations : 0.0;
+  }
+};
+
+PagerankResult Pagerank(const graph::Csr& g,
+                        const PagerankOptions& opts = {});
+
+}  // namespace gunrock

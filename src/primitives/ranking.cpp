@@ -1,0 +1,249 @@
+#include "primitives/ranking.hpp"
+
+#include <cmath>
+
+#include "core/advance.hpp"
+#include "core/compute.hpp"
+#include "graph/stats.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/reduce.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace gunrock {
+
+namespace {
+
+/// Shared state for the score-propagation functors: an advance over the
+/// appropriate graph accumulates src_score (optionally scaled per-source)
+/// into dst_score with atomicAdd.
+struct PropagateProblem {
+  const double* src_score = nullptr;
+  double* dst_score = nullptr;
+  const double* src_scale = nullptr;  // nullptr = 1.0
+};
+
+struct PropagateFunctor {
+  static bool CondEdge(vid_t s, vid_t d, eid_t, PropagateProblem& p) {
+    const double scale = p.src_scale ? p.src_scale[s] : 1.0;
+    par::AtomicAdd(&p.dst_score[d], p.src_score[s] * scale);
+    return false;
+  }
+  static void ApplyEdge(vid_t, vid_t, eid_t, PropagateProblem&) {}
+};
+
+std::vector<vid_t> AllVertices(par::ThreadPool& pool, std::size_t n) {
+  std::vector<vid_t> all(n);
+  core::ForAll(pool, n,
+               [&](std::size_t v) { all[v] = static_cast<vid_t>(v); });
+  return all;
+}
+
+double NormalizeL1(par::ThreadPool& pool, std::vector<double>& x) {
+  const double sum = par::ReduceSum(pool, std::span<const double>(x));
+  if (sum > 0) {
+    core::ForAll(pool, x.size(), [&](std::size_t i) { x[i] /= sum; });
+  }
+  return sum;
+}
+
+double L1Distance(par::ThreadPool& pool, std::span<const double> a,
+                  std::span<const double> b) {
+  return par::TransformReduce(
+      pool, a.size(), 0.0, [](double x, double y) { return x + y; },
+      [&](std::size_t i) { return std::abs(a[i] - b[i]); });
+}
+
+}  // namespace
+
+HitsResult Hits(const graph::Csr& g, const graph::Csr& rg,
+                const HitsOptions& opts) {
+  GR_CHECK(g.num_vertices() == rg.num_vertices(),
+           "forward/reverse vertex count mismatch");
+  par::ThreadPool& pool = opts.Pool();
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  HitsResult result;
+  if (n == 0) return result;
+  result.hub.assign(n, 1.0 / static_cast<double>(n));
+  result.authority.assign(n, 0.0);
+
+  core::AdvanceConfig adv_cfg;
+  adv_cfg.lb = opts.load_balance;
+  adv_cfg.scale_free_hint = graph::ComputeScaleFreeHint(g, pool);
+  const auto all = AllVertices(pool, n);
+
+  std::vector<double> prev_hub(result.hub), prev_auth(n, 0.0);
+  PropagateProblem prob;
+  WallTimer timer;
+  for (; result.iterations < opts.max_iterations;) {
+    // auth = sum of hub over in-edges: push hub along forward edges.
+    core::ForAll(pool, n, [&](std::size_t v) { result.authority[v] = 0; });
+    prob.src_score = result.hub.data();
+    prob.dst_score = result.authority.data();
+    prob.src_scale = nullptr;
+    auto adv = core::AdvancePush<PropagateFunctor>(
+        pool, g, all, static_cast<std::vector<vid_t>*>(nullptr), prob,
+        adv_cfg);
+    result.stats.edges_visited += adv.edges_visited;
+    NormalizeL1(pool, result.authority);
+
+    // hub = sum of auth over out-edges: push auth along reverse edges.
+    core::ForAll(pool, n, [&](std::size_t v) { result.hub[v] = 0; });
+    prob.src_score = result.authority.data();
+    prob.dst_score = result.hub.data();
+    adv = core::AdvancePush<PropagateFunctor>(
+        pool, rg, all, static_cast<std::vector<vid_t>*>(nullptr), prob,
+        adv_cfg);
+    result.stats.edges_visited += adv.edges_visited;
+    NormalizeL1(pool, result.hub);
+
+    ++result.iterations;
+    const double moved =
+        L1Distance(pool, result.hub, prev_hub) +
+        L1Distance(pool, result.authority, prev_auth);
+    prev_hub = result.hub;
+    prev_auth = result.authority;
+    if (moved < opts.tolerance) break;
+  }
+  result.stats.elapsed_ms = timer.ElapsedMs();
+  result.stats.iterations = result.iterations;
+  return result;
+}
+
+SalsaResult Salsa(const graph::Csr& g, const graph::Csr& rg,
+                  const SalsaOptions& opts) {
+  GR_CHECK(g.num_vertices() == rg.num_vertices(),
+           "forward/reverse vertex count mismatch");
+  par::ThreadPool& pool = opts.Pool();
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  SalsaResult result;
+  if (n == 0) return result;
+  result.hub.assign(n, 1.0 / static_cast<double>(n));
+  result.authority.assign(n, 1.0 / static_cast<double>(n));
+
+  // Stochastic scalings: 1/outdeg for the hub->auth walk, 1/indeg for the
+  // auth->hub walk.
+  std::vector<double> inv_out(n, 0.0), inv_in(n, 0.0);
+  core::ForAll(pool, n, [&](std::size_t v) {
+    const eid_t od = g.degree(static_cast<vid_t>(v));
+    const eid_t id = rg.degree(static_cast<vid_t>(v));
+    inv_out[v] = od > 0 ? 1.0 / static_cast<double>(od) : 0.0;
+    inv_in[v] = id > 0 ? 1.0 / static_cast<double>(id) : 0.0;
+  });
+
+  core::AdvanceConfig adv_cfg;
+  adv_cfg.lb = opts.load_balance;
+  adv_cfg.scale_free_hint = graph::ComputeScaleFreeHint(g, pool);
+  const auto all = AllVertices(pool, n);
+
+  std::vector<double> prev_hub(result.hub), prev_auth(result.authority);
+  PropagateProblem prob;
+  WallTimer timer;
+  for (; result.iterations < opts.max_iterations;) {
+    // a'[v] = sum_{u -> v} h[u] / outdeg(u)
+    std::vector<double> next_auth(n, 0.0);
+    prob.src_score = result.hub.data();
+    prob.dst_score = next_auth.data();
+    prob.src_scale = inv_out.data();
+    auto adv = core::AdvancePush<PropagateFunctor>(
+        pool, g, all, static_cast<std::vector<vid_t>*>(nullptr), prob,
+        adv_cfg);
+    result.stats.edges_visited += adv.edges_visited;
+
+    // h'[u] = sum_{u -> v} a[v] / indeg(v): push along reverse edges with
+    // the *source* (= v in forward orientation) scaled by 1/indeg(v).
+    std::vector<double> next_hub(n, 0.0);
+    prob.src_score = result.authority.data();
+    prob.dst_score = next_hub.data();
+    prob.src_scale = inv_in.data();
+    adv = core::AdvancePush<PropagateFunctor>(
+        pool, rg, all, static_cast<std::vector<vid_t>*>(nullptr), prob,
+        adv_cfg);
+    result.stats.edges_visited += adv.edges_visited;
+
+    result.authority.swap(next_auth);
+    result.hub.swap(next_hub);
+    // The walks are substochastic only at sinks; renormalize to keep the
+    // scores a distribution.
+    NormalizeL1(pool, result.authority);
+    NormalizeL1(pool, result.hub);
+
+    ++result.iterations;
+    const double moved =
+        L1Distance(pool, result.hub, prev_hub) +
+        L1Distance(pool, result.authority, prev_auth);
+    prev_hub = result.hub;
+    prev_auth = result.authority;
+    if (moved < opts.tolerance) break;
+  }
+  result.stats.elapsed_ms = timer.ElapsedMs();
+  result.stats.iterations = result.iterations;
+  return result;
+}
+
+PprResult PersonalizedPagerank(const graph::Csr& g,
+                               std::span<const vid_t> seeds,
+                               const PprOptions& opts) {
+  GR_CHECK(!seeds.empty(), "PPR needs at least one seed");
+  par::ThreadPool& pool = opts.Pool();
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  PprResult result;
+  if (n == 0) return result;
+
+  std::vector<double> teleport(n, 0.0);
+  for (const vid_t s : seeds) {
+    GR_CHECK(s >= 0 && s < g.num_vertices(), "seed out of range");
+    teleport[static_cast<std::size_t>(s)] =
+        1.0 / static_cast<double>(seeds.size());
+  }
+
+  std::vector<double> rank(teleport), next(n, 0.0);
+  std::vector<double> inv_out(n, 0.0);
+  core::ForAll(pool, n, [&](std::size_t v) {
+    const eid_t d = g.degree(static_cast<vid_t>(v));
+    inv_out[v] = d > 0 ? 1.0 / static_cast<double>(d) : 0.0;
+  });
+
+  core::AdvanceConfig adv_cfg;
+  adv_cfg.lb = opts.load_balance;
+  adv_cfg.scale_free_hint = graph::ComputeScaleFreeHint(g, pool);
+  const auto all = AllVertices(pool, n);
+
+  PropagateProblem prob;
+  WallTimer timer;
+  for (; result.iterations < opts.max_iterations;) {
+    // Dangling mass teleports back to the seeds.
+    const double dangling = par::TransformReduce(
+        pool, n, 0.0, [](double a, double b) { return a + b; },
+        [&](std::size_t v) {
+          return g.degree(static_cast<vid_t>(v)) == 0 ? rank[v] : 0.0;
+        });
+    core::ForAll(pool, n, [&](std::size_t v) {
+      next[v] = (1.0 - opts.damping + opts.damping * dangling) *
+                teleport[v];
+    });
+    // Push damping * rank / outdeg along out-edges.
+    std::vector<double> scaled(n);
+    core::ForAll(pool, n, [&](std::size_t v) {
+      scaled[v] = opts.damping * rank[v];
+    });
+    prob.src_score = scaled.data();
+    prob.dst_score = next.data();
+    prob.src_scale = inv_out.data();
+    const auto adv = core::AdvancePush<PropagateFunctor>(
+        pool, g, all, static_cast<std::vector<vid_t>*>(nullptr), prob,
+        adv_cfg);
+    result.stats.edges_visited += adv.edges_visited;
+
+    const double moved = L1Distance(pool, next, rank);
+    rank.swap(next);
+    ++result.iterations;
+    if (moved < opts.tolerance) break;
+  }
+  result.rank = std::move(rank);
+  result.stats.elapsed_ms = timer.ElapsedMs();
+  result.stats.iterations = result.iterations;
+  return result;
+}
+
+}  // namespace gunrock

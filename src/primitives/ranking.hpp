@@ -1,0 +1,71 @@
+// Node-ranking primitives beyond PageRank (paper Section 5.5): HITS,
+// SALSA and personalized PageRank — the three algorithms of Twitter's
+// who-to-follow pipeline that Geil et al. [9] built on Gunrock, "the first
+// to use a programmable framework for bipartite graphs".
+//
+// All three run on a directed graph given as a (forward, reverse) CSR
+// pair; for the bipartite who-to-follow case, generate the graph with
+// graph::GenerateBipartite (users then items).
+#pragma once
+
+#include <vector>
+
+#include "core/stats.hpp"
+#include "graph/csr.hpp"
+#include "primitives/options.hpp"
+
+namespace gunrock {
+
+struct HitsOptions : CommonOptions {
+  int max_iterations = 50;
+  double tolerance = 1e-8;  ///< L1 movement across both score vectors
+};
+
+struct HitsResult {
+  std::vector<double> hub;
+  std::vector<double> authority;
+  int iterations = 0;
+  core::TraversalStats stats;
+};
+
+/// Hyperlink-Induced Topic Search. `rg` must be ReverseCsr(g).
+HitsResult Hits(const graph::Csr& g, const graph::Csr& rg,
+                const HitsOptions& opts = {});
+
+struct SalsaOptions : CommonOptions {
+  int max_iterations = 50;
+  double tolerance = 1e-8;
+};
+
+struct SalsaResult {
+  std::vector<double> hub;
+  std::vector<double> authority;
+  int iterations = 0;
+  core::TraversalStats stats;
+};
+
+/// Stochastic Approach for Link-Structure Analysis: the random-walk
+/// variant of HITS (column/row-stochastic propagation instead of raw
+/// sums).
+SalsaResult Salsa(const graph::Csr& g, const graph::Csr& rg,
+                  const SalsaOptions& opts = {});
+
+struct PprOptions : CommonOptions {
+  double damping = 0.85;
+  double tolerance = 1e-9;
+  int max_iterations = 1000;
+};
+
+struct PprResult {
+  std::vector<double> rank;
+  int iterations = 0;
+  core::TraversalStats stats;
+};
+
+/// Personalized PageRank: the teleport distribution is concentrated on
+/// `seeds` (uniformly) rather than on all vertices.
+PprResult PersonalizedPagerank(const graph::Csr& g,
+                               std::span<const vid_t> seeds,
+                               const PprOptions& opts = {});
+
+}  // namespace gunrock

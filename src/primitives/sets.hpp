@@ -1,0 +1,62 @@
+// Set-construction primitives listed as Gunrock work-in-progress (paper
+// Section 5.5: "maximal independent set, graph coloring"): both are
+// classic filter-loop algorithms — random-priority local maxima join the
+// solution, the frontier of undecided vertices shrinks to empty — plus
+// k-core decomposition, a pure peel-with-filter loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "graph/csr.hpp"
+#include "primitives/options.hpp"
+
+namespace gunrock {
+
+struct ColoringOptions : CommonOptions {
+  std::uint64_t seed = 11;
+};
+
+struct ColoringResult {
+  /// Proper vertex coloring: adjacent vertices always differ.
+  std::vector<std::int32_t> color;
+  std::int32_t num_colors = 0;
+  int rounds = 0;
+  core::TraversalStats stats;
+};
+
+/// Jones–Plassmann greedy coloring with random priorities.
+ColoringResult GraphColoring(const graph::Csr& g,
+                             const ColoringOptions& opts = {});
+
+struct MisOptions : CommonOptions {
+  std::uint64_t seed = 13;
+};
+
+struct MisResult {
+  /// 1 = in the independent set.
+  std::vector<std::uint8_t> in_set;
+  vid_t set_size = 0;
+  int rounds = 0;
+  core::TraversalStats stats;
+};
+
+/// Luby's maximal independent set.
+MisResult MaximalIndependentSet(const graph::Csr& g,
+                                const MisOptions& opts = {});
+
+struct KCoreOptions : CommonOptions {};
+
+struct KCoreResult {
+  /// Core number per vertex (the largest k such that v survives k-core
+  /// peeling).
+  std::vector<std::int32_t> core;
+  std::int32_t degeneracy = 0;
+  core::TraversalStats stats;
+};
+
+/// Full k-core decomposition by iterated peeling.
+KCoreResult KCore(const graph::Csr& g, const KCoreOptions& opts = {});
+
+}  // namespace gunrock

@@ -1,0 +1,165 @@
+#include "primitives/sssp.hpp"
+
+#include <algorithm>
+
+#include "core/advance.hpp"
+#include "core/compute.hpp"
+#include "core/filter.hpp"
+#include "core/frontier.hpp"
+#include "core/priority_queue.hpp"
+#include "graph/stats.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/reduce.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace gunrock {
+
+namespace {
+
+struct SsspProblem {
+  weight_t* dist = nullptr;
+  const weight_t* weights = nullptr;
+  std::int32_t* mark = nullptr;  // epoch claim array (output_queue_id)
+  std::int32_t epoch = 0;
+};
+
+/// Paper Algorithm 1's UpdateLabel: relax with atomicMin, keep the edge
+/// when it improved the destination's label.
+struct SsspRelaxFunctor {
+  static bool CondEdge(vid_t s, vid_t d, eid_t e, SsspProblem& p) {
+    const weight_t candidate =
+        par::AtomicLoad(&p.dist[s]) + p.weights[e];
+    const weight_t old = par::AtomicMin(&p.dist[d], candidate);
+    return candidate < old;
+  }
+  static void ApplyEdge(vid_t, vid_t, eid_t, SsspProblem&) {}
+};
+
+/// Paper Algorithm 1's RemoveRedundant: first claimant of the vertex in
+/// this epoch keeps it; duplicates are dropped exactly.
+struct SsspDedupFunctor {
+  static bool CondVertex(vid_t v, SsspProblem& p) {
+    return par::AtomicExchange(&p.mark[v], p.epoch) != p.epoch;
+  }
+  static void ApplyVertex(vid_t, SsspProblem&) {}
+};
+
+}  // namespace
+
+SsspResult Sssp(const graph::Csr& g, vid_t source,
+                const SsspOptions& opts) {
+  GR_CHECK(source >= 0 && source < g.num_vertices(),
+           "SSSP source out of range");
+  GR_CHECK(g.has_weights(), "SSSP needs an edge-weighted graph");
+  par::ThreadPool& pool = opts.Pool();
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+
+  SsspResult result;
+  result.dist.assign(n, kInfinity);
+  result.dist[source] = 0;
+
+  std::vector<std::int32_t> mark(n, 0);
+  SsspProblem prob;
+  prob.dist = result.dist.data();
+  prob.weights = g.weights().data();
+  prob.mark = mark.data();
+
+  core::AdvanceConfig adv_cfg;
+  adv_cfg.lb = opts.load_balance;
+  adv_cfg.scale_free_hint = graph::ComputeScaleFreeHint(g, pool);
+  adv_cfg.model_efficiency = opts.model_lane_efficiency;
+
+  // Davidson et al.'s Δ heuristic: warp width × mean weight / mean degree.
+  weight_t delta = opts.delta;
+  if (opts.use_near_far && delta <= 0) {
+    const double mean_w =
+        static_cast<double>(par::ReduceSum(pool, g.weights())) /
+        static_cast<double>(g.num_edges());
+    delta = static_cast<weight_t>(std::max(
+        1.0, kWarpWidth * mean_w / std::max(1.0, g.average_degree())));
+  }
+
+  core::VertexFrontier frontier(n);
+  frontier.Assign({source});
+  std::vector<vid_t> far_pile;
+  std::vector<vid_t> near_buffer;
+  std::vector<vid_t> raw, deduped;  // reused across iterations
+  weight_t threshold = delta;
+
+  core::EfficiencyAccumulator efficiency;
+  WallTimer timer;
+
+  while (!frontier.empty() || !far_pile.empty()) {
+    if (frontier.empty()) {
+      // Near slice exhausted: advance the Δ window and re-split the far
+      // pile (paper: "We then update the priority function and operate on
+      // the far slice"). Entries whose label improved below the window
+      // are re-claimed through the epoch filter next iteration.
+      threshold += delta;
+      std::vector<vid_t> still_far;
+      core::SplitNearFar(
+          pool, std::span<const vid_t>(far_pile), near_buffer, still_far,
+          [&](vid_t v) { return result.dist[v] < threshold; });
+      far_pile.swap(still_far);
+      frontier.current().assign(near_buffer.begin(), near_buffer.end());
+      if (frontier.empty() && !far_pile.empty()) continue;
+      if (frontier.empty()) break;
+    }
+
+    prob.epoch += 1;
+    const std::size_t n_f = frontier.size();
+    raw.clear();
+    const auto adv = core::AdvancePush<SsspRelaxFunctor>(
+        pool, g, frontier.current(), &raw, prob, adv_cfg);
+    result.stats.edges_visited += adv.edges_visited;
+    efficiency.Add(adv.lane_efficiency, adv.edges_visited);
+
+    deduped.clear();
+    core::FilterVertex<SsspDedupFunctor>(pool, raw, &deduped, prob);
+
+    if (opts.use_near_far) {
+      core::SplitNearFar(
+          pool, std::span<const vid_t>(deduped), frontier.next(), far_pile,
+          [&](vid_t v) { return result.dist[v] < threshold; });
+    } else {
+      frontier.next().assign(deduped.begin(), deduped.end());
+    }
+
+    if (opts.collect_records) {
+      result.stats.records.push_back({"advance+filter", prob.epoch, n_f,
+                                      frontier.next().size(),
+                                      adv.edges_visited,
+                                      adv.lane_efficiency});
+    }
+    frontier.Flip();
+    ++result.stats.iterations;
+  }
+
+  // Recompute predecessors in one pass so the tree property holds exactly
+  // even though relaxations raced during traversal.
+  if (opts.compute_preds) {
+    result.pred.assign(n, kInvalidVid);
+    core::ForAll(pool, n, [&](std::size_t v) {
+      if (result.dist[v] == kInfinity ||
+          static_cast<vid_t>(v) == source) {
+        return;
+      }
+      for (eid_t e = g.row_begin(static_cast<vid_t>(v));
+           e < g.row_end(static_cast<vid_t>(v)); ++e) {
+        const vid_t u = g.edge_dest(e);
+        // Works on symmetric graphs: scan v's neighbors as in-edges.
+        if (result.dist[u] + g.edge_weight(e) == result.dist[v]) {
+          result.pred[v] = u;
+          break;
+        }
+      }
+    });
+  }
+
+  result.stats.elapsed_ms = timer.ElapsedMs();
+  result.stats.lane_efficiency = efficiency.Value();
+  return result;
+}
+
+}  // namespace gunrock

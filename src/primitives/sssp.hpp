@@ -1,0 +1,48 @@
+// Single-source shortest path (paper Sections 4.1 and 5.2).
+//
+// One iteration maps onto three Gunrock steps (paper Algorithm 1):
+// advance relaxes all edges out of the frontier with an atomicMin on the
+// distance label; filter removes redundant vertex ids with an epoch claim
+// (the paper's output_queue_id trick); and the two-level near/far priority
+// queue implements Davidson-style delta-stepping — only vertices whose
+// tentative distance falls inside the current Δ window are processed, the
+// rest accumulate in the far pile.
+#pragma once
+
+#include <vector>
+
+#include "core/stats.hpp"
+#include "graph/csr.hpp"
+#include "primitives/options.hpp"
+
+namespace gunrock {
+
+struct SsspOptions : CommonOptions {
+  /// Enable the near/far two-level priority queue (delta-stepping). With
+  /// false, every relaxed vertex re-enters the frontier immediately
+  /// (frontier-based Bellman-Ford).
+  bool use_near_far = true;
+  /// Δ bucket width; 0 selects Davidson's heuristic
+  /// Δ = warp-width × mean-weight / mean-degree.
+  weight_t delta = 0;
+  bool compute_preds = true;
+  /// Model SIMT lane efficiency per advance (one extra O(frontier) pass;
+  /// off by default, Table 4 turns it on).
+  bool model_lane_efficiency = false;
+};
+
+struct SsspResult {
+  /// Shortest distance from the source; +inf for unreachable vertices.
+  std::vector<weight_t> dist;
+  /// Shortest-path-tree parent, recomputed after convergence so that
+  /// dist[pred[v]] + w(pred[v], v) == dist[v] holds exactly.
+  std::vector<vid_t> pred;
+  core::TraversalStats stats;
+};
+
+/// Runs SSSP from `source` on a graph with non-negative weights. Throws
+/// gunrock::Error if the graph is unweighted or the source is invalid.
+SsspResult Sssp(const graph::Csr& g, vid_t source,
+                const SsspOptions& opts = {});
+
+}  // namespace gunrock

@@ -1,0 +1,40 @@
+// Triangle counting and clustering coefficients.
+//
+// Among the primitives the Gunrock project grew next ("graph matching,
+// Louvain..." — Section 5.5); triangle counting is the canonical
+// edge-frontier + neighborhood-intersection workload: for every canonical
+// arc (u, v) with u < v, count the common neighbors w > v, so each
+// triangle u < v < w is counted exactly once. Sorted CSR rows make each
+// intersection a linear merge; equal-work chunking over arcs keeps
+// power-law degrees balanced.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "graph/csr.hpp"
+#include "primitives/options.hpp"
+
+namespace gunrock {
+
+struct TriangleOptions : CommonOptions {};
+
+struct TriangleResult {
+  std::int64_t num_triangles = 0;
+  /// Triangles through each vertex (each triangle contributes to all
+  /// three corners).
+  std::vector<std::int64_t> per_vertex;
+  /// Local clustering coefficient: triangles(v) / (deg(v) choose 2).
+  std::vector<double> clustering;
+  /// Global clustering coefficient (3*triangles / open+closed wedges).
+  double global_clustering = 0.0;
+  core::TraversalStats stats;
+};
+
+/// Counts triangles of an undirected graph (symmetric CSR, no self
+/// loops or parallel edges — the builder's defaults).
+TriangleResult CountTriangles(const graph::Csr& g,
+                              const TriangleOptions& opts = {});
+
+}  // namespace gunrock

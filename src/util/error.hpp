@@ -1,0 +1,34 @@
+// Error handling helpers: a library-wide exception type and check macros.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gunrock {
+
+/// Exception thrown on precondition violations and I/O failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void ThrowError(const char* cond, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace gunrock
+
+/// Precondition check that survives NDEBUG (used at API boundaries).
+#define GR_CHECK(cond, msg)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::gunrock::detail::ThrowError(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                                    \
+  } while (0)

@@ -1,0 +1,55 @@
+// Deterministic, splittable random number generation.
+//
+// Graph generators must produce identical output regardless of thread count,
+// so all randomness is counter-based: every edge/point derives its own
+// stream from (seed, index) via SplitMix64, which is statistically solid for
+// this purpose and avoids any shared generator state.
+#pragma once
+
+#include <cstdint>
+
+namespace gunrock {
+
+/// One round of SplitMix64: maps a 64-bit counter to a well-mixed value.
+inline std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Small counter-based RNG: deterministic stream per (seed, stream id).
+class CounterRng {
+ public:
+  explicit CounterRng(std::uint64_t seed, std::uint64_t stream = 0)
+      : state_(SplitMix64(seed ^ (stream * 0x9e3779b97f4a7c15ULL))) {}
+
+  std::uint64_t NextU64() {
+    state_ = SplitMix64(state_);
+    return state_;
+  }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) for bound > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    // Multiply-shift rejection-free mapping (Lemire); bias is negligible for
+    // the graph-generation bounds used here (< 2^32).
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(NextU64()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform float in [lo, hi).
+  float NextFloat(float lo, float hi) {
+    return lo + static_cast<float>(NextDouble()) * (hi - lo);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace gunrock

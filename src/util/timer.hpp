@@ -1,0 +1,28 @@
+// Wall-clock timer used by enactors, benches and examples.
+#pragma once
+
+#include <chrono>
+
+namespace gunrock {
+
+/// Monotonic wall-clock stopwatch with millisecond readout.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart in milliseconds.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gunrock

@@ -1,0 +1,46 @@
+// Fundamental scalar types and sentinels used across the library.
+//
+// Gunrock (the paper) uses 32-bit vertex ids and 32/64-bit edge ids on the
+// GPU; we keep the same convention. Edge ids are 64-bit so that CSR offsets
+// never overflow even for dense generated graphs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gunrock {
+
+/// Vertex identifier. Signed so that -1 can flag "no predecessor".
+using vid_t = std::int32_t;
+
+/// Edge identifier / CSR offset.
+using eid_t = std::int64_t;
+
+/// Edge weight type (paper: random integer weights in [1, 64] stored as
+/// float so atomic-min CAS loops and Bellman-Ford relaxation share code).
+using weight_t = float;
+
+/// Sentinel meaning "invalid / not present" in frontiers and predecessor
+/// arrays. Filter passes compact these away.
+inline constexpr vid_t kInvalidVid = -1;
+inline constexpr eid_t kInvalidEid = -1;
+
+/// Infinite distance for SSSP-style labels.
+inline constexpr weight_t kInfinity = std::numeric_limits<weight_t>::infinity();
+
+/// Width of a virtual SIMT warp used by the lane-efficiency model and by
+/// the TWC (thread/warp/CTA) load-balancing thresholds. Matches NVIDIA's
+/// warp width so the paper's thresholds (32 / 256) carry over unchanged.
+inline constexpr int kWarpWidth = 32;
+
+/// TWC thresholds from the paper (Section 4.4, Figure 4): neighbor lists
+/// larger than a CTA (256) are "large", larger than a warp (32) "medium".
+inline constexpr int kTwcWarpThreshold = 32;
+inline constexpr int kTwcCtaThreshold = 256;
+
+/// Frontier-size threshold (paper Section 4.4): below it, equal-work load
+/// balancing partitions per *vertex*; above it, per *edge*. The paper found
+/// 4096 to be robust across primitives.
+inline constexpr std::int64_t kLbFrontierThreshold = 4096;
+
+}  // namespace gunrock

@@ -1,0 +1,203 @@
+// BFS vs the serial oracle across topologies × strategies × modes ×
+// directions, plus structural properties of the BFS tree.
+#include <gtest/gtest.h>
+
+#include "gunrock.hpp"
+
+namespace gunrock {
+namespace {
+
+using graph::BuildOptions;
+using graph::Coo;
+using graph::Csr;
+
+Csr Undirected(Coo coo) {
+  BuildOptions opts;
+  opts.symmetrize = true;
+  return graph::BuildCsr(coo, opts);
+}
+
+struct BfsCase {
+  std::string name;
+  Csr graph;
+  vid_t source;
+};
+
+std::vector<BfsCase>* MakeCases() {
+  auto* cases = new std::vector<BfsCase>;
+  cases->push_back({"karate", Undirected(graph::MakeKarate()), 0});
+  cases->push_back({"path", Undirected(graph::MakePath(257)), 0});
+  cases->push_back({"star", Undirected(graph::MakeStar(100)), 3});
+  cases->push_back({"grid", Undirected(graph::MakeGrid(37, 23)), 11});
+  cases->push_back(
+      {"tree", Undirected(graph::MakeBinaryTree(10)), 0});
+  {
+    graph::RmatParams p;
+    p.scale = 12;
+    p.edge_factor = 8;
+    cases->push_back({"rmat12", Undirected(GenerateRmat(
+                                    p, par::ThreadPool::Global())),
+                      5});
+  }
+  {
+    graph::RggParams p;
+    p.scale = 12;
+    cases->push_back({"rgg12", Undirected(GenerateRgg(
+                                   p, par::ThreadPool::Global())),
+                      17});
+  }
+  {
+    // Disconnected graph: two planted clusters with no bridges.
+    graph::PlantedPartitionParams p;
+    p.num_clusters = 4;
+    p.cluster_size = 64;
+    cases->push_back({"disconnected",
+                      Undirected(GeneratePlantedPartition(
+                          p, par::ThreadPool::Global())),
+                      1});
+  }
+  return cases;
+}
+
+const std::vector<BfsCase>& Cases() {
+  static const std::vector<BfsCase>* cases = MakeCases();
+  return *cases;
+}
+
+struct Config {
+  core::LoadBalance lb;
+  bool idempotent;
+  core::Direction direction;
+};
+
+std::string ConfigName(const ::testing::TestParamInfo<
+                       std::tuple<std::size_t, Config>>& info) {
+  const auto& [case_idx, cfg] = info.param;
+  std::string name = Cases()[case_idx].name;
+  name += "_";
+  name += ToString(cfg.lb);
+  name += cfg.idempotent ? "_idem" : "_atomic";
+  name += "_";
+  name += ToString(cfg.direction);
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+class BfsParamTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, Config>> {};
+
+TEST_P(BfsParamTest, MatchesSerialDepths) {
+  const auto& [case_idx, cfg] = GetParam();
+  const auto& c = Cases()[case_idx];
+  const auto expected = serial::Bfs(c.graph, c.source);
+
+  BfsOptions opts;
+  opts.load_balance = cfg.lb;
+  opts.idempotent = cfg.idempotent;
+  opts.direction = cfg.direction;
+  const auto got = Bfs(c.graph, c.source, opts);
+
+  ASSERT_EQ(got.depth.size(), expected.depth.size());
+  for (std::size_t v = 0; v < got.depth.size(); ++v) {
+    EXPECT_EQ(got.depth[v], expected.depth[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(BfsParamTest, PredecessorsFormValidBfsTree) {
+  const auto& [case_idx, cfg] = GetParam();
+  const auto& c = Cases()[case_idx];
+  BfsOptions opts;
+  opts.load_balance = cfg.lb;
+  opts.idempotent = cfg.idempotent;
+  opts.direction = cfg.direction;
+  const auto got = Bfs(c.graph, c.source, opts);
+
+  for (vid_t v = 0; v < c.graph.num_vertices(); ++v) {
+    if (v == c.source) {
+      EXPECT_EQ(got.pred[v], kInvalidVid);
+      EXPECT_EQ(got.depth[v], 0);
+      continue;
+    }
+    if (got.depth[v] < 0) {
+      EXPECT_EQ(got.pred[v], kInvalidVid);
+      continue;
+    }
+    const vid_t p = got.pred[v];
+    ASSERT_NE(p, kInvalidVid) << "vertex " << v;
+    // Parent is exactly one level shallower and adjacent.
+    EXPECT_EQ(got.depth[p], got.depth[v] - 1) << "vertex " << v;
+    const auto nbrs = c.graph.neighbors(p);
+    EXPECT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(), v))
+        << "pred " << p << " not adjacent to " << v;
+  }
+}
+
+std::vector<std::tuple<std::size_t, Config>> AllParams() {
+  const Config configs[] = {
+      {core::LoadBalance::kThreadMapped, false, core::Direction::kPush},
+      {core::LoadBalance::kThreadMapped, true, core::Direction::kPush},
+      {core::LoadBalance::kTwc, false, core::Direction::kPush},
+      {core::LoadBalance::kTwc, true, core::Direction::kPush},
+      {core::LoadBalance::kEqualWork, false, core::Direction::kPush},
+      {core::LoadBalance::kEqualWork, true, core::Direction::kPush},
+      {core::LoadBalance::kAuto, true, core::Direction::kPush},
+      {core::LoadBalance::kAuto, true, core::Direction::kPull},
+      {core::LoadBalance::kAuto, false, core::Direction::kPull},
+      {core::LoadBalance::kAuto, true, core::Direction::kOptimizing},
+      {core::LoadBalance::kAuto, false, core::Direction::kOptimizing},
+      {core::LoadBalance::kEqualWork, true, core::Direction::kOptimizing},
+  };
+  std::vector<std::tuple<std::size_t, Config>> params;
+  for (std::size_t i = 0; i < Cases().size(); ++i) {
+    for (const auto& cfg : configs) params.emplace_back(i, cfg);
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGraphs, BfsParamTest,
+                         ::testing::ValuesIn(AllParams()), ConfigName);
+
+TEST(BfsTest, RejectsBadSource) {
+  const auto g = Undirected(graph::MakePath(4));
+  EXPECT_THROW(Bfs(g, -1), Error);
+  EXPECT_THROW(Bfs(g, 4), Error);
+}
+
+TEST(BfsTest, SingleVertexGraph) {
+  graph::Coo coo;
+  coo.num_vertices = 1;
+  const auto g = graph::BuildCsr(coo);
+  const auto r = Bfs(g, 0);
+  EXPECT_EQ(r.depth[0], 0);
+  // One advance runs on the singleton frontier and produces nothing.
+  EXPECT_EQ(r.stats.iterations, 1);
+  EXPECT_EQ(r.stats.edges_visited, 0);
+}
+
+TEST(BfsTest, CountsEdgesAndTime) {
+  graph::RmatParams p;
+  p.scale = 10;
+  const auto g = Undirected(GenerateRmat(p, par::ThreadPool::Global()));
+  BfsOptions opts;
+  opts.direction = core::Direction::kPush;
+  const auto r = Bfs(g, 0, opts);
+  EXPECT_GT(r.stats.edges_visited, 0);
+  EXPECT_GT(r.stats.iterations, 0);
+  EXPECT_GE(r.stats.lane_efficiency, 0.0);
+  EXPECT_LE(r.stats.lane_efficiency, 1.0);
+}
+
+TEST(BfsTest, RecordsPerIterationWhenAsked) {
+  const auto g = Undirected(graph::MakeBinaryTree(8));
+  BfsOptions opts;
+  opts.collect_records = true;
+  opts.direction = core::Direction::kPush;
+  const auto r = Bfs(g, 0, opts);
+  EXPECT_EQ(static_cast<int>(r.stats.records.size()),
+            r.stats.iterations);
+}
+
+}  // namespace
+}  // namespace gunrock

@@ -1,0 +1,124 @@
+// Connected components vs union-find: label agreement, component counts,
+// and partition-equivalence on assorted topologies.
+#include <gtest/gtest.h>
+
+#include "gunrock.hpp"
+
+namespace gunrock {
+namespace {
+
+graph::Csr Undirected(graph::Coo coo) {
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  return graph::BuildCsr(coo, opts);
+}
+
+class CcParamTest : public ::testing::TestWithParam<int> {};
+
+graph::Csr GraphForCase(int idx) {
+  switch (idx) {
+    case 0: return Undirected(graph::MakeKarate());
+    case 1: return Undirected(graph::MakePath(500));
+    case 2: return Undirected(graph::MakeCycle(321));
+    case 3: return Undirected(graph::MakeStar(100));
+    case 4: {
+      graph::PlantedPartitionParams p;
+      p.num_clusters = 8;
+      p.cluster_size = 128;
+      return Undirected(
+          GeneratePlantedPartition(p, par::ThreadPool::Global()));
+    }
+    case 5: {
+      graph::RmatParams p;
+      p.scale = 13;
+      p.edge_factor = 4;  // sparse: many small components + one giant
+      return Undirected(GenerateRmat(p, par::ThreadPool::Global()));
+    }
+    case 6: {
+      graph::RggParams p;
+      p.scale = 12;
+      return Undirected(GenerateRgg(p, par::ThreadPool::Global()));
+    }
+    case 7: {
+      // All-isolated vertices: no edges at all.
+      graph::Coo coo;
+      coo.num_vertices = 64;
+      return graph::BuildCsr(coo);
+    }
+    default: return Undirected(graph::MakePath(2));
+  }
+}
+
+TEST_P(CcParamTest, MatchesUnionFind) {
+  const auto g = GraphForCase(GetParam());
+  const auto expected = serial::ConnectedComponents(g);
+  const auto got = Cc(g);
+
+  EXPECT_EQ(got.num_components, expected.num_components);
+  ASSERT_EQ(got.component.size(), expected.component.size());
+  // Both label components by their minimum vertex id, so labels must
+  // match exactly, not just up to renaming.
+  for (std::size_t v = 0; v < got.component.size(); ++v) {
+    EXPECT_EQ(got.component[v], expected.component[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(CcParamTest, LabelsAreRootsAndMinimal) {
+  const auto g = GraphForCase(GetParam());
+  const auto got = Cc(g);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const vid_t label = got.component[v];
+    EXPECT_LE(label, v);                          // min-id labeling
+    EXPECT_EQ(got.component[label], label);       // label is a root
+  }
+  // Neighbors share a component.
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    for (const vid_t v : g.neighbors(u)) {
+      EXPECT_EQ(got.component[u], got.component[v]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGraphs, CcParamTest, ::testing::Range(0, 8));
+
+TEST(CcTest, EmptyGraph) {
+  graph::Coo coo;
+  coo.num_vertices = 0;
+  const auto g = graph::BuildCsr(coo);
+  const auto got = Cc(g);
+  EXPECT_EQ(got.num_components, 0);
+}
+
+TEST(CcTest, TwoTriangles) {
+  graph::Coo coo;
+  coo.num_vertices = 6;
+  coo.PushEdge(0, 1);
+  coo.PushEdge(1, 2);
+  coo.PushEdge(2, 0);
+  coo.PushEdge(3, 4);
+  coo.PushEdge(4, 5);
+  coo.PushEdge(5, 3);
+  const auto got = Cc(Undirected(std::move(coo)));
+  EXPECT_EQ(got.num_components, 2);
+  EXPECT_EQ(got.component[0], 0);
+  EXPECT_EQ(got.component[1], 0);
+  EXPECT_EQ(got.component[2], 0);
+  EXPECT_EQ(got.component[3], 3);
+  EXPECT_EQ(got.component[4], 3);
+  EXPECT_EQ(got.component[5], 3);
+}
+
+TEST(CcTest, LongChainStressesPointerJumping) {
+  // A path is the worst case for hooking (depth ~ n without jumping).
+  const auto g = Undirected(graph::MakePath(10000));
+  const auto got = Cc(g);
+  EXPECT_EQ(got.num_components, 1);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(got.component[v], 0);
+  }
+  // Pointer jumping must keep rounds logarithmic-ish, far below n.
+  EXPECT_LT(got.stats.iterations, 64);
+}
+
+}  // namespace
+}  // namespace gunrock

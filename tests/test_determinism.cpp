@@ -1,0 +1,135 @@
+// Run-to-run determinism. The library promises: generators are pure
+// functions of (params, seed) independent of thread count; the CSR builder
+// is deterministic including duplicate-weight resolution; and primitives
+// with deterministic specifications (depths, distances, labels, colors,
+// core numbers, MST weight) return identical results across runs and
+// across pools of different sizes.
+#include <gtest/gtest.h>
+
+#include "gunrock.hpp"
+
+namespace gunrock {
+namespace {
+
+graph::Csr BuildFixture(par::ThreadPool& pool) {
+  graph::RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8;
+  auto coo = GenerateRmat(p, pool);
+  graph::AttachRandomWeights(coo, 1, 64);
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  return graph::BuildCsr(coo, opts, pool);
+}
+
+TEST(DeterminismTest, GeneratorsIgnoreThreadCount) {
+  par::ThreadPool one(1), many(16);
+  graph::RmatParams p;
+  p.scale = 12;
+  const auto a = GenerateRmat(p, one);
+  const auto b = GenerateRmat(p, many);
+  EXPECT_EQ(a.src, b.src);
+  EXPECT_EQ(a.dst, b.dst);
+
+  graph::RggParams rp;
+  rp.scale = 11;
+  const auto ra = GenerateRgg(rp, one);
+  const auto rb = GenerateRgg(rp, many);
+  EXPECT_EQ(ra.src, rb.src);
+  EXPECT_EQ(ra.dst, rb.dst);
+}
+
+TEST(DeterminismTest, CsrBuildIgnoresThreadCount) {
+  par::ThreadPool one(1), many(16);
+  const auto a = BuildFixture(one);
+  const auto b = BuildFixture(many);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t i = 0; i < a.col_indices().size(); ++i) {
+    ASSERT_EQ(a.col_indices()[i], b.col_indices()[i]);
+    ASSERT_EQ(a.weights()[i], b.weights()[i]);
+  }
+  for (vid_t v = 0; v <= a.num_vertices(); ++v) {
+    ASSERT_EQ(a.row_offsets()[v], b.row_offsets()[v]);
+  }
+}
+
+TEST(DeterminismTest, BfsDepthsStableAcrossRunsAndPools) {
+  par::ThreadPool small(2), large(16);
+  const auto g = BuildFixture(large);
+  BfsOptions a;
+  a.pool = &small;
+  BfsOptions b;
+  b.pool = &large;
+  b.direction = core::Direction::kOptimizing;
+  const auto ra = Bfs(g, 3, a);
+  const auto rb = Bfs(g, 3, b);
+  const auto rc = Bfs(g, 3, b);
+  EXPECT_EQ(ra.depth, rb.depth);
+  EXPECT_EQ(rb.depth, rc.depth);
+}
+
+TEST(DeterminismTest, SsspDistancesStable) {
+  par::ThreadPool pool(16);
+  const auto g = BuildFixture(pool);
+  SsspOptions opts;
+  opts.pool = &pool;
+  const auto a = Sssp(g, 1, opts);
+  const auto b = Sssp(g, 1, opts);
+  EXPECT_EQ(a.dist, b.dist);
+}
+
+TEST(DeterminismTest, CcLabelsStable) {
+  par::ThreadPool pool(16);
+  const auto g = BuildFixture(pool);
+  CcOptions opts;
+  opts.pool = &pool;
+  const auto a = Cc(g, opts);
+  const auto b = Cc(g, opts);
+  EXPECT_EQ(a.component, b.component);
+  EXPECT_EQ(a.num_components, b.num_components);
+}
+
+TEST(DeterminismTest, ColoringMisKcoreStable) {
+  par::ThreadPool pool(16);
+  const auto g = BuildFixture(pool);
+  ColoringOptions copts;
+  copts.pool = &pool;
+  EXPECT_EQ(GraphColoring(g, copts).color, GraphColoring(g, copts).color);
+  MisOptions mopts;
+  mopts.pool = &pool;
+  EXPECT_EQ(MaximalIndependentSet(g, mopts).in_set,
+            MaximalIndependentSet(g, mopts).in_set);
+  KCoreOptions kopts;
+  kopts.pool = &pool;
+  EXPECT_EQ(KCore(g, kopts).core, KCore(g, kopts).core);
+}
+
+TEST(DeterminismTest, MstWeightStable) {
+  par::ThreadPool pool(16);
+  const auto g = BuildFixture(pool);
+  MstOptions opts;
+  opts.pool = &pool;
+  const auto a = Mst(g, opts);
+  const auto b = Mst(g, opts);
+  // The (weight, edge-id) total order makes the chosen forest itself
+  // unique, not just its weight.
+  EXPECT_EQ(a.tree_edges.size(), b.tree_edges.size());
+  EXPECT_DOUBLE_EQ(a.total_weight, b.total_weight);
+}
+
+TEST(DeterminismTest, PagerankStableWithinTolerance) {
+  par::ThreadPool pool(16);
+  const auto g = BuildFixture(pool);
+  PagerankOptions opts;
+  opts.pool = &pool;
+  const auto a = Pagerank(g, opts);
+  const auto b = Pagerank(g, opts);
+  // Float atomics make bit-exactness too strong; agreement must still be
+  // far tighter than the convergence tolerance.
+  for (std::size_t v = 0; v < a.rank.size(); ++v) {
+    EXPECT_NEAR(a.rank[v], b.rank[v], 1e-12) << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace gunrock

@@ -1,0 +1,185 @@
+// The comparison frameworks (GAS, Pregel, hardwired) must compute the
+// same answers as the serial oracles — they differ in *how*, which is the
+// point of the paper's cross-framework benchmarks.
+#include <gtest/gtest.h>
+
+#include "gunrock.hpp"
+
+namespace gunrock {
+namespace {
+
+graph::Csr Weighted(graph::Coo coo, std::uint64_t seed = 7) {
+  graph::AttachRandomWeights(coo, 1, 64, seed);
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  return graph::BuildCsr(coo, opts);
+}
+
+graph::Csr Undirected(graph::Coo coo) {
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  return graph::BuildCsr(coo, opts);
+}
+
+graph::Csr TestGraph(int idx) {
+  switch (idx) {
+    case 0: return Weighted(graph::MakeKarate());
+    case 1: return Weighted(graph::MakeGrid(20, 20));
+    case 2: {
+      graph::RmatParams p;
+      p.scale = 11;
+      p.edge_factor = 8;
+      return Weighted(GenerateRmat(p, par::ThreadPool::Global()));
+    }
+    case 3: {
+      graph::PlantedPartitionParams p;
+      p.num_clusters = 4;
+      p.cluster_size = 64;
+      return Weighted(
+          GeneratePlantedPartition(p, par::ThreadPool::Global()));
+    }
+    default: return Weighted(graph::MakePath(100));
+  }
+}
+
+class EngineParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineParamTest, GasBfsMatchesSerial) {
+  const auto g = TestGraph(GetParam());
+  const auto expected = serial::Bfs(g, 0);
+  const auto got = gas::Bfs(g, 0, par::ThreadPool::Global());
+  for (std::size_t v = 0; v < expected.depth.size(); ++v) {
+    EXPECT_EQ(got.depth[v], expected.depth[v]) << "vertex " << v;
+  }
+  EXPECT_GT(got.stats.supersteps, 0);
+}
+
+TEST_P(EngineParamTest, GasSsspMatchesDijkstra) {
+  const auto g = TestGraph(GetParam());
+  const auto expected = serial::Dijkstra(g, 0);
+  const auto got = gas::Sssp(g, 0, par::ThreadPool::Global());
+  for (std::size_t v = 0; v < expected.dist.size(); ++v) {
+    EXPECT_FLOAT_EQ(got.dist[v], expected.dist[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(EngineParamTest, GasPagerankMatchesSerial) {
+  const auto g = TestGraph(GetParam());
+  const auto expected = serial::Pagerank(g);
+  const auto got = gas::Pagerank(g, par::ThreadPool::Global());
+  for (std::size_t v = 0; v < expected.rank.size(); ++v) {
+    EXPECT_NEAR(got.rank[v], expected.rank[v], 1e-6) << "vertex " << v;
+  }
+}
+
+TEST_P(EngineParamTest, GasCcMatchesUnionFind) {
+  const auto g = TestGraph(GetParam());
+  const auto expected = serial::ConnectedComponents(g);
+  const auto got = gas::Cc(g, par::ThreadPool::Global());
+  EXPECT_EQ(got.num_components, expected.num_components);
+  for (std::size_t v = 0; v < expected.component.size(); ++v) {
+    EXPECT_EQ(got.component[v], expected.component[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(EngineParamTest, PregelBfsMatchesSerial) {
+  const auto g = TestGraph(GetParam());
+  const auto expected = serial::Bfs(g, 0);
+  const auto got = pregel::Bfs(g, 0, par::ThreadPool::Global());
+  for (std::size_t v = 0; v < expected.depth.size(); ++v) {
+    EXPECT_EQ(got.depth[v], expected.depth[v]) << "vertex " << v;
+  }
+  EXPECT_GT(got.stats.messages_sent, 0);
+}
+
+TEST_P(EngineParamTest, PregelSsspMatchesDijkstra) {
+  const auto g = TestGraph(GetParam());
+  const auto expected = serial::Dijkstra(g, 0);
+  const auto got = pregel::Sssp(g, 0, par::ThreadPool::Global());
+  for (std::size_t v = 0; v < expected.dist.size(); ++v) {
+    EXPECT_FLOAT_EQ(got.dist[v], expected.dist[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(EngineParamTest, PregelPagerankMatchesSerial) {
+  const auto g = TestGraph(GetParam());
+  const auto expected = serial::Pagerank(g);
+  const auto got = pregel::Pagerank(g, par::ThreadPool::Global());
+  for (std::size_t v = 0; v < expected.rank.size(); ++v) {
+    EXPECT_NEAR(got.rank[v], expected.rank[v], 1e-6) << "vertex " << v;
+  }
+}
+
+TEST_P(EngineParamTest, HardwiredBfsMatchesSerial) {
+  const auto g = TestGraph(GetParam());
+  const auto expected = serial::Bfs(g, 0);
+  const auto got = hardwired::Bfs(g, 0, par::ThreadPool::Global());
+  for (std::size_t v = 0; v < expected.depth.size(); ++v) {
+    EXPECT_EQ(got.depth[v], expected.depth[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(EngineParamTest, HardwiredSsspMatchesDijkstra) {
+  const auto g = TestGraph(GetParam());
+  const auto expected = serial::Dijkstra(g, 0);
+  const auto got = hardwired::Sssp(g, 0, par::ThreadPool::Global());
+  for (std::size_t v = 0; v < expected.dist.size(); ++v) {
+    EXPECT_FLOAT_EQ(got.dist[v], expected.dist[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(EngineParamTest, HardwiredBcMatchesBrandes) {
+  const auto g = TestGraph(GetParam());
+  const vid_t src_list[] = {0};
+  const auto expected = serial::Brandes(g, src_list);
+  const auto got = hardwired::Bc(g, 0, par::ThreadPool::Global());
+  for (std::size_t v = 0; v < expected.size(); ++v) {
+    EXPECT_NEAR(got.bc[v], expected[v], 1e-9 + 1e-9 * expected[v])
+        << "vertex " << v;
+  }
+}
+
+TEST_P(EngineParamTest, HardwiredCcMatchesUnionFind) {
+  const auto g = TestGraph(GetParam());
+  const auto expected = serial::ConnectedComponents(g);
+  const auto got = hardwired::Cc(g, par::ThreadPool::Global());
+  EXPECT_EQ(got.num_components, expected.num_components);
+  for (std::size_t v = 0; v < expected.component.size(); ++v) {
+    EXPECT_EQ(got.component[v], expected.component[v]) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGraphs, EngineParamTest,
+                         ::testing::Range(0, 5));
+
+TEST(EngineContractTest, GasReportsVertexMappedEfficiency) {
+  // A star graph is the worst case for a vertex-mapped gather: one hub
+  // with degree n-1 among leaves of degree 1.
+  const auto star = Undirected(graph::MakeStar(2048));
+  const auto got = gas::Bfs(star, 1, par::ThreadPool::Global());
+  EXPECT_LT(got.stats.lane_efficiency, 0.5);
+
+  // A cycle is perfectly regular: near-perfect lane efficiency.
+  const auto cycle = Undirected(graph::MakeCycle(2048));
+  const auto reg = gas::Bfs(cycle, 0, par::ThreadPool::Global());
+  EXPECT_GT(reg.stats.lane_efficiency, 0.9);
+}
+
+TEST(EngineContractTest, GasSweepsFullEdgeListEverySuperstep) {
+  const auto g = Undirected(graph::MakePath(64));
+  const auto got = gas::Bfs(g, 0, par::ThreadPool::Global());
+  // Path BFS needs ~n supersteps, each sweeping all edges: the GAS cost
+  // model the paper criticizes.
+  EXPECT_EQ(got.stats.edges_processed,
+            static_cast<eid_t>(got.stats.supersteps) * g.num_edges());
+}
+
+TEST(EngineContractTest, PregelMessageCountTracksFrontierWork) {
+  const auto g = Undirected(graph::MakeStar(100));
+  const auto got = pregel::Bfs(g, 0, par::ThreadPool::Global());
+  // Superstep 0: hub sends 99 messages; superstep 1: 99 leaves send back.
+  EXPECT_EQ(got.stats.messages_sent, 99 + 99);
+}
+
+}  // namespace
+}  // namespace gunrock

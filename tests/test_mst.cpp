@@ -1,0 +1,142 @@
+// Minimum spanning forest: total weight vs Kruskal, forest structure
+// (acyclic, spanning, right cardinality) across topologies.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gunrock.hpp"
+
+namespace gunrock {
+namespace {
+
+graph::Csr Weighted(graph::Coo coo, std::uint64_t seed = 7) {
+  graph::AttachRandomWeights(coo, 1, 64, seed);
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  return graph::BuildCsr(coo, opts);
+}
+
+graph::Csr TestGraph(int idx) {
+  switch (idx) {
+    case 0: return Weighted(graph::MakeKarate());
+    case 1: return Weighted(graph::MakePath(300));
+    case 2: return Weighted(graph::MakeCycle(123));
+    case 3: return Weighted(graph::MakeComplete(40));
+    case 4: return Weighted(graph::MakeGrid(20, 20));
+    case 5: {
+      graph::RmatParams p;
+      p.scale = 12;
+      p.edge_factor = 8;
+      return Weighted(GenerateRmat(p, par::ThreadPool::Global()));
+    }
+    case 6: {
+      graph::PlantedPartitionParams p;  // forest over 4 components
+      p.num_clusters = 4;
+      p.cluster_size = 128;
+      return Weighted(
+          GeneratePlantedPartition(p, par::ThreadPool::Global()));
+    }
+    case 7: {
+      graph::RoadParams p;
+      p.width = 40;
+      p.height = 40;
+      graph::BuildOptions opts;
+      opts.symmetrize = true;
+      return graph::BuildCsr(GenerateRoad(p, par::ThreadPool::Global()),
+                             opts);
+    }
+    default: return Weighted(graph::MakeStar(64));
+  }
+}
+
+class MstParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MstParamTest, WeightMatchesKruskal) {
+  const auto g = TestGraph(GetParam());
+  const auto expected = serial::KruskalMst(g);
+  const auto got = Mst(g);
+  EXPECT_EQ(got.tree_edges.size(), expected.num_tree_edges);
+  // With the (weight, id) tie-break, any MSF has the same total weight.
+  EXPECT_NEAR(got.total_weight, expected.total_weight,
+              1e-6 * expected.total_weight + 1e-9);
+}
+
+TEST_P(MstParamTest, ForestIsAcyclicAndSpanning) {
+  const auto g = TestGraph(GetParam());
+  const auto got = Mst(g);
+  const auto srcs = g.edge_sources(par::ThreadPool::Global());
+
+  // Union-find over the tree edges: adding one must never close a cycle.
+  std::vector<vid_t> parent(g.num_vertices());
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&](vid_t v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const eid_t e : got.tree_edges) {
+    const vid_t u = srcs[static_cast<std::size_t>(e)];
+    const vid_t v = g.col_indices()[e];
+    const vid_t ru = find(u), rv = find(v);
+    ASSERT_NE(ru, rv) << "cycle closed by edge " << e;
+    parent[std::max(ru, rv)] = std::min(ru, rv);
+  }
+  // Spanning: the forest induces exactly the graph's components.
+  const auto cc = serial::ConnectedComponents(g);
+  EXPECT_EQ(got.num_components, cc.num_components);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(find(v), cc.component[v]) << "vertex " << v;
+  }
+  // |F| = |V| - #components.
+  EXPECT_EQ(static_cast<vid_t>(got.tree_edges.size()),
+            g.num_vertices() - cc.num_components);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGraphs, MstParamTest, ::testing::Range(0, 9));
+
+TEST(MstTest, RequiresWeights) {
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  const auto g = graph::BuildCsr(graph::MakePath(5), opts);
+  EXPECT_THROW(Mst(g), Error);
+}
+
+TEST(MstTest, PathTreeIsThePathItself) {
+  const auto g = Weighted(graph::MakePath(50));
+  const auto got = Mst(g);
+  EXPECT_EQ(got.tree_edges.size(), 49u);
+  EXPECT_EQ(got.num_components, 1);
+}
+
+TEST(MstTest, TriangleDropsHeaviestEdge) {
+  graph::Coo coo;
+  coo.num_vertices = 3;
+  coo.PushEdge(0, 1, 1.0f);
+  coo.PushEdge(1, 2, 2.0f);
+  coo.PushEdge(0, 2, 10.0f);
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  const auto g = graph::BuildCsr(coo, opts);
+  const auto got = Mst(g);
+  EXPECT_EQ(got.tree_edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(got.total_weight, 3.0);
+}
+
+TEST(MstTest, EmptyAndEdgelessGraphs) {
+  graph::Coo coo;
+  coo.num_vertices = 10;
+  coo.weight = {};  // no edges at all
+  graph::Csr g = graph::BuildCsr(coo);
+  // Unweighted edgeless graph: MST requires weights even if trivial.
+  EXPECT_THROW(Mst(g), Error);
+  coo.PushEdge(0, 1, 2.0f);
+  g = graph::BuildCsr(coo);
+  const auto got = Mst(g);
+  EXPECT_EQ(got.tree_edges.size(), 1u);
+  EXPECT_EQ(got.num_components, 9);  // 8 isolated + the pair
+}
+
+}  // namespace
+}  // namespace gunrock

@@ -1,0 +1,88 @@
+// Source sweeps: every traversal primitive against its oracle from many
+// different sources of one fixed scale-free graph — catches source-
+// dependent corner cases (isolated sources, leaf sources, hub sources).
+#include <gtest/gtest.h>
+
+#include "gunrock.hpp"
+
+namespace gunrock {
+namespace {
+
+const graph::Csr& Fixture() {
+  static const graph::Csr g = [] {
+    graph::RmatParams p;
+    p.scale = 12;
+    p.edge_factor = 6;  // sparse: leaves many isolated vertices
+    auto coo = GenerateRmat(p, par::ThreadPool::Global());
+    graph::AttachRandomWeights(coo, 1, 64);
+    graph::BuildOptions opts;
+    opts.symmetrize = true;
+    return graph::BuildCsr(coo, opts);
+  }();
+  return g;
+}
+
+class SourceSweepTest : public ::testing::TestWithParam<vid_t> {};
+
+// Stride chosen to scatter sources irregularly through the id space.
+inline constexpr std::int64_t kSourceStride = 997;
+
+vid_t PickSource(vid_t index) {
+  const auto& g = Fixture();
+  return static_cast<vid_t>(
+      (static_cast<std::int64_t>(index) * kSourceStride) %
+      g.num_vertices());
+}
+
+TEST_P(SourceSweepTest, BfsMatchesSerial) {
+  const auto& g = Fixture();
+  const vid_t src = PickSource(GetParam());
+  const auto expected = serial::Bfs(g, src);
+  BfsOptions opts;
+  opts.direction = core::Direction::kOptimizing;
+  const auto got = Bfs(g, src, opts);
+  EXPECT_EQ(got.depth, expected.depth);
+}
+
+TEST_P(SourceSweepTest, SsspMatchesDijkstra) {
+  const auto& g = Fixture();
+  const vid_t src = PickSource(GetParam());
+  const auto expected = serial::Dijkstra(g, src);
+  const auto got = Sssp(g, src);
+  ASSERT_EQ(got.dist.size(), expected.dist.size());
+  for (std::size_t v = 0; v < got.dist.size(); ++v) {
+    ASSERT_FLOAT_EQ(got.dist[v], expected.dist[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(SourceSweepTest, BcMatchesBrandes) {
+  const auto& g = Fixture();
+  const vid_t src = PickSource(GetParam());
+  const vid_t src_list[] = {src};
+  const auto expected = serial::Brandes(g, src_list);
+  const auto got = Bc(g, src);
+  for (std::size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(got.bc[v], expected[v], 1e-9 + 1e-9 * expected[v])
+        << "vertex " << v;
+  }
+}
+
+TEST_P(SourceSweepTest, HardwiredAgreesWithGunrock) {
+  const auto& g = Fixture();
+  const vid_t src = PickSource(GetParam());
+  auto& pool = par::ThreadPool::Global();
+  const auto hw_bfs = hardwired::Bfs(g, src, pool);
+  const auto gr_bfs = Bfs(g, src);
+  EXPECT_EQ(hw_bfs.depth, gr_bfs.depth);
+  const auto hw_sssp = hardwired::Sssp(g, src, pool);
+  const auto gr_sssp = Sssp(g, src);
+  for (std::size_t v = 0; v < hw_sssp.dist.size(); ++v) {
+    ASSERT_FLOAT_EQ(hw_sssp.dist[v], gr_sssp.dist[v]) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sources, SourceSweepTest,
+                         ::testing::Range<vid_t>(0, 16));
+
+}  // namespace
+}  // namespace gunrock

@@ -1,0 +1,190 @@
+// PageRank vs serial power iteration; distribution properties; frontier
+// (Gunrock-faithful) mode approximation bounds.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gunrock.hpp"
+
+namespace gunrock {
+namespace {
+
+graph::Csr Undirected(graph::Coo coo) {
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  return graph::BuildCsr(coo, opts);
+}
+
+class PrParamTest : public ::testing::TestWithParam<
+                        std::tuple<int, core::LoadBalance>> {};
+
+graph::Csr GraphForCase(int idx) {
+  switch (idx) {
+    case 0: return Undirected(graph::MakeKarate());
+    case 1: return Undirected(graph::MakeCycle(97));
+    case 2: return Undirected(graph::MakeStar(64));
+    case 3: {
+      graph::RmatParams p;
+      p.scale = 11;
+      p.edge_factor = 8;
+      return Undirected(GenerateRmat(p, par::ThreadPool::Global()));
+    }
+    case 4: {
+      // Directed graph with dangling vertices (web-like).
+      graph::RmatParams p;
+      p.scale = 10;
+      p.edge_factor = 4;
+      return graph::BuildCsr(GenerateRmat(p, par::ThreadPool::Global()));
+    }
+    default: return Undirected(graph::MakePath(3));
+  }
+}
+
+std::string PrName(const ::testing::TestParamInfo<
+                   std::tuple<int, core::LoadBalance>>& info) {
+  std::string name = "case" + std::to_string(std::get<0>(info.param));
+  name += "_";
+  name += ToString(std::get<1>(info.param));
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+TEST_P(PrParamTest, MatchesPowerIteration) {
+  const auto& [idx, lb] = GetParam();
+  const auto g = GraphForCase(idx);
+  const auto expected = serial::Pagerank(g);
+
+  PagerankOptions opts;
+  opts.load_balance = lb;
+  const auto got = Pagerank(g, opts);
+
+  ASSERT_EQ(got.rank.size(), expected.rank.size());
+  for (std::size_t v = 0; v < got.rank.size(); ++v) {
+    EXPECT_NEAR(got.rank[v], expected.rank[v], 1e-7) << "vertex " << v;
+  }
+}
+
+TEST_P(PrParamTest, RanksSumToOne) {
+  const auto& [idx, lb] = GetParam();
+  const auto g = GraphForCase(idx);
+  PagerankOptions opts;
+  opts.load_balance = lb;
+  const auto got = Pagerank(g, opts);
+  const double sum =
+      std::accumulate(got.rank.begin(), got.rank.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (const double r : got.rank) EXPECT_GT(r, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGraphs, PrParamTest,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(core::LoadBalance::kThreadMapped,
+                                         core::LoadBalance::kEqualWork,
+                                         core::LoadBalance::kAuto)),
+    PrName);
+
+TEST(PagerankTest, CycleIsUniform) {
+  const auto g = Undirected(graph::MakeCycle(50));
+  const auto got = Pagerank(g);
+  for (const double r : got.rank) EXPECT_NEAR(r, 1.0 / 50, 1e-10);
+}
+
+TEST(PagerankTest, StarHubOutranksLeaves) {
+  const auto g = Undirected(graph::MakeStar(64));
+  const auto got = Pagerank(g);
+  for (std::size_t v = 1; v < 64; ++v) {
+    EXPECT_GT(got.rank[0], got.rank[v]);
+    EXPECT_NEAR(got.rank[v], got.rank[1], 1e-12);  // leaves identical
+  }
+}
+
+TEST(PagerankTest, FrontierModeApproximatesExact) {
+  graph::RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  const auto g =
+      Undirected(GenerateRmat(p, par::ThreadPool::Global()));
+  PagerankOptions exact;
+  exact.tolerance = 1e-10;
+  const auto ref = Pagerank(g, exact);
+
+  PagerankOptions faithful;
+  faithful.frontier_mode = true;
+  faithful.tolerance = 1e-8;
+  const auto approx = Pagerank(g, faithful);
+
+  // The delta-style frontier shrink trades tail accuracy for work; ranks
+  // must stay within a small absolute band of the exact solution.
+  for (std::size_t v = 0; v < ref.rank.size(); ++v) {
+    EXPECT_NEAR(approx.rank[v], ref.rank[v], 1e-4) << "vertex " << v;
+  }
+  EXPECT_GT(approx.iterations, 0);
+}
+
+TEST(PagerankTest, PullModeMatchesPushAndSerial) {
+  graph::RmatParams p;
+  p.scale = 11;
+  p.edge_factor = 8;
+  const auto g = Undirected(GenerateRmat(p, par::ThreadPool::Global()));
+  const auto expected = serial::Pagerank(g);
+  PagerankOptions pull;
+  pull.pull = true;
+  const auto got = Pagerank(g, pull);
+  for (std::size_t v = 0; v < expected.rank.size(); ++v) {
+    EXPECT_NEAR(got.rank[v], expected.rank[v], 1e-7) << "vertex " << v;
+  }
+}
+
+TEST(PagerankTest, PullModeOnDirectedGraphWithExplicitReverse) {
+  graph::RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 4;
+  const auto g = graph::BuildCsr(
+      GenerateRmat(p, par::ThreadPool::Global()));
+  const auto rg = graph::ReverseCsr(g, par::ThreadPool::Global());
+  const auto expected = serial::Pagerank(g);
+  PagerankOptions pull;
+  pull.pull = true;
+  pull.reverse = &rg;
+  const auto got = Pagerank(g, pull);
+  for (std::size_t v = 0; v < expected.rank.size(); ++v) {
+    EXPECT_NEAR(got.rank[v], expected.rank[v], 1e-7) << "vertex " << v;
+  }
+}
+
+TEST(PagerankTest, DanglingMassIsConserved) {
+  // Directed star pointing inward: the hub has no out-edges (dangling).
+  graph::Coo coo;
+  coo.num_vertices = 9;
+  for (vid_t v = 1; v < 9; ++v) coo.PushEdge(v, 0);
+  const auto g = graph::BuildCsr(coo);
+  const auto got = Pagerank(g);
+  const double sum =
+      std::accumulate(got.rank.begin(), got.rank.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(got.rank[0], got.rank[1]);
+}
+
+TEST(PagerankTest, RespectsMaxIterations) {
+  const auto g = Undirected(graph::MakeKarate());
+  PagerankOptions opts;
+  opts.max_iterations = 3;
+  opts.tolerance = 0;  // never converges by tolerance
+  const auto got = Pagerank(g, opts);
+  EXPECT_EQ(got.iterations, 3);
+}
+
+TEST(PagerankTest, TimePerIterationNormalization) {
+  const auto g = Undirected(graph::MakeKarate());
+  const auto got = Pagerank(g);
+  EXPECT_GT(got.iterations, 0);
+  EXPECT_GE(got.MsPerIteration(), 0.0);
+  EXPECT_NEAR(got.MsPerIteration() * got.iterations,
+              got.stats.elapsed_ms, 1e-6);
+}
+
+}  // namespace
+}  // namespace gunrock

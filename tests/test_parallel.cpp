@@ -1,0 +1,322 @@
+// Parallel runtime and primitives: algebraic properties checked across a
+// sweep of sizes and thread counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "parallel/atomics.hpp"
+#include "parallel/bitmap.hpp"
+#include "parallel/compact.hpp"
+#include "parallel/for_each.hpp"
+#include "parallel/histogram.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/scan.hpp"
+#include "parallel/segmented.hpp"
+#include "parallel/sort.hpp"
+#include "parallel/sorted_search.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace gunrock::par {
+namespace {
+
+class ParallelSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+std::vector<std::uint64_t> RandomData(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint64_t> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = SplitMix64(seed + i);
+  return data;
+}
+
+TEST(ThreadPoolTest, AllRanksRunExactlyOnce) {
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.num_threads(), 8u);
+  std::vector<std::atomic<int>> hits(8);
+  pool.Parallel([&](unsigned rank) { hits[rank].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Parallel([&](unsigned) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200 * 4);
+}
+
+TEST(ThreadPoolTest, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.Parallel([&](unsigned rank) {
+        if (rank == 2) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+  // Pool still usable afterwards.
+  std::atomic<int> ok{0};
+  pool.Parallel([&](unsigned) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  int x = 0;
+  pool.Parallel([&](unsigned rank) {
+    EXPECT_EQ(rank, 0u);
+    ++x;
+  });
+  EXPECT_EQ(x, 1);
+}
+
+TEST_P(ParallelSizeTest, ParallelForCoversEveryIndexOnce) {
+  const std::size_t n = GetParam();
+  ThreadPool pool(6);
+  std::vector<std::atomic<std::uint8_t>> hits(n);
+  ParallelFor(pool, 0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(ParallelSizeTest, FixedBlocksPartitionExactly) {
+  const std::size_t n = GetParam();
+  ThreadPool pool(6);
+  for (const std::size_t nblocks : {1ul, 3ul, 7ul, 16ul}) {
+    if (nblocks > std::max<std::size_t>(n, 1)) continue;
+    std::vector<std::atomic<std::uint8_t>> hits(n);
+    FixedBlocks(pool, n, nblocks,
+                [&](std::size_t, std::size_t lo, std::size_t hi) {
+                  for (std::size_t i = lo; i < hi; ++i) {
+                    hits[i].fetch_add(1);
+                  }
+                });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " b=" << nblocks;
+    }
+  }
+}
+
+TEST_P(ParallelSizeTest, ExclusiveScanMatchesSerial) {
+  const std::size_t n = GetParam();
+  ThreadPool pool(6);
+  auto data = RandomData(n, 1);
+  for (auto& d : data) d &= 0xffff;  // avoid overflow
+  std::vector<std::uint64_t> got(n), expected(n);
+  const auto total = ExclusiveScan<std::uint64_t>(pool, data, got);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    expected[i] = acc;
+    acc += data[i];
+  }
+  EXPECT_EQ(total, acc);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(ParallelSizeTest, InclusiveScanMatchesSerialAndAliases) {
+  const std::size_t n = GetParam();
+  ThreadPool pool(6);
+  auto data = RandomData(n, 2);
+  for (auto& d : data) d &= 0xffff;
+  std::vector<std::uint64_t> expected(n);
+  std::partial_sum(data.begin(), data.end(), expected.begin());
+  // In-place (aliased) scan.
+  InclusiveScan<std::uint64_t>(pool, data, data);
+  EXPECT_EQ(data, expected);
+}
+
+TEST_P(ParallelSizeTest, ReduceAndCountMatchSerial) {
+  const std::size_t n = GetParam();
+  ThreadPool pool(6);
+  auto data = RandomData(n, 3);
+  std::uint64_t expected_max = 0, expected_sum = 0;
+  std::size_t expected_evens = 0;
+  for (const auto d : data) {
+    expected_max = std::max(expected_max, d);
+    expected_sum += d & 0xff;
+    expected_evens += (d % 2 == 0) ? 1 : 0;
+  }
+  EXPECT_EQ(ReduceMax<std::uint64_t>(pool, data, 0), expected_max);
+  EXPECT_EQ(TransformReduce(
+                pool, n, std::uint64_t{0},
+                [](std::uint64_t a, std::uint64_t b) { return a + b; },
+                [&](std::size_t i) { return data[i] & 0xff; }),
+            expected_sum);
+  EXPECT_EQ(CountIf<std::uint64_t>(pool, data,
+                                   [](std::uint64_t d) {
+                                     return d % 2 == 0;
+                                   }),
+            expected_evens);
+}
+
+TEST_P(ParallelSizeTest, CopyIfIsStableAndExact) {
+  const std::size_t n = GetParam();
+  ThreadPool pool(6);
+  const auto data = RandomData(n, 4);
+  std::vector<std::uint64_t> got(n), expected;
+  for (const auto d : data) {
+    if (d % 3 == 0) expected.push_back(d);
+  }
+  const std::size_t kept = CopyIf<std::uint64_t>(
+      pool, data, got, [](std::uint64_t d) { return d % 3 == 0; });
+  got.resize(kept);
+  EXPECT_EQ(got, expected);  // order preserved
+}
+
+TEST_P(ParallelSizeTest, RadixSortKeysSorts) {
+  const std::size_t n = GetParam();
+  ThreadPool pool(6);
+  auto data = RandomData(n, 5);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  RadixSortKeys<std::uint64_t>(pool, data);
+  EXPECT_EQ(data, expected);
+}
+
+TEST_P(ParallelSizeTest, RadixSortPairsIsStablePermutation) {
+  const std::size_t n = GetParam();
+  ThreadPool pool(6);
+  // Few distinct keys so stability is observable through values.
+  std::vector<std::uint32_t> keys(n);
+  std::vector<std::uint64_t> vals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<std::uint32_t>(SplitMix64(1000 + i) % 7);
+    vals[i] = i;
+  }
+  auto expected_keys = keys;
+  std::vector<std::uint64_t> expected_vals(n);
+  {
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> pairs(n);
+    for (std::size_t i = 0; i < n; ++i) pairs[i] = {keys[i], i};
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [](auto& a, auto& b) { return a.first < b.first; });
+    for (std::size_t i = 0; i < n; ++i) {
+      expected_keys[i] = pairs[i].first;
+      expected_vals[i] = pairs[i].second;
+    }
+  }
+  RadixSortPairs<std::uint32_t, std::uint64_t>(pool, keys, vals);
+  EXPECT_EQ(keys, expected_keys);
+  EXPECT_EQ(vals, expected_vals);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParallelSizeTest,
+                         ::testing::Values(0, 1, 2, 17, 1000, 4096, 65537,
+                                           1 << 18));
+
+TEST(SortedSearchTest, FindsOwnersAtBoundaries) {
+  ThreadPool pool(4);
+  const std::vector<std::int64_t> offsets = {0, 0, 3, 3, 7, 10, 10};
+  // Element positions map to the last offset <= position.
+  EXPECT_EQ(FindOwner<std::int64_t>(offsets, 0), 1u);   // skips empty seg 0
+  EXPECT_EQ(FindOwner<std::int64_t>(offsets, 2), 1u);
+  EXPECT_EQ(FindOwner<std::int64_t>(offsets, 3), 3u);   // skips empty seg 2
+  EXPECT_EQ(FindOwner<std::int64_t>(offsets, 6), 3u);
+  EXPECT_EQ(FindOwner<std::int64_t>(offsets, 7), 4u);
+  EXPECT_EQ(FindOwner<std::int64_t>(offsets, 9), 4u);
+  const std::vector<std::int64_t> queries = {0, 2, 3, 6, 7, 9};
+  std::vector<std::size_t> out(queries.size());
+  SortedSearch<std::int64_t>(pool, offsets, queries, out);
+  EXPECT_EQ(out, (std::vector<std::size_t>{1, 1, 3, 3, 4, 4}));
+}
+
+TEST(SegmentedReduceTest, BothFlavorsMatchSerial) {
+  ThreadPool pool(6);
+  // Skewed segments, including empties and one giant.
+  std::vector<std::int64_t> offsets = {0};
+  std::vector<std::size_t> sizes = {0, 5, 0, 10000, 3, 0, 17, 1, 0, 2048};
+  for (const auto s : sizes) offsets.push_back(offsets.back() +
+                                               static_cast<std::int64_t>(s));
+  const std::size_t total = static_cast<std::size_t>(offsets.back());
+  std::vector<std::uint64_t> values(total);
+  for (std::size_t i = 0; i < total; ++i) values[i] = SplitMix64(i) & 0xff;
+
+  std::vector<std::uint64_t> expected(sizes.size(), 0);
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    for (auto j = offsets[s]; j < offsets[s + 1]; ++j) {
+      expected[s] += values[static_cast<std::size_t>(j)];
+    }
+  }
+  const auto add = [](std::uint64_t a, std::uint64_t b) { return a + b; };
+  const auto val = [&](std::size_t j) { return values[j]; };
+
+  std::vector<std::uint64_t> got(sizes.size(), 99);
+  SegmentedReduceSegmentMapped<std::uint64_t, std::int64_t>(
+      pool, offsets, got, std::uint64_t{0}, add, val);
+  EXPECT_EQ(got, expected);
+
+  std::fill(got.begin(), got.end(), 99);
+  SegmentedReduceBalanced<std::uint64_t, std::int64_t>(
+      pool, offsets, got, std::uint64_t{0}, add, val);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(BitmapTest, TestAndSetClaimsExactlyOnce) {
+  ThreadPool pool(8);
+  Bitmap bm(100000);
+  std::atomic<std::size_t> claims{0};
+  ParallelFor(pool, 0, 400000, [&](std::size_t i) {
+    if (bm.TestAndSet(i % 100000)) claims.fetch_add(1);
+  });
+  EXPECT_EQ(claims.load(), 100000u);
+  EXPECT_EQ(bm.Count(pool), 100000u);
+  bm.Reset(pool);
+  EXPECT_EQ(bm.Count(pool), 0u);
+}
+
+TEST(AtomicsTest, MinMaxAddExchangeUnderContention) {
+  ThreadPool pool(8);
+  std::int64_t min_v = 1 << 30;
+  std::int64_t max_v = -(1 << 30);
+  std::int64_t sum_v = 0;
+  float fsum = 0.0f;
+  ParallelFor(pool, 0, 100000, [&](std::size_t i) {
+    AtomicMin(&min_v, static_cast<std::int64_t>(i));
+    AtomicMax(&max_v, static_cast<std::int64_t>(i));
+    AtomicAdd(&sum_v, std::int64_t{1});
+    AtomicAdd(&fsum, 1.0f);
+  });
+  EXPECT_EQ(min_v, 0);
+  EXPECT_EQ(max_v, 99999);
+  EXPECT_EQ(sum_v, 100000);
+  EXPECT_FLOAT_EQ(fsum, 100000.0f);
+}
+
+TEST(AtomicsTest, CasClaimsUniquely) {
+  ThreadPool pool(8);
+  std::int32_t slot = -1;
+  std::atomic<int> winners{0};
+  ParallelFor(pool, 0, 10000, [&](std::size_t) {
+    if (AtomicCas(&slot, std::int32_t{-1}, std::int32_t{7})) {
+      winners.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(winners.load(), 1);
+  EXPECT_EQ(slot, 7);
+}
+
+TEST(HistogramTest, MatchesSerialCounts) {
+  ThreadPool pool(6);
+  const std::size_t n = 100000;
+  std::vector<std::int64_t> bins(16), expected(16, 0);
+  for (std::size_t i = 0; i < n; ++i) ++expected[SplitMix64(i) % 16];
+  Histogram(pool, n, bins, [](std::size_t i) { return SplitMix64(i) % 16; });
+  EXPECT_EQ(bins, expected);
+}
+
+TEST(GenerateIfTest, MaterializesIndexSets) {
+  ThreadPool pool(6);
+  std::vector<std::uint32_t> out(1000);
+  const std::size_t kept = GenerateIf(
+      pool, 1000, std::span<std::uint32_t>(out),
+      [](std::size_t i) { return i % 7 == 0; },
+      [](std::size_t i) { return static_cast<std::uint32_t>(i * 2); });
+  ASSERT_EQ(kept, 143u);
+  for (std::size_t k = 0; k < kept; ++k) {
+    EXPECT_EQ(out[k], k * 14);
+  }
+}
+
+}  // namespace
+}  // namespace gunrock::par

@@ -1,0 +1,216 @@
+// Cross-primitive metamorphic and structural properties — invariants that
+// must hold regardless of the workload-mapping strategy or topology.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gunrock.hpp"
+
+namespace gunrock {
+namespace {
+
+graph::Csr Weighted(graph::Coo coo, std::uint64_t seed = 7) {
+  graph::AttachRandomWeights(coo, 1, 64, seed);
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  return graph::BuildCsr(coo, opts);
+}
+
+class PropertySeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+graph::Csr SeededGraph(std::uint64_t seed) {
+  graph::RmatParams p;
+  p.scale = 11;
+  p.edge_factor = 8;
+  p.seed = seed;
+  return Weighted(GenerateRmat(p, par::ThreadPool::Global()), seed * 31);
+}
+
+TEST_P(PropertySeedTest, BfsDepthsLipschitzAcrossEdges) {
+  // |depth(u) - depth(v)| <= 1 for every edge in the reached subgraph.
+  const auto g = SeededGraph(GetParam());
+  const auto r = Bfs(g, 0);
+  const auto srcs = g.edge_sources(par::ThreadPool::Global());
+  for (eid_t e = 0; e < g.num_edges(); ++e) {
+    const auto du = r.depth[srcs[static_cast<std::size_t>(e)]];
+    const auto dv = r.depth[g.col_indices()[e]];
+    if (du < 0 || dv < 0) {
+      // Reachability is edge-connected: both sides agree.
+      EXPECT_EQ(du < 0, dv < 0);
+      continue;
+    }
+    EXPECT_LE(std::abs(du - dv), 1) << "edge " << e;
+  }
+}
+
+TEST_P(PropertySeedTest, SsspTriangleInequalityAtFixpoint) {
+  // dist is a fixpoint of relaxation: dist[v] <= dist[u] + w(u,v).
+  const auto g = SeededGraph(GetParam());
+  const auto r = Sssp(g, 0);
+  const auto srcs = g.edge_sources(par::ThreadPool::Global());
+  for (eid_t e = 0; e < g.num_edges(); ++e) {
+    const auto du = r.dist[srcs[static_cast<std::size_t>(e)]];
+    const auto dv = r.dist[g.col_indices()[e]];
+    if (du == kInfinity) continue;
+    EXPECT_LE(dv, du + g.edge_weight(e)) << "edge " << e;
+  }
+}
+
+TEST_P(PropertySeedTest, SsspUpperBoundsBfsTimesMaxWeight) {
+  // Unit-hop count times max weight bounds the weighted distance, and
+  // weighted distance is at least the hop count (weights >= 1).
+  const auto g = SeededGraph(GetParam());
+  const auto bfs = Bfs(g, 0);
+  const auto sssp = Sssp(g, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (bfs.depth[v] < 0) {
+      EXPECT_EQ(sssp.dist[v], kInfinity);
+      continue;
+    }
+    EXPECT_GE(sssp.dist[v], static_cast<weight_t>(bfs.depth[v]));
+    EXPECT_LE(sssp.dist[v],
+              static_cast<weight_t>(bfs.depth[v]) * 64.0f);
+  }
+}
+
+TEST_P(PropertySeedTest, CcAgreesWithBfsReachability) {
+  const auto g = SeededGraph(GetParam());
+  const auto cc = Cc(g);
+  const auto bfs = Bfs(g, 0);
+  const vid_t comp0 = cc.component[0];
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(bfs.depth[v] >= 0, cc.component[v] == comp0)
+        << "vertex " << v;
+  }
+}
+
+TEST_P(PropertySeedTest, BcZeroOnDegreeOneLeavesOfTree) {
+  // On trees, a leaf never lies on another pair's shortest path.
+  graph::RmatParams unused;
+  (void)unused;
+  const auto g = Weighted(graph::MakeBinaryTree(9), GetParam());
+  std::vector<vid_t> sources(g.num_vertices());
+  std::iota(sources.begin(), sources.end(), 0);
+  const auto bc = BcMultiSource(g, sources);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) == 1) {
+      EXPECT_NEAR(bc.bc[v], 0.0, 1e-9) << "leaf " << v;
+    } else {
+      EXPECT_GT(bc.bc[v], 0.0) << "internal " << v;
+    }
+  }
+}
+
+TEST_P(PropertySeedTest, PagerankPreservesDegreeOrderOnLeaves) {
+  // Vertices with identical neighborhoods get identical ranks.
+  const auto g = Weighted(graph::MakeStar(128), GetParam());
+  const auto pr = Pagerank(g);
+  for (vid_t v = 2; v < 128; ++v) {
+    EXPECT_NEAR(pr.rank[v], pr.rank[1], 1e-12);
+  }
+}
+
+TEST_P(PropertySeedTest, KCoreBoundsColoringAndDegeneracyOrder) {
+  // Greedy coloring needs at most degeneracy+1 colors... for *sequential*
+  // degeneracy ordering. Jones-Plassmann does not guarantee that bound,
+  // but coloring can never beat clique lower bounds: colors >= core+1 is
+  // false in general either; what always holds: max core >= colors-1 is
+  // NOT guaranteed, while colors <= max_degree + 1 is. Check that, plus
+  // core <= degree per vertex.
+  const auto g = SeededGraph(GetParam());
+  const auto kcore = KCore(g);
+  const auto coloring = GraphColoring(g);
+  eid_t max_deg = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.degree(v));
+    EXPECT_LE(kcore.core[v], g.degree(v)) << "vertex " << v;
+  }
+  EXPECT_LE(coloring.num_colors, static_cast<std::int32_t>(max_deg) + 1);
+  EXPECT_LE(kcore.degeneracy, static_cast<std::int32_t>(max_deg));
+}
+
+TEST_P(PropertySeedTest, MstWeightInvariantUnderStrategy) {
+  const auto g = SeededGraph(GetParam());
+  const auto kruskal = serial::KruskalMst(g);
+  const auto boruvka = Mst(g);
+  EXPECT_NEAR(boruvka.total_weight, kruskal.total_weight,
+              1e-6 * kruskal.total_weight);
+}
+
+TEST_P(PropertySeedTest, StrategiesAgreeOnEveryPrimitive) {
+  // The workload-mapping strategy is performance-only: results identical.
+  const auto g = SeededGraph(GetParam());
+  const core::LoadBalance strategies[] = {
+      core::LoadBalance::kThreadMapped, core::LoadBalance::kTwc,
+      core::LoadBalance::kEqualWork};
+  BfsOptions bfs_base;
+  bfs_base.load_balance = core::LoadBalance::kAuto;
+  const auto bfs_ref = Bfs(g, 0, bfs_base);
+  SsspOptions sssp_base;
+  const auto sssp_ref = Sssp(g, 0, sssp_base);
+  for (const auto lb : strategies) {
+    BfsOptions b;
+    b.load_balance = lb;
+    EXPECT_EQ(Bfs(g, 0, b).depth, bfs_ref.depth);
+    SsspOptions s;
+    s.load_balance = lb;
+    EXPECT_EQ(Sssp(g, 0, s).dist, sssp_ref.dist);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeedTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(ExceptionSafetyTest, FunctorExceptionPropagatesAndPoolSurvives) {
+  struct Bomb {
+    struct P {};
+    static bool CondEdge(vid_t, vid_t d, eid_t, P&) {
+      if (d == 7) throw std::runtime_error("functor bomb");
+      return true;
+    }
+    static void ApplyEdge(vid_t, vid_t, eid_t, P&) {}
+  };
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  const auto g = graph::BuildCsr(graph::MakeStar(64), opts);
+  Bomb::P prob;
+  std::vector<vid_t> frontier = {0}, out;
+  EXPECT_THROW((core::AdvancePush<Bomb>(par::ThreadPool::Global(), g,
+                                        frontier, &out, prob, {})),
+               std::runtime_error);
+  // The pool is reusable and a clean primitive still works.
+  const auto r = Bfs(g, 0);
+  EXPECT_EQ(r.depth[63], 1);
+}
+
+TEST(ScaleEdgeCaseTest, HugeStarExercisesTwcLargeBin) {
+  // One vertex with a 100k neighbor list: the TWC large bin and the
+  // equal-work splitter both must chunk a single neighbor list.
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  const auto g = graph::BuildCsr(graph::MakeStar(100001), opts);
+  for (const auto lb :
+       {core::LoadBalance::kTwc, core::LoadBalance::kEqualWork}) {
+    BfsOptions o;
+    o.load_balance = lb;
+    o.direction = core::Direction::kPush;
+    const auto r = Bfs(g, 0, o);
+    EXPECT_EQ(r.stats.iterations, 2);
+    for (vid_t v = 1; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(r.depth[v], 1);
+    }
+  }
+}
+
+TEST(ScaleEdgeCaseTest, PathGraphExercisesDeepIteration) {
+  // 20k iterations of tiny frontiers: per-iteration overhead paths.
+  const auto g = Weighted(graph::MakePath(20000));
+  const auto r = Bfs(g, 0);
+  EXPECT_EQ(r.depth[19999], 19999);
+  const auto s = Sssp(g, 0);
+  const auto oracle = serial::Dijkstra(g, 0);
+  EXPECT_EQ(s.dist, oracle.dist);
+}
+
+}  // namespace
+}  // namespace gunrock

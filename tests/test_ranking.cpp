@@ -1,0 +1,193 @@
+// HITS / SALSA / personalized PageRank: oracle comparisons against small
+// dense linear-algebra references and structural properties on bipartite
+// who-to-follow graphs (paper Section 5.5).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "gunrock.hpp"
+
+namespace gunrock {
+namespace {
+
+// Dense reference HITS: power iteration on A^T h / A a with L1 scaling.
+void ReferenceHits(const graph::Csr& g, int iters,
+                   std::vector<double>* hub, std::vector<double>* auth) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  hub->assign(n, 1.0 / static_cast<double>(n));
+  auth->assign(n, 0.0);
+  auto pool = &par::ThreadPool::Global();
+  (void)pool;
+  const auto srcs = g.edge_sources(par::ThreadPool::Global());
+  for (int it = 0; it < iters; ++it) {
+    std::fill(auth->begin(), auth->end(), 0.0);
+    for (eid_t e = 0; e < g.num_edges(); ++e) {
+      (*auth)[g.col_indices()[e]] += (*hub)[srcs[e]];
+    }
+    double s = std::accumulate(auth->begin(), auth->end(), 0.0);
+    if (s > 0) {
+      for (auto& x : *auth) x /= s;
+    }
+    std::fill(hub->begin(), hub->end(), 0.0);
+    for (eid_t e = 0; e < g.num_edges(); ++e) {
+      (*hub)[srcs[e]] += (*auth)[g.col_indices()[e]];
+    }
+    s = std::accumulate(hub->begin(), hub->end(), 0.0);
+    if (s > 0) {
+      for (auto& x : *hub) x /= s;
+    }
+  }
+}
+
+graph::Csr Bipartite(int users, int items, int k) {
+  graph::BipartiteParams p;
+  p.num_users = users;
+  p.num_items = items;
+  p.edges_per_user = k;
+  return graph::BuildCsr(
+      GenerateBipartite(p, par::ThreadPool::Global()));
+}
+
+TEST(HitsTest, MatchesDenseReference) {
+  const auto g = Bipartite(256, 128, 8);
+  const auto rg = graph::ReverseCsr(g, par::ThreadPool::Global());
+  HitsOptions opts;
+  opts.max_iterations = 20;
+  opts.tolerance = 0;  // run all 20 iterations like the reference
+  const auto got = Hits(g, rg, opts);
+
+  std::vector<double> hub, auth;
+  ReferenceHits(g, 20, &hub, &auth);
+  for (std::size_t v = 0; v < hub.size(); ++v) {
+    EXPECT_NEAR(got.hub[v], hub[v], 1e-9) << "hub " << v;
+    EXPECT_NEAR(got.authority[v], auth[v], 1e-9) << "auth " << v;
+  }
+}
+
+TEST(HitsTest, BipartiteRolesSeparate) {
+  const auto g = Bipartite(128, 64, 6);
+  const auto rg = graph::ReverseCsr(g, par::ThreadPool::Global());
+  const auto got = Hits(g, rg);
+  // Users (sources) have zero authority; items (sinks) zero hub score.
+  for (vid_t u = 0; u < 128; ++u) {
+    EXPECT_NEAR(got.authority[u], 0.0, 1e-12) << "user " << u;
+  }
+  for (vid_t i = 128; i < 192; ++i) {
+    EXPECT_NEAR(got.hub[i], 0.0, 1e-12) << "item " << i;
+  }
+  const double auth_sum = std::accumulate(got.authority.begin(),
+                                          got.authority.end(), 0.0);
+  EXPECT_NEAR(auth_sum, 1.0, 1e-9);
+}
+
+TEST(HitsTest, PopularItemsWinAuthority) {
+  // Skewed bipartite graph: low-rank items collect most edges.
+  const auto g = Bipartite(512, 256, 8);
+  const auto rg = graph::ReverseCsr(g, par::ThreadPool::Global());
+  const auto got = Hits(g, rg);
+  // The most popular item (highest in-degree) should be near the top.
+  vid_t best_deg_item = 512;
+  for (vid_t i = 512; i < 768; ++i) {
+    if (rg.degree(i) > rg.degree(best_deg_item)) best_deg_item = i;
+  }
+  vid_t best_auth_item = 512;
+  for (vid_t i = 512; i < 768; ++i) {
+    if (got.authority[i] > got.authority[best_auth_item]) {
+      best_auth_item = i;
+    }
+  }
+  EXPECT_GT(got.authority[best_auth_item], 0.0);
+  EXPECT_GE(rg.degree(best_auth_item),
+            rg.degree(best_deg_item) / 2);  // top-auth is a popular item
+}
+
+TEST(SalsaTest, ScoresAreDistributions) {
+  const auto g = Bipartite(256, 128, 8);
+  const auto rg = graph::ReverseCsr(g, par::ThreadPool::Global());
+  const auto got = Salsa(g, rg);
+  EXPECT_NEAR(std::accumulate(got.authority.begin(), got.authority.end(),
+                              0.0),
+              1.0, 1e-9);
+  EXPECT_NEAR(std::accumulate(got.hub.begin(), got.hub.end(), 0.0), 1.0,
+              1e-9);
+  for (const double x : got.authority) EXPECT_GE(x, 0.0);
+  for (const double x : got.hub) EXPECT_GE(x, 0.0);
+  EXPECT_GT(got.iterations, 0);
+}
+
+TEST(SalsaTest, UniformBipartiteIsUniform) {
+  // Complete bipartite 4x4: SALSA authority must be uniform over items.
+  graph::Coo coo;
+  coo.num_vertices = 8;
+  for (vid_t u = 0; u < 4; ++u) {
+    for (vid_t i = 4; i < 8; ++i) coo.PushEdge(u, i);
+  }
+  const auto g = graph::BuildCsr(coo);
+  const auto rg = graph::ReverseCsr(g, par::ThreadPool::Global());
+  const auto got = Salsa(g, rg);
+  for (vid_t i = 4; i < 8; ++i) {
+    EXPECT_NEAR(got.authority[i], 0.25, 1e-9);
+  }
+  for (vid_t u = 0; u < 4; ++u) {
+    EXPECT_NEAR(got.hub[u], 0.25, 1e-9);
+  }
+}
+
+TEST(PprTest, SingleSeedMatchesUniformPagerankOnVertexTransitiveGraph) {
+  // On a cycle, PPR from any seed has the seed ranked highest and decays
+  // symmetrically around it.
+  graph::BuildOptions bopts;
+  bopts.symmetrize = true;
+  const auto g = graph::BuildCsr(graph::MakeCycle(33), bopts);
+  const vid_t seeds[] = {7};
+  const auto got = PersonalizedPagerank(g, seeds);
+  for (vid_t v = 0; v < 33; ++v) {
+    if (v != 7) {
+      EXPECT_GT(got.rank[7], got.rank[v]);
+    }
+  }
+  // Symmetry: rank(7+k) == rank(7-k).
+  for (int k = 1; k <= 16; ++k) {
+    const vid_t a = static_cast<vid_t>((7 + k) % 33);
+    const vid_t b = static_cast<vid_t>((7 - k + 33) % 33);
+    EXPECT_NEAR(got.rank[a], got.rank[b], 1e-10) << "offset " << k;
+  }
+  EXPECT_NEAR(std::accumulate(got.rank.begin(), got.rank.end(), 0.0), 1.0,
+              1e-8);
+}
+
+TEST(PprTest, AllVerticesAsSeedsEqualsGlobalPagerank) {
+  graph::RmatParams p;
+  p.scale = 9;
+  p.edge_factor = 8;
+  graph::BuildOptions bopts;
+  bopts.symmetrize = true;
+  const auto g = graph::BuildCsr(
+      GenerateRmat(p, par::ThreadPool::Global()), bopts);
+  std::vector<vid_t> seeds(g.num_vertices());
+  std::iota(seeds.begin(), seeds.end(), 0);
+  const auto ppr = PersonalizedPagerank(g, seeds);
+  const auto pr = serial::Pagerank(g);
+  for (std::size_t v = 0; v < pr.rank.size(); ++v) {
+    EXPECT_NEAR(ppr.rank[v], pr.rank[v], 1e-6) << "vertex " << v;
+  }
+}
+
+TEST(PprTest, MassConcentratesNearSeeds) {
+  const auto g = Bipartite(128, 64, 4);
+  const vid_t seeds[] = {0, 1};
+  const auto got = PersonalizedPagerank(g, seeds);
+  // Seeds hold the teleport mass; any non-seed user with no in-edges
+  // should have rank 0 (nothing flows to users in a user->item graph).
+  EXPECT_GT(got.rank[0], 0.0);
+  EXPECT_GT(got.rank[1], 0.0);
+  for (vid_t u = 2; u < 128; ++u) {
+    EXPECT_NEAR(got.rank[u], 0.0, 1e-12) << "user " << u;
+  }
+  EXPECT_THROW(
+      PersonalizedPagerank(g, std::span<const vid_t>{}), Error);
+}
+
+}  // namespace
+}  // namespace gunrock

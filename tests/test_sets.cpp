@@ -1,0 +1,176 @@
+// Graph coloring (properness), maximal independent set (independence +
+// maximality) and k-core decomposition (vs a serial peeling oracle).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+
+#include "gunrock.hpp"
+
+namespace gunrock {
+namespace {
+
+graph::Csr Undirected(graph::Coo coo) {
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  return graph::BuildCsr(coo, opts);
+}
+
+graph::Csr TestGraph(int idx) {
+  switch (idx) {
+    case 0: return Undirected(graph::MakeKarate());
+    case 1: return Undirected(graph::MakeCycle(101));
+    case 2: return Undirected(graph::MakeStar(64));
+    case 3: return Undirected(graph::MakeComplete(17));
+    case 4: return Undirected(graph::MakeGrid(15, 15));
+    case 5: {
+      graph::RmatParams p;
+      p.scale = 11;
+      p.edge_factor = 8;
+      return Undirected(GenerateRmat(p, par::ThreadPool::Global()));
+    }
+    case 6: {
+      graph::RggParams p;
+      p.scale = 11;
+      return Undirected(GenerateRgg(p, par::ThreadPool::Global()));
+    }
+    default: return Undirected(graph::MakePath(50));
+  }
+}
+
+class SetsParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SetsParamTest, ColoringIsProperAndComplete) {
+  const auto g = TestGraph(GetParam());
+  const auto got = GraphColoring(g);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_GE(got.color[v], 0) << "vertex " << v << " uncolored";
+    ASSERT_LT(got.color[v], got.num_colors);
+    for (const vid_t u : g.neighbors(v)) {
+      if (u != v) {
+        EXPECT_NE(got.color[v], got.color[u])
+            << "edge (" << v << "," << u << ") monochromatic";
+      }
+    }
+  }
+  EXPECT_GT(got.rounds, 0);
+}
+
+TEST_P(SetsParamTest, ColoringIsDeterministicPerSeed) {
+  const auto g = TestGraph(GetParam());
+  const auto a = GraphColoring(g);
+  const auto b = GraphColoring(g);
+  EXPECT_EQ(a.color, b.color);
+  ColoringOptions other;
+  other.seed = 99;
+  const auto c = GraphColoring(g, other);
+  EXPECT_EQ(c.num_colors > 0, true);  // different seed still proper
+}
+
+TEST_P(SetsParamTest, MisIsIndependentAndMaximal) {
+  const auto g = TestGraph(GetParam());
+  const auto got = MaximalIndependentSet(g);
+  // Independence: no two adjacent members.
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (!got.in_set[v]) continue;
+    for (const vid_t u : g.neighbors(v)) {
+      if (u != v) {
+        EXPECT_FALSE(got.in_set[u])
+            << "adjacent members " << v << " and " << u;
+      }
+    }
+  }
+  // Maximality: every non-member has a member neighbor.
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (got.in_set[v]) continue;
+    bool covered = false;
+    for (const vid_t u : g.neighbors(v)) {
+      if (got.in_set[u]) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "vertex " << v << " uncovered";
+  }
+  EXPECT_GT(got.set_size, 0);
+}
+
+// Serial peel oracle for core numbers.
+std::vector<std::int32_t> SerialCoreNumbers(const graph::Csr& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<std::int64_t> deg(n);
+  std::vector<std::int32_t> core(n, 0);
+  std::vector<char> dead(n, 0);
+  for (vid_t v = 0; v < n; ++v) deg[v] = g.degree(v);
+  for (std::int32_t k = 1;; ++k) {
+    bool alive_left = false;
+    std::queue<vid_t> peel;
+    for (vid_t v = 0; v < n; ++v) {
+      if (!dead[v]) {
+        alive_left = true;
+        if (deg[v] < k) peel.push(v);
+      }
+    }
+    if (!alive_left) break;
+    while (!peel.empty()) {
+      const vid_t v = peel.front();
+      peel.pop();
+      if (dead[v]) continue;
+      dead[v] = 1;
+      core[v] = k - 1;
+      for (const vid_t u : g.neighbors(v)) {
+        if (!dead[u] && --deg[u] < k) peel.push(u);
+      }
+    }
+  }
+  return core;
+}
+
+TEST_P(SetsParamTest, KCoreMatchesSerialPeeling) {
+  const auto g = TestGraph(GetParam());
+  const auto expected = SerialCoreNumbers(g);
+  const auto got = KCore(g);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(got.core[v], expected[v]) << "vertex " << v;
+  }
+  EXPECT_EQ(got.degeneracy,
+            *std::max_element(expected.begin(), expected.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGraphs, SetsParamTest, ::testing::Range(0, 8));
+
+TEST(SetsTest, CompleteGraphNeedsNColors) {
+  const auto g = Undirected(graph::MakeComplete(12));
+  const auto got = GraphColoring(g);
+  EXPECT_EQ(got.num_colors, 12);
+}
+
+TEST(SetsTest, StarNeedsTwoColors) {
+  const auto g = Undirected(graph::MakeStar(50));
+  const auto got = GraphColoring(g);
+  EXPECT_EQ(got.num_colors, 2);
+}
+
+TEST(SetsTest, MisOnCompleteGraphIsSingleton) {
+  const auto g = Undirected(graph::MakeComplete(20));
+  const auto got = MaximalIndependentSet(g);
+  EXPECT_EQ(got.set_size, 1);
+}
+
+TEST(SetsTest, KCoreOfCompleteGraph) {
+  const auto g = Undirected(graph::MakeComplete(10));
+  const auto got = KCore(g);
+  for (vid_t v = 0; v < 10; ++v) EXPECT_EQ(got.core[v], 9);
+  EXPECT_EQ(got.degeneracy, 9);
+}
+
+TEST(SetsTest, KCoreOfTreeIsOne) {
+  const auto g = Undirected(graph::MakeBinaryTree(8));
+  const auto got = KCore(g);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(got.core[v], 1) << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace gunrock

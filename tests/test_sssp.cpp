@@ -1,0 +1,188 @@
+// SSSP vs Dijkstra across topologies × strategies × near/far settings,
+// plus shortest-path-tree properties.
+#include <gtest/gtest.h>
+
+#include "gunrock.hpp"
+
+namespace gunrock {
+namespace {
+
+graph::Csr WeightedUndirected(graph::Coo coo, std::uint64_t seed = 7) {
+  graph::AttachRandomWeights(coo, 1, 64, seed);
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  return graph::BuildCsr(coo, opts);
+}
+
+struct SsspCase {
+  std::string name;
+  graph::Csr graph;
+  vid_t source;
+};
+
+const std::vector<SsspCase>& Cases() {
+  static const auto* cases = [] {
+    auto* v = new std::vector<SsspCase>;
+    v->push_back({"karate", WeightedUndirected(graph::MakeKarate()), 0});
+    v->push_back({"path", WeightedUndirected(graph::MakePath(200)), 0});
+    v->push_back({"grid", WeightedUndirected(graph::MakeGrid(25, 25)), 7});
+    {
+      graph::RmatParams p;
+      p.scale = 11;
+      p.edge_factor = 8;
+      v->push_back({"rmat11",
+                    WeightedUndirected(
+                        GenerateRmat(p, par::ThreadPool::Global())),
+                    3});
+    }
+    {
+      graph::RoadParams p;
+      p.width = 48;
+      p.height = 48;
+      auto coo = GenerateRoad(p, par::ThreadPool::Global());
+      graph::BuildOptions opts;
+      opts.symmetrize = true;
+      v->push_back({"road48", graph::BuildCsr(coo, opts), 0});
+    }
+    {
+      graph::PlantedPartitionParams p;
+      p.num_clusters = 3;
+      p.cluster_size = 50;
+      v->push_back({"disconnected",
+                    WeightedUndirected(GeneratePlantedPartition(
+                        p, par::ThreadPool::Global())),
+                    0});
+    }
+    return v;
+  }();
+  return *cases;
+}
+
+struct Config {
+  core::LoadBalance lb;
+  bool near_far;
+  weight_t delta;  // 0 = auto
+};
+
+std::string ConfigName(const ::testing::TestParamInfo<
+                       std::tuple<std::size_t, Config>>& info) {
+  const auto& [idx, cfg] = info.param;
+  std::string name = Cases()[idx].name;
+  name += "_";
+  name += ToString(cfg.lb);
+  name += cfg.near_far ? "_nf" : "_bf";
+  if (cfg.delta > 0) {
+    name += "_d" + std::to_string(static_cast<int>(cfg.delta));
+  }
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+class SsspParamTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, Config>> {};
+
+TEST_P(SsspParamTest, MatchesDijkstra) {
+  const auto& [idx, cfg] = GetParam();
+  const auto& c = Cases()[idx];
+  const auto expected = serial::Dijkstra(c.graph, c.source);
+
+  SsspOptions opts;
+  opts.load_balance = cfg.lb;
+  opts.use_near_far = cfg.near_far;
+  opts.delta = cfg.delta;
+  const auto got = Sssp(c.graph, c.source, opts);
+
+  ASSERT_EQ(got.dist.size(), expected.dist.size());
+  for (std::size_t v = 0; v < got.dist.size(); ++v) {
+    EXPECT_FLOAT_EQ(got.dist[v], expected.dist[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(SsspParamTest, PredecessorsFormShortestPathTree) {
+  const auto& [idx, cfg] = GetParam();
+  const auto& c = Cases()[idx];
+  SsspOptions opts;
+  opts.load_balance = cfg.lb;
+  opts.use_near_far = cfg.near_far;
+  opts.delta = cfg.delta;
+  const auto got = Sssp(c.graph, c.source, opts);
+
+  for (vid_t v = 0; v < c.graph.num_vertices(); ++v) {
+    if (v == c.source || got.dist[v] == kInfinity) continue;
+    const vid_t p = got.pred[v];
+    ASSERT_NE(p, kInvalidVid) << "vertex " << v;
+    // The tree edge must exist with exactly the residual weight.
+    bool found = false;
+    for (eid_t e = c.graph.row_begin(p); e < c.graph.row_end(p); ++e) {
+      if (c.graph.edge_dest(e) == v &&
+          got.dist[p] + c.graph.edge_weight(e) == got.dist[v]) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "no tight edge from pred " << p << " to " << v;
+  }
+}
+
+std::vector<std::tuple<std::size_t, Config>> AllParams() {
+  const Config configs[] = {
+      {core::LoadBalance::kThreadMapped, true, 0},
+      {core::LoadBalance::kTwc, true, 0},
+      {core::LoadBalance::kEqualWork, true, 0},
+      {core::LoadBalance::kAuto, true, 0},
+      {core::LoadBalance::kAuto, false, 0},
+      {core::LoadBalance::kAuto, true, 4},
+      {core::LoadBalance::kAuto, true, 1000},  // degenerate: one bucket
+  };
+  std::vector<std::tuple<std::size_t, Config>> params;
+  for (std::size_t i = 0; i < Cases().size(); ++i) {
+    for (const auto& cfg : configs) params.emplace_back(i, cfg);
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGraphs, SsspParamTest,
+                         ::testing::ValuesIn(AllParams()), ConfigName);
+
+TEST(SsspTest, RequiresWeights) {
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  const auto g = graph::BuildCsr(graph::MakePath(5), opts);
+  EXPECT_THROW(Sssp(g, 0), Error);
+}
+
+TEST(SsspTest, RejectsBadSource) {
+  auto g = WeightedUndirected(graph::MakePath(5));
+  EXPECT_THROW(Sssp(g, 5), Error);
+}
+
+TEST(SsspTest, UnreachableVerticesStayInfinite) {
+  graph::PlantedPartitionParams p;
+  p.num_clusters = 2;
+  p.cluster_size = 32;
+  const auto g = WeightedUndirected(
+      GeneratePlantedPartition(p, par::ThreadPool::Global()));
+  const auto got = Sssp(g, 0);
+  const auto cc = serial::ConnectedComponents(g);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (cc.component[v] != cc.component[0]) {
+      EXPECT_EQ(got.dist[v], kInfinity);
+      EXPECT_EQ(got.pred[v], kInvalidVid);
+    }
+  }
+}
+
+TEST(SsspTest, EdgeThroughputReported) {
+  graph::RmatParams p;
+  p.scale = 10;
+  const auto g =
+      WeightedUndirected(GenerateRmat(p, par::ThreadPool::Global()));
+  const auto r = Sssp(g, 0);
+  EXPECT_GT(r.stats.edges_visited, 0);
+  EXPECT_GT(r.stats.Mteps(), 0.0);
+}
+
+}  // namespace
+}  // namespace gunrock

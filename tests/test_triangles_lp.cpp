@@ -1,0 +1,157 @@
+// Triangle counting (vs closed forms and a brute-force oracle) and label
+// propagation (community recovery on planted partitions).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gunrock.hpp"
+#include "primitives/label_propagation.hpp"
+#include "primitives/triangles.hpp"
+
+namespace gunrock {
+namespace {
+
+graph::Csr Undirected(graph::Coo coo) {
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  return graph::BuildCsr(coo, opts);
+}
+
+std::int64_t BruteForceTriangles(const graph::Csr& g) {
+  std::int64_t count = 0;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    for (const vid_t v : g.neighbors(u)) {
+      if (v <= u) continue;
+      for (const vid_t w : g.neighbors(v)) {
+        if (w <= v) continue;
+        const auto nu = g.neighbors(u);
+        if (std::binary_search(nu.begin(), nu.end(), w)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+TEST(TriangleTest, ClosedForms) {
+  // Complete graph K_n has C(n,3) triangles.
+  EXPECT_EQ(CountTriangles(Undirected(graph::MakeComplete(10)))
+                .num_triangles,
+            120);
+  // Trees and cycles (length > 3) have none.
+  EXPECT_EQ(CountTriangles(Undirected(graph::MakeBinaryTree(8)))
+                .num_triangles,
+            0);
+  EXPECT_EQ(CountTriangles(Undirected(graph::MakeCycle(50)))
+                .num_triangles,
+            0);
+  // A 3-cycle is one triangle.
+  EXPECT_EQ(CountTriangles(Undirected(graph::MakeCycle(3)))
+                .num_triangles,
+            1);
+}
+
+TEST(TriangleTest, KarateClubHas45Triangles) {
+  // A well-known property of Zachary's karate club.
+  const auto r = CountTriangles(Undirected(graph::MakeKarate()));
+  EXPECT_EQ(r.num_triangles, 45);
+}
+
+TEST(TriangleTest, MatchesBruteForceOnRandomGraphs) {
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    graph::RmatParams p;
+    p.scale = 9;
+    p.edge_factor = 6;
+    p.seed = seed;
+    const auto g =
+        Undirected(GenerateRmat(p, par::ThreadPool::Global()));
+    const auto got = CountTriangles(g);
+    EXPECT_EQ(got.num_triangles, BruteForceTriangles(g))
+        << "seed " << seed;
+    // Per-vertex counts triple-count the total.
+    std::int64_t sum = 0;
+    for (const auto c : got.per_vertex) sum += c;
+    EXPECT_EQ(sum, 3 * got.num_triangles);
+  }
+}
+
+TEST(TriangleTest, ClusteringCoefficients) {
+  // K_4: every vertex fully clustered.
+  const auto k4 = CountTriangles(Undirected(graph::MakeComplete(4)));
+  for (const double c : k4.clustering) EXPECT_DOUBLE_EQ(c, 1.0);
+  EXPECT_DOUBLE_EQ(k4.global_clustering, 1.0);
+  // Star: no closure at all.
+  const auto star = CountTriangles(Undirected(graph::MakeStar(16)));
+  EXPECT_DOUBLE_EQ(star.global_clustering, 0.0);
+}
+
+TEST(LabelPropagationTest, DisconnectedCliquesConvergeToMinLabels) {
+  graph::Coo coo;
+  coo.num_vertices = 15;
+  for (vid_t base : {0, 5, 10}) {
+    for (vid_t i = 0; i < 5; ++i) {
+      for (vid_t j = i + 1; j < 5; ++j) {
+        coo.PushEdge(base + i, base + j);
+      }
+    }
+  }
+  const auto g = Undirected(std::move(coo));
+  const auto r = LabelPropagation(g);
+  EXPECT_EQ(r.num_communities, 3);
+  for (vid_t v = 0; v < 15; ++v) {
+    EXPECT_EQ(r.label[v], (v / 5) * 5) << "vertex " << v;
+  }
+}
+
+TEST(LabelPropagationTest, PlantedPartitionsRecovered) {
+  graph::PlantedPartitionParams p;
+  p.num_clusters = 6;
+  p.cluster_size = 200;
+  p.intra_edges_per_vertex = 10;
+  p.inter_edges = 0;
+  const auto g = Undirected(
+      GeneratePlantedPartition(p, par::ThreadPool::Global()));
+  const auto r = LabelPropagation(g);
+  // Without cross edges, communities = connected components.
+  const auto cc = serial::ConnectedComponents(g);
+  EXPECT_EQ(r.num_communities, cc.num_components);
+  // Labels constant within each component.
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    for (const vid_t v : g.neighbors(u)) {
+      EXPECT_EQ(r.label[u], r.label[v]);
+    }
+  }
+}
+
+TEST(LabelPropagationTest, MostlyRecoversNoisyCommunities) {
+  graph::PlantedPartitionParams p;
+  p.num_clusters = 4;
+  p.cluster_size = 256;
+  p.intra_edges_per_vertex = 12;
+  p.inter_edges = 64;  // light noise between clusters
+  const auto g = Undirected(
+      GeneratePlantedPartition(p, par::ThreadPool::Global()));
+  const auto r = LabelPropagation(g);
+  // Count label purity per planted cluster: the dominant label should
+  // cover nearly all members.
+  std::int64_t pure = 0;
+  for (int c = 0; c < 4; ++c) {
+    std::map<vid_t, int> hist;
+    for (vid_t v = c * 256; v < (c + 1) * 256; ++v) ++hist[r.label[v]];
+    int best = 0;
+    for (const auto& [label, count] : hist) best = std::max(best, count);
+    pure += best;
+  }
+  EXPECT_GT(pure, static_cast<std::int64_t>(0.9 * g.num_vertices()));
+  EXPECT_GT(r.iterations, 0);
+}
+
+TEST(LabelPropagationTest, RespectsIterationCap) {
+  const auto g = Undirected(graph::MakeCycle(64));
+  LabelPropagationOptions opts;
+  opts.max_iterations = 2;
+  const auto r = LabelPropagation(g, opts);
+  EXPECT_LE(r.iterations, 2);
+}
+
+}  // namespace
+}  // namespace gunrock
