@@ -212,4 +212,25 @@ inline std::map<ResultKey, Measurement> RunMatrix(
   return results;
 }
 
+/// Dumps every (primitive, framework, dataset) measurement into `json`
+/// as flat records — the canonical shape for BENCH_*.json tracking.
+inline void AddMatrixRecords(JsonWriter& json,
+                             const std::vector<Dataset>& datasets,
+                             const std::map<ResultKey, Measurement>& results) {
+  for (const auto& prim : Primitives()) {
+    for (const auto& fw : Frameworks()) {
+      for (const auto& d : datasets) {
+        const auto it = results.find(Key(prim, fw, d.name));
+        if (it == results.end()) continue;
+        json.BeginRecord()
+            .Field("primitive", prim)
+            .Field("framework", fw)
+            .Field("dataset", d.name)
+            .Field("ms", it->second.ms)
+            .Field("mteps", it->second.mteps);
+      }
+    }
+  }
+}
+
 }  // namespace bench

@@ -1,0 +1,25 @@
+# ctest smoke driver for a bench binary: runs `<bench> --quick --json
+# <path>` and then validates the emitted document with CMake's built-in
+# JSON parser. Fails the test on a non-zero exit, a missing document, or
+# invalid JSON — so the perf harnesses can't silently rot.
+#
+# Inputs: -DBENCH_BINARY=<path> -DOUTPUT_JSON=<path>
+
+execute_process(COMMAND ${BENCH_BINARY} --quick --json ${OUTPUT_JSON}
+                RESULT_VARIABLE exit_code)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "${BENCH_BINARY} --quick exited with ${exit_code}")
+endif()
+
+if(NOT EXISTS ${OUTPUT_JSON})
+  message(FATAL_ERROR "${BENCH_BINARY} wrote no JSON to ${OUTPUT_JSON}")
+endif()
+
+file(READ ${OUTPUT_JSON} doc)
+string(JSON root_type ERROR_VARIABLE json_error TYPE ${doc})
+if(json_error)
+  message(FATAL_ERROR "invalid JSON from ${BENCH_BINARY}: ${json_error}")
+endif()
+if(NOT root_type STREQUAL "OBJECT")
+  message(FATAL_ERROR "expected a JSON object, got ${root_type}")
+endif()

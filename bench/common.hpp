@@ -1,5 +1,15 @@
 // Shared benchmark infrastructure: the six Table-1 dataset analogs, source
-// selection, timing helpers and table formatting.
+// selection, timing helpers, table formatting, CLI parsing and JSON
+// result emission.
+//
+// Every bench binary accepts:
+//   --quick        smoke mode: tiny graphs, one rep per measurement —
+//                  used by the `ctest -L bench` smoke runs
+//   --json PATH    write the measurements as a JSON document (schema:
+//                  {"bench", "quick", "schema_version", "results": [...]})
+//                  for BENCH_*.json trajectory tracking. Exception:
+//                  micro_operators emits google-benchmark's native JSON
+//                  ({"context", "benchmarks"}) instead of this envelope.
 //
 // Dataset sizes are CPU-bench-friendly by default and scalable through the
 // environment:
@@ -12,6 +22,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "gunrock.hpp"
@@ -20,16 +32,141 @@ namespace bench {
 
 using namespace gunrock;
 
+struct BenchArgs {
+  bool quick = false;
+  std::string json_path;  // empty: no JSON output
+};
+
+inline BenchArgs& Args() {
+  static BenchArgs args;
+  return args;
+}
+
+/// Parses --quick / --json PATH. Exits with a usage message on anything
+/// unrecognized so a typo can't silently run the full-size benchmark.
+inline void ParseArgs(int argc, char** argv) {
+  auto& args = Args();
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") {
+      args.quick = true;
+    } else if (a == "--json" && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json PATH]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+}
+
+/// Quick mode shrinks every generator scale so a full bench run finishes
+/// in seconds; -7 turns the default 2^15..2^17-vertex graphs into
+/// 2^8..2^10.
+inline constexpr int kQuickScaleDelta = -7;
+
 inline int EnvScaleDelta() {
   const char* s = std::getenv("GUNROCK_BENCH_SCALE");
-  return s ? std::atoi(s) : 0;
+  const int d = s ? std::atoi(s) : 0;
+  return Args().quick ? d + kQuickScaleDelta : d;
 }
 
 inline int Reps() {
+  if (Args().quick) return 1;
   const char* s = std::getenv("GUNROCK_BENCH_REPS");
   const int r = s ? std::atoi(s) : 3;
   return r > 0 ? r : 1;
 }
+
+/// Flat JSON result accumulator. Records are key→value maps; values are
+/// strings, doubles or integers. Output shape:
+///   {"bench": "<name>", "quick": <bool>, "schema_version": 1,
+///    "results": [{...}, ...]}
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  JsonWriter& BeginRecord() {
+    records_.emplace_back();
+    return *this;
+  }
+
+  JsonWriter& Field(const std::string& key, const std::string& value) {
+    records_.back().emplace_back(key, Quote(value));
+    return *this;
+  }
+  JsonWriter& Field(const std::string& key, const char* value) {
+    return Field(key, std::string(value));
+  }
+  JsonWriter& Field(const std::string& key, double value) {
+    // JSON has no inf/nan literals; degrade to null.
+    records_.back().emplace_back(
+        key, std::isfinite(value) ? Fmt(value, "%.17g") : "null");
+    return *this;
+  }
+  template <typename T>
+    requires std::is_integral_v<T>
+  JsonWriter& Field(const std::string& key, T value) {
+    records_.back().emplace_back(key, std::to_string(value));
+    return *this;
+  }
+
+  /// Writes the document to Args().json_path when --json was given.
+  void WriteIfRequested() const {
+    const auto& path = Args().json_path;
+    if (path.empty()) return;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      std::exit(1);
+    }
+    std::fprintf(f, "{\"bench\": %s, \"quick\": %s, "
+                    "\"schema_version\": 1, \"results\": [",
+                 Quote(bench_name_).c_str(),
+                 Args().quick ? "true" : "false");
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      std::fprintf(f, "%s{", r == 0 ? "" : ", ");
+      for (std::size_t i = 0; i < records_[r].size(); ++i) {
+        std::fprintf(f, "%s%s: %s", i == 0 ? "" : ", ",
+                     Quote(records_[r][i].first).c_str(),
+                     records_[r][i].second.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x",
+                      static_cast<unsigned>(c));
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  static std::string Fmt(double v, const char* fmt) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    return buf;
+  }
+
+  std::string bench_name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+};
 
 struct Dataset {
   std::string name;

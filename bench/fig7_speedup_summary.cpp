@@ -7,12 +7,16 @@
 // serial/gas/pregel; the hardwired column hovers around 1 except CC.
 #include "bench_runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
+  ParseArgs(argc, argv);
   std::printf("=== Figure 7: Gunrock speedup per framework x dataset ===\n");
   std::printf("(* = gunrock faster, o = gunrock slower; value = speedup)\n\n");
   const auto datasets = LoadDatasets();
   const auto results = RunMatrix(datasets);
+  JsonWriter json("fig7_speedup_summary");
+  AddMatrixRecords(json, datasets, results);
+  json.WriteIfRequested();
 
   for (const auto& prim : Primitives()) {
     std::printf("--- %s ---\n", prim.c_str());

@@ -3,6 +3,9 @@
 // paper table. Kept quick: small fixed inputs, real-time reporting.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "gunrock.hpp"
 #include "parallel/sort.hpp"
 #include "util/rng.hpp"
@@ -13,10 +16,14 @@ using namespace gunrock;
 
 par::ThreadPool& Pool() { return par::ThreadPool::Global(); }
 
+// Set from --quick in main() before any benchmark (and thus any lazy
+// graph construction) runs.
+bool g_quick = false;
+
 const graph::Csr& ScaleFreeGraph() {
   static const graph::Csr g = [] {
     graph::RmatParams p;
-    p.scale = 15;
+    p.scale = g_quick ? 11 : 15;
     p.edge_factor = 16;
     graph::BuildOptions opts;
     opts.symmetrize = true;
@@ -28,7 +35,7 @@ const graph::Csr& ScaleFreeGraph() {
 const graph::Csr& MeshGraph() {
   static const graph::Csr g = [] {
     graph::RggParams p;
-    p.scale = 15;
+    p.scale = g_quick ? 11 : 15;
     graph::BuildOptions opts;
     opts.symmetrize = true;
     return graph::BuildCsr(GenerateRgg(p, Pool()), opts);
@@ -155,4 +162,29 @@ BENCHMARK(BM_BfsEndToEnd);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): translates the repo-wide
+// bench CLI (--quick, --json PATH) into google-benchmark flags so the
+// ctest smoke run can exercise this binary like the table benches.
+int main(int argc, char** argv) {
+  std::vector<std::string> flags = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") {
+      g_quick = true;
+      flags.push_back("--benchmark_min_time=0.01");
+    } else if (a == "--json" && i + 1 < argc) {
+      flags.push_back(std::string("--benchmark_out=") + argv[++i]);
+      flags.push_back("--benchmark_out_format=json");
+    } else {
+      flags.push_back(a);  // pass through native benchmark flags
+    }
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(flags.size());
+  for (auto& f : flags) cargs.push_back(f.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

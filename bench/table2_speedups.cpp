@@ -16,12 +16,14 @@
 // good union-find is a much stronger baseline than BGL's.
 #include "bench_runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
+  ParseArgs(argc, argv);
   std::printf("=== Table 2: geomean speedup of gunrock over framework roles ===\n");
   std::printf("(serial=BGL role, gas=PowerGraph role, pregel=Medusa role)\n\n");
   const auto datasets = LoadDatasets();
   const auto results = RunMatrix(datasets);
+  JsonWriter json("table2_speedups");
 
   Table t({"primitive", "vs-serial", "vs-gas", "vs-pregel"});
   t.PrintHeader();
@@ -41,10 +43,15 @@ int main() {
         t.Cell("—");
       } else {
         t.Cell(Geomean(ratios), "%.2fx");
+        json.BeginRecord()
+            .Field("primitive", prim)
+            .Field("baseline", fw)
+            .Field("geomean_speedup", Geomean(ratios));
       }
     }
     t.EndRow();
   }
+  json.WriteIfRequested();
   std::printf(
       "\nexpected shape (paper): all >1; traversal primitives gain most;\n"
       "PR/CC gain least vs the compute-bound baselines.\n");

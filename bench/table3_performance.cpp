@@ -12,11 +12,15 @@
 //    Gunrock advantages than the meshes (rgg/roadnet).
 #include "bench_runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
+  ParseArgs(argc, argv);
   std::printf("=== Table 3: runtime (ms) / throughput (MTEPS) ===\n\n");
   const auto datasets = LoadDatasets();
   const auto results = RunMatrix(datasets);
+  JsonWriter json("table3_performance");
+  AddMatrixRecords(json, datasets, results);
+  json.WriteIfRequested();
 
   for (const auto& prim : Primitives()) {
     std::printf("--- %s: runtime ms [lower is better] ---\n", prim.c_str());

@@ -12,8 +12,10 @@
 // vertex per lane.
 #include "bench_runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
+  ParseArgs(argc, argv);
+  JsonWriter json("table4_warp_efficiency");
   std::printf("=== Table 4: modeled warp (SIMT lane) execution efficiency ===\n\n");
   const auto datasets = LoadDatasets();
   auto& pool = par::ThreadPool::Global();
@@ -61,7 +63,14 @@ int main() {
     const auto print_row = [&](const char* name,
                                const std::vector<double>& effs) {
       t.Cell(name);
-      for (const double e : effs) t.Cell(e * 100.0, "%.2f%%");
+      for (std::size_t i = 0; i < effs.size(); ++i) {
+        t.Cell(effs[i] * 100.0, "%.2f%%");
+        json.BeginRecord()
+            .Field("primitive", prim)
+            .Field("framework", name)
+            .Field("dataset", datasets[i].name)
+            .Field("lane_efficiency", effs[i]);
+      }
       t.EndRow();
     };
     print_row("gunrock", gunrock_eff);
@@ -73,5 +82,6 @@ int main() {
       "expected shape (paper): gunrock highest everywhere; the GAS role\n"
       "collapses on the skewed graphs (indochina/kron) and is respectable\n"
       "on the meshes; per-primitive, PR > BFS > SSSP for gunrock.\n");
+  json.WriteIfRequested();
   return 0;
 }

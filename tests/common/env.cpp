@@ -1,0 +1,17 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace gunrock::test {
+
+std::uint64_t TestSeed() {
+  static const std::uint64_t seed = [] {
+    if (const char* s = std::getenv("GUNROCK_TEST_SEED")) {
+      return static_cast<std::uint64_t>(std::strtoull(s, nullptr, 10));
+    }
+    return std::uint64_t{7};
+  }();
+  return seed;
+}
+
+}  // namespace gunrock::test

@@ -1,0 +1,66 @@
+#include "common/oracle.hpp"
+
+#include <algorithm>
+
+#include "util/types.hpp"
+
+namespace gunrock::test {
+
+void ExpectSameDistances(const std::vector<weight_t>& expected,
+                         const std::vector<weight_t>& got) {
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    EXPECT_FLOAT_EQ(got[v], expected[v]) << "vertex " << v;
+  }
+}
+
+void ExpectScoresNear(const std::vector<double>& expected,
+                      const std::vector<double>& got, double abs_tol) {
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    EXPECT_NEAR(got[v], expected[v], abs_tol) << "vertex " << v;
+  }
+}
+
+void ExpectValidBfsTree(const graph::Csr& g, vid_t source,
+                        const BfsResult& r) {
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (v == source) {
+      EXPECT_EQ(r.pred[v], kInvalidVid);
+      EXPECT_EQ(r.depth[v], 0);
+      continue;
+    }
+    if (r.depth[v] < 0) {
+      EXPECT_EQ(r.pred[v], kInvalidVid);
+      continue;
+    }
+    const vid_t p = r.pred[v];
+    ASSERT_NE(p, kInvalidVid) << "vertex " << v;
+    // Parent is exactly one level shallower and adjacent.
+    EXPECT_EQ(r.depth[p], r.depth[v] - 1) << "vertex " << v;
+    const auto nbrs = g.neighbors(p);
+    EXPECT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(), v))
+        << "pred " << p << " not adjacent to " << v;
+  }
+}
+
+void ExpectValidShortestPathTree(const graph::Csr& g, vid_t source,
+                                 const SsspResult& r) {
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (v == source || r.dist[v] == kInfinity) continue;
+    const vid_t p = r.pred[v];
+    ASSERT_NE(p, kInvalidVid) << "vertex " << v;
+    // The tree edge must exist with exactly the residual weight.
+    bool found = false;
+    for (eid_t e = g.row_begin(p); e < g.row_end(p); ++e) {
+      if (g.edge_dest(e) == v &&
+          r.dist[p] + g.edge_weight(e) == r.dist[v]) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "no tight edge from pred " << p << " to " << v;
+  }
+}
+
+}  // namespace gunrock::test

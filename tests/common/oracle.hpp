@@ -1,0 +1,48 @@
+// Oracle-comparison helpers shared by the primitive suites: exact and
+// tolerance-based vertex-vector comparison plus the structural validity
+// checks for traversal trees (BFS parent tree, shortest-path tree).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "primitives/bfs.hpp"
+#include "primitives/sssp.hpp"
+
+namespace gunrock::test {
+
+/// Element-wise exact equality of two vertex-indexed vectors, reporting
+/// the offending vertex id on mismatch.
+template <typename T>
+void ExpectSameLabels(const std::vector<T>& expected,
+                      const std::vector<T>& got) {
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    EXPECT_EQ(got[v], expected[v]) << "vertex " << v;
+  }
+}
+
+/// Element-wise float equality (EXPECT_FLOAT_EQ semantics: 4 ULPs).
+void ExpectSameDistances(const std::vector<weight_t>& expected,
+                         const std::vector<weight_t>& got);
+
+/// Element-wise |got - expected| <= abs_tol for real-valued scores
+/// (PageRank, BC).
+void ExpectScoresNear(const std::vector<double>& expected,
+                      const std::vector<double>& got, double abs_tol);
+
+/// Validates the BFS parent tree: the source and unreachable vertices
+/// have no parent; every other parent is adjacent and exactly one level
+/// shallower.
+void ExpectValidBfsTree(const graph::Csr& g, vid_t source,
+                        const BfsResult& r);
+
+/// Validates the shortest-path tree: every reached non-source vertex has
+/// a parent with a tight edge (dist[p] + w(p, v) == dist[v]).
+void ExpectValidShortestPathTree(const graph::Csr& g, vid_t source,
+                                 const SsspResult& r);
+
+}  // namespace gunrock::test

@@ -1,0 +1,130 @@
+#include "common/topologies.hpp"
+
+#include <cctype>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
+
+namespace gunrock::test {
+
+namespace {
+
+par::ThreadPool& Pool() { return par::ThreadPool::Global(); }
+
+}  // namespace
+
+graph::Csr Undirected(graph::Coo coo) {
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  return graph::BuildCsr(coo, opts);
+}
+
+graph::Csr WeightedUndirected(graph::Coo coo) {
+  graph::AttachRandomWeights(coo, 1, 64, TestSeed());
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  return graph::BuildCsr(coo, opts);
+}
+
+void CorpusBuilder::Add(std::string name, graph::Coo coo, vid_t source) {
+  if (weighted_ && !coo.has_weights()) {
+    // Generator-weighted cases (e.g. Road's Euclidean-style weights)
+    // keep their native weights.
+    graph::AttachRandomWeights(coo, 1, 64, TestSeed());
+  }
+  graph::BuildOptions opts;
+  opts.symmetrize = !directed_;
+  if (directed_) name += "_dir";
+  cases_.push_back(
+      {std::move(name), graph::BuildCsr(coo, opts), source});
+}
+
+CorpusBuilder& CorpusBuilder::Karate(vid_t source) {
+  Add("karate", graph::MakeKarate(), source);
+  return *this;
+}
+
+CorpusBuilder& CorpusBuilder::Path(vid_t n, vid_t source) {
+  Add("path", graph::MakePath(n), source);
+  return *this;
+}
+
+CorpusBuilder& CorpusBuilder::Cycle(vid_t n, vid_t source) {
+  Add("cycle", graph::MakeCycle(n), source);
+  return *this;
+}
+
+CorpusBuilder& CorpusBuilder::Star(vid_t n, vid_t source) {
+  Add("star", graph::MakeStar(n), source);
+  return *this;
+}
+
+CorpusBuilder& CorpusBuilder::Complete(vid_t n, vid_t source) {
+  Add("complete", graph::MakeComplete(n), source);
+  return *this;
+}
+
+CorpusBuilder& CorpusBuilder::Grid(vid_t width, vid_t height,
+                                   vid_t source) {
+  Add("grid", graph::MakeGrid(width, height), source);
+  return *this;
+}
+
+CorpusBuilder& CorpusBuilder::BinaryTree(int levels, vid_t source) {
+  Add("tree", graph::MakeBinaryTree(levels), source);
+  return *this;
+}
+
+CorpusBuilder& CorpusBuilder::Rmat(int scale, int edge_factor,
+                                   vid_t source) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edge_factor = edge_factor;
+  p.seed = TestSeed();
+  Add("rmat" + std::to_string(scale), GenerateRmat(p, Pool()), source);
+  return *this;
+}
+
+CorpusBuilder& CorpusBuilder::Rgg(int scale, vid_t source) {
+  graph::RggParams p;
+  p.scale = scale;
+  p.seed = TestSeed();
+  Add("rgg" + std::to_string(scale), GenerateRgg(p, Pool()), source);
+  return *this;
+}
+
+CorpusBuilder& CorpusBuilder::Road(int width, int height, vid_t source) {
+  graph::RoadParams p;
+  p.width = width;
+  p.height = height;
+  p.seed = TestSeed();
+  Add("road" + std::to_string(width), GenerateRoad(p, Pool()), source);
+  return *this;
+}
+
+CorpusBuilder& CorpusBuilder::Disconnected(int clusters,
+                                           vid_t cluster_size,
+                                           vid_t source) {
+  graph::PlantedPartitionParams p;
+  p.num_clusters = clusters;
+  p.cluster_size = cluster_size;
+  p.inter_edges = 0;
+  p.seed = TestSeed();
+  Add("disconnected", GeneratePlantedPartition(p, Pool()), source);
+  return *this;
+}
+
+CorpusBuilder& CorpusBuilder::Custom(std::string name, graph::Coo coo,
+                                     vid_t source) {
+  Add(std::move(name), std::move(coo), source);
+  return *this;
+}
+
+std::string SafeTestName(std::string name) {
+  for (auto& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+}  // namespace gunrock::test

@@ -1,0 +1,83 @@
+// Shared topology corpus for the primitive-vs-oracle suites.
+//
+// Every suite used to re-implement the same scaffolding: a symmetrizing
+// CSR builder, an optional random-weight attacher, and a hand-rolled
+// vector of named (graph, source) cases. CorpusBuilder centralizes that:
+// suites declare which topology classes they want (and at what size) and
+// get back a named case list suitable for parameterized tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "graph/coo.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+
+namespace gunrock::test {
+
+/// Symmetrized (undirected) CSR from an edge list.
+graph::Csr Undirected(graph::Coo coo);
+
+/// Symmetrized CSR with uniform random integer weights in [1, 64] (the
+/// paper's weighting), seeded from TestSeed().
+graph::Csr WeightedUndirected(graph::Coo coo);
+
+/// One named oracle-comparison case: a prepared CSR plus a start vertex.
+struct TopologyCase {
+  std::string name;
+  graph::Csr graph;
+  vid_t source = 0;
+};
+
+/// Fluent corpus builder. Weighted(true) attaches random [1, 64] weights
+/// (the paper's weighting) to every subsequent case that doesn't already
+/// carry generator-native weights. Generator-backed cases run on the
+/// global thread pool and are deterministic in (params, TestSeed()).
+class CorpusBuilder {
+ public:
+  CorpusBuilder& Weighted(bool weighted) {
+    weighted_ = weighted;
+    return *this;
+  }
+
+  /// Directed(true) keeps subsequent cases as-generated (no symmetrize);
+  /// their names gain a "_dir" suffix to stay distinct.
+  CorpusBuilder& Directed(bool directed) {
+    directed_ = directed;
+    return *this;
+  }
+
+  CorpusBuilder& Karate(vid_t source = 0);
+  CorpusBuilder& Path(vid_t n, vid_t source = 0);
+  CorpusBuilder& Cycle(vid_t n, vid_t source = 0);
+  CorpusBuilder& Star(vid_t n, vid_t source = 0);
+  CorpusBuilder& Complete(vid_t n, vid_t source = 0);
+  CorpusBuilder& Grid(vid_t width, vid_t height, vid_t source = 0);
+  CorpusBuilder& BinaryTree(int levels, vid_t source = 0);
+  CorpusBuilder& Rmat(int scale, int edge_factor, vid_t source = 0);
+  CorpusBuilder& Rgg(int scale, vid_t source = 0);
+  CorpusBuilder& Road(int width, int height, vid_t source = 0);
+  /// Planted clusters with no inter-cluster bridges (case "disconnected").
+  CorpusBuilder& Disconnected(int clusters, vid_t cluster_size,
+                              vid_t source = 0);
+  /// Escape hatch for suite-specific edge lists.
+  CorpusBuilder& Custom(std::string name, graph::Coo coo,
+                        vid_t source = 0);
+
+  std::vector<TopologyCase> Build() { return std::move(cases_); }
+
+ private:
+  void Add(std::string name, graph::Coo coo, vid_t source);
+
+  bool weighted_ = false;
+  bool directed_ = false;
+  std::vector<TopologyCase> cases_;
+};
+
+/// ctest-safe parameterized-test name: [gtest only allows alphanumerics
+/// and '_'] — lowers '-' and other separators to '_'.
+std::string SafeTestName(std::string name);
+
+}  // namespace gunrock::test

@@ -2,41 +2,26 @@
 // (degree-1 leaves have zero BC, symmetry on symmetric graphs).
 #include <gtest/gtest.h>
 
+#include "common/oracle.hpp"
+#include "common/topologies.hpp"
 #include "gunrock.hpp"
 
 namespace gunrock {
 namespace {
 
-graph::Csr Undirected(graph::Coo coo) {
-  graph::BuildOptions opts;
-  opts.symmetrize = true;
-  return graph::BuildCsr(coo, opts);
-}
+using test::TopologyCase;
+using test::Undirected;
 
-struct BcCase {
-  std::string name;
-  graph::Csr graph;
-  vid_t source;
-};
-
-const std::vector<BcCase>& Cases() {
-  static const auto* cases = [] {
-    auto* v = new std::vector<BcCase>;
-    v->push_back({"karate", Undirected(graph::MakeKarate()), 0});
-    v->push_back({"path", Undirected(graph::MakePath(64)), 5});
-    v->push_back({"star", Undirected(graph::MakeStar(40)), 0});
-    v->push_back({"grid", Undirected(graph::MakeGrid(12, 12)), 3});
-    v->push_back({"tree", Undirected(graph::MakeBinaryTree(7)), 0});
-    {
-      graph::RmatParams p;
-      p.scale = 10;
-      p.edge_factor = 8;
-      v->push_back(
-          {"rmat10",
-           Undirected(GenerateRmat(p, par::ThreadPool::Global())), 2});
-    }
-    return v;
-  }();
+const std::vector<TopologyCase>& Cases() {
+  static const auto* cases = new std::vector<TopologyCase>(
+      test::CorpusBuilder()
+          .Karate()
+          .Path(64, /*source=*/5)
+          .Star(40)
+          .Grid(12, 12, /*source=*/3)
+          .BinaryTree(7)
+          .Rmat(10, 8, /*source=*/2)
+          .Build());
   return *cases;
 }
 
@@ -48,10 +33,7 @@ std::string BcName(const ::testing::TestParamInfo<
   std::string name = Cases()[std::get<0>(info.param)].name;
   name += "_";
   name += ToString(std::get<1>(info.param));
-  for (auto& c : name) {
-    if (c == '-') c = '_';
-  }
-  return name;
+  return test::SafeTestName(std::move(name));
 }
 
 TEST_P(BcParamTest, SingleSourceMatchesBrandes) {

@@ -2,65 +2,27 @@
 // directions, plus structural properties of the BFS tree.
 #include <gtest/gtest.h>
 
+#include "common/oracle.hpp"
+#include "common/topologies.hpp"
 #include "gunrock.hpp"
 
 namespace gunrock {
 namespace {
 
-using graph::BuildOptions;
-using graph::Coo;
-using graph::Csr;
+using test::TopologyCase;
 
-Csr Undirected(Coo coo) {
-  BuildOptions opts;
-  opts.symmetrize = true;
-  return graph::BuildCsr(coo, opts);
-}
-
-struct BfsCase {
-  std::string name;
-  Csr graph;
-  vid_t source;
-};
-
-std::vector<BfsCase>* MakeCases() {
-  auto* cases = new std::vector<BfsCase>;
-  cases->push_back({"karate", Undirected(graph::MakeKarate()), 0});
-  cases->push_back({"path", Undirected(graph::MakePath(257)), 0});
-  cases->push_back({"star", Undirected(graph::MakeStar(100)), 3});
-  cases->push_back({"grid", Undirected(graph::MakeGrid(37, 23)), 11});
-  cases->push_back(
-      {"tree", Undirected(graph::MakeBinaryTree(10)), 0});
-  {
-    graph::RmatParams p;
-    p.scale = 12;
-    p.edge_factor = 8;
-    cases->push_back({"rmat12", Undirected(GenerateRmat(
-                                    p, par::ThreadPool::Global())),
-                      5});
-  }
-  {
-    graph::RggParams p;
-    p.scale = 12;
-    cases->push_back({"rgg12", Undirected(GenerateRgg(
-                                   p, par::ThreadPool::Global())),
-                      17});
-  }
-  {
-    // Disconnected graph: two planted clusters with no bridges.
-    graph::PlantedPartitionParams p;
-    p.num_clusters = 4;
-    p.cluster_size = 64;
-    cases->push_back({"disconnected",
-                      Undirected(GeneratePlantedPartition(
-                          p, par::ThreadPool::Global())),
-                      1});
-  }
-  return cases;
-}
-
-const std::vector<BfsCase>& Cases() {
-  static const std::vector<BfsCase>* cases = MakeCases();
+const std::vector<TopologyCase>& Cases() {
+  static const auto* cases = new std::vector<TopologyCase>(
+      test::CorpusBuilder()
+          .Karate()
+          .Path(257)
+          .Star(100, /*source=*/3)
+          .Grid(37, 23, /*source=*/11)
+          .BinaryTree(10)
+          .Rmat(12, 8, /*source=*/5)
+          .Rgg(12, /*source=*/17)
+          .Disconnected(4, 64, /*source=*/1)
+          .Build());
   return *cases;
 }
 
@@ -79,10 +41,7 @@ std::string ConfigName(const ::testing::TestParamInfo<
   name += cfg.idempotent ? "_idem" : "_atomic";
   name += "_";
   name += ToString(cfg.direction);
-  for (auto& c : name) {
-    if (c == '-') c = '_';
-  }
-  return name;
+  return test::SafeTestName(std::move(name));
 }
 
 class BfsParamTest
@@ -99,10 +58,7 @@ TEST_P(BfsParamTest, MatchesSerialDepths) {
   opts.direction = cfg.direction;
   const auto got = Bfs(c.graph, c.source, opts);
 
-  ASSERT_EQ(got.depth.size(), expected.depth.size());
-  for (std::size_t v = 0; v < got.depth.size(); ++v) {
-    EXPECT_EQ(got.depth[v], expected.depth[v]) << "vertex " << v;
-  }
+  test::ExpectSameLabels(expected.depth, got.depth);
 }
 
 TEST_P(BfsParamTest, PredecessorsFormValidBfsTree) {
@@ -114,24 +70,7 @@ TEST_P(BfsParamTest, PredecessorsFormValidBfsTree) {
   opts.direction = cfg.direction;
   const auto got = Bfs(c.graph, c.source, opts);
 
-  for (vid_t v = 0; v < c.graph.num_vertices(); ++v) {
-    if (v == c.source) {
-      EXPECT_EQ(got.pred[v], kInvalidVid);
-      EXPECT_EQ(got.depth[v], 0);
-      continue;
-    }
-    if (got.depth[v] < 0) {
-      EXPECT_EQ(got.pred[v], kInvalidVid);
-      continue;
-    }
-    const vid_t p = got.pred[v];
-    ASSERT_NE(p, kInvalidVid) << "vertex " << v;
-    // Parent is exactly one level shallower and adjacent.
-    EXPECT_EQ(got.depth[p], got.depth[v] - 1) << "vertex " << v;
-    const auto nbrs = c.graph.neighbors(p);
-    EXPECT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(), v))
-        << "pred " << p << " not adjacent to " << v;
-  }
+  test::ExpectValidBfsTree(c.graph, c.source, got);
 }
 
 std::vector<std::tuple<std::size_t, Config>> AllParams() {
@@ -160,7 +99,7 @@ INSTANTIATE_TEST_SUITE_P(AllGraphs, BfsParamTest,
                          ::testing::ValuesIn(AllParams()), ConfigName);
 
 TEST(BfsTest, RejectsBadSource) {
-  const auto g = Undirected(graph::MakePath(4));
+  const auto g = test::Undirected(graph::MakePath(4));
   EXPECT_THROW(Bfs(g, -1), Error);
   EXPECT_THROW(Bfs(g, 4), Error);
 }
@@ -179,7 +118,8 @@ TEST(BfsTest, SingleVertexGraph) {
 TEST(BfsTest, CountsEdgesAndTime) {
   graph::RmatParams p;
   p.scale = 10;
-  const auto g = Undirected(GenerateRmat(p, par::ThreadPool::Global()));
+  const auto g =
+      test::Undirected(GenerateRmat(p, par::ThreadPool::Global()));
   BfsOptions opts;
   opts.direction = core::Direction::kPush;
   const auto r = Bfs(g, 0, opts);
@@ -190,7 +130,7 @@ TEST(BfsTest, CountsEdgesAndTime) {
 }
 
 TEST(BfsTest, RecordsPerIterationWhenAsked) {
-  const auto g = Undirected(graph::MakeBinaryTree(8));
+  const auto g = test::Undirected(graph::MakeBinaryTree(8));
   BfsOptions opts;
   opts.collect_records = true;
   opts.direction = core::Direction::kPush;

@@ -2,69 +2,56 @@
 // and partition-equivalence on assorted topologies.
 #include <gtest/gtest.h>
 
+#include "common/oracle.hpp"
+#include "common/topologies.hpp"
 #include "gunrock.hpp"
 
 namespace gunrock {
 namespace {
 
-graph::Csr Undirected(graph::Coo coo) {
-  graph::BuildOptions opts;
-  opts.symmetrize = true;
-  return graph::BuildCsr(coo, opts);
+using test::TopologyCase;
+using test::Undirected;
+
+const std::vector<TopologyCase>& Cases() {
+  static const auto* cases = [] {
+    // All-isolated vertices: no edges at all.
+    graph::Coo isolated;
+    isolated.num_vertices = 64;
+    return new std::vector<TopologyCase>(
+        test::CorpusBuilder()
+            .Karate()
+            .Path(500)
+            .Cycle(321)
+            .Star(100)
+            .Disconnected(8, 128)
+            .Rmat(13, 4)  // sparse: many small components + one giant
+            .Rgg(12)
+            .Custom("isolated", std::move(isolated))
+            .Build());
+  }();
+  return *cases;
 }
 
-class CcParamTest : public ::testing::TestWithParam<int> {};
+class CcParamTest : public ::testing::TestWithParam<std::size_t> {};
 
-graph::Csr GraphForCase(int idx) {
-  switch (idx) {
-    case 0: return Undirected(graph::MakeKarate());
-    case 1: return Undirected(graph::MakePath(500));
-    case 2: return Undirected(graph::MakeCycle(321));
-    case 3: return Undirected(graph::MakeStar(100));
-    case 4: {
-      graph::PlantedPartitionParams p;
-      p.num_clusters = 8;
-      p.cluster_size = 128;
-      return Undirected(
-          GeneratePlantedPartition(p, par::ThreadPool::Global()));
-    }
-    case 5: {
-      graph::RmatParams p;
-      p.scale = 13;
-      p.edge_factor = 4;  // sparse: many small components + one giant
-      return Undirected(GenerateRmat(p, par::ThreadPool::Global()));
-    }
-    case 6: {
-      graph::RggParams p;
-      p.scale = 12;
-      return Undirected(GenerateRgg(p, par::ThreadPool::Global()));
-    }
-    case 7: {
-      // All-isolated vertices: no edges at all.
-      graph::Coo coo;
-      coo.num_vertices = 64;
-      return graph::BuildCsr(coo);
-    }
-    default: return Undirected(graph::MakePath(2));
-  }
+std::string CcName(
+    const ::testing::TestParamInfo<std::size_t>& info) {
+  return test::SafeTestName(Cases()[info.param].name);
 }
 
 TEST_P(CcParamTest, MatchesUnionFind) {
-  const auto g = GraphForCase(GetParam());
+  const auto& g = Cases()[GetParam()].graph;
   const auto expected = serial::ConnectedComponents(g);
   const auto got = Cc(g);
 
   EXPECT_EQ(got.num_components, expected.num_components);
-  ASSERT_EQ(got.component.size(), expected.component.size());
   // Both label components by their minimum vertex id, so labels must
   // match exactly, not just up to renaming.
-  for (std::size_t v = 0; v < got.component.size(); ++v) {
-    EXPECT_EQ(got.component[v], expected.component[v]) << "vertex " << v;
-  }
+  test::ExpectSameLabels(expected.component, got.component);
 }
 
 TEST_P(CcParamTest, LabelsAreRootsAndMinimal) {
-  const auto g = GraphForCase(GetParam());
+  const auto& g = Cases()[GetParam()].graph;
   const auto got = Cc(g);
   for (vid_t v = 0; v < g.num_vertices(); ++v) {
     const vid_t label = got.component[v];
@@ -79,7 +66,8 @@ TEST_P(CcParamTest, LabelsAreRootsAndMinimal) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllGraphs, CcParamTest, ::testing::Range(0, 8));
+INSTANTIATE_TEST_SUITE_P(AllGraphs, CcParamTest,
+                         ::testing::Range<std::size_t>(0, 8), CcName);
 
 TEST(CcTest, EmptyGraph) {
   graph::Coo coo;

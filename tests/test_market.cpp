@@ -1,0 +1,177 @@
+// Matrix Market reader/writer: round-trips, comment and 1-based-index
+// handling, symmetric expansion, and malformed-input error paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "common/topologies.hpp"
+#include "gunrock.hpp"
+
+namespace gunrock {
+namespace {
+
+graph::Coo Parse(const std::string& text) {
+  std::istringstream in(text);
+  return graph::ReadMarket(in);
+}
+
+TEST(MarketReadTest, PatternGeneral) {
+  const auto coo = Parse(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 2\n"
+      "1 2\n"
+      "3 1\n");
+  EXPECT_EQ(coo.num_vertices, 3);
+  ASSERT_EQ(coo.num_edges(), 2);
+  EXPECT_FALSE(coo.has_weights());
+  // 1-based input becomes 0-based storage.
+  EXPECT_EQ(coo.src[0], 0);
+  EXPECT_EQ(coo.dst[0], 1);
+  EXPECT_EQ(coo.src[1], 2);
+  EXPECT_EQ(coo.dst[1], 0);
+}
+
+TEST(MarketReadTest, SkipsCommentsAndBlankLines) {
+  const auto coo = Parse(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "% a comment before the size line\n"
+      "\n"
+      "% another comment\n"
+      "2 2 2\n"
+      "% a comment between entries\n"
+      "1 2\n"
+      "\n"
+      "2 1\n");
+  EXPECT_EQ(coo.num_vertices, 2);
+  EXPECT_EQ(coo.num_edges(), 2);
+}
+
+TEST(MarketReadTest, SymmetricExpandsOffDiagonal) {
+  const auto coo = Parse(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "2 1 5.0\n"
+      "3 1 7.0\n"
+      "2 2 9.0\n");
+  // Two off-diagonal entries double; the diagonal one does not.
+  ASSERT_EQ(coo.num_edges(), 5);
+  ASSERT_TRUE(coo.has_weights());
+  EXPECT_EQ(coo.src[0], 1);
+  EXPECT_EQ(coo.dst[0], 0);
+  EXPECT_EQ(coo.src[1], 0);  // mirrored copy
+  EXPECT_EQ(coo.dst[1], 1);
+  EXPECT_FLOAT_EQ(coo.weight[0], 5.0f);
+  EXPECT_FLOAT_EQ(coo.weight[1], 5.0f);
+  // Diagonal (2,2) appears exactly once.
+  int diagonal = 0;
+  for (std::size_t i = 0; i < coo.src.size(); ++i) {
+    if (coo.src[i] == 1 && coo.dst[i] == 1) ++diagonal;
+  }
+  EXPECT_EQ(diagonal, 1);
+}
+
+TEST(MarketReadTest, IntegerFieldAndRectangularSizes) {
+  const auto coo = Parse(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 5 1\n"
+      "1 5 42\n");
+  // num_vertices covers the larger dimension.
+  EXPECT_EQ(coo.num_vertices, 5);
+  ASSERT_EQ(coo.num_edges(), 1);
+  EXPECT_FLOAT_EQ(coo.weight[0], 42.0f);
+}
+
+TEST(MarketReadTest, MalformedInputs) {
+  // Each entry: (name, text) expected to throw gunrock::Error.
+  const struct {
+    const char* name;
+    const char* text;
+  } cases[] = {
+      {"empty", ""},
+      {"no banner", "3 3 1\n1 2\n"},
+      {"bad object", "%%MatrixMarket vector coordinate pattern general\n"},
+      {"bad format", "%%MatrixMarket matrix array real general\n"},
+      {"bad field", "%%MatrixMarket matrix coordinate complex general\n"},
+      {"bad symmetry",
+       "%%MatrixMarket matrix coordinate real hermitian\n"},
+      {"missing size line",
+       "%%MatrixMarket matrix coordinate pattern general\n"
+       "% only comments\n"},
+      {"garbage size line",
+       "%%MatrixMarket matrix coordinate pattern general\nfoo bar baz\n"},
+      {"negative size",
+       "%%MatrixMarket matrix coordinate pattern general\n-1 3 0\n"},
+      {"row out of range",
+       "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n"},
+      {"zero index",
+       "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n"},
+      {"missing value",
+       "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2\n"},
+      {"truncated entries",
+       "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n"},
+      {"non-numeric entry",
+       "%%MatrixMarket matrix coordinate pattern general\n2 2 1\nx y\n"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_THROW(Parse(c.text), Error) << c.name;
+  }
+}
+
+void ExpectSameEdges(const graph::Coo& a, const graph::Coo& b) {
+  EXPECT_EQ(a.num_vertices, b.num_vertices);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.src, b.src);
+  EXPECT_EQ(a.dst, b.dst);
+  ASSERT_EQ(a.has_weights(), b.has_weights());
+  for (std::size_t i = 0; i < a.weight.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.weight[i], b.weight[i]) << "edge " << i;
+  }
+}
+
+TEST(MarketRoundTripTest, UnweightedStream) {
+  const auto original = graph::MakeKarate();
+  std::stringstream buf;
+  graph::WriteMarket(buf, original);
+  ExpectSameEdges(original, graph::ReadMarket(buf));
+}
+
+TEST(MarketRoundTripTest, WeightedStream) {
+  auto original = graph::MakeGrid(7, 5);
+  graph::AttachRandomWeights(original, 1, 64, test::TestSeed());
+  std::stringstream buf;
+  graph::WriteMarket(buf, original);
+  ExpectSameEdges(original, graph::ReadMarket(buf));
+}
+
+TEST(MarketRoundTripTest, GeneratedGraphThroughFile) {
+  graph::RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 8;
+  p.seed = test::TestSeed();
+  const auto original = GenerateRmat(p, par::ThreadPool::Global());
+
+  const std::string path =
+      ::testing::TempDir() + "/gunrock_market_roundtrip.mtx";
+  graph::WriteMarketFile(path, original);
+  const auto reread = graph::ReadMarketFile(path);
+  std::remove(path.c_str());
+  ExpectSameEdges(original, reread);
+
+  // The CSR built from both edge lists is identical.
+  const auto a = graph::BuildCsr(original);
+  const auto b = graph::BuildCsr(reread);
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  EXPECT_TRUE(std::ranges::equal(a.row_offsets(), b.row_offsets()));
+  EXPECT_TRUE(std::ranges::equal(a.col_indices(), b.col_indices()));
+}
+
+TEST(MarketRoundTripTest, MissingFileThrows) {
+  EXPECT_THROW(graph::ReadMarketFile("/nonexistent/path/graph.mtx"),
+               Error);
+}
+
+}  // namespace
+}  // namespace gunrock

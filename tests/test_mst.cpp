@@ -4,55 +4,41 @@
 
 #include <numeric>
 
+#include "common/oracle.hpp"
+#include "common/topologies.hpp"
 #include "gunrock.hpp"
 
 namespace gunrock {
 namespace {
 
-graph::Csr Weighted(graph::Coo coo, std::uint64_t seed = 7) {
-  graph::AttachRandomWeights(coo, 1, 64, seed);
-  graph::BuildOptions opts;
-  opts.symmetrize = true;
-  return graph::BuildCsr(coo, opts);
+using test::TopologyCase;
+
+const std::vector<TopologyCase>& Cases() {
+  static const auto* cases = new std::vector<TopologyCase>(
+      test::CorpusBuilder()
+          .Weighted(true)
+          .Karate()
+          .Path(300)
+          .Cycle(123)
+          .Complete(40)
+          .Grid(20, 20)
+          .Rmat(12, 8)
+          .Disconnected(4, 128)  // forest over 4 components
+          .Road(40, 40)
+          .Star(64)
+          .Build());
+  return *cases;
 }
 
-graph::Csr TestGraph(int idx) {
-  switch (idx) {
-    case 0: return Weighted(graph::MakeKarate());
-    case 1: return Weighted(graph::MakePath(300));
-    case 2: return Weighted(graph::MakeCycle(123));
-    case 3: return Weighted(graph::MakeComplete(40));
-    case 4: return Weighted(graph::MakeGrid(20, 20));
-    case 5: {
-      graph::RmatParams p;
-      p.scale = 12;
-      p.edge_factor = 8;
-      return Weighted(GenerateRmat(p, par::ThreadPool::Global()));
-    }
-    case 6: {
-      graph::PlantedPartitionParams p;  // forest over 4 components
-      p.num_clusters = 4;
-      p.cluster_size = 128;
-      return Weighted(
-          GeneratePlantedPartition(p, par::ThreadPool::Global()));
-    }
-    case 7: {
-      graph::RoadParams p;
-      p.width = 40;
-      p.height = 40;
-      graph::BuildOptions opts;
-      opts.symmetrize = true;
-      return graph::BuildCsr(GenerateRoad(p, par::ThreadPool::Global()),
-                             opts);
-    }
-    default: return Weighted(graph::MakeStar(64));
-  }
-}
+class MstParamTest : public ::testing::TestWithParam<std::size_t> {};
 
-class MstParamTest : public ::testing::TestWithParam<int> {};
+std::string MstName(
+    const ::testing::TestParamInfo<std::size_t>& info) {
+  return test::SafeTestName(Cases()[info.param].name);
+}
 
 TEST_P(MstParamTest, WeightMatchesKruskal) {
-  const auto g = TestGraph(GetParam());
+  const auto& g = Cases()[GetParam()].graph;
   const auto expected = serial::KruskalMst(g);
   const auto got = Mst(g);
   EXPECT_EQ(got.tree_edges.size(), expected.num_tree_edges);
@@ -62,7 +48,7 @@ TEST_P(MstParamTest, WeightMatchesKruskal) {
 }
 
 TEST_P(MstParamTest, ForestIsAcyclicAndSpanning) {
-  const auto g = TestGraph(GetParam());
+  const auto& g = Cases()[GetParam()].graph;
   const auto got = Mst(g);
   const auto srcs = g.edge_sources(par::ThreadPool::Global());
 
@@ -94,17 +80,16 @@ TEST_P(MstParamTest, ForestIsAcyclicAndSpanning) {
             g.num_vertices() - cc.num_components);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllGraphs, MstParamTest, ::testing::Range(0, 9));
+INSTANTIATE_TEST_SUITE_P(AllGraphs, MstParamTest,
+                         ::testing::Range<std::size_t>(0, 9), MstName);
 
 TEST(MstTest, RequiresWeights) {
-  graph::BuildOptions opts;
-  opts.symmetrize = true;
-  const auto g = graph::BuildCsr(graph::MakePath(5), opts);
+  const auto g = test::Undirected(graph::MakePath(5));
   EXPECT_THROW(Mst(g), Error);
 }
 
 TEST(MstTest, PathTreeIsThePathItself) {
-  const auto g = Weighted(graph::MakePath(50));
+  const auto g = test::WeightedUndirected(graph::MakePath(50));
   const auto got = Mst(g);
   EXPECT_EQ(got.tree_edges.size(), 49u);
   EXPECT_EQ(got.num_components, 1);

@@ -4,71 +4,56 @@
 
 #include <numeric>
 
+#include "common/oracle.hpp"
+#include "common/topologies.hpp"
 #include "gunrock.hpp"
 
 namespace gunrock {
 namespace {
 
-graph::Csr Undirected(graph::Coo coo) {
-  graph::BuildOptions opts;
-  opts.symmetrize = true;
-  return graph::BuildCsr(coo, opts);
+using test::TopologyCase;
+using test::Undirected;
+
+const std::vector<TopologyCase>& Cases() {
+  static const auto* cases = new std::vector<TopologyCase>(
+      test::CorpusBuilder()
+          .Karate()
+          .Cycle(97)
+          .Star(64)
+          .Rmat(11, 8)
+          // Directed graph with dangling vertices (web-like).
+          .Directed(true)
+          .Rmat(10, 4)
+          .Build());
+  return *cases;
 }
 
 class PrParamTest : public ::testing::TestWithParam<
-                        std::tuple<int, core::LoadBalance>> {};
-
-graph::Csr GraphForCase(int idx) {
-  switch (idx) {
-    case 0: return Undirected(graph::MakeKarate());
-    case 1: return Undirected(graph::MakeCycle(97));
-    case 2: return Undirected(graph::MakeStar(64));
-    case 3: {
-      graph::RmatParams p;
-      p.scale = 11;
-      p.edge_factor = 8;
-      return Undirected(GenerateRmat(p, par::ThreadPool::Global()));
-    }
-    case 4: {
-      // Directed graph with dangling vertices (web-like).
-      graph::RmatParams p;
-      p.scale = 10;
-      p.edge_factor = 4;
-      return graph::BuildCsr(GenerateRmat(p, par::ThreadPool::Global()));
-    }
-    default: return Undirected(graph::MakePath(3));
-  }
-}
+                        std::tuple<std::size_t, core::LoadBalance>> {};
 
 std::string PrName(const ::testing::TestParamInfo<
-                   std::tuple<int, core::LoadBalance>>& info) {
-  std::string name = "case" + std::to_string(std::get<0>(info.param));
+                   std::tuple<std::size_t, core::LoadBalance>>& info) {
+  std::string name = Cases()[std::get<0>(info.param)].name;
   name += "_";
   name += ToString(std::get<1>(info.param));
-  for (auto& c : name) {
-    if (c == '-') c = '_';
-  }
-  return name;
+  return test::SafeTestName(std::move(name));
 }
 
 TEST_P(PrParamTest, MatchesPowerIteration) {
   const auto& [idx, lb] = GetParam();
-  const auto g = GraphForCase(idx);
+  const auto& g = Cases()[idx].graph;
   const auto expected = serial::Pagerank(g);
 
   PagerankOptions opts;
   opts.load_balance = lb;
   const auto got = Pagerank(g, opts);
 
-  ASSERT_EQ(got.rank.size(), expected.rank.size());
-  for (std::size_t v = 0; v < got.rank.size(); ++v) {
-    EXPECT_NEAR(got.rank[v], expected.rank[v], 1e-7) << "vertex " << v;
-  }
+  test::ExpectScoresNear(expected.rank, got.rank, 1e-7);
 }
 
 TEST_P(PrParamTest, RanksSumToOne) {
   const auto& [idx, lb] = GetParam();
-  const auto g = GraphForCase(idx);
+  const auto& g = Cases()[idx].graph;
   PagerankOptions opts;
   opts.load_balance = lb;
   const auto got = Pagerank(g, opts);
@@ -80,7 +65,7 @@ TEST_P(PrParamTest, RanksSumToOne) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllGraphs, PrParamTest,
-    ::testing::Combine(::testing::Range(0, 5),
+    ::testing::Combine(::testing::Range<std::size_t>(0, 5),
                        ::testing::Values(core::LoadBalance::kThreadMapped,
                                          core::LoadBalance::kEqualWork,
                                          core::LoadBalance::kAuto)),
@@ -118,9 +103,7 @@ TEST(PagerankTest, FrontierModeApproximatesExact) {
 
   // The delta-style frontier shrink trades tail accuracy for work; ranks
   // must stay within a small absolute band of the exact solution.
-  for (std::size_t v = 0; v < ref.rank.size(); ++v) {
-    EXPECT_NEAR(approx.rank[v], ref.rank[v], 1e-4) << "vertex " << v;
-  }
+  test::ExpectScoresNear(ref.rank, approx.rank, 1e-4);
   EXPECT_GT(approx.iterations, 0);
 }
 
@@ -133,9 +116,7 @@ TEST(PagerankTest, PullModeMatchesPushAndSerial) {
   PagerankOptions pull;
   pull.pull = true;
   const auto got = Pagerank(g, pull);
-  for (std::size_t v = 0; v < expected.rank.size(); ++v) {
-    EXPECT_NEAR(got.rank[v], expected.rank[v], 1e-7) << "vertex " << v;
-  }
+  test::ExpectScoresNear(expected.rank, got.rank, 1e-7);
 }
 
 TEST(PagerankTest, PullModeOnDirectedGraphWithExplicitReverse) {
@@ -150,9 +131,7 @@ TEST(PagerankTest, PullModeOnDirectedGraphWithExplicitReverse) {
   pull.pull = true;
   pull.reverse = &rg;
   const auto got = Pagerank(g, pull);
-  for (std::size_t v = 0; v < expected.rank.size(); ++v) {
-    EXPECT_NEAR(got.rank[v], expected.rank[v], 1e-7) << "vertex " << v;
-  }
+  test::ExpectScoresNear(expected.rank, got.rank, 1e-7);
 }
 
 TEST(PagerankTest, DanglingMassIsConserved) {

@@ -2,59 +2,26 @@
 // plus shortest-path-tree properties.
 #include <gtest/gtest.h>
 
+#include "common/oracle.hpp"
+#include "common/topologies.hpp"
 #include "gunrock.hpp"
 
 namespace gunrock {
 namespace {
 
-graph::Csr WeightedUndirected(graph::Coo coo, std::uint64_t seed = 7) {
-  graph::AttachRandomWeights(coo, 1, 64, seed);
-  graph::BuildOptions opts;
-  opts.symmetrize = true;
-  return graph::BuildCsr(coo, opts);
-}
+using test::TopologyCase;
 
-struct SsspCase {
-  std::string name;
-  graph::Csr graph;
-  vid_t source;
-};
-
-const std::vector<SsspCase>& Cases() {
-  static const auto* cases = [] {
-    auto* v = new std::vector<SsspCase>;
-    v->push_back({"karate", WeightedUndirected(graph::MakeKarate()), 0});
-    v->push_back({"path", WeightedUndirected(graph::MakePath(200)), 0});
-    v->push_back({"grid", WeightedUndirected(graph::MakeGrid(25, 25)), 7});
-    {
-      graph::RmatParams p;
-      p.scale = 11;
-      p.edge_factor = 8;
-      v->push_back({"rmat11",
-                    WeightedUndirected(
-                        GenerateRmat(p, par::ThreadPool::Global())),
-                    3});
-    }
-    {
-      graph::RoadParams p;
-      p.width = 48;
-      p.height = 48;
-      auto coo = GenerateRoad(p, par::ThreadPool::Global());
-      graph::BuildOptions opts;
-      opts.symmetrize = true;
-      v->push_back({"road48", graph::BuildCsr(coo, opts), 0});
-    }
-    {
-      graph::PlantedPartitionParams p;
-      p.num_clusters = 3;
-      p.cluster_size = 50;
-      v->push_back({"disconnected",
-                    WeightedUndirected(GeneratePlantedPartition(
-                        p, par::ThreadPool::Global())),
-                    0});
-    }
-    return v;
-  }();
+const std::vector<TopologyCase>& Cases() {
+  static const auto* cases = new std::vector<TopologyCase>(
+      test::CorpusBuilder()
+          .Weighted(true)
+          .Karate()
+          .Path(200)
+          .Grid(25, 25, /*source=*/7)
+          .Rmat(11, 8, /*source=*/3)
+          .Road(48, 48)
+          .Disconnected(3, 50)
+          .Build());
   return *cases;
 }
 
@@ -74,10 +41,7 @@ std::string ConfigName(const ::testing::TestParamInfo<
   if (cfg.delta > 0) {
     name += "_d" + std::to_string(static_cast<int>(cfg.delta));
   }
-  for (auto& c : name) {
-    if (c == '-') c = '_';
-  }
-  return name;
+  return test::SafeTestName(std::move(name));
 }
 
 class SsspParamTest
@@ -94,10 +58,7 @@ TEST_P(SsspParamTest, MatchesDijkstra) {
   opts.delta = cfg.delta;
   const auto got = Sssp(c.graph, c.source, opts);
 
-  ASSERT_EQ(got.dist.size(), expected.dist.size());
-  for (std::size_t v = 0; v < got.dist.size(); ++v) {
-    EXPECT_FLOAT_EQ(got.dist[v], expected.dist[v]) << "vertex " << v;
-  }
+  test::ExpectSameDistances(expected.dist, got.dist);
 }
 
 TEST_P(SsspParamTest, PredecessorsFormShortestPathTree) {
@@ -109,21 +70,7 @@ TEST_P(SsspParamTest, PredecessorsFormShortestPathTree) {
   opts.delta = cfg.delta;
   const auto got = Sssp(c.graph, c.source, opts);
 
-  for (vid_t v = 0; v < c.graph.num_vertices(); ++v) {
-    if (v == c.source || got.dist[v] == kInfinity) continue;
-    const vid_t p = got.pred[v];
-    ASSERT_NE(p, kInvalidVid) << "vertex " << v;
-    // The tree edge must exist with exactly the residual weight.
-    bool found = false;
-    for (eid_t e = c.graph.row_begin(p); e < c.graph.row_end(p); ++e) {
-      if (c.graph.edge_dest(e) == v &&
-          got.dist[p] + c.graph.edge_weight(e) == got.dist[v]) {
-        found = true;
-        break;
-      }
-    }
-    EXPECT_TRUE(found) << "no tight edge from pred " << p << " to " << v;
-  }
+  test::ExpectValidShortestPathTree(c.graph, c.source, got);
 }
 
 std::vector<std::tuple<std::size_t, Config>> AllParams() {
@@ -147,14 +94,12 @@ INSTANTIATE_TEST_SUITE_P(AllGraphs, SsspParamTest,
                          ::testing::ValuesIn(AllParams()), ConfigName);
 
 TEST(SsspTest, RequiresWeights) {
-  graph::BuildOptions opts;
-  opts.symmetrize = true;
-  const auto g = graph::BuildCsr(graph::MakePath(5), opts);
+  const auto g = test::Undirected(graph::MakePath(5));
   EXPECT_THROW(Sssp(g, 0), Error);
 }
 
 TEST(SsspTest, RejectsBadSource) {
-  auto g = WeightedUndirected(graph::MakePath(5));
+  auto g = test::WeightedUndirected(graph::MakePath(5));
   EXPECT_THROW(Sssp(g, 5), Error);
 }
 
@@ -162,7 +107,7 @@ TEST(SsspTest, UnreachableVerticesStayInfinite) {
   graph::PlantedPartitionParams p;
   p.num_clusters = 2;
   p.cluster_size = 32;
-  const auto g = WeightedUndirected(
+  const auto g = test::WeightedUndirected(
       GeneratePlantedPartition(p, par::ThreadPool::Global()));
   const auto got = Sssp(g, 0);
   const auto cc = serial::ConnectedComponents(g);
@@ -177,8 +122,8 @@ TEST(SsspTest, UnreachableVerticesStayInfinite) {
 TEST(SsspTest, EdgeThroughputReported) {
   graph::RmatParams p;
   p.scale = 10;
-  const auto g =
-      WeightedUndirected(GenerateRmat(p, par::ThreadPool::Global()));
+  const auto g = test::WeightedUndirected(
+      GenerateRmat(p, par::ThreadPool::Global()));
   const auto r = Sssp(g, 0);
   EXPECT_GT(r.stats.edges_visited, 0);
   EXPECT_GT(r.stats.Mteps(), 0.0);
