@@ -119,6 +119,97 @@ BENCHMARK(BM_AdvanceStrategy<core::LoadBalance::kTwc, false>)
 BENCHMARK(BM_AdvanceStrategy<core::LoadBalance::kEqualWork, false>)
     ->Name("BM_Advance/equal_work/mesh");
 
+// Steady-state operator iterations: model one enactor iteration on a
+// small frontier, where per-launch overhead (scratch-buffer allocation,
+// binning passes, barrier round-trips) dominates edge work. The output
+// buffer persists across iterations like a ping-pong frontier, so after
+// warm-up the loop should be allocation-free.
+template <core::LoadBalance kLb>
+void BM_AdvanceIterSmall(benchmark::State& state) {
+  const auto& g = ScaleFreeGraph();
+  const std::size_t n_f = static_cast<std::size_t>(state.range(0));
+  const vid_t stride = std::max<vid_t>(
+      1, g.num_vertices() / static_cast<vid_t>(n_f));
+  std::vector<vid_t> frontier(n_f);
+  for (std::size_t i = 0; i < n_f; ++i) {
+    frontier[i] = (static_cast<vid_t>(i) * stride) % g.num_vertices();
+  }
+  core::Workspace ws;  // enactor-owned arena: steady state allocates nothing
+  core::AdvanceConfig cfg;
+  cfg.lb = kLb;
+  cfg.model_efficiency = false;
+  cfg.workspace = &ws;
+  PassFunctor::P prob;
+  std::vector<vid_t> out;
+  eid_t edges = 0;
+  for (auto _ : state) {
+    out.clear();
+    const auto r = core::AdvancePush<PassFunctor>(Pool(), g, frontier,
+                                                  &out, prob, cfg);
+    edges = r.edges_visited;
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_AdvanceIterSmall<core::LoadBalance::kThreadMapped>)
+    ->Name("BM_AdvanceIter/thread_mapped")
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(4096);
+BENCHMARK(BM_AdvanceIterSmall<core::LoadBalance::kTwc>)
+    ->Name("BM_AdvanceIter/twc")
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(4096);
+BENCHMARK(BM_AdvanceIterSmall<core::LoadBalance::kEqualWork>)
+    ->Name("BM_AdvanceIter/equal_work")
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(4096);
+
+/// One filter iteration on a small frontier with the history-hash dedup
+/// heuristic enabled (the allocation-heavy configuration: per-chunk
+/// history tables plus per-chunk output buffers).
+void BM_FilterIterSmall(benchmark::State& state) {
+  struct Pass {
+    struct P {};
+    static bool CondVertex(vid_t, P&) { return true; }
+    static void ApplyVertex(vid_t, P&) {}
+  };
+  const std::size_t n_f = static_cast<std::size_t>(state.range(0));
+  std::vector<vid_t> input(n_f);
+  for (std::size_t i = 0; i < n_f; ++i) {
+    input[i] = static_cast<vid_t>(SplitMix64(i) % (2 * n_f));
+  }
+  core::Workspace ws;
+  core::FilterConfig cfg;
+  cfg.history_hash = true;
+  cfg.workspace = &ws;
+  Pass::P prob;
+  std::vector<vid_t> out;
+  for (auto _ : state) {
+    out.clear();
+    core::FilterVertex<Pass>(Pool(), input, &out, prob, cfg);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n_f);
+}
+BENCHMARK(BM_FilterIterSmall)
+    ->Name("BM_FilterIter")
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(4096);
+
+/// Raw fork-join launch cost: the per-pass price every operator pays.
+void BM_PoolBarrier(benchmark::State& state) {
+  par::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    pool.Parallel([](unsigned) {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolBarrier)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_FilterClaim(benchmark::State& state) {
   struct Claim {
     struct P {

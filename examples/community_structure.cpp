@@ -5,17 +5,21 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <string_view>
 #include <vector>
 
 #include "gunrock.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gunrock;
+  // --quick: tiny inputs for the ctest smoke run (mirrors bench --quick).
+  const bool quick =
+      argc > 1 && std::string_view(argv[1]) == "--quick";
 
   graph::PlantedPartitionParams params;
-  params.num_clusters = 12;
-  params.cluster_size = 2048;
-  params.intra_edges_per_vertex = 10;
+  params.num_clusters = quick ? 4 : 12;
+  params.cluster_size = quick ? 128 : 2048;
+  params.intra_edges_per_vertex = quick ? 6 : 10;
   params.inter_edges = 0;  // isolated communities: CC finds them exactly
   graph::BuildOptions build;
   build.symmetrize = true;

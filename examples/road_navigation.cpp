@@ -2,15 +2,19 @@
 // with the near/far priority queue (delta-stepping), route extraction via
 // the shortest-path tree, and a cross-check against Dijkstra.
 #include <cstdio>
+#include <string_view>
 
 #include "gunrock.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gunrock;
+  // --quick: tiny inputs for the ctest smoke run (mirrors bench --quick).
+  const bool quick =
+      argc > 1 && std::string_view(argv[1]) == "--quick";
 
   graph::RoadParams params;  // roadnet class from Table 1
-  params.width = 256;
-  params.height = 256;
+  params.width = quick ? 48 : 256;
+  params.height = quick ? 48 : 256;
   graph::BuildOptions build;
   build.symmetrize = true;
   const auto g = graph::BuildCsr(

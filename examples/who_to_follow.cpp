@@ -4,17 +4,21 @@
 // HITS for global hub/authority structure.
 #include <algorithm>
 #include <cstdio>
+#include <string_view>
 #include <vector>
 
 #include "gunrock.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gunrock;
+  // --quick: tiny inputs for the ctest smoke run (mirrors bench --quick).
+  const bool quick =
+      argc > 1 && std::string_view(argv[1]) == "--quick";
 
   graph::BipartiteParams params;
-  params.num_users = 4096;
-  params.num_items = 2048;  // "accounts worth following"
-  params.edges_per_user = 24;
+  params.num_users = quick ? 256 : 4096;
+  params.num_items = quick ? 128 : 2048;  // "accounts worth following"
+  params.edges_per_user = quick ? 8 : 24;
   params.skew = 0.85;
   const auto g = graph::BuildCsr(
       GenerateBipartite(params, par::ThreadPool::Global()));

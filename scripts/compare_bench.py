@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json documents and fail on a geomean slowdown.
+
+The perf-regression gate from ROADMAP: a PR's bench JSON is compared
+against the committed baseline and the build fails when the selected rows
+regress by more than the threshold (default 1.2x geomean).
+
+Two input formats are auto-detected:
+
+* repo envelope (schema_version 1): ``{"bench", "quick", "results": [...]}``
+  as emitted by the table benches with ``--json``. Rows are matched on
+  (primitive, framework, dataset) and compared on the ``ms`` field.
+* google-benchmark native JSON (``{"context", "benchmarks"}``) as emitted
+  by micro_operators. Rows are matched on ``name`` and compared on
+  ``real_time``.
+
+Because committed baselines are produced on one machine class and CI runs
+on another, absolute times are not comparable across machines. For the
+envelope format, ``--normalize-by serial`` divides every selected row by
+the matching serial-framework row *from the same file* before comparing,
+which cancels the machine speed and gates only on gunrock-relative
+regressions. This is the mode the CI gate uses.
+
+Examples:
+  compare_bench.py baseline.json current.json \
+      --framework gunrock --normalize-by serial --threshold 1.2
+  compare_bench.py micro_base.json micro_now.json --filter 'BM_AdvanceIter'
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def is_google_benchmark(doc):
+    return "benchmarks" in doc and "context" in doc
+
+
+def envelope_rows(doc, framework, primitive, min_ms):
+    rows = {}
+    for r in doc.get("results", []):
+        if "ms" not in r or "framework" not in r:
+            continue
+        if framework and r["framework"] != framework:
+            continue
+        if primitive and r["primitive"] != primitive:
+            continue
+        if float(r["ms"]) < min_ms:
+            continue  # below the scheduler-noise floor; not gateable
+        key = (r.get("primitive", ""), r["framework"], r.get("dataset", ""))
+        rows[key] = float(r["ms"])
+    return rows
+
+
+def envelope_normalizers(doc, normalize_by):
+    norm = {}
+    for r in doc.get("results", []):
+        if r.get("framework") == normalize_by and "ms" in r:
+            norm[(r.get("primitive", ""), r.get("dataset", ""))] = float(
+                r["ms"])
+    return norm
+
+
+def gbench_rows(doc, name_filter):
+    rows = {}
+    pattern = re.compile(name_filter) if name_filter else None
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        if pattern and not pattern.search(name):
+            continue
+        rows[name] = float(b["real_time"])
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=1.2,
+                    help="fail when geomean(current/baseline) exceeds this")
+    ap.add_argument("--framework", default="gunrock",
+                    help="envelope format: framework rows to gate on")
+    ap.add_argument("--primitive", default=None,
+                    help="envelope format: restrict to one primitive")
+    ap.add_argument("--normalize-by", default=None, metavar="FRAMEWORK",
+                    help="envelope format: divide each row by the matching "
+                         "row of this framework from the same file "
+                         "(machine-speed-invariant comparison)")
+    ap.add_argument("--filter", default=None,
+                    help="google-benchmark format: regex on benchmark name")
+    ap.add_argument("--min-ms", type=float, default=0.05,
+                    help="envelope format: drop rows whose raw time is "
+                         "below this in either file (timer-noise floor)")
+    args = ap.parse_args()
+
+    base_doc = load(args.baseline)
+    cur_doc = load(args.current)
+    if is_google_benchmark(base_doc) != is_google_benchmark(cur_doc):
+        sys.exit("error: baseline and current use different JSON formats")
+
+    if is_google_benchmark(base_doc):
+        base = gbench_rows(base_doc, args.filter)
+        cur = gbench_rows(cur_doc, args.filter)
+        if args.normalize_by:
+            sys.exit("error: --normalize-by requires the envelope format")
+    else:
+        base = envelope_rows(base_doc, args.framework, args.primitive,
+                             args.min_ms)
+        cur = envelope_rows(cur_doc, args.framework, args.primitive,
+                            args.min_ms)
+        if args.normalize_by:
+            bn = envelope_normalizers(base_doc, args.normalize_by)
+            cn = envelope_normalizers(cur_doc, args.normalize_by)
+            base = {k: v / bn[(k[0], k[2])] for k, v in base.items()
+                    if (k[0], k[2]) in bn and bn[(k[0], k[2])] > 0}
+            cur = {k: v / cn[(k[0], k[2])] for k, v in cur.items()
+                   if (k[0], k[2]) in cn and cn[(k[0], k[2])] > 0}
+
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        sys.exit("error: no comparable rows between baseline and current")
+
+    ratios = []
+    width = max(len(str(k)) for k in shared)
+    print(f"{'row':{width}s} {'baseline':>12s} {'current':>12s} "
+          f"{'ratio':>7s}")
+    for k in shared:
+        if base[k] <= 0 or cur[k] <= 0:
+            continue
+        r = cur[k] / base[k]
+        ratios.append(r)
+        print(f"{str(k):{width}s} {base[k]:12.4f} {cur[k]:12.4f} {r:7.3f}")
+    if not ratios:
+        sys.exit("error: no rows with positive timings")
+
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    print(f"\ngeomean current/baseline: {geomean:.3f} over {len(ratios)} "
+          f"rows (threshold {args.threshold:.2f})")
+    if geomean > args.threshold:
+        print("PERF GATE FAILED: geomean slowdown exceeds threshold",
+              file=sys.stderr)
+        sys.exit(1)
+    print("perf gate passed")
+
+
+if __name__ == "__main__":
+    main()

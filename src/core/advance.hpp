@@ -19,10 +19,14 @@
 //
 // Three workload mappings implement the paper's load-balancing strategies;
 // see policy.hpp. All of them report edges visited and a modeled SIMT lane
-// efficiency.
+// efficiency. All scratch (degree scans, TWC bins, chunk-local buffers,
+// the scatter-then-compact array) comes out of the AdvanceConfig's
+// Workspace, so an enactor loop that reuses its arena performs no heap
+// allocation in steady state.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <span>
 #include <type_traits>
@@ -30,6 +34,7 @@
 
 #include "core/policy.hpp"
 #include "core/simt_model.hpp"
+#include "core/workspace.hpp"
 #include "graph/csr.hpp"
 #include "parallel/bitmap.hpp"
 #include "parallel/compact.hpp"
@@ -91,48 +96,38 @@ eid_t ExpandRange(const graph::Csr& g, std::span<const vid_t> items,
   return edges;
 }
 
-/// Appends per-chunk buffers to `out` in chunk order (deterministic for a
-/// given grain), with a parallel gather.
-template <typename OutId>
-void AppendChunks(par::ThreadPool& pool,
-                  std::vector<std::vector<OutId>>& locals,
-                  std::vector<OutId>* out) {
-  if (!out || locals.empty()) return;
-  std::vector<std::size_t> offsets(locals.size() + 1, 0);
-  for (std::size_t c = 0; c < locals.size(); ++c) {
-    offsets[c + 1] = offsets[c] + locals[c].size();
-  }
-  const std::size_t base = out->size();
-  out->resize(base + offsets.back());
-  par::ParallelFor(pool, 0, locals.size(), [&](std::size_t c) {
-    std::copy(locals[c].begin(), locals[c].end(),
-              out->begin() + base + offsets[c]);
-  });
-}
-
 /// Chunked expansion over an item list: the thread-mapped path and the
 /// small/medium TWC bins all reduce to this with different grains.
+/// Chunk-local buffers keep their capacity across calls via the arena.
 template <typename Functor, typename Problem, typename OutId>
 eid_t ExpandChunked(par::ThreadPool& pool, const graph::Csr& g,
                     std::span<const vid_t> items, std::size_t grain,
-                    Problem& prob, std::vector<OutId>* out) {
+                    Problem& prob, std::vector<OutId>* out,
+                    par::Workspace& wsp) {
   const std::size_t n = items.size();
   if (n == 0) return 0;
   if (grain == 0) grain = par::DefaultGrain(n, pool.num_threads());
   const std::size_t num_chunks = (n + grain - 1) / grain;
-  std::vector<std::vector<OutId>> locals(out ? num_chunks : 0);
-  std::vector<eid_t> counts(num_chunks, 0);
+  auto& locals =
+      wsp.Get<std::vector<std::vector<OutId>>>(par::ws::kAdvanceLocals);
+  if (out && locals.size() < num_chunks) locals.resize(num_chunks);
+  auto& counts = wsp.Get<std::vector<eid_t>>(par::ws::kAdvanceCounts);
+  counts.assign(num_chunks, 0);
   par::ParallelForChunks(
-      pool, 0, n, grain, [&](std::size_t lo, std::size_t hi, unsigned) {
-        const std::size_t chunk = lo / grain;
-        // The serial fallback of ParallelForChunks may hand us a merged
-        // range spanning several chunks; chunk 0 then absorbs everything.
-        counts[chunk] += ExpandRange<Functor, Problem, OutId>(
-            g, items, lo, hi, prob, out ? &locals[chunk] : nullptr);
+      pool, 0, n, grain,
+      [&](std::size_t lo, std::size_t hi, std::size_t chunk, unsigned) {
+        std::vector<OutId>* local = nullptr;
+        if (out) {
+          local = &locals[chunk];
+          local->clear();  // keep capacity, drop last iteration's data
+        }
+        counts[chunk] = ExpandRange<Functor, Problem, OutId>(
+            g, items, lo, hi, prob, local);
       });
-  AppendChunks(pool, locals, out);
+  par::ConcatChunks(pool, locals, out ? num_chunks : 0, out, &wsp,
+                    par::ws::kAdvanceAppendOffsets);
   eid_t edges = 0;
-  for (const eid_t c : counts) edges += c;
+  for (std::size_t c = 0; c < num_chunks; ++c) edges += counts[c];
   return edges;
 }
 
@@ -143,25 +138,28 @@ eid_t ExpandChunked(par::ThreadPool& pool, const graph::Csr& g,
 template <typename Functor, typename Problem, typename OutId>
 eid_t ExpandEqualWork(par::ThreadPool& pool, const graph::Csr& g,
                       std::span<const vid_t> items, Problem& prob,
-                      std::vector<OutId>* out) {
+                      std::vector<OutId>* out, par::Workspace& wsp) {
   const std::size_t n = items.size();
   if (n == 0) return 0;
-  std::vector<eid_t> offsets(n + 1);
+  auto& offsets = wsp.Get<std::vector<eid_t>>(par::ws::kAdvanceOffsets);
+  offsets.resize(n + 1);
   const eid_t total = par::TransformExclusiveScan<eid_t>(
-      pool, n, offsets, eid_t{0},
-      [&](std::size_t i) { return g.degree(items[i]); });
+      pool, n, std::span<eid_t>(offsets.data(), n), eid_t{0},
+      [&](std::size_t i) { return g.degree(items[i]); }, &wsp);
   offsets[n] = total;
   if (total == 0) return 0;
 
-  std::vector<OutId> raw(out ? static_cast<std::size_t>(total) : 0);
+  auto& raw = wsp.Get<std::vector<OutId>>(par::ws::kAdvanceRaw);
+  raw.resize(out ? static_cast<std::size_t>(total) : 0);
   const std::size_t grain = std::max<std::size_t>(
       512, par::DefaultGrain(static_cast<std::size_t>(total),
                              pool.num_threads()));
   par::ParallelForChunks(
       pool, 0, static_cast<std::size_t>(total), grain,
-      [&](std::size_t lo, std::size_t hi, unsigned) {
-        std::size_t s = par::FindOwner(std::span<const eid_t>(offsets),
-                                       static_cast<eid_t>(lo));
+      [&](std::size_t lo, std::size_t hi, std::size_t, unsigned) {
+        std::size_t s = par::FindOwner(
+            std::span<const eid_t>(offsets.data(), n + 1),
+            static_cast<eid_t>(lo));
         eid_t seg_end = offsets[s + 1];
         for (std::size_t p = lo; p < hi; ++p) {
           while (static_cast<eid_t>(p) >= seg_end) {
@@ -179,13 +177,13 @@ eid_t ExpandEqualWork(par::ThreadPool& pool, const graph::Csr& g,
         }
       });
   if (out) {
-    const std::size_t base = out->size();
-    out->resize(base + raw.size());
-    const std::size_t kept = par::CopyIf(
-        pool, std::span<const OutId>(raw),
-        std::span<OutId>(out->data() + base, raw.size()),
-        [](OutId x) { return x != InvalidOf<OutId>(); });
-    out->resize(base + kept);
+    // Exact-size compaction directly into the output frontier: counts
+    // first, then one resize to the final length — no worst-case tail is
+    // value-initialized only to be shrunk away.
+    par::AppendIf(
+        pool,
+        std::span<const OutId>(raw.data(), static_cast<std::size_t>(total)),
+        *out, [](OutId x) { return x != InvalidOf<OutId>(); }, &wsp);
   }
   return total;
 }
@@ -206,16 +204,18 @@ AdvanceResult AdvancePush(par::ThreadPool& pool, const graph::Csr& g,
   AdvanceResult result;
   const std::size_t n = input.size();
   if (n == 0) return result;
+  par::Workspace private_arena;  // fallback when the caller passes none
+  par::Workspace& wsp = cfg.workspace ? *cfg.workspace : private_arena;
   const std::size_t out_base = output ? output->size() : 0;
   const auto degree_of = [&](std::size_t i) { return g.degree(input[i]); };
 
   switch (ResolveLoadBalance(cfg)) {
     case LoadBalance::kThreadMapped: {
       result.edges_visited = detail::ExpandChunked<Functor, Problem, OutId>(
-          pool, g, input, cfg.grain, prob, output);
+          pool, g, input, cfg.grain, prob, output, wsp);
       if (cfg.model_efficiency) {
         result.lane_efficiency =
-            LaneEfficiencyThreadMapped(pool, n, degree_of);
+            LaneEfficiencyThreadMapped(pool, n, degree_of, &wsp);
       }
       break;
     }
@@ -223,36 +223,38 @@ AdvanceResult AdvancePush(par::ThreadPool& pool, const graph::Csr& g,
       // Bin items by neighbor-list size (paper Figure 4), then process
       // each bin with a matched shape: small lists chunked many-per-lane,
       // medium lists few-per-lane, large lists with equal-work splitting
-      // (the CTA-cooperative role).
-      std::vector<vid_t> small(n), medium(n), large(n);
-      const std::size_t ns = par::GenerateIf(
-          pool, n, std::span<vid_t>(small),
-          [&](std::size_t i) { return degree_of(i) <= kTwcWarpThreshold; },
-          [&](std::size_t i) { return input[i]; });
-      const std::size_t nm = par::GenerateIf(
-          pool, n, std::span<vid_t>(medium),
+      // (the CTA-cooperative role). The binning is one fused three-way
+      // partition — a single classify-count pass plus a single scatter
+      // pass — instead of three independent compactions.
+      auto& small = wsp.Get<std::vector<vid_t>>(par::ws::kTwcSmall);
+      auto& medium = wsp.Get<std::vector<vid_t>>(par::ws::kTwcMedium);
+      auto& large = wsp.Get<std::vector<vid_t>>(par::ws::kTwcLarge);
+      small.resize(n);
+      medium.resize(n);
+      large.resize(n);
+      const std::array<std::size_t, 3> sizes = par::GenerateThreeWay<vid_t>(
+          pool, n,
+          {std::span<vid_t>(small), std::span<vid_t>(medium),
+           std::span<vid_t>(large)},
           [&](std::size_t i) {
-            return degree_of(i) > kTwcWarpThreshold &&
-                   degree_of(i) <= kTwcCtaThreshold;
+            const eid_t d = degree_of(i);
+            if (d <= kTwcWarpThreshold) return 0;
+            return d <= kTwcCtaThreshold ? 1 : 2;
           },
-          [&](std::size_t i) { return input[i]; });
-      const std::size_t nl = par::GenerateIf(
-          pool, n, std::span<vid_t>(large),
-          [&](std::size_t i) { return degree_of(i) > kTwcCtaThreshold; },
-          [&](std::size_t i) { return input[i]; });
-      small.resize(ns);
-      medium.resize(nm);
-      large.resize(nl);
+          [&](std::size_t i) { return input[i]; }, &wsp);
       result.edges_visited += detail::ExpandChunked<Functor, Problem, OutId>(
-          pool, g, small, std::max<std::size_t>(cfg.grain, 128), prob,
-          output);
+          pool, g, std::span<const vid_t>(small.data(), sizes[0]),
+          std::max<std::size_t>(cfg.grain, 128), prob, output, wsp);
       result.edges_visited += detail::ExpandChunked<Functor, Problem, OutId>(
-          pool, g, medium, 16, prob, output);
+          pool, g, std::span<const vid_t>(medium.data(), sizes[1]), 16,
+          prob, output, wsp);
       result.edges_visited += detail::ExpandEqualWork<Functor, Problem,
                                                       OutId>(
-          pool, g, large, prob, output);
+          pool, g, std::span<const vid_t>(large.data(), sizes[2]), prob,
+          output, wsp);
       if (cfg.model_efficiency) {
-        result.lane_efficiency = LaneEfficiencyTwc(pool, n, degree_of);
+        result.lane_efficiency =
+            LaneEfficiencyTwc(pool, n, degree_of, &wsp);
       }
       break;
     }
@@ -260,7 +262,7 @@ AdvanceResult AdvancePush(par::ThreadPool& pool, const graph::Csr& g,
     case LoadBalance::kAuto: {  // kAuto already resolved; silences -Wswitch
       result.edges_visited = detail::ExpandEqualWork<Functor, Problem,
                                                      OutId>(
-          pool, g, input, prob, output);
+          pool, g, input, prob, output, wsp);
       if (cfg.model_efficiency) {
         result.lane_efficiency =
             LaneEfficiencyEqualWork(result.edges_visited);
@@ -290,15 +292,25 @@ AdvanceResult AdvancePull(par::ThreadPool& pool, const graph::Csr& rg,
   AdvanceResult result;
   const std::size_t n = candidates.size();
   if (n == 0) return result;
+  par::Workspace private_arena;
+  par::Workspace& wsp = cfg.workspace ? *cfg.workspace : private_arena;
   const std::size_t out_base = output ? output->size() : 0;
   const std::size_t grain =
       cfg.grain ? cfg.grain : par::DefaultGrain(n, pool.num_threads());
   const std::size_t num_chunks = (n + grain - 1) / grain;
-  std::vector<std::vector<vid_t>> locals(output ? num_chunks : 0);
-  std::vector<eid_t> counts(num_chunks, 0);
+  auto& locals =
+      wsp.Get<std::vector<std::vector<vid_t>>>(par::ws::kAdvanceLocals);
+  if (output && locals.size() < num_chunks) locals.resize(num_chunks);
+  auto& counts = wsp.Get<std::vector<eid_t>>(par::ws::kAdvanceCounts);
+  counts.assign(num_chunks, 0);
   par::ParallelForChunks(
-      pool, 0, n, grain, [&](std::size_t lo, std::size_t hi, unsigned) {
-        const std::size_t chunk = lo / grain;
+      pool, 0, n, grain,
+      [&](std::size_t lo, std::size_t hi, std::size_t chunk, unsigned) {
+        std::vector<vid_t>* local = nullptr;
+        if (output) {
+          local = &locals[chunk];
+          local->clear();
+        }
         eid_t edges = 0;
         for (std::size_t i = lo; i < hi; ++i) {
           const vid_t v = candidates[i];
@@ -308,19 +320,23 @@ AdvanceResult AdvancePull(par::ThreadPool& pool, const graph::Csr& rg,
             if (frontier_bitmap.Test(static_cast<std::size_t>(u)) &&
                 Functor::CondEdge(u, v, e, prob)) {
               Functor::ApplyEdge(u, v, e, prob);
-              if (output) locals[chunk].push_back(v);
+              if (local) local->push_back(v);
               break;
             }
           }
         }
-        counts[chunk] += edges;
+        counts[chunk] = edges;
       });
-  detail::AppendChunks(pool, locals, output);
-  for (const eid_t c : counts) result.edges_visited += c;
+  par::ConcatChunks(pool, locals, output ? num_chunks : 0, output, &wsp,
+                    par::ws::kAdvanceAppendOffsets);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    result.edges_visited += counts[c];
+  }
   // Pull scans candidate lists item-per-lane; model accordingly.
   if (cfg.model_efficiency) {
     result.lane_efficiency = LaneEfficiencyThreadMapped(
-        pool, n, [&](std::size_t i) { return rg.degree(candidates[i]); });
+        pool, n, [&](std::size_t i) { return rg.degree(candidates[i]); },
+        &wsp);
   }
   if (output) result.output_size = output->size() - out_base;
   return result;

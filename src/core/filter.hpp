@@ -17,14 +17,21 @@
 //
 // Stateful functors run exactly once per surviving item: the operator
 // evaluates CondVertex in the same pass that writes the output buffer.
+//
+// All scratch (chunk-local output, gather offsets, the history tables —
+// one per lane, reset at each chunk boundary) lives in the FilterConfig's
+// Workspace, so steady-state filtering is allocation-free.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "core/policy.hpp"
+#include "core/workspace.hpp"
 #include "graph/csr.hpp"
+#include "parallel/compact.hpp"
 #include "parallel/for_each.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/types.hpp"
@@ -37,12 +44,42 @@ struct FilterConfig {
   /// log2 of the per-chunk hash table size.
   unsigned history_bits = 12;
   std::size_t grain = 0;
+  /// Enactor-owned scratch arena (see AdvanceConfig::workspace).
+  par::Workspace* workspace = nullptr;
 };
 
 struct FilterResult {
   std::size_t input_size = 0;
   std::size_t output_size = 0;
 };
+
+namespace detail {
+
+/// Per-lane history hash with epoch-stamped slots: bumping the epoch
+/// invalidates the whole table in O(1), so the per-chunk "fresh table"
+/// semantics cost no memset. A slot holds vertex `val` iff its tag equals
+/// the current epoch.
+struct HistoryTable {
+  std::vector<vid_t> val;
+  std::vector<std::uint64_t> tag;
+  std::uint64_t epoch = 0;
+
+  void BeginChunk(std::size_t size) {
+    if (tag.size() < size) {
+      val.resize(size);
+      tag.assign(size, 0);  // one-time cost on growth only
+    }
+    ++epoch;
+  }
+  bool SeenInChunk(vid_t v, std::size_t slot) {
+    if (tag[slot] == epoch && val[slot] == v) return true;
+    tag[slot] = epoch;
+    val[slot] = v;
+    return false;
+  }
+};
+
+}  // namespace detail
 
 /// Vertex-frontier filter: writes surviving items of `input` into `output`
 /// (appending, chunk-ordered). kInvalidVid entries are always dropped.
@@ -55,26 +92,43 @@ FilterResult FilterVertex(par::ThreadPool& pool,
   result.input_size = input.size();
   const std::size_t n = input.size();
   if (n == 0) return result;
+  par::Workspace private_arena;
+  par::Workspace& wsp = cfg.workspace ? *cfg.workspace : private_arena;
   std::size_t grain =
       cfg.grain ? cfg.grain : par::DefaultGrain(n, pool.num_threads());
   const std::size_t num_chunks = (n + grain - 1) / grain;
-  std::vector<std::vector<vid_t>> locals(num_chunks);
+  auto& locals =
+      wsp.Get<std::vector<std::vector<vid_t>>>(par::ws::kFilterLocals);
+  if (locals.size() < num_chunks) locals.resize(num_chunks);
   const std::size_t hash_size = std::size_t{1} << cfg.history_bits;
   const std::size_t hash_mask = hash_size - 1;
+  // One history table per lane, invalidated (O(1), epoch bump) at each
+  // chunk boundary — identical dedup behavior to a fresh per-chunk table,
+  // without the allocation or the memset.
+  auto& histories =
+      wsp.Get<std::vector<detail::HistoryTable>>(par::ws::kFilterHistory);
+  if (cfg.history_hash && histories.size() < pool.num_threads()) {
+    histories.resize(pool.num_threads());
+  }
   par::ParallelForChunks(
-      pool, 0, n, grain, [&](std::size_t lo, std::size_t hi, unsigned) {
-        auto& local = locals[lo / grain];
+      pool, 0, n, grain,
+      [&](std::size_t lo, std::size_t hi, std::size_t chunk,
+          unsigned rank) {
+        auto& local = locals[chunk];
+        local.clear();
         local.reserve(hi - lo);
-        std::vector<vid_t> history;
-        if (cfg.history_hash) history.assign(hash_size, kInvalidVid);
+        detail::HistoryTable* history = nullptr;
+        if (cfg.history_hash) {
+          history = &histories[rank];
+          history->BeginChunk(hash_size);
+        }
         for (std::size_t i = lo; i < hi; ++i) {
           const vid_t v = input[i];
           if (v == kInvalidVid) continue;
-          if (cfg.history_hash) {
-            const std::size_t slot =
-                static_cast<std::size_t>(v) & hash_mask;
-            if (history[slot] == v) continue;  // likely duplicate
-            history[slot] = v;
+          if (history &&
+              history->SeenInChunk(
+                  v, static_cast<std::size_t>(v) & hash_mask)) {
+            continue;  // likely duplicate
           }
           if (Functor::CondVertex(v, prob)) {
             Functor::ApplyVertex(v, prob);
@@ -82,19 +136,11 @@ FilterResult FilterVertex(par::ThreadPool& pool,
           }
         }
       });
-  std::size_t total = 0;
-  for (const auto& l : locals) total += l.size();
-  const std::size_t base = output->size();
-  output->resize(base + total);
-  std::vector<std::size_t> offsets(num_chunks + 1, 0);
+  par::ConcatChunks(pool, locals, num_chunks, output, &wsp,
+                    par::ws::kFilterOffsets);
   for (std::size_t c = 0; c < num_chunks; ++c) {
-    offsets[c + 1] = offsets[c] + locals[c].size();
+    result.output_size += locals[c].size();
   }
-  par::ParallelFor(pool, 0, num_chunks, [&](std::size_t c) {
-    std::copy(locals[c].begin(), locals[c].end(),
-              output->begin() + base + offsets[c]);
-  });
-  result.output_size = total;
   return result;
 }
 
@@ -115,13 +161,19 @@ FilterResult FilterEdge(par::ThreadPool& pool,
   result.input_size = input.size();
   const std::size_t n = input.size();
   if (n == 0) return result;
+  par::Workspace private_arena;
+  par::Workspace& wsp = cfg.workspace ? *cfg.workspace : private_arena;
   std::size_t grain =
       cfg.grain ? cfg.grain : par::DefaultGrain(n, pool.num_threads());
   const std::size_t num_chunks = (n + grain - 1) / grain;
-  std::vector<std::vector<eid_t>> locals(num_chunks);
+  auto& locals =
+      wsp.Get<std::vector<std::vector<eid_t>>>(par::ws::kFilterEdgeLocals);
+  if (locals.size() < num_chunks) locals.resize(num_chunks);
   par::ParallelForChunks(
-      pool, 0, n, grain, [&](std::size_t lo, std::size_t hi, unsigned) {
-        auto& local = locals[lo / grain];
+      pool, 0, n, grain,
+      [&](std::size_t lo, std::size_t hi, std::size_t chunk, unsigned) {
+        auto& local = locals[chunk];
+        local.clear();
         for (std::size_t i = lo; i < hi; ++i) {
           const eid_t e = input[i];
           if (e == kInvalidEid) continue;
@@ -133,16 +185,11 @@ FilterResult FilterEdge(par::ThreadPool& pool,
           }
         }
       });
-  std::size_t total = 0;
-  for (const auto& l : locals) total += l.size();
-  const std::size_t base = output->size();
-  output->resize(base + total);
-  std::size_t at = base;
-  for (auto& l : locals) {
-    std::copy(l.begin(), l.end(), output->begin() + at);
-    at += l.size();
+  par::ConcatChunks(pool, locals, num_chunks, output, &wsp,
+                    par::ws::kFilterOffsets);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    result.output_size += locals[c].size();
   }
-  result.output_size = total;
   return result;
 }
 

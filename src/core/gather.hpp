@@ -15,6 +15,7 @@
 #include "graph/csr.hpp"
 #include "parallel/segmented.hpp"
 #include "parallel/thread_pool.hpp"
+#include "parallel/workspace.hpp"
 #include "util/types.hpp"
 
 namespace gunrock::core {
@@ -26,10 +27,11 @@ namespace gunrock::core {
 /// power-law in-degrees do not imbalance the pass.
 template <typename T, typename Op, typename F>
 void NeighborReduce(par::ThreadPool& pool, const graph::Csr& rg,
-                    std::span<T> out, T identity, Op op, F&& value) {
+                    std::span<T> out, T identity, Op op, F&& value,
+                    par::Workspace* wsp = nullptr) {
   par::SegmentedReduceBalanced<T, eid_t>(pool, rg.row_offsets(), out,
                                          identity, op,
-                                         std::forward<F>(value));
+                                         std::forward<F>(value), wsp);
 }
 
 }  // namespace gunrock::core

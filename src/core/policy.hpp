@@ -5,6 +5,10 @@
 
 #include "util/types.hpp"
 
+namespace gunrock::par {
+class Workspace;  // parallel/workspace.hpp
+}  // namespace gunrock::par
+
 namespace gunrock::core {
 
 /// Workload-mapping strategy for advance (paper Section 4.4).
@@ -60,6 +64,11 @@ struct AdvanceConfig {
   /// When false, skip the SIMT lane-efficiency model (saves one pass over
   /// the frontier per advance).
   bool model_efficiency = true;
+  /// Enactor-owned scratch arena. When set, every internal buffer (degree
+  /// scans, TWC bins, chunk-local output, compaction counters) is reused
+  /// across calls, making steady-state advances allocation-free. When
+  /// null the operator falls back to a private per-call arena.
+  par::Workspace* workspace = nullptr;
 };
 
 /// Resolves kAuto using the topology hint: the paper's hybrid picks the

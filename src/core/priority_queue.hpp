@@ -17,29 +17,25 @@
 
 #include "parallel/compact.hpp"
 #include "parallel/thread_pool.hpp"
+#include "parallel/workspace.hpp"
 #include "util/types.hpp"
 
 namespace gunrock::core {
 
 /// Splits `items` by `is_near`: near items overwrite `near_out`, far items
 /// are appended to `far_pile`. The predicate must be pure (it is evaluated
-/// twice).
+/// twice). Both outputs are sized to their exact final length before the
+/// scatter, and the compaction scratch lives in `wsp` when provided, so a
+/// steady-state near/far loop allocates nothing.
 template <typename Id, typename Pred>
 void SplitNearFar(par::ThreadPool& pool, std::span<const Id> items,
                   std::vector<Id>& near_out, std::vector<Id>& far_pile,
-                  Pred&& is_near) {
-  near_out.resize(items.size());
-  const std::size_t nn =
-      par::CopyIf(pool, items, std::span<Id>(near_out),
-                  [&](Id v) { return is_near(v); });
-  near_out.resize(nn);
-  const std::size_t far_base = far_pile.size();
-  far_pile.resize(far_base + items.size());
-  const std::size_t nf = par::CopyIf(
-      pool, items,
-      std::span<Id>(far_pile.data() + far_base, items.size()),
-      [&](Id v) { return !is_near(v); });
-  far_pile.resize(far_base + nf);
+                  Pred&& is_near, par::Workspace* wsp = nullptr) {
+  near_out.clear();
+  par::AppendIf(pool, items, near_out, [&](Id v) { return is_near(v); },
+                wsp);
+  par::AppendIf(pool, items, far_pile, [&](Id v) { return !is_near(v); },
+                wsp);
 }
 
 }  // namespace gunrock::core

@@ -17,6 +17,7 @@
 
 #include "parallel/reduce.hpp"
 #include "parallel/thread_pool.hpp"
+#include "parallel/workspace.hpp"
 #include "util/types.hpp"
 
 namespace gunrock::core {
@@ -38,7 +39,8 @@ inline LaneTally CombineTally(LaneTally a, LaneTally b) {
 /// for max(cost) steps. cost(i) must return the per-item serial work.
 template <typename CostFn>
 double LaneEfficiencyThreadMapped(par::ThreadPool& pool, std::size_t n,
-                                  CostFn&& cost) {
+                                  CostFn&& cost,
+                                  par::Workspace* wsp = nullptr) {
   if (n == 0) return 1.0;
   const std::size_t warps = (n + kWarpWidth - 1) / kWarpWidth;
   const auto tally = par::TransformReduce(
@@ -53,7 +55,8 @@ double LaneEfficiencyThreadMapped(par::ThreadPool& pool, std::size_t n,
           mx = std::max(mx, c);
         }
         return detail::LaneTally{sum, mx * kWarpWidth};
-      });
+      },
+      wsp, par::ws::kSimtReducePartials);
   return tally.issued > 0 ? tally.useful / tally.issued : 1.0;
 }
 
@@ -74,11 +77,15 @@ inline double LaneEfficiencyEqualWork(eid_t total_work) {
 /// tail); large items a CTA (256-slot rounding).
 template <typename CostFn>
 double LaneEfficiencyTwc(par::ThreadPool& pool, std::size_t n,
-                         CostFn&& cost) {
+                         CostFn&& cost, par::Workspace* wsp = nullptr) {
   if (n == 0) return 1.0;
   // Materialize the small bin's costs so its items can be grouped into
   // warps of peers (the model mirrors the operator's binning pass).
-  std::vector<double> small;
+  std::vector<double> small_local;
+  std::vector<double>& small =
+      wsp ? wsp->Get<std::vector<double>>(par::ws::kSimtSmallCosts)
+          : small_local;
+  small.clear();
   small.reserve(n);
   detail::LaneTally big{};
   for (std::size_t i = 0; i < n; ++i) {
@@ -94,7 +101,7 @@ double LaneEfficiencyTwc(par::ThreadPool& pool, std::size_t n,
     }
   }
   const double small_eff = LaneEfficiencyThreadMapped(
-      pool, small.size(), [&](std::size_t i) { return small[i]; });
+      pool, small.size(), [&](std::size_t i) { return small[i]; }, wsp);
   double small_work = 0.0;
   for (const double c : small) small_work += c;
   const double small_issued =

@@ -26,6 +26,7 @@
 #include "core/priority_queue.hpp"
 #include "core/simt_model.hpp"
 #include "core/stats.hpp"
+#include "core/workspace.hpp"
 #include "graph/coo.hpp"
 #include "graph/csr.hpp"
 #include "graph/generators.hpp"

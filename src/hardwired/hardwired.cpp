@@ -32,17 +32,33 @@ void ExpandTopDown(const graph::Csr& g, std::span<const vid_t> frontier,
   }
 }
 
-void GatherChunks(std::vector<std::vector<vid_t>>& locals,
-                  std::vector<vid_t>* out) {
+void GatherChunks(par::ThreadPool& pool,
+                  const std::vector<std::vector<vid_t>>& locals,
+                  std::size_t count, std::vector<vid_t>* out) {
   out->clear();
-  std::size_t total = 0;
-  for (const auto& l : locals) total += l.size();
-  out->reserve(total);
-  for (auto& l : locals) {
-    out->insert(out->end(), l.begin(), l.end());
-    l.clear();
-  }
+  par::ConcatChunks(pool, locals, count, out);
 }
+
+/// Reusable per-chunk expansion scratch: the chunk-local buffers keep
+/// their capacity across iterations, so a steady-state traversal loop
+/// performs no heap allocation.
+struct ChunkScratch {
+  std::vector<std::vector<vid_t>> locals;
+  std::vector<eid_t> counts;
+
+  /// Prepares for `chunks` chunks; chunk bodies must clear their local
+  /// buffer before appending.
+  void Reset(std::size_t chunks) {
+    if (locals.size() < chunks) locals.resize(chunks);
+    counts.assign(chunks, 0);
+  }
+
+  eid_t TotalCount(std::size_t chunks) const {
+    eid_t total = 0;
+    for (std::size_t c = 0; c < chunks; ++c) total += counts[c];
+    return total;
+  }
+};
 
 }  // namespace
 
@@ -56,6 +72,7 @@ TimedDepths Bfs(const graph::Csr& g, vid_t source, par::ThreadPool& pool) {
   par::Bitmap in_frontier(n);
   std::vector<vid_t> frontier{source}, next;
   std::vector<vid_t> candidates;
+  ChunkScratch scratch;
   depth[source] = 0;
   eid_t m_unvisited = g.num_edges() - g.degree(source);
 
@@ -86,43 +103,44 @@ TimedDepths Bfs(const graph::Csr& g, vid_t source, par::ThreadPool& pool) {
       candidates.resize(nc);
       const std::size_t grain = 64;
       const std::size_t chunks = (nc + grain - 1) / grain;
-      std::vector<std::vector<vid_t>> locals(std::max<std::size_t>(chunks, 1));
-      std::vector<eid_t> scanned(std::max<std::size_t>(chunks, 1), 0);
+      scratch.Reset(chunks);
       par::ParallelForChunks(
-          pool, 0, nc, grain, [&](std::size_t lo, std::size_t hi, unsigned) {
-            const std::size_t c = lo / grain;
+          pool, 0, nc, grain,
+          [&](std::size_t lo, std::size_t hi, std::size_t c, unsigned) {
+            auto& local = scratch.locals[c];
+            local.clear();
             for (std::size_t i = lo; i < hi; ++i) {
               const vid_t v = candidates[i];
               for (eid_t e = g.row_begin(v); e < g.row_end(v); ++e) {
-                ++scanned[c];
+                ++scratch.counts[c];
                 const vid_t u = g.edge_dest(e);
                 if (in_frontier.Test(static_cast<std::size_t>(u))) {
                   depth[v] = level;
-                  locals[c].push_back(v);
+                  local.push_back(v);
                   break;
                 }
               }
             }
           });
-      GatherChunks(locals, &next);
-      for (const eid_t s : scanned) out.edges_visited += s;
+      GatherChunks(pool, scratch.locals, chunks, &next);
+      out.edges_visited += scratch.TotalCount(chunks);
     } else {
       const std::size_t grain = 64;
       const std::size_t chunks = (frontier.size() + grain - 1) / grain;
-      std::vector<std::vector<vid_t>> locals(std::max<std::size_t>(chunks, 1));
-      std::vector<eid_t> counted(std::max<std::size_t>(chunks, 1), 0);
+      scratch.Reset(chunks);
       par::ParallelForChunks(
           pool, 0, frontier.size(), grain,
-          [&](std::size_t lo, std::size_t hi, unsigned) {
-            const std::size_t c = lo / grain;
-            ExpandTopDown(g, frontier, lo, hi, &locals[c], &counted[c],
+          [&](std::size_t lo, std::size_t hi, std::size_t c, unsigned) {
+            auto& local = scratch.locals[c];
+            local.clear();
+            ExpandTopDown(g, frontier, lo, hi, &local, &scratch.counts[c],
                           [&](vid_t, vid_t v, eid_t) {
                             return par::AtomicCas(&depth[v],
                                                   std::int32_t{-1}, level);
                           });
           });
-      GatherChunks(locals, &next);
-      for (const eid_t c : counted) out.edges_visited += c;
+      GatherChunks(pool, scratch.locals, chunks, &next);
+      out.edges_visited += scratch.TotalCount(chunks);
     }
 
     const eid_t m_new = par::TransformReduce(
@@ -155,6 +173,8 @@ TimedDists Sssp(const graph::Csr& g, vid_t source, par::ThreadPool& pool) {
   std::int32_t epoch = 0;
 
   std::vector<vid_t> near{source}, far, next_near, next_far;
+  ChunkScratch scratch;                 // near-slice chunk buffers
+  std::vector<std::vector<vid_t>> lf;  // far-slice chunk buffers
   weight_t threshold = delta;
   WallTimer timer;
   while (!near.empty() || !far.empty()) {
@@ -171,36 +191,35 @@ TimedDists Sssp(const graph::Csr& g, vid_t source, par::ThreadPool& pool) {
     const std::int32_t e_now = epoch;
     const std::size_t grain = 64;
     const std::size_t chunks = (near.size() + grain - 1) / grain;
-    std::vector<std::vector<vid_t>> ln(std::max<std::size_t>(chunks, 1)),
-        lf(std::max<std::size_t>(chunks, 1));
-    std::vector<eid_t> counted(std::max<std::size_t>(chunks, 1), 0);
+    scratch.Reset(chunks);
+    if (lf.size() < chunks) lf.resize(chunks);
     par::ParallelForChunks(
         pool, 0, near.size(), grain,
-        [&](std::size_t lo, std::size_t hi, unsigned) {
-          const std::size_t c = lo / grain;
+        [&](std::size_t lo, std::size_t hi, std::size_t c, unsigned) {
+          auto& local_near = scratch.locals[c];
+          auto& local_far = lf[c];
+          local_near.clear();
+          local_far.clear();
           for (std::size_t i = lo; i < hi; ++i) {
             const vid_t u = near[i];
             const weight_t du = par::AtomicLoad(&dist[u]);
             const eid_t rb = g.row_begin(u), re = g.row_end(u);
-            counted[c] += re - rb;
+            scratch.counts[c] += re - rb;
             for (eid_t e = rb; e < re; ++e) {
               const vid_t v = g.edge_dest(e);
               const weight_t nd = du + g.edge_weight(e);
               if (nd < par::AtomicMin(&dist[v], nd) &&
                   par::AtomicExchange(&mark_p[v], e_now) != e_now) {
-                (nd < threshold ? ln : lf)[c].push_back(v);
+                (nd < threshold ? local_near : local_far).push_back(v);
               }
             }
           }
         });
-    next_near.clear();
-    for (auto& l : ln) {
-      next_near.insert(next_near.end(), l.begin(), l.end());
+    GatherChunks(pool, scratch.locals, chunks, &next_near);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      far.insert(far.end(), lf[c].begin(), lf[c].end());
     }
-    for (auto& l : lf) {
-      far.insert(far.end(), l.begin(), l.end());
-    }
-    for (const eid_t c : counted) out.edges_visited += c;
+    out.edges_visited += scratch.TotalCount(chunks);
     near.swap(next_near);
   }
   out.elapsed_ms = timer.ElapsedMs();
@@ -223,19 +242,22 @@ TimedBc Bc(const graph::Csr& g, vid_t source, par::ThreadPool& pool) {
   levels.push_back({source});
 
   WallTimer timer;
-  // Forward: fused discovery + sigma accumulation.
+  // Forward: fused discovery + sigma accumulation. Chunk scratch is
+  // reused across levels; only the stored level frontiers themselves
+  // allocate (they must outlive the loop for the backward sweep).
+  ChunkScratch scratch;
   while (!levels.back().empty()) {
     const auto& frontier = levels.back();
     const std::int32_t level = static_cast<std::int32_t>(levels.size());
     const std::size_t grain = 64;
     const std::size_t chunks = (frontier.size() + grain - 1) / grain;
-    std::vector<std::vector<vid_t>> locals(std::max<std::size_t>(chunks, 1));
-    std::vector<eid_t> counted(std::max<std::size_t>(chunks, 1), 0);
+    scratch.Reset(chunks);
     par::ParallelForChunks(
         pool, 0, frontier.size(), grain,
-        [&](std::size_t lo, std::size_t hi, unsigned) {
-          const std::size_t c = lo / grain;
-          ExpandTopDown(g, frontier, lo, hi, &locals[c], &counted[c],
+        [&](std::size_t lo, std::size_t hi, std::size_t c, unsigned) {
+          auto& local = scratch.locals[c];
+          local.clear();
+          ExpandTopDown(g, frontier, lo, hi, &local, &scratch.counts[c],
                         [&](vid_t u, vid_t v, eid_t) {
                           const bool first = par::AtomicCas(
                               &depth_p[v], std::int32_t{-1}, level);
@@ -247,8 +269,8 @@ TimedBc Bc(const graph::Csr& g, vid_t source, par::ThreadPool& pool) {
                         });
         });
     std::vector<vid_t> next;
-    GatherChunks(locals, &next);
-    for (const eid_t c : counted) out.edges_visited += c;
+    GatherChunks(pool, scratch.locals, chunks, &next);
+    out.edges_visited += scratch.TotalCount(chunks);
     levels.push_back(std::move(next));
   }
   levels.pop_back();

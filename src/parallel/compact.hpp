@@ -1,17 +1,22 @@
-// Stream compaction (parallel copy_if).
+// Stream compaction (parallel copy_if) and partitioning.
 //
 // The filter operator's backbone: "using parallel scan for efficient
 // filtering is well-understood on GPUs" (paper Section 4.1). Two fixed-block
 // phases — count, then scatter at scanned offsets — produce a stable
-// (order-preserving) compaction.
+// (order-preserving) compaction. Every helper takes an optional Workspace
+// so its block-counter scratch is reused across calls (allocation-free in
+// steady state).
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstddef>
 #include <span>
 #include <vector>
 
 #include "parallel/for_each.hpp"
 #include "parallel/thread_pool.hpp"
+#include "parallel/workspace.hpp"
 
 namespace gunrock::par {
 
@@ -20,11 +25,16 @@ namespace gunrock::par {
 /// Returns the number of elements kept. `in` and `out` must not overlap.
 template <typename T, typename Pred>
 std::size_t CopyIfIndexed(ThreadPool& pool, std::span<const T> in,
-                          std::span<T> out, Pred pred) {
+                          std::span<T> out, Pred pred,
+                          Workspace* wsp = nullptr) {
   const std::size_t n = in.size();
   if (n == 0) return 0;
   const std::size_t nblocks = DefaultBlockCount(n, pool.num_threads());
-  std::vector<std::size_t> block_count(nblocks);
+  std::vector<std::size_t> local;
+  std::vector<std::size_t>& block_count =
+      wsp ? wsp->Get<std::vector<std::size_t>>(ws::kCompactBlockCounts)
+          : local;
+  block_count.resize(nblocks);  // fully overwritten below
   FixedBlocks(pool, n, nblocks,
               [&](std::size_t b, std::size_t lo, std::size_t hi) {
                 std::size_t c = 0;
@@ -50,19 +60,111 @@ std::size_t CopyIfIndexed(ThreadPool& pool, std::span<const T> in,
 /// Value-predicate overload.
 template <typename T, typename Pred>
 std::size_t CopyIf(ThreadPool& pool, std::span<const T> in, std::span<T> out,
-                   Pred pred) {
+                   Pred pred, Workspace* wsp = nullptr) {
   return CopyIfIndexed(pool, in, out,
-                       [&](std::size_t i) { return pred(in[i]); });
+                       [&](std::size_t i) { return pred(in[i]); }, wsp);
+}
+
+/// Appends the passing elements of `in` to `out` (stable). Unlike CopyIf
+/// into a worst-case-sized span, this sizes `out` to the exact final
+/// length *before* scattering, so no excess tail is ever value-initialized
+/// just to be thrown away. `in` must not alias `out`.
+template <typename T, typename Pred>
+std::size_t AppendIf(ThreadPool& pool, std::span<const T> in,
+                     std::vector<T>& out, Pred pred,
+                     Workspace* wsp = nullptr) {
+  const std::size_t n = in.size();
+  if (n == 0) return 0;
+  if (pool.num_threads() == 1) {
+    // Single lane: one stable pass, no counting phase, no value-
+    // initializing resize of the destination gap.
+    const std::size_t base = out.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pred(in[i])) out.push_back(in[i]);
+    }
+    return out.size() - base;
+  }
+  const std::size_t nblocks = DefaultBlockCount(n, pool.num_threads());
+  std::vector<std::size_t> local;
+  std::vector<std::size_t>& block_count =
+      wsp ? wsp->Get<std::vector<std::size_t>>(ws::kCompactBlockCounts)
+          : local;
+  block_count.resize(nblocks);
+  FixedBlocks(pool, n, nblocks,
+              [&](std::size_t b, std::size_t lo, std::size_t hi) {
+                std::size_t c = 0;
+                for (std::size_t i = lo; i < hi; ++i) {
+                  c += pred(in[i]) ? 1 : 0;
+                }
+                block_count[b] = c;
+              });
+  const std::size_t base = out.size();
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::size_t c = block_count[b];
+    block_count[b] = base + total;
+    total += c;
+  }
+  out.resize(base + total);
+  T* dst = out.data();
+  FixedBlocks(pool, n, nblocks,
+              [&](std::size_t b, std::size_t lo, std::size_t hi) {
+                std::size_t pos = block_count[b];
+                for (std::size_t i = lo; i < hi; ++i) {
+                  if (pred(in[i])) dst[pos++] = in[i];
+                }
+              });
+  return total;
+}
+
+/// Appends the first `count` chunk-local buffers to `out` in chunk order
+/// (deterministic for a given chunking) — the gather step every chunked
+/// operator ends with. A single lane appends directly (no positioning
+/// pass, no value-initializing resize of the gap); multiple lanes resize
+/// once and copy in parallel at scanned offsets. `slot` selects the
+/// workspace buffer for those offsets so callers sharing one arena don't
+/// collide.
+template <typename T>
+void ConcatChunks(ThreadPool& pool,
+                  const std::vector<std::vector<T>>& locals,
+                  std::size_t count, std::vector<T>* out,
+                  Workspace* wsp = nullptr,
+                  unsigned slot = ws::kConcatOffsets) {
+  if (!out || count == 0) return;
+  if (pool.num_threads() == 1) {
+    for (std::size_t c = 0; c < count; ++c) {
+      out->insert(out->end(), locals[c].begin(), locals[c].end());
+    }
+    return;
+  }
+  std::vector<std::size_t> local;
+  std::vector<std::size_t>& offsets =
+      wsp ? wsp->Get<std::vector<std::size_t>>(slot) : local;
+  offsets.resize(count + 1);
+  offsets[0] = 0;
+  for (std::size_t c = 0; c < count; ++c) {
+    offsets[c + 1] = offsets[c] + locals[c].size();
+  }
+  const std::size_t base = out->size();
+  out->resize(base + offsets[count]);
+  ParallelFor(pool, 0, count, [&](std::size_t c) {
+    std::copy(locals[c].begin(), locals[c].end(),
+              out->begin() + static_cast<std::ptrdiff_t>(base + offsets[c]));
+  });
 }
 
 /// Produces transform(i) densely for every index i in [0, n) passing pred.
 /// Used to materialize index sets (e.g., "all unvisited vertices").
 template <typename T, typename Pred, typename F>
 std::size_t GenerateIf(ThreadPool& pool, std::size_t n, std::span<T> out,
-                       Pred pred, F&& transform) {
+                       Pred pred, F&& transform, Workspace* wsp = nullptr) {
   if (n == 0) return 0;
   const std::size_t nblocks = DefaultBlockCount(n, pool.num_threads());
-  std::vector<std::size_t> block_count(nblocks);
+  std::vector<std::size_t> local;
+  std::vector<std::size_t>& block_count =
+      wsp ? wsp->Get<std::vector<std::size_t>>(ws::kGenerateBlockCounts)
+          : local;
+  block_count.resize(nblocks);
   FixedBlocks(pool, n, nblocks,
               [&](std::size_t b, std::size_t lo, std::size_t hi) {
                 std::size_t c = 0;
@@ -83,6 +185,61 @@ std::size_t GenerateIf(ThreadPool& pool, std::size_t n, std::span<T> out,
                 }
               });
   return total;
+}
+
+/// Single-pass three-way partition: routes transform(i) into out[0..2]
+/// according to classify(i) ∈ {0, 1, 2}, preserving index order within
+/// each class (stable). One classification pass for counting plus one for
+/// scattering — the fused replacement for running GenerateIf once per
+/// class, which costs three times the passes and three times the
+/// classification work. Returns the number of elements per class; each
+/// out span must have room for n elements in the worst case.
+template <typename T, typename Classify, typename F>
+std::array<std::size_t, 3> GenerateThreeWay(ThreadPool& pool, std::size_t n,
+                                            std::array<std::span<T>, 3> out,
+                                            Classify classify, F&& transform,
+                                            Workspace* wsp = nullptr) {
+  std::array<std::size_t, 3> sizes{0, 0, 0};
+  if (n == 0) return sizes;
+  const std::size_t nblocks = DefaultBlockCount(n, pool.num_threads());
+  std::vector<std::size_t> local;
+  std::vector<std::size_t>& counts =
+      wsp ? wsp->Get<std::vector<std::size_t>>(ws::kThreeWayBlockCounts)
+          : local;
+  counts.resize(3 * nblocks);  // [block][class], fully overwritten
+  FixedBlocks(pool, n, nblocks,
+              [&](std::size_t b, std::size_t lo, std::size_t hi) {
+                std::size_t c0 = 0, c1 = 0, c2 = 0;
+                for (std::size_t i = lo; i < hi; ++i) {
+                  const int k = classify(i);
+                  c0 += k == 0 ? 1 : 0;
+                  c1 += k == 1 ? 1 : 0;
+                  c2 += k == 2 ? 1 : 0;
+                }
+                counts[3 * b + 0] = c0;
+                counts[3 * b + 1] = c1;
+                counts[3 * b + 2] = c2;
+              });
+  for (int k = 0; k < 3; ++k) {
+    std::size_t total = 0;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      const std::size_t c = counts[3 * b + static_cast<std::size_t>(k)];
+      counts[3 * b + static_cast<std::size_t>(k)] = total;
+      total += c;
+    }
+    sizes[static_cast<std::size_t>(k)] = total;
+  }
+  FixedBlocks(pool, n, nblocks,
+              [&](std::size_t b, std::size_t lo, std::size_t hi) {
+                std::array<std::size_t, 3> pos = {counts[3 * b + 0],
+                                                  counts[3 * b + 1],
+                                                  counts[3 * b + 2]};
+                for (std::size_t i = lo; i < hi; ++i) {
+                  const auto k = static_cast<std::size_t>(classify(i));
+                  out[k][pos[k]++] = transform(i);
+                }
+              });
+  return sizes;
 }
 
 }  // namespace gunrock::par

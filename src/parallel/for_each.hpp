@@ -22,11 +22,15 @@ namespace gunrock::par {
 inline constexpr std::size_t kSerialCutoff = 2048;
 
 /// Chunk size that amortizes the ticket counter while keeping enough chunks
-/// for load balance (~8 chunks per lane).
+/// for load balance (~8 chunks per lane). Floored so tiny inputs are not
+/// shredded into chunks whose scheduling bookkeeping outweighs their work.
+inline constexpr std::size_t kMinGrain = 64;
+
 inline std::size_t DefaultGrain(std::size_t n, unsigned num_threads) {
   const std::size_t target_chunks =
       static_cast<std::size_t>(num_threads) * 8;
-  return std::max<std::size_t>(1, (n + target_chunks - 1) / target_chunks);
+  return std::max<std::size_t>(kMinGrain,
+                               (n + target_chunks - 1) / target_chunks);
 }
 
 /// Start offset of block `b` out of `nblocks` over `n` items.
@@ -35,7 +39,13 @@ inline std::size_t BlockStart(std::size_t n, std::size_t nblocks,
   return n / nblocks * b + std::min<std::size_t>(n % nblocks, b);
 }
 
-/// Dynamic chunked loop: fn(lo, hi, rank) over chunk [lo, hi).
+/// Dynamic chunked loop: fn(lo, hi, chunk, rank) over chunk [lo, hi).
+/// The chunk index is explicit so per-chunk accounting stays correct on
+/// every execution path: the serial fallback visits the chunks one by one
+/// with their true indices instead of handing the callback one merged
+/// range (which silently attributed everything to chunk 0). Chunk
+/// boundaries depend only on (begin, end, grain), so per-chunk output is
+/// deterministic for a fixed grain regardless of thread count.
 template <typename F>
 void ParallelForChunks(ThreadPool& pool, std::size_t begin, std::size_t end,
                        std::size_t grain, F&& fn) {
@@ -44,7 +54,11 @@ void ParallelForChunks(ThreadPool& pool, std::size_t begin, std::size_t end,
   if (grain == 0) grain = DefaultGrain(n, pool.num_threads());
   const std::size_t num_chunks = (n + grain - 1) / grain;
   if (num_chunks <= 1 || n <= kSerialCutoff || pool.num_threads() == 1) {
-    fn(begin, end, 0u);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t lo = begin + c * grain;
+      const std::size_t hi = std::min(end, lo + grain);
+      fn(lo, hi, c, 0u);
+    }
     return;
   }
   std::atomic<std::size_t> next{0};
@@ -54,7 +68,7 @@ void ParallelForChunks(ThreadPool& pool, std::size_t begin, std::size_t end,
       if (c >= num_chunks) break;
       const std::size_t lo = begin + c * grain;
       const std::size_t hi = std::min(end, lo + grain);
-      fn(lo, hi, rank);
+      fn(lo, hi, c, rank);
     }
   });
 }
@@ -63,10 +77,11 @@ void ParallelForChunks(ThreadPool& pool, std::size_t begin, std::size_t end,
 template <typename F>
 void ParallelFor(ThreadPool& pool, std::size_t begin, std::size_t end,
                  F&& fn, std::size_t grain = 0) {
-  ParallelForChunks(pool, begin, end, grain,
-                    [&](std::size_t lo, std::size_t hi, unsigned) {
-                      for (std::size_t i = lo; i < hi; ++i) fn(i);
-                    });
+  ParallelForChunks(
+      pool, begin, end, grain,
+      [&](std::size_t lo, std::size_t hi, std::size_t, unsigned) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      });
 }
 
 /// Deterministic partition into `nblocks` blocks; fn(b, lo, hi) per block.

@@ -7,6 +7,7 @@
 
 #include "parallel/for_each.hpp"
 #include "parallel/thread_pool.hpp"
+#include "parallel/workspace.hpp"
 
 namespace gunrock::par {
 
@@ -16,12 +17,19 @@ namespace gunrock::par {
 /// deterministic for associative/commutative op up to block partition
 /// (exactly deterministic for integers; floating point combines in block
 /// order, which is fixed for a given (n, pool size)).
+/// Pass a Workspace to reuse the per-block partial buffer across calls;
+/// callers whose reduction type differs from their loop's other reduces
+/// should claim a private slot to avoid type churn in the arena.
 template <typename T, typename Op, typename F>
 T TransformReduce(ThreadPool& pool, std::size_t n, T identity, Op op,
-                  F&& transform) {
+                  F&& transform, Workspace* wsp = nullptr,
+                  unsigned slot = ws::kReducePartials) {
   if (n == 0) return identity;
   const std::size_t nblocks = DefaultBlockCount(n, pool.num_threads());
-  std::vector<T> partial(nblocks, identity);
+  std::vector<T> local;
+  std::vector<T>& partial =
+      wsp ? wsp->Get<std::vector<T>>(slot) : local;
+  partial.assign(nblocks, identity);
   FixedBlocks(pool, n, nblocks, [&](std::size_t b, std::size_t lo,
                                     std::size_t hi) {
     T acc = identity;

@@ -13,17 +13,22 @@
 
 #include "parallel/for_each.hpp"
 #include "parallel/thread_pool.hpp"
+#include "parallel/workspace.hpp"
 
 namespace gunrock::par {
 
 /// Exclusive scan of transform(i) for i in [0, n) into out (size n).
 /// Returns the total sum. out[i] = init + sum_{j<i} transform(j).
+/// Pass a Workspace to reuse the block-sum scratch across calls.
 template <typename T, typename F>
 T TransformExclusiveScan(ThreadPool& pool, std::size_t n, std::span<T> out,
-                         T init, F&& transform) {
+                         T init, F&& transform, Workspace* wsp = nullptr) {
   if (n == 0) return init;
   const std::size_t nblocks = DefaultBlockCount(n, pool.num_threads());
-  std::vector<T> block_sum(nblocks);
+  std::vector<T> local;
+  std::vector<T>& block_sum =
+      wsp ? wsp->Get<std::vector<T>>(ws::kScanBlockSums) : local;
+  block_sum.resize(nblocks);  // every entry is overwritten below
   FixedBlocks(pool, n, nblocks,
               [&](std::size_t b, std::size_t lo, std::size_t hi) {
                 T acc{};
@@ -51,18 +56,22 @@ T TransformExclusiveScan(ThreadPool& pool, std::size_t n, std::span<T> out,
 /// Exclusive scan of a span. Alias-safe: out may equal in.
 template <typename T>
 T ExclusiveScan(ThreadPool& pool, std::span<const T> in, std::span<T> out,
-                T init = T{}) {
+                T init = T{}, Workspace* wsp = nullptr) {
   return TransformExclusiveScan(pool, in.size(), out, init,
-                                [&](std::size_t i) { return in[i]; });
+                                [&](std::size_t i) { return in[i]; }, wsp);
 }
 
 /// Inclusive scan of a span. Alias-safe.
 template <typename T>
-T InclusiveScan(ThreadPool& pool, std::span<const T> in, std::span<T> out) {
+T InclusiveScan(ThreadPool& pool, std::span<const T> in, std::span<T> out,
+                Workspace* wsp = nullptr) {
   if (in.empty()) return T{};
   const std::size_t n = in.size();
   const std::size_t nblocks = DefaultBlockCount(n, pool.num_threads());
-  std::vector<T> block_sum(nblocks);
+  std::vector<T> local;
+  std::vector<T>& block_sum =
+      wsp ? wsp->Get<std::vector<T>>(ws::kScanBlockSums) : local;
+  block_sum.resize(nblocks);
   FixedBlocks(pool, n, nblocks,
               [&](std::size_t b, std::size_t lo, std::size_t hi) {
                 T acc{};

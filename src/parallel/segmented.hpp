@@ -14,6 +14,7 @@
 #include "parallel/for_each.hpp"
 #include "parallel/sorted_search.hpp"
 #include "parallel/thread_pool.hpp"
+#include "parallel/workspace.hpp"
 
 namespace gunrock::par {
 
@@ -39,10 +40,11 @@ void SegmentedReduceSegmentMapped(ThreadPool& pool,
 /// walks forward. Segments fully inside a chunk are written directly; the
 /// chunk's first and last (possibly straddling) segments produce partials
 /// that a serial pass merges afterwards (at most 2 per chunk).
+/// Pass a Workspace to reuse the per-chunk partial buffers across calls.
 template <typename T, typename Off, typename Op, typename F>
 void SegmentedReduceBalanced(ThreadPool& pool, std::span<const Off> offsets,
                              std::span<T> out, T identity, Op op,
-                             F&& values) {
+                             F&& values, Workspace* wsp = nullptr) {
   const std::size_t num_segments = offsets.size() - 1;
   if (num_segments == 0) return;
   const std::size_t total = static_cast<std::size_t>(offsets[num_segments]);
@@ -58,12 +60,19 @@ void SegmentedReduceBalanced(ThreadPool& pool, std::span<const Off> offsets,
     T value;
     bool present;
   };
-  std::vector<Partial> heads(num_chunks), tails(num_chunks);
+  std::vector<Partial> local_heads, local_tails;
+  std::vector<Partial>& heads =
+      wsp ? wsp->Get<std::vector<Partial>>(ws::kSegmentedHeads)
+          : local_heads;
+  std::vector<Partial>& tails =
+      wsp ? wsp->Get<std::vector<Partial>>(ws::kSegmentedTails)
+          : local_tails;
+  heads.resize(num_chunks);  // every chunk writes its head below
+  tails.resize(num_chunks);  // ... and its tail (at least `present`)
 
   ParallelForChunks(
       pool, 0, total, grain,
-      [&](std::size_t lo, std::size_t hi, unsigned) {
-        const std::size_t chunk = lo / grain;
+      [&](std::size_t lo, std::size_t hi, std::size_t chunk, unsigned) {
         std::size_t s = FindOwner(offsets, static_cast<Off>(lo));
         const std::size_t first = s;
         T acc = identity;

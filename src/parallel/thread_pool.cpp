@@ -2,74 +2,159 @@
 
 namespace gunrock::par {
 
+namespace {
+
+/// One polite busy-wait step (PAUSE/YIELD keeps the spin from starving a
+/// hyperthread sibling and saves power).
+inline void CpuRelax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned num_threads) {
   if (num_threads == 0) {
     num_threads = std::thread::hardware_concurrency();
     if (num_threads == 0) num_threads = 4;
   }
-  workers_.reserve(num_threads - 1);
-  for (unsigned r = 1; r < num_threads; ++r) {
-    workers_.emplace_back([this, r] { WorkerLoop(r); });
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = num_threads;
+  if (num_threads > hw) {
+    spin_iters_ = 0;
+    yield_iters_ = kYieldItersOversubscribed;
+  }
+  if (num_threads > 1) {
+    slots_ = std::make_unique<DoneSlot[]>(num_threads - 1);
+    workers_.reserve(num_threads - 1);
+    for (unsigned r = 1; r < num_threads; ++r) {
+      workers_.emplace_back([this, r] { WorkerLoop(r); });
+    }
   }
 }
 
 ThreadPool::~ThreadPool() {
+  shutdown_.store(true, std::memory_order_seq_cst);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    shutdown_ = true;
+    // Empty critical section: pairs with the predicate re-check inside
+    // work_cv_.wait so a worker between "decide to park" and "wait" cannot
+    // miss the shutdown notify.
+    std::lock_guard<std::mutex> lock(work_mutex_);
   }
   work_cv_.notify_all();
   for (auto& t : workers_) t.join();
 }
 
+void ThreadPool::RecordError() noexcept {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  if (!first_error_) first_error_ = std::current_exception();
+}
+
+bool ThreadPool::AllDone(std::uint64_t e) const noexcept {
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (slots_[w].epoch.load(std::memory_order_acquire) != e) return false;
+  }
+  return true;
+}
+
 void ThreadPool::WorkerLoop(unsigned rank) {
-  std::uint64_t seen_epoch = 0;
+  std::uint64_t seen = 0;
+  DoneSlot& slot = slots_[rank - 1];
   for (;;) {
-    const std::function<void(unsigned)>* job = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock,
-                    [&] { return shutdown_ || epoch_ != seen_epoch; });
-      if (shutdown_) return;
-      seen_epoch = epoch_;
-      job = job_;
+    // Wait for a new epoch: spin, then yield, then park on the condvar.
+    std::uint64_t e = epoch_.load(std::memory_order_acquire);
+    int spins = 0;
+    while (e == seen) {
+      if (shutdown_.load(std::memory_order_acquire)) return;
+      ++spins;
+      if (spins <= spin_iters_) {
+        CpuRelax();
+      } else if (spins <= spin_iters_ + yield_iters_) {
+        std::this_thread::yield();
+      } else {
+        std::unique_lock<std::mutex> lock(work_mutex_);
+        parked_.fetch_add(1, std::memory_order_seq_cst);
+        work_cv_.wait(lock, [&] {
+          return shutdown_.load(std::memory_order_acquire) ||
+                 epoch_.load(std::memory_order_acquire) != seen;
+        });
+        parked_.fetch_sub(1, std::memory_order_seq_cst);
+        spins = 0;
+      }
+      e = epoch_.load(std::memory_order_acquire);
     }
+    seen = e;
     try {
-      (*job)(rank);
+      thunk_(ctx_, rank);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+      RecordError();
     }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--remaining_ == 0) done_cv_.notify_one();
+    // Publish completion in our private slot; only poke the caller's
+    // condvar if the caller actually gave up spinning.
+    slot.epoch.store(seen, std::memory_order_seq_cst);
+    if (caller_waiting_.load(std::memory_order_seq_cst)) {
+      { std::lock_guard<std::mutex> lock(done_mutex_); }
+      done_cv_.notify_one();
     }
   }
 }
 
-void ThreadPool::Parallel(const std::function<void(unsigned)>& fn) {
+void ThreadPool::Launch(Thunk thunk, void* ctx) {
+  if (active_.exchange(true, std::memory_order_acq_rel)) {
+    throw std::logic_error(
+        "ThreadPool::Parallel is not reentrant: this pool is already "
+        "running a parallel region (nested Parallel on the same pool, or "
+        "two threads sharing one pool)");
+  }
+  struct ActiveGuard {
+    std::atomic<bool>& flag;
+    ~ActiveGuard() { flag.store(false, std::memory_order_release); }
+  } guard{active_};
+
   if (workers_.empty()) {
-    fn(0);
+    thunk(ctx, 0);  // single-lane pool: run inline, propagate directly
     return;
   }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    job_ = &fn;
-    remaining_ = static_cast<unsigned>(workers_.size());
-    ++epoch_;
+
+  thunk_ = thunk;
+  ctx_ = ctx;
+  const std::uint64_t e = epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  if (parked_.load(std::memory_order_seq_cst) > 0) {
+    // Empty critical section for the same lost-wakeup reason as above.
+    { std::lock_guard<std::mutex> lock(work_mutex_); }
+    work_cv_.notify_all();
   }
-  work_cv_.notify_all();
+
   try {
-    fn(0);
+    thunk(ctx, 0);
   } catch (...) {
-    std::lock_guard<std::mutex> lock(error_mutex_);
-    if (!first_error_) first_error_ = std::current_exception();
+    RecordError();
   }
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return remaining_ == 0; });
-    job_ = nullptr;
+
+  // Completion barrier: poll the per-worker slots, then park.
+  int spins = 0;
+  while (!AllDone(e)) {
+    ++spins;
+    if (spins <= spin_iters_) {
+      CpuRelax();
+    } else if (spins <= spin_iters_ + yield_iters_) {
+      std::this_thread::yield();
+    } else {
+      caller_waiting_.store(true, std::memory_order_seq_cst);
+      std::unique_lock<std::mutex> lock(done_mutex_);
+      done_cv_.wait(lock, [&] { return AllDone(e); });
+      caller_waiting_.store(false, std::memory_order_seq_cst);
+      break;
+    }
   }
+  thunk_ = nullptr;
+  ctx_ = nullptr;
+
   if (first_error_) {
     std::exception_ptr err;
     {

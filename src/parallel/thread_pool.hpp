@@ -2,23 +2,41 @@
 // streaming multiprocessors.
 //
 // The pool exposes a single primitive — Parallel(fn) — which runs
-// fn(rank, num_threads) once on every worker plus the calling thread, then
-// joins. Everything higher level (parallel_for, scan, sort, the Gunrock
+// fn(rank) once on every worker plus the calling thread, then joins.
+// Everything higher level (parallel_for, scan, sort, the Gunrock
 // operators) is a data-parallel pass built from this one bulk-synchronous
 // primitive, mirroring how the paper's operators are bulk-synchronous
 // kernel launches.
+//
+// Launch protocol (the operator hot path, so it must stay cheap):
+//  - The caller publishes the job as a bare function pointer + context
+//    (no std::function, no allocation) and bumps a single atomic epoch.
+//  - Workers spin briefly on the epoch, then yield, then park on a
+//    condvar. The caller only touches the condvar when a worker is
+//    actually parked, so back-to-back launches never pay a mutex or a
+//    futex wake.
+//  - Completion is reported through cache-line-aligned per-worker slots
+//    (each worker stores the epoch it finished); the caller spins over
+//    the slots, parking only after its own spin budget runs out. There
+//    is no shared countdown counter for finishing workers to contend on.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
-#include <functional>
+#include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace gunrock::par {
+
+/// Alignment that keeps per-worker state on private cache lines.
+inline constexpr std::size_t kCacheLineSize = 64;
 
 class ThreadPool {
  public:
@@ -40,25 +58,71 @@ class ThreadPool {
   /// If any lane throws, the first exception is rethrown on the caller
   /// after all lanes have completed (no lane is left running).
   ///
-  /// Not reentrant: a lane must not call Parallel() on the same pool.
-  void Parallel(const std::function<void(unsigned)>& fn);
+  /// Not reentrant: a lane must not call Parallel() on the same pool, and
+  /// two external threads must not share one pool concurrently. Misuse is
+  /// detected and reported with std::logic_error instead of deadlocking.
+  ///
+  /// `fn` is invoked through a function-pointer trampoline on the caller's
+  /// stack frame — no std::function, no heap traffic per launch.
+  template <typename F>
+  void Parallel(F&& fn) {
+    using Fn = std::remove_reference_t<F>;
+    Launch(&Trampoline<Fn>,
+           const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
+  }
 
   /// Process-wide default pool, sized to hardware concurrency. Constructed
   /// on first use; safe to use from main() onward.
   static ThreadPool& Global();
 
  private:
-  void WorkerLoop(unsigned rank);
+  using Thunk = void (*)(void*, unsigned);
 
+  template <typename Fn>
+  static void Trampoline(void* ctx, unsigned rank) {
+    (*static_cast<Fn*>(ctx))(rank);
+  }
+
+  /// One completion flag per worker, each on its own cache line so
+  /// finishing workers never contend on a shared counter.
+  struct alignas(kCacheLineSize) DoneSlot {
+    std::atomic<std::uint64_t> epoch{0};
+  };
+
+  void Launch(Thunk thunk, void* ctx);
+  void WorkerLoop(unsigned rank);
+  void RecordError() noexcept;
+  bool AllDone(std::uint64_t e) const noexcept;
+
+  // Spin budgets before falling back to yields and finally the condvar.
+  // Deliberately modest, and zeroed entirely when the pool has more lanes
+  // than hardware threads: an oversubscribed spinner only burns the
+  // timeslice the other side needs to make progress, so yielding
+  // immediately is the fastest handoff.
+  static constexpr int kSpinIters = 128;
+  static constexpr int kYieldIters = 32;
+  static constexpr int kYieldItersOversubscribed = 64;
+  int spin_iters_ = kSpinIters;
+  int yield_iters_ = kYieldIters;
+
+  // Job broadcast: written by the caller before the epoch bump, read by
+  // workers after observing the bump (release/acquire through epoch_).
+  Thunk thunk_ = nullptr;
+  void* ctx_ = nullptr;
+
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> active_{false};        // reentrancy/misuse detection
+  std::atomic<unsigned> parked_{0};        // workers blocked on work_cv_
+  std::atomic<bool> caller_waiting_{false};
+
+  std::unique_ptr<DoneSlot[]> slots_;      // one per worker (rank - 1)
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;   // signals a new job epoch to workers
-  std::condition_variable done_cv_;   // signals job completion to the caller
-  const std::function<void(unsigned)>* job_ = nullptr;
-  std::uint64_t epoch_ = 0;
-  unsigned remaining_ = 0;
-  bool shutdown_ = false;
+  std::mutex work_mutex_;                  // slow path only
+  std::condition_variable work_cv_;
+  std::mutex done_mutex_;                  // slow path only
+  std::condition_variable done_cv_;
 
   std::mutex error_mutex_;
   std::exception_ptr first_error_;

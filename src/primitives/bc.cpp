@@ -52,11 +52,13 @@ struct BcBackwardFunctor {
 };
 
 void BcFromSource(const graph::Csr& g, vid_t source, const BcOptions& opts,
-                  par::ThreadPool& pool, bool scale_free, BcResult* result) {
+                  par::ThreadPool& pool, bool scale_free,
+                  core::Workspace& ws, std::vector<double>& delta,
+                  BcResult* result) {
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   result->depth.assign(n, -1);
   result->sigma.assign(n, 0.0);
-  std::vector<double> delta(n, 0.0);
+  delta.assign(n, 0.0);
 
   BcProblem prob;
   prob.depth = result->depth.data();
@@ -66,6 +68,7 @@ void BcFromSource(const graph::Csr& g, vid_t source, const BcOptions& opts,
   core::AdvanceConfig adv_cfg;
   adv_cfg.lb = opts.load_balance;
   adv_cfg.scale_free_hint = scale_free;
+  adv_cfg.workspace = &ws;
 
   result->depth[source] = 0;
   result->sigma[source] = 1.0;
@@ -113,10 +116,14 @@ BcResult BcMultiSource(const graph::Csr& g, std::span<const vid_t> sources,
   BcResult result;
   result.bc.assign(n, 0.0);
   const bool scale_free = graph::ComputeScaleFreeHint(g, pool);
+  // Workspace and the dependency accumulator persist across sources, so a
+  // multi-source sweep allocates only its per-level frontiers.
+  core::Workspace ws;
+  std::vector<double> delta;
   WallTimer timer;
   for (const vid_t s : sources) {
     GR_CHECK(s >= 0 && s < g.num_vertices(), "BC source out of range");
-    BcFromSource(g, s, opts, pool, scale_free, &result);
+    BcFromSource(g, s, opts, pool, scale_free, ws, delta, &result);
   }
   if (opts.normalize && n > 2) {
     const double scale =

@@ -93,11 +93,16 @@ BfsResult Bfs(const graph::Csr& g, vid_t source, const BfsOptions& opts) {
   prob.pred = opts.compute_preds ? result.pred.data() : nullptr;
   prob.visited = &visited;
 
+  // Enactor-owned scratch arena: every operator call below reuses its
+  // buffers through this, so iterations are allocation-free after warm-up.
+  core::Workspace ws;
   core::AdvanceConfig adv_cfg;
   adv_cfg.lb = opts.load_balance;
   adv_cfg.scale_free_hint = graph::ComputeScaleFreeHint(g, pool);
+  adv_cfg.workspace = &ws;
   core::FilterConfig filter_cfg;
   filter_cfg.history_hash = true;
+  filter_cfg.workspace = &ws;
 
   core::DirectionOptimizer optimizer(g.num_vertices(), opts.do_alpha,
                                      opts.do_beta);
@@ -113,6 +118,7 @@ BfsResult Bfs(const graph::Csr& g, vid_t source, const BfsOptions& opts) {
 
   core::EfficiencyAccumulator efficiency;
   std::vector<vid_t> candidates;  // pull-mode unvisited list (reused)
+  std::vector<vid_t> raw;         // idempotent-mode advance output (reused)
   WallTimer timer;
 
   const bool optimizing = opts.direction == core::Direction::kOptimizing;
@@ -126,7 +132,8 @@ BfsResult Bfs(const graph::Csr& g, vid_t source, const BfsOptions& opts) {
       // are only worth computing when the direction can actually switch.
       const eid_t m_f = par::TransformReduce(
           pool, n_f, eid_t{0}, [](eid_t a, eid_t b) { return a + b; },
-          [&](std::size_t i) { return g.degree(frontier.current()[i]); });
+          [&](std::size_t i) { return g.degree(frontier.current()[i]); },
+          &ws);
       pull = optimizer.ShouldPull(m_f, m_unvisited,
                                   static_cast<vid_t>(n_f));
     }
@@ -142,7 +149,7 @@ BfsResult Bfs(const graph::Csr& g, vid_t source, const BfsOptions& opts) {
       const std::size_t nc = par::GenerateIf(
           pool, n, std::span<vid_t>(candidates),
           [&](std::size_t v) { return result.depth[v] == -1; },
-          [](std::size_t v) { return static_cast<vid_t>(v); });
+          [](std::size_t v) { return static_cast<vid_t>(v); }, &ws);
       candidates.resize(nc);
       adv = core::AdvancePull<BfsPullFunctor>(pool, rg, frontier_bits,
                                               candidates, &frontier.next(),
@@ -154,7 +161,7 @@ BfsResult Bfs(const graph::Csr& g, vid_t source, const BfsOptions& opts) {
                       visited.Set(static_cast<std::size_t>(v));
                     });
     } else if (opts.idempotent) {
-      std::vector<vid_t> raw;
+      raw.clear();
       adv = core::AdvancePush<BfsIdempotentFunctor>(
           pool, g, frontier.current(), &raw, prob, adv_cfg);
       core::FilterVertex<BfsFilterFunctor>(pool, raw, &frontier.next(),
@@ -177,7 +184,8 @@ BfsResult Bfs(const graph::Csr& g, vid_t source, const BfsOptions& opts) {
       const eid_t m_new = par::TransformReduce(
           pool, frontier.next().size(), eid_t{0},
           [](eid_t a, eid_t b) { return a + b; },
-          [&](std::size_t i) { return g.degree(frontier.next()[i]); });
+          [&](std::size_t i) { return g.degree(frontier.next()[i]); },
+          &ws);
       m_unvisited -= m_new;
     }
 

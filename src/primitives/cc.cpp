@@ -67,6 +67,11 @@ CcResult Cc(const graph::Csr& g, const CcOptions& opts) {
   const auto edge_src = g.edge_sources(pool);
   const auto edge_dst = g.col_indices();
 
+  // Enactor-owned arena shared by the hooking and pointer-jumping passes.
+  core::Workspace ws;
+  core::FilterConfig filter_cfg;
+  filter_cfg.workspace = &ws;
+
   WallTimer timer;
 
   // Edge frontier: one arc per undirected edge (u < v); on a directed
@@ -77,7 +82,7 @@ CcResult Cc(const graph::Csr& g, const CcOptions& opts) {
     const std::size_t kept = par::GenerateIf(
         pool, m, std::span<eid_t>(edges.current()),
         [&](std::size_t e) { return edge_src[e] <= edge_dst[e]; },
-        [](std::size_t e) { return static_cast<eid_t>(e); });
+        [](std::size_t e) { return static_cast<eid_t>(e); }, &ws);
     edges.current().resize(kept);
   }
 
@@ -85,7 +90,8 @@ CcResult Cc(const graph::Csr& g, const CcOptions& opts) {
   while (!edges.empty()) {
     // Hooking pass over the surviving cross-component edges.
     const auto hook = core::FilterEdge<CcHookFunctor>(
-        pool, edge_src, edge_dst, edges.current(), &edges.next(), prob);
+        pool, edge_src, edge_dst, edges.current(), &edges.next(), prob,
+        filter_cfg);
     result.stats.edges_visited += static_cast<eid_t>(hook.input_size);
     edges.Flip();
     ++result.stats.iterations;
@@ -97,7 +103,7 @@ CcResult Cc(const graph::Csr& g, const CcOptions& opts) {
     });
     while (!vertices.empty()) {
       core::FilterVertex<CcJumpFunctor>(pool, vertices.current(),
-                                        &vertices.next(), prob);
+                                        &vertices.next(), prob, filter_cfg);
       vertices.Flip();
     }
     if (hook.output_size == hook.input_size) {

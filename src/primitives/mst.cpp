@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "core/compute.hpp"
+#include "core/workspace.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/compact.hpp"
 #include "parallel/reduce.hpp"
@@ -44,6 +45,12 @@ MstResult Mst(const graph::Csr& g, const MstOptions& opts) {
   const auto srcs = g.edge_sources(pool);
   const auto dsts = g.col_indices();
 
+  // Round-loop scratch: arena plus hoisted per-round arrays, reused
+  // across Borůvka rounds.
+  core::Workspace ws;
+  std::vector<vid_t> hook(n);
+  std::vector<eid_t> winners(n);
+
   WallTimer timer;
 
   // Edge frontier: canonical arcs (src < dst). Both endpoints' components
@@ -53,7 +60,7 @@ MstResult Mst(const graph::Csr& g, const MstOptions& opts) {
     const std::size_t kept = par::GenerateIf(
         pool, m, std::span<eid_t>(frontier),
         [&](std::size_t e) { return srcs[e] < dsts[e]; },
-        [](std::size_t e) { return static_cast<eid_t>(e); });
+        [](std::size_t e) { return static_cast<eid_t>(e); }, &ws);
     frontier.resize(kept);
   }
 
@@ -79,7 +86,6 @@ MstResult Mst(const graph::Csr& g, const MstOptions& opts) {
     // its endpoints' components) and hook the components together.
     // The (weight, id) total order guarantees the hook graph is acyclic
     // except for mutual pairs, which the min-id rule breaks.
-    std::vector<vid_t> hook(n);
     core::ForAll(pool, n, [&](std::size_t r) {
       hook[r] = static_cast<vid_t>(r);
       if (comp[r] != static_cast<vid_t>(r)) return;  // not a root
@@ -101,7 +107,6 @@ MstResult Mst(const graph::Csr& g, const MstOptions& opts) {
     });
     // Collect winning edges exactly once.
     {
-      std::vector<eid_t> winners(n);
       const std::size_t wn = par::GenerateIf(
           pool, n, std::span<eid_t>(winners),
           [&](std::size_t r) {
@@ -121,10 +126,10 @@ MstResult Mst(const graph::Csr& g, const MstOptions& opts) {
             }
             return true;
           },
-          [&](std::size_t r) { return UnpackEdge(candidate[r]); });
-      winners.resize(wn);
-      result.tree_edges.insert(result.tree_edges.end(), winners.begin(),
-                               winners.end());
+          [&](std::size_t r) { return UnpackEdge(candidate[r]); }, &ws);
+      result.tree_edges.insert(
+          result.tree_edges.end(), winners.begin(),
+          winners.begin() + static_cast<std::ptrdiff_t>(wn));
     }
     // Apply hooks, then pointer-jump to full compression.
     core::ForAll(pool, n, [&](std::size_t r) {
@@ -144,14 +149,14 @@ MstResult Mst(const graph::Csr& g, const MstOptions& opts) {
     }
 
     // Step 3 (filter): drop arcs that became intra-component.
-    next_frontier.resize(frontier.size());
-    const std::size_t kept = par::CopyIf(
-        pool, std::span<const eid_t>(frontier),
-        std::span<eid_t>(next_frontier), [&](eid_t e) {
+    next_frontier.clear();
+    par::AppendIf(
+        pool, std::span<const eid_t>(frontier), next_frontier,
+        [&](eid_t e) {
           return comp[srcs[static_cast<std::size_t>(e)]] !=
                  comp[dsts[static_cast<std::size_t>(e)]];
-        });
-    next_frontier.resize(kept);
+        },
+        &ws);
     frontier.swap(next_frontier);
   }
 

@@ -82,9 +82,15 @@ PagerankResult Pagerank(const graph::Csr& g, const PagerankOptions& opts) {
   prob.damping = opts.damping;
   prob.tolerance = opts.tolerance;
 
+  // Enactor-owned scratch arena plus hoisted per-iteration buffers: the
+  // convergence loop reuses everything after the first iteration.
+  core::Workspace ws;
   core::AdvanceConfig adv_cfg;
   adv_cfg.lb = opts.load_balance;
   adv_cfg.scale_free_hint = graph::ComputeScaleFreeHint(g, pool);
+  adv_cfg.workspace = &ws;
+  core::FilterConfig filter_cfg;
+  filter_cfg.workspace = &ws;
 
   // Frontier starts with all vertices (paper: "the frontier always
   // contains all vertices" for PR-style primitives).
@@ -95,6 +101,11 @@ PagerankResult Pagerank(const graph::Csr& g, const PagerankOptions& opts) {
   });
 
   core::EfficiencyAccumulator efficiency;
+  std::vector<vid_t> all;              // exact-mode full-vertex pusher list
+  std::vector<char> was_active;        // frontier-mode membership scratch
+  std::vector<char> still_active;
+  std::vector<vid_t> old_frontier;
+  std::vector<vid_t> leavers;
   WallTimer timer;
 
   while (!frontier.empty() && result.iterations < opts.max_iterations) {
@@ -103,7 +114,8 @@ PagerankResult Pagerank(const graph::Csr& g, const PagerankOptions& opts) {
         pool, n, 0.0, [](double a, double b) { return a + b; },
         [&](std::size_t v) {
           return g.degree(static_cast<vid_t>(v)) == 0 ? rank[v] : 0.0;
-        });
+        },
+        &ws);
     const double base =
         (1.0 - opts.damping + opts.damping * dangling) /
         static_cast<double>(n);
@@ -122,7 +134,6 @@ PagerankResult Pagerank(const graph::Csr& g, const PagerankOptions& opts) {
     // In exact mode every vertex pushes; in frontier mode only the active
     // frontier pushes (Gunrock-faithful approximation).
     std::span<const vid_t> pushers = frontier.current();
-    std::vector<vid_t> all;
     if (!opts.frontier_mode &&
         frontier.current().size() != n) {
       all.resize(n);
@@ -142,7 +153,8 @@ PagerankResult Pagerank(const graph::Csr& g, const PagerankOptions& opts) {
             const vid_t u = rg.col_indices()[e];
             return rank[static_cast<std::size_t>(u)] *
                    inv_outdeg[static_cast<std::size_t>(u)];
-          });
+          },
+          &ws);
       core::ForAll(pool, n, [&](std::size_t v) {
         rank_next[v] = base + opts.damping * rank_next[v];
       });
@@ -159,7 +171,6 @@ PagerankResult Pagerank(const graph::Csr& g, const PagerankOptions& opts) {
 
     // In frontier mode, vertices outside the frontier keep their old rank
     // (they stopped pushing; their steady share arrives via `frozen`).
-    std::vector<char> was_active;
     if (opts.frontier_mode) {
       was_active.assign(n, 0);
       core::ForEach(pool, std::span<const vid_t>(frontier.current()),
@@ -176,8 +187,8 @@ PagerankResult Pagerank(const graph::Csr& g, const PagerankOptions& opts) {
     // filters only the active set (once out, always out — the
     // approximation the paper accepts).
     core::FilterVertex<PrConvergenceFunctor>(pool, pushers,
-                                             &frontier.next(), prob);
-    std::vector<vid_t> old_frontier;
+                                             &frontier.next(), prob,
+                                             filter_cfg);
     if (opts.frontier_mode) old_frontier = frontier.current();
     frontier.Flip();
     rank.swap(rank_next);
@@ -187,12 +198,12 @@ PagerankResult Pagerank(const graph::Csr& g, const PagerankOptions& opts) {
     if (opts.frontier_mode) {
       // Retire vertices that just left the frontier: one final push of
       // their frozen contribution (post-swap rank) into `frozen`.
-      std::vector<char> still_active(n, 0);
+      still_active.assign(n, 0);
       core::ForEach(pool, std::span<const vid_t>(frontier.current()),
                     [&](vid_t v) {
                       still_active[static_cast<std::size_t>(v)] = 1;
                     });
-      std::vector<vid_t> leavers;
+      leavers.clear();
       for (const vid_t v : old_frontier) {
         if (!still_active[static_cast<std::size_t>(v)]) {
           leavers.push_back(v);

@@ -65,10 +65,17 @@ SsspResult Sssp(const graph::Csr& g, vid_t source,
   prob.weights = g.weights().data();
   prob.mark = mark.data();
 
+  // Enactor-owned scratch arena: operators and the near/far splits reuse
+  // their buffers through it, so iterations are allocation-free after
+  // warm-up.
+  core::Workspace ws;
   core::AdvanceConfig adv_cfg;
   adv_cfg.lb = opts.load_balance;
   adv_cfg.scale_free_hint = graph::ComputeScaleFreeHint(g, pool);
   adv_cfg.model_efficiency = opts.model_lane_efficiency;
+  adv_cfg.workspace = &ws;
+  core::FilterConfig filter_cfg;
+  filter_cfg.workspace = &ws;
 
   // Davidson et al.'s Δ heuristic: warp width × mean weight / mean degree.
   weight_t delta = opts.delta;
@@ -84,7 +91,8 @@ SsspResult Sssp(const graph::Csr& g, vid_t source,
   frontier.Assign({source});
   std::vector<vid_t> far_pile;
   std::vector<vid_t> near_buffer;
-  std::vector<vid_t> raw, deduped;  // reused across iterations
+  std::vector<vid_t> raw, deduped;    // reused across iterations
+  std::vector<vid_t> still_far;       // re-split scratch (reused)
   weight_t threshold = delta;
 
   core::EfficiencyAccumulator efficiency;
@@ -97,10 +105,10 @@ SsspResult Sssp(const graph::Csr& g, vid_t source,
       // the far slice"). Entries whose label improved below the window
       // are re-claimed through the epoch filter next iteration.
       threshold += delta;
-      std::vector<vid_t> still_far;
+      still_far.clear();
       core::SplitNearFar(
           pool, std::span<const vid_t>(far_pile), near_buffer, still_far,
-          [&](vid_t v) { return result.dist[v] < threshold; });
+          [&](vid_t v) { return result.dist[v] < threshold; }, &ws);
       far_pile.swap(still_far);
       frontier.current().assign(near_buffer.begin(), near_buffer.end());
       if (frontier.empty() && !far_pile.empty()) continue;
@@ -116,12 +124,13 @@ SsspResult Sssp(const graph::Csr& g, vid_t source,
     efficiency.Add(adv.lane_efficiency, adv.edges_visited);
 
     deduped.clear();
-    core::FilterVertex<SsspDedupFunctor>(pool, raw, &deduped, prob);
+    core::FilterVertex<SsspDedupFunctor>(pool, raw, &deduped, prob,
+                                         filter_cfg);
 
     if (opts.use_near_far) {
       core::SplitNearFar(
           pool, std::span<const vid_t>(deduped), frontier.next(), far_pile,
-          [&](vid_t v) { return result.dist[v] < threshold; });
+          [&](vid_t v) { return result.dist[v] < threshold; }, &ws);
     } else {
       frontier.next().assign(deduped.begin(), deduped.end());
     }

@@ -6,6 +6,7 @@
 // across pools of different sizes.
 #include <gtest/gtest.h>
 
+#include "common/env.hpp"
 #include "gunrock.hpp"
 
 namespace gunrock {
@@ -115,6 +116,72 @@ TEST(DeterminismTest, MstWeightStable) {
   // unique, not just its weight.
   EXPECT_EQ(a.tree_edges.size(), b.tree_edges.size());
   EXPECT_DOUBLE_EQ(a.total_weight, b.total_weight);
+}
+
+/// The workspace arena reuses buffers across operator calls; for a fixed
+/// grain the emitted frontier (contents *and* order) must not depend on
+/// whether the buffers are warm or cold, across every load-balance
+/// strategy and a sweep of GUNROCK_TEST_SEED-derived graphs.
+TEST(DeterminismTest, WorkspaceReuseKeepsFrontierOrder) {
+  struct PassFunctor {
+    struct P {};
+    static bool CondEdge(vid_t, vid_t d, eid_t, P&) { return d % 2 == 0; }
+    static void ApplyEdge(vid_t, vid_t, eid_t, P&) {}
+  };
+  struct PassVertex {
+    struct P {};
+    static bool CondVertex(vid_t v, P&) { return v % 3 != 0; }
+    static void ApplyVertex(vid_t, P&) {}
+  };
+  par::ThreadPool pool(8);
+  const std::uint64_t base_seed = test::TestSeed();
+  for (std::uint64_t delta = 0; delta < 3; ++delta) {
+    graph::RmatParams p;
+    p.scale = 10;
+    p.edge_factor = 8;
+    p.seed = base_seed + delta;
+    graph::BuildOptions bopts;
+    bopts.symmetrize = true;
+    const auto g = graph::BuildCsr(GenerateRmat(p, pool), bopts);
+    std::vector<vid_t> frontier;
+    for (vid_t v = 0; v < g.num_vertices(); v += 3) frontier.push_back(v);
+
+    for (const auto lb :
+         {core::LoadBalance::kThreadMapped, core::LoadBalance::kTwc,
+          core::LoadBalance::kEqualWork}) {
+      core::Workspace warm;
+      core::AdvanceConfig cfg;
+      cfg.lb = lb;
+      cfg.workspace = &warm;
+      core::FilterConfig fcfg;
+      fcfg.history_hash = true;
+      fcfg.workspace = &warm;
+      PassFunctor::P prob;
+      PassVertex::P vprob;
+
+      auto run = [&](const core::AdvanceConfig& acfg,
+                     const core::FilterConfig& ffcfg) {
+        std::vector<vid_t> advanced, filtered;
+        core::AdvancePush<PassFunctor>(pool, g, frontier, &advanced, prob,
+                                       acfg);
+        core::FilterVertex<PassVertex>(pool, advanced, &filtered, vprob,
+                                       ffcfg);
+        return filtered;
+      };
+      const auto cold = run(cfg, fcfg);       // fills the arena
+      const auto warm1 = run(cfg, fcfg);      // fully reused buffers
+      const auto warm2 = run(cfg, fcfg);
+      core::AdvanceConfig fresh_cfg = cfg;
+      core::FilterConfig fresh_fcfg = fcfg;
+      fresh_cfg.workspace = nullptr;
+      fresh_fcfg.workspace = nullptr;
+      const auto fresh = run(fresh_cfg, fresh_fcfg);
+      EXPECT_EQ(cold, warm1) << "lb=" << ToString(lb) << " seed delta "
+                             << delta;
+      EXPECT_EQ(warm1, warm2) << "lb=" << ToString(lb);
+      EXPECT_EQ(warm1, fresh) << "lb=" << ToString(lb);
+    }
+  }
 }
 
 TEST(DeterminismTest, PagerankStableWithinTolerance) {

@@ -17,6 +17,7 @@
 #include "parallel/sort.hpp"
 #include "parallel/sorted_search.hpp"
 #include "parallel/thread_pool.hpp"
+#include "parallel/workspace.hpp"
 #include "util/rng.hpp"
 
 namespace gunrock::par {
@@ -68,6 +69,189 @@ TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
     ++x;
   });
   EXPECT_EQ(x, 1);
+}
+
+TEST(ThreadPoolTest, PropagatesWhenEveryLaneThrows) {
+  ThreadPool pool(4);
+  // All lanes throw; exactly one exception must surface (after all lanes
+  // completed), and the pool must stay usable.
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_THROW(pool.Parallel([&](unsigned rank) {
+                   throw std::runtime_error("lane " + std::to_string(rank));
+                 }),
+                 std::runtime_error);
+  }
+  std::atomic<int> ok{0};
+  pool.Parallel([&](unsigned) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPoolTest, ExceptionOnlyOnSomeLanes) {
+  ThreadPool pool(8);
+  // Throwing lanes must not strand the quiet ones or wedge the barrier.
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.Parallel([&](unsigned rank) {
+                 ran.fetch_add(1);
+                 if (rank % 2 == 1) throw std::runtime_error("odd lane");
+               }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPoolTest, NestedParallelIsDetected) {
+  ThreadPool pool(4);
+  bool threw_logic_error = false;
+  try {
+    pool.Parallel([&](unsigned rank) {
+      if (rank == 0) {
+        // A lane re-entering the same pool used to deadlock; it must now
+        // be reported as misuse.
+        pool.Parallel([](unsigned) {});
+      }
+    });
+  } catch (const std::logic_error&) {
+    threw_logic_error = true;
+  }
+  EXPECT_TRUE(threw_logic_error);
+  // The pool survives the misuse report.
+  std::atomic<int> ok{0};
+  pool.Parallel([&](unsigned) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPoolTest, NestedParallelIsDetectedOnSingleThreadPool) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.Parallel([&](unsigned) { pool.Parallel([](unsigned) {}); }),
+      std::logic_error);
+  int x = 0;
+  pool.Parallel([&](unsigned) { ++x; });
+  EXPECT_EQ(x, 1);
+}
+
+TEST(ThreadPoolTest, SurvivesParkedWorkersBetweenLaunches) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 50; ++i) {
+    if (i % 10 == 0) {
+      // Long enough for every worker to blow its spin budget and park;
+      // the next launch must wake them (no lost-wakeup on the slow path).
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    pool.Parallel([&](unsigned) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 50 * 4);
+}
+
+TEST(WorkspaceTest, SlotBuffersPersistAndKeepCapacity) {
+  Workspace ws;
+  auto& v = ws.Get<std::vector<int>>(ws::kUserFirst);
+  v.assign(1000, 7);
+  const int* data = v.data();
+  const std::size_t cap = v.capacity();
+  // Same slot, same type: identical object, same storage.
+  auto& v2 = ws.Get<std::vector<int>>(ws::kUserFirst);
+  EXPECT_EQ(&v, &v2);
+  EXPECT_EQ(v2.data(), data);
+  v2.clear();
+  EXPECT_EQ(v2.capacity(), cap);  // clear keeps capacity for reuse
+}
+
+TEST(WorkspaceTest, ReferencesStableAcrossOtherSlotGrowth) {
+  Workspace ws;
+  auto& a = ws.Get<std::vector<int>>(ws::kUserFirst);
+  a.assign(64, 1);
+  const int* data = a.data();
+  // Touch many later slots (forces the slot table to grow/move).
+  for (unsigned s = ws::kUserFirst + 1; s < ws::kUserFirst + 40; ++s) {
+    ws.Get<std::vector<double>>(s).assign(16, 2.0);
+  }
+  EXPECT_EQ(a.data(), data);
+  EXPECT_EQ(a[0], 1);
+}
+
+TEST(WorkspaceTest, TypeChangeReplacesBuffer) {
+  Workspace ws;
+  ws.Get<std::vector<int>>(ws::kUserFirst).assign(8, 3);
+  auto& d = ws.Get<std::vector<double>>(ws::kUserFirst);
+  EXPECT_TRUE(d.empty());  // fresh buffer for the new type
+  auto& i = ws.Get<std::vector<int>>(ws::kUserFirst);
+  EXPECT_TRUE(i.empty());  // the int buffer was dropped, not resurrected
+}
+
+TEST(WorkspaceTest, HelpersMatchWorkspaceFreeResults) {
+  ThreadPool pool(6);
+  Workspace ws;
+  const std::size_t n = 50000;
+  auto data = RandomData(n, 42);
+  for (auto& d : data) d &= 0xffff;
+  // Run each helper twice with the shared arena and once without; all
+  // three results must agree (reused buffers must be fully overwritten).
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::uint64_t> with_ws(n), without(n);
+    const auto t1 = TransformExclusiveScan<std::uint64_t>(
+        pool, n, with_ws, std::uint64_t{0},
+        [&](std::size_t i) { return data[i]; }, &ws);
+    const auto t2 = TransformExclusiveScan<std::uint64_t>(
+        pool, n, without, std::uint64_t{0},
+        [&](std::size_t i) { return data[i]; });
+    EXPECT_EQ(t1, t2);
+    EXPECT_EQ(with_ws, without);
+
+    std::vector<std::uint64_t> kept_ws(n), kept_plain(n);
+    const auto k1 = CopyIf<std::uint64_t>(
+        pool, data, kept_ws, [](std::uint64_t d) { return d % 3 == 0; },
+        &ws);
+    const auto k2 = CopyIf<std::uint64_t>(
+        pool, data, kept_plain, [](std::uint64_t d) { return d % 3 == 0; });
+    ASSERT_EQ(k1, k2);
+    kept_ws.resize(k1);
+    kept_plain.resize(k2);
+    EXPECT_EQ(kept_ws, kept_plain);
+  }
+}
+
+TEST(GenerateThreeWayTest, MatchesThreeGenerateIfPasses) {
+  ThreadPool pool(6);
+  Workspace ws;
+  const std::size_t n = 40000;
+  const auto cls = [](std::size_t i) {
+    const auto h = SplitMix64(i);
+    return h % 7 == 0 ? 2 : (h % 3 == 0 ? 1 : 0);
+  };
+  const auto xform = [](std::size_t i) {
+    return static_cast<std::uint32_t>(i);
+  };
+  std::vector<std::uint32_t> b0(n), b1(n), b2(n);
+  const auto sizes = GenerateThreeWay<std::uint32_t>(
+      pool, n, {std::span(b0), std::span(b1), std::span(b2)}, cls, xform,
+      &ws);
+  for (int k = 0; k < 3; ++k) {
+    std::vector<std::uint32_t> expect(n);
+    const std::size_t kn = GenerateIf(
+        pool, n, std::span(expect),
+        [&](std::size_t i) { return cls(i) == k; }, xform);
+    ASSERT_EQ(sizes[static_cast<std::size_t>(k)], kn) << "class " << k;
+    const auto& got = k == 0 ? b0 : (k == 1 ? b1 : b2);
+    for (std::size_t i = 0; i < kn; ++i) {
+      ASSERT_EQ(got[i], expect[i]) << "class " << k << " index " << i;
+    }
+  }
+}
+
+TEST(AppendIfTest, AppendsExactlyAndPreservesPrefix) {
+  ThreadPool pool(6);
+  Workspace ws;
+  const auto data = RandomData(10000, 9);
+  std::vector<std::uint64_t> out = {111, 222};
+  const std::size_t kept = AppendIf<std::uint64_t>(
+      pool, data, out, [](std::uint64_t d) { return d % 5 == 0; }, &ws);
+  std::vector<std::uint64_t> expected = {111, 222};
+  for (const auto d : data) {
+    if (d % 5 == 0) expected.push_back(d);
+  }
+  EXPECT_EQ(out, expected);
+  EXPECT_EQ(kept + 2, out.size());
 }
 
 TEST_P(ParallelSizeTest, ParallelForCoversEveryIndexOnce) {
