@@ -1,0 +1,174 @@
+// Engine serving throughput: queries/second of a QueryEngine at varying
+// in-flight concurrency, against the same workload issued as sequential
+// direct calls ("direct" framework rows — the no-engine baseline the
+// gunrock rows are normalized by in CI).
+//
+// Workload: a fixed list of BFS and SSSP sources over one scale-free and
+// one mesh dataset, submitted with SubmitAll and drained. Each
+// configuration gets one untimed warm-up pass (grows the workspace
+// leases) before the timed reps, so the numbers reflect steady-state
+// serving: zero workspace allocation, pass-granular interleaving on the
+// shared pool.
+//
+//   --quick / --json PATH  as every bench binary (see bench/common.hpp)
+//   GUNROCK_BENCH_SCALE    shifts the generator scales
+//   GUNROCK_BENCH_REPS     timed repetitions (default 3)
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace bench;
+
+struct Workload {
+  std::string primitive;  // "bfs" | "sssp"
+  engine::QueryRequest prototype;
+};
+
+std::vector<vid_t> PickSources(const graph::Csr& g, std::size_t count) {
+  std::vector<vid_t> sources;
+  sources.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    sources.push_back(static_cast<vid_t>(
+        (static_cast<std::int64_t>(i) * 997 + 1) % g.num_vertices()));
+  }
+  return sources;
+}
+
+/// Sequential direct calls: the no-engine baseline.
+double TimeDirectMs(const Dataset& d, const Workload& w,
+                    std::span<const vid_t> sources, int reps) {
+  return TimeMs(
+      [&] {
+        for (const vid_t s : sources) {
+          const auto request = engine::WithSource(w.prototype, s);
+          if (w.primitive == "bfs") {
+            Bfs(d.graph, s, std::get<engine::BfsQuery>(request).opts);
+          } else {
+            Sssp(d.graph, s, std::get<engine::SsspQuery>(request).opts);
+          }
+        }
+      },
+      reps);
+}
+
+/// SubmitAll + drain through an engine with `inflight` concurrency.
+double TimeEngineMs(engine::QueryEngine& eng, const Workload& w,
+                    std::span<const vid_t> sources, int reps) {
+  return TimeMs(
+      [&] {
+        auto handles = eng.SubmitAll("g", sources, w.prototype);
+        for (auto& h : handles) {
+          const auto& resp = h.Wait();
+          if (resp.status != engine::QueryStatus::kDone) {
+            std::fprintf(stderr, "engine query failed: %s\n",
+                         resp.error.c_str());
+            std::exit(1);
+          }
+        }
+      },
+      reps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ParseArgs(argc, argv);
+  const int d = EnvScaleDelta();
+  const int reps = Reps();
+  const std::size_t num_queries = Args().quick ? 8 : 32;
+  const unsigned concurrency[] = {1, 2, 4, 8};
+  auto& pool = par::ThreadPool::Global();
+
+  std::vector<Dataset> datasets;
+  {
+    graph::RmatParams p;  // soc-orkut role: the serving-heavy shape
+    p.scale = 15 + d;
+    p.edge_factor = 16;
+    p.seed = 101;
+    datasets.push_back(MakeDataset("soc-rmat", "rs", GenerateRmat(p, pool)));
+  }
+  {
+    graph::RoadParams p;  // roadnet role: long-diameter mesh queries
+    const int shift = d / 2;
+    p.width = 256 >> (shift < 0 ? -shift : 0) << (shift > 0 ? shift : 0);
+    p.height = p.width;
+    p.seed = 106;
+    datasets.push_back(MakeDataset("roadnet", "rm", GenerateRoad(p, pool)));
+  }
+
+  std::vector<Workload> workloads;
+  {
+    engine::BfsQuery bfs;
+    bfs.opts.direction = core::Direction::kOptimizing;
+    workloads.push_back({"bfs", bfs});
+    engine::SsspQuery sssp;
+    workloads.push_back({"sssp", sssp});
+  }
+
+  JsonWriter writer("engine_throughput");
+  Table table({"dataset", "primitive", "inflight", "ms", "q/s", "vs-direct"});
+  table.PrintHeader();
+
+  for (const auto& dataset : datasets) {
+    const auto sources = PickSources(dataset.graph, num_queries);
+    for (const auto& w : workloads) {
+      // Direct baseline first (it shares the process-global pool that the
+      // engines below switch into shared-submitter mode).
+      TimeDirectMs(dataset, w, sources, 1);  // warm graph caches
+      const double direct_ms = TimeDirectMs(dataset, w, sources, reps);
+      const double direct_qps =
+          direct_ms > 0
+              ? 1000.0 * static_cast<double>(num_queries) / direct_ms
+              : 0.0;
+
+      for (const unsigned c : concurrency) {
+        engine::QueryEngineOptions eopts;
+        eopts.max_in_flight = c;
+        engine::QueryEngine eng(eopts);
+        // Non-owning alias: the dataset outlives the engine; don't copy
+        // the graph per configuration.
+        eng.RegisterGraph("g", std::shared_ptr<const graph::Csr>(
+                                   std::shared_ptr<const graph::Csr>(),
+                                   &dataset.graph));
+        TimeEngineMs(eng, w, sources, 1);  // warm the workspace leases
+        const double ms = TimeEngineMs(eng, w, sources, reps);
+        const double qps =
+            ms > 0 ? 1000.0 * static_cast<double>(num_queries) / ms : 0.0;
+        const std::string label = dataset.name + "@c" + std::to_string(c);
+
+        table.Cell(label);
+        table.Cell(w.primitive);
+        table.Cell(static_cast<double>(c), "%.0f");
+        table.Cell(ms);
+        table.Cell(qps, "%.1f");
+        table.Cell(direct_ms > 0 ? direct_ms / ms : 0.0, "%.2fx");
+        table.EndRow();
+
+        writer.BeginRecord()
+            .Field("primitive", w.primitive)
+            .Field("framework", "gunrock")
+            .Field("dataset", label)
+            .Field("concurrency", c)
+            .Field("queries", num_queries)
+            .Field("ms", ms)
+            .Field("qps", qps);
+        // Matching direct row per concurrency label so the CI gate can
+        // normalize each gunrock row by the same-machine baseline.
+        writer.BeginRecord()
+            .Field("primitive", w.primitive)
+            .Field("framework", "direct")
+            .Field("dataset", label)
+            .Field("concurrency", c)
+            .Field("queries", num_queries)
+            .Field("ms", direct_ms)
+            .Field("qps", direct_qps);
+      }
+    }
+  }
+
+  writer.WriteIfRequested();
+  return 0;
+}

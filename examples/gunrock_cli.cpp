@@ -5,6 +5,11 @@
 //   gunrock_cli <primitive> [options]
 //     primitive:  bfs | sssp | bc | cc | pagerank | mst | hits | salsa |
 //                 ppr | color | mis | kcore | stats
+//   engine modes (QueryEngine-backed serving):
+//     batch   run a source list through QueryEngine::SubmitAll and report
+//             per-query latency plus aggregate throughput
+//     serve   read "<primitive> [source]" commands from stdin, submit each
+//             asynchronously, report responses
 //   options:
 //     --graph  rmat|rgg|road|<file.mtx>   input (default rmat)
 //     --scale  N        generator scale (default 14)
@@ -16,9 +21,25 @@
 //     --no-near-far                       SSSP: plain frontier
 //     --iters  N        iteration cap for ranking primitives
 //     --json                              machine-readable summary line
+//   batch/serve options:
+//     --primitive bfs|sssp|bc|cc|pagerank query kind (default bfs)
+//     --sources FILE    batch: whitespace-separated source ids ('#'
+//                       starts a comment); required
+//     --inflight K      concurrent queries / workspace leases (default 4)
+//     --queue N         admission-queue capacity (default 64)
+//     --reject          reject on a full queue instead of blocking
+//     --deadline MS     per-query latency budget (default: none)
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "gunrock.hpp"
 
@@ -38,6 +59,13 @@ struct Args {
   bool near_far = true;
   int iters = 50;
   bool json = false;
+  // engine (batch/serve) mode
+  std::string engine_primitive = "bfs";
+  std::string sources_path;
+  unsigned inflight = 4;
+  std::size_t queue_capacity = 64;
+  bool reject = false;
+  double deadline_ms = 0.0;
 };
 
 [[noreturn]] void Usage() {
@@ -46,7 +74,13 @@ struct Args {
                "salsa|ppr|color|mis|kcore|stats> [--graph rmat|rgg|road|"
                "file.mtx] [--scale N] [--edge-factor N] [--src V] "
                "[--lb tm|twc|lb|auto] [--direction push|pull|do] "
-               "[--no-idempotence] [--no-near-far] [--iters N] [--json]\n");
+               "[--no-idempotence] [--no-near-far] [--iters N] [--json]\n"
+               "       gunrock_cli batch --sources FILE [--primitive "
+               "bfs|sssp|bc|cc|pagerank] [--inflight K] [--queue N] "
+               "[--reject] [--deadline MS] [graph options] [--json]\n"
+               "       gunrock_cli serve [--primitive ...] [--inflight K] "
+               "[graph options]   (reads \"<primitive> [source]\" lines "
+               "from stdin)\n");
   std::exit(2);
 }
 
@@ -87,6 +121,19 @@ Args Parse(int argc, char** argv) {
       args.iters = std::atoi(next().c_str());
     } else if (flag == "--json") {
       args.json = true;
+    } else if (flag == "--primitive") {
+      args.engine_primitive = next();
+    } else if (flag == "--sources") {
+      args.sources_path = next();
+    } else if (flag == "--inflight") {
+      args.inflight = static_cast<unsigned>(std::atoi(next().c_str()));
+    } else if (flag == "--queue") {
+      args.queue_capacity =
+          static_cast<std::size_t>(std::atol(next().c_str()));
+    } else if (flag == "--reject") {
+      args.reject = true;
+    } else if (flag == "--deadline") {
+      args.deadline_ms = std::atof(next().c_str());
     } else {
       Usage();
     }
@@ -144,11 +191,225 @@ void Report(const Args& args, const graph::Csr& g, const char* primitive,
   }
 }
 
+// --- QueryEngine-backed serving modes ---------------------------------------
+
+/// Builds an engine request for one of the servable primitives.
+engine::QueryRequest MakeRequest(const Args& args, const std::string& kind,
+                                 vid_t source) {
+  if (kind == "bfs") {
+    engine::BfsQuery q;
+    q.source = source;
+    q.opts.load_balance = args.lb;
+    q.opts.direction = args.direction;
+    q.opts.idempotent = args.idempotence;
+    return q;
+  }
+  if (kind == "sssp") {
+    engine::SsspQuery q;
+    q.source = source;
+    q.opts.load_balance = args.lb;
+    q.opts.use_near_far = args.near_far;
+    return q;
+  }
+  if (kind == "bc") {
+    engine::BcQuery q;
+    q.source = source;
+    q.opts.load_balance = args.lb;
+    return q;
+  }
+  if (kind == "cc") return engine::CcQuery{};
+  if (kind == "pagerank") {
+    engine::PagerankQuery q;
+    q.opts.load_balance = args.lb;
+    q.opts.pull = true;
+    q.opts.max_iterations = args.iters;
+    return q;
+  }
+  std::fprintf(stderr, "unknown engine primitive '%s'\n", kind.c_str());
+  Usage();
+}
+
+engine::QueryEngine MakeEngine(const Args& args) {
+  engine::QueryEngineOptions eopts;
+  eopts.max_in_flight = args.inflight > 0 ? args.inflight : 1;
+  eopts.queue_capacity = args.queue_capacity > 0 ? args.queue_capacity : 1;
+  eopts.backpressure =
+      args.reject ? engine::QueryEngineOptions::Backpressure::kReject
+                  : engine::QueryEngineOptions::Backpressure::kBlock;
+  return engine::QueryEngine(eopts);
+}
+
+std::vector<vid_t> ReadSourceFile(const std::string& path, vid_t n) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read source list %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::vector<vid_t> sources;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    long long v = 0;
+    while (fields >> v) {
+      if (v < 0 || v >= n) {
+        std::fprintf(stderr, "source %lld out of range [0, %d)\n", v, n);
+        std::exit(1);
+      }
+      sources.push_back(static_cast<vid_t>(v));
+    }
+  }
+  if (sources.empty()) {
+    std::fprintf(stderr, "source list %s holds no sources\n", path.c_str());
+    std::exit(1);
+  }
+  return sources;
+}
+
+/// `batch`: SubmitAll over a source-list file; per-query latency and
+/// aggregate throughput.
+int RunBatch(const Args& args, graph::Csr graph) {
+  if (args.sources_path.empty()) {
+    std::fprintf(stderr, "batch mode needs --sources FILE\n");
+    Usage();
+  }
+  const auto sources = ReadSourceFile(args.sources_path,
+                                      graph.num_vertices());
+  auto engine = MakeEngine(args);
+  engine.RegisterGraph("g", std::move(graph));
+
+  engine::SubmitOptions sopts;
+  sopts.deadline_ms = args.deadline_ms;
+  const auto proto = MakeRequest(args, args.engine_primitive, 0);
+
+  WallTimer wall;
+  auto handles = engine.SubmitAll("g", sources, proto, sopts);
+  std::size_t done = 0;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const auto& resp = handles[i].Wait();
+    if (resp.status == engine::QueryStatus::kDone) ++done;
+    if (!args.json) {
+      std::printf("query %-4zu %-8s src=%-8d status=%-18s "
+                  "queue=%8.3f ms  run=%8.3f ms  total=%8.3f ms\n",
+                  i, args.engine_primitive.c_str(), sources[i],
+                  engine::ToString(resp.status), resp.queue_ms,
+                  resp.run_ms, resp.total_ms);
+    }
+  }
+  const double wall_ms = wall.ElapsedMs();
+  const double qps = wall_ms > 0 ? 1000.0 * static_cast<double>(done) /
+                                       wall_ms
+                                 : 0.0;
+  const auto ws = engine.workspace_stats();
+  if (args.json) {
+    std::printf("{\"mode\":\"batch\",\"primitive\":\"%s\",\"queries\":%zu,"
+                "\"done\":%zu,\"inflight\":%u,\"wall_ms\":%.3f,"
+                "\"qps\":%.1f,\"workspaces_created\":%zu,"
+                "\"leases_recycled\":%zu}\n",
+                args.engine_primitive.c_str(), handles.size(), done,
+                args.inflight, wall_ms, qps, ws.created, ws.recycled);
+  } else {
+    std::printf("batch: %zu/%zu queries done in %.2f ms  (%.1f q/s, "
+                "inflight=%u, %zu workspaces created, %zu leases "
+                "recycled)\n",
+                done, handles.size(), wall_ms, qps, args.inflight,
+                ws.created, ws.recycled);
+  }
+  return done == handles.size() ? 0 : 1;
+}
+
+bool IsServablePrimitive(const std::string& kind) {
+  return kind == "bfs" || kind == "sssp" || kind == "bc" || kind == "cc" ||
+         kind == "pagerank";
+}
+
+/// `serve`: stdin-driven submission loop — one "<primitive> [source]"
+/// command per line. A reporter thread prints each response as soon as
+/// its query completes (in submission order), independent of stdin.
+int RunServe(const Args& args, graph::Csr graph) {
+  const vid_t n = graph.num_vertices();
+  auto engine = MakeEngine(args);
+  engine.RegisterGraph("g", std::move(graph));
+
+  engine::SubmitOptions sopts;
+  sopts.deadline_ms = args.deadline_ms;
+  struct Pending {
+    engine::QueryHandle handle;
+    std::string desc;
+  };
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Pending> pending;
+  bool input_done = false;
+
+  std::thread reporter([&] {
+    for (;;) {
+      Pending next;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return input_done || !pending.empty(); });
+        if (pending.empty()) return;  // input_done and drained
+        next = std::move(pending.front());
+        pending.pop_front();
+      }
+      const auto& resp = next.handle.Wait();
+      std::printf("[%llu] %s -> %s  (queue %.3f ms, run %.3f ms)\n",
+                  static_cast<unsigned long long>(next.handle.id()),
+                  next.desc.c_str(), engine::ToString(resp.status),
+                  resp.queue_ms, resp.run_ms);
+      std::fflush(stdout);
+    }
+  });
+
+  std::printf("serve: commands are \"bfs|sssp|bc|cc|pagerank [source]\" "
+              "or \"quit\"\n");
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind) || kind[0] == '#') continue;
+    if (kind == "quit" || kind == "exit") break;
+    if (!IsServablePrimitive(kind)) {
+      // A typo must not take the server (and its in-flight queries) down.
+      std::printf("unknown primitive '%s' — expected bfs|sssp|bc|cc|"
+                  "pagerank\n", kind.c_str());
+      continue;
+    }
+    long long src = 0;
+    fields >> src;
+    if (src < 0 || src >= n) src = 0;
+    try {
+      auto handle = engine.Submit(
+          "g", MakeRequest(args, kind, static_cast<vid_t>(src)), sopts);
+      std::printf("[%llu] admitted %s\n",
+                  static_cast<unsigned long long>(handle.id()),
+                  line.c_str());
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        pending.push_back({std::move(handle), line});
+      }
+      cv.notify_one();
+    } catch (const Error& e) {
+      std::printf("submit failed: %s\n", e.what());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    input_done = true;
+  }
+  cv.notify_one();
+  reporter.join();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
-  const graph::Csr g = LoadGraph(args);
+  graph::Csr g = LoadGraph(args);
+  if (args.primitive == "batch") return RunBatch(args, std::move(g));
+  if (args.primitive == "serve") return RunServe(args, std::move(g));
   auto& pool = par::ThreadPool::Global();
   vid_t src = args.source;
   if (src < 0 || src >= g.num_vertices()) {

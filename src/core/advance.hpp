@@ -283,9 +283,14 @@ AdvanceResult AdvancePush(par::ThreadPool& pool, const graph::Csr& g,
 ///
 /// `rg` must be the reverse graph (== g for undirected graphs). The edge
 /// id passed to the functor is a reverse-graph edge id.
-template <typename Functor, typename Problem>
+///
+/// FrontierSet is any type exposing `bool Test(std::size_t)` —
+/// par::Bitmap, or par::EpochBitmap when the caller rebuilds the set each
+/// direction switch and wants the O(1) epoch reset instead of a full
+/// Bitmap::Reset.
+template <typename Functor, typename Problem, typename FrontierSet>
 AdvanceResult AdvancePull(par::ThreadPool& pool, const graph::Csr& rg,
-                          const par::Bitmap& frontier_bitmap,
+                          const FrontierSet& frontier_bitmap,
                           std::span<const vid_t> candidates,
                           std::vector<vid_t>* output, Problem& prob,
                           const AdvanceConfig& cfg = {}) {

@@ -1,0 +1,87 @@
+// Cooperative cancellation for primitive runs.
+//
+// The paper's enactors run to convergence; a serving system cannot afford
+// that luxury — a query abandoned by its client, or one that blew through
+// its latency budget, must release its workspace lease and its share of
+// the pool. Cancellation here is cooperative and cheap: a CancelToken is
+// one atomic flag plus an optional deadline, and every primitive enactor
+// polls it once per iteration (the natural bulk-synchronous boundary —
+// between iterations no operator is mid-flight, so stopping leaves no
+// partially written frontier behind).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace gunrock::core {
+
+/// Thrown by a primitive when its RunControl's token fires. Derives from
+/// gunrock::Error so existing catch sites treat it as a normal failure;
+/// the query engine catches it specifically to mark the query cancelled
+/// rather than failed.
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const char* what) : Error(what) {}
+  /// True when the deadline, not an explicit Cancel(), stopped the run.
+  bool deadline_exceeded = false;
+};
+
+/// Shared cancellation state. The submitter (or the engine, on behalf of a
+/// deadline) flips the flag; the running primitive polls it at iteration
+/// boundaries. Safe to poll from any thread.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  /// Requests cancellation. Idempotent; takes effect at the running
+  /// primitive's next iteration boundary.
+  void Cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms an absolute deadline; a run past it stops at the next boundary.
+  void SetDeadline(Clock::time_point deadline) noexcept {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  void SetDeadlineAfterMs(double ms) {
+    SetDeadline(Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(ms)));
+  }
+
+  bool has_deadline() const noexcept { return has_deadline_; }
+  bool deadline_exceeded() const noexcept {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  bool ShouldStop() const noexcept {
+    return cancel_requested() || deadline_exceeded();
+  }
+
+  /// Throws core::Cancelled when the token has fired. Primitives call this
+  /// once per iteration; ~two relaxed loads when idle.
+  void Check() const {
+    if (cancel_requested()) {
+      throw Cancelled("query cancelled");
+    }
+    if (deadline_exceeded()) {
+      Cancelled c("query deadline exceeded");
+      c.deadline_exceeded = true;
+      throw c;
+    }
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+}  // namespace gunrock::core

@@ -1,0 +1,125 @@
+// Typed queries for the engine (engine/query_engine.hpp).
+//
+// A query is "one primitive run over one registered graph": the request
+// carries the primitive's own options struct (so every knob a direct call
+// accepts is available through the engine), the response carries the
+// primitive's own result struct plus serving metadata (terminal status,
+// queue/run latency split). Both sides are closed std::variants — the
+// engine dispatches with one std::visit and no type erasure, and adding a
+// primitive to the serving set is a one-alternative change.
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "primitives/bc.hpp"
+#include "primitives/bfs.hpp"
+#include "primitives/cc.hpp"
+#include "primitives/pagerank.hpp"
+#include "primitives/sssp.hpp"
+#include "util/types.hpp"
+
+namespace gunrock::engine {
+
+// --- requests ---------------------------------------------------------------
+// `opts.pool` is ignored: engine queries always run on the engine's
+// shared pool.
+
+struct BfsQuery {
+  vid_t source = 0;
+  BfsOptions opts{};
+};
+
+struct SsspQuery {
+  vid_t source = 0;
+  SsspOptions opts{};
+};
+
+struct BcQuery {
+  vid_t source = 0;
+  BcOptions opts{};
+};
+
+struct CcQuery {
+  CcOptions opts{};
+};
+
+struct PagerankQuery {
+  PagerankOptions opts{};
+};
+
+using QueryRequest =
+    std::variant<BfsQuery, SsspQuery, BcQuery, CcQuery, PagerankQuery>;
+
+/// Short primitive name of a request ("bfs", "sssp", ...).
+inline const char* KindName(const QueryRequest& request) {
+  struct Namer {
+    const char* operator()(const BfsQuery&) const { return "bfs"; }
+    const char* operator()(const SsspQuery&) const { return "sssp"; }
+    const char* operator()(const BcQuery&) const { return "bc"; }
+    const char* operator()(const CcQuery&) const { return "cc"; }
+    const char* operator()(const PagerankQuery&) const { return "pagerank"; }
+  };
+  return std::visit(Namer{}, request);
+}
+
+/// Copy of `request` with its source vertex replaced; requests without a
+/// source (CC, PageRank) pass through unchanged. This is how SubmitAll
+/// stamps one prototype request over a span of sources.
+inline QueryRequest WithSource(QueryRequest request, vid_t source) {
+  if (auto* bfs = std::get_if<BfsQuery>(&request)) {
+    bfs->source = source;
+  } else if (auto* sssp = std::get_if<SsspQuery>(&request)) {
+    sssp->source = source;
+  } else if (auto* bc = std::get_if<BcQuery>(&request)) {
+    bc->source = source;
+  }
+  return request;
+}
+
+// --- responses --------------------------------------------------------------
+
+enum class QueryStatus {
+  kQueued,            ///< admitted, waiting for a runner
+  kRunning,           ///< on a runner, workspace leased
+  kDone,              ///< finished; response.result holds the payload
+  kCancelled,         ///< stopped by QueryHandle::Cancel()
+  kDeadlineExceeded,  ///< stopped by the submit-time deadline
+  kRejected,          ///< refused at admission (queue full, kReject policy)
+  kFailed,            ///< the primitive threw; response.error has details
+};
+
+inline const char* ToString(QueryStatus s) {
+  switch (s) {
+    case QueryStatus::kQueued: return "queued";
+    case QueryStatus::kRunning: return "running";
+    case QueryStatus::kDone: return "done";
+    case QueryStatus::kCancelled: return "cancelled";
+    case QueryStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case QueryStatus::kRejected: return "rejected";
+    case QueryStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+/// True for states a query can never leave.
+inline bool IsTerminal(QueryStatus s) {
+  return s != QueryStatus::kQueued && s != QueryStatus::kRunning;
+}
+
+using QueryResult = std::variant<std::monostate, BfsResult, SsspResult,
+                                 BcResult, CcResult, PagerankResult>;
+
+struct QueryResponse {
+  QueryStatus status = QueryStatus::kQueued;
+  /// Primitive result; std::monostate unless status == kDone. Extract
+  /// with std::get<BfsResult>(response.result) etc.
+  QueryResult result;
+  /// Failure detail when status is kFailed / kRejected.
+  std::string error;
+  double queue_ms = 0.0;  ///< admission to runner pickup
+  double run_ms = 0.0;    ///< runner pickup to terminal state
+  double total_ms = 0.0;  ///< admission to terminal state
+};
+
+}  // namespace gunrock::engine

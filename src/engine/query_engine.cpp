@@ -1,0 +1,341 @@
+#include "engine/query_engine.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "core/cancel.hpp"
+#include "graph/stats.hpp"
+#include "util/error.hpp"
+
+namespace gunrock::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+/// Shared state behind one QueryHandle: the request, the cancellation
+/// token, and the response slot the runner fulfills.
+struct QueryHandle::State {
+  std::uint64_t id = 0;
+  std::shared_ptr<const graph::Csr> graph;
+  int scale_free_hint = -1;  // registry-precomputed (see RunControl)
+  QueryRequest request;
+  core::CancelToken token;
+
+  Clock::time_point submitted_at{};
+  Clock::time_point started_at{};
+
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  QueryStatus status = QueryStatus::kQueued;
+  QueryResponse response;
+};
+
+// --- QueryHandle ------------------------------------------------------------
+
+std::uint64_t QueryHandle::id() const {
+  GR_CHECK(state_ != nullptr, "empty QueryHandle");
+  return state_->id;
+}
+
+QueryStatus QueryHandle::status() const {
+  GR_CHECK(state_ != nullptr, "empty QueryHandle");
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->status;
+}
+
+const QueryResponse& QueryHandle::Wait() const& {
+  GR_CHECK(state_ != nullptr, "empty QueryHandle");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return IsTerminal(state_->status); });
+  return state_->response;
+}
+
+QueryResponse QueryHandle::Wait() && {
+  const QueryHandle& self = *this;
+  return self.Wait();  // copy out: the temporary handle owns the state
+}
+
+bool QueryHandle::WaitForMs(double ms) const {
+  GR_CHECK(state_ != nullptr, "empty QueryHandle");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  return state_->cv.wait_for(
+      lock, std::chrono::duration<double, std::milli>(ms),
+      [&] { return IsTerminal(state_->status); });
+}
+
+void QueryHandle::Cancel() const {
+  GR_CHECK(state_ != nullptr, "empty QueryHandle");
+  state_->token.Cancel();
+}
+
+// --- QueryEngine ------------------------------------------------------------
+
+QueryEngine::QueryEngine(QueryEngineOptions options)
+    : options_(options),
+      pool_(options.pool ? options.pool : &par::ThreadPool::Global()),
+      workspaces_(options.max_in_flight > 0 ? options.max_in_flight : 1) {
+  GR_CHECK(options_.max_in_flight > 0, "QueryEngine needs max_in_flight >= 1");
+  GR_CHECK(options_.queue_capacity > 0,
+           "QueryEngine needs queue_capacity >= 1");
+  // Runner threads are concurrent external submitters of the shared pool;
+  // serialize their bulk-synchronous launches instead of treating them as
+  // misuse. Released in Shutdown(), so the pool reverts to the strict
+  // single-owner contract once no engine is using it.
+  pool_->AcquireSharedSubmitters();
+  runners_.reserve(options_.max_in_flight);
+  for (unsigned r = 0; r < options_.max_in_flight; ++r) {
+    runners_.emplace_back([this] { RunnerLoop(); });
+  }
+}
+
+QueryEngine::~QueryEngine() { Shutdown(); }
+
+void QueryEngine::RegisterGraph(const std::string& name, graph::Csr graph) {
+  RegisterGraph(name,
+                std::make_shared<const graph::Csr>(std::move(graph)));
+}
+
+void QueryEngine::RegisterGraph(const std::string& name,
+                                std::shared_ptr<const graph::Csr> graph) {
+  GR_CHECK(graph != nullptr, "RegisterGraph: null graph");
+  GraphEntry entry;
+  // Materialize the lazily built per-edge source array now: its first
+  // build mutates a cache inside the (otherwise read-only) Csr, and two
+  // concurrent CC queries must not race on it. The scale-free hint is
+  // likewise graph-invariant — pay its O(|V|) reduction once here, not
+  // once per query.
+  graph->edge_sources(*pool_);
+  entry.scale_free = graph::ComputeScaleFreeHint(*graph, *pool_);
+  entry.graph = std::move(graph);
+  std::lock_guard<std::mutex> lock(graphs_mutex_);
+  graphs_[name] = std::move(entry);
+}
+
+bool QueryEngine::HasGraph(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(graphs_mutex_);
+  return graphs_.count(name) > 0;
+}
+
+QueryEngine::GraphEntry QueryEngine::GetEntry(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(graphs_mutex_);
+  auto it = graphs_.find(name);
+  GR_CHECK(it != graphs_.end(), "QueryEngine: unknown graph '" + name + "'");
+  return it->second;
+}
+
+std::shared_ptr<const graph::Csr> QueryEngine::GetGraph(
+    const std::string& name) const {
+  return GetEntry(name).graph;
+}
+
+QueryHandle QueryEngine::Submit(const std::string& graph,
+                                QueryRequest request,
+                                const SubmitOptions& options) {
+  auto state = std::make_shared<QueryHandle::State>();
+  GraphEntry entry = GetEntry(graph);  // throws on unknown graph
+  state->graph = std::move(entry.graph);
+  state->scale_free_hint = entry.scale_free ? 1 : 0;
+  state->request = std::move(request);
+  state->submitted_at = Clock::now();
+  if (options.deadline_ms > 0.0) {
+    state->token.SetDeadlineAfterMs(options.deadline_ms);
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    GR_CHECK(accepting_, "QueryEngine: Submit after Shutdown");
+    state->id = next_id_++;
+    if (queue_.size() >= options_.queue_capacity) {
+      if (options_.backpressure ==
+          QueryEngineOptions::Backpressure::kReject) {
+        ++stats_.submitted;
+        ++stats_.rejected;
+        lock.unlock();
+        Complete(state, QueryStatus::kRejected, {},
+                 "admission queue full");
+        return QueryHandle(std::move(state));
+      }
+      not_full_cv_.wait(lock, [&] {
+        return queue_.size() < options_.queue_capacity || !accepting_;
+      });
+      GR_CHECK(accepting_, "QueryEngine: shut down while Submit blocked");
+    }
+    queue_.push_back(state);
+    ++stats_.submitted;
+  }
+  queue_cv_.notify_one();
+  return QueryHandle(std::move(state));
+}
+
+std::vector<QueryHandle> QueryEngine::SubmitAll(
+    const std::string& graph, std::span<const vid_t> sources,
+    const QueryRequest& prototype, const SubmitOptions& options) {
+  std::vector<QueryHandle> handles;
+  handles.reserve(sources.size());
+  for (const vid_t s : sources) {
+    handles.push_back(Submit(graph, WithSource(prototype, s), options));
+  }
+  return handles;
+}
+
+void QueryEngine::Shutdown() {
+  std::deque<std::shared_ptr<QueryHandle::State>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    accepting_ = false;
+    orphaned.swap(queue_);
+    stats_.cancelled += orphaned.size();
+  }
+  queue_cv_.notify_all();
+  not_full_cv_.notify_all();
+  for (auto& state : orphaned) {
+    Complete(state, QueryStatus::kCancelled, {},
+             "engine shut down before the query started");
+  }
+  for (auto& runner : runners_) {
+    if (runner.joinable()) runner.join();
+  }
+  pool_->ReleaseSharedSubmitters();  // runners are gone; give the pool back
+}
+
+QueryEngine::Stats QueryEngine::stats() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return stats_;
+}
+
+void QueryEngine::Count(QueryStatus status) {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  switch (status) {
+    case QueryStatus::kDone: ++stats_.done; break;
+    case QueryStatus::kCancelled: ++stats_.cancelled; break;
+    case QueryStatus::kDeadlineExceeded: ++stats_.deadline_exceeded; break;
+    case QueryStatus::kFailed: ++stats_.failed; break;
+    default: break;
+  }
+}
+
+void QueryEngine::RunnerLoop() {
+  for (;;) {
+    std::shared_ptr<QueryHandle::State> state;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      state = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_cv_.notify_one();
+    Execute(state);
+  }
+}
+
+namespace {
+
+/// Runs the request's primitive on the engine's pool with the leased
+/// workspace and the query's cancellation token.
+QueryResult Dispatch(const graph::Csr& g, const QueryRequest& request,
+                     par::ThreadPool& pool, const RunControl& ctl) {
+  return std::visit(
+      [&](const auto& q) -> QueryResult {
+        using Q = std::decay_t<decltype(q)>;
+        auto opts = q.opts;
+        opts.pool = &pool;
+        if constexpr (std::is_same_v<Q, BfsQuery>) {
+          return Bfs(g, q.source, opts, ctl);
+        } else if constexpr (std::is_same_v<Q, SsspQuery>) {
+          return Sssp(g, q.source, opts, ctl);
+        } else if constexpr (std::is_same_v<Q, BcQuery>) {
+          return Bc(g, q.source, opts, ctl);
+        } else if constexpr (std::is_same_v<Q, CcQuery>) {
+          return Cc(g, opts, ctl);
+        } else {
+          static_assert(std::is_same_v<Q, PagerankQuery>);
+          return Pagerank(g, opts, ctl);
+        }
+      },
+      request);
+}
+
+}  // namespace
+
+void QueryEngine::Execute(
+    const std::shared_ptr<QueryHandle::State>& state) {
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->started_at = Clock::now();
+    state->status = QueryStatus::kRunning;
+  }
+  // A query cancelled (or expired) while queued never touches the pool.
+  if (state->token.ShouldStop()) {
+    const bool deadline = state->token.deadline_exceeded() &&
+                          !state->token.cancel_requested();
+    const QueryStatus status = deadline ? QueryStatus::kDeadlineExceeded
+                                        : QueryStatus::kCancelled;
+    Count(status);  // count first: Wait() returning implies stats landed
+    Complete(state, status, {}, "stopped before start");
+    return;
+  }
+
+  WorkspacePool::Lease lease = workspaces_.Acquire();
+  RunControl ctl;
+  ctl.workspace = &lease.workspace();
+  ctl.cancel = &state->token;
+  ctl.scale_free_hint = state->scale_free_hint;
+
+  QueryStatus status;
+  QueryResult result;
+  std::string error;
+  try {
+    result = Dispatch(*state->graph, state->request, *pool_, ctl);
+    status = QueryStatus::kDone;
+  } catch (const core::Cancelled& c) {
+    status = c.deadline_exceeded ? QueryStatus::kDeadlineExceeded
+                                 : QueryStatus::kCancelled;
+    error = c.what();
+  } catch (const std::exception& e) {
+    status = QueryStatus::kFailed;
+    error = e.what();
+  }
+  // Return the arena and bump the counters before fulfilling the handle:
+  // a waiter observing the terminal state must also observe the lease as
+  // released and the engine stats as updated.
+  lease = WorkspacePool::Lease();
+  Count(status);
+  Complete(state, status, std::move(result), std::move(error));
+}
+
+void QueryEngine::Complete(const std::shared_ptr<QueryHandle::State>& state,
+                           QueryStatus status, QueryResult result,
+                           std::string error) {
+  const auto now = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (IsTerminal(state->status)) return;  // already fulfilled
+    state->status = status;
+    state->response.status = status;
+    state->response.result = std::move(result);
+    state->response.error = std::move(error);
+    const auto started =
+        state->started_at.time_since_epoch().count() != 0
+            ? state->started_at
+            : now;  // never picked up: all wait, no run
+    state->response.queue_ms = MsBetween(state->submitted_at, started);
+    state->response.run_ms = MsBetween(started, now);
+    state->response.total_ms = MsBetween(state->submitted_at, now);
+  }
+  state->cv.notify_all();
+}
+
+}  // namespace gunrock::engine

@@ -1,0 +1,196 @@
+// QueryEngine: an asynchronous multi-query scheduler over one shared
+// thread pool — the serving layer the Gunrock papers assume around the
+// library ("a library invoked repeatedly by host applications across many
+// sources and contexts").
+//
+// Shape of the system:
+//
+//   Submit(graph, request) ──► bounded admission queue ──► N runner
+//   threads, each: lease a warm core::Workspace from the WorkspacePool,
+//   run the primitive's engine-invokable runner on the shared
+//   par::ThreadPool, fulfill the QueryHandle.
+//
+// The contracts that make this work:
+//
+//  - *One pool, pass-granular interleaving.* Every operator pass is a
+//    bulk-synchronous launch that owns all lanes of the pool; the pool's
+//    shared-submitter mode (ThreadPool::AcquireSharedSubmitters) serializes
+//    launches, so concurrent queries interleave between passes, never
+//    within one. Results are therefore identical to a direct call on the
+//    same pool — the engine adds concurrency, not nondeterminism.
+//  - *One warm workspace per in-flight query.* Workspace leases recycle
+//    across queries, so steady-state serving performs no workspace
+//    allocation (WorkspacePool's stats make this checkable).
+//  - *Cooperative cancellation.* Cancel()/deadlines flip a CancelToken
+//    polled by the runner at iteration boundaries; a cancelled query
+//    releases its lease and lanes at the next boundary.
+//  - *Bounded admission.* The queue holds at most queue_capacity queries;
+//    past that, Submit either blocks (kBlock, default) or completes the
+//    handle immediately as kRejected (kReject) — backpressure instead of
+//    unbounded memory growth.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/query.hpp"
+#include "engine/workspace_pool.hpp"
+#include "graph/csr.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace gunrock::engine {
+
+struct QueryEngineOptions {
+  /// Queries running concurrently (runner threads == workspace leases).
+  unsigned max_in_flight = 4;
+  /// Admitted-but-not-started queries the engine will hold.
+  std::size_t queue_capacity = 64;
+  /// What Submit does when the admission queue is full.
+  enum class Backpressure {
+    kBlock,   ///< block the submitter until a slot frees (default)
+    kReject,  ///< complete the handle immediately with kRejected
+  };
+  Backpressure backpressure = Backpressure::kBlock;
+  /// Shared compute pool; nullptr selects the process-global pool. The
+  /// engine switches it into shared-submitter mode.
+  par::ThreadPool* pool = nullptr;
+};
+
+struct SubmitOptions {
+  /// Latency budget from admission; 0 = none. A query past its deadline
+  /// stops at the next iteration boundary (or never starts) and completes
+  /// as kDeadlineExceeded.
+  double deadline_ms = 0.0;
+};
+
+class QueryEngine;
+
+/// Future-style handle to one submitted query. Copyable (shared state);
+/// outlives the engine's interest in the query but must not outlive the
+/// engine itself while still waiting.
+class QueryHandle {
+ public:
+  QueryHandle() = default;
+
+  bool valid() const noexcept { return state_ != nullptr; }
+  std::uint64_t id() const;
+  QueryStatus status() const;
+  bool Done() const { return IsTerminal(status()); }
+
+  /// Blocks until the query reaches a terminal state; returns the
+  /// response (valid for the handle's lifetime).
+  const QueryResponse& Wait() const&;
+  /// Rvalue-handle overload: the handle dies with the full expression, so
+  /// the response is returned by value instead of by soon-dangling
+  /// reference (engine.Submit(...).Wait() is safe).
+  QueryResponse Wait() &&;
+
+  /// Bounded wait; true when terminal within `ms`.
+  bool WaitForMs(double ms) const;
+
+  /// Requests cooperative cancellation (idempotent; takes effect at the
+  /// next iteration boundary, or at pickup for a still-queued query).
+  void Cancel() const;
+
+ private:
+  friend class QueryEngine;
+  struct State;
+  explicit QueryHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(QueryEngineOptions options = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Adds `graph` to the registry under `name` (replacing any previous
+  /// entry). The engine warms the lazy reverse-edge cache and computes
+  /// the scale-free load-balance hint up front, so concurrent queries
+  /// never race on the cache's first materialization and short queries
+  /// don't pay the O(|V|) hint reduction per run. In-flight queries keep
+  /// their graph alive through a shared_ptr.
+  void RegisterGraph(const std::string& name, graph::Csr graph);
+  void RegisterGraph(const std::string& name,
+                     std::shared_ptr<const graph::Csr> graph);
+  bool HasGraph(const std::string& name) const;
+  /// Throws gunrock::Error for an unknown name.
+  std::shared_ptr<const graph::Csr> GetGraph(const std::string& name) const;
+
+  /// Admits one query against a registered graph. Throws gunrock::Error
+  /// for an unknown graph or a shut-down engine; applies the backpressure
+  /// policy when the queue is full.
+  QueryHandle Submit(const std::string& graph, QueryRequest request,
+                     const SubmitOptions& options = {});
+
+  /// Batch submission: stamps `prototype` with each source in turn
+  /// (WithSource) and admits them all. With the kBlock policy this
+  /// naturally throttles to the engine's service rate.
+  std::vector<QueryHandle> SubmitAll(const std::string& graph,
+                                     std::span<const vid_t> sources,
+                                     const QueryRequest& prototype,
+                                     const SubmitOptions& options = {});
+
+  /// Stops admission, fails queued queries over to kCancelled, waits for
+  /// running queries to finish. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t done = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t failed = 0;
+  };
+  Stats stats() const;
+  WorkspacePool::Stats workspace_stats() const { return workspaces_.stats(); }
+  par::ThreadPool& pool() const noexcept { return *pool_; }
+  unsigned max_in_flight() const noexcept {
+    return static_cast<unsigned>(runners_.size());
+  }
+
+ private:
+  void RunnerLoop();
+  void Execute(const std::shared_ptr<QueryHandle::State>& state);
+  static void Complete(const std::shared_ptr<QueryHandle::State>& state,
+                       QueryStatus status, QueryResult result,
+                       std::string error);
+  void Count(QueryStatus status);
+
+  QueryEngineOptions options_;
+  par::ThreadPool* pool_ = nullptr;
+  WorkspacePool workspaces_;
+
+  struct GraphEntry {
+    std::shared_ptr<const graph::Csr> graph;
+    bool scale_free = false;  // precomputed ComputeScaleFreeHint
+  };
+  GraphEntry GetEntry(const std::string& name) const;
+
+  mutable std::mutex graphs_mutex_;
+  std::map<std::string, GraphEntry> graphs_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;      // runners wait for work
+  std::condition_variable not_full_cv_;   // blocked submitters wait here
+  std::deque<std::shared_ptr<QueryHandle::State>> queue_;
+  bool accepting_ = true;
+  bool stopping_ = false;
+  std::uint64_t next_id_ = 1;
+  Stats stats_;
+
+  std::vector<std::thread> runners_;
+};
+
+}  // namespace gunrock::engine

@@ -1,0 +1,55 @@
+#include "engine/workspace_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace gunrock::engine {
+
+WorkspacePool::WorkspacePool(std::size_t capacity) : capacity_(capacity) {
+  GR_CHECK(capacity > 0, "WorkspacePool needs capacity >= 1");
+  arenas_.reserve(capacity);
+  free_.reserve(capacity);
+}
+
+WorkspacePool::Lease WorkspacePool::Acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  available_cv_.wait(lock, [&] {
+    return !free_.empty() || arenas_.size() < capacity_;
+  });
+  core::Workspace* workspace = nullptr;
+  if (!free_.empty()) {
+    workspace = free_.back();
+    free_.pop_back();
+    ++recycled_;
+  } else {
+    arenas_.push_back(std::make_unique<core::Workspace>());
+    workspace = arenas_.back().get();
+  }
+  ++acquired_;
+  ++outstanding_;
+  return Lease(this, workspace);
+}
+
+void WorkspacePool::Return(core::Workspace* workspace) noexcept {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(workspace);
+    --outstanding_;
+  }
+  available_cv_.notify_one();
+}
+
+WorkspacePool::Stats WorkspacePool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.capacity = capacity_;
+  s.created = arenas_.size();
+  s.acquired = acquired_;
+  s.recycled = recycled_;
+  s.outstanding = outstanding_;
+  for (const auto& arena : arenas_) {
+    s.workspace_creations += arena->creations();
+  }
+  return s;
+}
+
+}  // namespace gunrock::engine

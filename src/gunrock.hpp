@@ -10,6 +10,9 @@
 //                     direction optimizer, SIMT lane-efficiency model
 //   gunrock::       — graph primitives built on the core: Bfs, Sssp, Bc,
 //                     Cc, Pagerank, and extended node-ranking primitives
+//   gunrock::engine — the serving layer: QueryEngine multiplexes many
+//                     in-flight queries onto one shared pool with leased
+//                     workspaces, admission control and cancellation
 //   gunrock::serial — sequential reference implementations
 #pragma once
 
@@ -17,6 +20,7 @@
 #include "baselines/pregel.hpp"
 #include "baselines/serial.hpp"
 #include "core/advance.hpp"
+#include "core/cancel.hpp"
 #include "core/compute.hpp"
 #include "core/direction.hpp"
 #include "core/filter.hpp"
@@ -27,6 +31,9 @@
 #include "core/simt_model.hpp"
 #include "core/stats.hpp"
 #include "core/workspace.hpp"
+#include "engine/query.hpp"
+#include "engine/query_engine.hpp"
+#include "engine/workspace_pool.hpp"
 #include "graph/coo.hpp"
 #include "graph/csr.hpp"
 #include "graph/generators.hpp"

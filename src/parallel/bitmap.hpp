@@ -67,4 +67,72 @@ class Bitmap {
   std::vector<std::atomic<std::uint64_t>> words_;
 };
 
+/// Epoch-stamped membership set: the O(frontier) alternative to clearing
+/// a Bitmap between uses.
+///
+/// The pull-direction frontier is rebuilt from scratch on every direction
+/// switch; with a plain Bitmap that costs a full O(|V|/64) Reset before
+/// the O(frontier) Set pass. EpochBitmap instead stamps members with the
+/// current epoch — exactly the filter history tables' trick
+/// (core/filter.hpp): NewEpoch() is one counter bump that invalidates
+/// every previous stamp at once, so building a frontier set costs only
+/// the Set pass over its members.
+///
+/// The representation is one 32-bit stamp per element (not one bit), so
+/// membership tests are a single aligned load with no bit arithmetic;
+/// the memory trade (4 B/vertex vs 1 bit) buys the O(1) reset. Set() is
+/// an idempotent relaxed store — concurrent setters write the same value,
+/// so no CAS is needed. Stamps wrap every 2^32-1 epochs; NewEpoch() then
+/// pays one full clear (amortized to nothing).
+class EpochBitmap {
+ public:
+  EpochBitmap() = default;
+  explicit EpochBitmap(std::size_t size) : stamps_(size) {
+    for (auto& s : stamps_) s.store(0, std::memory_order_relaxed);
+  }
+
+  std::size_t size() const noexcept { return stamps_.size(); }
+
+  /// Invalidates every current member in O(1). A fresh EpochBitmap is
+  /// already empty (stamps hold 0, the never-valid epoch).
+  void NewEpoch() {
+    if (++epoch_ == 0) {  // wrap: stale stamps could alias; hard reset
+      for (auto& s : stamps_) s.store(0, std::memory_order_relaxed);
+      epoch_ = 1;
+    }
+  }
+
+  /// Resizes to `size` elements. Storage is replaced (and the epoch
+  /// reset) only when the size actually changes, so a workspace-resident
+  /// instance serving one graph allocates exactly once.
+  void Resize(std::size_t size) {
+    if (stamps_.size() != size) {
+      stamps_ = std::vector<std::atomic<std::uint32_t>>(size);
+      epoch_ = 1;
+    }
+  }
+
+  /// Marks i a member of the current epoch (relaxed; idempotent).
+  void Set(std::size_t i) {
+    stamps_[i].store(epoch_, std::memory_order_relaxed);
+  }
+
+  /// Marks i a member; returns true iff this call made it one — an
+  /// atomic claim, like Bitmap::TestAndSet (exactly one of several
+  /// concurrent claimants wins the exchange).
+  bool TestAndSet(std::size_t i) {
+    return stamps_[i].exchange(epoch_, std::memory_order_relaxed) !=
+           epoch_;
+  }
+
+  /// True iff i was Set() since the last NewEpoch().
+  bool Test(std::size_t i) const {
+    return stamps_[i].load(std::memory_order_relaxed) == epoch_;
+  }
+
+ private:
+  std::vector<std::atomic<std::uint32_t>> stamps_;
+  std::uint32_t epoch_ = 1;  // stamp 0 is never a valid epoch
+};
+
 }  // namespace gunrock::par

@@ -16,6 +16,25 @@ inline void CpuRelax() noexcept {
 #endif
 }
 
+/// Pool this thread is currently executing a parallel region of (as a
+/// worker lane or as the participating caller). Nested Parallel() on the
+/// same pool is detected through this instead of the shared `active_`
+/// flag, so the check stays exact when multiple external submitters share
+/// a pool: a lane re-entering its own pool is misuse (it would deadlock
+/// the barrier it belongs to), another thread merely waiting its turn is
+/// not.
+thread_local const ThreadPool* tl_running_pool = nullptr;
+
+/// RAII marker for "this thread is inside a parallel region of `pool`".
+struct RunningPoolScope {
+  const ThreadPool* previous;
+  explicit RunningPoolScope(const ThreadPool* pool)
+      : previous(tl_running_pool) {
+    tl_running_pool = pool;
+  }
+  ~RunningPoolScope() { tl_running_pool = previous; }
+};
+
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned num_threads) {
@@ -90,6 +109,7 @@ void ThreadPool::WorkerLoop(unsigned rank) {
     }
     seen = e;
     try {
+      RunningPoolScope scope(this);
       thunk_(ctx_, rank);
     } catch (...) {
       RecordError();
@@ -105,16 +125,35 @@ void ThreadPool::WorkerLoop(unsigned rank) {
 }
 
 void ThreadPool::Launch(Thunk thunk, void* ctx) {
+  if (tl_running_pool == this) {
+    throw std::logic_error(
+        "ThreadPool::Parallel is not reentrant: this thread is already "
+        "inside a parallel region of this pool (nested Parallel would "
+        "deadlock the barrier it belongs to)");
+  }
+  if (shared_submitters()) {
+    // Multi-submitter mode (query engine): serialize whole launches. Each
+    // bulk-synchronous operator pass still owns every lane of the pool;
+    // concurrent queries interleave at pass granularity.
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    LaunchLocked(thunk, ctx);
+    return;
+  }
+  LaunchLocked(thunk, ctx);
+}
+
+void ThreadPool::LaunchLocked(Thunk thunk, void* ctx) {
   if (active_.exchange(true, std::memory_order_acq_rel)) {
     throw std::logic_error(
-        "ThreadPool::Parallel is not reentrant: this pool is already "
-        "running a parallel region (nested Parallel on the same pool, or "
-        "two threads sharing one pool)");
+        "ThreadPool::Parallel misuse: two threads are sharing one pool "
+        "concurrently (call AcquireSharedSubmitters() to serialize "
+        "multi-submitter launches instead)");
   }
   struct ActiveGuard {
     std::atomic<bool>& flag;
     ~ActiveGuard() { flag.store(false, std::memory_order_release); }
   } guard{active_};
+  RunningPoolScope scope(this);  // caller participates as rank 0
 
   if (workers_.empty()) {
     thunk(ctx, 0);  // single-lane pool: run inline, propagate directly

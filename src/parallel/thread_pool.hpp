@@ -58,9 +58,13 @@ class ThreadPool {
   /// If any lane throws, the first exception is rethrown on the caller
   /// after all lanes have completed (no lane is left running).
   ///
-  /// Not reentrant: a lane must not call Parallel() on the same pool, and
-  /// two external threads must not share one pool concurrently. Misuse is
-  /// detected and reported with std::logic_error instead of deadlocking.
+  /// Not reentrant: a lane must not call Parallel() on the same pool —
+  /// that is detected (thread-locally, so it cannot be confused with
+  /// contention) and reported with std::logic_error instead of
+  /// deadlocking. By default two external threads must not share one pool
+  /// concurrently either; AcquireSharedSubmitters() lifts that
+  /// restriction by serializing launches, which is how the query engine
+  /// multiplexes many in-flight queries onto one pool.
   ///
   /// `fn` is invoked through a function-pointer trampoline on the caller's
   /// stack frame — no std::function, no heap traffic per launch.
@@ -69,6 +73,27 @@ class ThreadPool {
     using Fn = std::remove_reference_t<F>;
     Launch(&Trampoline<Fn>,
            const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
+  }
+
+  /// Opts this pool into multi-submitter mode: while at least one holder
+  /// is registered, concurrent Parallel() calls from distinct external
+  /// threads serialize on an internal mutex instead of being reported as
+  /// misuse. Refcounted so the mode is scoped to its users' lifetimes
+  /// (each QueryEngine acquires on construction and releases on
+  /// shutdown); when the count returns to zero the pool reverts to the
+  /// strict single-owner contract, misuse diagnostics included. The
+  /// single-owner fast path is untouched while the count is zero; in
+  /// shared mode a launch pays one uncontended lock. Launches from a lane
+  /// of this pool always throw std::logic_error — blocking there would
+  /// deadlock the barrier the lane is part of.
+  void AcquireSharedSubmitters() noexcept {
+    shared_submitters_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void ReleaseSharedSubmitters() noexcept {
+    shared_submitters_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  bool shared_submitters() const noexcept {
+    return shared_submitters_.load(std::memory_order_acquire) > 0;
   }
 
   /// Process-wide default pool, sized to hardware concurrency. Constructed
@@ -90,6 +115,7 @@ class ThreadPool {
   };
 
   void Launch(Thunk thunk, void* ctx);
+  void LaunchLocked(Thunk thunk, void* ctx);
   void WorkerLoop(unsigned rank);
   void RecordError() noexcept;
   bool AllDone(std::uint64_t e) const noexcept;
@@ -113,8 +139,10 @@ class ThreadPool {
   alignas(kCacheLineSize) std::atomic<std::uint64_t> epoch_{0};
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> active_{false};        // reentrancy/misuse detection
+  std::atomic<int> shared_submitters_{0};
   std::atomic<unsigned> parked_{0};        // workers blocked on work_cv_
   std::atomic<bool> caller_waiting_{false};
+  std::mutex submit_mutex_;                // shared-submitter serialization
 
   std::unique_ptr<DoneSlot[]> slots_;      // one per worker (rank - 1)
   std::vector<std::thread> workers_;

@@ -49,9 +49,16 @@ class Workspace {
     if (!e.ptr || *e.type != typeid(T)) {
       e.ptr = std::make_shared<T>();
       e.type = &typeid(T);
+      ++creations_;
     }
     return *static_cast<T*>(e.ptr.get());
   }
+
+  /// Number of container creations so far (first-use allocations plus
+  /// type-change replacements). A warm arena serving a steady workload
+  /// must hold this constant — the workspace-lease recycling tests assert
+  /// exactly that.
+  std::size_t creations() const noexcept { return creations_; }
 
   /// Drops every buffer (capacity included). Mainly for tests and for
   /// releasing memory after an unusually large run.
@@ -63,6 +70,7 @@ class Workspace {
     const std::type_info* type = nullptr;
   };
   std::vector<Entry> slots_;
+  std::size_t creations_ = 0;
 };
 
 /// Slot-id registry. Each call site owns a fixed id; layers get disjoint

@@ -54,7 +54,7 @@ struct BcBackwardFunctor {
 void BcFromSource(const graph::Csr& g, vid_t source, const BcOptions& opts,
                   par::ThreadPool& pool, bool scale_free,
                   core::Workspace& ws, std::vector<double>& delta,
-                  BcResult* result) {
+                  const RunControl& ctl, BcResult* result) {
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   result->depth.assign(n, -1);
   result->sigma.assign(n, 0.0);
@@ -77,6 +77,7 @@ void BcFromSource(const graph::Csr& g, vid_t source, const BcOptions& opts,
   std::vector<std::vector<vid_t>> levels;
   levels.push_back({source});
   while (!levels.back().empty()) {
+    ctl.Checkpoint();
     prob.iteration = static_cast<std::int32_t>(levels.size());
     std::vector<vid_t> next;
     const auto adv = core::AdvancePush<BcForwardFunctor>(
@@ -89,6 +90,7 @@ void BcFromSource(const graph::Csr& g, vid_t source, const BcOptions& opts,
 
   // Backward: deepest level first; level L pulls from level L+1.
   for (std::size_t l = levels.size(); l-- > 1;) {
+    ctl.Checkpoint();
     const auto adv = core::AdvancePush<BcBackwardFunctor>(
         pool, g, levels[l], static_cast<std::vector<vid_t>*>(nullptr),
         prob, adv_cfg);
@@ -109,21 +111,36 @@ BcResult Bc(const graph::Csr& g, vid_t source, const BcOptions& opts) {
   return BcMultiSource(g, src_list, opts);
 }
 
+BcResult Bc(const graph::Csr& g, vid_t source, const BcOptions& opts,
+            const RunControl& ctl) {
+  const vid_t src_list[] = {source};
+  return BcMultiSource(g, src_list, opts, ctl);
+}
+
 BcResult BcMultiSource(const graph::Csr& g, std::span<const vid_t> sources,
                        const BcOptions& opts) {
+  return BcMultiSource(g, sources, opts, RunControl{});
+}
+
+BcResult BcMultiSource(const graph::Csr& g, std::span<const vid_t> sources,
+                       const BcOptions& opts, const RunControl& ctl) {
   par::ThreadPool& pool = opts.Pool();
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   BcResult result;
   result.bc.assign(n, 0.0);
-  const bool scale_free = graph::ComputeScaleFreeHint(g, pool);
-  // Workspace and the dependency accumulator persist across sources, so a
-  // multi-source sweep allocates only its per-level frontiers.
-  core::Workspace ws;
-  std::vector<double> delta;
+  const bool scale_free = ctl.scale_free_hint >= 0
+                              ? ctl.scale_free_hint > 0
+                              : graph::ComputeScaleFreeHint(g, pool);
+  // Workspace and the dependency accumulator persist across sources (and,
+  // with an engine lease, across queries), so a multi-source sweep
+  // allocates only its per-level frontiers.
+  core::Workspace private_ws;
+  core::Workspace& ws = ctl.workspace ? *ctl.workspace : private_ws;
+  auto& delta = ws.Get<std::vector<double>>(pslot::kBcFirst);
   WallTimer timer;
   for (const vid_t s : sources) {
     GR_CHECK(s >= 0 && s < g.num_vertices(), "BC source out of range");
-    BcFromSource(g, s, opts, pool, scale_free, ws, delta, &result);
+    BcFromSource(g, s, opts, pool, scale_free, ws, delta, ctl, &result);
   }
   if (opts.normalize && n > 2) {
     const double scale =

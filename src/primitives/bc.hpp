@@ -35,10 +35,18 @@ struct BcResult {
 /// Single-source BC contribution.
 BcResult Bc(const graph::Csr& g, vid_t source, const BcOptions& opts = {});
 
+/// Engine-invokable runner: scratch from ctl.workspace, ctl.cancel polled
+/// at level boundaries of both sweeps (throws core::Cancelled).
+BcResult Bc(const graph::Csr& g, vid_t source, const BcOptions& opts,
+            const RunControl& ctl);
+
 /// Accumulates BC over a set of sources (exact when sources = all
 /// vertices).
 BcResult BcMultiSource(const graph::Csr& g,
                        std::span<const vid_t> sources,
                        const BcOptions& opts = {});
+
+BcResult BcMultiSource(const graph::Csr& g, std::span<const vid_t> sources,
+                       const BcOptions& opts, const RunControl& ctl);
 
 }  // namespace gunrock

@@ -22,7 +22,7 @@ namespace {
 struct BfsProblem {
   std::int32_t* depth = nullptr;
   vid_t* pred = nullptr;          // nullptr when preds are not requested
-  par::Bitmap* visited = nullptr; // idempotent-mode claim bitmap
+  par::EpochBitmap* visited = nullptr;  // idempotent-mode claim set
   std::int32_t iteration = 0;     // depth to assign this iteration
 };
 
@@ -75,6 +75,11 @@ struct BfsPullFunctor {
 }  // namespace
 
 BfsResult Bfs(const graph::Csr& g, vid_t source, const BfsOptions& opts) {
+  return Bfs(g, source, opts, RunControl{});
+}
+
+BfsResult Bfs(const graph::Csr& g, vid_t source, const BfsOptions& opts,
+              const RunControl& ctl) {
   GR_CHECK(source >= 0 && source < g.num_vertices(),
            "BFS source out of range");
   par::ThreadPool& pool = opts.Pool();
@@ -85,20 +90,33 @@ BfsResult Bfs(const graph::Csr& g, vid_t source, const BfsOptions& opts) {
   result.depth.assign(n, -1);
   if (opts.compute_preds) result.pred.assign(n, kInvalidVid);
 
-  par::Bitmap visited(n);
-  par::Bitmap frontier_bits(n);  // pull-mode frontier representation
+  // Enactor-owned scratch arena: every operator call below reuses its
+  // buffers through this, so iterations are allocation-free after warm-up.
+  // An engine-leased arena (ctl.workspace) extends the reuse across
+  // queries — with a warm lease only the result buffers above allocate.
+  core::Workspace private_ws;
+  core::Workspace& ws = ctl.workspace ? *ctl.workspace : private_ws;
+
+  // Both per-vertex sets are epoch-stamped and arena-resident: a fresh
+  // query (visited) or a direction switch (frontier_bits) invalidates
+  // them with one counter bump instead of an O(|V|) clear, and a warm
+  // lease reuses their storage outright.
+  auto& visited = ws.Get<par::EpochBitmap>(pslot::kBfsFirst + 3);
+  visited.Resize(n);
+  visited.NewEpoch();
+  auto& frontier_bits = ws.Get<par::EpochBitmap>(pslot::kBfsFirst + 4);
+  frontier_bits.Resize(n);
 
   BfsProblem prob;
   prob.depth = result.depth.data();
   prob.pred = opts.compute_preds ? result.pred.data() : nullptr;
   prob.visited = &visited;
 
-  // Enactor-owned scratch arena: every operator call below reuses its
-  // buffers through this, so iterations are allocation-free after warm-up.
-  core::Workspace ws;
   core::AdvanceConfig adv_cfg;
   adv_cfg.lb = opts.load_balance;
-  adv_cfg.scale_free_hint = graph::ComputeScaleFreeHint(g, pool);
+  adv_cfg.scale_free_hint = ctl.scale_free_hint >= 0
+                                ? ctl.scale_free_hint > 0
+                                : graph::ComputeScaleFreeHint(g, pool);
   adv_cfg.workspace = &ws;
   core::FilterConfig filter_cfg;
   filter_cfg.history_hash = true;
@@ -107,7 +125,7 @@ BfsResult Bfs(const graph::Csr& g, vid_t source, const BfsOptions& opts) {
   core::DirectionOptimizer optimizer(g.num_vertices(), opts.do_alpha,
                                      opts.do_beta);
 
-  core::VertexFrontier frontier(n);
+  auto& frontier = ws.Get<core::VertexFrontier>(pslot::kBfsFirst);
   frontier.Assign({source});
   result.depth[source] = 0;
   visited.Set(static_cast<std::size_t>(source));
@@ -117,12 +135,15 @@ BfsResult Bfs(const graph::Csr& g, vid_t source, const BfsOptions& opts) {
   eid_t m_unvisited = g.num_edges() - g.degree(source);
 
   core::EfficiencyAccumulator efficiency;
-  std::vector<vid_t> candidates;  // pull-mode unvisited list (reused)
-  std::vector<vid_t> raw;         // idempotent-mode advance output (reused)
+  // Pull-mode unvisited list and idempotent-mode advance output, both
+  // reused across iterations and (via the lease) across queries.
+  auto& candidates = ws.Get<std::vector<vid_t>>(pslot::kBfsFirst + 1);
+  auto& raw = ws.Get<std::vector<vid_t>>(pslot::kBfsFirst + 2);
   WallTimer timer;
 
   const bool optimizing = opts.direction == core::Direction::kOptimizing;
   while (!frontier.empty()) {
+    ctl.Checkpoint();
     prob.iteration = result.stats.iterations + 1;
     const std::size_t n_f = frontier.size();
 
@@ -140,7 +161,7 @@ BfsResult Bfs(const graph::Csr& g, vid_t source, const BfsOptions& opts) {
 
     core::AdvanceResult adv;
     if (pull) {
-      frontier_bits.Reset(pool);
+      frontier_bits.NewEpoch();  // O(1) invalidation of the previous set
       core::ForEach(pool, std::span<const vid_t>(frontier.current()),
                     [&](vid_t v) {
                       frontier_bits.Set(static_cast<std::size_t>(v));

@@ -46,4 +46,10 @@ struct BfsResult {
 BfsResult Bfs(const graph::Csr& g, vid_t source,
               const BfsOptions& opts = {});
 
+/// Engine-invokable runner: same semantics, but scratch comes from
+/// ctl.workspace (lease-recycled by the query engine) and ctl.cancel is
+/// polled at every iteration boundary (throws core::Cancelled).
+BfsResult Bfs(const graph::Csr& g, vid_t source, const BfsOptions& opts,
+              const RunControl& ctl);
+
 }  // namespace gunrock

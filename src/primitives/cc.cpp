@@ -51,6 +51,11 @@ struct CcJumpFunctor {
 }  // namespace
 
 CcResult Cc(const graph::Csr& g, const CcOptions& opts) {
+  return Cc(g, opts, RunControl{});
+}
+
+CcResult Cc(const graph::Csr& g, const CcOptions& opts,
+            const RunControl& ctl) {
   par::ThreadPool& pool = opts.Pool();
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   const std::size_t m = static_cast<std::size_t>(g.num_edges());
@@ -67,8 +72,10 @@ CcResult Cc(const graph::Csr& g, const CcOptions& opts) {
   const auto edge_src = g.edge_sources(pool);
   const auto edge_dst = g.col_indices();
 
-  // Enactor-owned arena shared by the hooking and pointer-jumping passes.
-  core::Workspace ws;
+  // Enactor-owned arena shared by the hooking and pointer-jumping passes;
+  // an engine lease extends the reuse across queries.
+  core::Workspace private_ws;
+  core::Workspace& ws = ctl.workspace ? *ctl.workspace : private_ws;
   core::FilterConfig filter_cfg;
   filter_cfg.workspace = &ws;
 
@@ -76,7 +83,10 @@ CcResult Cc(const graph::Csr& g, const CcOptions& opts) {
 
   // Edge frontier: one arc per undirected edge (u < v); on a directed
   // input every arc participates (hooking is symmetric anyway).
-  core::EdgeFrontier edges(m);
+  auto& edges = ws.Get<core::EdgeFrontier>(pslot::kCcFirst);
+  auto& vertices = ws.Get<core::VertexFrontier>(pslot::kCcFirst + 1);
+  edges.Clear();
+  vertices.Clear();
   {
     edges.current().resize(m);
     const std::size_t kept = par::GenerateIf(
@@ -86,8 +96,8 @@ CcResult Cc(const graph::Csr& g, const CcOptions& opts) {
     edges.current().resize(kept);
   }
 
-  core::VertexFrontier vertices(n);
   while (!edges.empty()) {
+    ctl.Checkpoint();
     // Hooking pass over the surviving cross-component edges.
     const auto hook = core::FilterEdge<CcHookFunctor>(
         pool, edge_src, edge_dst, edges.current(), &edges.next(), prob,

@@ -28,4 +28,9 @@ struct CcResult {
 
 CcResult Cc(const graph::Csr& g, const CcOptions& opts = {});
 
+/// Engine-invokable runner: scratch from ctl.workspace, ctl.cancel polled
+/// at hooking-round boundaries (throws core::Cancelled).
+CcResult Cc(const graph::Csr& g, const CcOptions& opts,
+            const RunControl& ctl);
+
 }  // namespace gunrock

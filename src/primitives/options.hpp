@@ -1,7 +1,10 @@
-// Options shared by every primitive's public API.
+// Options shared by every primitive's public API, plus the RunControl
+// block that makes a primitive run engine-invokable.
 #pragma once
 
+#include "core/cancel.hpp"
 #include "core/policy.hpp"
+#include "core/workspace.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace gunrock {
@@ -18,5 +21,47 @@ struct CommonOptions {
     return pool ? *pool : par::ThreadPool::Global();
   }
 };
+
+/// Execution control handed to a primitive runner by its caller — the
+/// query engine, a batch driver, or any host application that wants to
+/// recycle scratch across calls or stop a run early. Every field is
+/// optional; a default RunControl reproduces the classic free-function
+/// behavior (private arena, run to convergence).
+struct RunControl {
+  /// Caller-owned scratch arena. The engine leases one warm arena per
+  /// in-flight query, so steady-state serving allocates no workspace
+  /// memory; a null pointer makes the primitive create a private arena
+  /// for the call.
+  core::Workspace* workspace = nullptr;
+  /// Cooperative stop signal, polled at iteration boundaries; the
+  /// primitive throws core::Cancelled when it fires. Null = never stop.
+  const core::CancelToken* cancel = nullptr;
+  /// Tri-state precomputed graph::ComputeScaleFreeHint: -1 = unknown
+  /// (the primitive computes it, one O(|V|) reduction), 0/1 = known.
+  /// The engine computes it once per registered graph so short queries
+  /// don't pay the pass.
+  int scale_free_hint = -1;
+
+  /// Iteration-boundary cancellation/deadline poll (~two relaxed loads).
+  void Checkpoint() const {
+    if (cancel) cancel->Check();
+  }
+};
+
+/// Arena slot ranges for primitive-private scratch, carved out of
+/// par::ws::kUserFirst upward. An engine-leased arena is reused by
+/// whatever query runs next, so each primitive keeps its slots disjoint
+/// from the others' — a slot's stored type then stays stable no matter
+/// how queries interleave, and recycling never churns buffers.
+namespace pslot {
+enum : unsigned {
+  kBfsFirst = par::ws::kUserFirst,       // bfs.cpp       (+0 .. +5)
+  kSsspFirst = par::ws::kUserFirst + 6,  // sssp.cpp      (+6 .. +13)
+  kPagerankFirst = par::ws::kUserFirst + 14,  // pagerank.cpp (+14 .. +23)
+  kBcFirst = par::ws::kUserFirst + 24,   // bc.cpp        (+24 .. +27)
+  kCcFirst = par::ws::kUserFirst + 28,   // cc.cpp        (+28 .. +31)
+  kAppFirst = par::ws::kUserFirst + 32,  // applications / user code
+};
+}  // namespace pslot
 
 }  // namespace gunrock

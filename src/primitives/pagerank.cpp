@@ -62,53 +62,71 @@ struct PrFreezeFunctor {
 }  // namespace
 
 PagerankResult Pagerank(const graph::Csr& g, const PagerankOptions& opts) {
+  return Pagerank(g, opts, RunControl{});
+}
+
+PagerankResult Pagerank(const graph::Csr& g, const PagerankOptions& opts,
+                        const RunControl& ctl) {
   par::ThreadPool& pool = opts.Pool();
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   PagerankResult result;
   if (n == 0) return result;
 
+  // Enactor-owned scratch arena plus hoisted per-iteration buffers: the
+  // convergence loop reuses everything after the first iteration, and an
+  // engine lease extends the reuse across queries. `rank` stays a plain
+  // local — it is moved into the result.
+  core::Workspace private_ws;
+  core::Workspace& ws = ctl.workspace ? *ctl.workspace : private_ws;
+
   std::vector<double> rank(n, 1.0 / static_cast<double>(n));
-  std::vector<double> rank_next(n, 0.0);
-  std::vector<double> inv_outdeg(n, 0.0);
+  auto& rank_next = ws.Get<std::vector<double>>(pslot::kPagerankFirst + 1);
+  rank_next.assign(n, 0.0);
+  auto& inv_outdeg = ws.Get<std::vector<double>>(pslot::kPagerankFirst + 2);
+  inv_outdeg.assign(n, 0.0);
   core::ForAll(pool, n, [&](std::size_t v) {
     const eid_t d = g.degree(static_cast<vid_t>(v));
     inv_outdeg[v] = d > 0 ? 1.0 / static_cast<double>(d) : 0.0;
   });
 
-  std::vector<double> frozen(opts.frontier_mode ? n : 0, 0.0);
+  auto& frozen = ws.Get<std::vector<double>>(pslot::kPagerankFirst + 3);
+  frozen.assign(opts.frontier_mode ? n : 0, 0.0);
   PrProblem prob;
   prob.frozen = frozen.data();
   prob.inv_outdeg = inv_outdeg.data();
   prob.damping = opts.damping;
   prob.tolerance = opts.tolerance;
 
-  // Enactor-owned scratch arena plus hoisted per-iteration buffers: the
-  // convergence loop reuses everything after the first iteration.
-  core::Workspace ws;
   core::AdvanceConfig adv_cfg;
   adv_cfg.lb = opts.load_balance;
-  adv_cfg.scale_free_hint = graph::ComputeScaleFreeHint(g, pool);
+  adv_cfg.scale_free_hint = ctl.scale_free_hint >= 0
+                                ? ctl.scale_free_hint > 0
+                                : graph::ComputeScaleFreeHint(g, pool);
   adv_cfg.workspace = &ws;
   core::FilterConfig filter_cfg;
   filter_cfg.workspace = &ws;
 
   // Frontier starts with all vertices (paper: "the frontier always
   // contains all vertices" for PR-style primitives).
-  core::VertexFrontier frontier(n);
+  auto& frontier = ws.Get<core::VertexFrontier>(pslot::kPagerankFirst);
+  frontier.Clear();
   frontier.current().resize(n);
   core::ForAll(pool, n, [&](std::size_t v) {
     frontier.current()[v] = static_cast<vid_t>(v);
   });
 
   core::EfficiencyAccumulator efficiency;
-  std::vector<vid_t> all;              // exact-mode full-vertex pusher list
-  std::vector<char> was_active;        // frontier-mode membership scratch
-  std::vector<char> still_active;
-  std::vector<vid_t> old_frontier;
-  std::vector<vid_t> leavers;
+  // Exact-mode full-vertex pusher list and frontier-mode membership
+  // scratch, reused across iterations and queries.
+  auto& all = ws.Get<std::vector<vid_t>>(pslot::kPagerankFirst + 4);
+  auto& was_active = ws.Get<std::vector<char>>(pslot::kPagerankFirst + 5);
+  auto& still_active = ws.Get<std::vector<char>>(pslot::kPagerankFirst + 6);
+  auto& old_frontier = ws.Get<std::vector<vid_t>>(pslot::kPagerankFirst + 7);
+  auto& leavers = ws.Get<std::vector<vid_t>>(pslot::kPagerankFirst + 8);
   WallTimer timer;
 
   while (!frontier.empty() && result.iterations < opts.max_iterations) {
+    ctl.Checkpoint();
     // Base value plus uniformly redistributed dangling mass.
     const double dangling = par::TransformReduce(
         pool, n, 0.0, [](double a, double b) { return a + b; },

@@ -54,4 +54,9 @@ struct PagerankResult {
 PagerankResult Pagerank(const graph::Csr& g,
                         const PagerankOptions& opts = {});
 
+/// Engine-invokable runner: scratch from ctl.workspace, ctl.cancel polled
+/// at iteration boundaries (throws core::Cancelled).
+PagerankResult Pagerank(const graph::Csr& g, const PagerankOptions& opts,
+                        const RunControl& ctl);
+
 }  // namespace gunrock

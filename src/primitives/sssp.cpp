@@ -49,6 +49,11 @@ struct SsspDedupFunctor {
 
 SsspResult Sssp(const graph::Csr& g, vid_t source,
                 const SsspOptions& opts) {
+  return Sssp(g, source, opts, RunControl{});
+}
+
+SsspResult Sssp(const graph::Csr& g, vid_t source, const SsspOptions& opts,
+                const RunControl& ctl) {
   GR_CHECK(source >= 0 && source < g.num_vertices(),
            "SSSP source out of range");
   GR_CHECK(g.has_weights(), "SSSP needs an edge-weighted graph");
@@ -59,19 +64,24 @@ SsspResult Sssp(const graph::Csr& g, vid_t source,
   result.dist.assign(n, kInfinity);
   result.dist[source] = 0;
 
-  std::vector<std::int32_t> mark(n, 0);
+  // Enactor-owned scratch arena: operators and the near/far splits reuse
+  // their buffers through it, so iterations are allocation-free after
+  // warm-up; an engine lease extends the reuse across queries.
+  core::Workspace private_ws;
+  core::Workspace& ws = ctl.workspace ? *ctl.workspace : private_ws;
+
+  auto& mark = ws.Get<std::vector<std::int32_t>>(pslot::kSsspFirst + 6);
+  mark.assign(n, 0);
   SsspProblem prob;
   prob.dist = result.dist.data();
   prob.weights = g.weights().data();
   prob.mark = mark.data();
 
-  // Enactor-owned scratch arena: operators and the near/far splits reuse
-  // their buffers through it, so iterations are allocation-free after
-  // warm-up.
-  core::Workspace ws;
   core::AdvanceConfig adv_cfg;
   adv_cfg.lb = opts.load_balance;
-  adv_cfg.scale_free_hint = graph::ComputeScaleFreeHint(g, pool);
+  adv_cfg.scale_free_hint = ctl.scale_free_hint >= 0
+                                ? ctl.scale_free_hint > 0
+                                : graph::ComputeScaleFreeHint(g, pool);
   adv_cfg.model_efficiency = opts.model_lane_efficiency;
   adv_cfg.workspace = &ws;
   core::FilterConfig filter_cfg;
@@ -87,18 +97,27 @@ SsspResult Sssp(const graph::Csr& g, vid_t source,
         1.0, kWarpWidth * mean_w / std::max(1.0, g.average_degree())));
   }
 
-  core::VertexFrontier frontier(n);
+  auto& frontier = ws.Get<core::VertexFrontier>(pslot::kSsspFirst);
   frontier.Assign({source});
-  std::vector<vid_t> far_pile;
-  std::vector<vid_t> near_buffer;
-  std::vector<vid_t> raw, deduped;    // reused across iterations
-  std::vector<vid_t> still_far;       // re-split scratch (reused)
+  // Near/far piles and the advance/dedup buffers, reused across
+  // iterations and (via the lease) across queries.
+  auto& far_pile = ws.Get<std::vector<vid_t>>(pslot::kSsspFirst + 1);
+  auto& near_buffer = ws.Get<std::vector<vid_t>>(pslot::kSsspFirst + 2);
+  auto& raw = ws.Get<std::vector<vid_t>>(pslot::kSsspFirst + 3);
+  auto& deduped = ws.Get<std::vector<vid_t>>(pslot::kSsspFirst + 4);
+  auto& still_far = ws.Get<std::vector<vid_t>>(pslot::kSsspFirst + 5);
+  far_pile.clear();
+  near_buffer.clear();
+  raw.clear();
+  deduped.clear();
+  still_far.clear();
   weight_t threshold = delta;
 
   core::EfficiencyAccumulator efficiency;
   WallTimer timer;
 
   while (!frontier.empty() || !far_pile.empty()) {
+    ctl.Checkpoint();
     if (frontier.empty()) {
       // Near slice exhausted: advance the Δ window and re-split the far
       // pile (paper: "We then update the priority function and operate on

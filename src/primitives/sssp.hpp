@@ -45,4 +45,9 @@ struct SsspResult {
 SsspResult Sssp(const graph::Csr& g, vid_t source,
                 const SsspOptions& opts = {});
 
+/// Engine-invokable runner: scratch from ctl.workspace, ctl.cancel polled
+/// at iteration boundaries (throws core::Cancelled).
+SsspResult Sssp(const graph::Csr& g, vid_t source, const SsspOptions& opts,
+                const RunControl& ctl);
+
 }  // namespace gunrock

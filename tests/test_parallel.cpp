@@ -129,6 +129,54 @@ TEST(ThreadPoolTest, NestedParallelIsDetectedOnSingleThreadPool) {
   EXPECT_EQ(x, 1);
 }
 
+TEST(ThreadPoolTest, SharedSubmittersSerializeConcurrentLaunches) {
+  // The query engine's contract: after AcquireSharedSubmitters, many
+  // external threads may call Parallel concurrently; launches serialize
+  // and every pass still owns all lanes.
+  ThreadPool pool(2);
+  pool.AcquireSharedSubmitters();
+  constexpr int kSubmitters = 4;
+  constexpr int kLaunches = 200;
+  std::atomic<int> total{0};
+  std::atomic<int> concurrent{0};
+  std::atomic<bool> overlapped{false};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kLaunches; ++i) {
+        pool.Parallel([&](unsigned rank) {
+          if (rank == 0) {
+            // Exactly one pass may be in flight at a time.
+            if (concurrent.fetch_add(1) != 0) overlapped.store(true);
+            concurrent.fetch_sub(1);
+          }
+          total.fetch_add(1);
+        });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(total.load(), kSubmitters * kLaunches * 2);
+  EXPECT_FALSE(overlapped.load());
+}
+
+TEST(ThreadPoolTest, SharedSubmittersStillDetectNestedParallel) {
+  ThreadPool pool(2);
+  pool.AcquireSharedSubmitters();
+  bool threw_logic_error = false;
+  try {
+    pool.Parallel([&](unsigned rank) {
+      if (rank == 0) pool.Parallel([](unsigned) {});
+    });
+  } catch (const std::logic_error&) {
+    threw_logic_error = true;
+  }
+  EXPECT_TRUE(threw_logic_error);
+  std::atomic<int> ok{0};
+  pool.Parallel([&](unsigned) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 2);
+}
+
 TEST(ThreadPoolTest, SurvivesParkedWorkersBetweenLaunches) {
   ThreadPool pool(4);
   std::atomic<int> total{0};
@@ -447,6 +495,44 @@ TEST(BitmapTest, TestAndSetClaimsExactlyOnce) {
   EXPECT_EQ(bm.Count(pool), 100000u);
   bm.Reset(pool);
   EXPECT_EQ(bm.Count(pool), 0u);
+}
+
+TEST(EpochBitmapTest, NewEpochInvalidatesEverythingInO1) {
+  EpochBitmap set(64);
+  EXPECT_FALSE(set.Test(0));  // fresh map is empty without any reset
+  set.NewEpoch();
+  set.Set(3);
+  set.Set(63);
+  EXPECT_TRUE(set.Test(3));
+  EXPECT_TRUE(set.Test(63));
+  EXPECT_FALSE(set.Test(4));
+  set.NewEpoch();  // one counter bump, no O(n) clear
+  EXPECT_FALSE(set.Test(3));
+  EXPECT_FALSE(set.Test(63));
+  set.Set(4);
+  EXPECT_TRUE(set.Test(4));
+  EXPECT_FALSE(set.Test(3));
+}
+
+TEST(EpochBitmapTest, MatchesBitmapUnderConcurrentSets) {
+  ThreadPool pool(8);
+  const std::size_t n = 50000;
+  EpochBitmap set(n);
+  Bitmap reference(n);
+  for (int round = 0; round < 3; ++round) {
+    set.NewEpoch();
+    reference.Reset(pool);
+    const std::size_t stride = 3 + round;
+    ParallelFor(pool, 0, n, [&](std::size_t i) {
+      if (i % stride == 0) {
+        set.Set(i);
+        reference.Set(i);
+      }
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(set.Test(i), reference.Test(i)) << i;
+    }
+  }
 }
 
 TEST(AtomicsTest, MinMaxAddExchangeUnderContention) {

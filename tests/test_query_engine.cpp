@@ -1,0 +1,357 @@
+// QueryEngine: concurrent-submission determinism against direct calls,
+// workspace-lease recycling, cancellation (explicit and deadline),
+// admission-control backpressure, and failure paths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/env.hpp"
+#include "common/oracle.hpp"
+#include "gunrock.hpp"
+
+namespace gunrock {
+namespace {
+
+using engine::BfsQuery;
+using engine::CcQuery;
+using engine::PagerankQuery;
+using engine::QueryEngine;
+using engine::QueryEngineOptions;
+using engine::QueryHandle;
+using engine::QueryStatus;
+using engine::SsspQuery;
+
+/// Scale-free fixture derived from GUNROCK_TEST_SEED, so the seed sweep
+/// exercises the engine on different topologies.
+graph::Csr MakeGraph(int scale = 10, int edge_factor = 8) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edge_factor = edge_factor;
+  p.seed = 1000 + test::TestSeed();
+  auto coo = GenerateRmat(p, par::ThreadPool::Global());
+  graph::AttachRandomWeights(coo, 1, 64, /*seed=*/test::TestSeed());
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  return graph::BuildCsr(coo, opts);
+}
+
+std::vector<vid_t> PickSources(const graph::Csr& g, std::size_t count) {
+  std::vector<vid_t> sources;
+  for (std::size_t i = 0; i < count; ++i) {
+    sources.push_back(static_cast<vid_t>(
+        (static_cast<std::int64_t>(i) * 997 + 1) % g.num_vertices()));
+  }
+  return sources;
+}
+
+/// A query that cannot finish within the test's patience: a negative
+/// tolerance keeps every vertex in PageRank's frontier forever (the
+/// residual is never > -1), so only cancellation or a deadline stops the
+/// huge iteration budget.
+PagerankQuery EndlessPagerank() {
+  PagerankQuery q;
+  q.opts.tolerance = -1.0;
+  q.opts.max_iterations = 1 << 28;
+  return q;
+}
+
+void SpinUntilRunning(const QueryHandle& h) {
+  while (h.status() == QueryStatus::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// --- determinism ------------------------------------------------------------
+
+TEST(QueryEngineTest, ConcurrentResultsBitIdenticalToDirectCalls) {
+  const graph::Csr g = MakeGraph();
+  const auto sources = PickSources(g, 6);
+
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 4;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  // Direct reference runs on the same pool the engine serves from — the
+  // chunk grains (and so every reduction order) match by construction.
+  BfsQuery bfs;
+  bfs.opts.direction = core::Direction::kOptimizing;
+  SsspQuery sssp;
+  PagerankQuery pr;
+  pr.opts.pull = true;  // gather-reduce: deterministic rank accumulation
+  pr.opts.max_iterations = 30;
+  CcQuery cc;
+
+  // Saturate the engine with a mixed workload: every source submits a
+  // BFS and an SSSP, plus one PageRank and one CC — all in flight
+  // together before any result is consumed.
+  std::vector<QueryHandle> bfs_handles;
+  std::vector<QueryHandle> sssp_handles;
+  for (const vid_t s : sources) {
+    bfs_handles.push_back(engine.Submit("g", engine::WithSource(bfs, s)));
+    sssp_handles.push_back(engine.Submit("g", engine::WithSource(sssp, s)));
+  }
+  QueryHandle pr_handle = engine.Submit("g", pr);
+  QueryHandle cc_handle = engine.Submit("g", cc);
+
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const auto& bfs_resp = bfs_handles[i].Wait();
+    ASSERT_EQ(bfs_resp.status, QueryStatus::kDone) << bfs_resp.error;
+    const auto& got_bfs = std::get<BfsResult>(bfs_resp.result);
+    const auto want_bfs = Bfs(g, sources[i], bfs.opts);
+    EXPECT_EQ(got_bfs.depth, want_bfs.depth) << "source " << sources[i];
+    test::ExpectValidBfsTree(g, sources[i], got_bfs);
+
+    const auto& sssp_resp = sssp_handles[i].Wait();
+    ASSERT_EQ(sssp_resp.status, QueryStatus::kDone) << sssp_resp.error;
+    const auto& got_sssp = std::get<SsspResult>(sssp_resp.result);
+    const auto want_sssp = Sssp(g, sources[i], sssp.opts);
+    EXPECT_EQ(got_sssp.dist, want_sssp.dist) << "source " << sources[i];
+    EXPECT_EQ(got_sssp.pred, want_sssp.pred) << "source " << sources[i];
+  }
+
+  const auto& pr_resp = pr_handle.Wait();
+  ASSERT_EQ(pr_resp.status, QueryStatus::kDone) << pr_resp.error;
+  EXPECT_EQ(std::get<PagerankResult>(pr_resp.result).rank,
+            Pagerank(g, pr.opts).rank);
+
+  const auto& cc_resp = cc_handle.Wait();
+  ASSERT_EQ(cc_resp.status, QueryStatus::kDone) << cc_resp.error;
+  EXPECT_EQ(std::get<CcResult>(cc_resp.result).component,
+            Cc(g, cc.opts).component);
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 2 * sources.size() + 2);
+  EXPECT_EQ(stats.done, 2 * sources.size() + 2);
+}
+
+TEST(QueryEngineTest, SubmitAllMatchesPerSourceDirectCalls) {
+  const graph::Csr g = MakeGraph(9, 6);
+  const auto sources = PickSources(g, 8);
+
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 4;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  BfsQuery proto;
+  proto.opts.direction = core::Direction::kPush;
+  auto handles = engine.SubmitAll("g", sources, proto);
+  ASSERT_EQ(handles.size(), sources.size());
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const auto& resp = handles[i].Wait();
+    ASSERT_EQ(resp.status, QueryStatus::kDone) << resp.error;
+    EXPECT_EQ(std::get<BfsResult>(resp.result).depth,
+              Bfs(g, sources[i], proto.opts).depth);
+    // Latency accounting: the pieces exist and add up.
+    EXPECT_GE(resp.queue_ms, 0.0);
+    EXPECT_GE(resp.run_ms, 0.0);
+    EXPECT_GE(resp.total_ms + 1e-6, resp.run_ms);
+  }
+}
+
+// --- workspace leasing ------------------------------------------------------
+
+TEST(QueryEngineTest, LeaseRecyclingStopsWorkspaceAllocation) {
+  const graph::Csr g = MakeGraph(9, 6);
+  const auto sources = PickSources(g, 4);
+
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;  // one arena => deterministic warm-up coverage
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  BfsQuery bfs;
+  SsspQuery sssp;
+  PagerankQuery pr;
+  pr.opts.pull = true;
+  pr.opts.max_iterations = 5;
+
+  // Warm-up: every query kind the steady workload will see.
+  for (const vid_t s : sources) {
+    engine.Submit("g", engine::WithSource(bfs, s)).Wait();
+    engine.Submit("g", engine::WithSource(sssp, s)).Wait();
+  }
+  engine.Submit("g", pr).Wait();
+
+  const auto warm = engine.workspace_stats();
+  EXPECT_EQ(warm.created, 1u);
+  EXPECT_GT(warm.workspace_creations, 0u);
+
+  // Steady state: the same workload again. The one arena is recycled
+  // through every lease and creates no new containers.
+  for (const vid_t s : sources) {
+    engine.Submit("g", engine::WithSource(bfs, s)).Wait();
+    engine.Submit("g", engine::WithSource(sssp, s)).Wait();
+  }
+  engine.Submit("g", pr).Wait();
+
+  const auto steady = engine.workspace_stats();
+  EXPECT_EQ(steady.created, 1u);
+  EXPECT_EQ(steady.workspace_creations, warm.workspace_creations)
+      << "steady-state serving must not allocate workspace containers";
+  EXPECT_EQ(steady.recycled, steady.acquired - 1);
+  EXPECT_EQ(steady.outstanding, 0u);
+}
+
+TEST(QueryEngineTest, LeaseCountBoundedByInFlightLimit) {
+  const graph::Csr g = MakeGraph(8, 6);
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 3;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  BfsQuery proto;
+  const auto sources = PickSources(g, 24);
+  for (auto& h : engine.SubmitAll("g", sources, proto)) {
+    ASSERT_EQ(h.Wait().status, QueryStatus::kDone);
+  }
+  const auto stats = engine.workspace_stats();
+  EXPECT_LE(stats.created, 3u);
+  EXPECT_EQ(stats.acquired, sources.size());
+}
+
+// --- cancellation -----------------------------------------------------------
+
+TEST(QueryEngineTest, CancelMidRunReleasesTheEngine) {
+  const graph::Csr g = MakeGraph(10, 8);
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  auto endless = engine.Submit("g", EndlessPagerank());
+  SpinUntilRunning(endless);
+  endless.Cancel();
+  const auto& resp = endless.Wait();
+  EXPECT_EQ(resp.status, QueryStatus::kCancelled);
+  EXPECT_TRUE(
+      std::holds_alternative<std::monostate>(resp.result));
+
+  // The runner and its workspace lease are free again.
+  BfsQuery bfs;
+  const auto& after = engine.Submit("g", bfs).Wait();
+  EXPECT_EQ(after.status, QueryStatus::kDone) << after.error;
+  EXPECT_EQ(engine.workspace_stats().outstanding, 0u);
+}
+
+TEST(QueryEngineTest, CancelWhileQueuedNeverRuns) {
+  const graph::Csr g = MakeGraph(9, 6);
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  auto endless = engine.Submit("g", EndlessPagerank());
+  SpinUntilRunning(endless);
+  auto queued = engine.Submit("g", EndlessPagerank());
+  queued.Cancel();  // still waiting for the single runner
+  endless.Cancel();
+  EXPECT_EQ(queued.Wait().status, QueryStatus::kCancelled);
+  EXPECT_EQ(endless.Wait().status, QueryStatus::kCancelled);
+}
+
+TEST(QueryEngineTest, DeadlineStopsARunningQuery) {
+  const graph::Csr g = MakeGraph(9, 6);
+  QueryEngine engine;
+  engine.RegisterGraph("g", g);
+
+  engine::SubmitOptions sopts;
+  sopts.deadline_ms = 25.0;
+  const auto& resp = engine.Submit("g", EndlessPagerank(), sopts).Wait();
+  EXPECT_EQ(resp.status, QueryStatus::kDeadlineExceeded);
+}
+
+// --- admission control ------------------------------------------------------
+
+TEST(QueryEngineTest, RejectPolicyFailsFastWhenQueueIsFull) {
+  const graph::Csr g = MakeGraph(9, 6);
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;
+  eopts.queue_capacity = 1;
+  eopts.backpressure = QueryEngineOptions::Backpressure::kReject;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  auto running = engine.Submit("g", EndlessPagerank());
+  SpinUntilRunning(running);
+  auto queued = engine.Submit("g", EndlessPagerank());
+  auto rejected = engine.Submit("g", EndlessPagerank());
+
+  const auto& resp = rejected.Wait();  // already terminal: returns at once
+  EXPECT_EQ(resp.status, QueryStatus::kRejected);
+  EXPECT_FALSE(resp.error.empty());
+  EXPECT_EQ(engine.stats().rejected, 1u);
+
+  queued.Cancel();
+  running.Cancel();
+  queued.Wait();
+  running.Wait();
+}
+
+TEST(QueryEngineTest, BlockPolicyThrottlesButCompletesEverything) {
+  const graph::Csr g = MakeGraph(8, 6);
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 2;
+  eopts.queue_capacity = 1;  // submitters block almost immediately
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  BfsQuery proto;
+  const auto sources = PickSources(g, 12);
+  auto handles = engine.SubmitAll("g", sources, proto);
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const auto& resp = handles[i].Wait();
+    ASSERT_EQ(resp.status, QueryStatus::kDone) << resp.error;
+    EXPECT_EQ(std::get<BfsResult>(resp.result).depth,
+              Bfs(g, sources[i], proto.opts).depth);
+  }
+  EXPECT_EQ(engine.stats().done, sources.size());
+}
+
+// --- failure paths ----------------------------------------------------------
+
+TEST(QueryEngineTest, UnknownGraphThrowsAtSubmit) {
+  QueryEngine engine;
+  EXPECT_THROW(engine.Submit("nope", BfsQuery{}), Error);
+}
+
+TEST(QueryEngineTest, PrimitiveErrorsSurfaceAsFailedQueries) {
+  // Unweighted graph: SSSP's precondition check throws inside the runner.
+  graph::RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 6;
+  p.seed = 7;
+  auto coo = GenerateRmat(p, par::ThreadPool::Global());
+  graph::BuildOptions bopts;
+  bopts.symmetrize = true;
+  QueryEngine engine;
+  engine.RegisterGraph("unweighted", graph::BuildCsr(coo, bopts));
+
+  const auto& resp = engine.Submit("unweighted", SsspQuery{}).Wait();
+  EXPECT_EQ(resp.status, QueryStatus::kFailed);
+  EXPECT_NE(resp.error.find("weight"), std::string::npos) << resp.error;
+  EXPECT_EQ(engine.stats().failed, 1u);
+}
+
+TEST(QueryEngineTest, ShutdownCancelsQueuedAndRefusesNewWork) {
+  const graph::Csr g = MakeGraph(8, 6);
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  auto running = engine.Submit("g", EndlessPagerank());
+  SpinUntilRunning(running);
+  auto queued = engine.Submit("g", BfsQuery{});
+  running.Cancel();  // let Shutdown's join finish promptly
+  engine.Shutdown();
+  EXPECT_EQ(queued.Wait().status, QueryStatus::kCancelled);
+  EXPECT_TRUE(running.Done());
+  EXPECT_THROW(engine.Submit("g", BfsQuery{}), Error);
+}
+
+}  // namespace
+}  // namespace gunrock
