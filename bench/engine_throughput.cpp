@@ -4,11 +4,13 @@
 // gunrock rows are normalized by in CI).
 //
 // Workload: a fixed list of BFS and SSSP sources over one scale-free and
-// one mesh dataset, submitted with SubmitAll and drained. Each
-// configuration gets one untimed warm-up pass (grows the workspace
-// leases) before the timed reps, so the numbers reflect steady-state
-// serving: zero workspace allocation, pass-granular interleaving on the
-// shared pool.
+// one mesh dataset, submitted with SubmitAll and drained, plus a "mixed"
+// workload cycling eight primitive families (bfs/sssp/pagerank/cc/
+// triangles/lp/mst/ppr) across the source list — the serving shape the
+// enlarged engine exists for. Each configuration gets one untimed
+// warm-up pass (grows the workspace leases) before the timed reps, so
+// the numbers reflect steady-state serving: zero workspace allocation,
+// pass-granular interleaving on the shared pool.
 //
 //   --quick / --json PATH  as every bench binary (see bench/common.hpp)
 //   GUNROCK_BENCH_SCALE    shifts the generator scales
@@ -23,8 +25,9 @@ namespace {
 using namespace bench;
 
 struct Workload {
-  std::string primitive;  // "bfs" | "sssp"
-  engine::QueryRequest prototype;
+  std::string primitive;  // "bfs" | "sssp" | "mixed"
+  /// Query i uses prototypes[i % size] stamped with sources[i].
+  std::vector<engine::QueryRequest> prototypes;
 };
 
 std::vector<vid_t> PickSources(const graph::Csr& g, std::size_t count) {
@@ -37,29 +40,34 @@ std::vector<vid_t> PickSources(const graph::Csr& g, std::size_t count) {
   return sources;
 }
 
-/// Sequential direct calls: the no-engine baseline.
+/// Sequential direct calls: the no-engine baseline. engine::RunRequest
+/// is the same dispatch the engine's runners use, minus the engine.
 double TimeDirectMs(const Dataset& d, const Workload& w,
                     std::span<const vid_t> sources, int reps) {
   return TimeMs(
       [&] {
-        for (const vid_t s : sources) {
-          const auto request = engine::WithSource(w.prototype, s);
-          if (w.primitive == "bfs") {
-            Bfs(d.graph, s, std::get<engine::BfsQuery>(request).opts);
-          } else {
-            Sssp(d.graph, s, std::get<engine::SsspQuery>(request).opts);
-          }
+        for (std::size_t i = 0; i < sources.size(); ++i) {
+          engine::RunRequest(
+              d.graph, engine::WithSource(
+                           w.prototypes[i % w.prototypes.size()],
+                           sources[i]));
         }
       },
       reps);
 }
 
-/// SubmitAll + drain through an engine with `inflight` concurrency.
+/// Submit + drain through an engine with `inflight` concurrency.
 double TimeEngineMs(engine::QueryEngine& eng, const Workload& w,
                     std::span<const vid_t> sources, int reps) {
   return TimeMs(
       [&] {
-        auto handles = eng.SubmitAll("g", sources, w.prototype);
+        std::vector<engine::QueryHandle> handles;
+        handles.reserve(sources.size());
+        for (std::size_t i = 0; i < sources.size(); ++i) {
+          handles.push_back(eng.Submit(
+              "g", engine::WithSource(
+                       w.prototypes[i % w.prototypes.size()], sources[i])));
+        }
         for (auto& h : handles) {
           const auto& resp = h.Wait();
           if (resp.status != engine::QueryStatus::kDone) {
@@ -103,9 +111,25 @@ int main(int argc, char** argv) {
   {
     engine::BfsQuery bfs;
     bfs.opts.direction = core::Direction::kOptimizing;
-    workloads.push_back({"bfs", bfs});
+    workloads.push_back({"bfs", {bfs}});
     engine::SsspQuery sssp;
-    workloads.push_back({"sssp", sssp});
+    workloads.push_back({"sssp", {sssp}});
+
+    // Mixed serving shape: eight primitive families round-robin across
+    // the source list — the breadth the enlarged servable set exists
+    // for. Iteration caps keep the whole-graph primitives comparable to
+    // one traversal query.
+    engine::PagerankQuery pr;
+    pr.opts.pull = true;
+    pr.opts.max_iterations = 10;
+    engine::LabelPropagationQuery lp;
+    lp.opts.max_iterations = 10;
+    engine::PprQuery ppr;
+    ppr.opts.max_iterations = 10;
+    workloads.push_back({"mixed",
+                         {bfs, sssp, pr, engine::CcQuery{},
+                          engine::TrianglesQuery{}, lp, engine::MstQuery{},
+                          ppr}});
   }
 
   JsonWriter writer("engine_throughput");

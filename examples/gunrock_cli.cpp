@@ -22,13 +22,17 @@
 //     --iters  N        iteration cap for ranking primitives
 //     --json                              machine-readable summary line
 //   batch/serve options:
-//     --primitive bfs|sssp|bc|cc|pagerank query kind (default bfs)
+//     --primitive bfs|sssp|bc|cc|pagerank|mst|triangles|lp|hits|salsa|ppr
+//                       query kind (default bfs)
 //     --sources FILE    batch: whitespace-separated source ids ('#'
 //                       starts a comment); required
 //     --inflight K      concurrent queries / workspace leases (default 4)
 //     --queue N         admission-queue capacity (default 64)
-//     --reject          reject on a full queue instead of blocking
+//     --reject          reject on a full queue/quota instead of blocking
 //     --deadline MS     per-query latency budget (default: none)
+//     --quota K         per-graph in-flight quota (default: unlimited)
+//     --stream          batch: drain completions in finish order through
+//                       SubmitAll(..., kStream) instead of Wait-in-order
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
@@ -66,6 +70,8 @@ struct Args {
   std::size_t queue_capacity = 64;
   bool reject = false;
   double deadline_ms = 0.0;
+  std::size_t quota = 0;
+  bool stream = false;
 };
 
 [[noreturn]] void Usage() {
@@ -76,8 +82,9 @@ struct Args {
                "[--lb tm|twc|lb|auto] [--direction push|pull|do] "
                "[--no-idempotence] [--no-near-far] [--iters N] [--json]\n"
                "       gunrock_cli batch --sources FILE [--primitive "
-               "bfs|sssp|bc|cc|pagerank] [--inflight K] [--queue N] "
-               "[--reject] [--deadline MS] [graph options] [--json]\n"
+               "bfs|sssp|bc|cc|pagerank|mst|triangles|lp|hits|salsa|ppr] "
+               "[--inflight K] [--queue N] [--reject] [--deadline MS] "
+               "[--quota K] [--stream] [graph options] [--json]\n"
                "       gunrock_cli serve [--primitive ...] [--inflight K] "
                "[graph options]   (reads \"<primitive> [source]\" lines "
                "from stdin)\n");
@@ -134,6 +141,10 @@ Args Parse(int argc, char** argv) {
       args.reject = true;
     } else if (flag == "--deadline") {
       args.deadline_ms = std::atof(next().c_str());
+    } else if (flag == "--quota") {
+      args.quota = static_cast<std::size_t>(std::atol(next().c_str()));
+    } else if (flag == "--stream") {
+      args.stream = true;
     } else {
       Usage();
     }
@@ -225,6 +236,29 @@ engine::QueryRequest MakeRequest(const Args& args, const std::string& kind,
     q.opts.max_iterations = args.iters;
     return q;
   }
+  if (kind == "mst") return engine::MstQuery{};
+  if (kind == "triangles") return engine::TrianglesQuery{};
+  if (kind == "lp") {
+    engine::LabelPropagationQuery q;
+    q.opts.max_iterations = args.iters;
+    return q;
+  }
+  if (kind == "hits") {
+    engine::HitsQuery q;
+    q.opts.max_iterations = args.iters;
+    return q;
+  }
+  if (kind == "salsa") {
+    engine::SalsaQuery q;
+    q.opts.max_iterations = args.iters;
+    return q;
+  }
+  if (kind == "ppr") {
+    engine::PprQuery q;
+    q.seeds.assign(1, source);
+    q.opts.max_iterations = args.iters;
+    return q;
+  }
   std::fprintf(stderr, "unknown engine primitive '%s'\n", kind.c_str());
   Usage();
 }
@@ -277,24 +311,43 @@ int RunBatch(const Args& args, graph::Csr graph) {
   const auto sources = ReadSourceFile(args.sources_path,
                                       graph.num_vertices());
   auto engine = MakeEngine(args);
-  engine.RegisterGraph("g", std::move(graph));
+  engine::GraphOptions gopts;
+  gopts.quota = args.quota;
+  engine.RegisterGraph("g", std::move(graph), gopts);
 
   engine::SubmitOptions sopts;
   sopts.deadline_ms = args.deadline_ms;
   const auto proto = MakeRequest(args, args.engine_primitive, 0);
 
   WallTimer wall;
-  auto handles = engine.SubmitAll("g", sources, proto, sopts);
   std::size_t done = 0;
-  for (std::size_t i = 0; i < handles.size(); ++i) {
-    const auto& resp = handles[i].Wait();
+  std::size_t total = sources.size();
+  // One response accounted (and reported) per completed query; shared by
+  // both drain orders below.
+  const auto consume = [&](std::size_t index,
+                           const engine::QueryResponse& resp) {
     if (resp.status == engine::QueryStatus::kDone) ++done;
     if (!args.json) {
       std::printf("query %-4zu %-8s src=%-8d status=%-18s "
                   "queue=%8.3f ms  run=%8.3f ms  total=%8.3f ms\n",
-                  i, args.engine_primitive.c_str(), sources[i],
+                  index, args.engine_primitive.c_str(), sources[index],
                   engine::ToString(resp.status), resp.queue_ms,
                   resp.run_ms, resp.total_ms);
+    }
+  };
+  if (args.stream) {
+    // Finish-order drain: each line prints as its query completes, so a
+    // slow query never blocks the reporting of fast ones behind it.
+    auto stream =
+        engine.SubmitAll("g", sources, proto, sopts, engine::kStream);
+    total = stream.size();
+    while (auto c = stream.Next()) {
+      consume(c->index, c->handle.Wait());
+    }
+  } else {
+    auto handles = engine.SubmitAll("g", sources, proto, sopts);
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      consume(i, handles[i].Wait());
     }
   }
   const double wall_ms = wall.ElapsedMs();
@@ -306,22 +359,25 @@ int RunBatch(const Args& args, graph::Csr graph) {
     std::printf("{\"mode\":\"batch\",\"primitive\":\"%s\",\"queries\":%zu,"
                 "\"done\":%zu,\"inflight\":%u,\"wall_ms\":%.3f,"
                 "\"qps\":%.1f,\"workspaces_created\":%zu,"
-                "\"leases_recycled\":%zu}\n",
-                args.engine_primitive.c_str(), handles.size(), done,
-                args.inflight, wall_ms, qps, ws.created, ws.recycled);
+                "\"leases_recycled\":%zu,\"stream\":%s}\n",
+                args.engine_primitive.c_str(), total, done,
+                args.inflight, wall_ms, qps, ws.created, ws.recycled,
+                args.stream ? "true" : "false");
   } else {
     std::printf("batch: %zu/%zu queries done in %.2f ms  (%.1f q/s, "
                 "inflight=%u, %zu workspaces created, %zu leases "
-                "recycled)\n",
-                done, handles.size(), wall_ms, qps, args.inflight,
-                ws.created, ws.recycled);
+                "recycled%s)\n",
+                done, total, wall_ms, qps, args.inflight,
+                ws.created, ws.recycled,
+                args.stream ? ", finish-order stream" : "");
   }
-  return done == handles.size() ? 0 : 1;
+  return done == total ? 0 : 1;
 }
 
 bool IsServablePrimitive(const std::string& kind) {
   return kind == "bfs" || kind == "sssp" || kind == "bc" || kind == "cc" ||
-         kind == "pagerank";
+         kind == "pagerank" || kind == "mst" || kind == "triangles" ||
+         kind == "lp" || kind == "hits" || kind == "salsa" || kind == "ppr";
 }
 
 /// `serve`: stdin-driven submission loop — one "<primitive> [source]"
@@ -330,7 +386,9 @@ bool IsServablePrimitive(const std::string& kind) {
 int RunServe(const Args& args, graph::Csr graph) {
   const vid_t n = graph.num_vertices();
   auto engine = MakeEngine(args);
-  engine.RegisterGraph("g", std::move(graph));
+  engine::GraphOptions gopts;
+  gopts.quota = args.quota;
+  engine.RegisterGraph("g", std::move(graph), gopts);
 
   engine::SubmitOptions sopts;
   sopts.deadline_ms = args.deadline_ms;
@@ -362,8 +420,8 @@ int RunServe(const Args& args, graph::Csr graph) {
     }
   });
 
-  std::printf("serve: commands are \"bfs|sssp|bc|cc|pagerank [source]\" "
-              "or \"quit\"\n");
+  std::printf("serve: commands are \"bfs|sssp|bc|cc|pagerank|mst|"
+              "triangles|lp|hits|salsa|ppr [source]\" or \"quit\"\n");
   std::string line;
   while (std::getline(std::cin, line)) {
     std::istringstream fields(line);
@@ -373,7 +431,8 @@ int RunServe(const Args& args, graph::Csr graph) {
     if (!IsServablePrimitive(kind)) {
       // A typo must not take the server (and its in-flight queries) down.
       std::printf("unknown primitive '%s' — expected bfs|sssp|bc|cc|"
-                  "pagerank\n", kind.c_str());
+                  "pagerank|mst|triangles|lp|hits|salsa|ppr\n",
+                  kind.c_str());
       continue;
     }
     long long src = 0;

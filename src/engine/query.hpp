@@ -7,16 +7,28 @@
 // queue/run latency split). Both sides are closed std::variants — the
 // engine dispatches with one std::visit and no type erasure, and adding a
 // primitive to the serving set is a one-alternative change.
+//
+// The servable set covers all nine primitive families: the traversal
+// five (bfs/sssp/bc/cc/pagerank) plus mst, the ranking trio
+// (hits/salsa/ppr), triangles, and label propagation. HITS/SALSA run on
+// a (forward, reverse) CSR pair; the engine materializes the reverse
+// graph lazily per registered graph, so pure-traversal serving never
+// pays for it.
 #pragma once
 
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "primitives/bc.hpp"
 #include "primitives/bfs.hpp"
 #include "primitives/cc.hpp"
+#include "primitives/label_propagation.hpp"
+#include "primitives/mst.hpp"
 #include "primitives/pagerank.hpp"
+#include "primitives/ranking.hpp"
 #include "primitives/sssp.hpp"
+#include "primitives/triangles.hpp"
 #include "util/types.hpp"
 
 namespace gunrock::engine {
@@ -48,8 +60,40 @@ struct PagerankQuery {
   PagerankOptions opts{};
 };
 
+struct MstQuery {
+  MstOptions opts{};
+};
+
+struct TrianglesQuery {
+  TriangleOptions opts{};
+};
+
+struct LabelPropagationQuery {
+  LabelPropagationOptions opts{};
+};
+
+/// Runs on (g, reverse(g)); the engine builds the reverse CSR lazily at
+/// first use and caches it with the registered graph.
+struct HitsQuery {
+  HitsOptions opts{};
+};
+
+/// Runs on (g, reverse(g)) like HitsQuery.
+struct SalsaQuery {
+  SalsaOptions opts{};
+};
+
+struct PprQuery {
+  /// Teleport set; WithSource replaces it with {source}, so a PPR
+  /// prototype fans out across a SubmitAll source list like BFS does.
+  std::vector<vid_t> seeds{0};
+  PprOptions opts{};
+};
+
 using QueryRequest =
-    std::variant<BfsQuery, SsspQuery, BcQuery, CcQuery, PagerankQuery>;
+    std::variant<BfsQuery, SsspQuery, BcQuery, CcQuery, PagerankQuery,
+                 MstQuery, TrianglesQuery, LabelPropagationQuery, HitsQuery,
+                 SalsaQuery, PprQuery>;
 
 /// Short primitive name of a request ("bfs", "sssp", ...).
 inline const char* KindName(const QueryRequest& request) {
@@ -59,13 +103,31 @@ inline const char* KindName(const QueryRequest& request) {
     const char* operator()(const BcQuery&) const { return "bc"; }
     const char* operator()(const CcQuery&) const { return "cc"; }
     const char* operator()(const PagerankQuery&) const { return "pagerank"; }
+    const char* operator()(const MstQuery&) const { return "mst"; }
+    const char* operator()(const TrianglesQuery&) const {
+      return "triangles";
+    }
+    const char* operator()(const LabelPropagationQuery&) const {
+      return "lp";
+    }
+    const char* operator()(const HitsQuery&) const { return "hits"; }
+    const char* operator()(const SalsaQuery&) const { return "salsa"; }
+    const char* operator()(const PprQuery&) const { return "ppr"; }
   };
   return std::visit(Namer{}, request);
 }
 
+/// True for request kinds that need the registered graph's reverse CSR.
+inline bool NeedsReverseGraph(const QueryRequest& request) {
+  return std::holds_alternative<HitsQuery>(request) ||
+         std::holds_alternative<SalsaQuery>(request);
+}
+
 /// Copy of `request` with its source vertex replaced; requests without a
-/// source (CC, PageRank) pass through unchanged. This is how SubmitAll
-/// stamps one prototype request over a span of sources.
+/// source (CC, PageRank, MST, triangles, LP, HITS, SALSA) pass through
+/// unchanged. PPR interprets the source as a single-seed teleport set.
+/// This is how SubmitAll stamps one prototype request over a span of
+/// sources.
 inline QueryRequest WithSource(QueryRequest request, vid_t source) {
   if (auto* bfs = std::get_if<BfsQuery>(&request)) {
     bfs->source = source;
@@ -73,6 +135,8 @@ inline QueryRequest WithSource(QueryRequest request, vid_t source) {
     sssp->source = source;
   } else if (auto* bc = std::get_if<BcQuery>(&request)) {
     bc->source = source;
+  } else if (auto* ppr = std::get_if<PprQuery>(&request)) {
+    ppr->seeds.assign(1, source);
   }
   return request;
 }
@@ -107,8 +171,10 @@ inline bool IsTerminal(QueryStatus s) {
   return s != QueryStatus::kQueued && s != QueryStatus::kRunning;
 }
 
-using QueryResult = std::variant<std::monostate, BfsResult, SsspResult,
-                                 BcResult, CcResult, PagerankResult>;
+using QueryResult =
+    std::variant<std::monostate, BfsResult, SsspResult, BcResult, CcResult,
+                 PagerankResult, MstResult, TriangleResult,
+                 LabelPropagationResult, HitsResult, SalsaResult, PprResult>;
 
 struct QueryResponse {
   QueryStatus status = QueryStatus::kQueued;
@@ -121,5 +187,54 @@ struct QueryResponse {
   double run_ms = 0.0;    ///< runner pickup to terminal state
   double total_ms = 0.0;  ///< admission to terminal state
 };
+
+// --- dispatch ---------------------------------------------------------------
+
+/// The one request->primitive dispatch, shared by the engine's runners,
+/// the bench baselines and the soak oracle (so adding a family is a
+/// single-visitor change). `reverse` is required only for requests where
+/// NeedsReverseGraph() holds; `pool`, when non-null, overrides the
+/// request's own opts.pool (the engine pins its shared pool this way —
+/// direct callers usually leave both null and run the request verbatim).
+inline QueryResult RunRequest(const graph::Csr& g,
+                              const QueryRequest& request,
+                              const graph::Csr* reverse = nullptr,
+                              par::ThreadPool* pool = nullptr,
+                              const RunControl& ctl = {}) {
+  GR_CHECK(!NeedsReverseGraph(request) || reverse != nullptr,
+           "RunRequest: this request kind needs the reverse graph");
+  return std::visit(
+      [&](const auto& q) -> QueryResult {
+        using Q = std::decay_t<decltype(q)>;
+        auto opts = q.opts;
+        if (pool) opts.pool = pool;
+        if constexpr (std::is_same_v<Q, BfsQuery>) {
+          return Bfs(g, q.source, opts, ctl);
+        } else if constexpr (std::is_same_v<Q, SsspQuery>) {
+          return Sssp(g, q.source, opts, ctl);
+        } else if constexpr (std::is_same_v<Q, BcQuery>) {
+          return Bc(g, q.source, opts, ctl);
+        } else if constexpr (std::is_same_v<Q, CcQuery>) {
+          return Cc(g, opts, ctl);
+        } else if constexpr (std::is_same_v<Q, PagerankQuery>) {
+          return Pagerank(g, opts, ctl);
+        } else if constexpr (std::is_same_v<Q, MstQuery>) {
+          return Mst(g, opts, ctl);
+        } else if constexpr (std::is_same_v<Q, TrianglesQuery>) {
+          return CountTriangles(g, opts, ctl);
+        } else if constexpr (std::is_same_v<Q, LabelPropagationQuery>) {
+          return LabelPropagation(g, opts, ctl);
+        } else if constexpr (std::is_same_v<Q, HitsQuery>) {
+          return Hits(g, *reverse, opts, ctl);
+        } else if constexpr (std::is_same_v<Q, SalsaQuery>) {
+          return Salsa(g, *reverse, opts, ctl);
+        } else {
+          static_assert(std::is_same_v<Q, PprQuery>);
+          return PersonalizedPagerank(g, q.seeds, opts, ctl);
+        }
+      },
+      request);
+}
+
 
 }  // namespace gunrock::engine

@@ -1,5 +1,6 @@
 #include "engine/query_engine.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
@@ -21,14 +22,45 @@ double MsBetween(Clock::time_point a, Clock::time_point b) {
 
 }  // namespace
 
+/// Mutable per-registration state shared by the registry entry and every
+/// query admitted against it. `quota` is immutable after registration;
+/// `in_flight` is guarded by the engine's queue_mutex_; the reverse CSR
+/// is built at most once behind the once_flag.
+struct QueryEngine::GraphAux {
+  std::size_t quota = 0;      ///< 0 = unlimited
+  std::size_t in_flight = 0;  ///< queued + running (guarded by queue_mutex_)
+  std::once_flag reverse_once;
+  std::shared_ptr<const graph::Csr> reverse;
+};
+
+/// Queue feeding one CompletionStream: Complete() pushes every terminal
+/// query of the batch here, in the order the transitions happen.
+struct CompletionStream::Shared {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<CompletionStream::Completion> ready;
+  std::size_t expected = 0;   ///< batch size (set before the stream is used)
+  std::size_t delivered = 0;  ///< completions handed out by Next()
+};
+
 /// Shared state behind one QueryHandle: the request, the cancellation
 /// token, and the response slot the runner fulfills.
 struct QueryHandle::State {
   std::uint64_t id = 0;
   std::shared_ptr<const graph::Csr> graph;
+  std::shared_ptr<QueryEngine::GraphAux> aux;
   int scale_free_hint = -1;  // registry-precomputed (see RunControl)
   QueryRequest request;
   core::CancelToken token;
+  /// Holds one slot of the graph's quota (set at admission; rejected
+  /// queries never count).
+  bool counted = false;
+  /// Streamed batch this query belongs to (null for plain submits).
+  std::shared_ptr<CompletionStream::Shared> stream;
+  std::size_t stream_index = 0;
+  /// Claimed by the one Complete() call that performs the terminal
+  /// transition; later calls are no-ops.
+  std::atomic<bool> completed{false};
 
   Clock::time_point submitted_at{};
   Clock::time_point started_at{};
@@ -77,6 +109,34 @@ void QueryHandle::Cancel() const {
   state_->token.Cancel();
 }
 
+// --- CompletionStream -------------------------------------------------------
+
+std::optional<CompletionStream::Completion> CompletionStream::Next() {
+  if (!shared_) return std::nullopt;
+  std::unique_lock<std::mutex> lock(shared_->mutex);
+  shared_->cv.wait(lock, [&] {
+    return !shared_->ready.empty() ||
+           shared_->delivered == shared_->expected;
+  });
+  if (shared_->ready.empty()) return std::nullopt;  // batch fully delivered
+  Completion next = std::move(shared_->ready.front());
+  shared_->ready.pop_front();
+  ++shared_->delivered;
+  return next;
+}
+
+std::size_t CompletionStream::size() const {
+  if (!shared_) return 0;
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  return shared_->expected;
+}
+
+std::size_t CompletionStream::delivered() const {
+  if (!shared_) return 0;
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  return shared_->delivered;
+}
+
 // --- QueryEngine ------------------------------------------------------------
 
 QueryEngine::QueryEngine(QueryEngineOptions options)
@@ -99,13 +159,15 @@ QueryEngine::QueryEngine(QueryEngineOptions options)
 
 QueryEngine::~QueryEngine() { Shutdown(); }
 
-void QueryEngine::RegisterGraph(const std::string& name, graph::Csr graph) {
-  RegisterGraph(name,
-                std::make_shared<const graph::Csr>(std::move(graph)));
+void QueryEngine::RegisterGraph(const std::string& name, graph::Csr graph,
+                                const GraphOptions& gopts) {
+  RegisterGraph(name, std::make_shared<const graph::Csr>(std::move(graph)),
+                gopts);
 }
 
 void QueryEngine::RegisterGraph(const std::string& name,
-                                std::shared_ptr<const graph::Csr> graph) {
+                                std::shared_ptr<const graph::Csr> graph,
+                                const GraphOptions& gopts) {
   GR_CHECK(graph != nullptr, "RegisterGraph: null graph");
   GraphEntry entry;
   // Materialize the lazily built per-edge source array now: its first
@@ -116,6 +178,8 @@ void QueryEngine::RegisterGraph(const std::string& name,
   graph->edge_sources(*pool_);
   entry.scale_free = graph::ComputeScaleFreeHint(*graph, *pool_);
   entry.graph = std::move(graph);
+  entry.aux = std::make_shared<GraphAux>();
+  entry.aux->quota = gopts.quota;
   std::lock_guard<std::mutex> lock(graphs_mutex_);
   graphs_[name] = std::move(entry);
 }
@@ -138,40 +202,75 @@ std::shared_ptr<const graph::Csr> QueryEngine::GetGraph(
   return GetEntry(name).graph;
 }
 
+const graph::Csr& QueryEngine::ReverseOf(const graph::Csr& g,
+                                         GraphAux& aux) {
+  std::call_once(aux.reverse_once, [&] {
+    aux.reverse = std::make_shared<const graph::Csr>(
+        graph::ReverseCsr(g, *pool_));
+  });
+  return *aux.reverse;
+}
+
+std::size_t QueryEngine::GraphInFlight(const std::string& name) const {
+  const GraphEntry entry = GetEntry(name);  // throws on unknown graph
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return entry.aux->in_flight;
+}
+
 QueryHandle QueryEngine::Submit(const std::string& graph,
                                 QueryRequest request,
                                 const SubmitOptions& options) {
+  return SubmitImpl(graph, std::move(request), options, nullptr, 0);
+}
+
+QueryHandle QueryEngine::SubmitImpl(
+    const std::string& graph, QueryRequest request,
+    const SubmitOptions& options,
+    std::shared_ptr<CompletionStream::Shared> stream,
+    std::size_t stream_index) {
   auto state = std::make_shared<QueryHandle::State>();
   GraphEntry entry = GetEntry(graph);  // throws on unknown graph
   state->graph = std::move(entry.graph);
+  state->aux = entry.aux;
   state->scale_free_hint = entry.scale_free ? 1 : 0;
   state->request = std::move(request);
+  state->stream = std::move(stream);
+  state->stream_index = stream_index;
   state->submitted_at = Clock::now();
   if (options.deadline_ms > 0.0) {
     state->token.SetDeadlineAfterMs(options.deadline_ms);
   }
 
+  GraphAux& aux = *entry.aux;
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
     GR_CHECK(accepting_, "QueryEngine: Submit after Shutdown");
     state->id = next_id_++;
-    if (queue_.size() >= options_.queue_capacity) {
+    // Two admission gates with one policy: the global bounded queue and
+    // the graph's own in-flight quota.
+    const auto admissible = [&] {
+      return queue_.size() < options_.queue_capacity &&
+             (aux.quota == 0 || aux.in_flight < aux.quota);
+    };
+    if (!admissible()) {
       if (options_.backpressure ==
           QueryEngineOptions::Backpressure::kReject) {
         ++stats_.submitted;
         ++stats_.rejected;
+        const char* why = queue_.size() >= options_.queue_capacity
+                              ? "admission queue full"
+                              : "graph quota exhausted";
         lock.unlock();
-        Complete(state, QueryStatus::kRejected, {},
-                 "admission queue full");
+        Complete(state, QueryStatus::kRejected, {}, why);
         return QueryHandle(std::move(state));
       }
-      not_full_cv_.wait(lock, [&] {
-        return queue_.size() < options_.queue_capacity || !accepting_;
-      });
+      not_full_cv_.wait(lock, [&] { return admissible() || !accepting_; });
       GR_CHECK(accepting_, "QueryEngine: shut down while Submit blocked");
     }
     queue_.push_back(state);
     ++stats_.submitted;
+    ++aux.in_flight;
+    state->counted = true;
   }
   queue_cv_.notify_one();
   return QueryHandle(std::move(state));
@@ -186,6 +285,23 @@ std::vector<QueryHandle> QueryEngine::SubmitAll(
     handles.push_back(Submit(graph, WithSource(prototype, s), options));
   }
   return handles;
+}
+
+CompletionStream QueryEngine::SubmitAll(const std::string& graph,
+                                        std::span<const vid_t> sources,
+                                        const QueryRequest& prototype,
+                                        const SubmitOptions& options,
+                                        StreamTag) {
+  CompletionStream stream;
+  stream.shared_ = std::make_shared<CompletionStream::Shared>();
+  stream.shared_->expected = sources.size();
+  stream.handles_.reserve(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    stream.handles_.push_back(SubmitImpl(graph,
+                                         WithSource(prototype, sources[i]),
+                                         options, stream.shared_, i));
+  }
+  return stream;
 }
 
 void QueryEngine::Shutdown() {
@@ -236,39 +352,10 @@ void QueryEngine::RunnerLoop() {
       state = std::move(queue_.front());
       queue_.pop_front();
     }
-    not_full_cv_.notify_one();
+    not_full_cv_.notify_all();
     Execute(state);
   }
 }
-
-namespace {
-
-/// Runs the request's primitive on the engine's pool with the leased
-/// workspace and the query's cancellation token.
-QueryResult Dispatch(const graph::Csr& g, const QueryRequest& request,
-                     par::ThreadPool& pool, const RunControl& ctl) {
-  return std::visit(
-      [&](const auto& q) -> QueryResult {
-        using Q = std::decay_t<decltype(q)>;
-        auto opts = q.opts;
-        opts.pool = &pool;
-        if constexpr (std::is_same_v<Q, BfsQuery>) {
-          return Bfs(g, q.source, opts, ctl);
-        } else if constexpr (std::is_same_v<Q, SsspQuery>) {
-          return Sssp(g, q.source, opts, ctl);
-        } else if constexpr (std::is_same_v<Q, BcQuery>) {
-          return Bc(g, q.source, opts, ctl);
-        } else if constexpr (std::is_same_v<Q, CcQuery>) {
-          return Cc(g, opts, ctl);
-        } else {
-          static_assert(std::is_same_v<Q, PagerankQuery>);
-          return Pagerank(g, opts, ctl);
-        }
-      },
-      request);
-}
-
-}  // namespace
 
 void QueryEngine::Execute(
     const std::shared_ptr<QueryHandle::State>& state) {
@@ -288,17 +375,27 @@ void QueryEngine::Execute(
     return;
   }
 
-  WorkspacePool::Lease lease = workspaces_.Acquire();
-  RunControl ctl;
-  ctl.workspace = &lease.workspace();
-  ctl.cancel = &state->token;
-  ctl.scale_free_hint = state->scale_free_hint;
-
   QueryStatus status;
   QueryResult result;
   std::string error;
   try {
-    result = Dispatch(*state->graph, state->request, *pool_, ctl);
+    // Resolve the reverse graph before leasing a workspace: its one-time
+    // build is a registry concern, not part of this query's scratch. The
+    // build itself is not cancellable; re-check the token right after so
+    // a query cancelled (or expired) during it stops before leasing a
+    // workspace and starting the run.
+    const graph::Csr* reverse = nullptr;
+    if (NeedsReverseGraph(state->request)) {
+      reverse = &ReverseOf(*state->graph, *state->aux);
+      state->token.Check();
+    }
+
+    WorkspacePool::Lease lease = workspaces_.Acquire();
+    RunControl ctl;
+    ctl.workspace = &lease.workspace();
+    ctl.cancel = &state->token;
+    ctl.scale_free_hint = state->scale_free_hint;
+    result = RunRequest(*state->graph, state->request, reverse, pool_, ctl);
     status = QueryStatus::kDone;
   } catch (const core::Cancelled& c) {
     status = c.deadline_exceeded ? QueryStatus::kDeadlineExceeded
@@ -308,10 +405,9 @@ void QueryEngine::Execute(
     status = QueryStatus::kFailed;
     error = e.what();
   }
-  // Return the arena and bump the counters before fulfilling the handle:
-  // a waiter observing the terminal state must also observe the lease as
-  // released and the engine stats as updated.
-  lease = WorkspacePool::Lease();
+  // The lease died with the try scope; bump the counters before
+  // fulfilling the handle: a waiter observing the terminal state must
+  // also observe the lease as released and the engine stats as updated.
   Count(status);
   Complete(state, status, std::move(result), std::move(error));
 }
@@ -319,10 +415,21 @@ void QueryEngine::Execute(
 void QueryEngine::Complete(const std::shared_ptr<QueryHandle::State>& state,
                            QueryStatus status, QueryResult result,
                            std::string error) {
+  // Claim the one terminal transition (Shutdown and a finishing runner
+  // can race here).
+  if (state->completed.exchange(true)) return;
+  // Release the graph quota before the handle observably completes, so a
+  // waiter that saw the terminal state also sees the slot as free.
+  if (state->counted) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      --state->aux->in_flight;
+    }
+    not_full_cv_.notify_all();
+  }
   const auto now = Clock::now();
   {
     std::lock_guard<std::mutex> lock(state->mutex);
-    if (IsTerminal(state->status)) return;  // already fulfilled
     state->status = status;
     state->response.status = status;
     state->response.result = std::move(result);
@@ -336,6 +443,18 @@ void QueryEngine::Complete(const std::shared_ptr<QueryHandle::State>& state,
     state->response.total_ms = MsBetween(state->submitted_at, now);
   }
   state->cv.notify_all();
+  // Feed the stream last: a consumer popping this completion must find
+  // the handle already terminal. Drop the state's back-reference once
+  // fed — the queued Completion owns this State, so keeping the State's
+  // shared_ptr to Shared would form a reference cycle that leaks any
+  // batch abandoned before being fully drained.
+  if (auto stream = std::move(state->stream)) {
+    {
+      std::lock_guard<std::mutex> lock(stream->mutex);
+      stream->ready.push_back({state->stream_index, QueryHandle(state)});
+    }
+    stream->cv.notify_all();
+  }
 }
 
 }  // namespace gunrock::engine

@@ -27,13 +27,23 @@
 //  - *Bounded admission.* The queue holds at most queue_capacity queries;
 //    past that, Submit either blocks (kBlock, default) or completes the
 //    handle immediately as kRejected (kReject) — backpressure instead of
-//    unbounded memory growth.
+//    unbounded memory growth. Per-graph quotas add a second admission
+//    gate: a registered graph may cap its own in-flight queries, with the
+//    same block/reject semantics, so one hot graph cannot starve the rest
+//    of the registry.
+//  - *Finish-order streaming.* SubmitAll(..., kStream) returns a
+//    CompletionStream that yields queries as they complete instead of
+//    Wait()-in-submit-order — a consumer drains results at the engine's
+//    service rate with no head-of-line blocking.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <thread>
@@ -62,12 +72,30 @@ struct QueryEngineOptions {
   par::ThreadPool* pool = nullptr;
 };
 
+/// Per-registration serving knobs.
+struct GraphOptions {
+  /// Admission quota: maximum queries simultaneously in flight (queued +
+  /// running) against this graph; 0 = unlimited. (Named `quota`, not
+  /// max_in_flight, because QueryEngineOptions::max_in_flight sizes the
+  /// runner/lease pool — an unrelated knob.) Submits past the quota
+  /// follow the engine's backpressure policy — block until a query on
+  /// this graph reaches a terminal state (kBlock) or complete the handle
+  /// as kRejected (kReject). The quota is released on *any* terminal
+  /// transition: done, cancelled, deadline or failure.
+  std::size_t quota = 0;
+};
+
 struct SubmitOptions {
   /// Latency budget from admission; 0 = none. A query past its deadline
   /// stops at the next iteration boundary (or never starts) and completes
   /// as kDeadlineExceeded.
   double deadline_ms = 0.0;
 };
+
+/// Tag selecting the streaming SubmitAll overload:
+/// `engine.SubmitAll(graph, sources, proto, kStream)`.
+struct StreamTag {};
+inline constexpr StreamTag kStream{};
 
 class QueryEngine;
 
@@ -106,6 +134,41 @@ class QueryHandle {
   std::shared_ptr<State> state_;
 };
 
+/// Finish-order drain of one streamed batch. Completions surface in the
+/// order queries reach a terminal state (kDone, kCancelled, ... — every
+/// submitted query is delivered exactly once, including rejects), not in
+/// submission order. Copyable (shared state), but completions are
+/// consumed: each one goes to exactly one Next() caller.
+class CompletionStream {
+ public:
+  struct Completion {
+    std::size_t index = 0;  ///< position in the submitted source span
+    QueryHandle handle;     ///< terminal; Wait() returns immediately
+  };
+
+  CompletionStream() = default;
+
+  /// Blocks for the next query to finish; std::nullopt once every query
+  /// of the batch has been delivered (immediately for an empty batch).
+  std::optional<Completion> Next();
+
+  /// Queries in the batch.
+  std::size_t size() const;
+  /// Completions already handed out by Next().
+  std::size_t delivered() const;
+
+  /// Submit-order handles of the whole batch (e.g. for Cancel()); the
+  /// batch is also drainable through Next() as usual afterwards.
+  std::span<const QueryHandle> handles() const { return handles_; }
+
+ private:
+  friend class QueryEngine;
+  friend class QueryHandle;  // QueryHandle::State feeds Shared
+  struct Shared;
+  std::shared_ptr<Shared> shared_;
+  std::vector<QueryHandle> handles_;
+};
+
 class QueryEngine {
  public:
   explicit QueryEngine(QueryEngineOptions options = {});
@@ -118,18 +181,22 @@ class QueryEngine {
   /// entry). The engine warms the lazy reverse-edge cache and computes
   /// the scale-free load-balance hint up front, so concurrent queries
   /// never race on the cache's first materialization and short queries
-  /// don't pay the O(|V|) hint reduction per run. In-flight queries keep
-  /// their graph alive through a shared_ptr.
-  void RegisterGraph(const std::string& name, graph::Csr graph);
+  /// don't pay the O(|V|) hint reduction per run. (The reverse CSR that
+  /// HITS/SALSA need is built lazily at first use instead — it doubles
+  /// the graph's footprint, so traversal-only serving never pays it.)
+  /// In-flight queries keep their graph alive through a shared_ptr.
+  void RegisterGraph(const std::string& name, graph::Csr graph,
+                     const GraphOptions& gopts = {});
   void RegisterGraph(const std::string& name,
-                     std::shared_ptr<const graph::Csr> graph);
+                     std::shared_ptr<const graph::Csr> graph,
+                     const GraphOptions& gopts = {});
   bool HasGraph(const std::string& name) const;
   /// Throws gunrock::Error for an unknown name.
   std::shared_ptr<const graph::Csr> GetGraph(const std::string& name) const;
 
   /// Admits one query against a registered graph. Throws gunrock::Error
   /// for an unknown graph or a shut-down engine; applies the backpressure
-  /// policy when the queue is full.
+  /// policy when the queue is full or the graph's quota is exhausted.
   QueryHandle Submit(const std::string& graph, QueryRequest request,
                      const SubmitOptions& options = {});
 
@@ -141,8 +208,23 @@ class QueryEngine {
                                      const QueryRequest& prototype,
                                      const SubmitOptions& options = {});
 
+  /// Streaming batch submission: same admission as SubmitAll, but the
+  /// returned CompletionStream yields queries in finish order — no
+  /// Wait()-in-submit-order head-of-line blocking.
+  CompletionStream SubmitAll(const std::string& graph,
+                             std::span<const vid_t> sources,
+                             const QueryRequest& prototype,
+                             const SubmitOptions& options, StreamTag);
+  CompletionStream SubmitAll(const std::string& graph,
+                             std::span<const vid_t> sources,
+                             const QueryRequest& prototype, StreamTag tag) {
+    return SubmitAll(graph, sources, prototype, SubmitOptions{}, tag);
+  }
+
   /// Stops admission, fails queued queries over to kCancelled, waits for
   /// running queries to finish. Idempotent; the destructor calls it.
+  /// Streamed batches stay drainable: their cancelled completions are
+  /// delivered through the CompletionStream as usual.
   void Shutdown();
 
   struct Stats {
@@ -155,17 +237,33 @@ class QueryEngine {
   };
   Stats stats() const;
   WorkspacePool::Stats workspace_stats() const { return workspaces_.stats(); }
+  /// Queries currently in flight (queued + running) against `name`;
+  /// throws for an unknown graph.
+  std::size_t GraphInFlight(const std::string& name) const;
   par::ThreadPool& pool() const noexcept { return *pool_; }
   unsigned max_in_flight() const noexcept {
     return static_cast<unsigned>(runners_.size());
   }
 
  private:
+  friend class QueryHandle;  // QueryHandle::State holds a GraphAux ref
+
+  /// Mutable per-registration state shared between the registry entry and
+  /// every in-flight query against it (so a Register replacing the entry
+  /// does not orphan the accounting of already-admitted queries).
+  struct GraphAux;
+
   void RunnerLoop();
   void Execute(const std::shared_ptr<QueryHandle::State>& state);
-  static void Complete(const std::shared_ptr<QueryHandle::State>& state,
-                       QueryStatus status, QueryResult result,
-                       std::string error);
+  QueryHandle SubmitImpl(const std::string& graph, QueryRequest request,
+                         const SubmitOptions& options,
+                         std::shared_ptr<CompletionStream::Shared> stream,
+                         std::size_t stream_index);
+  /// Fulfills the handle (idempotent) and, on the actual transition,
+  /// releases the graph quota, notifies blocked submitters and feeds the
+  /// completion stream.
+  void Complete(const std::shared_ptr<QueryHandle::State>& state,
+                QueryStatus status, QueryResult result, std::string error);
   void Count(QueryStatus status);
 
   QueryEngineOptions options_;
@@ -175,8 +273,12 @@ class QueryEngine {
   struct GraphEntry {
     std::shared_ptr<const graph::Csr> graph;
     bool scale_free = false;  // precomputed ComputeScaleFreeHint
+    std::shared_ptr<GraphAux> aux;
   };
   GraphEntry GetEntry(const std::string& name) const;
+  /// Reverse CSR of `g`, built on first use and cached in `aux`
+  /// (thread-safe; concurrent first users serialize on a once_flag).
+  const graph::Csr& ReverseOf(const graph::Csr& g, GraphAux& aux);
 
   mutable std::mutex graphs_mutex_;
   std::map<std::string, GraphEntry> graphs_;

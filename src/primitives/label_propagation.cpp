@@ -5,74 +5,137 @@
 #include <unordered_set>
 
 #include "core/compute.hpp"
+#include "core/workspace.hpp"
 #include "parallel/compact.hpp"
 #include "parallel/reduce.hpp"
 #include "util/timer.hpp"
 
 namespace gunrock {
 
+namespace {
+
+/// One vertex's adoption step: the most frequent label among its
+/// neighbors (ties: smallest label; order-independent for any histogram
+/// iteration order). Returns the adopted label.
+vid_t BestLabel(const graph::Csr& g, vid_t v,
+                const std::vector<vid_t>& label) {
+  const auto nbrs = g.neighbors(v);
+  vid_t best = label[static_cast<std::size_t>(v)];
+  if (nbrs.empty()) return best;
+  std::unordered_map<vid_t, std::int32_t> counts;
+  counts.reserve(nbrs.size());
+  for (const vid_t u : nbrs) {
+    ++counts[label[static_cast<std::size_t>(u)]];
+  }
+  std::int32_t best_count = 0;
+  for (const auto& [l, count] : counts) {
+    if (count > best_count || (count == best_count && l < best)) {
+      best = l;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
 LabelPropagationResult LabelPropagation(
     const graph::Csr& g, const LabelPropagationOptions& opts) {
+  return LabelPropagation(g, opts, RunControl{});
+}
+
+LabelPropagationResult LabelPropagation(const graph::Csr& g,
+                                        const LabelPropagationOptions& opts,
+                                        const RunControl& ctl) {
   par::ThreadPool& pool = opts.Pool();
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
 
   LabelPropagationResult result;
   result.label.resize(n);
-  std::vector<vid_t> next_label(n);
+
+  // Round-loop scratch, arena-hoisted (slots kLpFirst..+3 here, +4/+5
+  // for the reduce partials below; fully overwritten each round) so an
+  // engine lease reuses it across queries.
+  core::Workspace private_ws;
+  core::Workspace& ws = ctl.workspace ? *ctl.workspace : private_ws;
+  auto& next_label = ws.Get<std::vector<vid_t>>(pslot::kLpFirst);
+  auto& frontier = ws.Get<std::vector<vid_t>>(pslot::kLpFirst + 1);
+  auto& changed = ws.Get<std::vector<char>>(pslot::kLpFirst + 2);
+  auto& active = ws.Get<std::vector<char>>(pslot::kLpFirst + 3);
+
+  next_label.resize(n);
   core::ForAll(pool, n, [&](std::size_t v) {
     result.label[v] = static_cast<vid_t>(v);
     next_label[v] = static_cast<vid_t>(v);
   });
+  changed.assign(n, 0);
 
-  std::vector<vid_t> frontier(n);
-  core::ForAll(pool, n, [&](std::size_t v) {
-    frontier[v] = static_cast<vid_t>(v);
-  });
-  std::vector<char> changed(n, 0);
+  const bool full_sweep = opts.variant == LpVariant::kFullSweep;
+  if (full_sweep) {
+    frontier.clear();
+  } else {
+    frontier.resize(n);
+    core::ForAll(pool, n, [&](std::size_t v) {
+      frontier[v] = static_cast<vid_t>(v);
+    });
+  }
 
   WallTimer timer;
-  while (!frontier.empty() && result.iterations < opts.max_iterations) {
+  while (result.iterations < opts.max_iterations &&
+         (full_sweep || !frontier.empty())) {
+    ctl.Checkpoint();
     // Compute step: per-vertex neighborhood histogram (thread-local map;
-    // label domains are unbounded so a hash map it is).
-    core::ForEach(pool, std::span<const vid_t>(frontier), [&](vid_t v) {
+    // label domains are unbounded so a hash map it is). The full sweep
+    // evaluates every vertex; the frontier form only the active set.
+    const auto evaluate = [&](vid_t v) {
       changed[static_cast<std::size_t>(v)] = 0;
-      const auto nbrs = g.neighbors(v);
-      if (nbrs.empty()) return;
-      std::unordered_map<vid_t, std::int32_t> counts;
-      counts.reserve(nbrs.size());
-      for (const vid_t u : nbrs) {
-        ++counts[result.label[static_cast<std::size_t>(u)]];
-      }
-      vid_t best = result.label[static_cast<std::size_t>(v)];
-      std::int32_t best_count = 0;
-      for (const auto& [label, count] : counts) {
-        if (count > best_count ||
-            (count == best_count && label < best)) {
-          best = label;
-          best_count = count;
-        }
-      }
+      const vid_t best = BestLabel(g, v, result.label);
+      next_label[static_cast<std::size_t>(v)] = best;
       if (best != result.label[static_cast<std::size_t>(v)]) {
-        next_label[static_cast<std::size_t>(v)] = best;
         changed[static_cast<std::size_t>(v)] = 1;
-      } else {
-        next_label[static_cast<std::size_t>(v)] = best;
       }
-    });
-    result.stats.edges_visited += par::TransformReduce(
-        pool, frontier.size(), eid_t{0},
-        [](eid_t a, eid_t b) { return a + b; },
-        [&](std::size_t i) { return g.degree(frontier[i]); });
+    };
+    if (full_sweep) {
+      core::ForAll(pool, n,
+                   [&](std::size_t v) { evaluate(static_cast<vid_t>(v)); });
+      result.stats.edges_visited += g.num_edges();
+    } else {
+      core::ForEach(pool, std::span<const vid_t>(frontier), evaluate);
+      result.stats.edges_visited += par::TransformReduce(
+          pool, frontier.size(), eid_t{0},
+          [](eid_t a, eid_t b) { return a + b; },
+          [&](std::size_t i) { return g.degree(frontier[i]); }, &ws,
+          pslot::kLpFirst + 4);
+    }
 
     // Publish synchronously.
-    core::ForEach(pool, std::span<const vid_t>(frontier), [&](vid_t v) {
-      result.label[static_cast<std::size_t>(v)] =
-          next_label[static_cast<std::size_t>(v)];
-    });
+    if (full_sweep) {
+      core::ForAll(pool, n, [&](std::size_t v) {
+        result.label[v] = next_label[v];
+      });
+    } else {
+      core::ForEach(pool, std::span<const vid_t>(frontier), [&](vid_t v) {
+        result.label[static_cast<std::size_t>(v)] =
+            next_label[static_cast<std::size_t>(v)];
+      });
+    }
+    ++result.iterations;
+
+    if (full_sweep) {
+      const std::size_t moved = par::TransformReduce(
+          pool, n, std::size_t{0},
+          [](std::size_t a, std::size_t b) { return a + b; },
+          [&](std::size_t v) {
+            return changed[v] ? std::size_t{1} : std::size_t{0};
+          },
+          &ws, pslot::kLpFirst + 5);
+      if (moved == 0) break;
+      continue;
+    }
 
     // Filter step: the next frontier is every vertex adjacent to a
     // change (plus the changed vertices themselves).
-    std::vector<char> active(n, 0);
+    active.assign(n, 0);
     core::ForEach(pool, std::span<const vid_t>(frontier), [&](vid_t v) {
       if (!changed[static_cast<std::size_t>(v)]) return;
       active[static_cast<std::size_t>(v)] = 1;
@@ -84,9 +147,8 @@ LabelPropagationResult LabelPropagation(
     const std::size_t kept = par::GenerateIf(
         pool, n, std::span<vid_t>(frontier),
         [&](std::size_t v) { return active[v] != 0; },
-        [](std::size_t v) { return static_cast<vid_t>(v); });
+        [](std::size_t v) { return static_cast<vid_t>(v); }, &ws);
     frontier.resize(kept);
-    ++result.iterations;
   }
 
   // Count distinct labels.

@@ -18,8 +18,22 @@
 
 namespace gunrock {
 
+/// Sweep policy per synchronous round. Both variants evolve the labels
+/// identically (a vertex outside the frontier would recompute the label
+/// it already holds), so results match; they trade bookkeeping for
+/// re-evaluation work.
+enum class LpVariant {
+  /// Frontier form (default): only vertices adjacent to a change (plus
+  /// the changed vertices) are re-evaluated next round.
+  kFrontier,
+  /// Full sweep: every round re-evaluates all vertices — no frontier
+  /// bookkeeping, better when most labels still move every round.
+  kFullSweep,
+};
+
 struct LabelPropagationOptions : CommonOptions {
   int max_iterations = 100;
+  LpVariant variant = LpVariant::kFrontier;
 };
 
 struct LabelPropagationResult {
@@ -31,5 +45,13 @@ struct LabelPropagationResult {
 
 LabelPropagationResult LabelPropagation(
     const graph::Csr& g, const LabelPropagationOptions& opts = {});
+
+/// Engine-invokable runner: scratch from ctl.workspace (slots
+/// pslot::kLpFirst..+5, the last two holding reduce partials),
+/// ctl.cancel polled at round boundaries (throws
+/// core::Cancelled).
+LabelPropagationResult LabelPropagation(const graph::Csr& g,
+                                        const LabelPropagationOptions& opts,
+                                        const RunControl& ctl);
 
 }  // namespace gunrock

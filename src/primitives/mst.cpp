@@ -32,30 +32,45 @@ inline constexpr std::uint64_t kNoCandidate = ~std::uint64_t{0};
 }  // namespace
 
 MstResult Mst(const graph::Csr& g, const MstOptions& opts) {
+  return Mst(g, opts, RunControl{});
+}
+
+MstResult Mst(const graph::Csr& g, const MstOptions& opts,
+              const RunControl& ctl) {
   GR_CHECK(g.has_weights(), "MST needs an edge-weighted graph");
   par::ThreadPool& pool = opts.Pool();
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   const std::size_t m = static_cast<std::size_t>(g.num_edges());
 
+  // Round-loop scratch, arena-hoisted so an engine lease reuses every
+  // buffer across queries (slots pslot::kMstFirst..+5; every buffer is
+  // fully overwritten before it is read back).
+  core::Workspace private_ws;
+  core::Workspace& ws = ctl.workspace ? *ctl.workspace : private_ws;
+  auto& comp = ws.Get<std::vector<vid_t>>(pslot::kMstFirst);
+  auto& hook = ws.Get<std::vector<vid_t>>(pslot::kMstFirst + 1);
+  auto& winners = ws.Get<std::vector<eid_t>>(pslot::kMstFirst + 2);
+  auto& candidate = ws.Get<std::vector<std::uint64_t>>(pslot::kMstFirst + 3);
+  auto& frontier = ws.Get<std::vector<eid_t>>(pslot::kMstFirst + 4);
+  auto& next_frontier = ws.Get<std::vector<eid_t>>(pslot::kMstFirst + 5);
+
   MstResult result;
-  std::vector<vid_t> comp(n);
+  comp.resize(n);
   core::ForAll(pool, n,
                [&](std::size_t v) { comp[v] = static_cast<vid_t>(v); });
+  hook.resize(n);
+  winners.resize(n);
+  candidate.resize(n);
 
   const auto srcs = g.edge_sources(pool);
   const auto dsts = g.col_indices();
 
-  // Round-loop scratch: arena plus hoisted per-round arrays, reused
-  // across Borůvka rounds.
-  core::Workspace ws;
-  std::vector<vid_t> hook(n);
-  std::vector<eid_t> winners(n);
-
   WallTimer timer;
 
   // Edge frontier: canonical arcs (src < dst). Both endpoints' components
-  // bid on each arc.
-  std::vector<eid_t> frontier(m), next_frontier;
+  // bid on each arc. The kScanAll variant keeps this full list for every
+  // round; kFiltered compacts it after each round.
+  frontier.resize(m);
   {
     const std::size_t kept = par::GenerateIf(
         pool, m, std::span<eid_t>(frontier),
@@ -64,8 +79,8 @@ MstResult Mst(const graph::Csr& g, const MstOptions& opts) {
     frontier.resize(kept);
   }
 
-  std::vector<std::uint64_t> candidate(n);
   while (!frontier.empty()) {
+    ctl.Checkpoint();
     ++result.stats.iterations;
     result.stats.edges_visited += static_cast<eid_t>(frontier.size());
 
@@ -106,8 +121,9 @@ MstResult Mst(const graph::Csr& g, const MstOptions& opts) {
       }
     });
     // Collect winning edges exactly once.
+    std::size_t wn = 0;
     {
-      const std::size_t wn = par::GenerateIf(
+      wn = par::GenerateIf(
           pool, n, std::span<eid_t>(winners),
           [&](std::size_t r) {
             if (comp[r] != static_cast<vid_t>(r)) return false;
@@ -131,6 +147,10 @@ MstResult Mst(const graph::Csr& g, const MstOptions& opts) {
           result.tree_edges.end(), winners.begin(),
           winners.begin() + static_cast<std::ptrdiff_t>(wn));
     }
+    // No component found an outgoing edge: the forest is complete. (In the
+    // filtered variant this coincides with the frontier running empty.)
+    if (wn == 0) break;
+
     // Apply hooks, then pointer-jump to full compression.
     core::ForAll(pool, n, [&](std::size_t r) {
       if (hook[r] != static_cast<vid_t>(r)) comp[r] = hook[r];
@@ -148,16 +168,20 @@ MstResult Mst(const graph::Csr& g, const MstOptions& opts) {
       });
     }
 
-    // Step 3 (filter): drop arcs that became intra-component.
-    next_frontier.clear();
-    par::AppendIf(
-        pool, std::span<const eid_t>(frontier), next_frontier,
-        [&](eid_t e) {
-          return comp[srcs[static_cast<std::size_t>(e)]] !=
-                 comp[dsts[static_cast<std::size_t>(e)]];
-        },
-        &ws);
-    frontier.swap(next_frontier);
+    // Step 3 (filter, kFiltered only): drop arcs that became
+    // intra-component so later rounds touch only live arcs.
+    if (opts.variant == MstVariant::kFiltered) {
+      next_frontier.clear();
+      par::AppendIf(
+          pool, std::span<const eid_t>(frontier), next_frontier,
+          [&](eid_t e) {
+            return comp[srcs[static_cast<std::size_t>(e)]] !=
+                   comp[dsts[static_cast<std::size_t>(e)]];
+          },
+          &ws);
+      frontier.swap(next_frontier);
+      if (frontier.empty()) break;
+    }
   }
 
   result.total_weight = par::TransformReduce(

@@ -17,7 +17,23 @@
 
 namespace gunrock {
 
-struct MstOptions : CommonOptions {};
+/// Frontier policy for the Borůvka rounds. Both variants select the same
+/// winning edges (the packed (weight, id) total order is identical), so
+/// they produce identical forests; they trade memory traffic differently.
+enum class MstVariant {
+  /// Filtered Borůvka (default): an edge-frontier filter drops arcs that
+  /// became intra-component after every round, so later rounds only scan
+  /// the surviving cross-component arcs.
+  kFiltered,
+  /// Classic Borůvka: every round scans the full canonical arc list and
+  /// skips intra-component arcs inline — no compaction passes, cheaper
+  /// when the forest converges in very few rounds.
+  kScanAll,
+};
+
+struct MstOptions : CommonOptions {
+  MstVariant variant = MstVariant::kFiltered;
+};
 
 struct MstResult {
   /// Edge slots (canonical arcs with src < dst) of the spanning forest.
@@ -31,5 +47,11 @@ struct MstResult {
 /// Computes a minimum spanning forest of an undirected weighted graph.
 /// Throws gunrock::Error if the graph has no weights.
 MstResult Mst(const graph::Csr& g, const MstOptions& opts = {});
+
+/// Engine-invokable runner: scratch from ctl.workspace (slots
+/// pslot::kMstFirst..+5), ctl.cancel polled at Borůvka-round boundaries
+/// (throws core::Cancelled).
+MstResult Mst(const graph::Csr& g, const MstOptions& opts,
+              const RunControl& ctl);
 
 }  // namespace gunrock

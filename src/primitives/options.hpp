@@ -60,7 +60,11 @@ enum : unsigned {
   kPagerankFirst = par::ws::kUserFirst + 14,  // pagerank.cpp (+14 .. +23)
   kBcFirst = par::ws::kUserFirst + 24,   // bc.cpp        (+24 .. +27)
   kCcFirst = par::ws::kUserFirst + 28,   // cc.cpp        (+28 .. +31)
-  kAppFirst = par::ws::kUserFirst + 32,  // applications / user code
+  kMstFirst = par::ws::kUserFirst + 32,  // mst.cpp       (+32 .. +39)
+  kTrianglesFirst = par::ws::kUserFirst + 40,  // triangles.cpp (+40 .. +43)
+  kLpFirst = par::ws::kUserFirst + 44,   // label_propagation.cpp (+44..+51)
+  kRankingFirst = par::ws::kUserFirst + 52,  // ranking.cpp (+52 .. +63)
+  kAppFirst = par::ws::kUserFirst + 64,  // applications / user code
 };
 }  // namespace pslot
 

@@ -4,6 +4,7 @@
 
 #include "core/advance.hpp"
 #include "core/compute.hpp"
+#include "core/workspace.hpp"
 #include "graph/stats.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/reduce.hpp"
@@ -32,8 +33,13 @@ struct PropagateFunctor {
   static void ApplyEdge(vid_t, vid_t, eid_t, PropagateProblem&) {}
 };
 
-std::vector<vid_t> AllVertices(par::ThreadPool& pool, std::size_t n) {
-  std::vector<vid_t> all(n);
+/// Full-vertex pusher list, arena-resident across iterations and queries
+/// (slot pslot::kRankingFirst; every ranking primitive stores the same
+/// type there, so a recycled lease never re-types it).
+std::span<const vid_t> AllVertices(par::ThreadPool& pool,
+                                   core::Workspace& ws, std::size_t n) {
+  auto& all = ws.Get<std::vector<vid_t>>(pslot::kRankingFirst);
+  all.resize(n);
   core::ForAll(pool, n,
                [&](std::size_t v) { all[v] = static_cast<vid_t>(v); });
   return all;
@@ -47,6 +53,18 @@ double NormalizeL1(par::ThreadPool& pool, std::vector<double>& x) {
   return sum;
 }
 
+double NormalizeL2(par::ThreadPool& pool, std::vector<double>& x,
+                   core::Workspace* ws) {
+  const double sum_sq = par::TransformReduce(
+      pool, x.size(), 0.0, [](double a, double b) { return a + b; },
+      [&](std::size_t i) { return x[i] * x[i]; }, ws);
+  const double norm = std::sqrt(sum_sq);
+  if (norm > 0) {
+    core::ForAll(pool, x.size(), [&](std::size_t i) { x[i] /= norm; });
+  }
+  return norm;
+}
+
 double L1Distance(par::ThreadPool& pool, std::span<const double> a,
                   std::span<const double> b) {
   return par::TransformReduce(
@@ -54,10 +72,22 @@ double L1Distance(par::ThreadPool& pool, std::span<const double> a,
       [&](std::size_t i) { return std::abs(a[i] - b[i]); });
 }
 
+int ScaleFreeHint(const graph::Csr& g, par::ThreadPool& pool,
+                  const RunControl& ctl) {
+  return ctl.scale_free_hint >= 0
+             ? ctl.scale_free_hint > 0
+             : graph::ComputeScaleFreeHint(g, pool);
+}
+
 }  // namespace
 
 HitsResult Hits(const graph::Csr& g, const graph::Csr& rg,
                 const HitsOptions& opts) {
+  return Hits(g, rg, opts, RunControl{});
+}
+
+HitsResult Hits(const graph::Csr& g, const graph::Csr& rg,
+                const HitsOptions& opts, const RunControl& ctl) {
   GR_CHECK(g.num_vertices() == rg.num_vertices(),
            "forward/reverse vertex count mismatch");
   par::ThreadPool& pool = opts.Pool();
@@ -67,15 +97,31 @@ HitsResult Hits(const graph::Csr& g, const graph::Csr& rg,
   result.hub.assign(n, 1.0 / static_cast<double>(n));
   result.authority.assign(n, 0.0);
 
+  core::Workspace private_ws;
+  core::Workspace& ws = ctl.workspace ? *ctl.workspace : private_ws;
   core::AdvanceConfig adv_cfg;
   adv_cfg.lb = opts.load_balance;
-  adv_cfg.scale_free_hint = graph::ComputeScaleFreeHint(g, pool);
-  const auto all = AllVertices(pool, n);
+  adv_cfg.scale_free_hint = ScaleFreeHint(g, pool, ctl);
+  adv_cfg.workspace = &ws;
+  const auto all = AllVertices(pool, ws, n);
 
-  std::vector<double> prev_hub(result.hub), prev_auth(n, 0.0);
+  auto& prev_hub = ws.Get<std::vector<double>>(pslot::kRankingFirst + 1);
+  auto& prev_auth = ws.Get<std::vector<double>>(pslot::kRankingFirst + 2);
+  prev_hub = result.hub;
+  prev_auth.assign(n, 0.0);
+
+  const auto normalize = [&](std::vector<double>& x) {
+    if (opts.norm == HitsNorm::kL2) {
+      NormalizeL2(pool, x, &ws);
+    } else {
+      NormalizeL1(pool, x);
+    }
+  };
+
   PropagateProblem prob;
   WallTimer timer;
   for (; result.iterations < opts.max_iterations;) {
+    ctl.Checkpoint();
     // auth = sum of hub over in-edges: push hub along forward edges.
     core::ForAll(pool, n, [&](std::size_t v) { result.authority[v] = 0; });
     prob.src_score = result.hub.data();
@@ -85,7 +131,7 @@ HitsResult Hits(const graph::Csr& g, const graph::Csr& rg,
         pool, g, all, static_cast<std::vector<vid_t>*>(nullptr), prob,
         adv_cfg);
     result.stats.edges_visited += adv.edges_visited;
-    NormalizeL1(pool, result.authority);
+    normalize(result.authority);
 
     // hub = sum of auth over out-edges: push auth along reverse edges.
     core::ForAll(pool, n, [&](std::size_t v) { result.hub[v] = 0; });
@@ -95,7 +141,7 @@ HitsResult Hits(const graph::Csr& g, const graph::Csr& rg,
         pool, rg, all, static_cast<std::vector<vid_t>*>(nullptr), prob,
         adv_cfg);
     result.stats.edges_visited += adv.edges_visited;
-    NormalizeL1(pool, result.hub);
+    normalize(result.hub);
 
     ++result.iterations;
     const double moved =
@@ -112,6 +158,11 @@ HitsResult Hits(const graph::Csr& g, const graph::Csr& rg,
 
 SalsaResult Salsa(const graph::Csr& g, const graph::Csr& rg,
                   const SalsaOptions& opts) {
+  return Salsa(g, rg, opts, RunControl{});
+}
+
+SalsaResult Salsa(const graph::Csr& g, const graph::Csr& rg,
+                  const SalsaOptions& opts, const RunControl& ctl) {
   GR_CHECK(g.num_vertices() == rg.num_vertices(),
            "forward/reverse vertex count mismatch");
   par::ThreadPool& pool = opts.Pool();
@@ -121,9 +172,15 @@ SalsaResult Salsa(const graph::Csr& g, const graph::Csr& rg,
   result.hub.assign(n, 1.0 / static_cast<double>(n));
   result.authority.assign(n, 1.0 / static_cast<double>(n));
 
+  core::Workspace private_ws;
+  core::Workspace& ws = ctl.workspace ? *ctl.workspace : private_ws;
+
   // Stochastic scalings: 1/outdeg for the hub->auth walk, 1/indeg for the
   // auth->hub walk.
-  std::vector<double> inv_out(n, 0.0), inv_in(n, 0.0);
+  auto& inv_out = ws.Get<std::vector<double>>(pslot::kRankingFirst + 3);
+  auto& inv_in = ws.Get<std::vector<double>>(pslot::kRankingFirst + 4);
+  inv_out.resize(n);
+  inv_in.resize(n);
   core::ForAll(pool, n, [&](std::size_t v) {
     const eid_t od = g.degree(static_cast<vid_t>(v));
     const eid_t id = rg.degree(static_cast<vid_t>(v));
@@ -133,15 +190,23 @@ SalsaResult Salsa(const graph::Csr& g, const graph::Csr& rg,
 
   core::AdvanceConfig adv_cfg;
   adv_cfg.lb = opts.load_balance;
-  adv_cfg.scale_free_hint = graph::ComputeScaleFreeHint(g, pool);
-  const auto all = AllVertices(pool, n);
+  adv_cfg.scale_free_hint = ScaleFreeHint(g, pool, ctl);
+  adv_cfg.workspace = &ws;
+  const auto all = AllVertices(pool, ws, n);
 
-  std::vector<double> prev_hub(result.hub), prev_auth(result.authority);
+  auto& prev_hub = ws.Get<std::vector<double>>(pslot::kRankingFirst + 1);
+  auto& prev_auth = ws.Get<std::vector<double>>(pslot::kRankingFirst + 2);
+  auto& next_auth = ws.Get<std::vector<double>>(pslot::kRankingFirst + 5);
+  auto& next_hub = ws.Get<std::vector<double>>(pslot::kRankingFirst + 6);
+  prev_hub = result.hub;
+  prev_auth = result.authority;
+
   PropagateProblem prob;
   WallTimer timer;
   for (; result.iterations < opts.max_iterations;) {
+    ctl.Checkpoint();
     // a'[v] = sum_{u -> v} h[u] / outdeg(u)
-    std::vector<double> next_auth(n, 0.0);
+    next_auth.assign(n, 0.0);
     prob.src_score = result.hub.data();
     prob.dst_score = next_auth.data();
     prob.src_scale = inv_out.data();
@@ -152,7 +217,7 @@ SalsaResult Salsa(const graph::Csr& g, const graph::Csr& rg,
 
     // h'[u] = sum_{u -> v} a[v] / indeg(v): push along reverse edges with
     // the *source* (= v in forward orientation) scaled by 1/indeg(v).
-    std::vector<double> next_hub(n, 0.0);
+    next_hub.assign(n, 0.0);
     prob.src_score = result.authority.data();
     prob.dst_score = next_hub.data();
     prob.src_scale = inv_in.data();
@@ -184,21 +249,37 @@ SalsaResult Salsa(const graph::Csr& g, const graph::Csr& rg,
 PprResult PersonalizedPagerank(const graph::Csr& g,
                                std::span<const vid_t> seeds,
                                const PprOptions& opts) {
+  return PersonalizedPagerank(g, seeds, opts, RunControl{});
+}
+
+PprResult PersonalizedPagerank(const graph::Csr& g,
+                               std::span<const vid_t> seeds,
+                               const PprOptions& opts,
+                               const RunControl& ctl) {
   GR_CHECK(!seeds.empty(), "PPR needs at least one seed");
   par::ThreadPool& pool = opts.Pool();
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   PprResult result;
   if (n == 0) return result;
 
-  std::vector<double> teleport(n, 0.0);
+  core::Workspace private_ws;
+  core::Workspace& ws = ctl.workspace ? *ctl.workspace : private_ws;
+
+  auto& teleport = ws.Get<std::vector<double>>(pslot::kRankingFirst + 7);
+  teleport.assign(n, 0.0);
   for (const vid_t s : seeds) {
     GR_CHECK(s >= 0 && s < g.num_vertices(), "seed out of range");
     teleport[static_cast<std::size_t>(s)] =
         1.0 / static_cast<double>(seeds.size());
   }
 
-  std::vector<double> rank(teleport), next(n, 0.0);
-  std::vector<double> inv_out(n, 0.0);
+  std::vector<double> rank(teleport.begin(), teleport.end());
+  auto& next = ws.Get<std::vector<double>>(pslot::kRankingFirst + 8);
+  auto& scaled = ws.Get<std::vector<double>>(pslot::kRankingFirst + 9);
+  next.resize(n);
+  scaled.resize(n);
+  auto& inv_out = ws.Get<std::vector<double>>(pslot::kRankingFirst + 3);
+  inv_out.resize(n);
   core::ForAll(pool, n, [&](std::size_t v) {
     const eid_t d = g.degree(static_cast<vid_t>(v));
     inv_out[v] = d > 0 ? 1.0 / static_cast<double>(d) : 0.0;
@@ -206,24 +287,26 @@ PprResult PersonalizedPagerank(const graph::Csr& g,
 
   core::AdvanceConfig adv_cfg;
   adv_cfg.lb = opts.load_balance;
-  adv_cfg.scale_free_hint = graph::ComputeScaleFreeHint(g, pool);
-  const auto all = AllVertices(pool, n);
+  adv_cfg.scale_free_hint = ScaleFreeHint(g, pool, ctl);
+  adv_cfg.workspace = &ws;
+  const auto all = AllVertices(pool, ws, n);
 
   PropagateProblem prob;
   WallTimer timer;
   for (; result.iterations < opts.max_iterations;) {
+    ctl.Checkpoint();
     // Dangling mass teleports back to the seeds.
     const double dangling = par::TransformReduce(
         pool, n, 0.0, [](double a, double b) { return a + b; },
         [&](std::size_t v) {
           return g.degree(static_cast<vid_t>(v)) == 0 ? rank[v] : 0.0;
-        });
+        },
+        &ws);
     core::ForAll(pool, n, [&](std::size_t v) {
       next[v] = (1.0 - opts.damping + opts.damping * dangling) *
                 teleport[v];
     });
     // Push damping * rank / outdeg along out-edges.
-    std::vector<double> scaled(n);
     core::ForAll(pool, n, [&](std::size_t v) {
       scaled[v] = opts.damping * rank[v];
     });

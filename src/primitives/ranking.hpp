@@ -16,9 +16,19 @@
 
 namespace gunrock {
 
+/// Score-normalization variant for HITS. Kleinberg's original algorithm
+/// normalizes by the L2 norm; the L1 form keeps the scores a probability
+/// distribution (handy when mixing with PageRank-family scores). The
+/// ranking order is identical; the fixed point's scale differs.
+enum class HitsNorm {
+  kL1,  ///< scores sum to 1 (default; matches the PageRank convention)
+  kL2,  ///< unit Euclidean norm (Kleinberg's classic formulation)
+};
+
 struct HitsOptions : CommonOptions {
   int max_iterations = 50;
   double tolerance = 1e-8;  ///< L1 movement across both score vectors
+  HitsNorm norm = HitsNorm::kL1;
 };
 
 struct HitsResult {
@@ -31,6 +41,13 @@ struct HitsResult {
 /// Hyperlink-Induced Topic Search. `rg` must be ReverseCsr(g).
 HitsResult Hits(const graph::Csr& g, const graph::Csr& rg,
                 const HitsOptions& opts = {});
+
+/// Engine-invokable runner: scratch from ctl.workspace (slots
+/// pslot::kRankingFirst..+9; shared by the three ranking primitives,
+/// every slot holding one fixed type), ctl.cancel polled at iteration
+/// boundaries (throws core::Cancelled).
+HitsResult Hits(const graph::Csr& g, const graph::Csr& rg,
+                const HitsOptions& opts, const RunControl& ctl);
 
 struct SalsaOptions : CommonOptions {
   int max_iterations = 50;
@@ -50,6 +67,10 @@ struct SalsaResult {
 SalsaResult Salsa(const graph::Csr& g, const graph::Csr& rg,
                   const SalsaOptions& opts = {});
 
+/// Engine-invokable runner (see Hits overload).
+SalsaResult Salsa(const graph::Csr& g, const graph::Csr& rg,
+                  const SalsaOptions& opts, const RunControl& ctl);
+
 struct PprOptions : CommonOptions {
   double damping = 0.85;
   double tolerance = 1e-9;
@@ -67,5 +88,11 @@ struct PprResult {
 PprResult PersonalizedPagerank(const graph::Csr& g,
                                std::span<const vid_t> seeds,
                                const PprOptions& opts = {});
+
+/// Engine-invokable runner (see Hits overload).
+PprResult PersonalizedPagerank(const graph::Csr& g,
+                               std::span<const vid_t> seeds,
+                               const PprOptions& opts,
+                               const RunControl& ctl);
 
 }  // namespace gunrock

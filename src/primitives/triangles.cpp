@@ -1,69 +1,167 @@
 #include "primitives/triangles.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "core/compute.hpp"
+#include "core/workspace.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/compact.hpp"
+#include "parallel/for_each.hpp"
 #include "parallel/reduce.hpp"
 #include "util/timer.hpp"
 
 namespace gunrock {
 
+namespace {
+
+/// Cancellation granularity: the counting pass is one flat sweep, so it
+/// is cut into fixed-size blocks with a RunControl checkpoint between
+/// them. Block boundaries are deterministic (they depend only on the
+/// input size), so the per-block partial sums reduce in a fixed order.
+inline constexpr std::size_t kArcBlock = std::size_t{1} << 16;
+inline constexpr std::size_t kVertexBlock = std::size_t{1} << 14;
+
+}  // namespace
+
 TriangleResult CountTriangles(const graph::Csr& g,
                               const TriangleOptions& opts) {
+  return CountTriangles(g, opts, RunControl{});
+}
+
+TriangleResult CountTriangles(const graph::Csr& g,
+                              const TriangleOptions& opts,
+                              const RunControl& ctl) {
   par::ThreadPool& pool = opts.Pool();
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   const std::size_t m = static_cast<std::size_t>(g.num_edges());
 
   TriangleResult result;
   result.per_vertex.assign(n, 0);
+  std::int64_t* per_vertex = result.per_vertex.data();
+
+  core::Workspace private_ws;
+  core::Workspace& ws = ctl.workspace ? *ctl.workspace : private_ws;
 
   WallTimer timer;
 
-  // Canonical arc list (u < v).
-  std::vector<eid_t> arcs(m);
   const auto srcs = g.edge_sources(pool);
   const auto dsts = g.col_indices();
-  const std::size_t num_arcs = par::GenerateIf(
-      pool, m, std::span<eid_t>(arcs),
-      [&](std::size_t e) { return srcs[e] < dsts[e]; },
-      [](std::size_t e) { return static_cast<eid_t>(e); });
-  arcs.resize(num_arcs);
 
-  // Per-arc sorted intersection, counting only the w > v tail so each
-  // triangle lands once; the per-corner tallies go to all three vertices.
-  std::int64_t* per_vertex = result.per_vertex.data();
-  const std::int64_t total = par::TransformReduce(
-      pool, num_arcs, std::int64_t{0},
-      [](std::int64_t a, std::int64_t b) { return a + b; },
-      [&](std::size_t i) {
-        const eid_t e = arcs[i];
-        const vid_t u = srcs[static_cast<std::size_t>(e)];
-        const vid_t v = dsts[static_cast<std::size_t>(e)];
-        const auto nu = g.neighbors(u);
-        const auto nv = g.neighbors(v);
-        // Merge the > v suffixes of both sorted lists.
-        auto iu = std::upper_bound(nu.begin(), nu.end(), v);
-        auto iv = std::upper_bound(nv.begin(), nv.end(), v);
-        std::int64_t found = 0;
-        while (iu != nu.end() && iv != nv.end()) {
-          if (*iu < *iv) {
-            ++iu;
-          } else if (*iv < *iu) {
-            ++iv;
-          } else {
-            const vid_t w = *iu;
-            par::AtomicAdd(&per_vertex[u], std::int64_t{1});
-            par::AtomicAdd(&per_vertex[v], std::int64_t{1});
-            par::AtomicAdd(&per_vertex[w], std::int64_t{1});
-            ++found;
-            ++iu;
-            ++iv;
-          }
-        }
-        return found;
-      });
+  std::int64_t total = 0;
+  std::size_t num_arcs = 0;
+
+  if (opts.variant == TriangleVariant::kMergePath) {
+    // Canonical arc list (u < v), arena-resident across queries.
+    auto& arcs = ws.Get<std::vector<eid_t>>(pslot::kTrianglesFirst);
+    arcs.resize(m);
+    num_arcs = par::GenerateIf(
+        pool, m, std::span<eid_t>(arcs),
+        [&](std::size_t e) { return srcs[e] < dsts[e]; },
+        [](std::size_t e) { return static_cast<eid_t>(e); }, &ws);
+    arcs.resize(num_arcs);
+
+    // Per-arc sorted intersection, counting only the w > v tail so each
+    // triangle lands once; the per-corner tallies go to all three
+    // vertices.
+    for (std::size_t lo = 0; lo < num_arcs; lo += kArcBlock) {
+      ctl.Checkpoint();
+      const std::size_t block = std::min(kArcBlock, num_arcs - lo);
+      // Partials in a primitive-private slot: the shared kReducePartials
+      // slot holds doubles by convention, and re-typing a recycled
+      // lease's slot would churn buffers.
+      total += par::TransformReduce(
+          pool, block, std::int64_t{0},
+          [](std::int64_t a, std::int64_t b) { return a + b; },
+          [&](std::size_t i) {
+            const eid_t e = arcs[lo + i];
+            const vid_t u = srcs[static_cast<std::size_t>(e)];
+            const vid_t v = dsts[static_cast<std::size_t>(e)];
+            const auto nu = g.neighbors(u);
+            const auto nv = g.neighbors(v);
+            // Merge the > v suffixes of both sorted lists.
+            auto iu = std::upper_bound(nu.begin(), nu.end(), v);
+            auto iv = std::upper_bound(nv.begin(), nv.end(), v);
+            std::int64_t found = 0;
+            while (iu != nu.end() && iv != nv.end()) {
+              if (*iu < *iv) {
+                ++iu;
+              } else if (*iv < *iu) {
+                ++iv;
+              } else {
+                const vid_t w = *iu;
+                par::AtomicAdd(&per_vertex[u], std::int64_t{1});
+                par::AtomicAdd(&per_vertex[v], std::int64_t{1});
+                par::AtomicAdd(&per_vertex[w], std::int64_t{1});
+                ++found;
+                ++iu;
+                ++iv;
+              }
+            }
+            return found;
+          },
+          &ws, pslot::kTrianglesFirst + 2);
+    }
+  } else {
+    // Hashed variant: every corner u marks its > u suffix in a per-lane
+    // membership table, then probes each two-hop neighbor w > v against
+    // it. The marks are reset after each corner (mark/probe/unmark), so
+    // the tables stay all-zero between corners, queries and leases.
+    auto& lane_marks =
+        ws.Get<std::vector<std::vector<std::uint8_t>>>(
+            pslot::kTrianglesFirst + 1);
+    if (lane_marks.size() < pool.num_threads()) {
+      lane_marks.resize(pool.num_threads());
+    }
+
+    std::atomic<std::int64_t> found_total{0};
+    std::atomic<std::int64_t> arc_total{0};  // edges_visited, counted in-loop
+    for (std::size_t ulo = 0; ulo < n; ulo += kVertexBlock) {
+      ctl.Checkpoint();
+      const std::size_t uhi = std::min(n, ulo + kVertexBlock);
+      par::ParallelForChunks(
+          pool, ulo, uhi, 0,
+          [&](std::size_t lo, std::size_t hi, std::size_t, unsigned rank) {
+            auto& marks = lane_marks[rank];
+            if (marks.size() < n) marks.resize(n, 0);
+            std::int64_t found = 0;
+            std::int64_t arcs_here = 0;
+            for (std::size_t ui = lo; ui < hi; ++ui) {
+              const vid_t u = static_cast<vid_t>(ui);
+              const auto nu = g.neighbors(u);
+              const auto iu = std::upper_bound(nu.begin(), nu.end(), u);
+              if (iu == nu.end()) continue;
+              arcs_here += nu.end() - iu;
+              for (auto it = iu; it != nu.end(); ++it) {
+                marks[static_cast<std::size_t>(*it)] = 1;
+              }
+              for (auto it = iu; it != nu.end(); ++it) {
+                const vid_t v = *it;
+                const auto nv = g.neighbors(v);
+                for (auto iw = std::upper_bound(nv.begin(), nv.end(), v);
+                     iw != nv.end(); ++iw) {
+                  const vid_t w = *iw;
+                  if (marks[static_cast<std::size_t>(w)]) {
+                    par::AtomicAdd(&per_vertex[u], std::int64_t{1});
+                    par::AtomicAdd(&per_vertex[v], std::int64_t{1});
+                    par::AtomicAdd(&per_vertex[w], std::int64_t{1});
+                    ++found;
+                  }
+                }
+              }
+              for (auto it = iu; it != nu.end(); ++it) {
+                marks[static_cast<std::size_t>(*it)] = 0;
+              }
+            }
+            found_total.fetch_add(found, std::memory_order_relaxed);
+            arc_total.fetch_add(arcs_here, std::memory_order_relaxed);
+          });
+    }
+    total = found_total.load(std::memory_order_relaxed);
+    num_arcs =
+        static_cast<std::size_t>(arc_total.load(std::memory_order_relaxed));
+  }
+
   result.num_triangles = total;
   result.stats.edges_visited = static_cast<eid_t>(num_arcs);
 
@@ -82,7 +180,8 @@ TriangleResult CountTriangles(const graph::Csr& g,
         const double d =
             static_cast<double>(g.degree(static_cast<vid_t>(v)));
         return d * (d - 1.0) / 2.0;
-      });
+      },
+      &ws);
   result.global_clustering =
       wedge_total > 0 ? 3.0 * static_cast<double>(total) / wedge_total
                       : 0.0;

@@ -18,7 +18,22 @@
 
 namespace gunrock {
 
-struct TriangleOptions : CommonOptions {};
+/// Intersection strategy per canonical arc / corner vertex. Both count
+/// every triangle exactly once at its minimum-id corner and produce
+/// identical tallies; they trade memory traffic for random access.
+enum class TriangleVariant {
+  /// Arc-centric sorted-merge (default): for every arc (u, v) with
+  /// u < v, linearly merge the > v suffixes of both sorted rows.
+  kMergePath,
+  /// Vertex-centric hashed membership: mark N(u)'s > u suffix in a
+  /// per-lane table, then probe each two-hop neighbor against it —
+  /// O(1) probes instead of a linear merge, better for skewed rows.
+  kHash,
+};
+
+struct TriangleOptions : CommonOptions {
+  TriangleVariant variant = TriangleVariant::kMergePath;
+};
 
 struct TriangleResult {
   std::int64_t num_triangles = 0;
@@ -36,5 +51,13 @@ struct TriangleResult {
 /// loops or parallel edges — the builder's defaults).
 TriangleResult CountTriangles(const graph::Csr& g,
                               const TriangleOptions& opts = {});
+
+/// Engine-invokable runner: scratch from ctl.workspace (slots
+/// pslot::kTrianglesFirst..+2), ctl.cancel polled between fixed-size
+/// arc/vertex blocks (throws core::Cancelled) — the counting pass has no
+/// natural iterations, so the blocks are its cancellation boundaries.
+TriangleResult CountTriangles(const graph::Csr& g,
+                              const TriangleOptions& opts,
+                              const RunControl& ctl);
 
 }  // namespace gunrock

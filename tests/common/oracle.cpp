@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "parallel/thread_pool.hpp"
 #include "util/types.hpp"
 
 namespace gunrock::test {
@@ -19,6 +20,21 @@ void ExpectScoresNear(const std::vector<double>& expected,
   ASSERT_EQ(got.size(), expected.size());
   for (std::size_t v = 0; v < got.size(); ++v) {
     EXPECT_NEAR(got[v], expected[v], abs_tol) << "vertex " << v;
+  }
+}
+
+void ExpectScoresMatch(const std::vector<double>& expected,
+                       const std::vector<double>& got, const char* what) {
+  if (par::ThreadPool::Global().num_threads() == 1) {
+    ASSERT_EQ(got.size(), expected.size()) << what;
+    for (std::size_t v = 0; v < got.size(); ++v) {
+      EXPECT_EQ(got[v], expected[v]) << what << " vertex " << v;
+    }
+    return;
+  }
+  ASSERT_EQ(got.size(), expected.size()) << what;
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    EXPECT_NEAR(got[v], expected[v], 1e-9) << what << " vertex " << v;
   }
 }
 

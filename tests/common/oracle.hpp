@@ -34,6 +34,15 @@ void ExpectSameDistances(const std::vector<weight_t>& expected,
 void ExpectScoresNear(const std::vector<double>& expected,
                       const std::vector<double>& got, double abs_tol);
 
+/// Double-score comparison for engine-vs-direct checks: exact where the
+/// computation is exactly reproducible (single-lane global pool — every
+/// atomic float accumulation happens in one fixed order) and tight
+/// (1e-9) elsewhere, where multi-lane atomic double adds reorder
+/// run-to-run; the engine itself must add no error of its own.
+void ExpectScoresMatch(const std::vector<double>& expected,
+                       const std::vector<double>& got,
+                       const char* what = "scores");
+
 /// Validates the BFS parent tree: the source and unreachable vertices
 /// have no parent; every other parent is adjacent and exactly one level
 /// shallower.

@@ -127,4 +127,15 @@ std::string SafeTestName(std::string name) {
   return name;
 }
 
+std::vector<vid_t> SpreadSources(const graph::Csr& g,
+                                 std::size_t count) {
+  std::vector<vid_t> sources;
+  sources.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    sources.push_back(static_cast<vid_t>(
+        (static_cast<std::int64_t>(i) * 997 + 1) % g.num_vertices()));
+  }
+  return sources;
+}
+
 }  // namespace gunrock::test

@@ -80,4 +80,9 @@ class CorpusBuilder {
 /// and '_'] — lowers '-' and other separators to '_'.
 std::string SafeTestName(std::string name);
 
+/// `count` deterministic, well-spread source vertices ((i*997 + 1) mod
+/// |V|) — the fixed sampling shared by the engine suites so every test
+/// and the soak exercise identical sources for a given graph.
+std::vector<vid_t> SpreadSources(const graph::Csr& g, std::size_t count);
+
 }  // namespace gunrock::test

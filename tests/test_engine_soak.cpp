@@ -1,0 +1,439 @@
+// Randomized mixed-workload soak for the QueryEngine: an interleaved
+// storm of all nine primitive families over multiple registered graphs,
+// with random cancellation, deadlines and quota pressure — the churn a
+// serving deployment actually sees. Under the GUNROCK_TEST_SEED sweep
+// every completed query must be bit-identical to a direct sequential
+// call made before the engine existed (the engine adds concurrency, not
+// nondeterminism), terminal stats must balance, and the workspace pool
+// must never create more arenas than its capacity.
+//
+// The storm size is bounded by GUNROCK_SOAK_QUERIES (the ctest
+// registration pins a CI-friendly budget; run the binary standalone with
+// a bigger budget for a longer soak).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/oracle.hpp"
+#include "common/topologies.hpp"
+#include "gunrock.hpp"
+
+namespace gunrock {
+namespace {
+
+using engine::QueryRequest;
+using engine::QueryResult;
+using engine::QueryStatus;
+
+std::size_t SoakQueries() {
+  if (const char* env = std::getenv("GUNROCK_SOAK_QUERIES")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 120;
+}
+
+using test::ExpectScoresMatch;
+
+/// Compares an engine result against the direct-call reference of the
+/// same request, field by field, on each family's deterministic
+/// projection (depth for BFS, dist+pred for SSSP, labels, forests,
+/// exact triangle tallies; double scores via ExpectScoresMatch).
+void ExpectSameResult(const QueryResult& want, const QueryResult& got) {
+  ASSERT_EQ(want.index(), got.index()) << "result kind mismatch";
+  if (const auto* w = std::get_if<BfsResult>(&want)) {
+    EXPECT_EQ(std::get<BfsResult>(got).depth, w->depth);
+  } else if (const auto* w = std::get_if<SsspResult>(&want)) {
+    EXPECT_EQ(std::get<SsspResult>(got).dist, w->dist);
+    EXPECT_EQ(std::get<SsspResult>(got).pred, w->pred);
+  } else if (const auto* w = std::get_if<BcResult>(&want)) {
+    EXPECT_EQ(std::get<BcResult>(got).depth, w->depth);
+    EXPECT_EQ(std::get<BcResult>(got).sigma, w->sigma)
+        << "path counts are integers: exact in any order";
+    ExpectScoresMatch(w->bc, std::get<BcResult>(got).bc, "bc");
+  } else if (const auto* w = std::get_if<CcResult>(&want)) {
+    EXPECT_EQ(std::get<CcResult>(got).component, w->component);
+    EXPECT_EQ(std::get<CcResult>(got).num_components, w->num_components);
+  } else if (const auto* w = std::get_if<PagerankResult>(&want)) {
+    EXPECT_EQ(std::get<PagerankResult>(got).rank, w->rank)
+        << "pull PageRank gathers in a fixed order: exact";
+    EXPECT_EQ(std::get<PagerankResult>(got).iterations, w->iterations);
+  } else if (const auto* w = std::get_if<MstResult>(&want)) {
+    EXPECT_EQ(std::get<MstResult>(got).tree_edges, w->tree_edges);
+    EXPECT_EQ(std::get<MstResult>(got).total_weight, w->total_weight)
+        << "fixed-block reduction: exact";
+    EXPECT_EQ(std::get<MstResult>(got).num_components, w->num_components);
+  } else if (const auto* w = std::get_if<TriangleResult>(&want)) {
+    EXPECT_EQ(std::get<TriangleResult>(got).num_triangles,
+              w->num_triangles);
+    EXPECT_EQ(std::get<TriangleResult>(got).per_vertex, w->per_vertex);
+    EXPECT_EQ(std::get<TriangleResult>(got).clustering, w->clustering);
+  } else if (const auto* w =
+                 std::get_if<LabelPropagationResult>(&want)) {
+    EXPECT_EQ(std::get<LabelPropagationResult>(got).label, w->label);
+    EXPECT_EQ(std::get<LabelPropagationResult>(got).num_communities,
+              w->num_communities);
+  } else if (const auto* w = std::get_if<HitsResult>(&want)) {
+    ExpectScoresMatch(w->hub, std::get<HitsResult>(got).hub, "hits.hub");
+    ExpectScoresMatch(w->authority, std::get<HitsResult>(got).authority,
+                      "hits.authority");
+  } else if (const auto* w = std::get_if<SalsaResult>(&want)) {
+    ExpectScoresMatch(w->hub, std::get<SalsaResult>(got).hub, "salsa.hub");
+    ExpectScoresMatch(w->authority, std::get<SalsaResult>(got).authority,
+                      "salsa.authority");
+  } else if (const auto* w = std::get_if<PprResult>(&want)) {
+    ExpectScoresMatch(w->rank, std::get<PprResult>(got).rank, "ppr.rank");
+  } else {
+    FAIL() << "unhandled result alternative";
+  }
+}
+
+/// One registered graph plus everything needed to run requests directly.
+struct SoakGraph {
+  std::string name;
+  graph::Csr graph;
+  graph::Csr reverse;  // for direct HITS/SALSA references
+  std::vector<vid_t> sources;
+};
+
+/// Direct sequential execution of a request — the oracle, via the same
+/// engine::RunRequest dispatch the engine's runners use. Runs before
+/// the engine exists (single-owner pool), on the same global pool the
+/// engine serves from, so chunk grains and reduction orders match.
+QueryResult RunDirect(const SoakGraph& sg, const QueryRequest& request) {
+  return engine::RunRequest(sg.graph, request, &sg.reverse);
+}
+
+/// The randomized request mix. Configuration space is intentionally
+/// small (family x variant x source pool) so the direct-reference table
+/// stays cheap; the *interleaving* under the engine is where the storm
+/// randomness lives. Returns the request plus a stable reference key.
+QueryRequest MakeRandomRequest(std::mt19937_64& rng, const SoakGraph& sg,
+                               std::string* key) {
+  const int family = static_cast<int>(rng() % 9);
+  const int pick = static_cast<int>(rng() % 2);
+  const vid_t source =
+      sg.sources[static_cast<std::size_t>(rng() % sg.sources.size())];
+  *key = sg.name + "/" + std::to_string(family) + "/" +
+         std::to_string(pick) + "/" + std::to_string(source);
+  switch (family) {
+    case 0: {
+      engine::BfsQuery q;
+      q.source = source;
+      q.opts.direction = core::Direction::kOptimizing;
+      return q;
+    }
+    case 1: {
+      engine::SsspQuery q;
+      q.source = source;
+      return q;
+    }
+    case 2: {
+      engine::BcQuery q;
+      q.source = source;
+      return q;
+    }
+    case 3: {
+      if (pick == 0) return engine::CcQuery{};
+      engine::PagerankQuery q;
+      q.opts.pull = true;
+      q.opts.max_iterations = 20;
+      return q;
+    }
+    case 4: {
+      engine::MstQuery q;
+      q.opts.variant = pick ? MstVariant::kScanAll : MstVariant::kFiltered;
+      return q;
+    }
+    case 5: {
+      engine::TrianglesQuery q;
+      q.opts.variant =
+          pick ? TriangleVariant::kHash : TriangleVariant::kMergePath;
+      return q;
+    }
+    case 6: {
+      engine::LabelPropagationQuery q;
+      q.opts.max_iterations = 15;
+      q.opts.variant = pick ? LpVariant::kFullSweep : LpVariant::kFrontier;
+      return q;
+    }
+    case 7: {
+      if (pick == 0) {
+        engine::HitsQuery q;
+        q.opts.max_iterations = 10;
+        return q;
+      }
+      engine::SalsaQuery q;
+      q.opts.max_iterations = 10;
+      return q;
+    }
+    default: {
+      engine::PprQuery q;
+      q.seeds = {source};
+      q.opts.max_iterations = 30;
+      return q;
+    }
+  }
+}
+
+std::vector<SoakGraph> MakeSoakGraphs() {
+  auto& pool = par::ThreadPool::Global();
+  std::vector<SoakGraph> graphs;
+  {
+    graph::RmatParams p;  // the serving-heavy scale-free shape
+    p.scale = 9;
+    p.edge_factor = 8;
+    p.seed = 1000 + test::TestSeed();
+    auto coo = GenerateRmat(p, pool);
+    graph::AttachRandomWeights(coo, 1, 64, /*seed=*/test::TestSeed());
+    graph::BuildOptions opts;
+    opts.symmetrize = true;
+    SoakGraph sg;
+    sg.name = "social";
+    sg.graph = graph::BuildCsr(coo, opts);
+    graphs.push_back(std::move(sg));
+  }
+  {
+    graph::RoadParams p;  // long-diameter mesh
+    p.width = 24;
+    p.height = 24;
+    p.seed = 2000 + test::TestSeed();
+    auto coo = GenerateRoad(p, pool);
+    graph::AttachRandomWeights(coo, 1, 64, /*seed=*/test::TestSeed() + 1);
+    graph::BuildOptions opts;
+    opts.symmetrize = true;
+    SoakGraph sg;
+    sg.name = "mesh";
+    sg.graph = graph::BuildCsr(coo, opts);
+    graphs.push_back(std::move(sg));
+  }
+  for (auto& sg : graphs) {
+    sg.reverse = graph::ReverseCsr(sg.graph, pool);
+    sg.sources = test::SpreadSources(sg.graph, 3);
+  }
+  return graphs;
+}
+
+struct PendingQuery {
+  engine::QueryHandle handle;
+  std::string key;
+  bool cancelled = false;      // Cancel() was called at some point
+  bool had_deadline = false;   // submitted with a tight deadline
+};
+
+/// Drains `pending`, checking every terminal state's contract; returns
+/// the number of kDone completions verified against the reference table.
+std::size_t DrainAndVerify(
+    std::vector<PendingQuery>& pending,
+    const std::map<std::string, QueryResult>& reference) {
+  std::size_t verified = 0;
+  for (auto& pq : pending) {
+    const auto& resp = pq.handle.Wait();
+    switch (resp.status) {
+      case QueryStatus::kDone: {
+        const auto it = reference.find(pq.key);
+        if (it == reference.end()) {
+          ADD_FAILURE() << "no reference for " << pq.key;
+          break;
+        }
+        ExpectSameResult(it->second, resp.result);
+        ++verified;
+        break;
+      }
+      case QueryStatus::kCancelled:
+        EXPECT_TRUE(pq.cancelled) << pq.key
+            << ": cancelled without a Cancel() call";
+        EXPECT_TRUE(std::holds_alternative<std::monostate>(resp.result));
+        break;
+      case QueryStatus::kDeadlineExceeded:
+        EXPECT_TRUE(pq.had_deadline) << pq.key
+            << ": deadline-exceeded without a deadline";
+        EXPECT_TRUE(std::holds_alternative<std::monostate>(resp.result));
+        break;
+      case QueryStatus::kRejected:
+        EXPECT_TRUE(std::holds_alternative<std::monostate>(resp.result));
+        break;
+      default:
+        ADD_FAILURE() << pq.key << ": unexpected terminal status "
+                      << engine::ToString(resp.status) << " ("
+                      << resp.error << ")";
+    }
+  }
+  pending.clear();
+  return verified;
+}
+
+TEST(EngineSoakTest, RandomizedMixedWorkloadStaysBitIdentical) {
+  const std::size_t budget = SoakQueries();
+  const auto graphs = MakeSoakGraphs();
+
+  // Reference table: every (graph, family, variant, source) cell the
+  // storm can hit, computed by direct sequential calls *before* any
+  // engine exists — the pool is still in strict single-owner mode here.
+  std::map<std::string, QueryResult> reference;
+  {
+    std::mt19937_64 probe(test::TestSeed());
+    // The request space is small and enumerable through the same
+    // generator: roll until every cell has been seen. 64 rolls per cell
+    // bound makes nontermination impossible.
+    for (std::size_t i = 0; i < 64 * 9 * 2 * 3 * graphs.size(); ++i) {
+      const SoakGraph& sg = graphs[i % graphs.size()];
+      std::string key;
+      QueryRequest request = MakeRandomRequest(probe, sg, &key);
+      if (!reference.count(key)) {
+        reference.emplace(key, RunDirect(sg, request));
+      }
+    }
+  }
+
+  // Phase 1: blocking engine with a quota on the hot graph. The storm
+  // randomly cancels some queries and arms tight deadlines on others;
+  // the submitter occasionally blocks on the quota/queue — exactly the
+  // backpressure a production deployment runs under.
+  std::mt19937_64 rng(test::TestSeed() * 7919 + 17);
+  std::size_t verified = 0;
+  {
+    engine::QueryEngineOptions eopts;
+    eopts.max_in_flight = 3;
+    eopts.queue_capacity = 16;
+    engine::QueryEngine engine(eopts);
+    engine::GraphOptions hot_quota;
+    hot_quota.quota = 4;
+    engine.RegisterGraph(graphs[0].name, graphs[0].graph, hot_quota);
+    engine.RegisterGraph(graphs[1].name, graphs[1].graph);
+
+    std::vector<PendingQuery> pending;
+    for (std::size_t i = 0; i < budget; ++i) {
+      const SoakGraph& sg = graphs[rng() % 10 < 6 ? 0 : 1];
+      std::string key;
+      QueryRequest request = MakeRandomRequest(rng, sg, &key);
+
+      PendingQuery pq;
+      pq.key = key;
+      engine::SubmitOptions sopts;
+      const int action = static_cast<int>(rng() % 10);
+      if (action == 0) {
+        // A tight deadline: expires mid-run or in the queue, or the
+        // query beats it — all three outcomes are legal.
+        sopts.deadline_ms = 0.5 + static_cast<double>(rng() % 40) / 10.0;
+        pq.had_deadline = true;
+      }
+      pq.handle = engine.Submit(sg.name, std::move(request), sopts);
+      if (action == 1) {
+        pq.handle.Cancel();  // may land before, during or after the run
+        pq.cancelled = true;
+      }
+      pending.push_back(std::move(pq));
+
+      // Periodically drain to keep the handle set bounded and to mix
+      // wait-side load into the storm.
+      if (pending.size() >= 24) {
+        verified += DrainAndVerify(pending, reference);
+      }
+    }
+    verified += DrainAndVerify(pending, reference);
+
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.submitted, budget);
+    EXPECT_EQ(stats.done + stats.cancelled + stats.deadline_exceeded +
+                  stats.rejected + stats.failed,
+              budget)
+        << "every submitted query must reach exactly one terminal state";
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_EQ(stats.rejected, 0u) << "kBlock never rejects";
+
+    const auto ws = engine.workspace_stats();
+    EXPECT_LE(ws.created, static_cast<std::size_t>(eopts.max_in_flight))
+        << "workspace creations must stay within the pool capacity";
+    EXPECT_EQ(ws.outstanding, 0u);
+    EXPECT_EQ(engine.GraphInFlight(graphs[0].name), 0u);
+    EXPECT_EQ(engine.GraphInFlight(graphs[1].name), 0u);
+  }
+
+  // Phase 2: rejecting engine with a tiny queue and a tight quota — the
+  // overload shape. Rejections are expected; everything that does
+  // complete must still be bit-identical, and quota slots released by
+  // rejected/cancelled queries must keep the engine serving.
+  {
+    engine::QueryEngineOptions eopts;
+    eopts.max_in_flight = 2;
+    eopts.queue_capacity = 4;
+    eopts.backpressure = engine::QueryEngineOptions::Backpressure::kReject;
+    engine::QueryEngine engine(eopts);
+    engine::GraphOptions tight;
+    tight.quota = 3;
+    engine.RegisterGraph(graphs[0].name, graphs[0].graph, tight);
+    engine.RegisterGraph(graphs[1].name, graphs[1].graph);
+
+    const std::size_t overload = budget / 2;
+    std::vector<PendingQuery> pending;
+    for (std::size_t i = 0; i < overload; ++i) {
+      const SoakGraph& sg = graphs[rng() % 2];
+      std::string key;
+      QueryRequest request = MakeRandomRequest(rng, sg, &key);
+      PendingQuery pq;
+      pq.key = key;
+      pq.handle = engine.Submit(sg.name, std::move(request));
+      if (rng() % 8 == 0) {
+        pq.handle.Cancel();
+        pq.cancelled = true;
+      }
+      pending.push_back(std::move(pq));
+    }
+    verified += DrainAndVerify(pending, reference);
+
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.submitted, overload);
+    EXPECT_EQ(stats.done + stats.cancelled + stats.deadline_exceeded +
+                  stats.rejected + stats.failed,
+              overload);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_LE(engine.workspace_stats().created,
+              static_cast<std::size_t>(eopts.max_in_flight));
+    EXPECT_EQ(engine.workspace_stats().outstanding, 0u);
+  }
+
+  // Phase 3: a streamed batch over the hot graph — finish-order drain
+  // under the same verification contract.
+  {
+    engine::QueryEngineOptions eopts;
+    eopts.max_in_flight = 3;
+    engine::QueryEngine engine(eopts);
+    engine.RegisterGraph(graphs[0].name, graphs[0].graph);
+
+    engine::SsspQuery proto;
+    auto stream = engine.SubmitAll(graphs[0].name, graphs[0].sources,
+                                   proto, engine::kStream);
+    // Collect in finish order; verify after the engine is gone (direct
+    // reference runs then own the pool again).
+    std::vector<std::optional<SsspResult>> streamed(
+        graphs[0].sources.size());
+    while (auto c = stream.Next()) {
+      const auto& resp = c->handle.Wait();
+      ASSERT_EQ(resp.status, QueryStatus::kDone) << resp.error;
+      streamed[c->index] = std::get<SsspResult>(resp.result);
+    }
+    engine.Shutdown();
+    for (std::size_t i = 0; i < streamed.size(); ++i) {
+      ASSERT_TRUE(streamed[i].has_value()) << "missing completion " << i;
+      const auto want =
+          Sssp(graphs[0].graph, graphs[0].sources[i], proto.opts);
+      EXPECT_EQ(streamed[i]->dist, want.dist);
+      EXPECT_EQ(streamed[i]->pred, want.pred);
+    }
+  }
+
+  // The storm must have actually verified a healthy share of results —
+  // a soak where almost everything cancelled proves nothing.
+  EXPECT_GE(verified, budget / 2)
+      << "too few completed queries were verified";
+}
+
+}  // namespace
+}  // namespace gunrock
