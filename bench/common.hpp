@@ -175,6 +175,21 @@ struct Dataset {
   vid_t source = 0;  // max-degree vertex (a connected, busy start)
 };
 
+/// `count` deterministic, well-spread vertices ((i*997 + 1) mod |V|) —
+/// the shared source sampling of the serving-shaped benches
+/// (engine_throughput, msbfs_batch), kept in one place so they measure
+/// comparable source sets.
+inline std::vector<vid_t> PickSources(const graph::Csr& g,
+                                      std::size_t count) {
+  std::vector<vid_t> sources;
+  sources.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    sources.push_back(static_cast<vid_t>(
+        (static_cast<std::int64_t>(i) * 997 + 1) % g.num_vertices()));
+  }
+  return sources;
+}
+
 inline vid_t MaxDegreeVertex(const graph::Csr& g) {
   vid_t best = 0;
   for (vid_t v = 1; v < g.num_vertices(); ++v) {

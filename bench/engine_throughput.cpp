@@ -25,20 +25,14 @@ namespace {
 using namespace bench;
 
 struct Workload {
-  std::string primitive;  // "bfs" | "sssp" | "mixed"
+  std::string primitive;  // "bfs" | "sssp" | "mixed" | "bfs-co" | "ppr-co"
   /// Query i uses prototypes[i % size] stamped with sources[i].
   std::vector<engine::QueryRequest> prototypes;
+  /// Submit through SubmitAll with wave coalescing (single-prototype
+  /// workloads only): compatible queued queries merge into multi-source
+  /// batched runs — the serving-layer view of the msbfs_batch contrast.
+  bool coalesce = false;
 };
-
-std::vector<vid_t> PickSources(const graph::Csr& g, std::size_t count) {
-  std::vector<vid_t> sources;
-  sources.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    sources.push_back(static_cast<vid_t>(
-        (static_cast<std::int64_t>(i) * 997 + 1) % g.num_vertices()));
-  }
-  return sources;
-}
 
 /// Sequential direct calls: the no-engine baseline. engine::RunRequest
 /// is the same dispatch the engine's runners use, minus the engine.
@@ -62,11 +56,16 @@ double TimeEngineMs(engine::QueryEngine& eng, const Workload& w,
   return TimeMs(
       [&] {
         std::vector<engine::QueryHandle> handles;
-        handles.reserve(sources.size());
-        for (std::size_t i = 0; i < sources.size(); ++i) {
-          handles.push_back(eng.Submit(
-              "g", engine::WithSource(
-                       w.prototypes[i % w.prototypes.size()], sources[i])));
+        if (w.coalesce) {
+          handles = eng.SubmitAll("g", sources, w.prototypes.front());
+        } else {
+          handles.reserve(sources.size());
+          for (std::size_t i = 0; i < sources.size(); ++i) {
+            handles.push_back(eng.Submit(
+                "g",
+                engine::WithSource(w.prototypes[i % w.prototypes.size()],
+                                   sources[i])));
+          }
         }
         for (auto& h : handles) {
           const auto& resp = h.Wait();
@@ -130,6 +129,14 @@ int main(int argc, char** argv) {
                          {bfs, sssp, pr, engine::CcQuery{},
                           engine::TrianglesQuery{}, lp, engine::MstQuery{},
                           ppr}});
+
+    // Coalesced rows: the same fan-out shapes served through SubmitAll,
+    // so compatible queued queries merge into multi-source waves. BFS
+    // drops predecessors (the coalescible depth-only shape).
+    engine::BfsQuery bfs_co = bfs;
+    bfs_co.opts.compute_preds = false;
+    workloads.push_back({"bfs-co", {bfs_co}, /*coalesce=*/true});
+    workloads.push_back({"ppr-co", {ppr}, /*coalesce=*/true});
   }
 
   JsonWriter writer("engine_throughput");

@@ -236,6 +236,26 @@ void BM_FilterClaim(benchmark::State& state) {
 }
 BENCHMARK(BM_FilterClaim);
 
+/// Serial normalization anchor: a fixed single-threaded ALU workload
+/// (SplitMix64 chain, no memory traffic, no pool) measuring nothing but
+/// this machine's scalar speed. compare_bench.py's google-benchmark
+/// `--normalize-by BM_SerialAnchor` divides every gated row by this row
+/// from the same file, so the committed small-frontier baseline compares
+/// machine-speed-invariantly (1.2x threshold) instead of absolutely
+/// (1.5x to absorb the machine-class gap).
+void BM_SerialAnchor(benchmark::State& state) {
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto _ : state) {
+    for (int i = 0; i < 1 << 16; ++i) x = SplitMix64(x);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+// Explicit MinTime overrides --quick's benchmark_min_time: the anchor's
+// noise multiplies every normalized row, so it gets a longer, steadier
+// measurement than the gated micro rows.
+BENCHMARK(BM_SerialAnchor)->MinTime(0.2);
+
 void BM_BfsEndToEnd(benchmark::State& state) {
   const auto& g = ScaleFreeGraph();
   BfsOptions opts;

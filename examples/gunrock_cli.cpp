@@ -33,6 +33,13 @@
 //     --quota K         per-graph in-flight quota (default: unlimited)
 //     --stream          batch: drain completions in finish order through
 //                       SubmitAll(..., kStream) instead of Wait-in-order
+//     --coalesce on|off batch: merge compatible queued BFS/PPR queries
+//                       into multi-source waves (default on; coalesced
+//                       batch BFS runs depth-only so waves stay
+//                       bit-identical to solo runs, while off preserves
+//                       the classic per-query request, predecessors
+//                       included). The summary reports achieved wave
+//                       sizes and wave throughput.
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
@@ -72,6 +79,7 @@ struct Args {
   double deadline_ms = 0.0;
   std::size_t quota = 0;
   bool stream = false;
+  bool coalesce = true;
 };
 
 [[noreturn]] void Usage() {
@@ -84,7 +92,8 @@ struct Args {
                "       gunrock_cli batch --sources FILE [--primitive "
                "bfs|sssp|bc|cc|pagerank|mst|triangles|lp|hits|salsa|ppr] "
                "[--inflight K] [--queue N] [--reject] [--deadline MS] "
-               "[--quota K] [--stream] [graph options] [--json]\n"
+               "[--quota K] [--stream] [--coalesce on|off] "
+               "[graph options] [--json]\n"
                "       gunrock_cli serve [--primitive ...] [--inflight K] "
                "[graph options]   (reads \"<primitive> [source]\" lines "
                "from stdin)\n");
@@ -145,6 +154,10 @@ Args Parse(int argc, char** argv) {
       args.quota = static_cast<std::size_t>(std::atol(next().c_str()));
     } else if (flag == "--stream") {
       args.stream = true;
+    } else if (flag == "--coalesce") {
+      const std::string v = next();
+      if (v != "on" && v != "off") Usage();
+      args.coalesce = v == "on";
     } else {
       Usage();
     }
@@ -270,6 +283,7 @@ engine::QueryEngine MakeEngine(const Args& args) {
   eopts.backpressure =
       args.reject ? engine::QueryEngineOptions::Backpressure::kReject
                   : engine::QueryEngineOptions::Backpressure::kBlock;
+  eopts.coalescing = args.coalesce;
   return engine::QueryEngine(eopts);
 }
 
@@ -317,7 +331,17 @@ int RunBatch(const Args& args, graph::Csr graph) {
 
   engine::SubmitOptions sopts;
   sopts.deadline_ms = args.deadline_ms;
-  const auto proto = MakeRequest(args, args.engine_primitive, 0);
+  auto proto = MakeRequest(args, args.engine_primitive, 0);
+  if (args.coalesce) {
+    if (auto* bfs = std::get_if<engine::BfsQuery>(&proto)) {
+      // Coalesced batch serving returns depths, not parent trees — the
+      // shape the coalescing pass can merge into bit-identical
+      // multi-source waves. With --coalesce off the classic per-query
+      // request (predecessors included) is preserved, so off-mode stays
+      // an apples-to-apples baseline against earlier releases.
+      bfs->opts.compute_preds = false;
+    }
+  }
 
   WallTimer wall;
   std::size_t done = 0;
@@ -355,14 +379,33 @@ int RunBatch(const Args& args, graph::Csr graph) {
                                        wall_ms
                                  : 0.0;
   const auto ws = engine.workspace_stats();
+  const auto stats = engine.stats();
+  const double avg_wave =
+      stats.waves > 0 ? static_cast<double>(stats.coalesced) /
+                            static_cast<double>(stats.waves)
+                      : 0.0;
+  // Queries served through waves per second: how much of the throughput
+  // the coalescing pass actually carried.
+  const double wave_qps =
+      wall_ms > 0 ? 1000.0 * static_cast<double>(stats.coalesced) / wall_ms
+                  : 0.0;
   if (args.json) {
     std::printf("{\"mode\":\"batch\",\"primitive\":\"%s\",\"queries\":%zu,"
                 "\"done\":%zu,\"inflight\":%u,\"wall_ms\":%.3f,"
                 "\"qps\":%.1f,\"workspaces_created\":%zu,"
-                "\"leases_recycled\":%zu,\"stream\":%s}\n",
+                "\"leases_recycled\":%zu,\"stream\":%s,"
+                "\"coalesce\":%s,\"waves\":%llu,\"coalesced\":%llu,"
+                "\"avg_wave\":%.2f,\"max_wave\":%llu,"
+                "\"wave_qps\":%.1f}\n",
                 args.engine_primitive.c_str(), total, done,
                 args.inflight, wall_ms, qps, ws.created, ws.recycled,
-                args.stream ? "true" : "false");
+                args.stream ? "true" : "false",
+                args.coalesce ? "true" : "false",
+                static_cast<unsigned long long>(stats.waves),
+                static_cast<unsigned long long>(stats.coalesced),
+                avg_wave,
+                static_cast<unsigned long long>(stats.max_wave),
+                wave_qps);
   } else {
     std::printf("batch: %zu/%zu queries done in %.2f ms  (%.1f q/s, "
                 "inflight=%u, %zu workspaces created, %zu leases "
@@ -370,6 +413,19 @@ int RunBatch(const Args& args, graph::Csr graph) {
                 done, total, wall_ms, qps, args.inflight,
                 ws.created, ws.recycled,
                 args.stream ? ", finish-order stream" : "");
+    // Only meaningful when coalescing could have happened: BFS/PPR with
+    // the pass enabled. A "0 waves" line for sssp/cc/... would imply
+    // merging was attempted for shapes the engine always runs solo.
+    if (args.coalesce && (args.engine_primitive == "bfs" ||
+                          args.engine_primitive == "ppr")) {
+      std::printf("coalescing: %llu waves served %llu/%zu queries "
+                  "(avg wave %.1f, max %llu, %.1f wave-q/s)\n",
+                  static_cast<unsigned long long>(stats.waves),
+                  static_cast<unsigned long long>(stats.coalesced), total,
+                  avg_wave,
+                  static_cast<unsigned long long>(stats.max_wave),
+                  wave_qps);
+    }
   }
   return done == total ? 0 : 1;
 }

@@ -15,16 +15,29 @@ Two input formats are auto-detected:
   ``real_time``.
 
 Because committed baselines are produced on one machine class and CI runs
-on another, absolute times are not comparable across machines. For the
-envelope format, ``--normalize-by serial`` divides every selected row by
-the matching serial-framework row *from the same file* before comparing,
-which cancels the machine speed and gates only on gunrock-relative
-regressions. This is the mode the CI gate uses.
+on another, absolute times are not comparable across machines. Both
+formats therefore support serial normalization:
+
+* envelope: ``--normalize-by serial`` divides every selected row by the
+  matching serial-framework row *from the same file* before comparing,
+  which cancels the machine speed and gates only on gunrock-relative
+  regressions. This is the mode the CI gate uses.
+* google-benchmark: ``--normalize-by REGEX`` names one or more *anchor*
+  benchmarks (e.g. ``BM_SerialAnchor``, a fixed serial ALU workload that
+  micro_operators registers exactly for this purpose). Every gated row is
+  divided by the geomean of the anchor rows' real_time from its own file,
+  making the comparison machine-speed-invariant and letting the
+  small-frontier gate run at a 1.2x threshold instead of the loose 1.5x
+  an absolute-time comparison needs to absorb the machine-class gap.
+  Anchor rows must be present in both files (include them in any
+  --benchmark_filter used to produce the JSON).
 
 Examples:
   compare_bench.py baseline.json current.json \
       --framework gunrock --normalize-by serial --threshold 1.2
-  compare_bench.py micro_base.json micro_now.json --filter 'BM_AdvanceIter'
+  compare_bench.py micro_base.json micro_now.json \
+      --filter '(AdvanceIter|FilterIter)' \
+      --normalize-by 'BM_SerialAnchor' --threshold 1.2
 """
 
 import argparse
@@ -69,6 +82,12 @@ def envelope_normalizers(doc, normalize_by):
 
 
 def gbench_rows(doc, name_filter):
+    """name -> real_time, min across --benchmark_repetitions rows.
+
+    Repetition runs share one name; keeping the best-observed time is the
+    standard noise shield for micro-scale rows (scheduler jitter only ever
+    adds time).
+    """
     rows = {}
     pattern = re.compile(name_filter) if name_filter else None
     for b in doc.get("benchmarks", []):
@@ -77,8 +96,22 @@ def gbench_rows(doc, name_filter):
         name = b["name"]
         if pattern and not pattern.search(name):
             continue
-        rows[name] = float(b["real_time"])
+        t = float(b["real_time"])
+        rows[name] = min(rows.get(name, t), t)
     return rows
+
+
+def gbench_anchor(doc, anchor_re):
+    """Geomean of the serial-anchor rows' (min-of-repetition) real_time.
+
+    Extraction goes through gbench_rows so anchor and gated rows always
+    share the same row rules (aggregate skip, min across repetitions).
+    """
+    vals = [t for t in gbench_rows(doc, anchor_re).values() if t > 0]
+    if not vals:
+        sys.exit("error: no anchor rows matching %r (did the JSON's "
+                 "--benchmark_filter include the anchor?)" % anchor_re)
+    return math.exp(sum(math.log(t) for t in vals) / len(vals))
 
 
 def main():
@@ -91,10 +124,15 @@ def main():
                     help="envelope format: framework rows to gate on")
     ap.add_argument("--primitive", default=None,
                     help="envelope format: restrict to one primitive")
-    ap.add_argument("--normalize-by", default=None, metavar="FRAMEWORK",
-                    help="envelope format: divide each row by the matching "
-                         "row of this framework from the same file "
-                         "(machine-speed-invariant comparison)")
+    ap.add_argument("--normalize-by", default=None,
+                    metavar="FRAMEWORK_OR_REGEX",
+                    help="machine-speed-invariant comparison. Envelope "
+                         "format: divide each row by the matching row of "
+                         "this framework from the same file. "
+                         "google-benchmark format: divide each row by the "
+                         "geomean real_time of the benchmarks matching "
+                         "this regex (the serial anchor) from its own "
+                         "file; anchor rows are excluded from gating")
     ap.add_argument("--filter", default=None,
                     help="google-benchmark format: regex on benchmark name")
     ap.add_argument("--min-ms", type=float, default=0.05,
@@ -111,7 +149,13 @@ def main():
         base = gbench_rows(base_doc, args.filter)
         cur = gbench_rows(cur_doc, args.filter)
         if args.normalize_by:
-            sys.exit("error: --normalize-by requires the envelope format")
+            anchor_re = re.compile(args.normalize_by)
+            base_anchor = gbench_anchor(base_doc, args.normalize_by)
+            cur_anchor = gbench_anchor(cur_doc, args.normalize_by)
+            base = {k: v / base_anchor for k, v in base.items()
+                    if not anchor_re.search(k)}
+            cur = {k: v / cur_anchor for k, v in cur.items()
+                   if not anchor_re.search(k)}
     else:
         base = envelope_rows(base_doc, args.framework, args.primitive,
                              args.min_ms)

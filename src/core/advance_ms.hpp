@@ -1,0 +1,354 @@
+// Multi-source (lane-mask) advance and filter operators.
+//
+// The scalar operators in advance.hpp traverse the frontier of *one*
+// query; these variants traverse the union frontier of up to 64 queries
+// at once, propagating a 64-bit lane mask per vertex instead of a scalar
+// visitation: `next[v] |= frontier[u] & ~visited[v]`. Every CSR row scan
+// is thereby amortized across all concurrent lanes — the linear-algebra
+// view (one sweep over an N-column bit-packed frontier matrix) that turns
+// N single-source traversals into one.
+//
+// Functor contract (fused into the traversal loop like the scalar
+// operators'):
+//
+//   struct MyMsFunctor {
+//     // Subset of `lanes` (the source vertex's frontier mask) that
+//     // should propagate across edge (u, v); 0 = none. Typically
+//     // `lanes & ~visited(v) & active`.
+//     static std::uint64_t CondEdge(vid_t u, vid_t v, eid_t e,
+//                                   std::uint64_t lanes, Problem& p);
+//   };
+//
+// Push comes in the same two flavors as scalar BFS: the *fused-claim*
+// variant (kEmitOnce = true) dedups the output frontier exactly via
+// LaneMaskFrontier::OrBits' first-touch signal, while the *filtered*
+// variant (kEmitOnce = false) emits every touched vertex and leaves the
+// dedup to FilterMsUnique — the multi-source analog of the idempotent
+// advance + visited-claim filter pipeline.
+//
+// All scratch comes out of the AdvanceConfig's workspace (same slots as
+// the scalar operators — the expansion helpers are phase-disjoint).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/advance.hpp"
+#include "core/filter.hpp"
+#include "core/policy.hpp"
+#include "graph/csr.hpp"
+#include "parallel/bitmap.hpp"
+#include "parallel/compact.hpp"
+#include "parallel/for_each.hpp"
+#include "parallel/lane_mask.hpp"
+#include "parallel/scan.hpp"
+#include "parallel/sorted_search.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/types.hpp"
+
+namespace gunrock::core {
+
+namespace detail {
+
+/// Serially expands frontier items [lo, hi), ORing propagated lane masks
+/// into `next` and appending output vertices to `local` (first-touch only
+/// when kEmitOnce). Returns edges visited.
+template <typename Functor, typename Problem, bool kEmitOnce>
+eid_t ExpandRangeMs(const graph::Csr& g, std::span<const vid_t> items,
+                    const par::LaneMaskFrontier& cur,
+                    par::LaneMaskFrontier& next, std::size_t lo,
+                    std::size_t hi, Problem& prob,
+                    std::vector<vid_t>* local) {
+  eid_t edges = 0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const vid_t u = items[i];
+    const std::uint64_t lanes = cur.Load(static_cast<std::size_t>(u));
+    const eid_t rb = g.row_begin(u), re = g.row_end(u);
+    edges += re - rb;
+    if (lanes == 0) continue;  // all of u's lanes were dropped mid-wave
+    for (eid_t e = rb; e < re; ++e) {
+      const vid_t v = g.edge_dest(e);
+      const std::uint64_t prop = Functor::CondEdge(u, v, e, lanes, prob);
+      if (prop == 0) continue;
+      const std::uint64_t prev =
+          next.OrBits(static_cast<std::size_t>(v), prop);
+      if (local && (!kEmitOnce || prev == 0)) local->push_back(v);
+    }
+  }
+  return edges;
+}
+
+/// Chunked multi-source expansion (thread-mapped path and the small /
+/// medium TWC bins).
+template <typename Functor, typename Problem, bool kEmitOnce>
+eid_t ExpandChunkedMs(par::ThreadPool& pool, const graph::Csr& g,
+                      std::span<const vid_t> items,
+                      const par::LaneMaskFrontier& cur,
+                      par::LaneMaskFrontier& next, std::size_t grain,
+                      Problem& prob, std::vector<vid_t>* out,
+                      par::Workspace& wsp) {
+  const std::size_t n = items.size();
+  if (n == 0) return 0;
+  if (grain == 0) grain = par::DefaultGrain(n, pool.num_threads());
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  auto& locals =
+      wsp.Get<std::vector<std::vector<vid_t>>>(par::ws::kAdvanceLocals);
+  if (out && locals.size() < num_chunks) locals.resize(num_chunks);
+  auto& counts = wsp.Get<std::vector<eid_t>>(par::ws::kAdvanceCounts);
+  counts.assign(num_chunks, 0);
+  par::ParallelForChunks(
+      pool, 0, n, grain,
+      [&](std::size_t lo, std::size_t hi, std::size_t chunk, unsigned) {
+        std::vector<vid_t>* local = nullptr;
+        if (out) {
+          local = &locals[chunk];
+          local->clear();
+        }
+        counts[chunk] = ExpandRangeMs<Functor, Problem, kEmitOnce>(
+            g, items, cur, next, lo, hi, prob, local);
+      });
+  par::ConcatChunks(pool, locals, out ? num_chunks : 0, out, &wsp,
+                    par::ws::kAdvanceAppendOffsets);
+  eid_t edges = 0;
+  for (std::size_t c = 0; c < num_chunks; ++c) edges += counts[c];
+  return edges;
+}
+
+/// Equal-work multi-source expansion: scan degrees, split total edge work
+/// evenly, scatter-then-compact the output (paper Figure 5 applied to the
+/// union frontier).
+template <typename Functor, typename Problem, bool kEmitOnce>
+eid_t ExpandEqualWorkMs(par::ThreadPool& pool, const graph::Csr& g,
+                        std::span<const vid_t> items,
+                        const par::LaneMaskFrontier& cur,
+                        par::LaneMaskFrontier& next, Problem& prob,
+                        std::vector<vid_t>* out, par::Workspace& wsp) {
+  const std::size_t n = items.size();
+  if (n == 0) return 0;
+  auto& offsets = wsp.Get<std::vector<eid_t>>(par::ws::kAdvanceOffsets);
+  offsets.resize(n + 1);
+  const eid_t total = par::TransformExclusiveScan<eid_t>(
+      pool, n, std::span<eid_t>(offsets.data(), n), eid_t{0},
+      [&](std::size_t i) { return g.degree(items[i]); }, &wsp);
+  offsets[n] = total;
+  if (total == 0) return 0;
+
+  auto& raw = wsp.Get<std::vector<vid_t>>(par::ws::kAdvanceRaw);
+  raw.resize(out ? static_cast<std::size_t>(total) : 0);
+  const std::size_t grain = std::max<std::size_t>(
+      512, par::DefaultGrain(static_cast<std::size_t>(total),
+                             pool.num_threads()));
+  par::ParallelForChunks(
+      pool, 0, static_cast<std::size_t>(total), grain,
+      [&](std::size_t lo, std::size_t hi, std::size_t, unsigned) {
+        std::size_t s = par::FindOwner(
+            std::span<const eid_t>(offsets.data(), n + 1),
+            static_cast<eid_t>(lo));
+        eid_t seg_end = offsets[s + 1];
+        vid_t u = items[s];
+        std::uint64_t lanes = cur.Load(static_cast<std::size_t>(u));
+        for (std::size_t p = lo; p < hi; ++p) {
+          while (static_cast<eid_t>(p) >= seg_end) {
+            ++s;
+            seg_end = offsets[s + 1];
+            u = items[s];
+            lanes = cur.Load(static_cast<std::size_t>(u));
+          }
+          const eid_t e = g.row_begin(u) + (static_cast<eid_t>(p) -
+                                            offsets[s]);
+          const vid_t v = g.edge_dest(e);
+          const std::uint64_t prop =
+              lanes ? Functor::CondEdge(u, v, e, lanes, prob) : 0;
+          bool emit = false;
+          if (prop != 0) {
+            const std::uint64_t prev =
+                next.OrBits(static_cast<std::size_t>(v), prop);
+            emit = !kEmitOnce || prev == 0;
+          }
+          if (out) raw[p] = emit ? v : kInvalidVid;
+        }
+      });
+  if (out) {
+    par::AppendIf(
+        pool,
+        std::span<const vid_t>(raw.data(), static_cast<std::size_t>(total)),
+        *out, [](vid_t x) { return x != kInvalidVid; }, &wsp);
+  }
+  return total;
+}
+
+}  // namespace detail
+
+/// Multi-source push advance over the union frontier `input` (each item's
+/// lane mask read from `cur`). Propagated masks are ORed into `next`;
+/// touched vertices are appended to `output` — exactly once per vertex
+/// when kEmitOnce (fused-claim dedup via OrBits' first-touch signal), or
+/// once per discovering edge otherwise (pair with FilterMsUnique).
+template <typename Functor, typename Problem, bool kEmitOnce = true>
+AdvanceResult AdvancePushMs(par::ThreadPool& pool, const graph::Csr& g,
+                            std::span<const vid_t> input,
+                            const par::LaneMaskFrontier& cur,
+                            par::LaneMaskFrontier& next,
+                            std::vector<vid_t>* output, Problem& prob,
+                            const AdvanceConfig& cfg = {}) {
+  AdvanceResult result;
+  const std::size_t n = input.size();
+  if (n == 0) return result;
+  par::Workspace private_arena;
+  par::Workspace& wsp = cfg.workspace ? *cfg.workspace : private_arena;
+  const std::size_t out_base = output ? output->size() : 0;
+
+  switch (ResolveLoadBalance(cfg)) {
+    case LoadBalance::kThreadMapped: {
+      result.edges_visited =
+          detail::ExpandChunkedMs<Functor, Problem, kEmitOnce>(
+              pool, g, input, cur, next, cfg.grain, prob, output, wsp);
+      break;
+    }
+    case LoadBalance::kTwc: {
+      auto& small = wsp.Get<std::vector<vid_t>>(par::ws::kTwcSmall);
+      auto& medium = wsp.Get<std::vector<vid_t>>(par::ws::kTwcMedium);
+      auto& large = wsp.Get<std::vector<vid_t>>(par::ws::kTwcLarge);
+      small.resize(n);
+      medium.resize(n);
+      large.resize(n);
+      const std::array<std::size_t, 3> sizes = par::GenerateThreeWay<vid_t>(
+          pool, n,
+          {std::span<vid_t>(small), std::span<vid_t>(medium),
+           std::span<vid_t>(large)},
+          [&](std::size_t i) {
+            const eid_t d = g.degree(input[i]);
+            if (d <= kTwcWarpThreshold) return 0;
+            return d <= kTwcCtaThreshold ? 1 : 2;
+          },
+          [&](std::size_t i) { return input[i]; }, &wsp);
+      result.edges_visited +=
+          detail::ExpandChunkedMs<Functor, Problem, kEmitOnce>(
+              pool, g, std::span<const vid_t>(small.data(), sizes[0]), cur,
+              next, std::max<std::size_t>(cfg.grain, 128), prob, output,
+              wsp);
+      result.edges_visited +=
+          detail::ExpandChunkedMs<Functor, Problem, kEmitOnce>(
+              pool, g, std::span<const vid_t>(medium.data(), sizes[1]),
+              cur, next, 16, prob, output, wsp);
+      result.edges_visited +=
+          detail::ExpandEqualWorkMs<Functor, Problem, kEmitOnce>(
+              pool, g, std::span<const vid_t>(large.data(), sizes[2]), cur,
+              next, prob, output, wsp);
+      break;
+    }
+    case LoadBalance::kEqualWork:
+    case LoadBalance::kAuto: {  // kAuto already resolved; silences -Wswitch
+      result.edges_visited =
+          detail::ExpandEqualWorkMs<Functor, Problem, kEmitOnce>(
+              pool, g, input, cur, next, prob, output, wsp);
+      break;
+    }
+  }
+  if (output) result.output_size = output->size() - out_base;
+  return result;
+}
+
+/// Multi-source pull advance: for every candidate vertex (one with lanes
+/// still to discover), probe incoming neighbors and gather the union of
+/// their frontier masks, stopping early once every remaining lane has
+/// found a parent — the multi-source generalization of scalar pull's
+/// first-parent early break, which degrades gracefully as lanes fill in.
+///
+/// Functor contract:
+///   static std::uint64_t Remaining(vid_t v, Problem& p);
+///     -> lanes candidate v still wants (typically ~visited(v) & active).
+///
+/// `rg` must be the reverse graph. Candidates are owned by exactly one
+/// chunk, so discovered vertices are emitted exactly once.
+template <typename Functor, typename Problem>
+AdvanceResult AdvancePullMs(par::ThreadPool& pool, const graph::Csr& rg,
+                            const par::LaneMaskFrontier& cur,
+                            std::span<const vid_t> candidates,
+                            par::LaneMaskFrontier& next,
+                            std::vector<vid_t>* output, Problem& prob,
+                            const AdvanceConfig& cfg = {}) {
+  AdvanceResult result;
+  const std::size_t n = candidates.size();
+  if (n == 0) return result;
+  par::Workspace private_arena;
+  par::Workspace& wsp = cfg.workspace ? *cfg.workspace : private_arena;
+  const std::size_t out_base = output ? output->size() : 0;
+  const std::size_t grain =
+      cfg.grain ? cfg.grain : par::DefaultGrain(n, pool.num_threads());
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  auto& locals =
+      wsp.Get<std::vector<std::vector<vid_t>>>(par::ws::kAdvanceLocals);
+  if (output && locals.size() < num_chunks) locals.resize(num_chunks);
+  auto& counts = wsp.Get<std::vector<eid_t>>(par::ws::kAdvanceCounts);
+  counts.assign(num_chunks, 0);
+  par::ParallelForChunks(
+      pool, 0, n, grain,
+      [&](std::size_t lo, std::size_t hi, std::size_t chunk, unsigned) {
+        std::vector<vid_t>* local = nullptr;
+        if (output) {
+          local = &locals[chunk];
+          local->clear();
+        }
+        eid_t edges = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const vid_t v = candidates[i];
+          const std::uint64_t rem = Functor::Remaining(v, prob);
+          if (rem == 0) continue;
+          std::uint64_t acc = 0;
+          for (eid_t e = rg.row_begin(v); e < rg.row_end(v); ++e) {
+            const vid_t u = rg.edge_dest(e);
+            ++edges;
+            acc |= cur.Load(static_cast<std::size_t>(u)) & rem;
+            if (acc == rem) break;  // every remaining lane found a parent
+          }
+          if (acc != 0) {
+            next.OrBits(static_cast<std::size_t>(v), acc);
+            if (local) local->push_back(v);
+          }
+        }
+        counts[chunk] = edges;
+      });
+  par::ConcatChunks(pool, locals, output ? num_chunks : 0, output, &wsp,
+                    par::ws::kAdvanceAppendOffsets);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    result.edges_visited += counts[c];
+  }
+  if (output) result.output_size = output->size() - out_base;
+  return result;
+}
+
+/// Multi-source filter: exact-dedups the raw vertex list a kEmitOnce =
+/// false push produced (one entry per discovering edge) down to one entry
+/// per vertex, via an epoch-stamped claim — the multi-source analog of
+/// idempotent BFS's visited-bitmap filter. Built on FilterVertex because
+/// the claim is stateful: FilterVertex evaluates the condition exactly
+/// once per item, in the same pass that writes the output. `claim` must
+/// be sized to |V| and fresh (NewEpoch) for this level.
+struct MsClaimProblem {
+  par::EpochBitmap* claim = nullptr;
+};
+
+struct MsClaimFunctor {
+  static bool CondVertex(vid_t v, MsClaimProblem& p) {
+    return p.claim->TestAndSet(static_cast<std::size_t>(v));
+  }
+  static void ApplyVertex(vid_t, MsClaimProblem&) {}
+};
+
+inline std::size_t FilterMsUnique(par::ThreadPool& pool,
+                                  std::span<const vid_t> raw,
+                                  par::EpochBitmap& claim,
+                                  std::vector<vid_t>* output,
+                                  par::Workspace* wsp = nullptr) {
+  MsClaimProblem prob{&claim};
+  FilterConfig cfg;
+  cfg.workspace = wsp;
+  return FilterVertex<MsClaimFunctor>(pool, raw, output, prob, cfg)
+      .output_size;
+}
+
+}  // namespace gunrock::core

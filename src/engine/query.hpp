@@ -123,6 +123,48 @@ inline bool NeedsReverseGraph(const QueryRequest& request) {
          std::holds_alternative<SalsaQuery>(request);
 }
 
+/// True for request kinds the engine's coalescing pass can merge into one
+/// batched multi-source wave: BFS without predecessors (BfsBatch extracts
+/// per-lane depths, not parent trees) and single-seed PPR (one seed = one
+/// lane column). The merged run must reproduce each direct call's result
+/// — exactly for BFS depths; for PPR to the same rounding spread as two
+/// scalar runs of each other (bitwise on a single-lane pool, see
+/// ppr_batch.hpp) — so anything else always runs solo.
+inline bool CoalescibleRequest(const QueryRequest& request) {
+  if (const auto* bfs = std::get_if<BfsQuery>(&request)) {
+    return !bfs->opts.compute_preds && bfs->opts.reverse == nullptr &&
+           !bfs->opts.collect_records;
+  }
+  if (const auto* ppr = std::get_if<PprQuery>(&request)) {
+    return ppr->seeds.size() == 1 && !ppr->opts.collect_records;
+  }
+  return false;
+}
+
+/// True when two coalescible requests may share one wave: same kind and
+/// identical options/variant — the source (or seed) is the lane axis, so
+/// it is deliberately not compared.
+inline bool CoalesceCompatible(const QueryRequest& a,
+                               const QueryRequest& b) {
+  if (a.index() != b.index()) return false;
+  if (const auto* x = std::get_if<BfsQuery>(&a)) {
+    const auto& y = std::get<BfsQuery>(b);
+    return x->opts.load_balance == y.opts.load_balance &&
+           x->opts.idempotent == y.opts.idempotent &&
+           x->opts.direction == y.opts.direction &&
+           x->opts.do_alpha == y.opts.do_alpha &&
+           x->opts.do_beta == y.opts.do_beta;
+  }
+  if (const auto* x = std::get_if<PprQuery>(&a)) {
+    const auto& y = std::get<PprQuery>(b);
+    return x->opts.damping == y.opts.damping &&
+           x->opts.tolerance == y.opts.tolerance &&
+           x->opts.max_iterations == y.opts.max_iterations &&
+           x->opts.load_balance == y.opts.load_balance;
+  }
+  return false;
+}
+
 /// Copy of `request` with its source vertex replaced; requests without a
 /// source (CC, PageRank, MST, triangles, LP, HITS, SALSA) pass through
 /// unchanged. PPR interprets the source as a single-seed teleport set.

@@ -1,13 +1,17 @@
 #include "engine/query_engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 #include "core/cancel.hpp"
 #include "graph/stats.hpp"
+#include "primitives/bfs_batch.hpp"
+#include "primitives/ppr_batch.hpp"
 #include "util/error.hpp"
 
 namespace gunrock::engine {
@@ -18,6 +22,17 @@ using Clock = std::chrono::steady_clock;
 
 double MsBetween(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Terminal status of a query whose token fired: a pure deadline expiry
+/// maps to kDeadlineExceeded, an explicit Cancel() (even one racing a
+/// deadline) to kCancelled. The single classification shared by the
+/// queued-drop, mid-wave-drop and post-wave paths.
+QueryStatus StoppedStatus(const core::CancelToken& token) {
+  const bool deadline =
+      token.deadline_exceeded() && !token.cancel_requested();
+  return deadline ? QueryStatus::kDeadlineExceeded
+                  : QueryStatus::kCancelled;
 }
 
 }  // namespace
@@ -41,6 +56,18 @@ struct CompletionStream::Shared {
   std::deque<CompletionStream::Completion> ready;
   std::size_t expected = 0;   ///< batch size (set before the stream is used)
   std::size_t delivered = 0;  ///< completions handed out by Next()
+
+  /// Shared drain step of Next()/NextFor(): pops the next completion
+  /// under the caller's lock, or nullopt when nothing is ready (fully
+  /// delivered batch or timed-out wait) — one copy of the delivery
+  /// bookkeeping.
+  std::optional<Completion> PopReadyLocked() {
+    if (ready.empty()) return std::nullopt;
+    Completion next = std::move(ready.front());
+    ready.pop_front();
+    ++delivered;
+    return next;
+  }
 };
 
 /// Shared state behind one QueryHandle: the request, the cancellation
@@ -55,6 +82,9 @@ struct QueryHandle::State {
   /// Holds one slot of the graph's quota (set at admission; rejected
   /// queries never count).
   bool counted = false;
+  /// May be merged into a batched multi-source wave (resolved at submit:
+  /// engine coalescing on + submit opted in + request coalescible).
+  bool coalescible = false;
   /// Streamed batch this query belongs to (null for plain submits).
   std::shared_ptr<CompletionStream::Shared> stream;
   std::size_t stream_index = 0;
@@ -118,11 +148,19 @@ std::optional<CompletionStream::Completion> CompletionStream::Next() {
     return !shared_->ready.empty() ||
            shared_->delivered == shared_->expected;
   });
-  if (shared_->ready.empty()) return std::nullopt;  // batch fully delivered
-  Completion next = std::move(shared_->ready.front());
-  shared_->ready.pop_front();
-  ++shared_->delivered;
-  return next;
+  return shared_->PopReadyLocked();  // empty = batch fully delivered
+}
+
+std::optional<CompletionStream::Completion> CompletionStream::NextFor(
+    double ms) {
+  if (!shared_) return std::nullopt;
+  std::unique_lock<std::mutex> lock(shared_->mutex);
+  shared_->cv.wait_for(
+      lock, std::chrono::duration<double, std::milli>(ms), [&] {
+        return !shared_->ready.empty() ||
+               shared_->delivered == shared_->expected;
+      });
+  return shared_->PopReadyLocked();  // empty = timeout or drained
 }
 
 std::size_t CompletionStream::size() const {
@@ -234,6 +272,9 @@ QueryHandle QueryEngine::SubmitImpl(
   state->aux = entry.aux;
   state->scale_free_hint = entry.scale_free ? 1 : 0;
   state->request = std::move(request);
+  state->coalescible = options_.coalescing &&
+                       options.coalesce == SubmitOptions::Coalesce::kOn &&
+                       CoalescibleRequest(state->request);
   state->stream = std::move(stream);
   state->stream_index = stream_index;
   state->submitted_at = Clock::now();
@@ -276,13 +317,28 @@ QueryHandle QueryEngine::SubmitImpl(
   return QueryHandle(std::move(state));
 }
 
+namespace {
+
+/// SubmitAll's fan-out is the workload coalescing exists for: kDefault
+/// resolves to on here (and to off in plain Submit).
+SubmitOptions ResolveBatchCoalesce(SubmitOptions options) {
+  if (options.coalesce == SubmitOptions::Coalesce::kDefault) {
+    options.coalesce = SubmitOptions::Coalesce::kOn;
+  }
+  return options;
+}
+
+}  // namespace
+
 std::vector<QueryHandle> QueryEngine::SubmitAll(
     const std::string& graph, std::span<const vid_t> sources,
     const QueryRequest& prototype, const SubmitOptions& options) {
+  const SubmitOptions resolved = ResolveBatchCoalesce(options);
   std::vector<QueryHandle> handles;
   handles.reserve(sources.size());
   for (const vid_t s : sources) {
-    handles.push_back(Submit(graph, WithSource(prototype, s), options));
+    handles.push_back(
+        SubmitImpl(graph, WithSource(prototype, s), resolved, nullptr, 0));
   }
   return handles;
 }
@@ -292,6 +348,7 @@ CompletionStream QueryEngine::SubmitAll(const std::string& graph,
                                         const QueryRequest& prototype,
                                         const SubmitOptions& options,
                                         StreamTag) {
+  const SubmitOptions resolved = ResolveBatchCoalesce(options);
   CompletionStream stream;
   stream.shared_ = std::make_shared<CompletionStream::Shared>();
   stream.shared_->expected = sources.size();
@@ -299,7 +356,7 @@ CompletionStream QueryEngine::SubmitAll(const std::string& graph,
   for (std::size_t i = 0; i < sources.size(); ++i) {
     stream.handles_.push_back(SubmitImpl(graph,
                                          WithSource(prototype, sources[i]),
-                                         options, stream.shared_, i));
+                                         resolved, stream.shared_, i));
   }
   return stream;
 }
@@ -359,22 +416,38 @@ void QueryEngine::RunnerLoop() {
 
 void QueryEngine::Execute(
     const std::shared_ptr<QueryHandle::State>& state) {
-  {
-    std::lock_guard<std::mutex> lock(state->mutex);
-    state->started_at = Clock::now();
-    state->status = QueryStatus::kRunning;
+  std::vector<std::shared_ptr<QueryHandle::State>> wave;
+  wave.push_back(state);
+  if (options_.coalescing && state->coalescible) {
+    GatherWave(state, &wave);
   }
-  // A query cancelled (or expired) while queued never touches the pool.
-  if (state->token.ShouldStop()) {
-    const bool deadline = state->token.deadline_exceeded() &&
-                          !state->token.cancel_requested();
-    const QueryStatus status = deadline ? QueryStatus::kDeadlineExceeded
-                                        : QueryStatus::kCancelled;
-    Count(status);  // count first: Wait() returning implies stats landed
-    Complete(state, status, {}, "stopped before start");
+  for (const auto& s : wave) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    s->started_at = Clock::now();
+    s->status = QueryStatus::kRunning;
+  }
+  // Queries cancelled (or expired) while queued never touch the pool.
+  std::vector<std::shared_ptr<QueryHandle::State>> live;
+  live.reserve(wave.size());
+  for (auto& s : wave) {
+    if (s->token.ShouldStop()) {
+      const QueryStatus status = StoppedStatus(s->token);
+      Count(status);  // count first: Wait() returning implies stats landed
+      Complete(s, status, {}, "stopped before start");
+    } else {
+      live.push_back(std::move(s));
+    }
+  }
+  if (live.empty()) return;
+  if (live.size() == 1) {
+    RunSolo(live.front());  // a wave of one is just a query
     return;
   }
+  RunWave(std::move(live));
+}
 
+void QueryEngine::RunSolo(
+    const std::shared_ptr<QueryHandle::State>& state) {
   QueryStatus status;
   QueryResult result;
   std::string error;
@@ -410,6 +483,201 @@ void QueryEngine::Execute(
   // also observe the lease as released and the engine stats as updated.
   Count(status);
   Complete(state, status, std::move(result), std::move(error));
+}
+
+void QueryEngine::GatherWave(
+    const std::shared_ptr<QueryHandle::State>& leader,
+    std::vector<std::shared_ptr<QueryHandle::State>>* wave) {
+  // Budget the *lease-resident* wave state — the buffers that stay in
+  // the recycled workspace arena after the wave ends (per-lane result
+  // vectors are handle-owned and freed with the response, so they don't
+  // count). BFS waves cost a lane-count-independent ~36n bytes (three
+  // LaneMaskFrontiers: an 8n mask plus 4n stamp array each) plus
+  // frontier/candidate lists; PPR waves cost ~12n fixed (inv_out +
+  // all-vertices) plus 16n per lane (two double columns). An over-budget
+  // fixed cost disables merging on that graph outright; otherwise the
+  // per-lane term caps the wave width.
+  const auto n = static_cast<std::size_t>(leader->graph->num_vertices());
+  const bool leader_is_bfs =
+      std::holds_alternative<BfsQuery>(leader->request);
+  const std::size_t fixed_bytes = leader_is_bfs ? n * 36 : n * 12;
+  const std::size_t per_lane_bytes = leader_is_bfs ? 0 : n * 16;
+  if (fixed_bytes > options_.coalesce_budget_bytes) return;
+  const std::size_t budget_lanes =
+      per_lane_bytes == 0
+          ? kMaxBatchLanes
+          : (options_.coalesce_budget_bytes - fixed_bytes) /
+                per_lane_bytes;
+  const std::size_t max_lanes =
+      std::min<std::size_t>(kMaxBatchLanes, budget_lanes);
+  if (max_lanes < 2) return;
+  bool freed = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    auto it = queue_.begin();
+    while (it != queue_.end() && wave->size() < max_lanes) {
+      const auto& s = *it;
+      if (s->coalescible && s->graph == leader->graph &&
+          CoalesceCompatible(leader->request, s->request)) {
+        wave->push_back(s);
+        it = queue_.erase(it);
+        freed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Pulling members out of the queue freed admission capacity.
+  if (freed) not_full_cv_.notify_all();
+}
+
+void QueryEngine::RunWave(
+    std::vector<std::shared_ptr<QueryHandle::State>> wave) {
+  const bool is_bfs =
+      std::holds_alternative<BfsQuery>(wave.front()->request);
+  // Per-lane source validation up front: an out-of-range source fails
+  // *its own* query (exactly what the solo runner's GR_CHECK would do)
+  // instead of poisoning the batched run and failing every lane of the
+  // wave alongside it. One asymmetry mirrored from the solo runners: on
+  // an empty graph PersonalizedPagerank succeeds with an empty result
+  // *before* its seed range check (PprBatch does the same), so PPR
+  // lanes skip validation there; scalar Bfs checks its source first, so
+  // BFS lanes fail like solo calls do.
+  const vid_t num_vertices = wave.front()->graph->num_vertices();
+  const bool validate = is_bfs || num_vertices > 0;
+  std::vector<vid_t> sources;
+  sources.reserve(wave.size());
+  {
+    std::vector<std::shared_ptr<QueryHandle::State>> valid;
+    valid.reserve(wave.size());
+    for (auto& s : wave) {
+      const vid_t source =
+          is_bfs ? std::get<BfsQuery>(s->request).source
+                 : std::get<PprQuery>(s->request).seeds.front();
+      if (validate && (source < 0 || source >= num_vertices)) {
+        Count(QueryStatus::kFailed);
+        Complete(s, QueryStatus::kFailed, {},
+                 is_bfs ? "BFS source out of range" : "seed out of range");
+      } else {
+        sources.push_back(source);
+        valid.push_back(std::move(s));
+      }
+    }
+    wave = std::move(valid);
+  }
+  if (wave.empty()) return;
+  if (wave.size() == 1) {
+    RunSolo(wave.front());
+    return;
+  }
+  const std::size_t num_lanes = wave.size();
+  // Wave accounting lands before any lane can observably complete (the
+  // same stats-then-fulfill order Count/Complete follow): a waiter that
+  // saw its handle finish also sees the wave counted.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    ++stats_.waves;
+    stats_.coalesced += num_lanes;
+    stats_.max_wave = std::max<std::uint64_t>(stats_.max_wave, num_lanes);
+  }
+
+  // Per-lane cancellation: polled by the batch primitive at every
+  // iteration boundary. A fired lane completes right here — its waiter
+  // wakes at the boundary, not at wave end — and drops out of the active
+  // mask; the surviving lanes' results are unaffected (lane columns are
+  // independent).
+  std::vector<char> finished(num_lanes, 0);
+  BatchLaneControl lanes;
+  lanes.keep = [&](std::uint64_t active) {
+    std::uint64_t keep = active;
+    for (std::size_t l = 0; l < num_lanes; ++l) {
+      if (((active >> l) & 1) == 0) continue;
+      const auto& s = wave[l];
+      if (!s->token.ShouldStop()) continue;
+      keep &= ~(std::uint64_t{1} << l);
+      const QueryStatus status = StoppedStatus(s->token);
+      Count(status);
+      Complete(s, status, {}, "lane stopped mid-wave");
+      finished[l] = 1;
+    }
+    return keep;
+  };
+
+  std::optional<BfsBatchResult> bfs_result;
+  std::optional<PprBatchResult> ppr_result;
+  try {
+    WorkspacePool::Lease lease = workspaces_.Acquire();
+    RunControl ctl;
+    ctl.workspace = &lease.workspace();
+    ctl.cancel = nullptr;  // stopping is per-lane, never whole-wave
+    ctl.scale_free_hint = wave.front()->scale_free_hint;
+    if (is_bfs) {
+      const auto& q = std::get<BfsQuery>(wave.front()->request);
+      BfsBatchOptions bopts;
+      bopts.load_balance = q.opts.load_balance;
+      bopts.pool = pool_;
+      bopts.direction = q.opts.direction;
+      bopts.do_alpha = q.opts.do_alpha;
+      bopts.do_beta = q.opts.do_beta;
+      // The variant axis maps onto scalar BFS's advance flavors: the
+      // idempotent pipeline becomes emit-then-filter, the atomic one the
+      // fused claim. Depths are variant-invariant either way.
+      bopts.variant = q.opts.idempotent ? BfsBatchVariant::kFiltered
+                                        : BfsBatchVariant::kFused;
+      bfs_result = BfsBatch(*wave.front()->graph, sources, bopts, ctl,
+                            lanes);
+    } else {
+      const auto& q = std::get<PprQuery>(wave.front()->request);
+      PprBatchOptions popts;
+      popts.load_balance = q.opts.load_balance;
+      popts.pool = pool_;
+      popts.damping = q.opts.damping;
+      popts.tolerance = q.opts.tolerance;
+      popts.max_iterations = q.opts.max_iterations;
+      ppr_result = PprBatch(*wave.front()->graph, sources, popts, ctl,
+                            lanes);
+    }
+  } catch (const std::exception& e) {
+    for (std::size_t l = 0; l < num_lanes; ++l) {
+      if (finished[l]) continue;
+      Count(QueryStatus::kFailed);
+      Complete(wave[l], QueryStatus::kFailed, {}, e.what());
+    }
+    return;
+  }
+  // The lease died with the try scope; de-multiplex per-lane results.
+  const std::uint64_t completed = is_bfs ? bfs_result->completed_mask
+                                         : ppr_result->completed_mask;
+  for (std::size_t l = 0; l < num_lanes; ++l) {
+    if (finished[l]) continue;
+    if (((completed >> l) & 1) == 0) {
+      // Dropped after its completion in the poll callback raced the wave
+      // end (or the whole wave emptied): close it out by its token.
+      const QueryStatus status = StoppedStatus(wave[l]->token);
+      Count(status);
+      Complete(wave[l], status, {}, "lane stopped mid-wave");
+      continue;
+    }
+    QueryResult result;
+    if (is_bfs) {
+      BfsResult r;
+      r.depth = std::move(bfs_result->depth[l]);
+      r.stats.iterations = bfs_result->lane_iterations[l];
+      r.stats.edges_visited = bfs_result->stats.edges_visited;
+      r.stats.elapsed_ms = bfs_result->stats.elapsed_ms;
+      result = std::move(r);
+    } else {
+      PprResult r;
+      r.rank = std::move(ppr_result->rank[l]);
+      r.iterations = ppr_result->iterations[l];
+      r.stats.iterations = ppr_result->iterations[l];
+      r.stats.edges_visited = ppr_result->stats.edges_visited;
+      r.stats.elapsed_ms = ppr_result->stats.elapsed_ms;
+      result = std::move(r);
+    }
+    Count(QueryStatus::kDone);
+    Complete(wave[l], QueryStatus::kDone, std::move(result), {});
+  }
 }
 
 void QueryEngine::Complete(const std::shared_ptr<QueryHandle::State>& state,

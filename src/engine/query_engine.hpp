@@ -70,6 +70,29 @@ struct QueryEngineOptions {
   /// Shared compute pool; nullptr selects the process-global pool. The
   /// engine switches it into shared-submitter mode.
   par::ThreadPool* pool = nullptr;
+  /// Master switch for the batch-coalescing pass: when a runner picks up
+  /// a coalescing-enabled BFS/PPR query, it also pulls every compatible
+  /// queued query on the same graph (same kind, same options) into one
+  /// multi-source wave — up to 64 lanes sharing a single bit-parallel
+  /// traversal (BfsBatch) or column-block power iteration (PprBatch) —
+  /// and de-multiplexes the per-lane results to the individual handles.
+  /// BFS results stay bit-identical to solo runs (depths are exact);
+  /// PPR ranks agree with solo runs to the same rounding spread as two
+  /// scalar runs of each other (bitwise on a single-lane pool — see
+  /// ppr_batch.hpp). Per-query cancellation and deadlines still apply:
+  /// a stopped lane drops out of the wave's active mask. Individual
+  /// submits choose via SubmitOptions::coalesce; SubmitAll batches opt
+  /// in by default.
+  bool coalescing = true;
+  /// Cap on a wave's lease-resident working set (a warm workspace lease
+  /// retains its high-water mark forever): BFS waves cost ~36n bytes of
+  /// lane-mask state regardless of width, PPR waves ~12n fixed plus 16n
+  /// per lane (two double columns). The fixed cost over budget disables
+  /// merging on that graph; otherwise the per-lane term caps the wave
+  /// width. Without this, one 64-lane PPR wave on a 10M-vertex graph
+  /// would permanently grow a lease by ~10 GB. When the budget allows
+  /// fewer than two lanes, queries run solo.
+  std::size_t coalesce_budget_bytes = std::size_t{256} << 20;
 };
 
 /// Per-registration serving knobs.
@@ -90,6 +113,13 @@ struct SubmitOptions {
   /// stops at the next iteration boundary (or never starts) and completes
   /// as kDeadlineExceeded.
   double deadline_ms = 0.0;
+  /// Whether this query may be merged into a batched wave (only relevant
+  /// for coalescible requests — see engine::CoalescibleRequest — and only
+  /// when the engine's coalescing option is on). kDefault resolves to off
+  /// for Submit and on for SubmitAll, matching the fan-out workloads
+  /// coalescing exists for.
+  enum class Coalesce { kDefault, kOn, kOff };
+  Coalesce coalesce = Coalesce::kDefault;
 };
 
 /// Tag selecting the streaming SubmitAll overload:
@@ -151,6 +181,13 @@ class CompletionStream {
   /// Blocks for the next query to finish; std::nullopt once every query
   /// of the batch has been delivered (immediately for an empty batch).
   std::optional<Completion> Next();
+
+  /// Bounded-wait Next(): std::nullopt after `ms` milliseconds with no
+  /// completion — or immediately when the batch is fully delivered.
+  /// Distinguish the two with delivered() == size(); a timeout leaves the
+  /// stream intact, so a serving loop on a quiet stream can wake, do
+  /// other work (report liveness, check shutdown flags) and come back.
+  std::optional<Completion> NextFor(double ms);
 
   /// Queries in the batch.
   std::size_t size() const;
@@ -234,6 +271,12 @@ class QueryEngine {
     std::uint64_t deadline_exceeded = 0;
     std::uint64_t rejected = 0;
     std::uint64_t failed = 0;
+    /// Batched multi-source runs executed (each served >= 2 queries).
+    std::uint64_t waves = 0;
+    /// Queries served through waves (waves' lane count total).
+    std::uint64_t coalesced = 0;
+    /// Largest wave formed so far (lanes).
+    std::uint64_t max_wave = 0;
   };
   Stats stats() const;
   WorkspacePool::Stats workspace_stats() const { return workspaces_.stats(); }
@@ -255,6 +298,18 @@ class QueryEngine {
 
   void RunnerLoop();
   void Execute(const std::shared_ptr<QueryHandle::State>& state);
+  /// Solo execution body (the classic per-query path); the state is
+  /// already marked running and its token pre-checked.
+  void RunSolo(const std::shared_ptr<QueryHandle::State>& state);
+  /// Pulls every queued query compatible with `leader` (same graph, same
+  /// kind and options, coalescing-enabled) into `wave`, up to the 64-lane
+  /// cap; removed queries free queue capacity.
+  void GatherWave(const std::shared_ptr<QueryHandle::State>& leader,
+                  std::vector<std::shared_ptr<QueryHandle::State>>* wave);
+  /// Runs a >= 2-lane wave through BfsBatch / PprBatch and de-multiplexes
+  /// per-lane results to the handles; per-lane tokens are polled at every
+  /// iteration boundary, dropping stopped lanes from the active mask.
+  void RunWave(std::vector<std::shared_ptr<QueryHandle::State>> wave);
   QueryHandle SubmitImpl(const std::string& graph, QueryRequest request,
                          const SubmitOptions& options,
                          std::shared_ptr<CompletionStream::Shared> stream,

@@ -40,10 +40,13 @@
 #include "graph/market.hpp"
 #include "graph/stats.hpp"
 #include "hardwired/hardwired.hpp"
+#include "parallel/lane_mask.hpp"
 #include "parallel/thread_pool.hpp"
 #include "primitives/bc.hpp"
 #include "primitives/bfs.hpp"
+#include "primitives/bfs_batch.hpp"
 #include "primitives/cc.hpp"
+#include "primitives/ppr_batch.hpp"
 #include "primitives/mst.hpp"
 #include "primitives/pagerank.hpp"
 #include "primitives/ranking.hpp"

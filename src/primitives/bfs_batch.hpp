@@ -1,0 +1,81 @@
+// Batched multi-source BFS (MS-BFS).
+//
+// Runs up to 64 single-source BFS traversals as one bit-parallel sweep:
+// each source owns one lane of a per-vertex 64-bit mask
+// (par::LaneMaskFrontier), and every advance propagates
+// `next[v] |= frontier[u] & ~visited[v]` over the *union* frontier — so
+// each CSR row scan is amortized across all lanes instead of being paid
+// once per query (Then et al., VLDB 2015). Per-lane depths are extracted
+// from mask transitions: the level at which a lane's bit first enters a
+// vertex's visited mask is that lane's BFS depth.
+//
+// Contract: depth[l] is bit-identical to Bfs(g, sources[l]).depth for
+// every completed lane — depths are direction- and variant-invariant, so
+// this holds for any push/pull/optimizing policy on either side.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "graph/csr.hpp"
+#include "primitives/options.hpp"
+
+namespace gunrock {
+
+/// Most lanes a single wave can carry (one bit per lane).
+inline constexpr std::size_t kMaxBatchLanes = 64;
+
+/// Output-frontier dedup strategy — the multi-source analog of scalar
+/// BFS's atomic vs idempotent advance flavors.
+enum class BfsBatchVariant {
+  /// Exact dedup fused into the advance: the lane-mask OR's first-touch
+  /// signal claims each vertex once (default).
+  kFused,
+  /// Advance emits one entry per discovering edge; a separate claim
+  /// filter dedups — the idempotent-advance + filter pipeline shape.
+  kFiltered,
+};
+
+struct BfsBatchOptions : CommonOptions {
+  /// Traversal direction policy. kOptimizing switches on the *aggregate*
+  /// frontier population (union-frontier edge counts); it needs a
+  /// symmetric graph, like scalar BFS's optimizing mode without a
+  /// reverse graph.
+  core::Direction direction = core::Direction::kPush;
+  double do_alpha = 14.0;  ///< push->pull switch threshold
+  double do_beta = 24.0;   ///< pull->push switch threshold
+  BfsBatchVariant variant = BfsBatchVariant::kFused;
+};
+
+struct BfsBatchResult {
+  /// depth[l][v] = hop count from sources[l] (-1 unreachable); valid only
+  /// for lanes set in completed_mask.
+  std::vector<std::vector<std::int32_t>> depth;
+  /// Lanes that ran to completion (dropped lanes are cleared).
+  std::uint64_t completed_mask = 0;
+  /// Per-lane advance-round count, matching the scalar run's
+  /// stats.iterations (= deepest level reached + 1).
+  std::vector<std::int32_t> lane_iterations;
+  /// Aggregate wave stats: iterations = wave levels, edges_visited =
+  /// union-frontier edges scanned (shared across all lanes).
+  core::TraversalStats stats;
+};
+
+/// Runs BFS from every source in `sources` (1..64 lanes, duplicates
+/// allowed) as one batched wave. Throws gunrock::Error on a bad source
+/// or lane count.
+BfsBatchResult BfsBatch(const graph::Csr& g, std::span<const vid_t> sources,
+                        const BfsBatchOptions& opts = {});
+
+/// Engine-invokable runner: scratch from ctl.workspace (slots
+/// pslot::kBatchFirst..+8), ctl.cancel polled at level boundaries (stops
+/// the whole wave; throws core::Cancelled), and `lanes` polled right
+/// after it to drop individual lanes (per-query cancellation inside a
+/// coalesced wave).
+BfsBatchResult BfsBatch(const graph::Csr& g, std::span<const vid_t> sources,
+                        const BfsBatchOptions& opts, const RunControl& ctl,
+                        const BatchLaneControl& lanes = {});
+
+}  // namespace gunrock

@@ -2,6 +2,9 @@
 // block that makes a primitive run engine-invokable.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+
 #include "core/cancel.hpp"
 #include "core/policy.hpp"
 #include "core/workspace.hpp"
@@ -64,8 +67,26 @@ enum : unsigned {
   kTrianglesFirst = par::ws::kUserFirst + 40,  // triangles.cpp (+40 .. +43)
   kLpFirst = par::ws::kUserFirst + 44,   // label_propagation.cpp (+44..+51)
   kRankingFirst = par::ws::kUserFirst + 52,  // ranking.cpp (+52 .. +63)
-  kAppFirst = par::ws::kUserFirst + 64,  // applications / user code
+  kBatchFirst = par::ws::kUserFirst + 64,  // bfs_batch/ppr_batch (+64..+79)
+  kAppFirst = par::ws::kUserFirst + 80,  // applications / user code
 };
 }  // namespace pslot
+
+/// Per-lane control for the batched multi-source primitives (BfsBatch /
+/// PprBatch): where RunControl stops a whole run, this drops individual
+/// source lanes at iteration boundaries — the engine's coalescing pass
+/// maps each lane to one query's CancelToken, so cancelling one query of
+/// a merged wave removes only its lane while the rest run on unaffected.
+struct BatchLaneControl {
+  /// Called at every iteration boundary with the currently active lane
+  /// mask; returns the lanes to KEEP (intersected with `active`). Null =
+  /// keep all. Dropped lanes' per-lane results are left unspecified and
+  /// excluded from the result's completed mask.
+  std::function<std::uint64_t(std::uint64_t active)> keep;
+
+  std::uint64_t Poll(std::uint64_t active) const {
+    return keep ? (active & keep(active)) : active;
+  }
+};
 
 }  // namespace gunrock

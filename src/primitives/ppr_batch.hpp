@@ -1,0 +1,60 @@
+// Batched single-seed personalized PageRank: up to 64 seed columns per
+// power-iteration sweep.
+//
+// The serving layer fans single-seed PPR requests across many seeds; each
+// direct call pays a full O(|E|) propagation per power iteration. PprBatch
+// runs one propagation sweep over an n x L column block instead (vertex-
+// major interleaved, L <= 64 lanes), so the CSR row scans, degree loads
+// and scheduling overhead are amortized across every concurrent seed —
+// the GraphBLAST-style SpMM view of batched ranking.
+//
+// Contract: lane l reproduces PersonalizedPagerank(g, {seeds[l]}, opts)
+// exactly — per-lane arithmetic uses the same expression shapes, the same
+// deterministic block-structured reductions and the same edge enumeration
+// order as the scalar run, and a converged lane's column is frozen the
+// iteration its scalar run would have stopped. (Push-mode atomic double
+// accumulation is order-sensitive across threads; on a single-lane pool
+// both sides are bit-identical, on a many-core pool they agree to the
+// same rounding spread as two scalar runs of each other.)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "graph/csr.hpp"
+#include "primitives/options.hpp"
+
+namespace gunrock {
+
+struct PprBatchOptions : CommonOptions {
+  double damping = 0.85;
+  double tolerance = 1e-9;
+  int max_iterations = 1000;
+};
+
+struct PprBatchResult {
+  /// rank[l] = PersonalizedPagerank(g, {seeds[l]}).rank; valid only for
+  /// lanes set in completed_mask.
+  std::vector<std::vector<double>> rank;
+  /// Per-lane power iterations until that lane converged (or the cap).
+  std::vector<int> iterations;
+  /// Lanes that ran to completion (dropped lanes are cleared).
+  std::uint64_t completed_mask = 0;
+  core::TraversalStats stats;
+};
+
+/// Runs single-seed PPR for every seed in `seeds` (1..64 lanes) as one
+/// batched column sweep. Throws gunrock::Error on a bad seed/lane count.
+PprBatchResult PprBatch(const graph::Csr& g, std::span<const vid_t> seeds,
+                        const PprBatchOptions& opts = {});
+
+/// Engine-invokable runner: scratch from ctl.workspace (slots
+/// pslot::kBatchFirst+9..+15), ctl.cancel polled at iteration boundaries
+/// (whole wave), `lanes` polled right after it for per-lane drops.
+PprBatchResult PprBatch(const graph::Csr& g, std::span<const vid_t> seeds,
+                        const PprBatchOptions& opts, const RunControl& ctl,
+                        const BatchLaneControl& lanes = {});
+
+}  // namespace gunrock

@@ -1,0 +1,541 @@
+// QueryEngine batch coalescing: compatible queued BFS/PPR queries merge
+// into one multi-source wave and de-multiplex to their handles with
+// results bit-identical to solo runs; per-lane cancellation and deadlines
+// drop single lanes out of a running wave; incompatible or opted-out
+// queries never merge. Plus CompletionStream::NextFor timeout semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/oracle.hpp"
+#include "common/topologies.hpp"
+#include "gunrock.hpp"
+
+namespace gunrock {
+namespace {
+
+using engine::BfsQuery;
+using engine::CompletionStream;
+using engine::PagerankQuery;
+using engine::PprQuery;
+using engine::QueryEngine;
+using engine::QueryEngineOptions;
+using engine::QueryHandle;
+using engine::QueryStatus;
+using engine::SubmitOptions;
+using test::ExpectScoresMatch;
+using test::SpreadSources;
+
+graph::Csr MakeGraph(int scale = 10, int edge_factor = 8) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edge_factor = edge_factor;
+  p.seed = 1000 + test::TestSeed();
+  auto coo = GenerateRmat(p, par::ThreadPool::Global());
+  graph::AttachRandomWeights(coo, 1, 64, /*seed=*/test::TestSeed());
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  return graph::BuildCsr(coo, opts);
+}
+
+/// Occupies the single runner so everything submitted behind it queues
+/// up — the deterministic way to form one full wave at the next pickup.
+PagerankQuery EndlessPagerank() {
+  PagerankQuery q;
+  q.opts.tolerance = -1.0;
+  q.opts.max_iterations = 1 << 28;
+  return q;
+}
+
+/// A PPR request that never converges (negative tolerance): the wave
+/// runs until every lane is cancelled or hits its deadline — the probe
+/// for mid-wave per-lane stopping.
+PprQuery EndlessPpr() {
+  PprQuery q;
+  q.opts.tolerance = -1.0;
+  q.opts.max_iterations = 1 << 28;
+  return q;
+}
+
+BfsQuery CoalescibleBfs() {
+  BfsQuery q;
+  q.opts.compute_preds = false;  // BfsBatch extracts depths, not parents
+  q.opts.direction = core::Direction::kOptimizing;
+  return q;
+}
+
+void SpinUntilRunning(const QueryHandle& h) {
+  while (h.status() == QueryStatus::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(CoalescingTest, CoalescedBfsWaveBitIdenticalToDirect) {
+  const graph::Csr g = MakeGraph();
+  const auto sources = SpreadSources(g, 32);
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  auto blocker = engine.Submit("g", EndlessPagerank());
+  SpinUntilRunning(blocker);
+  auto handles = engine.SubmitAll("g", sources, CoalescibleBfs());
+  blocker.Cancel();
+
+  const BfsQuery proto = CoalescibleBfs();
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const auto& resp = handles[i].Wait();
+    ASSERT_EQ(resp.status, QueryStatus::kDone) << resp.error;
+    const auto want = Bfs(g, sources[i], proto.opts);
+    EXPECT_EQ(std::get<BfsResult>(resp.result).depth, want.depth)
+        << "query " << i;
+  }
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.waves, 1u);
+  EXPECT_EQ(stats.coalesced, sources.size());
+  EXPECT_EQ(stats.max_wave, sources.size());
+}
+
+TEST(CoalescingTest, CoalescedPprWaveBitIdenticalToDirect) {
+  const graph::Csr g = MakeGraph();
+  const auto sources = SpreadSources(g, 16);
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  PprQuery proto;
+  proto.opts.max_iterations = 25;
+  auto blocker = engine.Submit("g", EndlessPagerank());
+  SpinUntilRunning(blocker);
+  auto handles = engine.SubmitAll("g", sources, proto);
+  blocker.Cancel();
+
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const auto& resp = handles[i].Wait();
+    ASSERT_EQ(resp.status, QueryStatus::kDone) << resp.error;
+    const std::vector<vid_t> seed = {sources[i]};
+    const auto want = PersonalizedPagerank(g, seed, proto.opts);
+    const auto& got = std::get<PprResult>(resp.result);
+    EXPECT_EQ(got.iterations, want.iterations) << "query " << i;
+    ExpectScoresMatch(want.rank, got.rank, "coalesced ppr");
+  }
+  EXPECT_EQ(engine.stats().waves, 1u);
+  EXPECT_EQ(engine.stats().coalesced, sources.size());
+}
+
+TEST(CoalescingTest, QueuedCancelDropsLaneSurvivorsExact) {
+  const graph::Csr g = MakeGraph();
+  const auto sources = SpreadSources(g, 8);
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  auto blocker = engine.Submit("g", EndlessPagerank());
+  SpinUntilRunning(blocker);
+  auto handles = engine.SubmitAll("g", sources, CoalescibleBfs());
+  handles[3].Cancel();  // still queued: the wave starts without this lane
+  blocker.Cancel();
+
+  const BfsQuery proto = CoalescibleBfs();
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const auto& resp = handles[i].Wait();
+    if (i == 3) {
+      EXPECT_EQ(resp.status, QueryStatus::kCancelled);
+      continue;
+    }
+    ASSERT_EQ(resp.status, QueryStatus::kDone) << resp.error;
+    const auto want = Bfs(g, sources[i], proto.opts);
+    EXPECT_EQ(std::get<BfsResult>(resp.result).depth, want.depth);
+  }
+}
+
+TEST(CoalescingTest, MidWaveCancelDropsOnlyThatLane) {
+  const graph::Csr g = MakeGraph(8, 6);
+  const auto sources = SpreadSources(g, 4);
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  auto blocker = engine.Submit("g", EndlessPagerank());
+  SpinUntilRunning(blocker);
+  auto handles = engine.SubmitAll("g", sources, EndlessPpr());
+  blocker.Cancel();
+  SpinUntilRunning(handles[0]);  // the wave is on the runner now
+
+  // One lane cancels mid-wave: its handle completes while the other
+  // lanes keep iterating.
+  handles[2].Cancel();
+  EXPECT_EQ(handles[2].Wait().status, QueryStatus::kCancelled);
+  EXPECT_FALSE(handles[0].Done());
+  EXPECT_FALSE(handles[1].Done());
+  EXPECT_FALSE(handles[3].Done());
+
+  for (const auto& h : handles) h.Cancel();
+  for (const auto& h : handles) {
+    EXPECT_EQ(h.Wait().status, QueryStatus::kCancelled);
+  }
+  EXPECT_EQ(engine.stats().waves, 1u);
+}
+
+TEST(CoalescingTest, PerLaneDeadlineFiresInsideWave) {
+  const graph::Csr g = MakeGraph(8, 6);
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  auto blocker = engine.Submit("g", EndlessPagerank());
+  SpinUntilRunning(blocker);
+  // Three open-ended lanes plus one with a tight deadline, merged into
+  // one wave (Submit opts into coalescing explicitly).
+  const auto sources = SpreadSources(g, 3);
+  auto open = engine.SubmitAll("g", sources, EndlessPpr());
+  SubmitOptions dopts;
+  // Generous budget: the deadline must fire *inside* the wave (EndlessPpr
+  // guarantees the wave is still running whenever it fires), never while
+  // the query is still queued behind the blocker on a slow machine —
+  // queued expiry would shrink the wave and flake the max_wave assert.
+  dopts.deadline_ms = 500.0;
+  dopts.coalesce = SubmitOptions::Coalesce::kOn;
+  auto deadlined = engine.Submit("g", EndlessPpr(), dopts);
+  blocker.Cancel();
+
+  EXPECT_EQ(deadlined.Wait().status, QueryStatus::kDeadlineExceeded);
+  EXPECT_FALSE(open[0].Done()) << "deadline must not stop other lanes";
+  for (const auto& h : open) h.Cancel();
+  for (const auto& h : open) {
+    EXPECT_EQ(h.Wait().status, QueryStatus::kCancelled);
+  }
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.waves, 1u);
+  EXPECT_EQ(stats.max_wave, 4u);
+}
+
+TEST(CoalescingTest, EngineSwitchOffRunsEveryQuerySolo) {
+  const graph::Csr g = MakeGraph();
+  const auto sources = SpreadSources(g, 8);
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;
+  eopts.coalescing = false;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  auto blocker = engine.Submit("g", EndlessPagerank());
+  SpinUntilRunning(blocker);
+  auto handles = engine.SubmitAll("g", sources, CoalescibleBfs());
+  blocker.Cancel();
+  const BfsQuery proto = CoalescibleBfs();
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const auto& resp = handles[i].Wait();
+    ASSERT_EQ(resp.status, QueryStatus::kDone) << resp.error;
+    const auto want = Bfs(g, sources[i], proto.opts);
+    EXPECT_EQ(std::get<BfsResult>(resp.result).depth, want.depth);
+  }
+  EXPECT_EQ(engine.stats().waves, 0u);
+  EXPECT_EQ(engine.stats().coalesced, 0u);
+}
+
+TEST(CoalescingTest, SubmitOptOutAndIneligibleRequestsStaySolo) {
+  const graph::Csr g = MakeGraph();
+  const auto sources = SpreadSources(g, 6);
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  auto blocker = engine.Submit("g", EndlessPagerank());
+  SpinUntilRunning(blocker);
+  // Opted out per submit.
+  SubmitOptions off;
+  off.coalesce = SubmitOptions::Coalesce::kOff;
+  auto opted_out = engine.SubmitAll("g", sources, CoalescibleBfs(), off);
+  // Ineligible: predecessors requested (a batched wave cannot reproduce
+  // the scalar parent tree).
+  BfsQuery with_preds;
+  auto ineligible = engine.SubmitAll("g", sources, with_preds);
+  blocker.Cancel();
+
+  for (auto& h : opted_out) {
+    EXPECT_EQ(h.Wait().status, QueryStatus::kDone);
+  }
+  for (std::size_t i = 0; i < ineligible.size(); ++i) {
+    const auto& resp = ineligible[i].Wait();
+    ASSERT_EQ(resp.status, QueryStatus::kDone) << resp.error;
+    const auto want = Bfs(g, sources[i], with_preds.opts);
+    EXPECT_EQ(std::get<BfsResult>(resp.result).depth, want.depth);
+    EXPECT_EQ(std::get<BfsResult>(resp.result).pred, want.pred)
+        << "solo runs keep returning predecessors";
+  }
+  EXPECT_EQ(engine.stats().waves, 0u);
+}
+
+TEST(CoalescingTest, IncompatibleOptionsFormSeparateWaves) {
+  const graph::Csr g = MakeGraph();
+  const auto sources = SpreadSources(g, 4);
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  PprQuery fast;
+  fast.opts.max_iterations = 10;
+  PprQuery slow;
+  slow.opts.max_iterations = 20;
+
+  auto blocker = engine.Submit("g", EndlessPagerank());
+  SpinUntilRunning(blocker);
+  auto a = engine.SubmitAll("g", sources, fast);
+  auto b = engine.SubmitAll("g", sources, slow);
+  blocker.Cancel();
+
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const std::vector<vid_t> seed = {sources[i]};
+    const auto& ra = a[i].Wait();
+    ASSERT_EQ(ra.status, QueryStatus::kDone) << ra.error;
+    const auto wa = PersonalizedPagerank(g, seed, fast.opts);
+    EXPECT_EQ(std::get<PprResult>(ra.result).iterations, wa.iterations);
+    ExpectScoresMatch(wa.rank, std::get<PprResult>(ra.result).rank);
+
+    const auto& rb = b[i].Wait();
+    ASSERT_EQ(rb.status, QueryStatus::kDone) << rb.error;
+    const auto wb = PersonalizedPagerank(g, seed, slow.opts);
+    EXPECT_EQ(std::get<PprResult>(rb.result).iterations, wb.iterations);
+    ExpectScoresMatch(wb.rank, std::get<PprResult>(rb.result).rank);
+  }
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.waves, 2u) << "one wave per option group, never mixed";
+  EXPECT_EQ(stats.coalesced, 2 * sources.size());
+  EXPECT_EQ(stats.max_wave, sources.size());
+}
+
+TEST(CoalescingTest, BadSourceFailsOnlyItsOwnLane) {
+  // Submit never validates sources, so an out-of-range source reaches
+  // the runner; inside a wave it must fail exactly like the solo
+  // GR_CHECK path — its own query only, never the lanes merged with it.
+  const graph::Csr g = MakeGraph();
+  std::vector<vid_t> sources = SpreadSources(g, 6);
+  sources[2] = g.num_vertices() + 7;  // poison one lane
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  auto blocker = engine.Submit("g", EndlessPagerank());
+  SpinUntilRunning(blocker);
+  auto handles = engine.SubmitAll("g", sources, CoalescibleBfs());
+  blocker.Cancel();
+
+  const BfsQuery proto = CoalescibleBfs();
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const auto& resp = handles[i].Wait();
+    if (i == 2) {
+      EXPECT_EQ(resp.status, QueryStatus::kFailed);
+      EXPECT_NE(resp.error.find("out of range"), std::string::npos)
+          << resp.error;
+      continue;
+    }
+    ASSERT_EQ(resp.status, QueryStatus::kDone) << resp.error;
+    const auto want = Bfs(g, sources[i], proto.opts);
+    EXPECT_EQ(std::get<BfsResult>(resp.result).depth, want.depth);
+  }
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.waves, 1u);
+  EXPECT_EQ(stats.coalesced, sources.size() - 1);
+}
+
+TEST(CoalescingTest, WavesCapAtSixtyFourLanes) {
+  const graph::Csr g = MakeGraph(9, 6);
+  const auto sources = SpreadSources(g, 70);
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;
+  eopts.queue_capacity = 128;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  auto blocker = engine.Submit("g", EndlessPagerank());
+  SpinUntilRunning(blocker);
+  auto handles = engine.SubmitAll("g", sources, CoalescibleBfs());
+  blocker.Cancel();
+  for (auto& h : handles) {
+    EXPECT_EQ(h.Wait().status, QueryStatus::kDone);
+  }
+  const auto stats = engine.stats();
+  EXPECT_LE(stats.max_wave, kMaxBatchLanes);
+  EXPECT_GE(stats.waves, 2u);
+  EXPECT_EQ(stats.coalesced, sources.size());
+}
+
+TEST(CoalescingTest, EmptyGraphWavesMatchSoloSemantics) {
+  // The solo runners disagree on empty graphs: PersonalizedPagerank
+  // succeeds with an empty result before its seed check, scalar Bfs
+  // fails its source check first. Waves must mirror both.
+  graph::Coo empty;
+  empty.num_vertices = 0;
+  const graph::Csr g = test::Undirected(std::move(empty));
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  const std::vector<vid_t> sources = {0, 0, 0};
+  PprQuery ppr;
+  ppr.opts.max_iterations = 5;
+  for (auto& h : engine.SubmitAll("g", sources, ppr)) {
+    const auto& resp = h.Wait();
+    ASSERT_EQ(resp.status, QueryStatus::kDone) << resp.error;
+    EXPECT_TRUE(std::get<PprResult>(resp.result).rank.empty());
+  }
+  for (auto& h : engine.SubmitAll("g", sources, CoalescibleBfs())) {
+    EXPECT_EQ(h.Wait().status, QueryStatus::kFailed);
+  }
+}
+
+TEST(CoalescingTest, MemoryBudgetCapsLanes) {
+  const graph::Csr g = MakeGraph();
+  const auto sources = SpreadSources(g, 12);
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+
+  // Budget for exactly three PPR lanes: 12n fixed (inv_out +
+  // all-vertices) plus 16n per lane — a 12-query fan-out must split
+  // into waves of at most 3.
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;
+  eopts.coalesce_budget_bytes = 12 * n + 3 * 16 * n;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  PprQuery proto;
+  proto.opts.max_iterations = 10;
+  auto blocker = engine.Submit("g", EndlessPagerank());
+  SpinUntilRunning(blocker);
+  auto handles = engine.SubmitAll("g", sources, proto);
+  blocker.Cancel();
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const auto& resp = handles[i].Wait();
+    ASSERT_EQ(resp.status, QueryStatus::kDone) << resp.error;
+    const std::vector<vid_t> seed = {sources[i]};
+    const auto want = PersonalizedPagerank(g, seed, proto.opts);
+    EXPECT_EQ(std::get<PprResult>(resp.result).iterations,
+              want.iterations);
+    ExpectScoresMatch(want.rank, std::get<PprResult>(resp.result).rank);
+  }
+  const auto stats = engine.stats();
+  EXPECT_LE(stats.max_wave, 3u);
+  EXPECT_GE(stats.waves, 4u) << "12 queries at <= 3 lanes each";
+
+  // A budget below two lanes disables merging outright.
+  QueryEngineOptions tiny;
+  tiny.max_in_flight = 1;
+  tiny.coalesce_budget_bytes = 12 * n + 16 * n;
+  QueryEngine solo_engine(tiny);
+  solo_engine.RegisterGraph("g", g);
+  auto b2 = solo_engine.Submit("g", EndlessPagerank());
+  SpinUntilRunning(b2);
+  auto solo = solo_engine.SubmitAll("g", sources, proto);
+  b2.Cancel();
+  for (auto& h : solo) {
+    EXPECT_EQ(h.Wait().status, QueryStatus::kDone);
+  }
+  EXPECT_EQ(solo_engine.stats().waves, 0u);
+
+  // BFS waves carry ~36n of lane-mask state regardless of width; a
+  // budget below that fixed cost must disable BFS merging too.
+  auto b3 = solo_engine.Submit("g", EndlessPagerank());
+  SpinUntilRunning(b3);
+  auto bfs_solo = solo_engine.SubmitAll("g", sources, CoalescibleBfs());
+  b3.Cancel();
+  for (auto& h : bfs_solo) {
+    EXPECT_EQ(h.Wait().status, QueryStatus::kDone);
+  }
+  EXPECT_EQ(solo_engine.stats().waves, 0u);
+}
+
+TEST(CoalescingTest, StreamedBatchCoalescesAndDrains) {
+  const graph::Csr g = MakeGraph();
+  const auto sources = SpreadSources(g, 12);
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  auto blocker = engine.Submit("g", EndlessPagerank());
+  SpinUntilRunning(blocker);
+  auto stream = engine.SubmitAll("g", sources, CoalescibleBfs(),
+                                 engine::kStream);
+  blocker.Cancel();
+
+  const BfsQuery proto = CoalescibleBfs();
+  std::size_t seen = 0;
+  while (auto c = stream.Next()) {
+    const auto& resp = c->handle.Wait();
+    ASSERT_EQ(resp.status, QueryStatus::kDone) << resp.error;
+    const auto want = Bfs(g, sources[c->index], proto.opts);
+    EXPECT_EQ(std::get<BfsResult>(resp.result).depth, want.depth);
+    ++seen;
+  }
+  EXPECT_EQ(seen, sources.size());
+  EXPECT_EQ(engine.stats().waves, 1u);
+}
+
+// --- CompletionStream::NextFor ----------------------------------------------
+
+TEST(NextForTest, TimesOutOnAQuietStreamThenDelivers) {
+  const graph::Csr g = MakeGraph(8, 6);
+  const auto sources = SpreadSources(g, 2);
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+
+  auto blocker = engine.Submit("g", EndlessPagerank());
+  SpinUntilRunning(blocker);
+  auto stream = engine.SubmitAll("g", sources, CoalescibleBfs(),
+                                 engine::kStream);
+
+  // Quiet stream: the blocker owns the runner, nothing can complete.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(stream.NextFor(30.0).has_value());
+  const double waited =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(waited, 29.0) << "NextFor must actually wait out its budget";
+  EXPECT_EQ(stream.delivered(), 0u) << "a timeout consumes nothing";
+
+  blocker.Cancel();
+  std::size_t seen = 0;
+  while (seen < sources.size()) {
+    if (auto c = stream.NextFor(10000.0)) {
+      EXPECT_EQ(c->handle.Wait().status, QueryStatus::kDone);
+      ++seen;
+    } else {
+      FAIL() << "stream went quiet with completions outstanding";
+    }
+  }
+  EXPECT_FALSE(stream.NextFor(10000.0).has_value())
+      << "a drained stream returns immediately";
+  EXPECT_EQ(stream.delivered(), stream.size());
+}
+
+TEST(NextForTest, EmptyBatchReturnsImmediately) {
+  const graph::Csr g = MakeGraph(8, 6);
+  QueryEngineOptions eopts;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("g", g);
+  auto stream = engine.SubmitAll("g", std::span<const vid_t>{},
+                                 CoalescibleBfs(), engine::kStream);
+  EXPECT_FALSE(stream.NextFor(10000.0).has_value());
+  EXPECT_FALSE(CompletionStream{}.NextFor(1.0).has_value());
+}
+
+}  // namespace
+}  // namespace gunrock

@@ -12,11 +12,13 @@
 // a bigger budget for a longer soak).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <optional>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/env.hpp"
@@ -427,6 +429,92 @@ TEST(EngineSoakTest, RandomizedMixedWorkloadStaysBitIdentical) {
       EXPECT_EQ(streamed[i]->dist, want.dist);
       EXPECT_EQ(streamed[i]->pred, want.pred);
     }
+  }
+
+  // Phase 4: coalescing-enabled storm. Fan-outs of depth-only BFS and
+  // single-seed PPR queue up behind a blocker, then merge into batched
+  // multi-source waves at pickup — with random queued cancels sprinkled
+  // in, every query that completes must still be bit-identical to its
+  // pre-engine direct reference, and every group with two live members
+  // must actually have been served by a wave.
+  {
+    engine::QueryEngineOptions eopts;
+    eopts.max_in_flight = 1;  // one runner: wave formation is deterministic
+    eopts.queue_capacity = budget + 8;
+    engine::QueryEngine engine(eopts);
+    const SoakGraph& sg = graphs[0];
+    engine.RegisterGraph(sg.name, sg.graph);
+
+    engine::PagerankQuery blocker_q;
+    blocker_q.opts.tolerance = -1.0;  // never converges; cancelled below
+    blocker_q.opts.max_iterations = 1 << 28;
+    auto blocker = engine.Submit(sg.name, blocker_q);
+    while (blocker.status() == QueryStatus::kQueued) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    const std::size_t waves_budget = std::max<std::size_t>(budget / 3, 16);
+    std::vector<PendingQuery> pending;
+    std::size_t live_bfs = 0;
+    std::size_t live_ppr = 0;
+    for (std::size_t i = 0; i < waves_budget; ++i) {
+      const vid_t source =
+          sg.sources[static_cast<std::size_t>(rng() % sg.sources.size())];
+      const int pick = static_cast<int>(rng() % 2);
+      PendingQuery pq;
+      QueryRequest request;
+      const bool is_bfs = rng() % 2 == 0;
+      if (is_bfs) {
+        engine::BfsQuery q;
+        q.source = source;
+        q.opts.direction = core::Direction::kOptimizing;
+        q.opts.compute_preds = false;  // coalescible shape (depths only)
+        // The reference cell was computed with preds on; ExpectSameResult
+        // compares the depth projection, which preds do not affect.
+        pq.key = sg.name + "/0/" + std::to_string(pick) + "/" +
+                 std::to_string(source);
+        request = q;
+      } else {
+        engine::PprQuery q;
+        q.seeds = {source};
+        q.opts.max_iterations = 30;  // matches the family-8 reference cell
+        pq.key = sg.name + "/8/" + std::to_string(pick) + "/" +
+                 std::to_string(source);
+        request = q;
+      }
+      pq.handle = engine.Submit(sg.name, std::move(request),
+                                [] {
+                                  engine::SubmitOptions sopts;
+                                  sopts.coalesce =
+                                      engine::SubmitOptions::Coalesce::kOn;
+                                  return sopts;
+                                }());
+      if (rng() % 8 == 0) {
+        pq.handle.Cancel();  // queued cancel: the wave starts without it
+        pq.cancelled = true;
+      } else {
+        ++(is_bfs ? live_bfs : live_ppr);
+      }
+      pending.push_back(std::move(pq));
+    }
+    blocker.Cancel();
+    ASSERT_EQ(blocker.Wait().status, QueryStatus::kCancelled);
+    verified += DrainAndVerify(pending, reference);
+
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.failed, 0u);
+    // Waves merge within an option group: all BFS submits share one
+    // group, all PPR submits the other, so any group with two live
+    // members must have produced a wave.
+    if (live_bfs >= 2 || live_ppr >= 2) {
+      EXPECT_GE(stats.waves, 1u)
+          << "queued coalescible queries must have merged";
+      EXPECT_GE(stats.coalesced, 2u);
+      EXPECT_LE(stats.max_wave, kMaxBatchLanes);
+    }
+    EXPECT_LE(engine.workspace_stats().created,
+              static_cast<std::size_t>(eopts.max_in_flight));
+    EXPECT_EQ(engine.workspace_stats().outstanding, 0u);
   }
 
   // The storm must have actually verified a healthy share of results —
