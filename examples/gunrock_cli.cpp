@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "gunrock.hpp"
+#include "util/parse.hpp"
 
 namespace {
 
@@ -100,6 +101,35 @@ struct Args {
   std::exit(2);
 }
 
+/// Checked flag values: the whole token must be a number in range —
+/// std::atoi's "--scale banana" == 0 silently benchmarking a 1-vertex
+/// graph is exactly the bug class this rules out. Errors name the flag
+/// and the offending value and exit nonzero.
+long long FlagInt(const std::string& flag, const std::string& value,
+                  long long min, long long max) {
+  const auto parsed = util::ParseInt(value, min, max);
+  if (!parsed) {
+    std::fprintf(stderr,
+                 "gunrock_cli: %s needs an integer in [%lld, %lld], "
+                 "got '%s'\n",
+                 flag.c_str(), min, max, value.c_str());
+    std::exit(2);
+  }
+  return *parsed;
+}
+
+double FlagDouble(const std::string& flag, const std::string& value,
+                  double min) {
+  const auto parsed = util::ParseDouble(value);
+  if (!parsed || !(*parsed >= min)) {
+    std::fprintf(stderr,
+                 "gunrock_cli: %s needs a number >= %g, got '%s'\n",
+                 flag.c_str(), min, value.c_str());
+    std::exit(2);
+  }
+  return *parsed;
+}
+
 Args Parse(int argc, char** argv) {
   if (argc < 2) Usage();
   Args args;
@@ -113,28 +143,50 @@ Args Parse(int argc, char** argv) {
     if (flag == "--graph") {
       args.graph = next();
     } else if (flag == "--scale") {
-      args.scale = std::atoi(next().c_str());
+      args.scale = static_cast<int>(FlagInt(flag, next(), 1, 28));
     } else if (flag == "--edge-factor") {
-      args.edge_factor = std::atoi(next().c_str());
+      args.edge_factor = static_cast<int>(FlagInt(flag, next(), 1, 1024));
     } else if (flag == "--src") {
-      args.source = static_cast<vid_t>(std::atoi(next().c_str()));
+      args.source = static_cast<vid_t>(
+          FlagInt(flag, next(), 0, std::numeric_limits<vid_t>::max()));
     } else if (flag == "--lb") {
       const std::string v = next();
-      args.lb = v == "tm"    ? core::LoadBalance::kThreadMapped
-                : v == "twc" ? core::LoadBalance::kTwc
-                : v == "lb"  ? core::LoadBalance::kEqualWork
-                             : core::LoadBalance::kAuto;
+      if (v == "tm") {
+        args.lb = core::LoadBalance::kThreadMapped;
+      } else if (v == "twc") {
+        args.lb = core::LoadBalance::kTwc;
+      } else if (v == "lb") {
+        args.lb = core::LoadBalance::kEqualWork;
+      } else if (v == "auto") {
+        args.lb = core::LoadBalance::kAuto;
+      } else {
+        std::fprintf(stderr,
+                     "gunrock_cli: --lb must be tm|twc|lb|auto, got '%s'\n",
+                     v.c_str());
+        std::exit(2);
+      }
     } else if (flag == "--direction") {
       const std::string v = next();
-      args.direction = v == "push"  ? core::Direction::kPush
-                       : v == "pull" ? core::Direction::kPull
-                                     : core::Direction::kOptimizing;
+      if (v == "push") {
+        args.direction = core::Direction::kPush;
+      } else if (v == "pull") {
+        args.direction = core::Direction::kPull;
+      } else if (v == "do") {
+        args.direction = core::Direction::kOptimizing;
+      } else {
+        std::fprintf(
+            stderr,
+            "gunrock_cli: --direction must be push|pull|do, got '%s'\n",
+            v.c_str());
+        std::exit(2);
+      }
     } else if (flag == "--no-idempotence") {
       args.idempotence = false;
     } else if (flag == "--no-near-far") {
       args.near_far = false;
     } else if (flag == "--iters") {
-      args.iters = std::atoi(next().c_str());
+      args.iters = static_cast<int>(
+          FlagInt(flag, next(), 1, std::numeric_limits<int>::max()));
     } else if (flag == "--json") {
       args.json = true;
     } else if (flag == "--primitive") {
@@ -142,16 +194,16 @@ Args Parse(int argc, char** argv) {
     } else if (flag == "--sources") {
       args.sources_path = next();
     } else if (flag == "--inflight") {
-      args.inflight = static_cast<unsigned>(std::atoi(next().c_str()));
+      args.inflight = static_cast<unsigned>(FlagInt(flag, next(), 1, 4096));
     } else if (flag == "--queue") {
       args.queue_capacity =
-          static_cast<std::size_t>(std::atol(next().c_str()));
+          static_cast<std::size_t>(FlagInt(flag, next(), 1, 1 << 20));
     } else if (flag == "--reject") {
       args.reject = true;
     } else if (flag == "--deadline") {
-      args.deadline_ms = std::atof(next().c_str());
+      args.deadline_ms = FlagDouble(flag, next(), 0.0);
     } else if (flag == "--quota") {
-      args.quota = static_cast<std::size_t>(std::atol(next().c_str()));
+      args.quota = static_cast<std::size_t>(FlagInt(flag, next(), 0, 1 << 20));
     } else if (flag == "--stream") {
       args.stream = true;
     } else if (flag == "--coalesce") {
@@ -299,13 +351,20 @@ std::vector<vid_t> ReadSourceFile(const std::string& path, vid_t n) {
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     std::istringstream fields(line);
-    long long v = 0;
-    while (fields >> v) {
-      if (v < 0 || v >= n) {
-        std::fprintf(stderr, "source %lld out of range [0, %d)\n", v, n);
+    std::string token;
+    while (fields >> token) {
+      const auto v = util::ParseInt(token);
+      if (!v) {
+        std::fprintf(stderr, "%s: source '%s' is not an integer\n",
+                     path.c_str(), token.c_str());
         std::exit(1);
       }
-      sources.push_back(static_cast<vid_t>(v));
+      if (*v < 0 || *v >= n) {
+        std::fprintf(stderr, "%s: source %lld out of range [0, %d)\n",
+                     path.c_str(), *v, n);
+        std::exit(1);
+      }
+      sources.push_back(static_cast<vid_t>(*v));
     }
   }
   if (sources.empty()) {
@@ -491,9 +550,44 @@ int RunServe(const Args& args, graph::Csr graph) {
                   kind.c_str());
       continue;
     }
-    long long src = 0;
-    fields >> src;
-    if (src < 0 || src >= n) src = 0;
+    // Sourced kinds need a vertex; every malformed command is a
+    // per-request error line, never a silently-clamped source 0 (a wrong
+    // answer that looks right) and never a dead server.
+    const bool needs_source = kind == "bfs" || kind == "sssp" ||
+                              kind == "bc" || kind == "ppr";
+    std::string source_token, extra_token;
+    vid_t src = 0;
+    if (fields >> source_token) {
+      if (!needs_source) {
+        std::printf("error: %s takes no source, got '%s'\n", kind.c_str(),
+                    source_token.c_str());
+        continue;
+      }
+      const auto parsed = util::ParseInt(source_token);
+      if (!parsed) {
+        std::printf("error: source '%s' is not an integer\n",
+                    source_token.c_str());
+        continue;
+      }
+      if (*parsed < 0 || *parsed >= n) {
+        // The canonical engine text — byte-identical to what a submitted
+        // out-of-range query would fail with, solo or in a wave.
+        std::printf("error: %s\n",
+                    engine::SourceRangeError(kind.c_str(), *parsed, n)
+                        .c_str());
+        continue;
+      }
+      if (fields >> extra_token) {
+        std::printf("error: trailing garbage '%s' after source\n",
+                    extra_token.c_str());
+        continue;
+      }
+      src = static_cast<vid_t>(*parsed);
+    } else if (needs_source) {
+      std::printf("error: %s needs a source vertex in [0, %d)\n",
+                  kind.c_str(), n);
+      continue;
+    }
     try {
       auto handle = engine.Submit(
           "g", MakeRequest(args, kind, static_cast<vid_t>(src)), sopts);

@@ -1,0 +1,156 @@
+// gunrockd — the Gunrock serving daemon.
+//
+// Long-lived TCP server over the QueryEngine: newline-delimited JSON
+// requests in, finish-order streamed responses out (see
+// src/serve/protocol.hpp for the wire grammar and src/serve/daemon.hpp
+// for the thread shape and drain semantics). This file is only flag
+// parsing and signal plumbing.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "serve/config.hpp"
+#include "serve/daemon.hpp"
+
+namespace {
+
+using gunrock::serve::ApplyDirective;
+using gunrock::serve::Daemon;
+using gunrock::serve::DaemonConfig;
+using gunrock::serve::LoadConfigFile;
+
+[[noreturn]] void Usage(int exit_code) {
+  std::fprintf(
+      exit_code == 0 ? stdout : stderr,
+      "gunrockd — Gunrock graph-analytics serving daemon\n"
+      "\n"
+      "usage: gunrockd [--config FILE] [flags]\n"
+      "\n"
+      "flags (each mirrors a `key = value` config directive; flags are\n"
+      "applied after the file, so they win):\n"
+      "  --config FILE        read directives from FILE first\n"
+      "  --host ADDR          listen address        (default 127.0.0.1)\n"
+      "  --port N             listen port; 0 = ephemeral (default 0)\n"
+      "  --port-file PATH     write the bound port to PATH once listening\n"
+      "  --graph SPEC         serve a graph; repeatable. SPEC is\n"
+      "                       NAME=KIND:params, e.g.\n"
+      "                         social=rmat:scale=12,edge_factor=16,weight=2\n"
+      "                         mesh=road:width=256,height=256,quota=8\n"
+      "                         web=file:/data/web.mtx\n"
+      "                       (weight = fair-share weight, quota = max\n"
+      "                       in-flight queries; other keys go to the\n"
+      "                       rmat/rgg/road generator or name the file)\n"
+      "  --inflight N         concurrent queries / runner threads (default 4)\n"
+      "  --queue N            admission queue capacity       (default 64)\n"
+      "  --reject             reject when full instead of blocking\n"
+      "  --coalescing on|off  multi-source wave coalescing   (default on)\n"
+      "  --deadline MS        default per-query deadline; 0 = none\n"
+      "  --drain-deadline MS  graceful-drain budget on SIGTERM\n"
+      "                       (default 5000)\n"
+      "  --help               this text\n"
+      "\n"
+      "protocol: one JSON request per line, one JSON response per line,\n"
+      "responses in finish order with the request's \"tag\" echoed back:\n"
+      "  {\"op\":\"query\",\"graph\":\"social\",\"kind\":\"bfs\","
+      "\"source\":3,\"tag\":1}\n"
+      "  {\"op\":\"ping\"} | {\"op\":\"stats\"} | {\"op\":\"graphs\"}\n"
+      "  /stats               plain-text stats page (also \"GET /stats\")\n"
+      "\n"
+      "SIGTERM/SIGINT drain gracefully: stop accepting, finish in-flight\n"
+      "queries within the drain deadline, exit 0.\n");
+  std::exit(exit_code);
+}
+
+[[noreturn]] void Fail(const std::string& why) {
+  std::fprintf(stderr, "gunrockd: %s\n", why.c_str());
+  std::exit(1);
+}
+
+DaemonConfig ParseArgs(int argc, char** argv) {
+  // First pass: --config only, so flags override the file regardless of
+  // their relative order on the command line.
+  std::vector<std::string> args(argv + 1, argv + argc);
+  DaemonConfig config;
+  std::string error;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--help" || args[i] == "-h") Usage(0);
+    if (args[i] == "--config") {
+      if (i + 1 >= args.size()) Fail("--config needs a file argument");
+      if (!LoadConfigFile(args[++i], &config, &error)) Fail(error);
+    }
+  }
+
+  const auto apply = [&](const std::string& key, const std::string& value) {
+    if (!ApplyDirective(key, value, &config, &error)) Fail(error);
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    const auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        Fail(flag + " needs an argument (see --help)");
+      }
+      return args[++i];
+    };
+    if (flag == "--config") {
+      ++i;  // consumed in the first pass
+    } else if (flag == "--host") {
+      apply("host", next());
+    } else if (flag == "--port") {
+      apply("port", next());
+    } else if (flag == "--port-file") {
+      apply("port_file", next());
+    } else if (flag == "--graph") {
+      apply("graph", next());
+    } else if (flag == "--inflight") {
+      apply("inflight", next());
+    } else if (flag == "--queue") {
+      apply("queue", next());
+    } else if (flag == "--reject") {
+      apply("backpressure", "reject");
+    } else if (flag == "--coalescing") {
+      apply("coalescing", next());
+    } else if (flag == "--deadline") {
+      apply("deadline_ms", next());
+    } else if (flag == "--drain-deadline") {
+      apply("drain_deadline_ms", next());
+    } else {
+      Fail("unknown flag '" + flag + "' (see --help)");
+    }
+  }
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DaemonConfig config = ParseArgs(argc, argv);
+  if (config.graphs.empty()) {
+    Fail("no graphs configured — pass at least one --graph SPEC "
+         "(see --help)");
+  }
+
+  // Block the shutdown signals before any thread exists so they are
+  // delivered to sigwait below, never to a library thread.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGTERM);
+  sigaddset(&signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  Daemon daemon(std::move(config));
+  std::string error;
+  if (!daemon.Start(&error)) Fail(error);
+  std::printf("gunrockd listening on %s:%d\n", daemon.config().host.c_str(),
+              daemon.port());
+  std::fflush(stdout);
+
+  int signal = 0;
+  sigwait(&signals, &signal);
+  std::fprintf(stderr, "gunrockd: received %s, draining\n",
+               signal == SIGTERM ? "SIGTERM" : "SIGINT");
+  daemon.Stop();
+  return 0;
+}

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for gunrockd, exercised from a real client.
+
+Starts the daemon on an ephemeral port (discovered via --port-file),
+runs one BFS query and one "/stats" scrape over a TCP socket, then
+sends SIGTERM and asserts a clean graceful-drain exit (code 0). This is
+the cross-process twin of tests/test_daemon.cpp: that suite drives the
+Daemon class in-process; this script proves the shipped binary — flag
+parsing, signal handling, process lifecycle — works from the outside.
+
+Usage: scripts/daemon_smoke.py path/to/gunrockd
+"""
+
+import json
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+
+def fail(why: str) -> None:
+    print(f"daemon_smoke: FAIL: {why}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_for_port_file(path: Path, deadline_s: float = 30.0) -> int:
+    end = time.monotonic() + deadline_s
+    while time.monotonic() < end:
+        try:
+            text = path.read_text().strip()
+            if text:
+                return int(text)
+        except (FileNotFoundError, ValueError):
+            pass
+        time.sleep(0.05)
+    fail(f"port file {path} never appeared")
+
+
+def read_line(sock_file) -> str:
+    line = sock_file.readline()
+    if not line:
+        fail("connection closed unexpectedly")
+    return line.rstrip("\n")
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} path/to/gunrockd")
+    binary = sys.argv[1]
+
+    with tempfile.TemporaryDirectory(prefix="gunrockd_smoke.") as tmp:
+        port_file = Path(tmp) / "port"
+        daemon = subprocess.Popen(
+            [
+                binary,
+                "--port", "0",
+                "--port-file", str(port_file),
+                "--graph", "smoke=rmat:scale=8,edge_factor=8,seed=1",
+                "--inflight", "2",
+            ],
+        )
+        try:
+            port = wait_for_port_file(port_file)
+
+            with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
+                f = s.makefile("rw", encoding="utf-8", newline="\n")
+
+                # One query, round-tripped.
+                request = {"op": "query", "kind": "bfs", "source": 0,
+                           "values": False, "tag": "smoke"}
+                f.write(json.dumps(request) + "\n")
+                f.flush()
+                response = json.loads(read_line(f))
+                if response.get("op") != "result":
+                    fail(f"expected a result response, got: {response}")
+                if response.get("status") != "done":
+                    fail(f"query did not complete: {response}")
+                if response.get("tag") != "smoke":
+                    fail(f"tag not echoed: {response}")
+
+                # One stats scrape; the page ends with its "# end" marker.
+                f.write("/stats\n")
+                f.flush()
+                page = []
+                while (line := read_line(f)) != "# end":
+                    page.append(line)
+                page_text = "\n".join(page)
+                for needle in ("gunrockd_uptime_ms", "engine_submitted"):
+                    if needle not in page_text:
+                        fail(f"stats page missing {needle}:\n{page_text}")
+
+            # Graceful drain: SIGTERM must exit 0 within the drain budget.
+            daemon.send_signal(signal.SIGTERM)
+            code = daemon.wait(timeout=30)
+            if code != 0:
+                fail(f"gunrockd exited {code} on SIGTERM (want 0)")
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+    print("daemon_smoke: OK (query + stats + graceful SIGTERM exit)")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,7 @@
 // pays for it.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -115,6 +116,48 @@ inline const char* KindName(const QueryRequest& request) {
     const char* operator()(const PprQuery&) const { return "ppr"; }
   };
   return std::visit(Namer{}, request);
+}
+
+/// Canonical out-of-range text, shared by the engine's solo and wave run
+/// paths (and by front-end pre-checks that want to match it): a client
+/// must see the identical error whether its query happened to be merged
+/// into a wave or ran alone.
+inline std::string SourceRangeError(const char* kind, long long source,
+                                    vid_t num_vertices) {
+  return std::string(kind) + " source " + std::to_string(source) +
+         " out of range [0, " + std::to_string(num_vertices) + ")";
+}
+
+/// Pre-run source/seed validation against a graph with `num_vertices`
+/// vertices: nullopt when the request may run, the canonical error text
+/// otherwise. Mirrors the solo runners' semantics exactly — PPR succeeds
+/// with an empty result on an empty graph *before* its seed check, so PPR
+/// seeds are not validated when num_vertices == 0; every other sourced
+/// kind (bfs/sssp/bc) checks first and fails.
+inline std::optional<std::string> ValidateSource(const QueryRequest& request,
+                                                 vid_t num_vertices) {
+  const auto check = [&](vid_t v) -> std::optional<std::string> {
+    if (v < 0 || v >= num_vertices) {
+      return SourceRangeError(KindName(request), v, num_vertices);
+    }
+    return std::nullopt;
+  };
+  if (const auto* bfs = std::get_if<BfsQuery>(&request)) {
+    return check(bfs->source);
+  }
+  if (const auto* sssp = std::get_if<SsspQuery>(&request)) {
+    return check(sssp->source);
+  }
+  if (const auto* bc = std::get_if<BcQuery>(&request)) {
+    return check(bc->source);
+  }
+  if (const auto* ppr = std::get_if<PprQuery>(&request)) {
+    if (num_vertices == 0) return std::nullopt;
+    for (const vid_t seed : ppr->seeds) {
+      if (auto err = check(seed)) return err;
+    }
+  }
+  return std::nullopt;
 }
 
 /// True for request kinds that need the registered graph's reverse CSR.

@@ -38,12 +38,20 @@ QueryStatus StoppedStatus(const core::CancelToken& token) {
 }  // namespace
 
 /// Mutable per-registration state shared by the registry entry and every
-/// query admitted against it. `quota` is immutable after registration;
-/// `in_flight` is guarded by the engine's queue_mutex_; the reverse CSR
-/// is built at most once behind the once_flag.
+/// query admitted against it. `quota` and `weight` are immutable after
+/// registration; `in_flight`, `waiting` and `pass` are guarded by the
+/// engine's queue_mutex_; the reverse CSR is built at most once behind
+/// the once_flag.
 struct QueryEngine::GraphAux {
   std::size_t quota = 0;      ///< 0 = unlimited
+  double weight = 1.0;        ///< fair-share weight (> 0)
   std::size_t in_flight = 0;  ///< queued + running (guarded by queue_mutex_)
+  /// Admitted queries not yet picked up, FIFO within the graph. The
+  /// engine's fair-share scheduler drains these queues by weighted
+  /// stride: `pass` is this graph's virtual time, advanced by 1/weight
+  /// per pickup; the scheduled graph with the smallest pass runs next.
+  std::deque<std::shared_ptr<QueryHandle::State>> waiting;
+  double pass = 0.0;
   std::once_flag reverse_once;
   std::shared_ptr<const graph::Csr> reverse;
 };
@@ -54,8 +62,17 @@ struct CompletionStream::Shared {
   std::mutex mutex;
   std::condition_variable cv;
   std::deque<CompletionStream::Completion> ready;
-  std::size_t expected = 0;   ///< batch size (set before the stream is used)
+  std::size_t expected = 0;   ///< batch size / queries attached so far
   std::size_t delivered = 0;  ///< completions handed out by Next()
+  /// True for OpenStream() streams still accepting attachments: their
+  /// `expected` grows per Submit, and Next() must keep waiting on an
+  /// empty drained stream until CloseSubmission() flips this off. Batch
+  /// streams are born closed at their batch size.
+  bool open = false;
+
+  bool DrainedLocked() const {
+    return !open && delivered == expected;
+  }
 
   /// Shared drain step of Next()/NextFor(): pops the next completion
   /// under the caller's lock, or nullopt when nothing is ready (fully
@@ -85,6 +102,9 @@ struct QueryHandle::State {
   /// May be merged into a batched multi-source wave (resolved at submit:
   /// engine coalescing on + submit opted in + request coalescible).
   bool coalescible = false;
+  /// Left its waiting queue for a runner (guarded by queue_mutex_);
+  /// backs the stats().running gauge.
+  bool picked = false;
   /// Streamed batch this query belongs to (null for plain submits).
   std::shared_ptr<CompletionStream::Shared> stream;
   std::size_t stream_index = 0;
@@ -145,8 +165,7 @@ std::optional<CompletionStream::Completion> CompletionStream::Next() {
   if (!shared_) return std::nullopt;
   std::unique_lock<std::mutex> lock(shared_->mutex);
   shared_->cv.wait(lock, [&] {
-    return !shared_->ready.empty() ||
-           shared_->delivered == shared_->expected;
+    return !shared_->ready.empty() || shared_->DrainedLocked();
   });
   return shared_->PopReadyLocked();  // empty = batch fully delivered
 }
@@ -157,10 +176,18 @@ std::optional<CompletionStream::Completion> CompletionStream::NextFor(
   std::unique_lock<std::mutex> lock(shared_->mutex);
   shared_->cv.wait_for(
       lock, std::chrono::duration<double, std::milli>(ms), [&] {
-        return !shared_->ready.empty() ||
-               shared_->delivered == shared_->expected;
+        return !shared_->ready.empty() || shared_->DrainedLocked();
       });
   return shared_->PopReadyLocked();  // empty = timeout or drained
+}
+
+void CompletionStream::CloseSubmission() {
+  if (!shared_) return;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    shared_->open = false;
+  }
+  shared_->cv.notify_all();
 }
 
 std::size_t CompletionStream::size() const {
@@ -207,6 +234,7 @@ void QueryEngine::RegisterGraph(const std::string& name,
                                 std::shared_ptr<const graph::Csr> graph,
                                 const GraphOptions& gopts) {
   GR_CHECK(graph != nullptr, "RegisterGraph: null graph");
+  GR_CHECK(gopts.weight > 0.0, "RegisterGraph: fair-share weight must be > 0");
   GraphEntry entry;
   // Materialize the lazily built per-edge source array now: its first
   // build mutates a cache inside the (otherwise read-only) Csr, and two
@@ -218,6 +246,7 @@ void QueryEngine::RegisterGraph(const std::string& name,
   entry.graph = std::move(graph);
   entry.aux = std::make_shared<GraphAux>();
   entry.aux->quota = gopts.quota;
+  entry.aux->weight = gopts.weight;
   std::lock_guard<std::mutex> lock(graphs_mutex_);
   graphs_[name] = std::move(entry);
 }
@@ -261,6 +290,41 @@ QueryHandle QueryEngine::Submit(const std::string& graph,
   return SubmitImpl(graph, std::move(request), options, nullptr, 0);
 }
 
+CompletionStream QueryEngine::OpenStream() {
+  CompletionStream stream;
+  stream.shared_ = std::make_shared<CompletionStream::Shared>();
+  stream.shared_->open = true;
+  return stream;
+}
+
+QueryHandle QueryEngine::Submit(const std::string& graph,
+                                QueryRequest request,
+                                const SubmitOptions& options,
+                                CompletionStream& stream) {
+  GR_CHECK(stream.shared_ != nullptr,
+           "Submit: stream must come from OpenStream()");
+  std::size_t index;
+  {
+    std::lock_guard<std::mutex> lock(stream.shared_->mutex);
+    GR_CHECK(stream.shared_->open,
+             "Submit: stream's submission side is closed");
+    index = stream.shared_->expected++;
+  }
+  try {
+    return SubmitImpl(graph, std::move(request), options, stream.shared_,
+                      index);
+  } catch (...) {
+    // The query was never admitted, so no completion will ever arrive
+    // for this slot — give it back or the stream can never drain.
+    {
+      std::lock_guard<std::mutex> lock(stream.shared_->mutex);
+      --stream.shared_->expected;
+    }
+    stream.shared_->cv.notify_all();
+    throw;
+  }
+}
+
 QueryHandle QueryEngine::SubmitImpl(
     const std::string& graph, QueryRequest request,
     const SubmitOptions& options,
@@ -287,10 +351,11 @@ QueryHandle QueryEngine::SubmitImpl(
     std::unique_lock<std::mutex> lock(queue_mutex_);
     GR_CHECK(accepting_, "QueryEngine: Submit after Shutdown");
     state->id = next_id_++;
-    // Two admission gates with one policy: the global bounded queue and
-    // the graph's own in-flight quota.
+    // Two admission gates with one policy: the global bounded queue
+    // (queued_ totals the per-graph queues) and the graph's own
+    // in-flight quota.
     const auto admissible = [&] {
-      return queue_.size() < options_.queue_capacity &&
+      return queued_ < options_.queue_capacity &&
              (aux.quota == 0 || aux.in_flight < aux.quota);
     };
     if (!admissible()) {
@@ -298,7 +363,7 @@ QueryHandle QueryEngine::SubmitImpl(
           QueryEngineOptions::Backpressure::kReject) {
         ++stats_.submitted;
         ++stats_.rejected;
-        const char* why = queue_.size() >= options_.queue_capacity
+        const char* why = queued_ >= options_.queue_capacity
                               ? "admission queue full"
                               : "graph quota exhausted";
         lock.unlock();
@@ -308,13 +373,51 @@ QueryHandle QueryEngine::SubmitImpl(
       not_full_cv_.wait(lock, [&] { return admissible() || !accepting_; });
       GR_CHECK(accepting_, "QueryEngine: shut down while Submit blocked");
     }
-    queue_.push_back(state);
+    EnqueueLocked(state);
     ++stats_.submitted;
     ++aux.in_flight;
     state->counted = true;
   }
   queue_cv_.notify_one();
   return QueryHandle(std::move(state));
+}
+
+void QueryEngine::EnqueueLocked(
+    const std::shared_ptr<QueryHandle::State>& state) {
+  const std::shared_ptr<GraphAux>& aux = state->aux;
+  if (aux->waiting.empty()) {
+    // Joining the scheduled set: start at the current virtual time, not
+    // at a pass left behind before going idle — otherwise a graph could
+    // bank credit while quiet and lock out the others on return.
+    aux->pass = std::max(aux->pass, virtual_time_);
+    scheduled_.push_back(aux);
+  }
+  aux->waiting.push_back(state);
+  ++queued_;
+}
+
+std::shared_ptr<QueryHandle::State> QueryEngine::PickNextLocked() {
+  if (queued_ == 0) return nullptr;
+  std::size_t best = scheduled_.size();
+  for (std::size_t i = 0; i < scheduled_.size(); ++i) {
+    if (best == scheduled_.size() ||
+        scheduled_[i]->pass < scheduled_[best]->pass) {
+      best = i;
+    }
+  }
+  GraphAux& aux = *scheduled_[best];
+  auto state = std::move(aux.waiting.front());
+  aux.waiting.pop_front();
+  --queued_;
+  virtual_time_ = aux.pass;
+  aux.pass += 1.0 / aux.weight;
+  state->picked = true;
+  ++running_;
+  if (aux.waiting.empty()) {
+    scheduled_.erase(scheduled_.begin() +
+                     static_cast<std::ptrdiff_t>(best));
+  }
+  return state;
 }
 
 namespace {
@@ -368,7 +471,12 @@ void QueryEngine::Shutdown() {
     if (stopping_) return;
     stopping_ = true;
     accepting_ = false;
-    orphaned.swap(queue_);
+    for (const auto& aux : scheduled_) {
+      for (auto& state : aux->waiting) orphaned.push_back(std::move(state));
+      aux->waiting.clear();
+    }
+    scheduled_.clear();
+    queued_ = 0;
     stats_.cancelled += orphaned.size();
   }
   queue_cv_.notify_all();
@@ -385,7 +493,18 @@ void QueryEngine::Shutdown() {
 
 QueryEngine::Stats QueryEngine::stats() const {
   std::lock_guard<std::mutex> lock(queue_mutex_);
-  return stats_;
+  Stats snapshot = stats_;
+  snapshot.queued = queued_;
+  snapshot.running = running_;
+  return snapshot;
+}
+
+void QueryEngine::SetObserver(QueryObserver observer) {
+  auto shared = observer ? std::make_shared<const QueryObserver>(
+                               std::move(observer))
+                         : nullptr;
+  std::lock_guard<std::mutex> lock(observer_mutex_);
+  observer_ = std::move(shared);
 }
 
 void QueryEngine::Count(QueryStatus status) {
@@ -404,10 +523,9 @@ void QueryEngine::RunnerLoop() {
     std::shared_ptr<QueryHandle::State> state;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      state = std::move(queue_.front());
-      queue_.pop_front();
+      queue_cv_.wait(lock, [&] { return stopping_ || queued_ > 0; });
+      state = PickNextLocked();
+      if (!state) return;  // stopping_ and drained
     }
     not_full_cv_.notify_all();
     Execute(state);
@@ -451,6 +569,16 @@ void QueryEngine::RunSolo(
   QueryStatus status;
   QueryResult result;
   std::string error;
+  // Engine-level source validation with the canonical error text, shared
+  // with the wave path's per-lane check — a client sees the identical
+  // message whether its query ran solo or merged into a wave. (The
+  // primitives' own GR_CHECKs stay as the backstop for direct callers.)
+  if (auto bad = ValidateSource(state->request,
+                                state->graph->num_vertices())) {
+    Count(QueryStatus::kFailed);
+    Complete(state, QueryStatus::kFailed, {}, std::move(*bad));
+    return;
+  }
   try {
     // Resolve the reverse graph before leasing a workspace: its one-time
     // build is a registry concern, not part of this query's scratch. The
@@ -514,17 +642,28 @@ void QueryEngine::GatherWave(
   bool freed = false;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
-    auto it = queue_.begin();
-    while (it != queue_.end() && wave->size() < max_lanes) {
+    // Wave members must share the leader's graph, so only the leader's
+    // own per-graph queue can hold candidates. Members ride the leader's
+    // pickup without a stride charge of their own: a wave occupies one
+    // runner slot, so fair share bills it as one pickup.
+    GraphAux& aux = *leader->aux;
+    auto it = aux.waiting.begin();
+    while (it != aux.waiting.end() && wave->size() < max_lanes) {
       const auto& s = *it;
       if (s->coalescible && s->graph == leader->graph &&
           CoalesceCompatible(leader->request, s->request)) {
-        wave->push_back(s);
-        it = queue_.erase(it);
+        (*it)->picked = true;
+        ++running_;
+        wave->push_back(std::move(*it));
+        it = aux.waiting.erase(it);
+        --queued_;
         freed = true;
       } else {
         ++it;
       }
+    }
+    if (aux.waiting.empty()) {
+      std::erase(scheduled_, leader->aux);
     }
   }
   // Pulling members out of the queue freed admission capacity.
@@ -557,7 +696,8 @@ void QueryEngine::RunWave(
       if (validate && (source < 0 || source >= num_vertices)) {
         Count(QueryStatus::kFailed);
         Complete(s, QueryStatus::kFailed, {},
-                 is_bfs ? "BFS source out of range" : "seed out of range");
+                 SourceRangeError(is_bfs ? "bfs" : "ppr", source,
+                                  num_vertices));
       } else {
         sources.push_back(source);
         valid.push_back(std::move(s));
@@ -692,6 +832,7 @@ void QueryEngine::Complete(const std::shared_ptr<QueryHandle::State>& state,
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       --state->aux->in_flight;
+      if (state->picked) --running_;
     }
     not_full_cv_.notify_all();
   }
@@ -722,6 +863,25 @@ void QueryEngine::Complete(const std::shared_ptr<QueryHandle::State>& state,
       stream->ready.push_back({state->stream_index, QueryHandle(state)});
     }
     stream->cv.notify_all();
+  }
+  // Observability last, outside every lock: the observer sees only
+  // already-fulfilled queries, and a slow observer can't stall waiters.
+  std::shared_ptr<const QueryObserver> observer;
+  {
+    std::lock_guard<std::mutex> lock(observer_mutex_);
+    observer = observer_;
+  }
+  if (observer) {
+    QueryObservation obs;
+    obs.kind = KindName(state->request);
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      obs.status = state->response.status;
+      obs.queue_ms = state->response.queue_ms;
+      obs.run_ms = state->response.run_ms;
+      obs.total_ms = state->response.total_ms;
+    }
+    (*observer)(obs);
   }
 }
 

@@ -29,8 +29,10 @@
 //    handle immediately as kRejected (kReject) — backpressure instead of
 //    unbounded memory growth. Per-graph quotas add a second admission
 //    gate: a registered graph may cap its own in-flight queries, with the
-//    same block/reject semantics, so one hot graph cannot starve the rest
-//    of the registry.
+//    same block/reject semantics. Across graphs, admitted queries wait in
+//    per-graph FIFO queues and runners pick the next graph by weighted
+//    stride scheduling (GraphOptions::weight) — a cap bounds one tenant,
+//    fair share guarantees every tenant forward progress.
 //  - *Finish-order streaming.* SubmitAll(..., kStream) returns a
 //    CompletionStream that yields queries as they complete instead of
 //    Wait()-in-submit-order — a consumer drains results at the engine's
@@ -40,6 +42,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -106,6 +109,17 @@ struct GraphOptions {
   /// as kRejected (kReject). The quota is released on *any* terminal
   /// transition: done, cancelled, deadline or failure.
   std::size_t quota = 0;
+  /// Fair-share weight (> 0). Queued queries are held in per-graph FIFO
+  /// queues and runners pick the next graph by stride scheduling: each
+  /// pickup advances the graph's virtual pass by 1/weight, and the graph
+  /// with the smallest pass among those with queued work runs next. A
+  /// graph with weight 2 therefore gets two pickups for every one a
+  /// weight-1 graph gets — and, unlike the quota cap, a flooding tenant
+  /// can never starve a light one: the light graph's next query is always
+  /// at most a few pickups away, no matter how deep the flooder's
+  /// backlog. Order *within* one graph stays FIFO, so single-graph
+  /// workloads behave exactly as before.
+  double weight = 1.0;
 };
 
 struct SubmitOptions {
@@ -189,7 +203,14 @@ class CompletionStream {
   /// other work (report liveness, check shutdown flags) and come back.
   std::optional<Completion> NextFor(double ms);
 
-  /// Queries in the batch.
+  /// For open-ended streams (QueryEngine::OpenStream): declares that no
+  /// further queries will be attached. Next() drains what was submitted
+  /// and then returns std::nullopt; without this call an idle open stream
+  /// blocks in Next() waiting for future submissions. No-op on batch
+  /// streams (they are born closed at their batch size).
+  void CloseSubmission();
+
+  /// Queries in the batch (submitted so far, for an open stream).
   std::size_t size() const;
   /// Completions already handed out by Next().
   std::size_t delivered() const;
@@ -237,6 +258,18 @@ class QueryEngine {
   QueryHandle Submit(const std::string& graph, QueryRequest request,
                      const SubmitOptions& options = {});
 
+  /// Open-ended completion stream for incremental submission — the shape
+  /// a long-lived connection needs: attach queries one at a time as they
+  /// arrive off the wire, drain completions in finish order concurrently.
+  /// The stream's Completion::index is the attach order (0, 1, 2, ...).
+  /// Call CloseSubmission() when no more queries will be attached.
+  CompletionStream OpenStream();
+  /// Admits one query and attaches it to `stream` (which must come from
+  /// OpenStream()); its completion is delivered through the stream like a
+  /// batch member's. Returns the handle too (for Cancel()).
+  QueryHandle Submit(const std::string& graph, QueryRequest request,
+                     const SubmitOptions& options, CompletionStream& stream);
+
   /// Batch submission: stamps `prototype` with each source in turn
   /// (WithSource) and admits them all. With the kBlock policy this
   /// naturally throttles to the engine's service rate.
@@ -277,8 +310,31 @@ class QueryEngine {
     std::uint64_t coalesced = 0;
     /// Largest wave formed so far (lanes).
     std::uint64_t max_wave = 0;
+    /// Gauges (snapshot, not monotone): admitted queries waiting for a
+    /// runner, and queries currently executing. The observability layer
+    /// polls these for queue-depth reporting.
+    std::uint64_t queued = 0;
+    std::uint64_t running = 0;
   };
   Stats stats() const;
+
+  /// Serving-telemetry summary of one terminal transition, pushed to the
+  /// registered observer. Carries only what an observability layer needs
+  /// (family, outcome, latency split) — never the result payload, so
+  /// observing is O(1) per query.
+  struct QueryObservation {
+    const char* kind = "";  ///< KindName() of the request
+    QueryStatus status = QueryStatus::kDone;
+    double queue_ms = 0.0;
+    double run_ms = 0.0;
+    double total_ms = 0.0;
+  };
+  using QueryObserver = std::function<void(const QueryObservation&)>;
+  /// Registers `observer`, called once per query on its terminal
+  /// transition (any status, including rejects), after the handle is
+  /// fulfilled and outside engine locks. Pass nullptr to clear. The
+  /// observer must be thread-safe: runners invoke it concurrently.
+  void SetObserver(QueryObserver observer);
   WorkspacePool::Stats workspace_stats() const { return workspaces_.stats(); }
   /// Queries currently in flight (queued + running) against `name`;
   /// throws for an unknown graph.
@@ -297,6 +353,15 @@ class QueryEngine {
   struct GraphAux;
 
   void RunnerLoop();
+  /// Fair-share pickup (stride scheduling): pops the front of the queued
+  /// graph with the smallest virtual pass and charges it 1/weight.
+  /// Returns nullptr when every per-graph queue is empty. Caller holds
+  /// queue_mutex_.
+  std::shared_ptr<QueryHandle::State> PickNextLocked();
+  /// Removes `aux` from the scheduled set if its queue emptied; adds it
+  /// on first enqueue (charging new arrivals the current virtual time so
+  /// an idle graph cannot hoard credit). Caller holds queue_mutex_.
+  void EnqueueLocked(const std::shared_ptr<QueryHandle::State>& state);
   void Execute(const std::shared_ptr<QueryHandle::State>& state);
   /// Solo execution body (the classic per-query path); the state is
   /// already marked running and its token pre-checked.
@@ -341,11 +406,24 @@ class QueryEngine {
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;      // runners wait for work
   std::condition_variable not_full_cv_;   // blocked submitters wait here
-  std::deque<std::shared_ptr<QueryHandle::State>> queue_;
+  /// Fair-share scheduled set: every GraphAux with a non-empty waiting
+  /// queue, scanned linearly at pickup (registrations are few). The
+  /// per-graph FIFO queues live inside GraphAux; queued_ is their total,
+  /// bounded by options_.queue_capacity.
+  std::vector<std::shared_ptr<GraphAux>> scheduled_;
+  std::size_t queued_ = 0;
+  std::size_t running_ = 0;
+  /// Virtual time floor: the pass charged at the latest pickup. A graph
+  /// entering the scheduled set starts at max(its pass, this), so credit
+  /// does not accrue while idle.
+  double virtual_time_ = 0.0;
   bool accepting_ = true;
   bool stopping_ = false;
   std::uint64_t next_id_ = 1;
   Stats stats_;
+
+  mutable std::mutex observer_mutex_;
+  std::shared_ptr<const QueryObserver> observer_;
 
   std::vector<std::thread> runners_;
 };

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "util/error.hpp"
+#include "util/parse.hpp"
 
 namespace gunrock::graph {
 
@@ -18,11 +19,25 @@ std::string ToLower(std::string s) {
   return s;
 }
 
+/// "line 7: " prefix — every malformed-input error below names the
+/// offending line, so a bad 10M-edge file is a one-glance fix, not a
+/// bisection.
+std::string At(long long line_no) {
+  return "line " + std::to_string(line_no) + ": ";
+}
+
 }  // namespace
 
 Coo ReadMarket(std::istream& in) {
   std::string line;
-  GR_CHECK(static_cast<bool>(std::getline(in, line)), "empty input");
+  long long line_no = 0;
+  const auto next_line = [&]() -> bool {
+    if (!std::getline(in, line)) return false;
+    ++line_no;
+    return true;
+  };
+
+  GR_CHECK(next_line(), "empty input");
   std::istringstream header(line);
   std::string banner, object, format, field, symmetry;
   header >> banner >> object >> format >> field >> symmetry;
@@ -39,18 +54,35 @@ Coo ReadMarket(std::istream& in) {
   GR_CHECK(symmetric || symmetry == "general",
            "unsupported symmetry: " + symmetry);
 
-  // Skip comments, read the size line.
+  // Skip comments, read the size line: exactly three non-negative
+  // integers — whole-token checked, so "4 4 x" and "4 4 3 junk" are
+  // errors that name the line, never a zero-filled header.
   long long rows = 0, cols = 0, nnz = 0;
   for (;;) {
-    GR_CHECK(static_cast<bool>(std::getline(in, line)),
-             "missing size line");
+    GR_CHECK(next_line(), "missing size line (input ended at line " +
+                              std::to_string(line_no) + ")");
     if (line.empty() || line[0] == '%') continue;
     std::istringstream sizes(line);
-    GR_CHECK(static_cast<bool>(sizes >> rows >> cols >> nnz),
-             "bad size line: " + line);
+    std::string r_tok, c_tok, n_tok, extra;
+    GR_CHECK(static_cast<bool>(sizes >> r_tok >> c_tok >> n_tok),
+             At(line_no) + "bad size line (need rows cols nnz): " + line);
+    GR_CHECK(!(sizes >> extra), At(line_no) + "trailing garbage '" + extra +
+                                    "' on size line: " + line);
+    const auto parse_size = [&](const std::string& token,
+                                const char* what) -> long long {
+      const auto parsed = util::ParseInt(
+          token, 0, std::numeric_limits<long long>::max());
+      GR_CHECK(parsed.has_value(), At(line_no) + std::string(what) + " '" +
+                                       token +
+                                       "' is not a non-negative integer: " +
+                                       line);
+      return *parsed;
+    };
+    rows = parse_size(r_tok, "row count");
+    cols = parse_size(c_tok, "column count");
+    nnz = parse_size(n_tok, "entry count");
     break;
   }
-  GR_CHECK(rows >= 0 && cols >= 0 && nnz >= 0, "negative size");
 
   Coo coo;
   coo.num_vertices = static_cast<vid_t>(std::max(rows, cols));
@@ -61,17 +93,42 @@ Coo ReadMarket(std::istream& in) {
   }
 
   long long seen = 0;
-  while (seen < nnz && std::getline(in, line)) {
+  while (seen < nnz) {
+    GR_CHECK(next_line(), "expected " + std::to_string(nnz) +
+                              " entries, got " + std::to_string(seen) +
+                              " (input ended at line " +
+                              std::to_string(line_no) + ")");
     if (line.empty() || line[0] == '%') continue;
     std::istringstream entry(line);
-    long long r, c;
-    GR_CHECK(static_cast<bool>(entry >> r >> c), "bad entry: " + line);
+    std::string r_tok, c_tok, w_tok, extra;
+    GR_CHECK(static_cast<bool>(entry >> r_tok >> c_tok),
+             At(line_no) + "bad entry (need row col" +
+                 (pattern ? "" : " value") + "): " + line);
+    const auto parse_index = [&](const std::string& token) -> long long {
+      const auto parsed = util::ParseInt(token);
+      GR_CHECK(parsed.has_value(), At(line_no) + "entry index '" + token +
+                                       "' is not an integer: " + line);
+      return *parsed;
+    };
+    const long long r = parse_index(r_tok);
+    const long long c = parse_index(c_tok);
+    // Matrix Market indices are 1-based: 0 is as out-of-range as rows+1.
     GR_CHECK(r >= 1 && r <= rows && c >= 1 && c <= cols,
-             "entry out of range: " + line);
+             At(line_no) + "entry (" + std::to_string(r) + ", " +
+                 std::to_string(c) + ") out of range [1, " +
+                 std::to_string(rows) + "] x [1, " + std::to_string(cols) +
+                 "] (indices are 1-based): " + line);
     double w = 1.0;
     if (!pattern) {
-      GR_CHECK(static_cast<bool>(entry >> w), "missing value: " + line);
+      GR_CHECK(static_cast<bool>(entry >> w_tok),
+               At(line_no) + "missing value: " + line);
+      const auto parsed = util::ParseDouble(w_tok);
+      GR_CHECK(parsed.has_value(), At(line_no) + "value '" + w_tok +
+                                       "' is not a number: " + line);
+      w = *parsed;
     }
+    GR_CHECK(!(entry >> extra), At(line_no) + "trailing garbage '" + extra +
+                                    "' after entry: " + line);
     const vid_t u = static_cast<vid_t>(r - 1);
     const vid_t v = static_cast<vid_t>(c - 1);
     if (pattern) {
@@ -83,8 +140,6 @@ Coo ReadMarket(std::istream& in) {
     }
     ++seen;
   }
-  GR_CHECK(seen == nnz, "expected " + std::to_string(nnz) + " entries, got " +
-                            std::to_string(seen));
   return coo;
 }
 

@@ -1,0 +1,350 @@
+#include "serve/config.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <limits>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/market.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+#include "util/parse.hpp"
+
+namespace gunrock::serve {
+
+namespace {
+
+std::string Trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+bool FailConfig(std::string* error, std::string why) {
+  if (error) *error = std::move(why);
+  return false;
+}
+
+/// Positive integer directive value; `what` names the directive in errors.
+bool ParsePositive(const std::string& value, const char* what, long long max,
+                   long long* out, std::string* error) {
+  const auto parsed = util::ParseInt(value, 1, max);
+  if (!parsed) {
+    return FailConfig(error, std::string(what) + " must be an integer in [1, " +
+                                 std::to_string(max) + "], got '" + value +
+                                 "'");
+  }
+  *out = *parsed;
+  return true;
+}
+
+bool ParseOnOff(const std::string& value, const char* what, bool* out,
+                std::string* error) {
+  if (value == "on" || value == "true") {
+    *out = true;
+    return true;
+  }
+  if (value == "off" || value == "false") {
+    *out = false;
+    return true;
+  }
+  return FailConfig(error, std::string(what) + " must be on or off, got '" +
+                               value + "'");
+}
+
+/// Required numeric generator parameter with checked parsing; throws the
+/// startup error the config contract promises.
+long long SpecInt(const GraphConfig& spec, const std::string& key,
+                  long long fallback, long long lo, long long hi) {
+  const auto it = spec.params.find(key);
+  if (it == spec.params.end()) return fallback;
+  const auto parsed = util::ParseInt(it->second, lo, hi);
+  GR_CHECK(parsed.has_value(),
+           "graph '" + spec.name + "': parameter '" + key +
+               "' must be an integer in [" + std::to_string(lo) + ", " +
+               std::to_string(hi) + "], got '" + it->second + "'");
+  return *parsed;
+}
+
+double SpecDouble(const GraphConfig& spec, const std::string& key,
+                  double fallback) {
+  const auto it = spec.params.find(key);
+  if (it == spec.params.end()) return fallback;
+  const auto parsed = util::ParseDouble(it->second);
+  GR_CHECK(parsed.has_value(), "graph '" + spec.name + "': parameter '" +
+                                   key + "' must be a number, got '" +
+                                   it->second + "'");
+  return *parsed;
+}
+
+void CheckSpecKeys(const GraphConfig& spec,
+                   std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : spec.params) {
+    (void)value;
+    bool ok = false;
+    for (const char* a : allowed) ok = ok || key == a;
+    GR_CHECK(ok, "graph '" + spec.name + "': unknown " + spec.kind +
+                     " parameter '" + key + "'");
+  }
+}
+
+}  // namespace
+
+std::optional<GraphConfig> ParseGraphSpec(std::string_view text,
+                                          std::string* error) {
+  GraphConfig out;
+  const std::size_t eq = text.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    FailConfig(error,
+               "graph spec must look like NAME=KIND:params, got '" +
+                   std::string(text) + "'");
+    return std::nullopt;
+  }
+  out.name = Trim(text.substr(0, eq));
+  out.spec = Trim(text.substr(eq + 1));
+
+  std::string_view rest = out.spec;
+  const std::size_t colon = rest.find(':');
+  out.kind = Trim(rest.substr(0, colon));
+  rest = colon == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(colon + 1);
+  if (out.kind != "rmat" && out.kind != "rgg" && out.kind != "road" &&
+      out.kind != "file") {
+    FailConfig(error, "graph '" + out.name + "': unknown kind '" + out.kind +
+                          "' (expected rmat, rgg, road or file)");
+    return std::nullopt;
+  }
+
+  // Comma-separated tokens. For `file:` the first token is the path;
+  // every other token must be key=value.
+  bool first = true;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string token = Trim(rest.substr(0, comma));
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (token.empty()) continue;
+    const std::size_t teq = token.find('=');
+    if (teq == std::string::npos) {
+      if (out.kind == "file" && first) {
+        out.params["path"] = token;
+        first = false;
+        continue;
+      }
+      FailConfig(error, "graph '" + out.name + "': expected key=value, got '" +
+                            token + "'");
+      return std::nullopt;
+    }
+    first = false;
+    const std::string key = Trim(token.substr(0, teq));
+    const std::string value = Trim(token.substr(teq + 1));
+    if (key == "weight") {
+      const auto w = util::ParseDouble(value);
+      if (!w || !(*w > 0.0)) {
+        FailConfig(error, "graph '" + out.name +
+                              "': weight must be a number > 0, got '" + value +
+                              "'");
+        return std::nullopt;
+      }
+      out.weight = *w;
+    } else if (key == "quota") {
+      const auto q = util::ParseInt(value, 0, 1 << 20);
+      if (!q) {
+        FailConfig(error, "graph '" + out.name +
+                              "': quota must be an integer >= 0, got '" +
+                              value + "'");
+        return std::nullopt;
+      }
+      out.quota = static_cast<std::size_t>(*q);
+    } else {
+      out.params[key] = value;
+    }
+  }
+
+  if (out.kind == "file" && out.params.count("path") == 0) {
+    FailConfig(error, "graph '" + out.name + "': file spec needs a path "
+                      "(file:/path/to/graph.mtx)");
+    return std::nullopt;
+  }
+  return out;
+}
+
+bool ApplyDirective(const std::string& key, const std::string& value,
+                    DaemonConfig* config, std::string* error) {
+  if (key == "host") {
+    if (value.empty()) return FailConfig(error, "host must be non-empty");
+    config->host = value;
+    return true;
+  }
+  if (key == "port") {
+    const auto p = util::ParseInt(value, 0, 65535);
+    if (!p) {
+      return FailConfig(
+          error, "port must be an integer in [0, 65535], got '" + value + "'");
+    }
+    config->port = static_cast<int>(*p);
+    return true;
+  }
+  if (key == "port_file") {
+    config->port_file = value;
+    return true;
+  }
+  if (key == "inflight") {
+    long long v = 0;
+    if (!ParsePositive(value, "inflight", 256, &v, error)) return false;
+    config->inflight = static_cast<unsigned>(v);
+    return true;
+  }
+  if (key == "queue") {
+    long long v = 0;
+    if (!ParsePositive(value, "queue", 1 << 20, &v, error)) return false;
+    config->queue = static_cast<std::size_t>(v);
+    return true;
+  }
+  if (key == "backpressure") {
+    if (value == "block") {
+      config->reject = false;
+      return true;
+    }
+    if (value == "reject") {
+      config->reject = true;
+      return true;
+    }
+    return FailConfig(
+        error, "backpressure must be block or reject, got '" + value + "'");
+  }
+  if (key == "coalescing") {
+    return ParseOnOff(value, "coalescing", &config->coalescing, error);
+  }
+  if (key == "drain_deadline_ms") {
+    const auto v = util::ParseDouble(value);
+    if (!v || !(*v >= 0.0)) {
+      return FailConfig(error,
+                        "drain_deadline_ms must be a number >= 0, got '" +
+                            value + "'");
+    }
+    config->drain_deadline_ms = *v;
+    return true;
+  }
+  if (key == "deadline_ms") {
+    const auto v = util::ParseDouble(value);
+    if (!v || !(*v >= 0.0)) {
+      return FailConfig(
+          error, "deadline_ms must be a number >= 0, got '" + value + "'");
+    }
+    config->default_deadline_ms = *v;
+    return true;
+  }
+  if (key == "graph") {
+    auto parsed = ParseGraphSpec(value, error);
+    if (!parsed) return false;
+    for (const GraphConfig& g : config->graphs) {
+      if (g.name == parsed->name) {
+        return FailConfig(error,
+                          "duplicate graph name '" + parsed->name + "'");
+      }
+    }
+    config->graphs.push_back(std::move(*parsed));
+    return true;
+  }
+  return FailConfig(error, "unknown directive '" + key + "'");
+}
+
+bool ParseConfigText(std::string_view text, DaemonConfig* config,
+                     std::string* error) {
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+
+    const std::size_t eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      return FailConfig(error, "line " + std::to_string(line_no) +
+                                   ": expected 'key = value', got '" +
+                                   trimmed + "'");
+    }
+    const std::string key = Trim(std::string_view(trimmed).substr(0, eq));
+    const std::string value = Trim(std::string_view(trimmed).substr(eq + 1));
+    std::string why;
+    if (!ApplyDirective(key, value, config, &why)) {
+      return FailConfig(error,
+                        "line " + std::to_string(line_no) + ": " + why);
+    }
+  }
+  return true;
+}
+
+bool LoadConfigFile(const std::string& path, DaemonConfig* config,
+                    std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    return FailConfig(error, "cannot open config file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string why;
+  if (!ParseConfigText(buffer.str(), config, &why)) {
+    return FailConfig(error, path + ": " + why);
+  }
+  return true;
+}
+
+graph::Csr BuildGraphFromSpec(const GraphConfig& spec) {
+  auto& pool = par::ThreadPool::Global();
+  graph::Coo coo;
+  if (spec.kind == "rmat") {
+    CheckSpecKeys(spec, {"scale", "edge_factor", "seed"});
+    graph::RmatParams p;
+    p.scale = static_cast<int>(SpecInt(spec, "scale", p.scale, 1, 28));
+    p.edge_factor =
+        static_cast<int>(SpecInt(spec, "edge_factor", p.edge_factor, 1, 256));
+    p.seed = static_cast<std::uint64_t>(
+        SpecInt(spec, "seed", static_cast<long long>(p.seed), 0,
+                std::numeric_limits<long long>::max()));
+    coo = GenerateRmat(p, pool);
+  } else if (spec.kind == "rgg") {
+    CheckSpecKeys(spec, {"scale", "radius", "seed"});
+    graph::RggParams p;
+    p.scale = static_cast<int>(SpecInt(spec, "scale", p.scale, 1, 28));
+    p.radius = SpecDouble(spec, "radius", p.radius);
+    p.seed = static_cast<std::uint64_t>(
+        SpecInt(spec, "seed", static_cast<long long>(p.seed), 0,
+                std::numeric_limits<long long>::max()));
+    coo = GenerateRgg(p, pool);
+  } else if (spec.kind == "road") {
+    CheckSpecKeys(spec, {"width", "height", "drop_prob", "diag_prob", "seed"});
+    graph::RoadParams p;
+    p.width = static_cast<int>(SpecInt(spec, "width", p.width, 1, 1 << 15));
+    p.height = static_cast<int>(SpecInt(spec, "height", p.height, 1, 1 << 15));
+    p.drop_prob = SpecDouble(spec, "drop_prob", p.drop_prob);
+    p.diag_prob = SpecDouble(spec, "diag_prob", p.diag_prob);
+    p.seed = static_cast<std::uint64_t>(
+        SpecInt(spec, "seed", static_cast<long long>(p.seed), 0,
+                std::numeric_limits<long long>::max()));
+    coo = GenerateRoad(p, pool);
+  } else {
+    GR_CHECK(spec.kind == "file",
+             "graph '" + spec.name + "': unknown kind '" + spec.kind + "'");
+    CheckSpecKeys(spec, {"path"});
+    coo = graph::ReadMarketFile(spec.params.at("path"));
+  }
+  if (!coo.has_weights()) graph::AttachRandomWeights(coo, 1, 64);
+  graph::BuildOptions build;
+  build.symmetrize = true;
+  return graph::BuildCsr(coo, build);
+}
+
+}  // namespace gunrock::serve

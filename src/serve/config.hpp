@@ -1,0 +1,85 @@
+// gunrockd startup configuration: flags, config file, graph specs.
+//
+// The daemon reads the same `key = value` grammar from both places — a
+// config file (`--config FILE`, one directive per line, `#` comments) and
+// command-line flags (`--port 7070` is exactly `port = 7070`) — flags are
+// applied after the file, so they win. Graph directives are repeatable:
+//
+//   graph = social=rmat:scale=12,edge_factor=16,weight=2,quota=8
+//   graph = mesh=road:width=256,height=256
+//   graph = web=file:/data/web.mtx,weight=4
+//
+// i.e. NAME=KIND:comma-separated params, where `weight` and `quota` are
+// serving attributes (fair-share weight, admission cap) and every other
+// key belongs to the generator (rmat: scale/edge_factor/seed; rgg:
+// scale/radius/seed; road: width/height/drop_prob/diag_prob/seed; file:
+// the first token is the Matrix Market path). All numeric values go
+// through the checked util/parse.hpp parsers — a typo is a startup error
+// naming the offending key, never a silently-defaulted graph.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gunrock::serve {
+
+/// One `graph =` directive, parsed.
+struct GraphConfig {
+  std::string name;
+  std::string spec;  ///< everything after NAME= (for logs)
+  std::string kind;  ///< rmat | rgg | road | file
+  /// Generator parameters (or "path" for kind file), still textual —
+  /// BuildGraphFromSpec validates and converts.
+  std::map<std::string, std::string> params;
+  double weight = 1.0;    ///< fair-share weight (engine GraphOptions)
+  std::size_t quota = 0;  ///< per-graph in-flight cap; 0 = unlimited
+};
+
+struct DaemonConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral (kernel-assigned, see port_file)
+  /// When non-empty, the bound port is written here once listening —
+  /// the handshake scripts and tests use to find an ephemeral port.
+  std::string port_file;
+  unsigned inflight = 4;      ///< engine runner threads
+  std::size_t queue = 64;     ///< engine admission-queue capacity
+  bool reject = false;        ///< kReject backpressure instead of kBlock
+  bool coalescing = true;     ///< engine wave coalescing
+  double drain_deadline_ms = 5000.0;  ///< graceful-drain budget on SIGTERM
+  double default_deadline_ms = 0.0;   ///< per-query default; 0 = none
+  std::vector<GraphConfig> graphs;
+};
+
+/// Parses one graph directive (`NAME=KIND:params`). Returns nullopt with
+/// a reason in `error` for a missing name, unknown kind, or malformed
+/// weight/quota.
+std::optional<GraphConfig> ParseGraphSpec(std::string_view text,
+                                          std::string* error);
+
+/// Applies one configuration directive (`key`, `value` — already split
+/// and trimmed) to `config`. Shared by the file parser and the flag
+/// parser so both speak the identical grammar.
+bool ApplyDirective(const std::string& key, const std::string& value,
+                    DaemonConfig* config, std::string* error);
+
+/// Parses a whole config file body. On failure `error` names the line.
+bool ParseConfigText(std::string_view text, DaemonConfig* config,
+                     std::string* error);
+
+/// Reads and parses `path`. False (with `error`) on I/O or parse failure.
+bool LoadConfigFile(const std::string& path, DaemonConfig* config,
+                    std::string* error);
+
+/// Materializes the graph a spec describes: runs the named generator (or
+/// reads the Matrix Market file), attaches random weights when the input
+/// has none, and builds a symmetrized CSR — the same pipeline the CLI
+/// uses, so daemon answers match CLI answers on the same spec. Throws
+/// gunrock::Error with the offending key for bad or unknown parameters.
+graph::Csr BuildGraphFromSpec(const GraphConfig& spec);
+
+}  // namespace gunrock::serve

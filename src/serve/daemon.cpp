@@ -1,0 +1,458 @@
+#include "serve/daemon.hpp"
+
+#include <cinttypes>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "serve/protocol.hpp"
+#include "util/error.hpp"
+
+namespace gunrock::serve {
+
+namespace {
+
+engine::QueryEngineOptions EngineOptions(const DaemonConfig& config) {
+  engine::QueryEngineOptions opts;
+  opts.max_in_flight = config.inflight;
+  opts.queue_capacity = config.queue;
+  opts.backpressure =
+      config.reject ? engine::QueryEngineOptions::Backpressure::kReject
+                    : engine::QueryEngineOptions::Backpressure::kBlock;
+  opts.coalescing = config.coalescing;
+  return opts;
+}
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+const char* const Daemon::kFamilies[Daemon::kNumFamilies] = {
+    "bfs",  "sssp",      "bc", "cc",   "pagerank", "mst",
+    "triangles", "lp", "hits", "salsa", "ppr",
+};
+
+/// Per-connection state. The reader thread owns the socket's read side
+/// and is the stream's only submitter; the writer thread drains the
+/// stream; both write lines under `write_mutex`.
+struct Daemon::Connection {
+  std::uint64_t id = 0;
+  Socket socket;
+  std::mutex write_mutex;
+  engine::CompletionStream stream;
+
+  struct QueryMeta {
+    std::string kind;
+    Json tag;
+    bool values = true;
+  };
+  std::mutex meta_mutex;
+  std::vector<QueryMeta> meta;  // index == stream attach order
+
+  std::thread reader;
+  std::thread writer;
+
+  bool WriteLine(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    return socket.WriteAll(line + "\n");
+  }
+};
+
+Daemon::Daemon(DaemonConfig config)
+    : config_(std::move(config)),
+      engine_(EngineOptions(config_)),
+      start_time_(std::chrono::steady_clock::now()) {
+  engine_.SetObserver([this](const engine::QueryEngine::QueryObservation& o) {
+    Observe(o);
+  });
+}
+
+Daemon::~Daemon() {
+  Stop();  // joins every engine and connection thread: no observer call
+           // can race the histograms' destruction below
+  engine_.SetObserver(nullptr);
+}
+
+void Daemon::AddGraph(const std::string& name, graph::Csr graph,
+                      const engine::GraphOptions& gopts) {
+  GR_CHECK(!listener_.listening(), "AddGraph must precede Start()");
+  const auto vertices = graph.num_vertices();
+  const auto edges = graph.num_edges();
+  engine_.RegisterGraph(name, std::move(graph), gopts);
+  GraphConfig info;
+  info.name = name;
+  info.spec = "(pre-built)";
+  info.kind = "prebuilt";
+  info.weight = gopts.weight;
+  info.quota = gopts.quota;
+  info.params["vertices"] = std::to_string(vertices);
+  info.params["edges"] = std::to_string(edges);
+  config_.graphs.push_back(std::move(info));
+}
+
+bool Daemon::Start(std::string* error) {
+  // Materialize the config's graph specs (prebuilt entries are already
+  // registered by AddGraph).
+  for (GraphConfig& spec : config_.graphs) {
+    if (spec.kind == "prebuilt") continue;
+    try {
+      graph::Csr csr = BuildGraphFromSpec(spec);
+      spec.params["vertices"] = std::to_string(csr.num_vertices());
+      spec.params["edges"] = std::to_string(csr.num_edges());
+      engine::GraphOptions gopts;
+      gopts.weight = spec.weight;
+      gopts.quota = spec.quota;
+      Log("graph",
+          "name=" + spec.name + " spec=" + spec.spec +
+              " vertices=" + spec.params["vertices"] +
+              " edges=" + spec.params["edges"] +
+              " weight=" + std::to_string(spec.weight) +
+              " quota=" + std::to_string(spec.quota));
+      engine_.RegisterGraph(spec.name, std::move(csr), gopts);
+    } catch (const std::exception& e) {
+      if (error) *error = e.what();
+      return false;
+    }
+  }
+  if (config_.graphs.empty()) {
+    if (error) *error = "no graphs configured (need at least one graph =)";
+    return false;
+  }
+  if (config_.graphs.size() == 1) default_graph_ = config_.graphs[0].name;
+
+  if (!listener_.Bind(config_.host, config_.port, error)) return false;
+
+  if (!config_.port_file.empty()) {
+    std::ofstream out(config_.port_file, std::ios::trunc);
+    out << listener_.port() << "\n";
+    if (!out) {
+      if (error) {
+        *error = "cannot write port file '" + config_.port_file + "'";
+      }
+      listener_.Close();
+      return false;
+    }
+  }
+
+  Log("listening", "host=" + config_.host +
+                       " port=" + std::to_string(listener_.port()) +
+                       " inflight=" + std::to_string(config_.inflight) +
+                       " queue=" + std::to_string(config_.queue));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void Daemon::AcceptLoop() {
+  for (;;) {
+    std::optional<Socket> accepted = listener_.Accept();
+    if (!accepted) return;  // listener closed: drain has begun
+    if (draining_.load()) continue;  // raced with Stop(): drop it
+
+    auto conn = std::make_shared<Connection>();
+    conn->socket = std::move(*accepted);
+    conn->stream = engine_.OpenStream();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      conn->id = next_connection_id_++;
+      connections_.push_back(conn);
+    }
+    Log("accept", "conn=" + std::to_string(conn->id));
+    conn->writer = std::thread([this, conn] { WriterLoop(conn); });
+    conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void Daemon::ReaderLoop(const std::shared_ptr<Connection>& conn) {
+  while (std::optional<std::string> line = conn->socket.ReadLine()) {
+    HandleLine(conn, *line);
+  }
+  // EOF (client went away or drain shut the read side): no further
+  // submissions; the writer drains what is in flight and exits.
+  conn->stream.CloseSubmission();
+  conn->writer.join();
+  conn->socket.Close();
+  Log("close", "conn=" + std::to_string(conn->id) +
+                   " served=" + std::to_string(conn->stream.delivered()));
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+      if (it->get() == conn.get()) {
+        finished_.push_back(std::move(*it));
+        connections_.erase(it);
+        break;
+      }
+    }
+  }
+  connections_cv_.notify_all();
+}
+
+void Daemon::WriterLoop(const std::shared_ptr<Connection>& conn) {
+  while (std::optional<engine::CompletionStream::Completion> done =
+             conn->stream.Next()) {
+    Connection::QueryMeta meta;
+    {
+      std::lock_guard<std::mutex> lock(conn->meta_mutex);
+      meta = conn->meta[done->index];
+    }
+    const engine::QueryResponse& response = done->handle.Wait();
+    const Json reply = EncodeResult(done->handle.id(), meta.tag,
+                                    meta.kind.c_str(), response, meta.values);
+    conn->WriteLine(reply.Dump());
+  }
+}
+
+void Daemon::HandleLine(const std::shared_ptr<Connection>& conn,
+                        const std::string& line) {
+  if (line.empty()) return;
+
+  // Operator endpoints: "/stats" for line clients, "GET /stats" for curl.
+  const bool bare_stats = line == "/stats";
+  const bool http_stats = line.rfind("GET /stats", 0) == 0;
+  if (bare_stats || http_stats) {
+    const std::string body = StatsText();
+    if (http_stats) {
+      std::lock_guard<std::mutex> lock(conn->write_mutex);
+      conn->socket.WriteAll(
+          "HTTP/1.0 200 OK\r\nContent-Type: text/plain\r\nContent-Length: " +
+          std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
+          body);
+      // HTTP clients expect the connection to end the exchange.
+      conn->socket.ShutdownRead();
+    } else {
+      // Multi-line page on a line protocol: explicit end marker.
+      std::lock_guard<std::mutex> lock(conn->write_mutex);
+      conn->socket.WriteAll(body + "# end\n");
+    }
+    return;
+  }
+
+  std::string error;
+  std::optional<WireRequest> request =
+      DecodeRequest(line, default_graph_, &error);
+  if (!request) {
+    conn->WriteLine(EncodeError(Json(), error).Dump());
+    return;
+  }
+
+  switch (request->op) {
+    case WireRequest::Op::kPing: {
+      Json::Object o;
+      o["op"] = Json("pong");
+      if (!request->tag.is_null()) o["tag"] = request->tag;
+      conn->WriteLine(Json(std::move(o)).Dump());
+      return;
+    }
+    case WireRequest::Op::kGraphs: {
+      Json::Array graphs;
+      for (const GraphConfig& g : config_.graphs) {
+        Json::Object o;
+        o["name"] = Json(g.name);
+        o["weight"] = Json(g.weight);
+        o["quota"] = Json(static_cast<std::int64_t>(g.quota));
+        const auto v = g.params.find("vertices");
+        const auto e = g.params.find("edges");
+        if (v != g.params.end()) o["vertices"] = Json(v->second);
+        if (e != g.params.end()) o["edges"] = Json(e->second);
+        graphs.emplace_back(std::move(o));
+      }
+      Json::Object o;
+      o["op"] = Json("graphs");
+      if (!request->tag.is_null()) o["tag"] = request->tag;
+      o["graphs"] = Json(std::move(graphs));
+      conn->WriteLine(Json(std::move(o)).Dump());
+      return;
+    }
+    case WireRequest::Op::kStats: {
+      const engine::QueryEngine::Stats s = engine_.stats();
+      Json::Object o;
+      o["op"] = Json("stats");
+      if (!request->tag.is_null()) o["tag"] = request->tag;
+      o["submitted"] = Json(s.submitted);
+      o["done"] = Json(s.done);
+      o["cancelled"] = Json(s.cancelled);
+      o["deadline_exceeded"] = Json(s.deadline_exceeded);
+      o["rejected"] = Json(s.rejected);
+      o["failed"] = Json(s.failed);
+      o["waves"] = Json(s.waves);
+      o["coalesced"] = Json(s.coalesced);
+      o["max_wave"] = Json(s.max_wave);
+      o["queued"] = Json(s.queued);
+      o["running"] = Json(s.running);
+      conn->WriteLine(Json(std::move(o)).Dump());
+      return;
+    }
+    case WireRequest::Op::kQuery:
+      break;
+  }
+
+  engine::SubmitOptions options;
+  options.deadline_ms = request->deadline_ms > 0.0
+                            ? request->deadline_ms
+                            : config_.default_deadline_ms;
+
+  // The reader is this stream's only submitter, so the next attach index
+  // is exactly meta.size(); record metadata first so the writer can never
+  // observe a completion without it.
+  {
+    std::lock_guard<std::mutex> lock(conn->meta_mutex);
+    conn->meta.push_back(Connection::QueryMeta{
+        engine::KindName(request->request), request->tag,
+        request->include_values});
+  }
+  try {
+    engine_.Submit(request->graph, std::move(request->request), options,
+                   conn->stream);
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(conn->meta_mutex);
+      conn->meta.pop_back();
+    }
+    conn->WriteLine(EncodeError(request->tag, e.what()).Dump());
+  }
+}
+
+void Daemon::Observe(const engine::QueryEngine::QueryObservation& obs) {
+  if (LatencyHistogram* hist = FamilyHistogram(obs.kind)) {
+    hist->Record(obs.total_ms);
+  }
+  observed_total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+LatencyHistogram* Daemon::FamilyHistogram(const char* kind) {
+  for (int i = 0; i < kNumFamilies; ++i) {
+    if (std::strcmp(kFamilies[i], kind) == 0) return &family_histograms_[i];
+  }
+  return nullptr;
+}
+
+std::string Daemon::StatsText() const {
+  std::string out;
+  char buf[160];
+  const auto add = [&](const char* name, double value) {
+    std::snprintf(buf, sizeof buf, "%s %.6g\n", name, value);
+    out += buf;
+  };
+  const auto addu = [&](const char* name, std::uint64_t value) {
+    std::snprintf(buf, sizeof buf, "%s %" PRIu64 "\n", name, value);
+    out += buf;
+  };
+
+  out += "# gunrockd stats\n";
+  add("gunrockd_uptime_ms", MsSince(start_time_));
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    addu("gunrockd_connections",
+         static_cast<std::uint64_t>(connections_.size()));
+  }
+  addu("gunrockd_observed_total",
+       observed_total_.load(std::memory_order_relaxed));
+
+  const engine::QueryEngine::Stats s = engine_.stats();
+  addu("engine_submitted", s.submitted);
+  addu("engine_done", s.done);
+  addu("engine_cancelled", s.cancelled);
+  addu("engine_deadline_exceeded", s.deadline_exceeded);
+  addu("engine_rejected", s.rejected);
+  addu("engine_failed", s.failed);
+  addu("engine_waves", s.waves);
+  addu("engine_coalesced", s.coalesced);
+  addu("engine_max_wave", s.max_wave);
+  addu("engine_queued", s.queued);
+  addu("engine_running", s.running);
+
+  const engine::WorkspacePool::Stats w = engine_.workspace_stats();
+  addu("workspace_capacity", static_cast<std::uint64_t>(w.capacity));
+  addu("workspace_created", static_cast<std::uint64_t>(w.created));
+  addu("workspace_acquired", static_cast<std::uint64_t>(w.acquired));
+  addu("workspace_recycled", static_cast<std::uint64_t>(w.recycled));
+  addu("workspace_outstanding", static_cast<std::uint64_t>(w.outstanding));
+
+  for (int i = 0; i < kNumFamilies; ++i) {
+    const LatencyHistogram::Snapshot snap = family_histograms_[i].Take();
+    if (snap.total == 0) continue;
+    const char* kind = kFamilies[i];
+    std::snprintf(buf, sizeof buf,
+                  "query_latency_ms{kind=\"%s\"} count=%" PRIu64
+                  " mean=%.3f p50=%.3f p95=%.3f p99=%.3f\n",
+                  kind, snap.total, snap.MeanMs(), snap.Quantile(0.50),
+                  snap.Quantile(0.95), snap.Quantile(0.99));
+    out += buf;
+  }
+  return out;
+}
+
+void Daemon::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  if (stopped_) return;
+  draining_.store(true);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (listener_.listening()) {
+    Log("drain", "phase=begin deadline_ms=" +
+                     std::to_string(config_.drain_deadline_ms));
+    listener_.Close();  // step 1: refuse new connects
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Step 2: no new requests on existing connections — readers see EOF
+  // and close their streams; in-flight queries keep running.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& conn : connections_) conn->socket.ShutdownRead();
+  }
+
+  // Step 3: wait out the drain deadline for connections to finish
+  // delivering their in-flight completions.
+  {
+    std::unique_lock<std::mutex> lock(connections_mutex_);
+    connections_cv_.wait_for(
+        lock,
+        std::chrono::duration<double, std::milli>(config_.drain_deadline_ms),
+        [this] { return connections_.empty(); });
+    // Step 4: past the deadline — cancel the stragglers' queries.
+    if (!connections_.empty()) {
+      Log("drain", "phase=deadline stragglers=" +
+                       std::to_string(connections_.size()));
+      for (const auto& conn : connections_) {
+        for (const engine::QueryHandle& handle : conn->stream.handles()) {
+          handle.Cancel();
+        }
+      }
+    }
+  }
+
+  // Step 5: stop the engine (cancels queued queries, waits for running
+  // ones — every stream drains, every writer exits), then wait for the
+  // connection threads.
+  engine_.Shutdown();
+  {
+    std::unique_lock<std::mutex> lock(connections_mutex_);
+    connections_cv_.wait(lock, [this] { return connections_.empty(); });
+  }
+  for (const auto& conn : finished_) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+  finished_.clear();
+  stopped_ = true;
+  Log("drain", "phase=done ms=" + std::to_string(MsSince(t0)));
+}
+
+void Daemon::Wait() {
+  // Stop() holds stop_mutex_ for its whole run; taking it here blocks
+  // until a concurrent Stop() completes (or runs the no-op fast path
+  // when Stop already finished).
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+}
+
+void Daemon::Log(const char* event, const std::string& fields) const {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  std::fprintf(stderr, "gunrockd t=%.3f event=%s %s\n",
+               MsSince(start_time_) / 1000.0, event, fields.c_str());
+}
+
+}  // namespace gunrock::serve

@@ -1,0 +1,130 @@
+// gunrockd: the serving daemon over the QueryEngine.
+//
+// Thread shape — deliberately boring, the interesting scheduling lives in
+// the engine:
+//
+//   accept thread ──► per-connection reader thread + writer thread
+//
+// The reader parses newline-delimited JSON requests (serve/protocol.hpp)
+// and submits queries onto the connection's open CompletionStream; the
+// writer drains that stream and ships responses in *finish order* — a
+// slow PageRank never head-of-line blocks the BFS submitted after it
+// (clients correlate via the echoed "tag"). Ops (ping/stats/graphs) and
+// request errors are answered inline by the reader; a per-connection
+// write mutex keeps the two writers' lines from interleaving.
+//
+// Graceful drain (Stop(), wired to SIGTERM by examples/gunrockd.cpp):
+//   1. close the listener — new connects are refused outright;
+//   2. shut down every connection's read side — in-flight requests keep
+//      running, no new ones can arrive, readers close their streams;
+//   3. wait for connections to drain within drain_deadline_ms;
+//   4. past the deadline, Cancel() the stragglers (cooperative — they
+//      complete as kCancelled through their streams);
+//   5. Shutdown() the engine and join everything.
+//
+// Observability: an engine observer (QueryEngine::SetObserver) feeds one
+// lock-free LatencyHistogram per primitive family on every terminal
+// transition; StatsText() renders those (p50/p95/p99/mean), the engine
+// ledger (incl. queued/running gauges and wave counters) and the
+// workspace-pool stats as a flat `name value` text page, served on any
+// connection for the line "/stats" (or "GET /stats", for curl).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/query_engine.hpp"
+#include "serve/config.hpp"
+#include "serve/histogram.hpp"
+#include "serve/listener.hpp"
+
+namespace gunrock::serve {
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig config);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Registers a pre-built graph (tests use this; startup uses the
+  /// config's specs via BuildGraphFromSpec). Call before Start().
+  void AddGraph(const std::string& name, graph::Csr graph,
+                const engine::GraphOptions& gopts = {});
+
+  /// Builds the config's graphs, binds the listener and starts serving.
+  /// False (with `error`) on a bad graph spec or bind failure.
+  bool Start(std::string* error);
+
+  /// The bound port (after Start(); resolves an ephemeral port 0).
+  int port() const { return listener_.port(); }
+
+  /// Graceful drain as documented above. Idempotent, thread-safe; the
+  /// destructor calls it.
+  void Stop();
+
+  /// Blocks until Stop() has completed (from any thread).
+  void Wait();
+
+  /// The plain-text stats page ("/stats").
+  std::string StatsText() const;
+
+  engine::QueryEngine& engine() { return engine_; }
+  const DaemonConfig& config() const { return config_; }
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void ReaderLoop(const std::shared_ptr<Connection>& conn);
+  void WriterLoop(const std::shared_ptr<Connection>& conn);
+  void HandleLine(const std::shared_ptr<Connection>& conn,
+                  const std::string& line);
+  void Observe(const engine::QueryEngine::QueryObservation& obs);
+  void Log(const char* event, const std::string& fields) const;
+
+  /// Histogram slot for a primitive family name; nullptr for unknown.
+  LatencyHistogram* FamilyHistogram(const char* kind);
+
+  DaemonConfig config_;
+  engine::QueryEngine engine_;
+  std::string default_graph_;  ///< auto-filled when exactly one graph
+
+  Listener listener_;
+  std::thread accept_thread_;
+
+  mutable std::mutex connections_mutex_;
+  std::condition_variable connections_cv_;  ///< signalled as readers exit
+  std::list<std::shared_ptr<Connection>> connections_;  ///< live
+  /// Ended connections whose threads await their join in Stop() (a
+  /// thread cannot join itself, so readers park their Connection here).
+  std::list<std::shared_ptr<Connection>> finished_;
+  std::uint64_t next_connection_id_ = 1;
+
+  std::atomic<bool> draining_{false};
+  std::mutex stop_mutex_;  // serializes Stop(); Wait() blocks on it too
+  bool stopped_ = false;
+
+  std::chrono::steady_clock::time_point start_time_;
+
+  /// Per-family latency histograms, indexed in kFamilies order.
+  static constexpr int kNumFamilies = 11;
+  static const char* const kFamilies[kNumFamilies];
+  LatencyHistogram family_histograms_[kNumFamilies];
+  /// Terminal-status counters maintained by the observer (the engine has
+  /// its own ledger; these exist so /stats survives engine shutdown).
+  std::atomic<std::uint64_t> observed_total_{0};
+
+  mutable std::mutex log_mutex_;
+};
+
+}  // namespace gunrock::serve

@@ -1,0 +1,99 @@
+// Lock-free latency histograms for the daemon's observability layer.
+//
+// Fixed log-spaced buckets: bucket i covers latencies in
+// [2^(i/2), 2^((i+1)/2)) microseconds — half-octave resolution (~±19%
+// relative error on a reported quantile, plenty for p50/p95/p99 serving
+// dashboards) across 64 buckets, i.e. 1 µs up to ~1.2 hours. Record() is
+// one relaxed fetch_add on the bucket counter; there is no lock anywhere,
+// so the engine's completion path can feed a histogram from every runner
+// thread without contention. Snapshots are taken bucket-by-bucket and are
+// therefore only approximately consistent under concurrent writes —
+// exactly the trade every serving-stats page makes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
+namespace gunrock::serve {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  /// Records one latency observation (milliseconds; negatives clamp to
+  /// the first bucket). Wait-free, callable from any thread.
+  void Record(double ms) {
+    buckets_[BucketIndex(ms)].fetch_add(1, std::memory_order_relaxed);
+    // Sum in integer nanoseconds so the mean needs no atomic<double>.
+    const auto ns = static_cast<std::uint64_t>(
+        ms > 0.0 ? ms * 1e6 : 0.0);
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> counts{};
+    std::uint64_t total = 0;
+    double sum_ms = 0.0;
+
+    /// Latency at quantile q in [0, 1] — the geometric midpoint of the
+    /// bucket holding the q-th observation (0 when empty).
+    double Quantile(double q) const {
+      if (total == 0) return 0.0;
+      if (q < 0.0) q = 0.0;
+      if (q > 1.0) q = 1.0;
+      std::uint64_t rank = static_cast<std::uint64_t>(
+          std::ceil(q * static_cast<double>(total)));
+      if (rank == 0) rank = 1;
+      std::uint64_t seen = 0;
+      for (int i = 0; i < kBuckets; ++i) {
+        seen += counts[static_cast<std::size_t>(i)];
+        if (seen >= rank) return BucketMidMs(i);
+      }
+      return BucketMidMs(kBuckets - 1);
+    }
+
+    double MeanMs() const {
+      return total > 0 ? sum_ms / static_cast<double>(total) : 0.0;
+    }
+  };
+
+  Snapshot Take() const {
+    Snapshot snap;
+    for (int i = 0; i < kBuckets; ++i) {
+      const auto c =
+          buckets_[static_cast<std::size_t>(i)].load(
+              std::memory_order_relaxed);
+      snap.counts[static_cast<std::size_t>(i)] = c;
+      snap.total += c;
+    }
+    snap.sum_ms = static_cast<double>(
+                      total_ns_.load(std::memory_order_relaxed)) /
+                  1e6;
+    return snap;
+  }
+
+  /// Lower bound of bucket i in milliseconds: 2^(i/2) µs.
+  static double BucketLowMs(int i) {
+    return std::exp2(static_cast<double>(i) / 2.0) / 1000.0;
+  }
+
+  /// Geometric midpoint of bucket i (the value quantiles report).
+  static double BucketMidMs(int i) {
+    return std::exp2((static_cast<double>(i) + 0.5) / 2.0) / 1000.0;
+  }
+
+ private:
+  static int BucketIndex(double ms) {
+    const double us = ms * 1000.0;
+    if (!(us > 1.0)) return 0;  // also catches NaN
+    const int idx = static_cast<int>(std::log2(us) * 2.0);
+    return idx >= kBuckets ? kBuckets - 1 : idx;
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> total_ns_{0};
+};
+
+}  // namespace gunrock::serve

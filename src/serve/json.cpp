@@ -1,0 +1,364 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gunrock::serve {
+
+namespace {
+
+/// Recursive-descent parser over one string_view. Position-tracking for
+/// error messages; a fixed depth cap keeps hostile nesting from running
+/// the thread out of stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> Run(std::string* error) {
+    std::optional<Json> value = ParseValue(0);
+    if (value) {
+      SkipSpace();
+      if (pos_ != text_.size()) {
+        Fail("trailing garbage after JSON value");
+        value = std::nullopt;
+      }
+    }
+    if (!value && error) *error = error_;
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void Fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = why + " at byte " + std::to_string(pos_);
+    }
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char want) {
+    if (pos_ < text_.size() && text_[pos_] == want) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> ParseValue(int depth) {
+    if (depth > kMaxDepth) {
+      Fail("nesting too deep");
+      return std::nullopt;
+    }
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': return ParseString();
+      case 't':
+        if (ConsumeLiteral("true")) return Json(true);
+        break;
+      case 'f':
+        if (ConsumeLiteral("false")) return Json(false);
+        break;
+      case 'n':
+        if (ConsumeLiteral("null")) return Json();
+        break;
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+        break;
+    }
+    Fail(std::string("unexpected character '") + c + "'");
+    return std::nullopt;
+  }
+
+  std::optional<Json> ParseObject(int depth) {
+    ++pos_;  // '{'
+    Json::Object object;
+    SkipSpace();
+    if (Consume('}')) return Json(std::move(object));
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        Fail("expected object key");
+        return std::nullopt;
+      }
+      auto key = ParseString();
+      if (!key) return std::nullopt;
+      SkipSpace();
+      if (!Consume(':')) {
+        Fail("expected ':' after object key");
+        return std::nullopt;
+      }
+      auto value = ParseValue(depth + 1);
+      if (!value) return std::nullopt;
+      object[key->as_string()] = std::move(*value);
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Json(std::move(object));
+      Fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> ParseArray(int depth) {
+    ++pos_;  // '['
+    Json::Array array;
+    SkipSpace();
+    if (Consume(']')) return Json(std::move(array));
+    for (;;) {
+      auto value = ParseValue(depth + 1);
+      if (!value) return std::nullopt;
+      array.push_back(std::move(*value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Json(std::move(array));
+      Fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  /// Appends one Unicode code point as UTF-8.
+  static void AppendUtf8(std::string* out, std::uint32_t cp) {
+    if (cp <= 0x7F) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp <= 0x7FF) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp <= 0xFFFF) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::optional<std::uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      Fail("truncated \\u escape");
+      return std::nullopt;
+    }
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else {
+        Fail("bad hex digit in \\u escape");
+        return std::nullopt;
+      }
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  std::optional<Json> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        Fail("unterminated string");
+        return std::nullopt;
+      }
+      const char c = text_[pos_++];
+      if (c == '"') return Json(std::move(out));
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("raw control character in string");
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        Fail("truncated escape");
+        return std::nullopt;
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          auto hi = ParseHex4();
+          if (!hi) return std::nullopt;
+          std::uint32_t cp = *hi;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (!ConsumeLiteral("\\u")) {
+              Fail("unpaired surrogate");
+              return std::nullopt;
+            }
+            auto lo = ParseHex4();
+            if (!lo) return std::nullopt;
+            if (*lo < 0xDC00 || *lo > 0xDFFF) {
+              Fail("bad low surrogate");
+              return std::nullopt;
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (*lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            Fail("unpaired surrogate");
+            return std::nullopt;
+          }
+          AppendUtf8(&out, cp);
+          break;
+        }
+        default:
+          Fail("bad escape");
+          return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<Json> ParseNumber() {
+    const std::size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size() ||
+        !std::isfinite(value)) {
+      Fail("bad number '" + token + "'");
+      return std::nullopt;
+    }
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(std::string* out, double value) {
+  // Shortest representation that round-trips the exact double — the
+  // wire-level half of the daemon's bit-identity guarantee.
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, value);
+  out->append(buf, res.ptr);
+}
+
+}  // namespace
+
+std::optional<Json> Json::Parse(std::string_view text, std::string* error) {
+  return Parser(text).Run(error);
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+void Json::DumpTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull: out->append("null"); return;
+    case Kind::kBool: out->append(bool_ ? "true" : "false"); return;
+    case Kind::kNumber: AppendNumber(out, number_); return;
+    case Kind::kString: AppendEscaped(out, string_); return;
+    case Kind::kArray: {
+      out->push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out->push_back(',');
+        array_[i].DumpTo(out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendEscaped(out, key);
+        out->push_back(':');
+        value.DumpTo(out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace gunrock::serve

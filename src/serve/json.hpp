@@ -1,0 +1,87 @@
+// Minimal JSON value type for the gunrockd wire protocol.
+//
+// The daemon speaks newline-delimited JSON (one request or response per
+// line); this is the strict little codec behind it — no dependencies, no
+// extensions. Parsing is hardened the way an input path that faces the
+// network must be: a depth cap against stack-exhaustion nesting, strict
+// UTF-16 escape handling, and whole-input consumption (trailing garbage
+// is an error, not an ignored tail). Numbers are IEEE doubles serialized
+// with shortest-round-trip formatting, so a double survives
+// encode→decode bit-exactly — the property the daemon's bit-identity
+// guarantee (served results == direct engine calls) rests on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gunrock::serve {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  /// std::map keeps dumps deterministic (sorted keys) — handy for tests
+  /// and for diffable logs.
+  using Object = std::map<std::string, Json>;
+
+  Json() = default;  // null
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(double n) : kind_(Kind::kNumber), number_(n) {}
+  Json(int n) : kind_(Kind::kNumber), number_(n) {}
+  Json(std::int64_t n)
+      : kind_(Kind::kNumber), number_(static_cast<double>(n)) {}
+  Json(std::uint64_t n)
+      : kind_(Kind::kNumber), number_(static_cast<double>(n)) {}
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}
+  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  Json(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}
+  Json(Object o) : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const Array& as_array() const { return array_; }
+  const Object& as_object() const { return object_; }
+  Object& as_object() { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* Find(const std::string& key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    const auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+  }
+
+  /// Parses exactly one JSON value spanning the whole input (surrounding
+  /// whitespace allowed, trailing garbage rejected). On failure returns
+  /// nullopt and, when `error` is non-null, a human-readable reason.
+  static std::optional<Json> Parse(std::string_view text,
+                                   std::string* error = nullptr);
+
+  /// Compact single-line serialization (never emits a newline — the
+  /// protocol's line framing depends on it).
+  std::string Dump() const;
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace gunrock::serve

@@ -1,0 +1,145 @@
+#include "serve/listener.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gunrock::serve {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::optional<std::string> Socket::ReadLine(std::size_t max_line) {
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (buffer_.size() > max_line) return std::nullopt;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) return std::nullopt;  // EOF or error
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool Socket::WriteAll(const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Socket::ShutdownRead() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool Listener::Bind(const std::string& host, int port, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = Errno("socket");
+    return false;
+  }
+  Socket holder(fd);
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "bad listen address '" + host + "'";
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    if (error) *error = Errno(("bind " + host).c_str());
+    return false;
+  }
+  if (::listen(fd, 64) != 0) {
+    if (error) *error = Errno("listen");
+    return false;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    if (error) *error = Errno("getsockname");
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+  socket_ = std::move(holder);
+  return true;
+}
+
+std::optional<Socket> Listener::Accept() {
+  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+  if (fd < 0) return std::nullopt;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Socket(fd);
+}
+
+Socket ConnectTcp(const std::string& host, int port, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = Errno("socket");
+    return Socket();
+  }
+  Socket holder(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "bad address '" + host + "'";
+    return Socket();
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    if (error) *error = Errno(("connect " + host).c_str());
+    return Socket();
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return holder;
+}
+
+}  // namespace gunrock::serve

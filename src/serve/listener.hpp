@@ -1,0 +1,84 @@
+// Minimal POSIX TCP plumbing for gunrockd: a listening socket plus a
+// line-oriented connection wrapper. Nothing fancy on purpose — the daemon
+// is thread-per-connection (serving a handful of analytical clients, not
+// ten thousand idle ones), so blocking reads with a small buffer are the
+// right tool; the interesting concurrency lives in the QueryEngine.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace gunrock::serve {
+
+/// RAII file descriptor with blocking line/byte helpers.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Reads up to and including the next '\n'; returns the line without
+  /// its terminator ("\r\n" also stripped, for telnet/curl users).
+  /// std::nullopt on EOF or error. Lines beyond `max_line` bytes abort
+  /// the connection (protocol lines are small; an unbounded line is an
+  /// attack, not a request).
+  std::optional<std::string> ReadLine(std::size_t max_line = 1 << 22);
+
+  /// Writes all of `data` (retrying short writes); false on error.
+  /// SIGPIPE-safe: uses MSG_NOSIGNAL, a vanished peer is a false return.
+  bool WriteAll(const std::string& data);
+
+  /// Shuts down the read side (wakes a blocked ReadLine with EOF).
+  void ShutdownRead();
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last returned line
+};
+
+/// Listening TCP socket bound to host:port (port 0 = kernel-assigned).
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() = default;
+
+  /// Binds and listens. False (with `error`) on resolve/bind failure.
+  bool Bind(const std::string& host, int port, std::string* error);
+
+  /// Blocking accept; std::nullopt on error or after Close() from
+  /// another thread (the shutdown path).
+  std::optional<Socket> Accept();
+
+  /// The actually-bound port (resolves port 0 to the kernel's choice).
+  int port() const { return port_; }
+  bool listening() const { return socket_.valid(); }
+
+  /// Closes the listening socket; a blocked Accept() returns nullopt.
+  /// Already-accepted connections are unaffected. (shutdown() before
+  /// close() — on Linux plain close() leaves a concurrent accept()
+  /// blocked forever.)
+  void Close() {
+    socket_.ShutdownRead();
+    socket_.Close();
+  }
+
+ private:
+  Socket socket_;
+  int port_ = 0;
+};
+
+/// Client-side connect for tests and the smoke script's C++ twin;
+/// invalid Socket on failure.
+Socket ConnectTcp(const std::string& host, int port, std::string* error);
+
+}  // namespace gunrock::serve

@@ -1,0 +1,664 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <set>
+
+#include "util/parse.hpp"
+
+namespace gunrock::serve {
+
+namespace {
+
+// --- decode helpers ---------------------------------------------------------
+// Every helper reports through `error` and returns false/nullopt; the
+// decoder bails on the first problem so the client sees one precise
+// reason, not a cascade.
+
+bool FailDecode(std::string* error, std::string why) {
+  if (error) *error = std::move(why);
+  return false;
+}
+
+/// Integral JSON number in [lo, hi]; rejects 1.5, NaN, out-of-range.
+bool GetInt(const Json& v, const std::string& key, long long lo,
+            long long hi, long long* out, std::string* error) {
+  if (!v.is_number()) {
+    return FailDecode(error, "'" + key + "' must be an integer");
+  }
+  const double d = v.as_number();
+  if (!(d >= static_cast<double>(lo)) || !(d <= static_cast<double>(hi)) ||
+      d != std::floor(d)) {
+    return FailDecode(error, "'" + key + "' must be an integer in [" +
+                                 std::to_string(lo) + ", " +
+                                 std::to_string(hi) + "]");
+  }
+  *out = static_cast<long long>(d);
+  return true;
+}
+
+bool GetBool(const Json& v, const std::string& key, bool* out,
+             std::string* error) {
+  if (!v.is_bool()) {
+    return FailDecode(error, "'" + key + "' must be a boolean");
+  }
+  *out = v.as_bool();
+  return true;
+}
+
+bool GetFinite(const Json& v, const std::string& key, double* out,
+               std::string* error) {
+  if (!v.is_number()) {
+    return FailDecode(error, "'" + key + "' must be a number");
+  }
+  *out = v.as_number();
+  return true;
+}
+
+bool GetLoadBalance(const Json& v, core::LoadBalance* out,
+                    std::string* error) {
+  if (v.is_string()) {
+    const std::string& s = v.as_string();
+    if (s == "tm" || s == "thread-mapped") {
+      *out = core::LoadBalance::kThreadMapped;
+      return true;
+    }
+    if (s == "twc") {
+      *out = core::LoadBalance::kTwc;
+      return true;
+    }
+    if (s == "lb" || s == "equal-work") {
+      *out = core::LoadBalance::kEqualWork;
+      return true;
+    }
+    if (s == "auto") {
+      *out = core::LoadBalance::kAuto;
+      return true;
+    }
+  }
+  return FailDecode(
+      error, "'load_balance' must be one of \"tm\", \"twc\", \"lb\", \"auto\"");
+}
+
+/// Rejects any `opts` key outside `allowed` — a typoed knob must be an
+/// error, not a silently-defaulted run that looks slower than it should.
+bool CheckOptKeys(const Json::Object& opts, const char* kind,
+                  const std::set<std::string>& allowed, std::string* error) {
+  for (const auto& [key, value] : opts) {
+    (void)value;
+    if (allowed.count(key) == 0) {
+      return FailDecode(error, "unknown option '" + key + "' for kind '" +
+                                   std::string(kind) + "'");
+    }
+  }
+  return true;
+}
+
+/// Reads "source" as a vid. Deliberately does NOT range-check against any
+/// graph — the engine validates at pickup and produces the canonical
+/// out-of-range error, identical for solo and wave runs.
+bool GetSource(const Json& object, vid_t* out, std::string* error) {
+  const Json* v = object.Find("source");
+  if (!v) {
+    return FailDecode(error, "missing required field 'source'");
+  }
+  long long s = 0;
+  if (!GetInt(*v, "source", INT32_MIN, INT32_MAX, &s, error)) return false;
+  *out = static_cast<vid_t>(s);
+  return true;
+}
+
+bool DecodeCommonOpts(const Json::Object& opts, CommonOptions* common,
+                      std::string* error) {
+  const auto it = opts.find("load_balance");
+  if (it == opts.end()) return true;
+  return GetLoadBalance(it->second, &common->load_balance, error);
+}
+
+bool DecodeKind(const std::string& kind, const Json& object,
+                engine::QueryRequest* out, std::string* error) {
+  Json::Object opts;
+  if (const Json* o = object.Find("opts")) {
+    if (!o->is_object()) {
+      return FailDecode(error, "'opts' must be an object");
+    }
+    opts = o->as_object();
+  }
+  const auto opt = [&](const char* key) -> const Json* {
+    const auto it = opts.find(key);
+    return it == opts.end() ? nullptr : &it->second;
+  };
+
+  if (kind == "bfs") {
+    engine::BfsQuery q;
+    if (!CheckOptKeys(opts, "bfs",
+                      {"load_balance", "idempotent", "direction",
+                       "compute_preds"},
+                      error) ||
+        !DecodeCommonOpts(opts, &q.opts, error) ||
+        !GetSource(object, &q.source, error)) {
+      return false;
+    }
+    if (const Json* v = opt("idempotent")) {
+      if (!GetBool(*v, "idempotent", &q.opts.idempotent, error)) return false;
+    }
+    if (const Json* v = opt("compute_preds")) {
+      if (!GetBool(*v, "compute_preds", &q.opts.compute_preds, error)) {
+        return false;
+      }
+    }
+    if (const Json* v = opt("direction")) {
+      if (v->is_string() && v->as_string() == "push") {
+        q.opts.direction = core::Direction::kPush;
+      } else if (v->is_string() && v->as_string() == "pull") {
+        q.opts.direction = core::Direction::kPull;
+      } else if (v->is_string() && v->as_string() == "do") {
+        q.opts.direction = core::Direction::kOptimizing;
+      } else {
+        return FailDecode(
+            error, "'direction' must be one of \"push\", \"pull\", \"do\"");
+      }
+    }
+    *out = q;
+    return true;
+  }
+
+  if (kind == "sssp") {
+    engine::SsspQuery q;
+    if (!CheckOptKeys(opts, "sssp",
+                      {"load_balance", "near_far", "delta", "compute_preds"},
+                      error) ||
+        !DecodeCommonOpts(opts, &q.opts, error) ||
+        !GetSource(object, &q.source, error)) {
+      return false;
+    }
+    if (const Json* v = opt("near_far")) {
+      if (!GetBool(*v, "near_far", &q.opts.use_near_far, error)) return false;
+    }
+    if (const Json* v = opt("delta")) {
+      double d = 0.0;
+      if (!GetFinite(*v, "delta", &d, error)) return false;
+      if (!(d >= 0.0)) {
+        return FailDecode(error, "'delta' must be >= 0");
+      }
+      q.opts.delta = static_cast<weight_t>(d);
+    }
+    if (const Json* v = opt("compute_preds")) {
+      if (!GetBool(*v, "compute_preds", &q.opts.compute_preds, error)) {
+        return false;
+      }
+    }
+    *out = q;
+    return true;
+  }
+
+  if (kind == "bc") {
+    engine::BcQuery q;
+    if (!CheckOptKeys(opts, "bc", {"load_balance", "normalize"}, error) ||
+        !DecodeCommonOpts(opts, &q.opts, error) ||
+        !GetSource(object, &q.source, error)) {
+      return false;
+    }
+    if (const Json* v = opt("normalize")) {
+      if (!GetBool(*v, "normalize", &q.opts.normalize, error)) return false;
+    }
+    *out = q;
+    return true;
+  }
+
+  if (kind == "cc") {
+    engine::CcQuery q;
+    if (!CheckOptKeys(opts, "cc", {"load_balance"}, error) ||
+        !DecodeCommonOpts(opts, &q.opts, error)) {
+      return false;
+    }
+    *out = q;
+    return true;
+  }
+
+  if (kind == "pagerank") {
+    engine::PagerankQuery q;
+    if (!CheckOptKeys(opts, "pagerank",
+                      {"load_balance", "damping", "tolerance",
+                       "max_iterations", "pull"},
+                      error) ||
+        !DecodeCommonOpts(opts, &q.opts, error)) {
+      return false;
+    }
+    if (const Json* v = opt("damping")) {
+      if (!GetFinite(*v, "damping", &q.opts.damping, error)) return false;
+      if (!(q.opts.damping >= 0.0 && q.opts.damping < 1.0)) {
+        return FailDecode(error, "'damping' must be in [0, 1)");
+      }
+    }
+    if (const Json* v = opt("tolerance")) {
+      if (!GetFinite(*v, "tolerance", &q.opts.tolerance, error)) return false;
+      if (!(q.opts.tolerance >= 0.0)) {
+        return FailDecode(error, "'tolerance' must be >= 0");
+      }
+    }
+    if (const Json* v = opt("max_iterations")) {
+      long long n = 0;
+      if (!GetInt(*v, "max_iterations", 1, INT32_MAX, &n, error)) {
+        return false;
+      }
+      q.opts.max_iterations = static_cast<int>(n);
+    }
+    if (const Json* v = opt("pull")) {
+      if (!GetBool(*v, "pull", &q.opts.pull, error)) return false;
+    }
+    *out = q;
+    return true;
+  }
+
+  if (kind == "mst") {
+    engine::MstQuery q;
+    if (!CheckOptKeys(opts, "mst", {"load_balance"}, error) ||
+        !DecodeCommonOpts(opts, &q.opts, error)) {
+      return false;
+    }
+    *out = q;
+    return true;
+  }
+
+  if (kind == "triangles") {
+    engine::TrianglesQuery q;
+    if (!CheckOptKeys(opts, "triangles", {"load_balance"}, error) ||
+        !DecodeCommonOpts(opts, &q.opts, error)) {
+      return false;
+    }
+    *out = q;
+    return true;
+  }
+
+  if (kind == "lp") {
+    engine::LabelPropagationQuery q;
+    if (!CheckOptKeys(opts, "lp", {"load_balance", "max_iterations"},
+                      error) ||
+        !DecodeCommonOpts(opts, &q.opts, error)) {
+      return false;
+    }
+    if (const Json* v = opt("max_iterations")) {
+      long long n = 0;
+      if (!GetInt(*v, "max_iterations", 1, INT32_MAX, &n, error)) {
+        return false;
+      }
+      q.opts.max_iterations = static_cast<int>(n);
+    }
+    *out = q;
+    return true;
+  }
+
+  if (kind == "hits" || kind == "salsa") {
+    const auto fill = [&](auto& q) -> bool {
+      if (!CheckOptKeys(opts, kind.c_str(),
+                        {"load_balance", "max_iterations", "tolerance"},
+                        error) ||
+          !DecodeCommonOpts(opts, &q.opts, error)) {
+        return false;
+      }
+      if (const Json* v = opt("max_iterations")) {
+        long long n = 0;
+        if (!GetInt(*v, "max_iterations", 1, INT32_MAX, &n, error)) {
+          return false;
+        }
+        q.opts.max_iterations = static_cast<int>(n);
+      }
+      if (const Json* v = opt("tolerance")) {
+        if (!GetFinite(*v, "tolerance", &q.opts.tolerance, error)) {
+          return false;
+        }
+        if (!(q.opts.tolerance >= 0.0)) {
+          return FailDecode(error, "'tolerance' must be >= 0");
+        }
+      }
+      *out = q;
+      return true;
+    };
+    if (kind == "hits") {
+      engine::HitsQuery q;
+      return fill(q);
+    }
+    engine::SalsaQuery q;
+    return fill(q);
+  }
+
+  if (kind == "ppr") {
+    engine::PprQuery q;
+    if (!CheckOptKeys(opts, "ppr",
+                      {"load_balance", "damping", "tolerance",
+                       "max_iterations"},
+                      error) ||
+        !DecodeCommonOpts(opts, &q.opts, error)) {
+      return false;
+    }
+    if (const Json* v = opt("damping")) {
+      if (!GetFinite(*v, "damping", &q.opts.damping, error)) return false;
+      if (!(q.opts.damping >= 0.0 && q.opts.damping < 1.0)) {
+        return FailDecode(error, "'damping' must be in [0, 1)");
+      }
+    }
+    if (const Json* v = opt("tolerance")) {
+      if (!GetFinite(*v, "tolerance", &q.opts.tolerance, error)) return false;
+      if (!(q.opts.tolerance >= 0.0)) {
+        return FailDecode(error, "'tolerance' must be >= 0");
+      }
+    }
+    if (const Json* v = opt("max_iterations")) {
+      long long n = 0;
+      if (!GetInt(*v, "max_iterations", 1, INT32_MAX, &n, error)) {
+        return false;
+      }
+      q.opts.max_iterations = static_cast<int>(n);
+    }
+    // Seeds: "seeds":[...] wins; else "source":N is a one-seed set.
+    if (const Json* seeds = object.Find("seeds")) {
+      if (!seeds->is_array() || seeds->as_array().empty()) {
+        return FailDecode(error, "'seeds' must be a non-empty array");
+      }
+      q.seeds.clear();
+      for (const Json& s : seeds->as_array()) {
+        long long v = 0;
+        if (!GetInt(s, "seeds", INT32_MIN, INT32_MAX, &v, error)) {
+          return false;
+        }
+        q.seeds.push_back(static_cast<vid_t>(v));
+      }
+    } else if (object.Find("source")) {
+      vid_t s = 0;
+      if (!GetSource(object, &s, error)) return false;
+      q.seeds.assign(1, s);
+    } else {
+      return FailDecode(error,
+                        "ppr needs 'source' (one seed) or 'seeds' (a list)");
+    }
+    *out = q;
+    return true;
+  }
+
+  return FailDecode(
+      error,
+      "unknown kind '" + kind +
+          "' (expected one of bfs sssp bc cc pagerank mst triangles lp "
+          "hits salsa ppr)");
+}
+
+// --- encode helpers ---------------------------------------------------------
+
+template <typename T>
+Json NumberArray(const std::vector<T>& values) {
+  Json::Array array;
+  array.reserve(values.size());
+  for (const T& v : values) {
+    array.emplace_back(static_cast<double>(v));
+  }
+  return Json(std::move(array));
+}
+
+struct PayloadEncoder {
+  bool include_values;
+
+  Json operator()(const std::monostate&) const { return Json(); }
+
+  Json operator()(const BfsResult& r) const {
+    Json::Object o;
+    std::int64_t reached = 0;
+    for (const auto d : r.depth) reached += d >= 0 ? 1 : 0;
+    o["reached"] = Json(reached);
+    if (include_values) {
+      o["depth"] = NumberArray(r.depth);
+      if (!r.pred.empty()) o["pred"] = NumberArray(r.pred);
+    }
+    return Json(std::move(o));
+  }
+
+  Json operator()(const SsspResult& r) const {
+    Json::Object o;
+    std::int64_t reached = 0;
+    for (const auto d : r.dist) {
+      reached += d < std::numeric_limits<weight_t>::infinity() ? 1 : 0;
+    }
+    o["reached"] = Json(reached);
+    if (include_values) {
+      // +inf is not representable in JSON; ship it as null so the array
+      // keeps positional meaning.
+      Json::Array dist;
+      dist.reserve(r.dist.size());
+      for (const auto d : r.dist) {
+        if (d < std::numeric_limits<weight_t>::infinity()) {
+          dist.emplace_back(static_cast<double>(d));
+        } else {
+          dist.emplace_back();
+        }
+      }
+      o["dist"] = Json(std::move(dist));
+      if (!r.pred.empty()) o["pred"] = NumberArray(r.pred);
+    }
+    return Json(std::move(o));
+  }
+
+  Json operator()(const BcResult& r) const {
+    Json::Object o;
+    if (include_values) o["bc"] = NumberArray(r.bc);
+    return Json(std::move(o));
+  }
+
+  Json operator()(const CcResult& r) const {
+    Json::Object o;
+    o["num_components"] = Json(static_cast<double>(r.num_components));
+    if (include_values) o["component"] = NumberArray(r.component);
+    return Json(std::move(o));
+  }
+
+  Json operator()(const PagerankResult& r) const {
+    Json::Object o;
+    o["iterations"] = Json(r.iterations);
+    if (include_values) o["rank"] = NumberArray(r.rank);
+    return Json(std::move(o));
+  }
+
+  Json operator()(const MstResult& r) const {
+    Json::Object o;
+    o["total_weight"] = Json(r.total_weight);
+    o["num_components"] = Json(static_cast<double>(r.num_components));
+    o["num_tree_edges"] = Json(static_cast<std::int64_t>(r.tree_edges.size()));
+    if (include_values) o["tree_edges"] = NumberArray(r.tree_edges);
+    return Json(std::move(o));
+  }
+
+  Json operator()(const TriangleResult& r) const {
+    Json::Object o;
+    o["num_triangles"] = Json(r.num_triangles);
+    o["global_clustering"] = Json(r.global_clustering);
+    if (include_values) {
+      o["per_vertex"] = NumberArray(r.per_vertex);
+      o["clustering"] = NumberArray(r.clustering);
+    }
+    return Json(std::move(o));
+  }
+
+  Json operator()(const LabelPropagationResult& r) const {
+    Json::Object o;
+    o["num_communities"] = Json(static_cast<double>(r.num_communities));
+    o["iterations"] = Json(r.iterations);
+    if (include_values) o["label"] = NumberArray(r.label);
+    return Json(std::move(o));
+  }
+
+  Json operator()(const HitsResult& r) const {
+    Json::Object o;
+    o["iterations"] = Json(r.iterations);
+    if (include_values) {
+      o["hub"] = NumberArray(r.hub);
+      o["authority"] = NumberArray(r.authority);
+    }
+    return Json(std::move(o));
+  }
+
+  Json operator()(const SalsaResult& r) const {
+    Json::Object o;
+    o["iterations"] = Json(r.iterations);
+    if (include_values) {
+      o["hub"] = NumberArray(r.hub);
+      o["authority"] = NumberArray(r.authority);
+    }
+    return Json(std::move(o));
+  }
+
+  Json operator()(const PprResult& r) const {
+    Json::Object o;
+    o["iterations"] = Json(r.iterations);
+    if (include_values) o["rank"] = NumberArray(r.rank);
+    return Json(std::move(o));
+  }
+};
+
+}  // namespace
+
+std::optional<WireRequest> DecodeRequest(std::string_view line,
+                                         const std::string& default_graph,
+                                         std::string* error) {
+  std::string parse_error;
+  std::optional<Json> parsed = Json::Parse(line, &parse_error);
+  if (!parsed) {
+    FailDecode(error, "bad JSON: " + parse_error);
+    return std::nullopt;
+  }
+  if (!parsed->is_object()) {
+    FailDecode(error, "request must be a JSON object");
+    return std::nullopt;
+  }
+
+  WireRequest out;
+  if (const Json* tag = parsed->Find("tag")) out.tag = *tag;
+
+  std::string op = "query";
+  if (const Json* v = parsed->Find("op")) {
+    if (!v->is_string()) {
+      FailDecode(error, "'op' must be a string");
+      return std::nullopt;
+    }
+    op = v->as_string();
+  }
+  if (op == "ping" || op == "stats" || op == "graphs") {
+    // Ops take no payload; anything else present is a client bug.
+    for (const auto& [key, value] : parsed->as_object()) {
+      (void)value;
+      if (key != "op" && key != "tag") {
+        FailDecode(error, "unknown field '" + key + "' for op '" + op + "'");
+        return std::nullopt;
+      }
+    }
+    out.op = op == "ping"    ? WireRequest::Op::kPing
+             : op == "stats" ? WireRequest::Op::kStats
+                             : WireRequest::Op::kGraphs;
+    return out;
+  }
+  if (op != "query") {
+    FailDecode(error, "unknown op '" + op +
+                          "' (expected query, ping, stats, graphs)");
+    return std::nullopt;
+  }
+
+  out.op = WireRequest::Op::kQuery;
+  static const std::set<std::string> kQueryKeys = {
+      "op",   "graph",  "kind", "source",      "seeds",
+      "opts", "values", "tag",  "deadline_ms",
+  };
+  for (const auto& [key, value] : parsed->as_object()) {
+    (void)value;
+    if (kQueryKeys.count(key) == 0) {
+      FailDecode(error, "unknown field '" + key + "' in query request");
+      return std::nullopt;
+    }
+  }
+
+  out.graph = default_graph;
+  if (const Json* v = parsed->Find("graph")) {
+    if (!v->is_string()) {
+      FailDecode(error, "'graph' must be a string");
+      return std::nullopt;
+    }
+    out.graph = v->as_string();
+  }
+  if (out.graph.empty()) {
+    FailDecode(error, "missing required field 'graph'");
+    return std::nullopt;
+  }
+
+  const Json* kind = parsed->Find("kind");
+  if (!kind || !kind->is_string()) {
+    FailDecode(error, "missing required string field 'kind'");
+    return std::nullopt;
+  }
+  if (!DecodeKind(kind->as_string(), *parsed, &out.request, error)) {
+    return std::nullopt;
+  }
+  // "seeds" is PPR-only; reject it elsewhere so it can't be silently
+  // ignored (DecodeKind consumed it for ppr).
+  if (parsed->Find("seeds") &&
+      !std::holds_alternative<engine::PprQuery>(out.request)) {
+    FailDecode(error, "'seeds' is only valid for kind 'ppr'");
+    return std::nullopt;
+  }
+  if (parsed->Find("source") &&
+      !std::holds_alternative<engine::BfsQuery>(out.request) &&
+      !std::holds_alternative<engine::SsspQuery>(out.request) &&
+      !std::holds_alternative<engine::BcQuery>(out.request) &&
+      !std::holds_alternative<engine::PprQuery>(out.request)) {
+    FailDecode(error, "'source' is only valid for kinds bfs, sssp, bc, ppr");
+    return std::nullopt;
+  }
+
+  if (const Json* v = parsed->Find("values")) {
+    if (!GetBool(*v, "values", &out.include_values, error)) {
+      return std::nullopt;
+    }
+  }
+  if (const Json* v = parsed->Find("deadline_ms")) {
+    double d = 0.0;
+    if (!GetFinite(*v, "deadline_ms", &d, error)) return std::nullopt;
+    if (!(d >= 0.0)) {
+      FailDecode(error, "'deadline_ms' must be >= 0");
+      return std::nullopt;
+    }
+    out.deadline_ms = d;
+  }
+  return out;
+}
+
+Json EncodeResult(std::uint64_t id, const Json& tag, const char* kind,
+                  const engine::QueryResponse& response,
+                  bool include_values) {
+  Json::Object o;
+  o["op"] = Json("result");
+  o["id"] = Json(id);
+  if (!tag.is_null()) o["tag"] = tag;
+  o["kind"] = Json(kind);
+  o["status"] = Json(engine::ToString(response.status));
+  o["queue_ms"] = Json(response.queue_ms);
+  o["run_ms"] = Json(response.run_ms);
+  o["total_ms"] = Json(response.total_ms);
+  if (response.status == engine::QueryStatus::kDone) {
+    o["result"] = std::visit(PayloadEncoder{include_values}, response.result);
+  } else if (!response.error.empty()) {
+    o["error"] = Json(response.error);
+  }
+  return Json(std::move(o));
+}
+
+Json EncodeError(const Json& tag, const std::string& error) {
+  Json::Object o;
+  o["op"] = Json("error");
+  if (!tag.is_null()) o["tag"] = tag;
+  o["error"] = Json(error);
+  return Json(std::move(o));
+}
+
+Json EncodeResultPayload(const engine::QueryResult& result,
+                         bool include_values) {
+  return std::visit(PayloadEncoder{include_values}, result);
+}
+
+}  // namespace gunrock::serve

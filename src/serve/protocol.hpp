@@ -1,0 +1,79 @@
+// gunrockd wire protocol: newline-delimited JSON over TCP.
+//
+// One request per line, one JSON response line per request. Requests:
+//
+//   {"op":"query","graph":"g","kind":"bfs","source":3,
+//    "opts":{"direction":"do","idempotent":true},
+//    "values":true,"deadline_ms":50,"tag":7}
+//   {"op":"ping"}           {"op":"stats"}           {"op":"graphs"}
+//
+// `kind` is one of the eleven servable families (bfs sssp bc cc pagerank
+// mst triangles lp hits salsa ppr); `source` is required for bfs/sssp/bc
+// and for ppr (or `seeds:[...]`); `opts` accepts exactly the per-kind
+// knobs listed in Decode — an unknown key, a non-integral integer, or a
+// malformed value is a per-request error response, never a dropped or
+// misparsed field. `tag` is any JSON value, echoed verbatim in the
+// response so clients can correlate out-of-order completions (responses
+// stream in finish order, not submission order).
+//
+// Responses:
+//   {"op":"result","id":12,"tag":7,"kind":"bfs","status":"done",
+//    "queue_ms":0.1,"run_ms":2.3,"total_ms":2.4,
+//    "result":{"depth":[...],"pred":[...]}}
+//   {"op":"error","tag":...,"error":"why"}               (request rejected)
+//
+// Numbers ride as shortest-round-trip doubles (serve/json.hpp), so a
+// result decoded from the wire is bit-identical to the in-process
+// QueryResponse — proven by tests/test_daemon.cpp.
+//
+// Two non-JSON request lines are also accepted for operators and curl:
+// "/stats" and "GET /stats[ HTTP/1.x]" return the plain-text stats page
+// (the HTTP form with a minimal response header, then the connection
+// closes — enough for curl/wget one-shots).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "engine/query.hpp"
+#include "serve/json.hpp"
+
+namespace gunrock::serve {
+
+/// One decoded wire request.
+struct WireRequest {
+  enum class Op { kQuery, kPing, kStats, kGraphs };
+  Op op = Op::kQuery;
+  Json tag;  ///< echoed verbatim in every response to this request
+
+  // kQuery payload:
+  std::string graph;
+  engine::QueryRequest request;
+  bool include_values = true;  ///< ship result arrays, not just summaries
+  double deadline_ms = 0.0;    ///< 0 = daemon default
+};
+
+/// Parses one request line. `default_graph` fills an omitted "graph"
+/// field (empty = the field is required). Returns nullopt and a reason in
+/// `error` for anything malformed: unknown op/kind/option key, missing or
+/// garbage source, non-integral integers, wrong types. Never throws.
+std::optional<WireRequest> DecodeRequest(std::string_view line,
+                                         const std::string& default_graph,
+                                         std::string* error);
+
+/// Response for one completed query (any terminal status). `id` is the
+/// engine's query id; the result payload is included only for kDone.
+Json EncodeResult(std::uint64_t id, const Json& tag,
+                  const char* kind, const engine::QueryResponse& response,
+                  bool include_values);
+
+/// Per-request error response (malformed line, submit failure, ...).
+Json EncodeError(const Json& tag, const std::string& error);
+
+/// Result payload for one engine result variant ("result" field of
+/// EncodeResult) — exposed for the round-trip tests.
+Json EncodeResultPayload(const engine::QueryResult& result,
+                         bool include_values);
+
+}  // namespace gunrock::serve

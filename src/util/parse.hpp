@@ -1,0 +1,61 @@
+// Checked numeric parsing for every user-facing input path (CLI flags,
+// daemon config files, wire-protocol fields, stdin serve commands).
+//
+// std::atoi / std::atof silently turn "banana" into 0 and "4x" into 4 —
+// exactly the failure mode a serving front-end cannot afford. These
+// helpers accept a token only when the *entire* token is a number in
+// range, and report what was wrong otherwise.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gunrock::util {
+
+/// Parses `text` as a base-10 integer. The whole token must be consumed
+/// (no trailing garbage, no leading junk beyond an optional sign) and the
+/// value must fit [min, max]; anything else yields std::nullopt.
+inline std::optional<long long> ParseInt(
+    std::string_view text,
+    long long min = std::numeric_limits<long long>::min(),
+    long long max = std::numeric_limits<long long>::max()) {
+  if (text.empty()) return std::nullopt;
+  long long value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value, 10);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  if (value < min || value > max) return std::nullopt;
+  return value;
+}
+
+/// Parses `text` as a finite double. Whole-token consumption required;
+/// "1e3" is fine, "1e" and "nan" are not. (Implemented over strtod
+/// because libstdc++'s from_chars<double> landed late; the empty-token
+/// and trailing-garbage checks make it equally strict.)
+inline std::optional<double> ParseDouble(std::string_view text) {
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text.front()))) {
+    return std::nullopt;
+  }
+  const std::string owned(text);  // strtod needs a terminator
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size() || errno == ERANGE) {
+    return std::nullopt;
+  }
+  if (!(value == value) || value == std::numeric_limits<double>::infinity() ||
+      value == -std::numeric_limits<double>::infinity()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace gunrock::util

@@ -1,0 +1,459 @@
+// gunrockd over a loopback socket: wire round-trips bit-identical to
+// direct engine calls, finish-order streaming, per-request error
+// responses for malformed input, graceful drain (in-flight completes,
+// new connects refused), weighted fair-share admission, and the
+// operator endpoints (ping/graphs/stats, "/stats").
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/env.hpp"
+#include "gunrock.hpp"
+#include "serve/config.hpp"
+#include "serve/daemon.hpp"
+#include "serve/json.hpp"
+#include "serve/listener.hpp"
+#include "serve/protocol.hpp"
+
+namespace gunrock {
+namespace {
+
+using serve::Daemon;
+using serve::DaemonConfig;
+using serve::Json;
+
+/// Scale-free weighted fixture, varied by the seed sweep like the engine
+/// suite's — the daemon serves the same pipeline the engine runs on.
+graph::Csr MakeGraph(int scale = 9, int edge_factor = 8) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edge_factor = edge_factor;
+  p.seed = 4000 + test::TestSeed();
+  auto coo = GenerateRmat(p, par::ThreadPool::Global());
+  graph::AttachRandomWeights(coo, 1, 64, /*seed=*/test::TestSeed());
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  return graph::BuildCsr(coo, opts);
+}
+
+/// A started daemon on an ephemeral loopback port serving `g` as the
+/// (default) graph "g".
+std::unique_ptr<Daemon> MakeDaemon(graph::Csr g, unsigned inflight = 2) {
+  DaemonConfig config;
+  config.inflight = inflight;
+  auto daemon = std::make_unique<Daemon>(std::move(config));
+  daemon->AddGraph("g", std::move(g));
+  std::string error;
+  EXPECT_TRUE(daemon->Start(&error)) << error;
+  return daemon;
+}
+
+/// Line-protocol client: connect, send one JSON (or raw) line, parse one
+/// JSON response line.
+class Client {
+ public:
+  explicit Client(int port) {
+    std::string error;
+    socket_ = serve::ConnectTcp("127.0.0.1", port, &error);
+    EXPECT_TRUE(socket_.valid()) << error;
+  }
+
+  void Send(const Json& request) { SendRaw(request.Dump()); }
+  void SendRaw(const std::string& line) {
+    ASSERT_TRUE(socket_.WriteAll(line + "\n"));
+  }
+
+  /// Next response line, parsed; nullopt on EOF.
+  std::optional<Json> Read() {
+    const std::optional<std::string> line = socket_.ReadLine();
+    if (!line) return std::nullopt;
+    std::string error;
+    std::optional<Json> parsed = Json::Parse(*line, &error);
+    EXPECT_TRUE(parsed.has_value()) << error << " in: " << *line;
+    return parsed;
+  }
+
+  serve::Socket& socket() { return socket_; }
+
+ private:
+  serve::Socket socket_;
+};
+
+std::string Tag(const Json& response) {
+  const Json* tag = response.Find("tag");
+  return tag && tag->is_string() ? tag->as_string() : std::string();
+}
+
+std::string Field(const Json& response, const std::string& key) {
+  const Json* v = response.Find(key);
+  return v && v->is_string() ? v->as_string() : std::string();
+}
+
+Json QueryLine(const char* kind, const char* tag,
+               Json::Object extra = {}) {
+  Json::Object o;
+  o["op"] = Json("query");
+  o["kind"] = Json(kind);
+  o["tag"] = Json(tag);
+  for (auto& [k, v] : extra) o[k] = std::move(v);
+  return Json(std::move(o));
+}
+
+// --- round-trip bit-identity ------------------------------------------------
+
+// A result decoded from the wire equals the same request run directly on
+// the daemon's engine, through the same deterministic encoder — i.e. the
+// socket, codec and daemon plumbing add nothing and lose nothing. The
+// engine side of this (concurrent == direct calls) is test_query_engine's
+// job; here we pin the serving stack on top of it.
+TEST(DaemonTest, RoundTripBitIdenticalToDirectEngineCalls) {
+  auto daemon = MakeDaemon(MakeGraph());
+  const vid_t source = 3;
+
+  engine::BfsQuery bfs;
+  bfs.source = source;
+  engine::SsspQuery sssp;
+  sssp.source = source;
+  engine::PagerankQuery pr;
+  pr.opts.pull = true;  // gather-reduce: deterministic rank accumulation
+  pr.opts.max_iterations = 30;
+
+  struct Case {
+    const char* name;
+    Json wire;
+    engine::QueryRequest direct;
+  };
+  Json::Object pr_opts_obj;
+  pr_opts_obj["pull"] = Json(true);
+  pr_opts_obj["max_iterations"] = Json(30);
+  Json::Object pr_extra;
+  pr_extra["opts"] = Json(std::move(pr_opts_obj));
+  Json::Object src_extra;
+  src_extra["source"] = Json(source);
+  const Case cases[] = {
+      {"bfs", QueryLine("bfs", "t", src_extra), bfs},
+      {"sssp", QueryLine("sssp", "t", src_extra), sssp},
+      {"pagerank", QueryLine("pagerank", "t", std::move(pr_extra)), pr},
+  };
+
+  Client client(daemon->port());
+  for (const Case& c : cases) {
+    client.Send(c.wire);
+    const std::optional<Json> response = client.Read();
+    ASSERT_TRUE(response) << c.name;
+    EXPECT_EQ(Field(*response, "op"), "result") << c.name;
+    EXPECT_EQ(Field(*response, "kind"), c.name);
+    EXPECT_EQ(Field(*response, "status"), "done") << c.name;
+
+    const engine::QueryResponse direct =
+        daemon->engine().Submit("g", c.direct).Wait();
+    ASSERT_EQ(direct.status, engine::QueryStatus::kDone) << c.name;
+    const Json expected =
+        serve::EncodeResultPayload(direct.result, /*include_values=*/true);
+
+    const Json* wire_result = response->Find("result");
+    ASSERT_NE(wire_result, nullptr) << c.name;
+    EXPECT_EQ(wire_result->Dump(), expected.Dump()) << c.name;
+  }
+}
+
+// --- finish-order streaming -------------------------------------------------
+
+// Responses arrive in finish order, not submission order: a BFS sent
+// after a long-running PageRank comes back first, correlated by tag.
+TEST(DaemonTest, ResponsesStreamInFinishOrder) {
+  auto daemon = MakeDaemon(MakeGraph(), /*inflight=*/2);
+  Client client(daemon->port());
+
+  // Slow PageRank (zero tolerance: exact-convergence is out of reach, so
+  // it runs its whole iteration budget), bounded by its own deadline so
+  // the test ends either way; the BFS overtakes it.
+  Json::Object slow_opts;
+  slow_opts["tolerance"] = Json(0.0);
+  slow_opts["max_iterations"] = Json(100000);
+  Json::Object slow_extra;
+  slow_extra["opts"] = Json(std::move(slow_opts));
+  slow_extra["deadline_ms"] = Json(400);
+  slow_extra["values"] = Json(false);
+  Json::Object fast_extra;
+  fast_extra["source"] = Json(0);
+  fast_extra["values"] = Json(false);
+
+  client.Send(QueryLine("pagerank", "slow", std::move(slow_extra)));
+  client.Send(QueryLine("bfs", "fast", std::move(fast_extra)));
+
+  const std::optional<Json> first = client.Read();
+  ASSERT_TRUE(first);
+  EXPECT_EQ(Tag(*first), "fast");
+  EXPECT_EQ(Field(*first, "status"), "done");
+
+  const std::optional<Json> second = client.Read();
+  ASSERT_TRUE(second);
+  EXPECT_EQ(Tag(*second), "slow");
+  // Usually the deadline fires; on a very fast machine the budget might
+  // run out first — finish order is the claim here, not which bound hit.
+  const std::string status = Field(*second, "status");
+  EXPECT_TRUE(status == "deadline-exceeded" || status == "done") << status;
+}
+
+// --- malformed requests -----------------------------------------------------
+
+// Every malformed line gets its own {"op":"error"} response naming the
+// problem; the connection survives and keeps serving.
+TEST(DaemonTest, MalformedRequestsGetPerRequestErrors) {
+  auto daemon = MakeDaemon(MakeGraph());
+  Client client(daemon->port());
+
+  const struct {
+    const char* name;
+    const char* line;
+    const char* expect;  // substring of the "error" field
+  } cases[] = {
+      {"not json", "this is not json", "bad JSON"},
+      {"unknown op", R"({"op":"frob"})", "frob"},
+      {"unknown kind", R"({"op":"query","kind":"zork"})", "zork"},
+      {"missing source", R"({"op":"query","kind":"bfs"})", "source"},
+      {"garbage source",
+       R"({"op":"query","kind":"bfs","source":"abc"})", "source"},
+      {"fractional source",
+       R"({"op":"query","kind":"bfs","source":2.5})", "source"},
+      {"unknown opt key",
+       R"({"op":"query","kind":"bfs","source":1,"opts":{"frobnicate":1}})",
+       "frobnicate"},
+      {"unknown top-level key",
+       R"({"op":"query","kind":"bfs","source":1,"bogus":1})", "bogus"},
+      {"source on sourceless kind",
+       R"({"op":"query","kind":"cc","source":1})", "source"},
+      {"unknown graph",
+       R"({"op":"query","kind":"bfs","source":1,"graph":"nope"})", "nope"},
+  };
+  for (const auto& c : cases) {
+    client.SendRaw(c.line);
+    const std::optional<Json> response = client.Read();
+    ASSERT_TRUE(response) << c.name;
+    EXPECT_EQ(Field(*response, "op"), "error") << c.name;
+    const std::string error = Field(*response, "error");
+    EXPECT_NE(error.find(c.expect), std::string::npos)
+        << c.name << ": missing '" << c.expect << "' in: " << error;
+  }
+
+  // The connection still works after ten rejected requests.
+  Json::Object extra;
+  extra["source"] = Json(0);
+  extra["values"] = Json(false);
+  client.Send(QueryLine("bfs", "alive", std::move(extra)));
+  const std::optional<Json> ok = client.Read();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(Field(*ok, "status"), "done");
+}
+
+// An out-of-range source is not a decode error — it is admitted and
+// fails at engine pickup with the canonical SourceRangeError text, the
+// same whether the query ran solo or merged into a wave.
+TEST(DaemonTest, OutOfRangeSourceFailsWithCanonicalErrorText) {
+  graph::Csr g = MakeGraph();
+  const vid_t n = g.num_vertices();
+  auto daemon = MakeDaemon(std::move(g));
+  Client client(daemon->port());
+
+  Json::Object extra;
+  extra["source"] = Json(static_cast<std::int64_t>(n) + 7);
+  client.Send(QueryLine("bfs", "oops", std::move(extra)));
+
+  const std::optional<Json> response = client.Read();
+  ASSERT_TRUE(response);
+  EXPECT_EQ(Field(*response, "op"), "result");
+  EXPECT_EQ(Tag(*response), "oops");
+  EXPECT_EQ(Field(*response, "status"), "failed");
+  EXPECT_EQ(Field(*response, "error"),
+            engine::SourceRangeError("bfs", static_cast<long long>(n) + 7, n));
+}
+
+// --- operator endpoints -----------------------------------------------------
+
+TEST(DaemonTest, PingGraphsStatsAndStatsPage) {
+  auto daemon = MakeDaemon(MakeGraph());
+  Client client(daemon->port());
+
+  client.SendRaw(R"({"op":"ping","tag":"p"})");
+  const std::optional<Json> pong = client.Read();
+  ASSERT_TRUE(pong);
+  EXPECT_EQ(Field(*pong, "op"), "pong");
+  EXPECT_EQ(Tag(*pong), "p");
+
+  client.SendRaw(R"({"op":"graphs"})");
+  const std::optional<Json> graphs = client.Read();
+  ASSERT_TRUE(graphs);
+  const Json* list = graphs->Find("graphs");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->as_array().size(), 1u);
+  EXPECT_EQ(Field(list->as_array()[0], "name"), "g");
+
+  // Run one query so the bfs histogram and the engine ledger are warm.
+  Json::Object extra;
+  extra["source"] = Json(0);
+  extra["values"] = Json(false);
+  client.Send(QueryLine("bfs", "q", std::move(extra)));
+  const std::optional<Json> result = client.Read();
+  ASSERT_TRUE(result);
+  EXPECT_EQ(Field(*result, "status"), "done");
+
+  client.SendRaw(R"({"op":"stats"})");
+  const std::optional<Json> stats = client.Read();
+  ASSERT_TRUE(stats);
+  const Json* done = stats->Find("done");
+  ASSERT_NE(done, nullptr);
+  EXPECT_GE(done->as_number(), 1.0);
+
+  // The plain-text page: everything up to the "# end" marker. The
+  // observer records *after* the result is fulfilled (telemetry never
+  // stalls waiters), so the histogram can lag the response by a beat —
+  // re-scrape until it lands.
+  std::string page;
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    client.SendRaw("/stats");
+    page.clear();
+    for (;;) {
+      const std::optional<std::string> line = client.socket().ReadLine();
+      ASSERT_TRUE(line) << "connection closed mid-page";
+      if (*line == "# end") break;
+      page += *line + "\n";
+    }
+    if (page.find("query_latency_ms{kind=\"bfs\"}") != std::string::npos ||
+        std::chrono::steady_clock::now() >= give_up) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_NE(page.find("gunrockd_uptime_ms"), std::string::npos) << page;
+  EXPECT_NE(page.find("engine_done"), std::string::npos) << page;
+  EXPECT_NE(page.find("query_latency_ms{kind=\"bfs\"}"), std::string::npos)
+      << page;
+}
+
+// --- graceful drain ---------------------------------------------------------
+
+// Stop() while a query is running: the in-flight query completes and is
+// delivered, the connection then closes, and new connects are refused.
+TEST(DaemonTest, GracefulDrainCompletesInFlightAndRefusesNewConnects) {
+  auto daemon = MakeDaemon(MakeGraph(), /*inflight=*/1);
+  const int port = daemon->port();
+  Client client(port);
+
+  // A query with a comfortable runtime: 2000 PageRank iterations (zero
+  // tolerance keeps it from converging early) — wide enough a window
+  // that the poll below reliably catches it in flight.
+  Json::Object opts;
+  opts["tolerance"] = Json(0.0);
+  opts["max_iterations"] = Json(2000);
+  Json::Object extra;
+  extra["opts"] = Json(std::move(opts));
+  extra["values"] = Json(false);
+  client.Send(QueryLine("pagerank", "inflight", std::move(extra)));
+
+  // Wait until the engine has actually picked it up (or, on a machine
+  // fast enough to finish it already, completed it), then drain.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    const engine::QueryEngine::Stats s = daemon->engine().stats();
+    if (s.running > 0 || s.done > 0) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), give_up)
+        << "query never started running";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread stopper([&] { daemon->Stop(); });
+
+  // The in-flight query still completes and reaches the client...
+  const std::optional<Json> response = client.Read();
+  ASSERT_TRUE(response);
+  EXPECT_EQ(Tag(*response), "inflight");
+  EXPECT_EQ(Field(*response, "status"), "done");
+  // ...then the daemon closes the drained connection.
+  EXPECT_FALSE(client.socket().ReadLine().has_value());
+  stopper.join();
+
+  // The listener is gone: new connects are refused.
+  std::string error;
+  serve::Socket refused = serve::ConnectTcp("127.0.0.1", port, &error);
+  EXPECT_FALSE(refused.valid());
+}
+
+// --- fair-share admission ---------------------------------------------------
+
+// A flooding tenant cannot starve a higher-weight graph: with one runner
+// and sixteen queued "noisy" queries, four "vip" queries submitted after
+// the flood still complete ahead of most of it.
+TEST(DaemonTest, FairShareAdmissionUnderFloodingTenant) {
+  DaemonConfig config;
+  config.inflight = 1;  // serialize runs: completion order == pick order
+  auto daemon = std::make_unique<Daemon>(config);
+  engine::GraphOptions noisy_opts;
+  noisy_opts.weight = 1.0;
+  engine::GraphOptions vip_opts;
+  vip_opts.weight = 8.0;
+  // Scale-10 graphs: each 40-iteration run costs milliseconds, so the
+  // whole burst is parsed and queued while the first run executes.
+  daemon->AddGraph("noisy", MakeGraph(10), noisy_opts);
+  daemon->AddGraph("vip", MakeGraph(10), vip_opts);
+  std::string error;
+  ASSERT_TRUE(daemon->Start(&error)) << error;
+
+  // Fixed-work queries (zero tolerance: the full 40 iterations, every
+  // time) so every slot costs the same; one buffered write ships the
+  // whole flood before the vip requests, like a burst from a greedy
+  // client.
+  const auto query = [](const std::string& graph, const std::string& tag) {
+    Json::Object opts;
+    opts["tolerance"] = Json(0.0);
+    opts["max_iterations"] = Json(40);
+    Json::Object o;
+    o["op"] = Json("query");
+    o["kind"] = Json("pagerank");
+    o["graph"] = Json(graph);
+    o["tag"] = Json(tag);
+    o["opts"] = Json(std::move(opts));
+    o["values"] = Json(false);
+    return Json(std::move(o)).Dump() + "\n";
+  };
+  const int kNoisy = 16, kVip = 4;
+  std::string burst;
+  for (int i = 0; i < kNoisy; ++i) {
+    burst += query("noisy", std::string("n").append(std::to_string(i)));
+  }
+  for (int i = 0; i < kVip; ++i) {
+    burst += query("vip", std::string("v").append(std::to_string(i)));
+  }
+
+  Client client(daemon->port());
+  ASSERT_TRUE(client.socket().WriteAll(burst));
+
+  int first_vip = -1, last_vip = -1;
+  for (int pos = 0; pos < kNoisy + kVip; ++pos) {
+    const std::optional<Json> response = client.Read();
+    ASSERT_TRUE(response) << "response " << pos;
+    EXPECT_EQ(Field(*response, "status"), "done") << Tag(*response);
+    if (Tag(*response)[0] == 'v') {
+      if (first_vip < 0) first_vip = pos;
+      last_vip = pos;
+    }
+  }
+  // The stride scheduler favors the 8x-weight graph as soon as its
+  // queries arrive: all four vip completions land well before the flood
+  // finishes. (Bounds are loose — the claim is "not starved", not an
+  // exact schedule.)
+  EXPECT_GE(first_vip, 0) << "no vip completion seen";
+  EXPECT_LT(first_vip, 8);
+  EXPECT_LT(last_vip, kNoisy);  // ahead of >= 4 noisy stragglers
+}
+
+}  // namespace
+}  // namespace gunrock

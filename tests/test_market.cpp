@@ -120,6 +120,58 @@ TEST(MarketReadTest, MalformedInputs) {
   }
 }
 
+TEST(MarketReadTest, ErrorsNameTheOffendingLine) {
+  // The reader's contract (hardening pass): every malformed-input error
+  // carries the line number and the offending token, so a bad multi-
+  // million-edge file is a one-glance fix. Each case lists substrings the
+  // thrown message must contain.
+  const struct {
+    const char* name;
+    const char* text;
+    const char* expect_a;
+    const char* expect_b;
+  } cases[] = {
+      {"zero index is 1-based out of range",
+       "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n",
+       "line 3", "1-based"},
+      {"out-of-range entry names its line (after a comment)",
+       "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n"
+       "% comment\n3 1\n",
+       "line 4", "out of range"},
+      {"truncation names where input ended",
+       "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n",
+       "expected 2 entries, got 1", "input ended at line 3"},
+      {"non-numeric weight names the token",
+       "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 abc\n",
+       "line 3", "'abc' is not a number"},
+      {"partially-numeric index rejected (atoi would take it)",
+       "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1x 2\n",
+       "line 3", "'1x' is not an integer"},
+      {"trailing garbage after an entry",
+       "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n"
+       "1 2 junk\n",
+       "line 3", "trailing garbage 'junk'"},
+      {"trailing garbage on the size line",
+       "%%MatrixMarket matrix coordinate pattern general\n2 2 1 junk\n",
+       "line 2", "trailing garbage 'junk'"},
+      {"fractional entry count on the size line",
+       "%%MatrixMarket matrix coordinate pattern general\n2 2 1.5\n",
+       "line 2", "'1.5' is not a non-negative integer"},
+  };
+  for (const auto& c : cases) {
+    try {
+      Parse(c.text);
+      FAIL() << c.name << ": expected gunrock::Error";
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(c.expect_a), std::string::npos)
+          << c.name << ": missing '" << c.expect_a << "' in: " << what;
+      EXPECT_NE(what.find(c.expect_b), std::string::npos)
+          << c.name << ": missing '" << c.expect_b << "' in: " << what;
+    }
+  }
+}
+
 void ExpectSameEdges(const graph::Coo& a, const graph::Coo& b) {
   EXPECT_EQ(a.num_vertices, b.num_vertices);
   ASSERT_EQ(a.num_edges(), b.num_edges());
