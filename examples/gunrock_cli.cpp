@@ -67,6 +67,7 @@ struct Args {
   vid_t source = -1;
   core::LoadBalance lb = core::LoadBalance::kAuto;
   core::Direction direction = core::Direction::kOptimizing;
+  core::SpmvBackend backend = core::SpmvBackend::kAuto;
   bool idempotence = true;
   bool near_far = true;
   int iters = 50;
@@ -89,6 +90,7 @@ struct Args {
                "salsa|ppr|color|mis|kcore|stats> [--graph rmat|rgg|road|"
                "file.mtx] [--scale N] [--edge-factor N] [--src V] "
                "[--lb tm|twc|lb|auto] [--direction push|pull|do] "
+               "[--backend frontier|spmv|auto] "
                "[--no-idempotence] [--no-near-far] [--iters N] [--json]\n"
                "       gunrock_cli batch --sources FILE [--primitive "
                "bfs|sssp|bc|cc|pagerank|mst|triangles|lp|hits|salsa|ppr] "
@@ -177,6 +179,21 @@ Args Parse(int argc, char** argv) {
         std::fprintf(
             stderr,
             "gunrock_cli: --direction must be push|pull|do, got '%s'\n",
+            v.c_str());
+        std::exit(2);
+      }
+    } else if (flag == "--backend") {
+      const std::string v = next();
+      if (v == "frontier") {
+        args.backend = core::SpmvBackend::kFrontier;
+      } else if (v == "spmv") {
+        args.backend = core::SpmvBackend::kSpmv;
+      } else if (v == "auto") {
+        args.backend = core::SpmvBackend::kAuto;
+      } else {
+        std::fprintf(
+            stderr,
+            "gunrock_cli: --backend must be frontier|spmv|auto, got '%s'\n",
             v.c_str());
         std::exit(2);
       }
@@ -299,6 +316,7 @@ engine::QueryRequest MakeRequest(const Args& args, const std::string& kind,
     q.opts.load_balance = args.lb;
     q.opts.pull = true;
     q.opts.max_iterations = args.iters;
+    q.opts.backend = args.backend;
     return q;
   }
   if (kind == "mst") return engine::MstQuery{};
@@ -311,17 +329,20 @@ engine::QueryRequest MakeRequest(const Args& args, const std::string& kind,
   if (kind == "hits") {
     engine::HitsQuery q;
     q.opts.max_iterations = args.iters;
+    q.opts.backend = args.backend;
     return q;
   }
   if (kind == "salsa") {
     engine::SalsaQuery q;
     q.opts.max_iterations = args.iters;
+    q.opts.backend = args.backend;
     return q;
   }
   if (kind == "ppr") {
     engine::PprQuery q;
     q.seeds.assign(1, source);
     q.opts.max_iterations = args.iters;
+    q.opts.backend = args.backend;
     return q;
   }
   std::fprintf(stderr, "unknown engine primitive '%s'\n", kind.c_str());
@@ -659,6 +680,7 @@ int main(int argc, char** argv) {
     opts.load_balance = args.lb;
     opts.pull = true;
     opts.max_iterations = args.iters;
+    opts.backend = args.backend;
     const auto r = Pagerank(g, opts);
     Report(args, g, "pagerank", r.stats.elapsed_ms,
            r.stats.edges_visited, r.iterations, r.MsPerIteration(),
@@ -672,12 +694,14 @@ int main(int argc, char** argv) {
     if (p == "hits") {
       HitsOptions opts;
       opts.max_iterations = args.iters;
+      opts.backend = args.backend;
       const auto r = Hits(g, rg, opts);
       Report(args, g, "hits", r.stats.elapsed_ms, r.stats.edges_visited,
              r.iterations);
     } else {
       SalsaOptions opts;
       opts.max_iterations = args.iters;
+      opts.backend = args.backend;
       const auto r = Salsa(g, rg, opts);
       Report(args, g, "salsa", r.stats.elapsed_ms, r.stats.edges_visited,
              r.iterations);
@@ -686,6 +710,12 @@ int main(int argc, char** argv) {
     const vid_t seeds[] = {src};
     PprOptions opts;
     opts.max_iterations = args.iters;
+    opts.backend = args.backend;
+    graph::Csr rg;
+    if (opts.backend == core::SpmvBackend::kSpmv) {
+      rg = graph::ReverseCsr(g, pool);
+      opts.reverse = &rg;
+    }
     const auto r = PersonalizedPagerank(g, seeds, opts);
     Report(args, g, "ppr", r.stats.elapsed_ms, r.stats.edges_visited,
            r.iterations);

@@ -39,6 +39,28 @@ inline const char* ToString(LoadBalance lb) {
   return "?";
 }
 
+/// Execution backend for the dense-iteration primitives (PageRank, HITS,
+/// SALSA, PPR): the classic frontier-operator formulation, or the
+/// merge-path semiring SpMV/SpMM sweep (core/spmv.hpp). kAuto picks per
+/// topology the way LoadBalance::kAuto does — the SpMV sweep wins where
+/// frontiers stay dense and degree skew starves a row-mapped gather
+/// (scale-free graphs); the frontier path keeps its edge on meshes and
+/// for push-style sparse propagation.
+enum class SpmvBackend {
+  kAuto,
+  kFrontier,
+  kSpmv,
+};
+
+inline const char* ToString(SpmvBackend b) {
+  switch (b) {
+    case SpmvBackend::kAuto: return "auto";
+    case SpmvBackend::kFrontier: return "frontier";
+    case SpmvBackend::kSpmv: return "spmv";
+  }
+  return "?";
+}
+
 /// Traversal direction policy (paper Section 4.5, push vs pull).
 enum class Direction {
   kPush,        ///< scatter from the frontier (forward)

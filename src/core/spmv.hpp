@@ -1,0 +1,440 @@
+// Merge-path load-balanced SpMV/SpMM over pluggable semirings.
+//
+// GraphBLAST's observation (PAPERS.md): Gunrock's advance+reduce over a
+// static frontier IS a masked sparse-matrix–vector product over a
+// semiring. For the dense-frontier, high-iteration primitives
+// (PageRank, HITS, SALSA, PPR) the frontier bookkeeping — filter
+// passes, frontier rebuilds, atomic scatter — is pure overhead, and a
+// straight semiring sweep of the CSR wins. This header is that sweep.
+//
+// Load balance: par::MergePathPartition cuts the (rows + nonzeros) merge
+// path into equal-cell chunks, so a power-law hub row is split across
+// chunks instead of serializing on one thread (the same decomposition
+// Merrill & Garland use for GPU SpMV). A row split across chunks leaves
+// partial sums at the seams; each chunk records its head/tail partials
+// in a carry table indexed by chunk id, and one serial fixup pass folds
+// the carries in chunk (= edge) order. Because the partition is a pure
+// function of the structure — never the pool width — the carry table,
+// the fold order, and therefore every floating-point rounding are
+// identical at any thread count: results are run-to-run deterministic
+// and pool-width-invariant by construction.
+//
+// Masking: the dense-mask variant takes a par::EpochBitmap and simply
+// skips non-member rows inside the same partition (their cells still
+// count toward balance — skipping is a read of the stamp array, not a
+// repartition). The sparse variant compacts the selected rows into a
+// synthetic CSR (prefix of their degrees) and runs the same kernel on
+// it, so a tiny frontier costs O(frontier + its edges), not O(n).
+//
+// The SpMM path sweeps L column vectors per nonzero with the *identical*
+// partition and per-lane fold order as the scalar kernel — lane l of an
+// SpMM result is bit-identical to a scalar SpMV of that lane at any pool
+// width, which is what lets PprBatch's fused column block share oracle
+// tests with the scalar backend.
+//
+// Workspace: every call takes a `slot_first` base into the caller's
+// arena (primitives pass pslot::kSpmvFirst) and reuses spmv_slot::kCount
+// consecutive slots; steady-state iterations allocate nothing.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "parallel/bitmap.hpp"
+#include "parallel/for_each.hpp"
+#include "parallel/merge_path.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/workspace.hpp"
+#include "util/types.hpp"
+
+namespace gunrock::core {
+
+// ---------------------------------------------------------------------------
+// Semirings. Add is required associative + commutative with Identity as
+// neutral element; Mul distributes over Add and annihilates on Identity.
+// The kernels only ever fold Add left-to-right in edge order, so a merely
+// associative Add would do — commutativity is what makes the masked and
+// unmasked sweeps agree on rows the mask splits differently.
+
+/// (+, *) over double — PageRank / HITS / SALSA / PPR mass propagation.
+struct PlusTimes {
+  using Value = double;
+  static constexpr Value Identity() { return 0.0; }
+  static Value Add(Value a, Value b) { return a + b; }
+  static Value Mul(Value a, Value b) { return a * b; }
+};
+
+/// (min, +) over weight_t — one Bellman-Ford / SSSP relaxation round:
+/// y[v] = min over in-edges (u,v) of x[u] + w(u,v).
+struct MinPlus {
+  using Value = weight_t;
+  static constexpr Value Identity() { return kInfinity; }
+  static Value Add(Value a, Value b) { return b < a ? b : a; }
+  static Value Mul(Value a, Value b) { return a + b; }
+};
+
+/// (|, &) over uint8 — boolean reachability: y[v] = 1 iff some in-neighbor
+/// is set (and the edge mask, if any, passes).
+struct OrAnd {
+  using Value = std::uint8_t;
+  static constexpr Value Identity() { return 0; }
+  static Value Add(Value a, Value b) {
+    return static_cast<Value>(a | b);
+  }
+  static Value Mul(Value a, Value b) {
+    return static_cast<Value>(a & b);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Workspace slot layout relative to the caller's `slot_first`.
+
+namespace spmv_slot {
+enum : unsigned {
+  kPartition = 0,  // std::vector<par::MergeCoord>
+  kCarryRows = 1,  // std::vector<std::size_t>
+  kCarryVals = 2,  // std::vector<T> (scalar kernels)
+  kSelOffsets = 3,  // std::vector<eid_t> (sparse-rows compaction)
+  kSpmmCarry = 4,  // std::vector<T> (2 * chunks * stride, SpMM kernel)
+  kCount = 5,
+};
+}  // namespace spmv_slot
+
+/// Upper bound on SpMM lanes swept per nonzero (one stack-resident
+/// accumulator block); matches the 64-bit lane masks of the batch layer.
+inline constexpr std::size_t kSpmmMaxLanes = 64;
+
+namespace detail {
+
+inline constexpr std::size_t kNoCarry = static_cast<std::size_t>(-1);
+
+/// The shared walk. `offs` is a CSR-shaped offset array over the *walk*
+/// index space (length rows+1, offs[0]==0); `contrib(r, j)` maps a walk
+/// coordinate to a semiring value, `active(r)` masks rows, and
+/// `emit(r, acc)` receives each completed row exactly once — either
+/// directly from the owning chunk or from the serial seam fixup. Rows
+/// failing `active` are never emitted; their cells are skipped in place.
+///
+/// Determinism: chunk boundaries come from MergePathPartition (structure
+/// only), each chunk folds its cells serially in walk order, and the
+/// fixup folds the carry table in index order (= chunk order = walk
+/// order). No step depends on thread count or completion order.
+template <typename T, typename Off, typename Add, typename ContribAt,
+          typename Active, typename Emit>
+void SpmvWalk(par::ThreadPool& pool, std::span<const Off> offs, T identity,
+              Add add, ContribAt contrib, Active active, Emit emit,
+              par::Workspace& ws, unsigned slot_first) {
+  const std::size_t rows = offs.size() - 1;
+  if (rows == 0) return;
+  const auto row_ends = offs.subspan(1);
+  const std::size_t nnz = static_cast<std::size_t>(row_ends[rows - 1]);
+
+  const std::size_t num_chunks = par::MergePathChunks(rows, nnz);
+  auto& starts =
+      ws.Get<std::vector<par::MergeCoord>>(slot_first + spmv_slot::kPartition);
+  par::MergePathPartition(row_ends, nnz, num_chunks, starts);
+
+  // Carry table: slot 2c is chunk c's head partial (its first row began in
+  // an earlier chunk), slot 2c+1 its tail partial (its last row continues
+  // into a later chunk). The two carries of one split row are adjacent in
+  // index order, so the fixup's same-row run-fold reassembles each row
+  // from its partials in edge order.
+  auto& carry_row =
+      ws.Get<std::vector<std::size_t>>(slot_first + spmv_slot::kCarryRows);
+  auto& carry_val = ws.Get<std::vector<T>>(slot_first + spmv_slot::kCarryVals);
+  carry_row.assign(2 * num_chunks, kNoCarry);
+  carry_val.assign(2 * num_chunks, identity);
+
+  // One block per chunk: FixedBlocks has no serial size cutoff, so chunks
+  // run concurrently with dynamic scheduling even though there are few of
+  // them (ParallelForChunks would fall below its serial threshold here).
+  par::FixedBlocks(
+      pool, num_chunks, num_chunks,
+      [&](std::size_t c, std::size_t, std::size_t) {
+        const par::MergeCoord b = starts[c];
+        const par::MergeCoord e = starts[c + 1];
+        std::size_t j = b.nnz;
+        for (std::size_t r = b.row; r < e.row; ++r) {
+          const auto re = static_cast<std::size_t>(row_ends[r]);
+          if (!active(r)) {
+            j = re;
+            continue;
+          }
+          T acc = identity;
+          for (; j < re; ++j) acc = add(acc, contrib(r, j));
+          if (r == b.row && b.nnz > static_cast<std::size_t>(offs[r])) {
+            carry_row[2 * c] = r;  // row began in an earlier chunk
+            carry_val[2 * c] = acc;
+          } else {
+            emit(r, acc);
+          }
+        }
+        if (j < e.nnz && active(e.row)) {  // row continues past this chunk
+          T acc = identity;
+          for (; j < e.nnz; ++j) acc = add(acc, contrib(e.row, j));
+          carry_row[2 * c + 1] = e.row;
+          carry_val[2 * c + 1] = acc;
+        }
+      });
+
+  // Serial seam fixup: fold same-row carry runs in index order.
+  std::size_t cur = kNoCarry;
+  T acc = identity;
+  for (std::size_t k = 0; k < 2 * num_chunks; ++k) {
+    const std::size_t r = carry_row[k];
+    if (r == kNoCarry) continue;
+    if (r != cur) {
+      if (cur != kNoCarry) emit(cur, acc);
+      cur = r;
+      acc = carry_val[k];
+    } else {
+      acc = add(acc, carry_val[k]);
+    }
+  }
+  if (cur != kNoCarry) emit(cur, acc);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Scalar SpMV.
+
+/// y[r] = finalize(r, fold of contrib(e) over row r's nonzeros, in edge
+/// order) for every row r of `row_offsets` (length rows+1). `contrib(e)`
+/// receives the global edge index. Deterministic and pool-width-invariant;
+/// zero steady-state allocation when `wsp` is a warm arena.
+template <typename T, typename Add, typename Contrib, typename Finalize>
+void SpmvMergePath(par::ThreadPool& pool, std::span<const eid_t> row_offsets,
+                   std::span<T> y, T identity, Add add, Contrib contrib,
+                   Finalize finalize, par::Workspace* wsp,
+                   unsigned slot_first) {
+  par::Workspace local;
+  par::Workspace& ws = wsp ? *wsp : local;
+  detail::SpmvWalk<T>(
+      pool, row_offsets, identity, add,
+      [&](std::size_t, std::size_t j) { return contrib(j); },
+      [](std::size_t) { return true; },
+      [&](std::size_t r, T acc) { y[r] = finalize(r, acc); }, ws, slot_first);
+}
+
+/// Dense-mask variant: rows with mask.Test(r) false are skipped — neither
+/// swept nor written. Same partition as the unmasked kernel (the mask does
+/// not repartition, it short-circuits cells), so masked results on member
+/// rows are bit-identical to the unmasked kernel's.
+template <typename T, typename Add, typename Contrib, typename Finalize>
+void SpmvMergePathMasked(par::ThreadPool& pool,
+                         std::span<const eid_t> row_offsets,
+                         const par::EpochBitmap& mask, std::span<T> y,
+                         T identity, Add add, Contrib contrib,
+                         Finalize finalize, par::Workspace* wsp,
+                         unsigned slot_first) {
+  par::Workspace local;
+  par::Workspace& ws = wsp ? *wsp : local;
+  detail::SpmvWalk<T>(
+      pool, row_offsets, identity, add,
+      [&](std::size_t, std::size_t j) { return contrib(j); },
+      [&](std::size_t r) { return mask.Test(r); },
+      [&](std::size_t r, T acc) { y[r] = finalize(r, acc); }, ws, slot_first);
+}
+
+/// Sparse-frontier variant: sweeps only the rows listed in `rows`
+/// (a compacted frontier, any order), writing y only at those rows.
+/// Internally builds a synthetic offset array over the selected rows'
+/// degrees (O(|rows|), serial so the partition stays deterministic) and
+/// runs the same kernel on it: cost is O(|rows| + their edges), not O(n).
+template <typename T, typename Add, typename Contrib, typename Finalize>
+void SpmvMergePathRows(par::ThreadPool& pool,
+                       std::span<const eid_t> row_offsets,
+                       std::span<const vid_t> rows, std::span<T> y, T identity,
+                       Add add, Contrib contrib, Finalize finalize,
+                       par::Workspace* wsp, unsigned slot_first) {
+  par::Workspace local;
+  par::Workspace& ws = wsp ? *wsp : local;
+  auto& sel =
+      ws.Get<std::vector<eid_t>>(slot_first + spmv_slot::kSelOffsets);
+  sel.resize(rows.size() + 1);
+  sel[0] = 0;
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const auto v = static_cast<std::size_t>(rows[k]);
+    sel[k + 1] = sel[k] + (row_offsets[v + 1] - row_offsets[v]);
+  }
+  detail::SpmvWalk<T>(
+      pool, std::span<const eid_t>(sel), identity, add,
+      [&](std::size_t r, std::size_t j) {
+        const auto v = static_cast<std::size_t>(rows[r]);
+        const std::size_t e = static_cast<std::size_t>(row_offsets[v]) +
+                              (j - static_cast<std::size_t>(sel[r]));
+        return contrib(e);
+      },
+      [](std::size_t) { return true; },
+      [&](std::size_t r, T acc) {
+        const auto v = static_cast<std::size_t>(rows[r]);
+        y[v] = finalize(v, acc);
+      },
+      ws, slot_first);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-vector SpMM.
+
+/// Sweeps L = `stride` column vectors at once over the same structure:
+/// for every row r and every lane l with bit l set in `running`,
+/// y[r * stride + l] = finalize(r, l, fold of contrib(e, l) in edge
+/// order). Lanes absent from `running` are neither accumulated nor
+/// written (a converged batch lane keeps its frozen column untouched).
+///
+/// The partition and the per-lane fold order are exactly the scalar
+/// kernel's, so lane l here is bit-identical to SpmvMergePath with
+/// contrib(e) = contrib(e, l) — at any pool width. PprBatch's SpMM
+/// backend leans on this to share oracles with the scalar PPR path.
+template <typename T, typename Add, typename Contrib, typename Finalize>
+void SpmmMergePath(par::ThreadPool& pool, std::span<const eid_t> row_offsets,
+                   std::span<T> y, std::size_t stride, std::uint64_t running,
+                   T identity, Add add, Contrib contrib, Finalize finalize,
+                   par::Workspace* wsp, unsigned slot_first) {
+  par::Workspace local;
+  par::Workspace& ws = wsp ? *wsp : local;
+  const std::size_t rows = row_offsets.size() - 1;
+  if (rows == 0 || running == 0) return;
+  const auto row_ends = row_offsets.subspan(1);
+  const std::size_t nnz = static_cast<std::size_t>(row_ends[rows - 1]);
+
+  const std::size_t num_chunks = par::MergePathChunks(rows, nnz);
+  auto& starts =
+      ws.Get<std::vector<par::MergeCoord>>(slot_first + spmv_slot::kPartition);
+  par::MergePathPartition(row_ends, nnz, num_chunks, starts);
+
+  auto& carry_row =
+      ws.Get<std::vector<std::size_t>>(slot_first + spmv_slot::kCarryRows);
+  auto& carry_val = ws.Get<std::vector<T>>(slot_first + spmv_slot::kSpmmCarry);
+  carry_row.assign(2 * num_chunks, detail::kNoCarry);
+  carry_val.assign(2 * num_chunks * stride, identity);
+
+  par::FixedBlocks(
+      pool, num_chunks, num_chunks,
+      [&](std::size_t c, std::size_t, std::size_t) {
+        const par::MergeCoord b = starts[c];
+        const par::MergeCoord e = starts[c + 1];
+        T acc[kSpmmMaxLanes];
+        std::size_t j = b.nnz;
+        for (std::size_t r = b.row; r < e.row; ++r) {
+          const auto re = static_cast<std::size_t>(row_ends[r]);
+          for (std::uint64_t m = running; m;) {
+            const auto l = static_cast<std::size_t>(std::countr_zero(m));
+            m &= m - 1;
+            acc[l] = identity;
+          }
+          for (; j < re; ++j) {
+            for (std::uint64_t m = running; m;) {
+              const auto l = static_cast<std::size_t>(std::countr_zero(m));
+              m &= m - 1;
+              acc[l] = add(acc[l], contrib(j, l));
+            }
+          }
+          if (r == b.row &&
+              b.nnz > static_cast<std::size_t>(row_offsets[r])) {
+            carry_row[2 * c] = r;
+            for (std::uint64_t m = running; m;) {
+              const auto l = static_cast<std::size_t>(std::countr_zero(m));
+              m &= m - 1;
+              carry_val[2 * c * stride + l] = acc[l];
+            }
+          } else {
+            for (std::uint64_t m = running; m;) {
+              const auto l = static_cast<std::size_t>(std::countr_zero(m));
+              m &= m - 1;
+              y[r * stride + l] = finalize(r, l, acc[l]);
+            }
+          }
+        }
+        if (j < e.nnz) {
+          for (std::uint64_t m = running; m;) {
+            const auto l = static_cast<std::size_t>(std::countr_zero(m));
+            m &= m - 1;
+            acc[l] = identity;
+          }
+          for (; j < e.nnz; ++j) {
+            for (std::uint64_t m = running; m;) {
+              const auto l = static_cast<std::size_t>(std::countr_zero(m));
+              m &= m - 1;
+              acc[l] = add(acc[l], contrib(j, l));
+            }
+          }
+          carry_row[2 * c + 1] = e.row;
+          for (std::uint64_t m = running; m;) {
+            const auto l = static_cast<std::size_t>(std::countr_zero(m));
+            m &= m - 1;
+            carry_val[(2 * c + 1) * stride + l] = acc[l];
+          }
+        }
+      });
+
+  // Seam fixup, per lane in chunk order — same fold as the scalar kernel.
+  std::size_t cur = detail::kNoCarry;
+  T acc[kSpmmMaxLanes];
+  const auto flush = [&] {
+    for (std::uint64_t m = running; m;) {
+      const auto l = static_cast<std::size_t>(std::countr_zero(m));
+      m &= m - 1;
+      y[cur * stride + l] = finalize(cur, l, acc[l]);
+    }
+  };
+  for (std::size_t k = 0; k < 2 * num_chunks; ++k) {
+    const std::size_t r = carry_row[k];
+    if (r == detail::kNoCarry) continue;
+    if (r != cur) {
+      if (cur != detail::kNoCarry) flush();
+      cur = r;
+      for (std::uint64_t m = running; m;) {
+        const auto l = static_cast<std::size_t>(std::countr_zero(m));
+        m &= m - 1;
+        acc[l] = carry_val[k * stride + l];
+      }
+    } else {
+      for (std::uint64_t m = running; m;) {
+        const auto l = static_cast<std::size_t>(std::countr_zero(m));
+        m &= m - 1;
+        acc[l] = add(acc[l], carry_val[k * stride + l]);
+      }
+    }
+  }
+  if (cur != detail::kNoCarry) flush();
+}
+
+// ---------------------------------------------------------------------------
+// Semiring convenience front-end: y = A ⊗.⊕ x over semiring S, where A is
+// the graph's CSR (rows = destinations when A is the reverse graph — the
+// usual gather orientation). Weighted graphs multiply each nonzero by its
+// weight; unweighted graphs use the column value alone.
+
+template <typename S>
+void SpmvSemiring(par::ThreadPool& pool, const graph::Csr& a,
+                  std::span<const typename S::Value> x,
+                  std::span<typename S::Value> y, par::Workspace* wsp,
+                  unsigned slot_first) {
+  using T = typename S::Value;
+  const auto cols = a.col_indices();
+  const auto add = [](T p, T q) { return S::Add(p, q); };
+  const auto fin = [](std::size_t, T acc) { return acc; };
+  if (!a.weights().empty()) {
+    const auto w = a.weights();
+    SpmvMergePath<T>(
+        pool, a.row_offsets(), y, S::Identity(), add,
+        [&](std::size_t e) {
+          return S::Mul(static_cast<T>(w[e]),
+                        x[static_cast<std::size_t>(cols[e])]);
+        },
+        fin, wsp, slot_first);
+  } else {
+    SpmvMergePath<T>(
+        pool, a.row_offsets(), y, S::Identity(), add,
+        [&](std::size_t e) { return x[static_cast<std::size_t>(cols[e])]; },
+        fin, wsp, slot_first);
+  }
+}
+
+}  // namespace gunrock::core

@@ -160,10 +160,37 @@ inline std::optional<std::string> ValidateSource(const QueryRequest& request,
   return std::nullopt;
 }
 
-/// True for request kinds that need the registered graph's reverse CSR.
+/// True for request kinds that need the registered graph's reverse CSR:
+/// HITS/SALSA always, PPR when its spmv backend (a gather over the
+/// reverse orientation) was requested.
 inline bool NeedsReverseGraph(const QueryRequest& request) {
+  if (const auto* ppr = std::get_if<PprQuery>(&request)) {
+    return ppr->opts.backend == core::SpmvBackend::kSpmv;
+  }
   return std::holds_alternative<HitsQuery>(request) ||
          std::holds_alternative<SalsaQuery>(request);
+}
+
+/// Stamps a per-graph backend policy (GraphOptions::backend) onto a
+/// request whose own backend is still kAuto; a non-auto request value
+/// always wins. No-op for kinds without a backend knob and for a kAuto
+/// policy (each primitive then resolves kAuto from the topology hint, so
+/// engine and direct runs agree by construction).
+inline void ApplyBackendPolicy(QueryRequest& request,
+                               core::SpmvBackend backend) {
+  if (backend == core::SpmvBackend::kAuto) return;
+  const auto stamp = [&](core::SpmvBackend& b) {
+    if (b == core::SpmvBackend::kAuto) b = backend;
+  };
+  if (auto* pr = std::get_if<PagerankQuery>(&request)) {
+    stamp(pr->opts.backend);
+  } else if (auto* hits = std::get_if<HitsQuery>(&request)) {
+    stamp(hits->opts.backend);
+  } else if (auto* salsa = std::get_if<SalsaQuery>(&request)) {
+    stamp(salsa->opts.backend);
+  } else if (auto* ppr = std::get_if<PprQuery>(&request)) {
+    stamp(ppr->opts.backend);
+  }
 }
 
 /// True for request kinds the engine's coalescing pass can merge into one
@@ -203,7 +230,8 @@ inline bool CoalesceCompatible(const QueryRequest& a,
     return x->opts.damping == y.opts.damping &&
            x->opts.tolerance == y.opts.tolerance &&
            x->opts.max_iterations == y.opts.max_iterations &&
-           x->opts.load_balance == y.opts.load_balance;
+           x->opts.load_balance == y.opts.load_balance &&
+           x->opts.backend == y.opts.backend;
   }
   return false;
 }
@@ -315,6 +343,9 @@ inline QueryResult RunRequest(const graph::Csr& g,
           return Salsa(g, *reverse, opts, ctl);
         } else {
           static_assert(std::is_same_v<Q, PprQuery>);
+          if (opts.backend == core::SpmvBackend::kSpmv) {
+            opts.reverse = reverse;  // non-null per the check above
+          }
           return PersonalizedPagerank(g, q.seeds, opts, ctl);
         }
       },

@@ -243,6 +243,7 @@ void QueryEngine::RegisterGraph(const std::string& name,
   // once per query.
   graph->edge_sources(*pool_);
   entry.scale_free = graph::ComputeScaleFreeHint(*graph, *pool_);
+  entry.backend = gopts.backend;
   entry.graph = std::move(graph);
   entry.aux = std::make_shared<GraphAux>();
   entry.aux->quota = gopts.quota;
@@ -287,7 +288,7 @@ std::size_t QueryEngine::GraphInFlight(const std::string& name) const {
 QueryHandle QueryEngine::Submit(const std::string& graph,
                                 QueryRequest request,
                                 const SubmitOptions& options) {
-  return SubmitImpl(graph, std::move(request), options, nullptr, 0);
+  return SubmitImpl(graph, std::move(request), options, false, nullptr, 0);
 }
 
 CompletionStream QueryEngine::OpenStream() {
@@ -311,8 +312,8 @@ QueryHandle QueryEngine::Submit(const std::string& graph,
     index = stream.shared_->expected++;
   }
   try {
-    return SubmitImpl(graph, std::move(request), options, stream.shared_,
-                      index);
+    return SubmitImpl(graph, std::move(request), options, false,
+                      stream.shared_, index);
   } catch (...) {
     // The query was never admitted, so no completion will ever arrive
     // for this slot — give it back or the stream can never drain.
@@ -327,7 +328,7 @@ QueryHandle QueryEngine::Submit(const std::string& graph,
 
 QueryHandle QueryEngine::SubmitImpl(
     const std::string& graph, QueryRequest request,
-    const SubmitOptions& options,
+    const SubmitOptions& options, bool from_batch,
     std::shared_ptr<CompletionStream::Shared> stream,
     std::size_t stream_index) {
   auto state = std::make_shared<QueryHandle::State>();
@@ -336,8 +337,15 @@ QueryHandle QueryEngine::SubmitImpl(
   state->aux = entry.aux;
   state->scale_free_hint = entry.scale_free ? 1 : 0;
   state->request = std::move(request);
-  state->coalescible = options_.coalescing &&
-                       options.coalesce == SubmitOptions::Coalesce::kOn &&
+  ApplyBackendPolicy(state->request, entry.backend);
+  // kDefault opts into wave formation only from the SubmitAll fan-out
+  // paths AND on scale-free graphs — wave formation breaks even on
+  // meshes/road networks, so those skip it unless kOn forces the merge.
+  const bool opted_in =
+      options.coalesce == SubmitOptions::Coalesce::kOn ||
+      (options.coalesce == SubmitOptions::Coalesce::kDefault &&
+       from_batch && entry.scale_free);
+  state->coalescible = options_.coalescing && opted_in &&
                        CoalescibleRequest(state->request);
   state->stream = std::move(stream);
   state->stream_index = stream_index;
@@ -420,28 +428,14 @@ std::shared_ptr<QueryHandle::State> QueryEngine::PickNextLocked() {
   return state;
 }
 
-namespace {
-
-/// SubmitAll's fan-out is the workload coalescing exists for: kDefault
-/// resolves to on here (and to off in plain Submit).
-SubmitOptions ResolveBatchCoalesce(SubmitOptions options) {
-  if (options.coalesce == SubmitOptions::Coalesce::kDefault) {
-    options.coalesce = SubmitOptions::Coalesce::kOn;
-  }
-  return options;
-}
-
-}  // namespace
-
 std::vector<QueryHandle> QueryEngine::SubmitAll(
     const std::string& graph, std::span<const vid_t> sources,
     const QueryRequest& prototype, const SubmitOptions& options) {
-  const SubmitOptions resolved = ResolveBatchCoalesce(options);
   std::vector<QueryHandle> handles;
   handles.reserve(sources.size());
   for (const vid_t s : sources) {
-    handles.push_back(
-        SubmitImpl(graph, WithSource(prototype, s), resolved, nullptr, 0));
+    handles.push_back(SubmitImpl(graph, WithSource(prototype, s), options,
+                                 /*from_batch=*/true, nullptr, 0));
   }
   return handles;
 }
@@ -451,7 +445,6 @@ CompletionStream QueryEngine::SubmitAll(const std::string& graph,
                                         const QueryRequest& prototype,
                                         const SubmitOptions& options,
                                         StreamTag) {
-  const SubmitOptions resolved = ResolveBatchCoalesce(options);
   CompletionStream stream;
   stream.shared_ = std::make_shared<CompletionStream::Shared>();
   stream.shared_->expected = sources.size();
@@ -459,7 +452,8 @@ CompletionStream QueryEngine::SubmitAll(const std::string& graph,
   for (std::size_t i = 0; i < sources.size(); ++i) {
     stream.handles_.push_back(SubmitImpl(graph,
                                          WithSource(prototype, sources[i]),
-                                         resolved, stream.shared_, i));
+                                         options, /*from_batch=*/true,
+                                         stream.shared_, i));
   }
   return stream;
 }
@@ -628,8 +622,14 @@ void QueryEngine::GatherWave(
   const auto n = static_cast<std::size_t>(leader->graph->num_vertices());
   const bool leader_is_bfs =
       std::holds_alternative<BfsQuery>(leader->request);
+  // A PPR wave on the spmv backend keeps a third double column per lane
+  // (the pre-scaled scores the SpMM gathers from): 24n/lane, not 16n.
+  const bool leader_is_spmv_ppr =
+      !leader_is_bfs && std::get<PprQuery>(leader->request).opts.backend ==
+                            core::SpmvBackend::kSpmv;
   const std::size_t fixed_bytes = leader_is_bfs ? n * 36 : n * 12;
-  const std::size_t per_lane_bytes = leader_is_bfs ? 0 : n * 16;
+  const std::size_t per_lane_bytes =
+      leader_is_bfs ? 0 : (leader_is_spmv_ppr ? n * 24 : n * 16);
   if (fixed_bytes > options_.coalesce_budget_bytes) return;
   const std::size_t budget_lanes =
       per_lane_bytes == 0
@@ -746,6 +746,15 @@ void QueryEngine::RunWave(
   std::optional<BfsBatchResult> bfs_result;
   std::optional<PprBatchResult> ppr_result;
   try {
+    // Resolve the reverse graph (spmv-backend PPR waves gather over it)
+    // before leasing a workspace, mirroring the solo path: its one-time
+    // build is a registry concern, not part of this wave's scratch.
+    const graph::Csr* ppr_reverse = nullptr;
+    if (!is_bfs && std::get<PprQuery>(wave.front()->request).opts.backend ==
+                       core::SpmvBackend::kSpmv) {
+      ppr_reverse =
+          &ReverseOf(*wave.front()->graph, *wave.front()->aux);
+    }
     WorkspacePool::Lease lease = workspaces_.Acquire();
     RunControl ctl;
     ctl.workspace = &lease.workspace();
@@ -774,6 +783,8 @@ void QueryEngine::RunWave(
       popts.damping = q.opts.damping;
       popts.tolerance = q.opts.tolerance;
       popts.max_iterations = q.opts.max_iterations;
+      popts.backend = q.opts.backend;
+      popts.reverse = ppr_reverse;
       ppr_result = PprBatch(*wave.front()->graph, sources, popts, ctl,
                             lanes);
     }

@@ -120,6 +120,15 @@ struct GraphOptions {
   /// backlog. Order *within* one graph stays FIFO, so single-graph
   /// workloads behave exactly as before.
   double weight = 1.0;
+  /// Per-graph execution backend for the dense-iteration primitives
+  /// (pagerank / hits / salsa / ppr): requests that arrive with
+  /// backend == kAuto in their options are stamped with this value at
+  /// submit, so the winning backend for a topology is chosen once at
+  /// RegisterGraph time (the push/pull policy precedent). kAuto leaves
+  /// requests untouched — each primitive then resolves kAuto from the
+  /// graph's scale-free hint. A non-auto value in the request always
+  /// wins over this knob.
+  core::SpmvBackend backend = core::SpmvBackend::kAuto;
 };
 
 struct SubmitOptions {
@@ -130,8 +139,10 @@ struct SubmitOptions {
   /// Whether this query may be merged into a batched wave (only relevant
   /// for coalescible requests — see engine::CoalescibleRequest — and only
   /// when the engine's coalescing option is on). kDefault resolves to off
-  /// for Submit and on for SubmitAll, matching the fan-out workloads
-  /// coalescing exists for.
+  /// for Submit; for SubmitAll it resolves to on only when the graph's
+  /// scale-free hint is set — wave formation breaks even on meshes and
+  /// road networks, so non-scale-free graphs skip it unless kOn forces
+  /// the merge. kOn opts a query in regardless of entry path or topology.
   enum class Coalesce { kDefault, kOn, kOff };
   Coalesce coalesce = Coalesce::kDefault;
 };
@@ -375,8 +386,12 @@ class QueryEngine {
   /// per-lane results to the handles; per-lane tokens are polled at every
   /// iteration boundary, dropping stopped lanes from the active mask.
   void RunWave(std::vector<std::shared_ptr<QueryHandle::State>> wave);
+  /// `from_batch` marks the SubmitAll entry paths: a Coalesce::kDefault
+  /// query opts into wave formation only from a batch AND on a graph
+  /// whose scale-free hint is set (meshes break even; see
+  /// SubmitOptions::Coalesce).
   QueryHandle SubmitImpl(const std::string& graph, QueryRequest request,
-                         const SubmitOptions& options,
+                         const SubmitOptions& options, bool from_batch,
                          std::shared_ptr<CompletionStream::Shared> stream,
                          std::size_t stream_index);
   /// Fulfills the handle (idempotent) and, on the actual transition,
@@ -393,6 +408,7 @@ class QueryEngine {
   struct GraphEntry {
     std::shared_ptr<const graph::Csr> graph;
     bool scale_free = false;  // precomputed ComputeScaleFreeHint
+    core::SpmvBackend backend = core::SpmvBackend::kAuto;  // GraphOptions
     std::shared_ptr<GraphAux> aux;
   };
   GraphEntry GetEntry(const std::string& name) const;

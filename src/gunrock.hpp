@@ -29,6 +29,7 @@
 #include "core/policy.hpp"
 #include "core/priority_queue.hpp"
 #include "core/simt_model.hpp"
+#include "core/spmv.hpp"
 #include "core/stats.hpp"
 #include "core/workspace.hpp"
 #include "engine/query.hpp"

@@ -1,0 +1,90 @@
+// Merge-path diagonal partitioning (Merrill & Garland's SpMV
+// decomposition, the CPU form).
+//
+// A CSR sweep has two kinds of work interleaved: consuming nonzeros and
+// finishing rows. Treat the row-end offsets and the nonzero indices as two
+// sorted sequences being merged; the merge path is the staircase that
+// consumes row r's end exactly after its last nonzero. Cutting the path on
+// equally spaced diagonals gives every chunk the same number of
+// (row + nonzero) cells regardless of degree skew — a 10^5-degree hub row
+// costs its owner chunks no more than 10^5 cells split evenly, where a
+// row-mapped sweep would serialize it on one thread.
+//
+// This generalizes par::FindOwner (sorted_search.hpp): FindOwner splits
+// one sequence at a scalar; MergePathSearch splits the *merge* of two
+// sequences at a diagonal. The partition is a pure function of the
+// structure (row offsets + a chunk-cell constant), never of the pool
+// width, so chunk seams — and therefore any seam-combine order built on
+// them — are identical at any thread count. core/spmv.hpp builds its
+// deterministic semiring backend on exactly that property.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gunrock::par {
+
+/// A point on the merge path: `row` rows fully consumed (so `row` is the
+/// index of the row currently being swept), `nnz` nonzeros consumed.
+struct MergeCoord {
+  std::size_t row = 0;
+  std::size_t nnz = 0;
+};
+
+/// Intersection of diagonal `d` (row + nnz == d) with the merge path of
+/// A = `row_ends` (the CSR row *end* offsets, offsets[1..rows]) and
+/// B = the nonzero indices 0..num_nnz-1. The path consumes A[i] once
+/// B has advanced past it (row_ends[i] <= j), so the returned coordinate
+/// satisfies row_ends[row-1] <= nnz <= row_ends[row]: every row before
+/// `row` has all its nonzeros on the left of the diagonal.
+template <typename Off>
+MergeCoord MergePathSearch(std::size_t diagonal,
+                           std::span<const Off> row_ends,
+                           std::size_t num_nnz) {
+  std::size_t lo = diagonal > num_nnz ? diagonal - num_nnz : 0;
+  std::size_t hi = std::min(diagonal, row_ends.size());
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (static_cast<std::size_t>(row_ends[mid]) <= diagonal - mid - 1) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {lo, diagonal - lo};
+}
+
+/// Cells (rows + nonzeros) per chunk, and the chunk-count ceiling. Both
+/// are constants of the library, not of the pool: the partition must not
+/// change with thread count (see header comment). 4096 cells amortize the
+/// per-chunk dispatch; 256 chunks bound the serial seam fixup while
+/// feeding any realistic pool width with dynamic slack.
+inline constexpr std::size_t kMergeChunkCells = 4096;
+inline constexpr std::size_t kMergeMaxChunks = 256;
+
+inline std::size_t MergePathChunks(std::size_t rows, std::size_t nnz) {
+  const std::size_t work = rows + nnz;
+  return std::clamp<std::size_t>(work / kMergeChunkCells, std::size_t{1},
+                                 kMergeMaxChunks);
+}
+
+/// Fills `out` with the `num_chunks`+1 chunk boundaries of the merge path
+/// cut on equally spaced diagonals (diagonal c = work * c / num_chunks).
+/// Boundary coordinates are non-decreasing in both components; chunk c
+/// owns the half-open cell range [out[c], out[c+1]).
+template <typename Off>
+void MergePathPartition(std::span<const Off> row_ends, std::size_t num_nnz,
+                        std::size_t num_chunks,
+                        std::vector<MergeCoord>& out) {
+  const std::size_t work = row_ends.size() + num_nnz;
+  out.resize(num_chunks + 1);
+  out[0] = {0, 0};
+  out[num_chunks] = {row_ends.size(), num_nnz};
+  for (std::size_t c = 1; c < num_chunks; ++c) {
+    out[c] = MergePathSearch(work * c / num_chunks, row_ends, num_nnz);
+  }
+}
+
+}  // namespace gunrock::par

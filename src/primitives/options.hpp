@@ -68,7 +68,8 @@ enum : unsigned {
   kLpFirst = par::ws::kUserFirst + 44,   // label_propagation.cpp (+44..+51)
   kRankingFirst = par::ws::kUserFirst + 52,  // ranking.cpp (+52 .. +63)
   kBatchFirst = par::ws::kUserFirst + 64,  // bfs_batch/ppr_batch (+64..+79)
-  kAppFirst = par::ws::kUserFirst + 80,  // applications / user code
+  kSpmvFirst = par::ws::kUserFirst + 80,  // core/spmv.hpp scratch (+80..+87)
+  kAppFirst = par::ws::kUserFirst + 88,  // applications / user code
 };
 }  // namespace pslot
 

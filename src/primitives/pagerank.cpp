@@ -7,6 +7,7 @@
 #include "core/filter.hpp"
 #include "core/frontier.hpp"
 #include "core/gather.hpp"
+#include "core/spmv.hpp"
 #include "graph/stats.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/reduce.hpp"
@@ -105,6 +106,68 @@ PagerankResult Pagerank(const graph::Csr& g, const PagerankOptions& opts,
   adv_cfg.workspace = &ws;
   core::FilterConfig filter_cfg;
   filter_cfg.workspace = &ws;
+
+  // Merge-path SpMV backend (core/spmv.hpp): the power iteration as a
+  // semiring sweep over the gather orientation. No frontier, no filter
+  // compaction; contributions are pre-scaled once per vertex (one random
+  // load per edge instead of two) and the base+damping fold is fused
+  // into the sweep's finalize. Residual-max convergence matches the
+  // frontier path's per-vertex criterion, so iteration counts agree.
+  const bool use_spmv =
+      !opts.frontier_mode &&
+      (opts.backend == core::SpmvBackend::kSpmv ||
+       (opts.backend == core::SpmvBackend::kAuto && opts.pull &&
+        adv_cfg.scale_free_hint));
+  if (use_spmv) {
+    const graph::Csr& rg = opts.reverse ? *opts.reverse : g;
+    const auto cols = rg.col_indices();
+    auto& scaled = ws.Get<std::vector<double>>(pslot::kPagerankFirst + 9);
+    scaled.resize(n);
+    core::EfficiencyAccumulator efficiency;
+    WallTimer timer;
+    while (result.iterations < opts.max_iterations) {
+      ctl.Checkpoint();
+      const double dangling = par::TransformReduce(
+          pool, n, 0.0, [](double a, double b) { return a + b; },
+          [&](std::size_t v) {
+            return g.degree(static_cast<vid_t>(v)) == 0 ? rank[v] : 0.0;
+          },
+          &ws);
+      const double base =
+          (1.0 - opts.damping + opts.damping * dangling) /
+          static_cast<double>(n);
+      core::ForAll(pool, n, [&](std::size_t v) {
+        scaled[v] = rank[v] * inv_outdeg[v];
+      });
+      core::SpmvMergePath<double>(
+          pool, rg.row_offsets(), std::span<double>(rank_next), 0.0,
+          [](double a, double b) { return a + b; },
+          [&](std::size_t e) {
+            return scaled[static_cast<std::size_t>(cols[e])];
+          },
+          [&](std::size_t, double acc) {
+            return base + opts.damping * acc;
+          },
+          &ws, pslot::kSpmvFirst);
+      result.stats.edges_visited += rg.num_edges();
+      efficiency.Add(core::LaneEfficiencyEqualWork(rg.num_edges()),
+                     rg.num_edges());
+      ++result.iterations;
+      ++result.stats.iterations;
+      // Max-residual convergence: order-invariant, so the parallel
+      // reduction stays deterministic at any pool width.
+      const double resid = par::TransformReduce(
+          pool, n, 0.0, [](double a, double b) { return a > b ? a : b; },
+          [&](std::size_t v) { return std::abs(rank_next[v] - rank[v]); },
+          &ws);
+      rank.swap(rank_next);
+      if (resid <= opts.tolerance) break;
+    }
+    result.rank = std::move(rank);
+    result.stats.elapsed_ms = timer.ElapsedMs();
+    result.stats.lane_efficiency = efficiency.Value();
+    return result;
+  }
 
   // Frontier starts with all vertices (paper: "the frontier always
   // contains all vertices" for PR-style primitives).

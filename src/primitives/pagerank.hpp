@@ -37,6 +37,12 @@ struct PagerankOptions : CommonOptions {
   /// Reverse graph for pull mode on directed inputs; nullptr means the
   /// graph is symmetric (g is its own reverse).
   const graph::Csr* reverse = nullptr;
+  /// Execution backend. kSpmv runs the merge-path semiring sweep
+  /// (core/spmv.hpp) over the gather orientation — no frontier, no
+  /// filter pass, one pre-scaled load per edge. kAuto picks kSpmv for
+  /// pull mode on scale-free graphs and the frontier operators
+  /// otherwise; frontier_mode always uses the frontier path.
+  core::SpmvBackend backend = core::SpmvBackend::kAuto;
 };
 
 struct PagerankResult {

@@ -6,6 +6,7 @@
 
 #include "core/advance.hpp"
 #include "core/compute.hpp"
+#include "core/spmv.hpp"
 #include "graph/stats.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/lane_mask.hpp"
@@ -147,9 +148,20 @@ PprBatchResult PprBatch(const graph::Csr& g, std::span<const vid_t> seeds,
   prob.stride = L;
   prob.damping = opts.damping;
 
+  // SpMM backend: the column sweep as a merge-path gather over the
+  // reverse orientation. `pre` holds the per-lane pre-scaled scores —
+  // (damping * rank) * inv_out, the scalar spmv backend's exact
+  // two-step rounding — so one structure walk serves all lanes.
+  const bool use_spmm = opts.backend == core::SpmvBackend::kSpmv;
+  const graph::Csr& rg = opts.reverse ? *opts.reverse : g;
+  const auto rcols = rg.col_indices();
+  auto& pre = ws.Get<std::vector<double>>(pslot::kBatchFirst + 14);
+  if (use_spmm) pre.resize(n * L);
+
   std::uint64_t running = par::LaneMaskOf(L);
   double dangling[kMaxBatchLanes];
   double moved[kMaxBatchLanes];
+  double base[kMaxBatchLanes];
 
   WallTimer timer;
   int it = 0;
@@ -171,26 +183,59 @@ PprBatchResult PprBatch(const graph::Csr& g, std::span<const vid_t> seeds,
         },
         dangling, ws, pslot::kBatchFirst + 13);
 
-    // next = base * teleport: zero everywhere (scalar: base * 0.0), the
-    // full base at the seed (scalar: base * 1.0 == base).
-    core::ForAll(pool, n, [&](std::size_t v) {
-      double* row = next.data() + v * L;
+    if (use_spmm) {
+      // Pre-scale every running lane once per vertex, then gather: the
+      // SpMM writes next = base * teleport + gathered sum directly (no
+      // zero pass, no atomics), with the scalar spmv backend's partition
+      // and fold order per lane.
+      core::ForAll(pool, n, [&](std::size_t v) {
+        const double* src = rank.data() + v * L;
+        double* dst = pre.data() + v * L;
+        const double inv = inv_out[v];
+        for (std::uint64_t m = running; m != 0; m &= m - 1) {
+          const int l = std::countr_zero(m);
+          dst[l] = (opts.damping * src[l]) * inv;
+        }
+      });
       for (std::uint64_t m = running; m != 0; m &= m - 1) {
-        row[std::countr_zero(m)] = 0.0;
+        const int l = std::countr_zero(m);
+        base[l] = 1.0 - opts.damping + opts.damping * dangling[l];
       }
-    });
-    for (std::uint64_t m = running; m != 0; m &= m - 1) {
-      const int l = std::countr_zero(m);
-      next[static_cast<std::size_t>(seeds[l]) * L + l] =
-          (1.0 - opts.damping + opts.damping * dangling[l]) * 1.0;
-    }
+      core::SpmmMergePath<double>(
+          pool, rg.row_offsets(), std::span<double>(next), L, running, 0.0,
+          [](double p, double q) { return p + q; },
+          [&](std::size_t e, std::size_t l) {
+            return pre[static_cast<std::size_t>(rcols[e]) * L + l];
+          },
+          [&](std::size_t v, std::size_t l, double acc) {
+            const double tele =
+                v == static_cast<std::size_t>(seeds[l]) ? 1.0 : 0.0;
+            return base[l] * tele + acc;
+          },
+          &ws, pslot::kSpmvFirst);
+      result.stats.edges_visited += rg.num_edges();
+    } else {
+      // next = base * teleport: zero everywhere (scalar: base * 0.0), the
+      // full base at the seed (scalar: base * 1.0 == base).
+      core::ForAll(pool, n, [&](std::size_t v) {
+        double* row = next.data() + v * L;
+        for (std::uint64_t m = running; m != 0; m &= m - 1) {
+          row[std::countr_zero(m)] = 0.0;
+        }
+      });
+      for (std::uint64_t m = running; m != 0; m &= m - 1) {
+        const int l = std::countr_zero(m);
+        next[static_cast<std::size_t>(seeds[l]) * L + l] =
+            (1.0 - opts.damping + opts.damping * dangling[l]) * 1.0;
+      }
 
-    // One edge sweep pushes damping * rank / outdeg for every running
-    // lane — the batched amortization.
-    const auto adv = core::AdvancePush<MsPprFunctor>(
-        pool, g, all, static_cast<std::vector<vid_t>*>(nullptr), prob,
-        adv_cfg);
-    result.stats.edges_visited += adv.edges_visited;
+      // One edge sweep pushes damping * rank / outdeg for every running
+      // lane — the batched amortization.
+      const auto adv = core::AdvancePush<MsPprFunctor>(
+          pool, g, all, static_cast<std::vector<vid_t>*>(nullptr), prob,
+          adv_cfg);
+      result.stats.edges_visited += adv.edges_visited;
+    }
 
     LaneBlockReduce(
         pool, n, running, L,

@@ -32,6 +32,16 @@ struct PprBatchOptions : CommonOptions {
   double damping = 0.85;
   double tolerance = 1e-9;
   int max_iterations = 1000;
+  /// kSpmv runs the sweep as a merge-path SpMM over the reverse
+  /// orientation (core/spmv.hpp). Lane l is then bit-identical to the
+  /// scalar PersonalizedPagerank spmv backend at ANY pool width — the
+  /// SpMM shares the scalar kernel's partition and fold order — which is
+  /// a stronger contract than the push path's (see header comment).
+  /// kAuto keeps push, matching the scalar PPR default.
+  core::SpmvBackend backend = core::SpmvBackend::kAuto;
+  /// Reverse graph for the spmv backend on directed inputs; nullptr means
+  /// the graph is symmetric.
+  const graph::Csr* reverse = nullptr;
 };
 
 struct PprBatchResult {
@@ -51,7 +61,8 @@ PprBatchResult PprBatch(const graph::Csr& g, std::span<const vid_t> seeds,
                         const PprBatchOptions& opts = {});
 
 /// Engine-invokable runner: scratch from ctl.workspace (slots
-/// pslot::kBatchFirst+9..+15), ctl.cancel polled at iteration boundaries
+/// pslot::kBatchFirst+9..+15 plus the pslot::kSpmvFirst range for the
+/// spmv backend), ctl.cancel polled at iteration boundaries
 /// (whole wave), `lanes` polled right after it for per-lane drops.
 PprBatchResult PprBatch(const graph::Csr& g, std::span<const vid_t> seeds,
                         const PprBatchOptions& opts, const RunControl& ctl,

@@ -4,6 +4,7 @@
 
 #include "core/advance.hpp"
 #include "core/compute.hpp"
+#include "core/spmv.hpp"
 #include "core/workspace.hpp"
 #include "graph/stats.hpp"
 #include "parallel/atomics.hpp"
@@ -72,6 +73,26 @@ double L1Distance(par::ThreadPool& pool, std::span<const double> a,
       [&](std::size_t i) { return std::abs(a[i] - b[i]); });
 }
 
+/// y[v] = sum of x[u] over row v of `a` (the gather orientation), via the
+/// merge-path plus-times sweep — the spmv-backend replacement for the
+/// zero-init + atomic-scatter pattern below. Every row is overwritten, so
+/// no zero pass is needed; pre-scale x to fold per-source factors in.
+void SpmvGather(par::ThreadPool& pool, const graph::Csr& a,
+                std::span<const double> x, std::span<double> y,
+                core::Workspace& ws) {
+  const auto cols = a.col_indices();
+  core::SpmvMergePath<double>(
+      pool, a.row_offsets(), y, 0.0,
+      [](double p, double q) { return p + q; },
+      [&](std::size_t e) { return x[static_cast<std::size_t>(cols[e])]; },
+      [](std::size_t, double acc) { return acc; }, &ws, pslot::kSpmvFirst);
+}
+
+bool UseSpmv(core::SpmvBackend backend, bool scale_free) {
+  return backend == core::SpmvBackend::kSpmv ||
+         (backend == core::SpmvBackend::kAuto && scale_free);
+}
+
 int ScaleFreeHint(const graph::Csr& g, par::ThreadPool& pool,
                   const RunControl& ctl) {
   return ctl.scale_free_hint >= 0
@@ -103,6 +124,7 @@ HitsResult Hits(const graph::Csr& g, const graph::Csr& rg,
   adv_cfg.lb = opts.load_balance;
   adv_cfg.scale_free_hint = ScaleFreeHint(g, pool, ctl);
   adv_cfg.workspace = &ws;
+  const bool use_spmv = UseSpmv(opts.backend, adv_cfg.scale_free_hint);
   const auto all = AllVertices(pool, ws, n);
 
   auto& prev_hub = ws.Get<std::vector<double>>(pslot::kRankingFirst + 1);
@@ -122,26 +144,35 @@ HitsResult Hits(const graph::Csr& g, const graph::Csr& rg,
   WallTimer timer;
   for (; result.iterations < opts.max_iterations;) {
     ctl.Checkpoint();
-    // auth = sum of hub over in-edges: push hub along forward edges.
-    core::ForAll(pool, n, [&](std::size_t v) { result.authority[v] = 0; });
-    prob.src_score = result.hub.data();
-    prob.dst_score = result.authority.data();
-    prob.src_scale = nullptr;
-    auto adv = core::AdvancePush<PropagateFunctor>(
-        pool, g, all, static_cast<std::vector<vid_t>*>(nullptr), prob,
-        adv_cfg);
-    result.stats.edges_visited += adv.edges_visited;
-    normalize(result.authority);
+    // auth = sum of hub over in-edges (gather over rg / push over g);
+    // hub = sum of auth over out-edges (gather over g / push over rg).
+    if (use_spmv) {
+      SpmvGather(pool, rg, result.hub, result.authority, ws);
+      result.stats.edges_visited += rg.num_edges();
+      normalize(result.authority);
+      SpmvGather(pool, g, result.authority, result.hub, ws);
+      result.stats.edges_visited += g.num_edges();
+      normalize(result.hub);
+    } else {
+      core::ForAll(pool, n, [&](std::size_t v) { result.authority[v] = 0; });
+      prob.src_score = result.hub.data();
+      prob.dst_score = result.authority.data();
+      prob.src_scale = nullptr;
+      auto adv = core::AdvancePush<PropagateFunctor>(
+          pool, g, all, static_cast<std::vector<vid_t>*>(nullptr), prob,
+          adv_cfg);
+      result.stats.edges_visited += adv.edges_visited;
+      normalize(result.authority);
 
-    // hub = sum of auth over out-edges: push auth along reverse edges.
-    core::ForAll(pool, n, [&](std::size_t v) { result.hub[v] = 0; });
-    prob.src_score = result.authority.data();
-    prob.dst_score = result.hub.data();
-    adv = core::AdvancePush<PropagateFunctor>(
-        pool, rg, all, static_cast<std::vector<vid_t>*>(nullptr), prob,
-        adv_cfg);
-    result.stats.edges_visited += adv.edges_visited;
-    normalize(result.hub);
+      core::ForAll(pool, n, [&](std::size_t v) { result.hub[v] = 0; });
+      prob.src_score = result.authority.data();
+      prob.dst_score = result.hub.data();
+      adv = core::AdvancePush<PropagateFunctor>(
+          pool, rg, all, static_cast<std::vector<vid_t>*>(nullptr), prob,
+          adv_cfg);
+      result.stats.edges_visited += adv.edges_visited;
+      normalize(result.hub);
+    }
 
     ++result.iterations;
     const double moved =
@@ -201,30 +232,58 @@ SalsaResult Salsa(const graph::Csr& g, const graph::Csr& rg,
   prev_hub = result.hub;
   prev_auth = result.authority;
 
+  const bool use_spmv = UseSpmv(opts.backend, adv_cfg.scale_free_hint);
+  // Pre-scaled score vectors for the spmv gather: the per-source
+  // stochastic factor is folded in once per vertex (the push path rounds
+  // score * scale identically per edge, so the products match bitwise).
+  auto& hub_scaled = ws.Get<std::vector<double>>(pslot::kRankingFirst + 10);
+  auto& auth_scaled = ws.Get<std::vector<double>>(pslot::kRankingFirst + 11);
+  if (use_spmv) {
+    hub_scaled.resize(n);
+    auth_scaled.resize(n);
+    next_auth.resize(n);
+    next_hub.resize(n);
+  }
+
   PropagateProblem prob;
   WallTimer timer;
   for (; result.iterations < opts.max_iterations;) {
     ctl.Checkpoint();
-    // a'[v] = sum_{u -> v} h[u] / outdeg(u)
-    next_auth.assign(n, 0.0);
-    prob.src_score = result.hub.data();
-    prob.dst_score = next_auth.data();
-    prob.src_scale = inv_out.data();
-    auto adv = core::AdvancePush<PropagateFunctor>(
-        pool, g, all, static_cast<std::vector<vid_t>*>(nullptr), prob,
-        adv_cfg);
-    result.stats.edges_visited += adv.edges_visited;
+    if (use_spmv) {
+      // a'[v] = sum_{u -> v} h[u] / outdeg(u): gather over rg.
+      core::ForAll(pool, n, [&](std::size_t v) {
+        hub_scaled[v] = result.hub[v] * inv_out[v];
+      });
+      SpmvGather(pool, rg, hub_scaled, next_auth, ws);
+      // h'[u] = sum_{u -> v} a[v] / indeg(v): gather over g.
+      core::ForAll(pool, n, [&](std::size_t v) {
+        auth_scaled[v] = result.authority[v] * inv_in[v];
+      });
+      SpmvGather(pool, g, auth_scaled, next_hub, ws);
+      result.stats.edges_visited += g.num_edges() + rg.num_edges();
+    } else {
+      // a'[v] = sum_{u -> v} h[u] / outdeg(u)
+      next_auth.assign(n, 0.0);
+      prob.src_score = result.hub.data();
+      prob.dst_score = next_auth.data();
+      prob.src_scale = inv_out.data();
+      auto adv = core::AdvancePush<PropagateFunctor>(
+          pool, g, all, static_cast<std::vector<vid_t>*>(nullptr), prob,
+          adv_cfg);
+      result.stats.edges_visited += adv.edges_visited;
 
-    // h'[u] = sum_{u -> v} a[v] / indeg(v): push along reverse edges with
-    // the *source* (= v in forward orientation) scaled by 1/indeg(v).
-    next_hub.assign(n, 0.0);
-    prob.src_score = result.authority.data();
-    prob.dst_score = next_hub.data();
-    prob.src_scale = inv_in.data();
-    adv = core::AdvancePush<PropagateFunctor>(
-        pool, rg, all, static_cast<std::vector<vid_t>*>(nullptr), prob,
-        adv_cfg);
-    result.stats.edges_visited += adv.edges_visited;
+      // h'[u] = sum_{u -> v} a[v] / indeg(v): push along reverse edges
+      // with the *source* (= v in forward orientation) scaled by
+      // 1/indeg(v).
+      next_hub.assign(n, 0.0);
+      prob.src_score = result.authority.data();
+      prob.dst_score = next_hub.data();
+      prob.src_scale = inv_in.data();
+      adv = core::AdvancePush<PropagateFunctor>(
+          pool, rg, all, static_cast<std::vector<vid_t>*>(nullptr), prob,
+          adv_cfg);
+      result.stats.edges_visited += adv.edges_visited;
+    }
 
     result.authority.swap(next_auth);
     result.hub.swap(next_hub);
@@ -291,6 +350,12 @@ PprResult PersonalizedPagerank(const graph::Csr& g,
   adv_cfg.workspace = &ws;
   const auto all = AllVertices(pool, ws, n);
 
+  // kAuto stays on push (see PprOptions::backend); spmv is the explicit
+  // gather formulation over the reverse orientation.
+  const bool use_spmv = opts.backend == core::SpmvBackend::kSpmv;
+  const graph::Csr& rg = opts.reverse ? *opts.reverse : g;
+  const auto rcols = rg.col_indices();
+
   PropagateProblem prob;
   WallTimer timer;
   for (; result.iterations < opts.max_iterations;) {
@@ -302,21 +367,42 @@ PprResult PersonalizedPagerank(const graph::Csr& g,
           return g.degree(static_cast<vid_t>(v)) == 0 ? rank[v] : 0.0;
         },
         &ws);
-    core::ForAll(pool, n, [&](std::size_t v) {
-      next[v] = (1.0 - opts.damping + opts.damping * dangling) *
-                teleport[v];
-    });
-    // Push damping * rank / outdeg along out-edges.
-    core::ForAll(pool, n, [&](std::size_t v) {
-      scaled[v] = opts.damping * rank[v];
-    });
-    prob.src_score = scaled.data();
-    prob.dst_score = next.data();
-    prob.src_scale = inv_out.data();
-    const auto adv = core::AdvancePush<PropagateFunctor>(
-        pool, g, all, static_cast<std::vector<vid_t>*>(nullptr), prob,
-        adv_cfg);
-    result.stats.edges_visited += adv.edges_visited;
+    if (use_spmv) {
+      // Same per-edge product as the push path — (damping * rank[u])
+      // rounded, then * inv_out[u] rounded — folded in per vertex; the
+      // teleport-plus-dangling base joins in finalize.
+      core::ForAll(pool, n, [&](std::size_t v) {
+        scaled[v] = (opts.damping * rank[v]) * inv_out[v];
+      });
+      const double base = 1.0 - opts.damping + opts.damping * dangling;
+      core::SpmvMergePath<double>(
+          pool, rg.row_offsets(), std::span<double>(next), 0.0,
+          [](double p, double q) { return p + q; },
+          [&](std::size_t e) {
+            return scaled[static_cast<std::size_t>(rcols[e])];
+          },
+          [&](std::size_t v, double acc) {
+            return base * teleport[v] + acc;
+          },
+          &ws, pslot::kSpmvFirst);
+      result.stats.edges_visited += rg.num_edges();
+    } else {
+      core::ForAll(pool, n, [&](std::size_t v) {
+        next[v] = (1.0 - opts.damping + opts.damping * dangling) *
+                  teleport[v];
+      });
+      // Push damping * rank / outdeg along out-edges.
+      core::ForAll(pool, n, [&](std::size_t v) {
+        scaled[v] = opts.damping * rank[v];
+      });
+      prob.src_score = scaled.data();
+      prob.dst_score = next.data();
+      prob.src_scale = inv_out.data();
+      const auto adv = core::AdvancePush<PropagateFunctor>(
+          pool, g, all, static_cast<std::vector<vid_t>*>(nullptr), prob,
+          adv_cfg);
+      result.stats.edges_visited += adv.edges_visited;
+    }
 
     const double moved = L1Distance(pool, next, rank);
     rank.swap(next);

@@ -29,6 +29,9 @@ struct HitsOptions : CommonOptions {
   int max_iterations = 50;
   double tolerance = 1e-8;  ///< L1 movement across both score vectors
   HitsNorm norm = HitsNorm::kL1;
+  /// kSpmv swaps the atomic scatter for the merge-path semiring gather
+  /// (core/spmv.hpp); kAuto picks it on scale-free graphs.
+  core::SpmvBackend backend = core::SpmvBackend::kAuto;
 };
 
 struct HitsResult {
@@ -43,7 +46,7 @@ HitsResult Hits(const graph::Csr& g, const graph::Csr& rg,
                 const HitsOptions& opts = {});
 
 /// Engine-invokable runner: scratch from ctl.workspace (slots
-/// pslot::kRankingFirst..+9; shared by the three ranking primitives,
+/// pslot::kRankingFirst..+11; shared by the three ranking primitives,
 /// every slot holding one fixed type), ctl.cancel polled at iteration
 /// boundaries (throws core::Cancelled).
 HitsResult Hits(const graph::Csr& g, const graph::Csr& rg,
@@ -52,6 +55,8 @@ HitsResult Hits(const graph::Csr& g, const graph::Csr& rg,
 struct SalsaOptions : CommonOptions {
   int max_iterations = 50;
   double tolerance = 1e-8;
+  /// See HitsOptions::backend.
+  core::SpmvBackend backend = core::SpmvBackend::kAuto;
 };
 
 struct SalsaResult {
@@ -75,6 +80,14 @@ struct PprOptions : CommonOptions {
   double damping = 0.85;
   double tolerance = 1e-9;
   int max_iterations = 1000;
+  /// kSpmv runs the gather-form sweep over the reverse graph. kAuto keeps
+  /// the push formulation: PPR frontiers start concentrated on the seeds,
+  /// where push wins, and the engine's wave coalescing is built on the
+  /// push path — spmv is an explicit opt-in here.
+  core::SpmvBackend backend = core::SpmvBackend::kAuto;
+  /// Reverse graph for the spmv backend on directed inputs; nullptr means
+  /// the graph is symmetric (g is its own reverse).
+  const graph::Csr* reverse = nullptr;
 };
 
 struct PprResult {

@@ -81,6 +81,26 @@ bool GetLoadBalance(const Json& v, core::LoadBalance* out,
       error, "'load_balance' must be one of \"tm\", \"twc\", \"lb\", \"auto\"");
 }
 
+bool GetBackend(const Json& v, core::SpmvBackend* out, std::string* error) {
+  if (v.is_string()) {
+    const std::string& s = v.as_string();
+    if (s == "frontier") {
+      *out = core::SpmvBackend::kFrontier;
+      return true;
+    }
+    if (s == "spmv") {
+      *out = core::SpmvBackend::kSpmv;
+      return true;
+    }
+    if (s == "auto") {
+      *out = core::SpmvBackend::kAuto;
+      return true;
+    }
+  }
+  return FailDecode(
+      error, "'backend' must be one of \"frontier\", \"spmv\", \"auto\"");
+}
+
 /// Rejects any `opts` key outside `allowed` — a typoed knob must be an
 /// error, not a silently-defaulted run that looks slower than it should.
 bool CheckOptKeys(const Json::Object& opts, const char* kind,
@@ -221,7 +241,7 @@ bool DecodeKind(const std::string& kind, const Json& object,
     engine::PagerankQuery q;
     if (!CheckOptKeys(opts, "pagerank",
                       {"load_balance", "damping", "tolerance",
-                       "max_iterations", "pull"},
+                       "max_iterations", "pull", "backend"},
                       error) ||
         !DecodeCommonOpts(opts, &q.opts, error)) {
       return false;
@@ -247,6 +267,9 @@ bool DecodeKind(const std::string& kind, const Json& object,
     }
     if (const Json* v = opt("pull")) {
       if (!GetBool(*v, "pull", &q.opts.pull, error)) return false;
+    }
+    if (const Json* v = opt("backend")) {
+      if (!GetBackend(*v, &q.opts.backend, error)) return false;
     }
     *out = q;
     return true;
@@ -293,7 +316,8 @@ bool DecodeKind(const std::string& kind, const Json& object,
   if (kind == "hits" || kind == "salsa") {
     const auto fill = [&](auto& q) -> bool {
       if (!CheckOptKeys(opts, kind.c_str(),
-                        {"load_balance", "max_iterations", "tolerance"},
+                        {"load_balance", "max_iterations", "tolerance",
+                         "backend"},
                         error) ||
           !DecodeCommonOpts(opts, &q.opts, error)) {
         return false;
@@ -313,6 +337,9 @@ bool DecodeKind(const std::string& kind, const Json& object,
           return FailDecode(error, "'tolerance' must be >= 0");
         }
       }
+      if (const Json* v = opt("backend")) {
+        if (!GetBackend(*v, &q.opts.backend, error)) return false;
+      }
       *out = q;
       return true;
     };
@@ -328,7 +355,7 @@ bool DecodeKind(const std::string& kind, const Json& object,
     engine::PprQuery q;
     if (!CheckOptKeys(opts, "ppr",
                       {"load_balance", "damping", "tolerance",
-                       "max_iterations"},
+                       "max_iterations", "backend"},
                       error) ||
         !DecodeCommonOpts(opts, &q.opts, error)) {
       return false;
@@ -351,6 +378,9 @@ bool DecodeKind(const std::string& kind, const Json& object,
         return false;
       }
       q.opts.max_iterations = static_cast<int>(n);
+    }
+    if (const Json* v = opt("backend")) {
+      if (!GetBackend(*v, &q.opts.backend, error)) return false;
     }
     // Seeds: "seeds":[...] wins; else "source":N is a one-seed set.
     if (const Json* seeds = object.Find("seeds")) {

@@ -166,7 +166,11 @@ TEST(CoalescingTest, MidWaveCancelDropsOnlyThatLane) {
 
   auto blocker = engine.Submit("g", EndlessPagerank());
   SpinUntilRunning(blocker);
-  auto handles = engine.SubmitAll("g", sources, EndlessPpr());
+  // The small test graph may not read as scale-free, so force coalescing:
+  // this test exercises wave mechanics, not the default gating.
+  SubmitOptions copts;
+  copts.coalesce = SubmitOptions::Coalesce::kOn;
+  auto handles = engine.SubmitAll("g", sources, EndlessPpr(), copts);
   blocker.Cancel();
   SpinUntilRunning(handles[0]);  // the wave is on the runner now
 
@@ -197,7 +201,9 @@ TEST(CoalescingTest, PerLaneDeadlineFiresInsideWave) {
   // Three open-ended lanes plus one with a tight deadline, merged into
   // one wave (Submit opts into coalescing explicitly).
   const auto sources = SpreadSources(g, 3);
-  auto open = engine.SubmitAll("g", sources, EndlessPpr());
+  SubmitOptions copts;
+  copts.coalesce = SubmitOptions::Coalesce::kOn;  // small graph: force it
+  auto open = engine.SubmitAll("g", sources, EndlessPpr(), copts);
   SubmitOptions dopts;
   // Generous budget: the deadline must fire *inside* the wave (EndlessPpr
   // guarantees the wave is still running whenever it fires), never while
@@ -217,6 +223,49 @@ TEST(CoalescingTest, PerLaneDeadlineFiresInsideWave) {
   const auto stats = engine.stats();
   EXPECT_EQ(stats.waves, 1u);
   EXPECT_EQ(stats.max_wave, 4u);
+}
+
+TEST(CoalescingTest, NonScaleFreeGraphSkipsWaveFormationByDefault) {
+  // Wave formation is gated on the per-graph scale-free hint: a grid
+  // reads as mesh-like (max degree ~= mean degree), so a default
+  // SubmitAll runs every query solo. Coalesce::kOn still forces a wave
+  // on the same graph.
+  const graph::Csr g = test::Undirected(graph::MakeGrid(24, 24));
+  const auto sources = SpreadSources(g, 6);
+  QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;
+  QueryEngine engine(eopts);
+  engine.RegisterGraph("grid", g);
+
+  auto blocker = engine.Submit("grid", EndlessPagerank());
+  SpinUntilRunning(blocker);
+  auto solo = engine.SubmitAll("grid", sources, CoalescibleBfs());
+  blocker.Cancel();
+  const BfsQuery proto = CoalescibleBfs();
+  for (std::size_t i = 0; i < solo.size(); ++i) {
+    const auto& resp = solo[i].Wait();
+    ASSERT_EQ(resp.status, QueryStatus::kDone) << resp.error;
+    const auto want = Bfs(g, sources[i], proto.opts);
+    EXPECT_EQ(std::get<BfsResult>(resp.result).depth, want.depth);
+  }
+  EXPECT_EQ(engine.stats().waves, 0u) << "mesh graphs must not form waves";
+  EXPECT_EQ(engine.stats().coalesced, 0u);
+
+  auto blocker2 = engine.Submit("grid", EndlessPagerank());
+  SpinUntilRunning(blocker2);
+  SubmitOptions copts;
+  copts.coalesce = SubmitOptions::Coalesce::kOn;
+  auto forced = engine.SubmitAll("grid", sources, CoalescibleBfs(), copts);
+  blocker2.Cancel();
+  for (std::size_t i = 0; i < forced.size(); ++i) {
+    const auto& resp = forced[i].Wait();
+    ASSERT_EQ(resp.status, QueryStatus::kDone) << resp.error;
+    const auto want = Bfs(g, sources[i], proto.opts);
+    EXPECT_EQ(std::get<BfsResult>(resp.result).depth, want.depth);
+  }
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.waves, 1u) << "kOn must force the wave despite the hint";
+  EXPECT_EQ(stats.coalesced, sources.size());
 }
 
 TEST(CoalescingTest, EngineSwitchOffRunsEveryQuerySolo) {

@@ -123,6 +123,8 @@ TEST(DaemonTest, RoundTripBitIdenticalToDirectEngineCalls) {
   engine::PagerankQuery pr;
   pr.opts.pull = true;  // gather-reduce: deterministic rank accumulation
   pr.opts.max_iterations = 30;
+  engine::PagerankQuery pr_spmv = pr;
+  pr_spmv.opts.backend = core::SpmvBackend::kSpmv;
 
   struct Case {
     const char* name;
@@ -134,12 +136,20 @@ TEST(DaemonTest, RoundTripBitIdenticalToDirectEngineCalls) {
   pr_opts_obj["max_iterations"] = Json(30);
   Json::Object pr_extra;
   pr_extra["opts"] = Json(std::move(pr_opts_obj));
+  Json::Object pr_spmv_opts;
+  pr_spmv_opts["pull"] = Json(true);
+  pr_spmv_opts["max_iterations"] = Json(30);
+  pr_spmv_opts["backend"] = Json("spmv");
+  Json::Object pr_spmv_extra;
+  pr_spmv_extra["opts"] = Json(std::move(pr_spmv_opts));
   Json::Object src_extra;
   src_extra["source"] = Json(source);
   const Case cases[] = {
       {"bfs", QueryLine("bfs", "t", src_extra), bfs},
       {"sssp", QueryLine("sssp", "t", src_extra), sssp},
       {"pagerank", QueryLine("pagerank", "t", std::move(pr_extra)), pr},
+      {"pagerank", QueryLine("pagerank", "t2", std::move(pr_spmv_extra)),
+       pr_spmv},
   };
 
   Client client(daemon->port());
@@ -226,6 +236,12 @@ TEST(DaemonTest, MalformedRequestsGetPerRequestErrors) {
       {"unknown opt key",
        R"({"op":"query","kind":"bfs","source":1,"opts":{"frobnicate":1}})",
        "frobnicate"},
+      {"bad backend value",
+       R"({"op":"query","kind":"pagerank","opts":{"backend":"gpu"}})",
+       "'backend' must be one of"},
+      {"backend on wrong kind",
+       R"({"op":"query","kind":"bfs","source":1,"opts":{"backend":"spmv"}})",
+       "backend"},
       {"unknown top-level key",
        R"({"op":"query","kind":"bfs","source":1,"bogus":1})", "bogus"},
       {"source on sourceless kind",
