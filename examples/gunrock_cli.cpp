@@ -10,6 +10,15 @@
 //             per-query latency plus aggregate throughput
 //     serve   read "<primitive> [source]" commands from stdin, submit each
 //             asynchronously, report responses
+//   dynamic-graph mode:
+//     mutate  replay a streaming edge file (--updates FILE) against a
+//             DynamicGraph while incrementally maintaining one primitive
+//             (--primitive bfs|sssp|cc); each `commit` line (or every
+//             --batch N updates) publishes a snapshot and repairs the
+//             labels, and the final state is verified bit-identical to a
+//             from-scratch run (mismatch = exit 1). File grammar, one
+//             line each: `add u v [w]`, `del u v`, `commit`, bare
+//             `u v [w]` (= add), `#` comments.
 //   options:
 //     --graph  rmat|rgg|road|<file.mtx>   input (default rmat)
 //     --scale  N        generator scale (default 14)
@@ -47,11 +56,14 @@
 #include <fstream>
 #include <iostream>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "dynamic/dynamic_graph.hpp"
+#include "dynamic/incremental.hpp"
 #include "gunrock.hpp"
 #include "util/parse.hpp"
 
@@ -82,6 +94,9 @@ struct Args {
   std::size_t quota = 0;
   bool stream = false;
   bool coalesce = true;
+  // mutate mode
+  std::string updates_path;
+  std::size_t mutate_batch = 0;  ///< auto-commit every N updates; 0 = off
 };
 
 [[noreturn]] void Usage() {
@@ -99,7 +114,12 @@ struct Args {
                "[graph options] [--json]\n"
                "       gunrock_cli serve [--primitive ...] [--inflight K] "
                "[graph options]   (reads \"<primitive> [source]\" lines "
-               "from stdin)\n");
+               "from stdin)\n"
+               "       gunrock_cli mutate --updates FILE [--primitive "
+               "bfs|sssp|cc] [--batch N] [--src V] [graph options] "
+               "[--json]   (replays `add u v [w]` / `del u v` / `commit` "
+               "lines, maintains the primitive incrementally, verifies "
+               "against from-scratch)\n");
   std::exit(2);
 }
 
@@ -210,6 +230,11 @@ Args Parse(int argc, char** argv) {
       args.engine_primitive = next();
     } else if (flag == "--sources") {
       args.sources_path = next();
+    } else if (flag == "--updates") {
+      args.updates_path = next();
+    } else if (flag == "--batch") {
+      args.mutate_batch =
+          static_cast<std::size_t>(FlagInt(flag, next(), 1, 1 << 30));
     } else if (flag == "--inflight") {
       args.inflight = static_cast<unsigned>(FlagInt(flag, next(), 1, 4096));
     } else if (flag == "--queue") {
@@ -633,6 +658,177 @@ int RunServe(const Args& args, graph::Csr graph) {
   return 0;
 }
 
+/// `mutate`: replay a streaming edge file against a DynamicGraph while
+/// maintaining one monotone primitive incrementally; verify the final
+/// state against from-scratch on the last snapshot.
+int RunMutate(const Args& args, graph::Csr graph) {
+  if (args.updates_path.empty()) {
+    std::fprintf(stderr, "mutate mode needs --updates FILE\n");
+    Usage();
+  }
+  const std::string& kind = args.engine_primitive;
+  if (kind != "bfs" && kind != "sssp" && kind != "cc") {
+    std::fprintf(stderr,
+                 "mutate mode maintains --primitive bfs|sssp|cc, got '%s'\n",
+                 kind.c_str());
+    std::exit(2);
+  }
+  const vid_t n = graph.num_vertices();
+  vid_t src = args.source;
+  if (src < 0 || src >= n) {
+    src = 0;
+    for (vid_t v = 1; v < n; ++v) {
+      if (graph.degree(v) > graph.degree(src)) src = v;
+    }
+  }
+
+  std::ifstream in(args.updates_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read update file %s\n",
+                 args.updates_path.c_str());
+    std::exit(1);
+  }
+
+  dynamic::DynamicGraph dyn(std::move(graph));
+  std::optional<dynamic::IncrementalBfs> bfs;
+  std::optional<dynamic::IncrementalSssp> sssp;
+  std::optional<dynamic::IncrementalCc> cc;
+  if (kind == "bfs") {
+    bfs.emplace(dyn.Current(), src);
+  } else if (kind == "sssp") {
+    sssp.emplace(dyn.Current(), src);
+  } else {
+    cc.emplace(dyn.Current());
+  }
+
+  std::size_t applied = 0, ignored = 0, commits = 0;
+  double update_ms = 0.0;
+  std::size_t pending = 0;
+  std::size_t line_no = 0;
+
+  const auto do_commit = [&] {
+    if (!dyn.Commit().changed) return;
+    ++commits;
+    pending = 0;
+    WallTimer t;
+    if (bfs) {
+      bfs->Update(dyn.Current());
+    } else if (sssp) {
+      sssp->Update(dyn.Current());
+    } else {
+      cc->Update(dyn.Current());
+    }
+    update_ms += t.ElapsedMs();
+  };
+  const auto bad = [&](const std::string& why) {
+    std::fprintf(stderr, "%s:%zu: %s\n", args.updates_path.c_str(), line_no,
+                 why.c_str());
+    std::exit(1);
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string first;
+    if (!(fields >> first)) continue;
+
+    if (first == "commit") {
+      std::string extra;
+      if (fields >> extra) bad("trailing garbage after commit");
+      do_commit();
+      continue;
+    }
+    bool removal = false;
+    std::string u_tok = first;
+    if (first == "add" || first == "del") {
+      removal = first == "del";
+      if (!(fields >> u_tok)) bad("expected 'add u v [w]' or 'del u v'");
+    }
+    std::string v_tok;
+    if (!(fields >> v_tok)) bad("expected two vertex ids");
+    const auto u = util::ParseInt(u_tok, 0, n - 1);
+    const auto v = util::ParseInt(v_tok, 0, n - 1);
+    if (!u || !v) {
+      bad("vertex ids must be integers in [0, " + std::to_string(n) + ")");
+    }
+    dynamic::EdgeUpdate up;
+    up.src = static_cast<vid_t>(*u);
+    up.dst = static_cast<vid_t>(*v);
+    std::string w_tok;
+    if (fields >> w_tok) {
+      if (removal) bad("'del' takes no weight");
+      const auto w = util::ParseDouble(w_tok);
+      if (!w) bad("weight must be a number, got '" + w_tok + "'");
+      up.weight = static_cast<weight_t>(*w);
+      std::string extra;
+      if (fields >> extra) bad("trailing garbage '" + extra + "'");
+    }
+    try {
+      const std::size_t did = removal ? dyn.RemoveEdges({&up, 1})
+                                      : dyn.AddEdges({&up, 1});
+      applied += did;
+      ignored += did == 0 ? 1 : 0;
+    } catch (const Error& e) {
+      bad(e.what());
+    }
+    ++pending;
+    if (args.mutate_batch > 0 && pending >= args.mutate_batch) do_commit();
+  }
+  do_commit();  // flush anything left pending at EOF
+
+  // The whole point: the incrementally maintained labels must be
+  // bit-identical to a from-scratch run on the final snapshot.
+  auto& pool = par::ThreadPool::Global();
+  const auto final_view = dyn.Current()->View(pool);
+  bool verified = true;
+  if (bfs) {
+    BfsOptions opts;
+    opts.compute_preds = false;
+    verified = Bfs(*final_view, src, opts).depth == bfs->depth();
+  } else if (sssp) {
+    SsspOptions opts;
+    opts.compute_preds = false;
+    verified = Sssp(*final_view, src, opts).dist == sssp->dist();
+  } else {
+    const CcResult oracle = Cc(*final_view);
+    verified = oracle.component == cc->component() &&
+               oracle.num_components == cc->num_components();
+  }
+
+  const dynamic::DynamicGraphStats ds = dyn.Stats();
+  const dynamic::IncrementalStats is =
+      bfs ? bfs->stats() : sssp ? sssp->stats() : cc->stats();
+  if (args.json) {
+    std::printf(
+        "{\"mode\":\"mutate\",\"primitive\":\"%s\",\"applied\":%zu,"
+        "\"ignored\":%zu,\"commits\":%zu,\"epoch\":%llu,"
+        "\"compactions\":%llu,\"repairs\":%llu,\"full_recomputes\":%llu,"
+        "\"update_ms\":%.3f,\"verified\":%s}\n",
+        kind.c_str(), applied, ignored, commits,
+        static_cast<unsigned long long>(ds.epoch),
+        static_cast<unsigned long long>(ds.compactions),
+        static_cast<unsigned long long>(is.repairs),
+        static_cast<unsigned long long>(is.full_recomputes), update_ms,
+        verified ? "true" : "false");
+  } else {
+    std::printf("mutate: %zu updates applied (%zu ignored) over %zu "
+                "commits -> epoch %llu (%llu compactions)\n",
+                applied, ignored, commits,
+                static_cast<unsigned long long>(ds.epoch),
+                static_cast<unsigned long long>(ds.compactions));
+    std::printf("incremental %s: %llu repairs, %llu full recomputes, "
+                "%.2f ms maintaining; verify vs from-scratch: %s\n",
+                kind.c_str(),
+                static_cast<unsigned long long>(is.repairs),
+                static_cast<unsigned long long>(is.full_recomputes),
+                update_ms, verified ? "MATCH" : "MISMATCH");
+  }
+  return verified ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -640,6 +836,7 @@ int main(int argc, char** argv) {
   graph::Csr g = LoadGraph(args);
   if (args.primitive == "batch") return RunBatch(args, std::move(g));
   if (args.primitive == "serve") return RunServe(args, std::move(g));
+  if (args.primitive == "mutate") return RunMutate(args, std::move(g));
   auto& pool = par::ThreadPool::Global();
   vid_t src = args.source;
   if (src < 0 || src >= g.num_vertices()) {

@@ -35,14 +35,18 @@ using gunrock::serve::LoadConfigFile;
       "  --host ADDR          listen address        (default 127.0.0.1)\n"
       "  --port N             listen port; 0 = ephemeral (default 0)\n"
       "  --port-file PATH     write the bound port to PATH once listening\n"
+      "  --pid-file PATH      write the daemon pid to PATH once listening;\n"
+      "                       removed again on clean SIGTERM exit\n"
       "  --graph SPEC         serve a graph; repeatable. SPEC is\n"
       "                       NAME=KIND:params, e.g.\n"
       "                         social=rmat:scale=12,edge_factor=16,weight=2\n"
       "                         mesh=road:width=256,height=256,quota=8\n"
-      "                         web=file:/data/web.mtx\n"
+      "                         web=file:/data/web.mtx,dynamic=on\n"
       "                       (weight = fair-share weight, quota = max\n"
-      "                       in-flight queries; other keys go to the\n"
-      "                       rmat/rgg/road generator or name the file)\n"
+      "                       in-flight queries, dynamic=on enables the\n"
+      "                       add_edges/remove_edges/commit mutation ops;\n"
+      "                       other keys go to the rmat/rgg/road generator\n"
+      "                       or name the file)\n"
       "  --inflight N         concurrent queries / runner threads (default 4)\n"
       "  --queue N            admission queue capacity       (default 64)\n"
       "  --reject             reject when full instead of blocking\n"
@@ -102,6 +106,8 @@ DaemonConfig ParseArgs(int argc, char** argv) {
       apply("port", next());
     } else if (flag == "--port-file") {
       apply("port_file", next());
+    } else if (flag == "--pid-file") {
+      apply("pid_file", next());
     } else if (flag == "--graph") {
       apply("graph", next());
     } else if (flag == "--inflight") {

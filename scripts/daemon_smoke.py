@@ -2,11 +2,13 @@
 """End-to-end smoke test for gunrockd, exercised from a real client.
 
 Starts the daemon on an ephemeral port (discovered via --port-file),
-runs one BFS query and one "/stats" scrape over a TCP socket, then
-sends SIGTERM and asserts a clean graceful-drain exit (code 0). This is
-the cross-process twin of tests/test_daemon.cpp: that suite drives the
-Daemon class in-process; this script proves the shipped binary — flag
-parsing, signal handling, process lifecycle — works from the outside.
+checks the --pid-file handshake, runs one BFS query, a dynamic-graph
+mutation round trip (add_edges + commit) and one "/stats" scrape over a
+TCP socket, then sends SIGTERM and asserts a clean graceful-drain exit
+(code 0) that removes the pid file. This is the cross-process twin of
+tests/test_daemon.cpp: that suite drives the Daemon class in-process;
+this script proves the shipped binary — flag parsing, signal handling,
+process lifecycle — works from the outside.
 
 Usage: scripts/daemon_smoke.py path/to/gunrockd
 """
@@ -53,17 +55,26 @@ def main() -> None:
 
     with tempfile.TemporaryDirectory(prefix="gunrockd_smoke.") as tmp:
         port_file = Path(tmp) / "port"
+        pid_file = Path(tmp) / "pid"
         daemon = subprocess.Popen(
             [
                 binary,
                 "--port", "0",
                 "--port-file", str(port_file),
-                "--graph", "smoke=rmat:scale=8,edge_factor=8,seed=1",
+                "--pid-file", str(pid_file),
+                "--graph", "smoke=rmat:scale=8,edge_factor=8,seed=1,"
+                           "dynamic=on",
                 "--inflight", "2",
             ],
         )
         try:
             port = wait_for_port_file(port_file)
+
+            # The daemon writes the pid file before the port file, so it
+            # must already hold the daemon's pid.
+            pid_text = pid_file.read_text().strip()
+            if pid_text != str(daemon.pid):
+                fail(f"pid file holds '{pid_text}', want '{daemon.pid}'")
 
             with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
                 f = s.makefile("rw", encoding="utf-8", newline="\n")
@@ -81,6 +92,22 @@ def main() -> None:
                 if response.get("tag") != "smoke":
                     fail(f"tag not echoed: {response}")
 
+                # One mutation round trip on the dynamic graph.
+                request = {"op": "add_edges", "edges": [[0, 1], [1, 0]],
+                           "tag": "mut"}
+                f.write(json.dumps(request) + "\n")
+                f.flush()
+                response = json.loads(read_line(f))
+                if response.get("op") != "mutated":
+                    fail(f"expected a mutated response, got: {response}")
+                f.write(json.dumps({"op": "commit", "tag": "cmt"}) + "\n")
+                f.flush()
+                response = json.loads(read_line(f))
+                if response.get("op") != "committed":
+                    fail(f"expected a committed response, got: {response}")
+                if response.get("epoch", 0) < 1:
+                    fail(f"commit did not report an epoch: {response}")
+
                 # One stats scrape; the page ends with its "# end" marker.
                 f.write("/stats\n")
                 f.flush()
@@ -88,21 +115,26 @@ def main() -> None:
                 while (line := read_line(f)) != "# end":
                     page.append(line)
                 page_text = "\n".join(page)
-                for needle in ("gunrockd_uptime_ms", "engine_submitted"):
+                for needle in ("gunrockd_uptime_ms", "engine_submitted",
+                               "dynamic_epoch"):
                     if needle not in page_text:
                         fail(f"stats page missing {needle}:\n{page_text}")
 
-            # Graceful drain: SIGTERM must exit 0 within the drain budget.
+            # Graceful drain: SIGTERM must exit 0 within the drain budget
+            # and the clean exit must remove the pid file.
             daemon.send_signal(signal.SIGTERM)
             code = daemon.wait(timeout=30)
             if code != 0:
                 fail(f"gunrockd exited {code} on SIGTERM (want 0)")
+            if pid_file.exists():
+                fail("pid file survived a clean SIGTERM exit")
         finally:
             if daemon.poll() is None:
                 daemon.kill()
                 daemon.wait()
 
-    print("daemon_smoke: OK (query + stats + graceful SIGTERM exit)")
+    print("daemon_smoke: OK (pid file + query + mutate + stats + "
+          "graceful SIGTERM exit)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,352 @@
+#include "dynamic/dynamic_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace gunrock::dynamic {
+
+namespace {
+
+/// Appends every base edge that survives the sorted tombstone list.
+void PushBaseSurvivors(const graph::Csr& base, std::span<const eid_t> tombs,
+                       graph::Coo* coo) {
+  const bool weighted = base.has_weights();
+  std::size_t t = 0;  // cursor into the sorted tombstone list
+  for (vid_t u = 0; u < base.num_vertices(); ++u) {
+    for (eid_t e = base.row_begin(u); e < base.row_end(u); ++e) {
+      if (t < tombs.size() && tombs[t] == e) {
+        ++t;
+        continue;
+      }
+      if (weighted) {
+        coo->PushEdge(u, base.edge_dest(e), base.edge_weight(e));
+      } else {
+        coo->PushEdge(u, base.edge_dest(e));
+      }
+    }
+  }
+}
+
+graph::Csr BuildMerged(graph::Coo coo, par::ThreadPool& pool) {
+  graph::BuildOptions bopts;
+  bopts.symmetrize = false;
+  bopts.remove_self_loops = false;
+  bopts.remove_duplicates = false;
+  return graph::BuildCsr(coo, bopts, pool);
+}
+
+/// Merged adjacency: base minus tombstones plus live delta edges, rebuilt
+/// through BuildCsr so rows come back sorted (VisibleLocked and the
+/// repair functors binary-search them).
+graph::Csr Merge(const graph::Csr& base, std::span<const eid_t> tombs,
+                 std::span<const EdgeUpdate> delta, par::ThreadPool& pool) {
+  graph::Coo coo;
+  coo.num_vertices = base.num_vertices();
+  coo.Reserve(static_cast<std::size_t>(base.num_edges()) - tombs.size() +
+              delta.size());
+  const bool weighted = base.has_weights();
+  PushBaseSurvivors(base, tombs, &coo);
+  for (const EdgeUpdate& up : delta) {
+    if (up.src == kInvalidVid) continue;
+    if (weighted) {
+      coo.PushEdge(up.src, up.dst, up.weight);
+    } else {
+      coo.PushEdge(up.src, up.dst);
+    }
+  }
+  return BuildMerged(std::move(coo), pool);
+}
+
+/// Snapshot-side merge: the delta is already frozen as a CSR.
+graph::Csr Merge(const graph::Csr& base, std::span<const eid_t> tombs,
+                 const graph::Csr& delta, par::ThreadPool& pool) {
+  graph::Coo coo;
+  coo.num_vertices = base.num_vertices();
+  coo.Reserve(static_cast<std::size_t>(base.num_edges()) - tombs.size() +
+              static_cast<std::size_t>(delta.num_edges()));
+  const bool weighted = base.has_weights();
+  PushBaseSurvivors(base, tombs, &coo);
+  for (vid_t u = 0; u < delta.num_vertices(); ++u) {
+    for (eid_t e = delta.row_begin(u); e < delta.row_end(u); ++e) {
+      if (weighted) {
+        coo.PushEdge(u, delta.edge_dest(e), delta.edge_weight(e));
+      } else {
+        coo.PushEdge(u, delta.edge_dest(e));
+      }
+    }
+  }
+  return BuildMerged(std::move(coo), pool);
+}
+
+graph::Csr BuildDelta(vid_t num_vertices, bool weighted,
+                      std::span<const EdgeUpdate> adds,
+                      par::ThreadPool& pool) {
+  graph::Coo coo;
+  coo.num_vertices = num_vertices;
+  for (const EdgeUpdate& up : adds) {
+    if (up.src == kInvalidVid) continue;
+    if (weighted) {
+      coo.PushEdge(up.src, up.dst, up.weight);
+    } else {
+      coo.PushEdge(up.src, up.dst);
+    }
+  }
+  graph::BuildOptions bopts;
+  bopts.symmetrize = false;
+  bopts.remove_self_loops = false;
+  bopts.remove_duplicates = false;
+  return graph::BuildCsr(coo, bopts, pool);
+}
+
+}  // namespace
+
+std::shared_ptr<const graph::Csr> Snapshot::View(
+    par::ThreadPool& pool) const {
+  if (delta_empty()) return base_;
+  std::call_once(merged_once_, [&] {
+    auto merged = std::make_shared<const graph::Csr>(
+        Merge(*base_, tombstones_, delta_, pool));
+    // Warm the lazy per-edge source cache now: it mutates the otherwise
+    // read-only Csr, and concurrent queries sharing this view must not
+    // race on its first build (RegisterGraph's precedent).
+    merged->edge_sources(pool);
+    merged_ = std::move(merged);
+  });
+  return merged_;
+}
+
+std::shared_ptr<const graph::Csr> Snapshot::ReverseView(
+    par::ThreadPool& pool) const {
+  std::call_once(reverse_once_, [&] {
+    reverse_ = std::make_shared<const graph::Csr>(
+        graph::ReverseCsr(*View(pool), pool));
+  });
+  return reverse_;
+}
+
+DynamicGraph::DynamicGraph(graph::Csr base, DynamicGraphOptions opts)
+    : opts_(opts), num_vertices_(base.num_vertices()) {
+  GR_CHECK(opts_.compact_threshold > 0,
+           "compact_threshold must be positive");
+  GR_CHECK(opts_.retain_snapshots >= 1,
+           "retain_snapshots must be at least 1");
+  base_ = std::make_shared<const graph::Csr>(std::move(base));
+  auto snap = std::make_shared<Snapshot>();
+  snap->epoch_ = 1;
+  snap->parent_epoch_ = 0;
+  snap->base_ = base_;
+  epoch_ = 1;
+  current_ = snap;
+  retained_.push_back(current_);
+}
+
+bool DynamicGraph::VisibleLocked(vid_t u, vid_t v) const {
+  if (adds_index_.count(PackEdge(u, v)) != 0) return true;
+  const graph::Csr& g = *base_;
+  const auto nbrs = g.neighbors(u);
+  auto [lo, hi] = std::equal_range(nbrs.begin(), nbrs.end(), v);
+  for (auto it = lo; it != hi; ++it) {
+    const eid_t e = g.row_begin(u) + (it - nbrs.begin());
+    if (!IsTombstoned(tombs_, e)) return true;
+  }
+  return false;
+}
+
+void DynamicGraph::ValidateBatch(
+    std::span<const EdgeUpdate> edges) const {
+  for (const EdgeUpdate& e : edges) {
+    if (e.src < 0 || e.src >= num_vertices_ || e.dst < 0 ||
+        e.dst >= num_vertices_) {
+      std::ostringstream os;
+      os << "edge (" << e.src << ", " << e.dst
+         << ") out of range for a graph with " << num_vertices_
+         << " vertices";
+      throw Error(os.str());
+    }
+    if (e.src == e.dst) {
+      std::ostringstream os;
+      os << "self loop (" << e.src << ", " << e.dst << ") rejected";
+      throw Error(os.str());
+    }
+  }
+}
+
+std::size_t DynamicGraph::AddOneLocked(const EdgeUpdate& e) {
+  if (VisibleLocked(e.src, e.dst)) return 0;
+  adds_index_.emplace(PackEdge(e.src, e.dst), adds_.size());
+  adds_.push_back(e);
+  ++pending_inserts_;
+  return 1;
+}
+
+std::size_t DynamicGraph::RemoveOneLocked(vid_t u, vid_t v) {
+  auto it = adds_index_.find(PackEdge(u, v));
+  if (it != adds_index_.end()) {
+    const std::size_t idx = it->second;
+    adds_[idx].src = kInvalidVid;  // dead; dropped at the next commit
+    adds_index_.erase(it);
+    if (idx < committed_adds_) {
+      ++pending_removes_;
+    } else {
+      // Killed an insert from the same uncommitted batch: net zero.
+      --pending_inserts_;
+    }
+    return 1;
+  }
+  const graph::Csr& g = *base_;
+  const auto nbrs = g.neighbors(u);
+  auto [lo, hi] = std::equal_range(nbrs.begin(), nbrs.end(), v);
+  std::size_t applied = 0;
+  for (auto nit = lo; nit != hi; ++nit) {
+    const eid_t e = g.row_begin(u) + (nit - nbrs.begin());
+    auto pos = std::lower_bound(tombs_.begin(), tombs_.end(), e);
+    if (pos == tombs_.end() || *pos != e) {
+      tombs_.insert(pos, e);
+      applied = 1;
+    }
+  }
+  if (applied) ++pending_removes_;
+  return applied;
+}
+
+std::size_t DynamicGraph::AddEdges(std::span<const EdgeUpdate> edges) {
+  ValidateBatch(edges);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t applied = 0;
+  for (const EdgeUpdate& e : edges) {
+    const std::size_t a = AddOneLocked(e);
+    std::size_t b = 0;
+    if (opts_.undirected) {
+      b = AddOneLocked({e.dst, e.src, e.weight});
+    }
+    applied += (a | b);
+  }
+  return applied;
+}
+
+std::size_t DynamicGraph::RemoveEdges(std::span<const EdgeUpdate> edges) {
+  ValidateBatch(edges);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t applied = 0;
+  for (const EdgeUpdate& e : edges) {
+    const std::size_t a = RemoveOneLocked(e.src, e.dst);
+    std::size_t b = 0;
+    if (opts_.undirected) {
+      b = RemoveOneLocked(e.dst, e.src);
+    }
+    applied += (a | b);
+  }
+  return applied;
+}
+
+CommitInfo DynamicGraph::Commit() {
+  par::ThreadPool& pool = par::ThreadPool::Global();
+  std::lock_guard<std::mutex> lock(mutex_);
+  CommitInfo info;
+  if (pending_inserts_ == 0 && pending_removes_ == 0) {
+    info.epoch = epoch_;
+    info.base_edges = base_->num_edges();
+    info.delta_edges = current_->delta().num_edges();
+    return info;
+  }
+
+  // The just-committed inserts, recorded before the dead-entry compaction
+  // below invalidates indices: these seed the repair waves.
+  std::vector<EdgeUpdate> inserted;
+  inserted.reserve(pending_inserts_);
+  for (std::size_t i = committed_adds_; i < adds_.size(); ++i) {
+    if (adds_[i].src != kInvalidVid) inserted.push_back(adds_[i]);
+  }
+
+  // Drop entries killed by removes and reindex the survivors.
+  std::vector<EdgeUpdate> live;
+  live.reserve(adds_.size());
+  for (const EdgeUpdate& e : adds_) {
+    if (e.src != kInvalidVid) live.push_back(e);
+  }
+  adds_ = std::move(live);
+  adds_index_.clear();
+  for (std::size_t i = 0; i < adds_.size(); ++i) {
+    adds_index_.emplace(PackEdge(adds_[i].src, adds_[i].dst), i);
+  }
+  committed_adds_ = adds_.size();
+
+  const bool weighted = base_->has_weights();
+  const double pressure =
+      static_cast<double>(adds_.size() + tombs_.size()) /
+      static_cast<double>(std::max<eid_t>(base_->num_edges(), 1));
+  const bool compact = pressure > opts_.compact_threshold;
+  if (compact) {
+    auto merged = std::make_shared<const graph::Csr>(
+        Merge(*base_, tombs_, adds_, pool));
+    merged->edge_sources(pool);  // warm: post-compaction snapshots share it
+    base_ = std::move(merged);
+    adds_.clear();
+    adds_index_.clear();
+    tombs_.clear();
+    committed_adds_ = 0;
+    ++compactions_;
+  }
+
+  auto snap = std::make_shared<Snapshot>();
+  snap->epoch_ = ++epoch_;
+  snap->parent_epoch_ = current_->epoch_;
+  snap->base_ = base_;
+  if (!adds_.empty()) {
+    snap->delta_ = BuildDelta(num_vertices_, weighted, adds_, pool);
+  }
+  snap->tombstones_ = tombs_;
+  snap->inserted_since_parent_ = std::move(inserted);
+  snap->removed_since_parent_ = pending_removes_;
+  current_ = snap;
+  retained_.push_back(current_);
+  while (retained_.size() > opts_.retain_snapshots) {
+    retained_.pop_front();
+  }
+  ++commits_;
+  pending_inserts_ = 0;
+  pending_removes_ = 0;
+
+  info.epoch = epoch_;
+  info.changed = true;
+  info.compacted = compact;
+  info.base_edges = base_->num_edges();
+  info.delta_edges = snap->delta_.num_edges();
+  return info;
+}
+
+std::shared_ptr<const Snapshot> DynamicGraph::Current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::shared_ptr<const Snapshot> DynamicGraph::SnapshotAt(
+    std::uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& s : retained_) {
+    if (s->epoch_ == epoch) return s;
+  }
+  std::ostringstream os;
+  os << "epoch " << epoch << " is not retained (current epoch " << epoch_
+     << ", retention window " << opts_.retain_snapshots << ")";
+  throw Error(os.str());
+}
+
+DynamicGraphStats DynamicGraph::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DynamicGraphStats s;
+  s.epoch = epoch_;
+  s.commits = commits_;
+  s.compactions = compactions_;
+  s.base_edges = base_->num_edges();
+  s.delta_edges = current_->delta().num_edges();
+  s.tombstones = static_cast<eid_t>(current_->tombstones().size());
+  s.pending_inserts = static_cast<eid_t>(pending_inserts_);
+  s.pending_removes = static_cast<eid_t>(pending_removes_);
+  return s;
+}
+
+}  // namespace gunrock::dynamic

@@ -1,0 +1,222 @@
+// Epoch-versioned mutable graphs (DESIGN.md §10).
+//
+// Static Gunrock loads a CSR once and never touches it again; a serving
+// engine for live graphs needs mutations without ever yanking the
+// adjacency out from under an in-flight traversal. DynamicGraph keeps a
+// frozen base CSR plus an uncommitted mutation set (inserted edges and
+// tombstoned base slots); Commit() freezes the accumulated mutations into
+// an immutable Snapshot — delta CSR + sorted tombstone list layered over
+// the shared base — and bumps the epoch. Queries resolve a snapshot once
+// at submit time and keep that exact view for their whole run, so a
+// mutate/commit storm never perturbs running queries and older epochs
+// remain queryable until they age out of the retention window.
+//
+// When the delta grows past a configurable fraction of the base, Commit()
+// compacts: the merged adjacency is materialized once and republished as
+// the new base with an empty delta, restoring pure-CSR iteration speed.
+// Snapshots published before the compaction keep their old base alive via
+// shared_ptr, so compaction is invisible to readers.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/types.hpp"
+
+namespace gunrock::dynamic {
+
+/// One directed edge mutation. `weight` is ignored when the base graph is
+/// unweighted; an insert into a weighted graph defaults to weight 1.
+struct EdgeUpdate {
+  vid_t src = 0;
+  vid_t dst = 0;
+  weight_t weight = 1;
+};
+
+struct DynamicGraphOptions {
+  /// Mirror every mutation onto (dst, src) so a symmetric base stays
+  /// symmetric — matches the paper's all-undirected dataset discipline.
+  bool undirected = true;
+  /// Commit() compacts when (delta edges + tombstones) exceeds this
+  /// fraction of the base edge count.
+  double compact_threshold = 0.25;
+  /// How many published snapshots stay addressable via SnapshotAt().
+  /// The current snapshot is always retained.
+  std::size_t retain_snapshots = 8;
+};
+
+/// Point-in-time gauges for /stats and test assertions.
+struct DynamicGraphStats {
+  std::uint64_t epoch = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t compactions = 0;
+  eid_t base_edges = 0;
+  eid_t delta_edges = 0;      ///< committed delta slots in the current epoch
+  eid_t tombstones = 0;       ///< committed tombstoned base slots
+  eid_t pending_inserts = 0;  ///< applied but not yet committed
+  eid_t pending_removes = 0;
+};
+
+struct CommitInfo {
+  std::uint64_t epoch = 0;  ///< epoch now current (unchanged if no-op)
+  bool changed = false;     ///< false when nothing was pending
+  bool compacted = false;
+  eid_t base_edges = 0;
+  eid_t delta_edges = 0;
+};
+
+/// An immutable published view of the graph at one epoch. Snapshots are
+/// shared freely across threads; every member is either const after
+/// construction or guarded by std::once_flag (the lazily materialized
+/// merged/reverse views).
+class Snapshot {
+ public:
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  std::uint64_t parent_epoch() const noexcept { return parent_epoch_; }
+  vid_t num_vertices() const { return base_->num_vertices(); }
+  /// Visible edges: base − tombstones + delta.
+  eid_t num_edges() const {
+    return base_->num_edges() -
+           static_cast<eid_t>(tombstones_.size()) + delta_.num_edges();
+  }
+  bool delta_empty() const noexcept {
+    return delta_.num_edges() == 0 && tombstones_.empty();
+  }
+
+  /// The layered pieces, for incremental repair waves that want to touch
+  /// only the affected region instead of the merged adjacency.
+  const graph::Csr& base() const noexcept { return *base_; }
+  const graph::Csr& delta() const noexcept { return delta_; }
+  /// Sorted base-CSR edge slots deleted in this snapshot.
+  std::span<const eid_t> tombstones() const noexcept { return tombstones_; }
+
+  /// The adjacency the core/ operators iterate. When the delta is empty
+  /// this is the base CSR itself (pointer-equal, zero cost — the static
+  /// fast path is untouched); otherwise the merged CSR is materialized
+  /// once, lazily, and cached for the snapshot's lifetime.
+  std::shared_ptr<const graph::Csr> View(par::ThreadPool& pool) const;
+  /// Transposed view for primitives that pull (lazily cached; equals
+  /// View() structurally for symmetric graphs but is computed explicitly
+  /// so directed dynamic graphs stay correct).
+  std::shared_ptr<const graph::Csr> ReverseView(par::ThreadPool& pool) const;
+
+  /// Repair metadata: the directed edge insertions between parent_epoch
+  /// and this epoch (both directions listed for undirected graphs), and
+  /// how many removals happened. Incremental maintainers repair from
+  /// these seeds when removed_since_parent() == 0 and fall back to full
+  /// recompute otherwise.
+  const std::vector<EdgeUpdate>& inserted_since_parent() const noexcept {
+    return inserted_since_parent_;
+  }
+  std::size_t removed_since_parent() const noexcept {
+    return removed_since_parent_;
+  }
+
+  /// Default-constructed snapshots are only useful to DynamicGraph,
+  /// which fills the fields before publishing; public so make_shared
+  /// can reach it.
+  Snapshot() = default;
+
+ private:
+  friend class DynamicGraph;
+
+  std::uint64_t epoch_ = 0;
+  std::uint64_t parent_epoch_ = 0;
+  std::shared_ptr<const graph::Csr> base_;
+  graph::Csr delta_;               // same vertex count as base; maybe empty
+  std::vector<eid_t> tombstones_;  // sorted base edge slots
+  std::vector<EdgeUpdate> inserted_since_parent_;
+  std::size_t removed_since_parent_ = 0;
+
+  mutable std::once_flag merged_once_;
+  mutable std::shared_ptr<const graph::Csr> merged_;
+  mutable std::once_flag reverse_once_;
+  mutable std::shared_ptr<const graph::Csr> reverse_;
+};
+
+/// The mutable handle. All mutation and snapshot access is serialized by
+/// one internal mutex; published Snapshots are lock-free to read. Batches
+/// are atomic: every update is validated (endpoints in range, no self
+/// loops) before any is applied, so a throwing batch leaves no trace.
+class DynamicGraph {
+ public:
+  explicit DynamicGraph(graph::Csr base, DynamicGraphOptions opts = {});
+
+  /// Applies edge insertions. Already-visible edges (in the pending view)
+  /// are skipped. Returns how many updates actually applied; for
+  /// undirected graphs an edge and its mirror count once.
+  std::size_t AddEdges(std::span<const EdgeUpdate> edges);
+  /// Applies edge removals (weight ignored). Unknown edges are skipped.
+  std::size_t RemoveEdges(std::span<const EdgeUpdate> edges);
+
+  /// Publishes the pending mutations as a new immutable snapshot and
+  /// bumps the epoch; compacts first when the delta has outgrown
+  /// opts.compact_threshold. With nothing pending this is a no-op that
+  /// returns the current epoch with changed == false.
+  CommitInfo Commit();
+
+  /// The latest published snapshot (epoch >= 1; never null).
+  std::shared_ptr<const Snapshot> Current() const;
+  /// A retained snapshot by epoch. Throws gunrock::Error when the epoch
+  /// was never published or has aged out of the retention window.
+  std::shared_ptr<const Snapshot> SnapshotAt(std::uint64_t epoch) const;
+
+  DynamicGraphStats Stats() const;
+  bool undirected() const noexcept { return opts_.undirected; }
+  vid_t num_vertices() const noexcept { return num_vertices_; }
+
+ private:
+  // Pending-view visibility; all callees hold mutex_.
+  bool VisibleLocked(vid_t u, vid_t v) const;
+  std::size_t AddOneLocked(const EdgeUpdate& e);
+  std::size_t RemoveOneLocked(vid_t u, vid_t v);
+  void ValidateBatch(std::span<const EdgeUpdate> edges) const;
+
+  static std::uint64_t PackEdge(vid_t u, vid_t v) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u))
+            << 32) |
+           static_cast<std::uint32_t>(v);
+  }
+
+  DynamicGraphOptions opts_;
+  vid_t num_vertices_ = 0;
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<const graph::Csr> base_;
+  /// Every insert since the last compaction, committed and pending, in
+  /// arrival order; entries killed by a later remove have src == -1. The
+  /// delta CSR of each snapshot is rebuilt from the live entries.
+  std::vector<EdgeUpdate> adds_;
+  std::unordered_map<std::uint64_t, std::size_t> adds_index_;
+  /// Tombstoned base slots since the last compaction (committed and
+  /// pending), kept sorted and unique.
+  std::vector<eid_t> tombs_;
+  /// adds_ entries below this watermark are part of the current snapshot.
+  std::size_t committed_adds_ = 0;
+
+  std::uint64_t epoch_ = 0;
+  std::uint64_t commits_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::size_t pending_inserts_ = 0;
+  std::size_t pending_removes_ = 0;
+
+  std::shared_ptr<const Snapshot> current_;
+  std::deque<std::shared_ptr<const Snapshot>> retained_;
+};
+
+/// True when the sorted tombstone list contains base edge slot e (the
+/// functor-side visibility test for repair waves; O(log t)).
+inline bool IsTombstoned(std::span<const eid_t> tombs, eid_t e) {
+  auto it = std::lower_bound(tombs.begin(), tombs.end(), e);
+  return it != tombs.end() && *it == e;
+}
+
+}  // namespace gunrock::dynamic

@@ -1,0 +1,123 @@
+// Incremental maintenance for the monotone primitives (DESIGN.md §10).
+//
+// After an insert-only commit, a BFS/SSSP labeling can only improve, and
+// only downstream of the new edges — so instead of recomputing from
+// scratch, each maintainer seeds a frontier from the affected endpoints
+// and re-relaxes with the same advance operator the full primitive uses,
+// iterating the snapshot's base and delta CSRs layer by layer (tombstoned
+// base slots are rejected in the functor). CC needs no traversal at all:
+// every inserted cross-component edge unions two labels, and one O(|V|)
+// remap restores the min-vertex-id labeling. Deletions (and epoch gaps —
+// an Update() that skipped a snapshot) break monotonicity, so those fall
+// back to a full recompute on the snapshot's merged view; the oracle
+// tests prove both paths bit-identical to from-scratch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/workspace.hpp"
+#include "dynamic/dynamic_graph.hpp"
+#include "primitives/bfs.hpp"
+#include "primitives/cc.hpp"
+#include "primitives/sssp.hpp"
+
+namespace gunrock::dynamic {
+
+/// How often each maintenance path ran, for tests and CLI reporting.
+struct IncrementalStats {
+  std::uint64_t repairs = 0;
+  std::uint64_t full_recomputes = 0;
+};
+
+namespace detail {
+/// True when `next` can be repaired on top of state computed at epoch
+/// `seen`: it must be the direct successor snapshot and insert-only.
+inline bool Repairable(const Snapshot& next, std::uint64_t seen) {
+  return next.parent_epoch() == seen && next.removed_since_parent() == 0;
+}
+}  // namespace detail
+
+/// Maintains BFS depths (the unique labeling; predecessors are not
+/// maintained — parent trees are not unique) across snapshots.
+class IncrementalBfs {
+ public:
+  IncrementalBfs(std::shared_ptr<const Snapshot> snapshot, vid_t source,
+                 BfsOptions opts = {});
+
+  /// Advances the maintained state to `next`: a no-op for the same epoch,
+  /// a repair wave for a direct insert-only successor, a full recompute
+  /// otherwise.
+  void Update(std::shared_ptr<const Snapshot> next);
+
+  const std::vector<std::int32_t>& depth() const noexcept { return depth_; }
+  std::uint64_t epoch() const noexcept { return snapshot_->epoch(); }
+  const IncrementalStats& stats() const noexcept { return stats_; }
+
+ private:
+  void Recompute();
+  void Repair();
+
+  BfsOptions opts_;
+  vid_t source_;
+  std::shared_ptr<const Snapshot> snapshot_;
+  std::vector<std::int32_t> depth_;
+  IncrementalStats stats_;
+  core::Workspace ws_;
+};
+
+/// Maintains SSSP distances (unique; predecessors are not maintained).
+/// Requires a weighted base graph.
+class IncrementalSssp {
+ public:
+  IncrementalSssp(std::shared_ptr<const Snapshot> snapshot, vid_t source,
+                  SsspOptions opts = {});
+
+  void Update(std::shared_ptr<const Snapshot> next);
+
+  const std::vector<weight_t>& dist() const noexcept { return dist_; }
+  std::uint64_t epoch() const noexcept { return snapshot_->epoch(); }
+  const IncrementalStats& stats() const noexcept { return stats_; }
+
+ private:
+  void Recompute();
+  void Repair();
+
+  SsspOptions opts_;
+  vid_t source_;
+  std::shared_ptr<const Snapshot> snapshot_;
+  std::vector<weight_t> dist_;
+  IncrementalStats stats_;
+  core::Workspace ws_;
+};
+
+/// Maintains connected-component labels (smallest vertex id per
+/// component) and the component count via union-on-insert.
+class IncrementalCc {
+ public:
+  explicit IncrementalCc(std::shared_ptr<const Snapshot> snapshot,
+                         CcOptions opts = {});
+
+  void Update(std::shared_ptr<const Snapshot> next);
+
+  const std::vector<vid_t>& component() const noexcept {
+    return component_;
+  }
+  vid_t num_components() const noexcept { return num_components_; }
+  std::uint64_t epoch() const noexcept { return snapshot_->epoch(); }
+  const IncrementalStats& stats() const noexcept { return stats_; }
+
+ private:
+  void Recompute();
+  void Repair();
+
+  CcOptions opts_;
+  std::shared_ptr<const Snapshot> snapshot_;
+  std::vector<vid_t> component_;
+  vid_t num_components_ = 0;
+  IncrementalStats stats_;
+  core::Workspace ws_;
+};
+
+}  // namespace gunrock::dynamic

@@ -92,6 +92,10 @@ struct CompletionStream::Shared {
 struct QueryHandle::State {
   std::uint64_t id = 0;
   std::shared_ptr<const graph::Csr> graph;
+  /// For dynamic graphs: the epoch-pinned snapshot backing `graph`, held
+  /// so the view (and its lazily built reverse) outlives the run even if
+  /// the epoch ages out of the retention window mid-query.
+  std::shared_ptr<const dynamic::Snapshot> snapshot;
   std::shared_ptr<QueryEngine::GraphAux> aux;
   int scale_free_hint = -1;  // registry-precomputed (see RunControl)
   QueryRequest request;
@@ -252,6 +256,35 @@ void QueryEngine::RegisterGraph(const std::string& name,
   graphs_[name] = std::move(entry);
 }
 
+void QueryEngine::RegisterDynamicGraph(
+    const std::string& name, std::shared_ptr<dynamic::DynamicGraph> graph,
+    const GraphOptions& gopts) {
+  GR_CHECK(graph != nullptr, "RegisterDynamicGraph: null graph");
+  GR_CHECK(gopts.weight > 0.0,
+           "RegisterDynamicGraph: fair-share weight must be > 0");
+  // Same registration-time warming as a static graph, applied to the
+  // initial base view: snapshot views created by later commits warm
+  // their own caches when they materialize.
+  std::shared_ptr<const graph::Csr> base =
+      graph->Current()->View(*pool_);
+  base->edge_sources(*pool_);
+  GraphEntry entry;
+  entry.scale_free = graph::ComputeScaleFreeHint(*base, *pool_);
+  entry.backend = gopts.backend;
+  entry.graph = std::move(base);
+  entry.dynamic = std::move(graph);
+  entry.aux = std::make_shared<GraphAux>();
+  entry.aux->quota = gopts.quota;
+  entry.aux->weight = gopts.weight;
+  std::lock_guard<std::mutex> lock(graphs_mutex_);
+  graphs_[name] = std::move(entry);
+}
+
+std::shared_ptr<dynamic::DynamicGraph> QueryEngine::GetDynamicGraph(
+    const std::string& name) const {
+  return GetEntry(name).dynamic;
+}
+
 bool QueryEngine::HasGraph(const std::string& name) const {
   std::lock_guard<std::mutex> lock(graphs_mutex_);
   return graphs_.count(name) > 0;
@@ -333,7 +366,20 @@ QueryHandle QueryEngine::SubmitImpl(
     std::size_t stream_index) {
   auto state = std::make_shared<QueryHandle::State>();
   GraphEntry entry = GetEntry(graph);  // throws on unknown graph
-  state->graph = std::move(entry.graph);
+  if (entry.dynamic) {
+    // Resolve the pinned view now: the query keeps exactly this
+    // adjacency no matter what commits land while it waits or runs.
+    std::shared_ptr<const dynamic::Snapshot> snap =
+        options.epoch == 0 ? entry.dynamic->Current()
+                           : entry.dynamic->SnapshotAt(options.epoch);
+    state->graph = snap->View(*pool_);
+    state->snapshot = std::move(snap);
+  } else {
+    GR_CHECK(options.epoch == 0,
+             "QueryEngine: graph '" + graph +
+                 "' is static; epoch pinning needs a dynamic graph");
+    state->graph = std::move(entry.graph);
+  }
   state->aux = entry.aux;
   state->scale_free_hint = entry.scale_free ? 1 : 0;
   state->request = std::move(request);
@@ -581,7 +627,11 @@ void QueryEngine::RunSolo(
     // workspace and starting the run.
     const graph::Csr* reverse = nullptr;
     if (NeedsReverseGraph(state->request)) {
-      reverse = &ReverseOf(*state->graph, *state->aux);
+      // Snapshot views carry their own reverse cache (one per epoch);
+      // the registry cache only ever sees the static registration.
+      reverse = state->snapshot
+                    ? state->snapshot->ReverseView(*pool_).get()
+                    : &ReverseOf(*state->graph, *state->aux);
       state->token.Check();
     }
 
@@ -752,8 +802,10 @@ void QueryEngine::RunWave(
     const graph::Csr* ppr_reverse = nullptr;
     if (!is_bfs && std::get<PprQuery>(wave.front()->request).opts.backend ==
                        core::SpmvBackend::kSpmv) {
-      ppr_reverse =
-          &ReverseOf(*wave.front()->graph, *wave.front()->aux);
+      const auto& leader = wave.front();
+      ppr_reverse = leader->snapshot
+                        ? leader->snapshot->ReverseView(*pool_).get()
+                        : &ReverseOf(*leader->graph, *leader->aux);
     }
     WorkspacePool::Lease lease = workspaces_.Acquire();
     RunControl ctl;

@@ -52,6 +52,7 @@
 #include <thread>
 #include <vector>
 
+#include "dynamic/dynamic_graph.hpp"
 #include "engine/query.hpp"
 #include "engine/workspace_pool.hpp"
 #include "graph/csr.hpp"
@@ -145,6 +146,16 @@ struct SubmitOptions {
   /// the merge. kOn opts a query in regardless of entry path or topology.
   enum class Coalesce { kDefault, kOn, kOff };
   Coalesce coalesce = Coalesce::kDefault;
+  /// Epoch pinning for dynamic graphs: 0 (default) resolves to the
+  /// latest committed snapshot at submit time; a nonzero value pins the
+  /// query to that exact epoch's view, so a reader can correlate results
+  /// across a mutation storm. Submit throws for an epoch outside the
+  /// graph's retention window, and for any nonzero epoch on a static
+  /// registration. The snapshot is resolved once at admission — every
+  /// query (and every lane of a coalesced wave, which only merges
+  /// pointer-identical views) sees one consistent adjacency for its
+  /// whole run, no matter what commits land meanwhile.
+  std::uint64_t epoch = 0;
 };
 
 /// Tag selecting the streaming SubmitAll overload:
@@ -262,6 +273,21 @@ class QueryEngine {
   bool HasGraph(const std::string& name) const;
   /// Throws gunrock::Error for an unknown name.
   std::shared_ptr<const graph::Csr> GetGraph(const std::string& name) const;
+
+  /// Registers a mutable graph under `name`. Queries resolve a snapshot
+  /// at submit time (SubmitOptions::epoch pins an older one); mutations
+  /// go through the DynamicGraph handle itself — the engine only ever
+  /// sees immutable snapshot views, so the admission, coalescing and
+  /// quota machinery is unchanged. The registry-precomputed scale-free
+  /// hint comes from the base at registration time (mutation batches are
+  /// small relative to the base, so the topology class is stable).
+  void RegisterDynamicGraph(const std::string& name,
+                            std::shared_ptr<dynamic::DynamicGraph> graph,
+                            const GraphOptions& gopts = {});
+  /// The mutable handle registered under `name`; null when the name is
+  /// bound to a static graph. Throws gunrock::Error for an unknown name.
+  std::shared_ptr<dynamic::DynamicGraph> GetDynamicGraph(
+      const std::string& name) const;
 
   /// Admits one query against a registered graph. Throws gunrock::Error
   /// for an unknown graph or a shut-down engine; applies the backpressure
@@ -407,6 +433,9 @@ class QueryEngine {
 
   struct GraphEntry {
     std::shared_ptr<const graph::Csr> graph;
+    /// Non-null for RegisterDynamicGraph entries; queries resolve their
+    /// snapshot view from it at submit time.
+    std::shared_ptr<dynamic::DynamicGraph> dynamic;
     bool scale_free = false;  // precomputed ComputeScaleFreeHint
     core::SpmvBackend backend = core::SpmvBackend::kAuto;  // GraphOptions
     std::shared_ptr<GraphAux> aux;

@@ -160,6 +160,12 @@ std::optional<GraphConfig> ParseGraphSpec(std::string_view text,
         return std::nullopt;
       }
       out.quota = static_cast<std::size_t>(*q);
+    } else if (key == "dynamic") {
+      std::string why;
+      if (!ParseOnOff(value, "dynamic", &out.dynamic, &why)) {
+        FailConfig(error, "graph '" + out.name + "': " + why);
+        return std::nullopt;
+      }
     } else {
       out.params[key] = value;
     }
@@ -191,6 +197,10 @@ bool ApplyDirective(const std::string& key, const std::string& value,
   }
   if (key == "port_file") {
     config->port_file = value;
+    return true;
+  }
+  if (key == "pid_file") {
+    config->pid_file = value;
     return true;
   }
   if (key == "inflight") {

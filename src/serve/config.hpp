@@ -38,6 +38,9 @@ struct GraphConfig {
   std::map<std::string, std::string> params;
   double weight = 1.0;    ///< fair-share weight (engine GraphOptions)
   std::size_t quota = 0;  ///< per-graph in-flight cap; 0 = unlimited
+  /// `dynamic=on`: register through the dynamic-graph subsystem so the
+  /// serve protocol's add_edges/remove_edges/commit ops work on it.
+  bool dynamic = false;
 };
 
 struct DaemonConfig {
@@ -46,6 +49,10 @@ struct DaemonConfig {
   /// When non-empty, the bound port is written here once listening —
   /// the handshake scripts and tests use to find an ephemeral port.
   std::string port_file;
+  /// When non-empty, the daemon pid is written here once listening and
+  /// the file is removed on clean Stop() — for init scripts and the
+  /// smoke test's liveness checks.
+  std::string pid_file;
   unsigned inflight = 4;      ///< engine runner threads
   std::size_t queue = 64;     ///< engine admission-queue capacity
   bool reject = false;        ///< kReject backpressure instead of kBlock

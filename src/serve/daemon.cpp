@@ -1,5 +1,7 @@
 #include "serve/daemon.hpp"
 
+#include <unistd.h>
+
 #include <cinttypes>
 #include <condition_variable>
 #include <cstdio>
@@ -95,6 +97,26 @@ void Daemon::AddGraph(const std::string& name, graph::Csr graph,
   config_.graphs.push_back(std::move(info));
 }
 
+void Daemon::AddDynamicGraph(const std::string& name, graph::Csr graph,
+                             const engine::GraphOptions& gopts,
+                             const dynamic::DynamicGraphOptions& dopts) {
+  GR_CHECK(!listener_.listening(), "AddDynamicGraph must precede Start()");
+  const auto vertices = graph.num_vertices();
+  const auto edges = graph.num_edges();
+  auto dyn = std::make_shared<dynamic::DynamicGraph>(std::move(graph), dopts);
+  engine_.RegisterDynamicGraph(name, std::move(dyn), gopts);
+  GraphConfig info;
+  info.name = name;
+  info.spec = "(pre-built)";
+  info.kind = "prebuilt";
+  info.weight = gopts.weight;
+  info.quota = gopts.quota;
+  info.dynamic = true;
+  info.params["vertices"] = std::to_string(vertices);
+  info.params["edges"] = std::to_string(edges);
+  config_.graphs.push_back(std::move(info));
+}
+
 bool Daemon::Start(std::string* error) {
   // Materialize the config's graph specs (prebuilt entries are already
   // registered by AddGraph).
@@ -112,8 +134,15 @@ bool Daemon::Start(std::string* error) {
               " vertices=" + spec.params["vertices"] +
               " edges=" + spec.params["edges"] +
               " weight=" + std::to_string(spec.weight) +
-              " quota=" + std::to_string(spec.quota));
-      engine_.RegisterGraph(spec.name, std::move(csr), gopts);
+              " quota=" + std::to_string(spec.quota) +
+              " dynamic=" + (spec.dynamic ? "on" : "off"));
+      if (spec.dynamic) {
+        engine_.RegisterDynamicGraph(
+            spec.name, std::make_shared<dynamic::DynamicGraph>(std::move(csr)),
+            gopts);
+      } else {
+        engine_.RegisterGraph(spec.name, std::move(csr), gopts);
+      }
     } catch (const std::exception& e) {
       if (error) *error = e.what();
       return false;
@@ -127,6 +156,19 @@ bool Daemon::Start(std::string* error) {
 
   if (!listener_.Bind(config_.host, config_.port, error)) return false;
 
+  // Pid file first: the port file is the "ready" handshake for scripts,
+  // so by the time it appears the pid file must already exist.
+  if (!config_.pid_file.empty()) {
+    std::ofstream out(config_.pid_file, std::ios::trunc);
+    out << ::getpid() << "\n";
+    if (!out) {
+      if (error) {
+        *error = "cannot write pid file '" + config_.pid_file + "'";
+      }
+      listener_.Close();
+      return false;
+    }
+  }
   if (!config_.port_file.empty()) {
     std::ofstream out(config_.port_file, std::ios::trunc);
     out << listener_.port() << "\n";
@@ -254,6 +296,7 @@ void Daemon::HandleLine(const std::shared_ptr<Connection>& conn,
         o["name"] = Json(g.name);
         o["weight"] = Json(g.weight);
         o["quota"] = Json(static_cast<std::int64_t>(g.quota));
+        o["dynamic"] = Json(g.dynamic);
         const auto v = g.params.find("vertices");
         const auto e = g.params.find("edges");
         if (v != g.params.end()) o["vertices"] = Json(v->second);
@@ -286,6 +329,57 @@ void Daemon::HandleLine(const std::shared_ptr<Connection>& conn,
       conn->WriteLine(Json(std::move(o)).Dump());
       return;
     }
+    case WireRequest::Op::kAddEdges:
+    case WireRequest::Op::kRemoveEdges: {
+      // Mutations are applied inline by the reader (they are cheap buffer
+      // appends) and answered immediately; running queries are unaffected
+      // because they hold their snapshot from admission time.
+      try {
+        std::shared_ptr<dynamic::DynamicGraph> dyn =
+            engine_.GetDynamicGraph(request->graph);
+        GR_CHECK(dyn != nullptr,
+                 "graph '" + request->graph + "' is not dynamic");
+        const std::size_t applied =
+            request->op == WireRequest::Op::kAddEdges
+                ? dyn->AddEdges(request->edges)
+                : dyn->RemoveEdges(request->edges);
+        Json::Object o;
+        o["op"] = Json("mutated");
+        if (!request->tag.is_null()) o["tag"] = request->tag;
+        o["applied"] = Json(static_cast<std::int64_t>(applied));
+        o["ignored"] =
+            Json(static_cast<std::int64_t>(request->edges.size() - applied));
+        conn->WriteLine(Json(std::move(o)).Dump());
+      } catch (const std::exception& e) {
+        conn->WriteLine(EncodeError(request->tag, e.what()).Dump());
+      }
+      return;
+    }
+    case WireRequest::Op::kCommit: {
+      try {
+        std::shared_ptr<dynamic::DynamicGraph> dyn =
+            engine_.GetDynamicGraph(request->graph);
+        GR_CHECK(dyn != nullptr,
+                 "graph '" + request->graph + "' is not dynamic");
+        const dynamic::CommitInfo info = dyn->Commit();
+        Log("commit", "graph=" + request->graph +
+                          " epoch=" + std::to_string(info.epoch) +
+                          " changed=" + (info.changed ? "1" : "0") +
+                          " compacted=" + (info.compacted ? "1" : "0"));
+        Json::Object o;
+        o["op"] = Json("committed");
+        if (!request->tag.is_null()) o["tag"] = request->tag;
+        o["epoch"] = Json(info.epoch);
+        o["changed"] = Json(info.changed);
+        o["compacted"] = Json(info.compacted);
+        o["base_edges"] = Json(static_cast<std::int64_t>(info.base_edges));
+        o["delta_edges"] = Json(static_cast<std::int64_t>(info.delta_edges));
+        conn->WriteLine(Json(std::move(o)).Dump());
+      } catch (const std::exception& e) {
+        conn->WriteLine(EncodeError(request->tag, e.what()).Dump());
+      }
+      return;
+    }
     case WireRequest::Op::kQuery:
       break;
   }
@@ -294,6 +388,7 @@ void Daemon::HandleLine(const std::shared_ptr<Connection>& conn,
   options.deadline_ms = request->deadline_ms > 0.0
                             ? request->deadline_ms
                             : config_.default_deadline_ms;
+  options.epoch = request->epoch;
 
   // The reader is this stream's only submitter, so the next attach index
   // is exactly meta.size(); record metadata first so the writer can never
@@ -372,6 +467,34 @@ std::string Daemon::StatsText() const {
   addu("workspace_recycled", static_cast<std::uint64_t>(w.recycled));
   addu("workspace_outstanding", static_cast<std::uint64_t>(w.outstanding));
 
+  // Dynamic-graph gauges, one line set per registered dynamic graph.
+  for (const GraphConfig& g : config_.graphs) {
+    if (!g.dynamic) continue;
+    std::shared_ptr<dynamic::DynamicGraph> dyn;
+    try {
+      dyn = engine_.GetDynamicGraph(g.name);
+    } catch (const std::exception&) {
+      continue;  // registration failed at startup; nothing to report
+    }
+    if (!dyn) continue;
+    const dynamic::DynamicGraphStats ds = dyn->Stats();
+    const auto gauge = [&](const char* name, std::uint64_t value) {
+      std::snprintf(buf, sizeof buf, "%s{graph=\"%s\"} %" PRIu64 "\n", name,
+                    g.name.c_str(), value);
+      out += buf;
+    };
+    gauge("dynamic_epoch", ds.epoch);
+    gauge("dynamic_commits", ds.commits);
+    gauge("dynamic_compactions", ds.compactions);
+    gauge("dynamic_base_edges", static_cast<std::uint64_t>(ds.base_edges));
+    gauge("dynamic_delta_edges", static_cast<std::uint64_t>(ds.delta_edges));
+    gauge("dynamic_tombstones", static_cast<std::uint64_t>(ds.tombstones));
+    gauge("dynamic_pending_inserts",
+          static_cast<std::uint64_t>(ds.pending_inserts));
+    gauge("dynamic_pending_removes",
+          static_cast<std::uint64_t>(ds.pending_removes));
+  }
+
   for (int i = 0; i < kNumFamilies; ++i) {
     const LatencyHistogram::Snapshot snap = family_histograms_[i].Take();
     if (snap.total == 0) continue;
@@ -438,6 +561,7 @@ void Daemon::Stop() {
     if (conn->reader.joinable()) conn->reader.join();
   }
   finished_.clear();
+  if (!config_.pid_file.empty()) std::remove(config_.pid_file.c_str());
   stopped_ = true;
   Log("drain", "phase=done ms=" + std::to_string(MsSince(t0)));
 }

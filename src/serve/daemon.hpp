@@ -61,6 +61,13 @@ class Daemon {
   void AddGraph(const std::string& name, graph::Csr graph,
                 const engine::GraphOptions& gopts = {});
 
+  /// Registers a pre-built graph as dynamic: the serve protocol's
+  /// add_edges/remove_edges/commit ops mutate it and queries may pin
+  /// epochs. Call before Start().
+  void AddDynamicGraph(const std::string& name, graph::Csr graph,
+                       const engine::GraphOptions& gopts = {},
+                       const dynamic::DynamicGraphOptions& dopts = {});
+
   /// Builds the config's graphs, binds the listener and starts serving.
   /// False (with `error`) on a bad graph spec or bind failure.
   bool Start(std::string* error);

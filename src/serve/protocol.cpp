@@ -585,16 +585,76 @@ std::optional<WireRequest> DecodeRequest(std::string_view line,
                              : WireRequest::Op::kGraphs;
     return out;
   }
+  if (op == "add_edges" || op == "remove_edges" || op == "commit") {
+    const bool needs_edges = op != "commit";
+    for (const auto& [key, value] : parsed->as_object()) {
+      (void)value;
+      if (key == "op" || key == "tag" || key == "graph" ||
+          (needs_edges && key == "edges")) {
+        continue;
+      }
+      FailDecode(error, "unknown field '" + key + "' for op '" + op + "'");
+      return std::nullopt;
+    }
+    out.op = op == "add_edges"      ? WireRequest::Op::kAddEdges
+             : op == "remove_edges" ? WireRequest::Op::kRemoveEdges
+                                    : WireRequest::Op::kCommit;
+    out.graph = default_graph;
+    if (const Json* v = parsed->Find("graph")) {
+      if (!v->is_string()) {
+        FailDecode(error, "'graph' must be a string");
+        return std::nullopt;
+      }
+      out.graph = v->as_string();
+    }
+    if (out.graph.empty()) {
+      FailDecode(error, "missing required field 'graph'");
+      return std::nullopt;
+    }
+    if (needs_edges) {
+      const Json* edges = parsed->Find("edges");
+      if (!edges || !edges->is_array() || edges->as_array().empty()) {
+        FailDecode(error, "'edges' must be a non-empty array");
+        return std::nullopt;
+      }
+      out.edges.reserve(edges->as_array().size());
+      for (const Json& item : edges->as_array()) {
+        if (!item.is_array() || item.as_array().size() < 2 ||
+            item.as_array().size() > 3) {
+          FailDecode(error,
+                     "each edge must be [src, dst] or [src, dst, weight]");
+          return std::nullopt;
+        }
+        const Json::Array& triple = item.as_array();
+        long long src = 0, dst = 0;
+        if (!GetInt(triple[0], "edges", INT32_MIN, INT32_MAX, &src, error) ||
+            !GetInt(triple[1], "edges", INT32_MIN, INT32_MAX, &dst, error)) {
+          return std::nullopt;
+        }
+        dynamic::EdgeUpdate up;
+        up.src = static_cast<vid_t>(src);
+        up.dst = static_cast<vid_t>(dst);
+        if (triple.size() == 3) {
+          double w = 0.0;
+          if (!GetFinite(triple[2], "edges", &w, error)) return std::nullopt;
+          up.weight = static_cast<weight_t>(w);
+        }
+        out.edges.push_back(up);
+      }
+    }
+    return out;
+  }
   if (op != "query") {
     FailDecode(error, "unknown op '" + op +
-                          "' (expected query, ping, stats, graphs)");
+                          "' (expected query, ping, stats, graphs, "
+                          "add_edges, remove_edges, commit)");
     return std::nullopt;
   }
 
   out.op = WireRequest::Op::kQuery;
   static const std::set<std::string> kQueryKeys = {
       "op",   "graph",  "kind", "source",      "seeds",
-      "opts", "values", "tag",  "deadline_ms",
+      "opts", "values", "tag",  "deadline_ms", "epoch",
   };
   for (const auto& [key, value] : parsed->as_object()) {
     (void)value;
@@ -654,6 +714,12 @@ std::optional<WireRequest> DecodeRequest(std::string_view line,
       return std::nullopt;
     }
     out.deadline_ms = d;
+  }
+  if (const Json* v = parsed->Find("epoch")) {
+    // Epochs beyond 2^53 don't survive the double-typed wire anyway.
+    long long e = 0;
+    if (!GetInt(*v, "epoch", 0, 1LL << 53, &e, error)) return std::nullopt;
+    out.epoch = static_cast<std::uint64_t>(e);
   }
   return out;
 }

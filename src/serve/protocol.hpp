@@ -14,7 +14,22 @@
 // malformed value is a per-request error response, never a dropped or
 // misparsed field. `tag` is any JSON value, echoed verbatim in the
 // response so clients can correlate out-of-order completions (responses
-// stream in finish order, not submission order).
+// stream in finish order, not submission order). Queries against a
+// dynamic graph may add `"epoch":N` to pin a retained snapshot (0 or
+// absent = latest).
+//
+// Mutation ops (dynamic graphs only; answered inline by the reader):
+//
+//   {"op":"add_edges","graph":"g","edges":[[0,1],[1,2,0.5]]}
+//   {"op":"remove_edges","graph":"g","edges":[[0,1]]}
+//   {"op":"commit","graph":"g"}
+//
+// Each edge is [src,dst] or [src,dst,weight]. Responses:
+//   {"op":"mutated","tag":...,"applied":A,"ignored":I}
+//   {"op":"committed","tag":...,"epoch":E,"base_edges":B,
+//    "delta_edges":D,"compacted":false}
+// Targeting a static graph, malformed edges, out-of-range endpoints or
+// self loops are per-request errors; a failed batch applies nothing.
 //
 // Responses:
 //   {"op":"result","id":12,"tag":7,"kind":"bfs","status":"done",
@@ -32,10 +47,13 @@
 // closes — enough for curl/wget one-shots).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "dynamic/dynamic_graph.hpp"
 #include "engine/query.hpp"
 #include "serve/json.hpp"
 
@@ -43,7 +61,8 @@ namespace gunrock::serve {
 
 /// One decoded wire request.
 struct WireRequest {
-  enum class Op { kQuery, kPing, kStats, kGraphs };
+  enum class Op { kQuery, kPing, kStats, kGraphs, kAddEdges, kRemoveEdges,
+                  kCommit };
   Op op = Op::kQuery;
   Json tag;  ///< echoed verbatim in every response to this request
 
@@ -52,6 +71,10 @@ struct WireRequest {
   engine::QueryRequest request;
   bool include_values = true;  ///< ship result arrays, not just summaries
   double deadline_ms = 0.0;    ///< 0 = daemon default
+  std::uint64_t epoch = 0;     ///< snapshot pin for dynamic graphs; 0 = latest
+
+  // kAddEdges / kRemoveEdges payload (graph reused from above):
+  std::vector<dynamic::EdgeUpdate> edges;
 };
 
 /// Parses one request line. `default_graph` fills an omitted "graph"

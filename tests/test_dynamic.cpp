@@ -1,0 +1,575 @@
+// Dynamic-graph subsystem: epoch-versioned snapshots, delta/tombstone
+// visibility, compaction, retention, snapshot isolation — and the oracle
+// proofs that incrementally maintained BFS/SSSP/CC labels stay
+// bit-identical to from-scratch runs across insert bursts, delete
+// fallbacks and mixed batches, in-process and through the engine's
+// epoch pinning and the daemon's mutation wire ops.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/oracle.hpp"
+#include "common/topologies.hpp"
+#include "dynamic/dynamic_graph.hpp"
+#include "dynamic/incremental.hpp"
+#include "engine/query_engine.hpp"
+#include "gunrock.hpp"
+#include "serve/daemon.hpp"
+#include "serve/json.hpp"
+#include "serve/listener.hpp"
+
+namespace gunrock {
+namespace {
+
+using dynamic::DynamicGraph;
+using dynamic::DynamicGraphOptions;
+using dynamic::EdgeUpdate;
+using test::ExpectSameDistances;
+using test::ExpectSameLabels;
+
+par::ThreadPool& Pool() { return par::ThreadPool::Global(); }
+
+/// Unweighted path 0-1-2-...-(n-1), symmetrized.
+graph::Csr PathGraph(vid_t n) {
+  graph::Coo coo;
+  coo.num_vertices = n;
+  for (vid_t v = 0; v + 1 < n; ++v) coo.PushEdge(v, v + 1);
+  return test::Undirected(std::move(coo));
+}
+
+/// Splits a symmetric corpus graph into a thinned base plus the held-out
+/// undirected edges (every `stride`-th one), weights preserved — the
+/// held-out set re-inserted through DynamicGraph must reproduce the
+/// original graph's labelings exactly.
+struct SplitGraph {
+  graph::Csr base;
+  std::vector<EdgeUpdate> held_out;
+};
+
+SplitGraph SplitHeldOut(const graph::Csr& g, int stride) {
+  graph::Coo coo;
+  coo.num_vertices = g.num_vertices();
+  SplitGraph out;
+  eid_t undirected_index = 0;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    for (eid_t e = g.row_begin(u); e < g.row_end(u); ++e) {
+      const vid_t v = g.edge_dest(e);
+      if (u >= v) continue;  // one slot per undirected edge; no self loops
+      const weight_t w = g.has_weights() ? g.edge_weight(e) : 1;
+      if (undirected_index++ % stride == 0) {
+        out.held_out.push_back({u, v, w});
+      } else if (g.has_weights()) {
+        coo.PushEdge(u, v, w);
+      } else {
+        coo.PushEdge(u, v);
+      }
+    }
+  }
+  graph::BuildOptions build;
+  build.symmetrize = true;
+  out.base = graph::BuildCsr(coo, build, Pool());
+  return out;
+}
+
+// --- DynamicGraph mechanics -------------------------------------------------
+
+TEST(DynamicGraphTest, AddRemoveCommitLifecycle) {
+  DynamicGraph dyn(PathGraph(6));
+  const eid_t base_edges = dyn.Current()->num_edges();
+  EXPECT_EQ(dyn.Current()->epoch(), 1u);
+
+  const EdgeUpdate shortcut{0, 5, 1};
+  EXPECT_EQ(dyn.AddEdges({&shortcut, 1}), 1u);
+  EXPECT_EQ(dyn.AddEdges({&shortcut, 1}), 0u);  // already pending-visible
+  const auto info = dyn.Commit();
+  EXPECT_TRUE(info.changed);
+  EXPECT_EQ(info.epoch, 2u);
+  EXPECT_EQ(dyn.Current()->num_edges(), base_edges + 2);  // mirrored
+
+  // Committing with nothing pending is a published no-op.
+  const auto noop = dyn.Commit();
+  EXPECT_FALSE(noop.changed);
+  EXPECT_EQ(noop.epoch, 2u);
+  EXPECT_EQ(dyn.Current()->epoch(), 2u);
+
+  // Removing an unknown edge applies nothing; removing the inserted edge
+  // restores the base count.
+  const EdgeUpdate unknown{1, 4, 1};
+  EXPECT_EQ(dyn.RemoveEdges({&unknown, 1}), 0u);
+  EXPECT_EQ(dyn.RemoveEdges({&shortcut, 1}), 1u);
+  EXPECT_TRUE(dyn.Commit().changed);
+  EXPECT_EQ(dyn.Current()->epoch(), 3u);
+  EXPECT_EQ(dyn.Current()->num_edges(), base_edges);
+}
+
+TEST(DynamicGraphTest, BatchValidationIsAtomic) {
+  DynamicGraph dyn(PathGraph(6));
+  // One good update, one bad — nothing may apply.
+  const std::vector<EdgeUpdate> out_of_range = {{0, 3, 1}, {0, 99, 1}};
+  EXPECT_THROW(dyn.AddEdges(out_of_range), Error);
+  const std::vector<EdgeUpdate> self_loop = {{0, 3, 1}, {2, 2, 1}};
+  EXPECT_THROW(dyn.AddEdges(self_loop), Error);
+  const auto stats = dyn.Stats();
+  EXPECT_EQ(stats.pending_inserts, 0);
+  EXPECT_EQ(stats.pending_removes, 0);
+  EXPECT_FALSE(dyn.Commit().changed);
+}
+
+TEST(DynamicGraphTest, EmptyDeltaViewIsTheBaseCsrItself) {
+  DynamicGraph dyn(PathGraph(8));
+  const auto snap = dyn.Current();
+  ASSERT_TRUE(snap->delta_empty());
+  EXPECT_EQ(snap->View(Pool()).get(), &snap->base());
+
+  const EdgeUpdate e{0, 7, 1};
+  dyn.AddEdges({&e, 1});
+  dyn.Commit();
+  const auto next = dyn.Current();
+  ASSERT_FALSE(next->delta_empty());
+  EXPECT_NE(next->View(Pool()).get(), &next->base());
+  EXPECT_EQ(next->View(Pool())->num_edges(), next->num_edges());
+}
+
+TEST(DynamicGraphTest, NetZeroBatchCommitsNothing) {
+  DynamicGraph dyn(PathGraph(6));
+  const EdgeUpdate e{0, 4, 1};
+  EXPECT_EQ(dyn.AddEdges({&e, 1}), 1u);
+  EXPECT_EQ(dyn.RemoveEdges({&e, 1}), 1u);  // kills the pending insert
+  EXPECT_FALSE(dyn.Commit().changed);
+  EXPECT_EQ(dyn.Current()->epoch(), 1u);
+}
+
+TEST(DynamicGraphTest, CommitCompactsPastThreshold) {
+  DynamicGraphOptions opts;
+  opts.compact_threshold = 0.05;
+  DynamicGraph dyn(PathGraph(16), opts);
+  std::vector<EdgeUpdate> batch;
+  for (vid_t v = 2; v < 10; ++v) batch.push_back({0, v, 1});
+  dyn.AddEdges(batch);
+  const auto info = dyn.Commit();
+  EXPECT_TRUE(info.compacted);
+  EXPECT_EQ(info.delta_edges, 0);
+  const auto stats = dyn.Stats();
+  EXPECT_EQ(stats.compactions, 1u);
+  EXPECT_EQ(stats.tombstones, 0);
+  // The compacted snapshot serves the merged adjacency as its base.
+  const auto snap = dyn.Current();
+  EXPECT_TRUE(snap->delta_empty());
+  EXPECT_EQ(snap->View(Pool()).get(), &snap->base());
+  EXPECT_EQ(snap->num_edges(), 15 * 2 + 8 * 2);
+  // Compaction preserves repair eligibility: the insert metadata still
+  // rides on the snapshot.
+  EXPECT_EQ(snap->inserted_since_parent().size(), 16u);
+  EXPECT_EQ(snap->removed_since_parent(), 0u);
+}
+
+TEST(DynamicGraphTest, RetentionWindowAgesOutOldEpochs) {
+  DynamicGraphOptions opts;
+  opts.retain_snapshots = 2;
+  DynamicGraph dyn(PathGraph(32), opts);
+  for (vid_t v = 2; v <= 4; ++v) {
+    const EdgeUpdate e{0, v, 1};
+    dyn.AddEdges({&e, 1});
+    dyn.Commit();
+  }
+  EXPECT_EQ(dyn.Current()->epoch(), 4u);
+  EXPECT_EQ(dyn.SnapshotAt(4)->epoch(), 4u);
+  EXPECT_EQ(dyn.SnapshotAt(3)->epoch(), 3u);
+  EXPECT_THROW(dyn.SnapshotAt(2), Error);
+  EXPECT_THROW(dyn.SnapshotAt(1), Error);
+  EXPECT_THROW(dyn.SnapshotAt(99), Error);
+}
+
+TEST(DynamicGraphTest, SnapshotsAreIsolatedFromLaterMutations) {
+  graph::Csr g = PathGraph(24);
+  DynamicGraph dyn(std::move(g));
+  const auto before = dyn.Current();
+  const auto depth_before = Bfs(*before->View(Pool()), 0).depth;
+  const eid_t edges_before = before->num_edges();
+
+  const EdgeUpdate shortcut{0, 23, 1};
+  dyn.AddEdges({&shortcut, 1});
+  dyn.Commit();
+
+  // The old snapshot still answers exactly as it did pre-mutation.
+  EXPECT_EQ(before->num_edges(), edges_before);
+  ExpectSameLabels(depth_before, Bfs(*before->View(Pool()), 0).depth);
+  // The new one sees the shortcut.
+  EXPECT_EQ(Bfs(*dyn.Current()->View(Pool()), 0).depth[23], 1);
+  EXPECT_EQ(depth_before[23], 23);
+}
+
+// --- incremental == from-scratch across the corpus --------------------------
+
+std::vector<test::TopologyCase> Corpus() {
+  return test::CorpusBuilder()
+      .Weighted(true)
+      .Karate()
+      .Path(64)
+      .Grid(8, 8)
+      .BinaryTree(6)
+      .Rmat(8, 8)
+      .Disconnected(3, 16)
+      .Build();
+}
+
+/// Checks all three maintainers against from-scratch runs on `snap`.
+void ExpectMatchesFromScratch(const dynamic::Snapshot& snap, vid_t source,
+                              const dynamic::IncrementalBfs& bfs,
+                              const dynamic::IncrementalSssp& sssp,
+                              const dynamic::IncrementalCc& cc) {
+  const auto view = snap.View(Pool());
+  BfsOptions bfs_opts;
+  bfs_opts.compute_preds = false;
+  ExpectSameLabels(Bfs(*view, source, bfs_opts).depth, bfs.depth());
+  SsspOptions sssp_opts;
+  sssp_opts.compute_preds = false;
+  ExpectSameDistances(Sssp(*view, source, sssp_opts).dist, sssp.dist());
+  const CcResult oracle_cc = Cc(*view);
+  ExpectSameLabels(oracle_cc.component, cc.component());
+  EXPECT_EQ(oracle_cc.num_components, cc.num_components());
+}
+
+TEST(IncrementalOracleTest, InsertBurstsRepairToFromScratchLabels) {
+  for (const auto& tc : Corpus()) {
+    SCOPED_TRACE(tc.name);
+    SplitGraph split = SplitHeldOut(tc.graph, /*stride=*/4);
+    ASSERT_FALSE(split.held_out.empty());
+    DynamicGraph dyn(std::move(split.base));
+
+    dynamic::IncrementalBfs bfs(dyn.Current(), tc.source);
+    dynamic::IncrementalSssp sssp(dyn.Current(), tc.source);
+    dynamic::IncrementalCc cc(dyn.Current());
+    ExpectMatchesFromScratch(*dyn.Current(), tc.source, bfs, sssp, cc);
+
+    // Re-insert the held-out edges in bursts, one commit per burst.
+    const std::size_t burst =
+        std::max<std::size_t>(1, split.held_out.size() / 3);
+    std::uint64_t commits = 0;
+    for (std::size_t i = 0; i < split.held_out.size(); i += burst) {
+      const std::size_t count =
+          std::min(burst, split.held_out.size() - i);
+      dyn.AddEdges({split.held_out.data() + i, count});
+      if (!dyn.Commit().changed) continue;
+      ++commits;
+      bfs.Update(dyn.Current());
+      sssp.Update(dyn.Current());
+      cc.Update(dyn.Current());
+      ExpectMatchesFromScratch(*dyn.Current(), tc.source, bfs, sssp, cc);
+    }
+    // Every commit was insert-only: repaired, never recomputed (beyond
+    // the constructors' initial full runs).
+    EXPECT_EQ(bfs.stats().repairs, commits);
+    EXPECT_EQ(bfs.stats().full_recomputes, 1u);
+    EXPECT_EQ(sssp.stats().repairs, commits);
+    EXPECT_EQ(cc.stats().repairs, commits);
+  }
+}
+
+TEST(IncrementalOracleTest, DeletesAndMixedBatchesFallBackCorrectly) {
+  for (const auto& tc : Corpus()) {
+    SCOPED_TRACE(tc.name);
+    SplitGraph split = SplitHeldOut(tc.graph, /*stride=*/5);
+    ASSERT_FALSE(split.held_out.empty());
+    DynamicGraph dyn(std::move(split.base));
+    dynamic::IncrementalBfs bfs(dyn.Current(), tc.source);
+    dynamic::IncrementalSssp sssp(dyn.Current(), tc.source);
+    dynamic::IncrementalCc cc(dyn.Current());
+
+    // Delete-only epoch: pick survivors out of the current base.
+    std::vector<EdgeUpdate> removals;
+    const graph::Csr& base = dyn.Current()->base();
+    eid_t seen = 0;
+    for (vid_t u = 0; u < base.num_vertices() && removals.size() < 4; ++u) {
+      for (eid_t e = base.row_begin(u); e < base.row_end(u); ++e) {
+        const vid_t v = base.edge_dest(e);
+        if (u < v && seen++ % 7 == 0) removals.push_back({u, v, 1});
+      }
+    }
+    ASSERT_FALSE(removals.empty());
+    EXPECT_GT(dyn.RemoveEdges(removals), 0u);
+    ASSERT_TRUE(dyn.Commit().changed);
+    bfs.Update(dyn.Current());
+    sssp.Update(dyn.Current());
+    cc.Update(dyn.Current());
+    ExpectMatchesFromScratch(*dyn.Current(), tc.source, bfs, sssp, cc);
+    EXPECT_EQ(bfs.stats().full_recomputes, 2u);  // ctor + delete fallback
+    EXPECT_EQ(bfs.stats().repairs, 0u);
+
+    // Mixed epoch: inserts and removals together also force recompute.
+    std::vector<EdgeUpdate> inserts(split.held_out.begin(),
+                                    split.held_out.begin() + 1);
+    dyn.AddEdges(inserts);
+    dyn.RemoveEdges({removals.data() + removals.size() - 1, 1});
+    if (dyn.Commit().changed) {
+      bfs.Update(dyn.Current());
+      sssp.Update(dyn.Current());
+      cc.Update(dyn.Current());
+      ExpectMatchesFromScratch(*dyn.Current(), tc.source, bfs, sssp, cc);
+    }
+
+    // Skipping an epoch (stale maintainer) also falls back — and still
+    // converges to from-scratch.
+    dyn.AddEdges({split.held_out.data() + 1, 1});
+    dyn.Commit();
+    if (split.held_out.size() > 2) {
+      dyn.AddEdges({split.held_out.data() + 2, 1});
+      dyn.Commit();
+    }
+    bfs.Update(dyn.Current());  // parent gap: recompute path
+    sssp.Update(dyn.Current());
+    cc.Update(dyn.Current());
+    ExpectMatchesFromScratch(*dyn.Current(), tc.source, bfs, sssp, cc);
+  }
+}
+
+TEST(IncrementalOracleTest, RepairsStayCorrectAcrossCompaction) {
+  DynamicGraphOptions opts;
+  opts.compact_threshold = 0.02;  // compact on nearly every commit
+  auto cases = test::CorpusBuilder().Weighted(true).Rmat(8, 4).Build();
+  ASSERT_EQ(cases.size(), 1u);
+  SplitGraph split = SplitHeldOut(cases[0].graph, /*stride=*/3);
+  DynamicGraph dyn(std::move(split.base), opts);
+  dynamic::IncrementalBfs bfs(dyn.Current(), cases[0].source);
+  dynamic::IncrementalSssp sssp(dyn.Current(), cases[0].source);
+  dynamic::IncrementalCc cc(dyn.Current());
+  for (std::size_t i = 0; i < split.held_out.size(); i += 8) {
+    const std::size_t count = std::min<std::size_t>(
+        8, split.held_out.size() - i);
+    dyn.AddEdges({split.held_out.data() + i, count});
+    if (!dyn.Commit().changed) continue;
+    bfs.Update(dyn.Current());
+    sssp.Update(dyn.Current());
+    cc.Update(dyn.Current());
+    ExpectMatchesFromScratch(*dyn.Current(), cases[0].source, bfs, sssp,
+                             cc);
+  }
+  EXPECT_GT(dyn.Stats().compactions, 0u);
+  EXPECT_EQ(bfs.stats().full_recomputes, 1u);  // compaction != fallback
+}
+
+// --- engine integration: epoch pinning and concurrent queries ---------------
+
+graph::Csr EngineGraph() {
+  graph::RmatParams p;
+  p.scale = 9;
+  p.edge_factor = 8;
+  p.seed = 5000 + test::TestSeed();
+  auto coo = graph::GenerateRmat(p, Pool());
+  graph::AttachRandomWeights(coo, 1, 64, test::TestSeed());
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  return graph::BuildCsr(coo, opts);
+}
+
+TEST(DynamicEngineTest, EpochPinnedQueriesSeePreMutationResults) {
+  engine::QueryEngine engine;
+  auto dyn = std::make_shared<DynamicGraph>(EngineGraph());
+  engine.RegisterDynamicGraph("g", dyn);
+
+  engine::BfsQuery bfs;
+  bfs.source = 1;
+  bfs.opts.compute_preds = false;
+  const auto before =
+      std::get<BfsResult>(engine.Submit("g", bfs).Wait().result);
+
+  // Mutate: connect vertex 1 to a spread of targets, then commit.
+  std::vector<EdgeUpdate> batch;
+  for (vid_t v : test::SpreadSources(*dyn->Current()->View(Pool()), 8)) {
+    if (v != 1) batch.push_back({1, v, 1});
+  }
+  ASSERT_GT(dyn->AddEdges(batch), 0u);
+  const auto info = dyn->Commit();
+  ASSERT_TRUE(info.changed);
+
+  // Latest-epoch query sees the new edges; the pinned query answers
+  // exactly as before the mutation.
+  const auto after =
+      std::get<BfsResult>(engine.Submit("g", bfs).Wait().result);
+  engine::SubmitOptions pinned;
+  pinned.epoch = 1;
+  const auto replay =
+      std::get<BfsResult>(engine.Submit("g", bfs, pinned).Wait().result);
+  ExpectSameLabels(before.depth, replay.depth);
+  EXPECT_NE(before.depth, after.depth);
+
+  // Pinning an unretained epoch is a submit-time error; so is pinning on
+  // a static graph.
+  engine::SubmitOptions unretained;
+  unretained.epoch = 99;
+  EXPECT_THROW(engine.Submit("g", bfs, unretained), Error);
+  engine.RegisterGraph("static", EngineGraph());
+  EXPECT_THROW(engine.Submit("static", bfs, pinned), Error);
+}
+
+TEST(DynamicEngineTest, ConcurrentQueriesSurviveMutationStorm) {
+  engine::QueryEngine engine;
+  auto dyn = std::make_shared<DynamicGraph>(EngineGraph());
+  engine.RegisterDynamicGraph("g", dyn);
+  const vid_t n = dyn->num_vertices();
+
+  std::atomic<bool> stop{false};
+  std::thread mutator([&] {
+    vid_t next = 2;
+    while (!stop.load()) {
+      std::vector<EdgeUpdate> batch;
+      for (int i = 0; i < 4; ++i) {
+        batch.push_back({0, static_cast<vid_t>(1 + (next++ % (n - 1))), 1});
+      }
+      dyn->AddEdges(batch);
+      dyn->Commit();
+    }
+  });
+
+  engine::BfsQuery bfs;
+  bfs.source = 0;
+  engine::CcQuery cc;
+  for (int round = 0; round < 24; ++round) {
+    auto h1 = engine.Submit("g", bfs);
+    auto h2 = engine.Submit("g", cc);
+    EXPECT_EQ(h1.Wait().status, engine::QueryStatus::kDone);
+    EXPECT_EQ(h2.Wait().status, engine::QueryStatus::kDone);
+  }
+  stop.store(true);
+  mutator.join();
+  engine.Shutdown();
+}
+
+// --- daemon wire ops --------------------------------------------------------
+
+/// Minimal line client (the full matrix lives in test_daemon.cpp).
+class WireClient {
+ public:
+  explicit WireClient(int port) {
+    std::string error;
+    socket_ = serve::ConnectTcp("127.0.0.1", port, &error);
+    EXPECT_TRUE(socket_.valid()) << error;
+  }
+  serve::Json RoundTrip(const serve::Json& request) {
+    EXPECT_TRUE(socket_.WriteAll(request.Dump() + "\n"));
+    const auto line = socket_.ReadLine();
+    EXPECT_TRUE(line.has_value());
+    std::string error;
+    auto parsed = serve::Json::Parse(line.value_or("null"), &error);
+    EXPECT_TRUE(parsed.has_value()) << error;
+    return parsed.value_or(serve::Json());
+  }
+
+ private:
+  serve::Socket socket_;
+};
+
+double Num(const serve::Json& o, const char* key) {
+  const serve::Json* v = o.Find(key);
+  return v && v->is_number() ? v->as_number() : -1.0;
+}
+
+std::string Str(const serve::Json& o, const char* key) {
+  const serve::Json* v = o.Find(key);
+  return v && v->is_string() ? v->as_string() : std::string();
+}
+
+TEST(DynamicDaemonTest, MutationOpsRoundTripWithErrorDiscipline) {
+  serve::DaemonConfig config;
+  config.inflight = 2;
+  serve::Daemon daemon(std::move(config));
+  daemon.AddDynamicGraph("dyn", PathGraph(16));
+  daemon.AddGraph("fixed", PathGraph(16));
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+  WireClient client(daemon.port());
+
+  const auto parse = [](const char* text) {
+    std::string why;
+    auto parsed = serve::Json::Parse(text, &why);
+    EXPECT_TRUE(parsed.has_value()) << why;
+    return parsed.value_or(serve::Json());
+  };
+
+  // add_edges applies and reports; the duplicate is ignored, not an error.
+  auto reply = client.RoundTrip(parse(
+      R"({"op":"add_edges","graph":"dyn","edges":[[0,5],[0,5]],"tag":"a"})"));
+  EXPECT_EQ(Str(reply, "op"), "mutated");
+  EXPECT_EQ(Num(reply, "applied"), 1.0);
+  EXPECT_EQ(Num(reply, "ignored"), 1.0);
+  EXPECT_EQ(Str(reply, "tag"), "a");
+
+  reply = client.RoundTrip(
+      parse(R"({"op":"commit","graph":"dyn","tag":"c"})"));
+  EXPECT_EQ(Str(reply, "op"), "committed");
+  EXPECT_EQ(Num(reply, "epoch"), 2.0);
+  const serve::Json* changed = reply.Find("changed");
+  ASSERT_NE(changed, nullptr);
+  EXPECT_TRUE(changed->is_bool() && changed->as_bool());
+
+  // The committed shortcut changes BFS; an epoch-1 pin replays the
+  // pre-mutation answer.
+  reply = client.RoundTrip(parse(
+      R"({"op":"query","graph":"dyn","kind":"bfs","source":0,"values":true})"));
+  EXPECT_EQ(Str(reply, "status"), "done");
+  const auto depth_of = [](const serve::Json& response,
+                           std::size_t v) -> double {
+    const serve::Json* result = response.Find("result");
+    const serve::Json* depth = result ? result->Find("depth") : nullptr;
+    if (!depth || depth->as_array().size() <= v) return -2.0;
+    return depth->as_array()[v].as_number();
+  };
+  EXPECT_EQ(depth_of(reply, 5), 1.0);
+  reply = client.RoundTrip(parse(
+      R"({"op":"query","graph":"dyn","kind":"bfs","source":0,)"
+      R"("values":true,"epoch":1})"));
+  EXPECT_EQ(Str(reply, "status"), "done");
+  EXPECT_EQ(depth_of(reply, 5), 5.0);
+
+  // remove_edges round trip.
+  reply = client.RoundTrip(parse(
+      R"({"op":"remove_edges","graph":"dyn","edges":[[0,5]],"tag":"r"})"));
+  EXPECT_EQ(Str(reply, "op"), "mutated");
+  EXPECT_EQ(Num(reply, "applied"), 1.0);
+
+  // Error discipline: static graph, malformed edges, bad epoch pin —
+  // each a per-request error, never a dropped connection.
+  reply = client.RoundTrip(parse(
+      R"({"op":"add_edges","graph":"fixed","edges":[[0,5]]})"));
+  EXPECT_EQ(Str(reply, "op"), "error");
+  EXPECT_NE(Str(reply, "error").find("not dynamic"), std::string::npos);
+  reply = client.RoundTrip(
+      parse(R"({"op":"add_edges","graph":"dyn","edges":[[0]]})"));
+  EXPECT_EQ(Str(reply, "op"), "error");
+  reply = client.RoundTrip(
+      parse(R"({"op":"add_edges","graph":"dyn","edges":[[0,99]]})"));
+  EXPECT_EQ(Str(reply, "op"), "error");
+  EXPECT_NE(Str(reply, "error").find("out of range"), std::string::npos);
+  reply = client.RoundTrip(parse(
+      R"({"op":"query","graph":"dyn","kind":"bfs","source":0,"epoch":77})"));
+  EXPECT_EQ(Str(reply, "op"), "error");
+  reply = client.RoundTrip(parse(
+      R"({"op":"query","graph":"fixed","kind":"bfs","source":0,"epoch":1})"));
+  EXPECT_EQ(Str(reply, "op"), "error");
+  reply = client.RoundTrip(
+      parse(R"({"op":"commit","graph":"dyn","edges":[[0,1]]})"));
+  EXPECT_EQ(Str(reply, "op"), "error");  // commit takes no edges
+
+  // The connection still works after every error.
+  reply = client.RoundTrip(parse(R"({"op":"ping"})"));
+  EXPECT_EQ(Str(reply, "op"), "pong");
+
+  // Per-graph gauges on the stats page.
+  const std::string stats = daemon.StatsText();
+  EXPECT_NE(stats.find("dynamic_epoch{graph=\"dyn\"}"), std::string::npos);
+  EXPECT_NE(stats.find("dynamic_commits{graph=\"dyn\"}"),
+            std::string::npos);
+  EXPECT_EQ(stats.find("dynamic_epoch{graph=\"fixed\"}"),
+            std::string::npos);
+  daemon.Stop();
+}
+
+}  // namespace
+}  // namespace gunrock
