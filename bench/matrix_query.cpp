@@ -1,0 +1,300 @@
+// Many-to-many SSSP distance tables vs N sequential single-source runs —
+// the amortization MatrixQuery exists for, measured end to end through
+// the engine's wave loop (RunMatrix), plus the two contrasts the design
+// needs answered: frontier vs semiring backend per topology, and one
+// 64-lane wave vs the same 64 sources split across narrower waves (the
+// multi-word-mask question, DESIGN.md §11).
+//
+// Rows (envelope JSON, schema_version 1):
+//   primitive "matrix"        64-source full-table RunMatrix vs 64
+//                             sequential Sssp runs on the scale-free
+//                             serving shapes (gated rows)
+//   primitive "matrix_mesh"   the same contrast on a long-diameter mesh —
+//                             informational: mesh wavefronts
+//                             desynchronize and the lane win shrinks
+//   primitive "matrix_frontier" / "matrix_spmv"
+//                             per-topology backend contrast on the raw
+//                             SsspBatch (informational; picks the kAuto
+//                             default)
+//   primitive "matrix_wavesplit"
+//                             the 64 sources as 1x64 / 2x32 / 4x16
+//                             waves (informational; settles whether a
+//                             multi-word mask would pay)
+//
+// Every measurement is min-of-N (GUNROCK_BENCH_REPS): the contrast is
+// algorithmic, so each side's best-observed time is the honest one.
+// Sequential rows reuse one warm workspace, so the batched side never
+// wins on allocation effects.
+//
+//   --quick / --json PATH   as every bench binary (see bench/common.hpp)
+//   --min-speedup X         exit 1 unless geomean(sequential/batched)
+//                           over the gated matrix rows is >= X — the CI
+//                           acceptance check for the batched win
+//   GUNROCK_BENCH_SCALE / GUNROCK_BENCH_REPS  as usual
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "engine/query.hpp"
+
+namespace {
+
+using namespace bench;
+
+double g_min_speedup = 0.0;
+
+template <typename F>
+double TimeMinMs(F&& fn, int reps) {
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    const double ms = t.ElapsedMs();
+    if (best < 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+struct Contrast {
+  double batched_ms = 0.0;
+  double sequential_ms = 0.0;
+  double speedup() const {
+    return batched_ms > 0 ? sequential_ms / batched_ms : 0.0;
+  }
+};
+
+/// Full-pipeline contrast: RunMatrix (one 64-lane wave, full target set)
+/// vs 64 scalar Sssp runs off a warm workspace.
+Contrast MeasureMatrix(const Dataset& d, std::span<const vid_t> sources,
+                      int reps) {
+  engine::MatrixQuery q;
+  q.sources.assign(sources.begin(), sources.end());
+  q.wave = static_cast<std::uint32_t>(kMaxBatchLanes);
+
+  SsspOptions sopts;
+  core::Workspace batch_ws, seq_ws;
+  RunControl batch_ctl, seq_ctl;
+  batch_ctl.workspace = &batch_ws;
+  seq_ctl.workspace = &seq_ws;
+  batch_ctl.scale_free_hint = 1;  // resolved once; not part of the contrast
+
+  // Untimed warm-up (grows both arenas) doubling as a correctness check:
+  // lane 0's table row must be bitwise the scalar distance vector.
+  const auto warm = engine::RunMatrix(d.graph, q, nullptr, nullptr,
+                                      batch_ctl);
+  const auto ref = Sssp(d.graph, sources[0], sopts, seq_ctl);
+  if (std::memcmp(warm.table.data(), ref.dist.data(),
+                  ref.dist.size() * sizeof(weight_t)) != 0) {
+    std::fprintf(stderr, "matrix_query: lane 0 diverged from scalar SSSP\n");
+    std::exit(1);
+  }
+  for (std::size_t i = 1; i < sources.size(); ++i) {
+    Sssp(d.graph, sources[i], sopts, seq_ctl);
+  }
+
+  Contrast c;
+  c.batched_ms = TimeMinMs(
+      [&] { engine::RunMatrix(d.graph, q, nullptr, nullptr, batch_ctl); },
+      reps);
+  c.sequential_ms = TimeMinMs(
+      [&] {
+        for (const vid_t s : sources) Sssp(d.graph, s, sopts, seq_ctl);
+      },
+      reps);
+  return c;
+}
+
+/// Raw-primitive time of one backend over one 64-source wave.
+double MeasureBackend(const Dataset& d, std::span<const vid_t> sources,
+                      MatrixBackend backend, int reps) {
+  SsspBatchOptions opts;
+  opts.backend = backend;
+  if (backend == MatrixBackend::kSpmv) {
+    opts.reverse = &d.graph;  // bench graphs are symmetrized
+  }
+  core::Workspace ws;
+  RunControl ctl;
+  ctl.workspace = &ws;
+  SsspBatch(d.graph, sources, opts, ctl);  // warm-up
+  return TimeMinMs([&] { SsspBatch(d.graph, sources, opts, ctl); }, reps);
+}
+
+/// The same 64 sources through waves of `wave` lanes each.
+double MeasureWaveSplit(const Dataset& d, std::span<const vid_t> sources,
+                        std::uint32_t wave, int reps) {
+  engine::MatrixQuery q;
+  q.sources.assign(sources.begin(), sources.end());
+  q.wave = wave;
+  core::Workspace ws;
+  RunControl ctl;
+  ctl.workspace = &ws;
+  ctl.scale_free_hint = 1;
+  engine::RunMatrix(d.graph, q, nullptr, nullptr, ctl);  // warm-up
+  return TimeMinMs(
+      [&] { engine::RunMatrix(d.graph, q, nullptr, nullptr, ctl); }, reps);
+}
+
+void EmitContrast(JsonWriter& writer, Table& table,
+                  const std::string& primitive, const Dataset& d,
+                  std::size_t lanes, const Contrast& c) {
+  table.Cell(d.name);
+  table.Cell(primitive);
+  table.Cell(static_cast<double>(lanes), "%.0f");
+  table.Cell(c.batched_ms);
+  table.Cell(c.sequential_ms);
+  table.Cell(c.speedup(), "%.2fx");
+  table.EndRow();
+
+  writer.BeginRecord()
+      .Field("primitive", primitive)
+      .Field("framework", "gunrock")
+      .Field("dataset", d.name)
+      .Field("lanes", lanes)
+      .Field("ms", c.batched_ms)
+      .Field("speedup", c.speedup());
+  writer.BeginRecord()
+      .Field("primitive", primitive)
+      .Field("framework", "sequential")
+      .Field("dataset", d.name)
+      .Field("lanes", lanes)
+      .Field("ms", c.sequential_ms);
+}
+
+void EmitTime(JsonWriter& writer, Table& table, const std::string& primitive,
+              const std::string& dataset, std::size_t lanes, double ms) {
+  table.Cell(dataset);
+  table.Cell(primitive);
+  table.Cell(static_cast<double>(lanes), "%.0f");
+  table.Cell(ms);
+  table.Cell(0.0);
+  table.Cell("-");
+  table.EndRow();
+
+  writer.BeginRecord()
+      .Field("primitive", primitive)
+      .Field("framework", "gunrock")
+      .Field("dataset", dataset)
+      .Field("lanes", lanes)
+      .Field("ms", ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip --min-speedup before the shared parser (which rejects unknown
+  // flags so typos can't silently run the full-size bench).
+  std::vector<char*> rest = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--min-speedup" && i + 1 < argc) {
+      g_min_speedup = std::atof(argv[++i]);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  ParseArgs(static_cast<int>(rest.size()), rest.data());
+
+  const int d = EnvScaleDelta();
+  const int reps = std::max(Reps(), 5);
+  auto& pool = par::ThreadPool::Global();
+
+  std::vector<Dataset> social;
+  {
+    graph::RmatParams p;  // soc-orkut role
+    p.scale = 15 + d;
+    p.edge_factor = 16;
+    p.seed = 111;
+    social.push_back(MakeDataset("soc-rmat", "rs", GenerateRmat(p, pool)));
+  }
+  {
+    graph::RmatParams p;  // kron-g500 role: Graph500 parameters
+    p.scale = 15 + d;
+    p.edge_factor = 16;
+    p.a = 0.57;
+    p.b = 0.19;
+    p.c = 0.19;
+    p.seed = 114;
+    social.push_back(MakeDataset("kron-g500", "gs", GenerateRmat(p, pool)));
+  }
+  Dataset mesh;
+  {
+    graph::RoadParams p;  // long-diameter contrast case
+    const int shift = d / 2;
+    p.width = 192 >> (shift < 0 ? -shift : 0) << (shift > 0 ? shift : 0);
+    p.height = p.width;
+    p.seed = 116;
+    mesh = MakeDataset("roadnet", "rm", GenerateRoad(p, pool));
+  }
+
+  JsonWriter writer("matrix_query");
+  Table table({"dataset", "primitive", "lanes", "batched-ms",
+               "sequential-ms", "speedup"});
+  table.PrintHeader();
+
+  std::vector<double> gated_speedups;
+  for (const auto& ds : social) {
+    const auto sources = PickSources(ds.graph, kMaxBatchLanes);
+    const Contrast c = MeasureMatrix(ds, sources, reps);
+    EmitContrast(writer, table, "matrix", ds, sources.size(), c);
+    gated_speedups.push_back(c.speedup());
+  }
+  {
+    const auto sources = PickSources(mesh.graph, kMaxBatchLanes);
+    const Contrast c = MeasureMatrix(mesh, sources, reps);
+    EmitContrast(writer, table, "matrix_mesh", mesh, sources.size(), c);
+  }
+
+  // Backend contrast: delta-stepping lanes vs iterated MinPlus SpMM, on
+  // one scale-free and one mesh topology. Informational, but this is the
+  // measurement the MatrixBackend::kAuto default is derived from.
+  for (const Dataset* ds : {&social[0], &mesh}) {
+    const auto sources = PickSources(ds->graph, kMaxBatchLanes);
+    const double frontier_ms =
+        MeasureBackend(*ds, sources, MatrixBackend::kFrontier, reps);
+    const double spmv_ms =
+        MeasureBackend(*ds, sources, MatrixBackend::kSpmv, reps);
+    EmitTime(writer, table, "matrix_frontier", ds->name, sources.size(),
+             frontier_ms);
+    EmitTime(writer, table, "matrix_spmv", ds->name, sources.size(),
+             spmv_ms);
+  }
+
+  // Wave-split contrast: would >64 lanes (a multi-word mask) pay, or do
+  // narrower waves already match one wide one? If 2x32 ~= 1x64 there is
+  // no headroom for 128-lane masks; if 1x64 wins clearly, wider masks
+  // would win more.
+  {
+    const Dataset& ds = social[0];
+    const auto sources = PickSources(ds.graph, kMaxBatchLanes);
+    for (const std::uint32_t wave : {64u, 32u, 16u}) {
+      const double ms = MeasureWaveSplit(ds, sources, wave, reps);
+      EmitTime(writer, table, "matrix_wavesplit",
+               ds.name + "/" + std::to_string(kMaxBatchLanes / wave) + "x" +
+                   std::to_string(wave),
+               wave, ms);
+    }
+  }
+
+  const double geomean = Geomean(gated_speedups);
+  std::printf("\nmatrix geomean speedup (batched vs %zu sequential, "
+              "scale-free rows): %.2fx\n",
+              static_cast<std::size_t>(kMaxBatchLanes), geomean);
+  writer.BeginRecord()
+      .Field("primitive", "matrix_geomean")
+      .Field("framework", "summary")
+      .Field("dataset", "scale-free")
+      .Field("speedup", geomean);
+  writer.WriteIfRequested();
+
+  if (g_min_speedup > 0 && geomean < g_min_speedup) {
+    std::fprintf(stderr,
+                 "matrix_query: geomean speedup %.2fx below the required "
+                 "%.2fx\n",
+                 geomean, g_min_speedup);
+    return 1;
+  }
+  return 0;
+}

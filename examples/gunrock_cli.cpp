@@ -97,6 +97,9 @@ struct Args {
   // mutate mode
   std::string updates_path;
   std::size_t mutate_batch = 0;  ///< auto-commit every N updates; 0 = off
+  // matrix mode
+  std::string targets_path;
+  unsigned wave = 0;  ///< lanes per wave; 0 = let the engine pick
 };
 
 [[noreturn]] void Usage() {
@@ -115,6 +118,11 @@ struct Args {
                "       gunrock_cli serve [--primitive ...] [--inflight K] "
                "[graph options]   (reads \"<primitive> [source]\" lines "
                "from stdin)\n"
+               "       gunrock_cli matrix --sources FILE [--targets FILE] "
+               "[--backend frontier|spmv|auto] [--wave N] [--deadline MS] "
+               "[graph options] [--json]   (N-source x M-target SSSP "
+               "distance table through the query engine; targets default "
+               "to every vertex)\n"
                "       gunrock_cli mutate --updates FILE [--primitive "
                "bfs|sssp|cc] [--batch N] [--src V] [graph options] "
                "[--json]   (replays `add u v [w]` / `del u v` / `commit` "
@@ -230,6 +238,11 @@ Args Parse(int argc, char** argv) {
       args.engine_primitive = next();
     } else if (flag == "--sources") {
       args.sources_path = next();
+    } else if (flag == "--targets") {
+      args.targets_path = next();
+    } else if (flag == "--wave") {
+      args.wave = static_cast<unsigned>(
+          FlagInt(flag, next(), 1, kMaxBatchLanes));
     } else if (flag == "--updates") {
       args.updates_path = next();
     } else if (flag == "--batch") {
@@ -418,6 +431,79 @@ std::vector<vid_t> ReadSourceFile(const std::string& path, vid_t n) {
     std::exit(1);
   }
   return sources;
+}
+
+/// `matrix`: one N-source x M-target SSSP distance table through the
+/// engine's MatrixQuery — wave formation, backend policy and epoch
+/// pinning all come from the same path gunrockd serves.
+int RunMatrixMode(const Args& args, graph::Csr graph) {
+  if (args.sources_path.empty()) {
+    std::fprintf(stderr, "matrix mode needs --sources FILE\n");
+    Usage();
+  }
+  const vid_t n = graph.num_vertices();
+  engine::MatrixQuery q;
+  q.sources = ReadSourceFile(args.sources_path, n);
+  if (!args.targets_path.empty()) {
+    q.targets = ReadSourceFile(args.targets_path, n);
+  }
+  q.opts.load_balance = args.lb;
+  q.opts.backend = args.backend == core::SpmvBackend::kFrontier
+                       ? MatrixBackend::kFrontier
+                   : args.backend == core::SpmvBackend::kSpmv
+                       ? MatrixBackend::kSpmv
+                       : MatrixBackend::kAuto;
+  q.wave = args.wave;
+
+  auto engine = MakeEngine(args);
+  engine::GraphOptions gopts;
+  gopts.quota = args.quota;
+  engine.RegisterGraph("g", std::move(graph), gopts);
+  engine::SubmitOptions sopts;
+  sopts.deadline_ms = args.deadline_ms;
+
+  WallTimer wall;
+  const engine::QueryResponse resp = engine.Submit("g", q, sopts).Wait();
+  const double wall_ms = wall.ElapsedMs();
+  if (resp.status != engine::QueryStatus::kDone) {
+    std::fprintf(stderr, "matrix: %s%s%s\n", engine::ToString(resp.status),
+                 resp.error.empty() ? "" : ": ", resp.error.c_str());
+    return 1;
+  }
+  const auto& r = std::get<engine::MatrixResult>(resp.result);
+  std::size_t reachable = 0;
+  for (const weight_t d : r.table) reachable += d != kInfinity;
+  if (args.json) {
+    std::printf("{\"mode\":\"matrix\",\"num_sources\":%zu,"
+                "\"num_targets\":%zu,\"waves\":%llu,\"reachable\":%zu,"
+                "\"cells\":%zu,\"wall_ms\":%.3f}\n",
+                r.num_sources, r.num_targets,
+                static_cast<unsigned long long>(r.waves), reachable,
+                r.table.size(), wall_ms);
+  } else {
+    std::printf("matrix: %zu x %zu table in %llu wave%s, %.2f ms "
+                "(%zu/%zu cells reachable)\n",
+                r.num_sources, r.num_targets,
+                static_cast<unsigned long long>(r.waves),
+                r.waves == 1 ? "" : "s", wall_ms, reachable,
+                r.table.size());
+    // Small tables print whole; big ones would just scroll.
+    if (r.num_sources <= 16 && r.num_targets <= 16) {
+      for (std::size_t i = 0; i < r.num_sources; ++i) {
+        std::printf("  src %-8d", q.sources[i]);
+        for (std::size_t j = 0; j < r.num_targets; ++j) {
+          const weight_t d = r.table[i * r.num_targets + j];
+          if (d == kInfinity) {
+            std::printf("      inf");
+          } else {
+            std::printf(" %8.2f", static_cast<double>(d));
+          }
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
 }
 
 /// `batch`: SubmitAll over a source-list file; per-query latency and
@@ -835,6 +921,7 @@ int main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
   graph::Csr g = LoadGraph(args);
   if (args.primitive == "batch") return RunBatch(args, std::move(g));
+  if (args.primitive == "matrix") return RunMatrixMode(args, std::move(g));
   if (args.primitive == "serve") return RunServe(args, std::move(g));
   if (args.primitive == "mutate") return RunMutate(args, std::move(g));
   auto& pool = par::ThreadPool::Global();

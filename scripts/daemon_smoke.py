@@ -92,6 +92,28 @@ def main() -> None:
                 if response.get("tag") != "smoke":
                     fail(f"tag not echoed: {response}")
 
+                # One many-to-many distance table with an extracted path.
+                request = {"op": "query", "kind": "matrix",
+                           "sources": [0, 1], "targets": [0, 2],
+                           "paths": [[0, 2]], "tag": "mat"}
+                f.write(json.dumps(request) + "\n")
+                f.flush()
+                response = json.loads(read_line(f))
+                if response.get("status") != "done":
+                    fail(f"matrix query did not complete: {response}")
+                result = response.get("result", {})
+                table = result.get("table")
+                if result.get("num_sources") != 2 or \
+                        result.get("num_targets") != 2 or \
+                        not isinstance(table, list) or len(table) != 2:
+                    fail(f"matrix table has the wrong shape: {response}")
+                if table[0][0] != 0:
+                    fail(f"matrix d(0,0) should be 0: {response}")
+                paths = result.get("paths")
+                if not paths or (table[0][1] is not None and not paths[0]):
+                    fail(f"matrix path extraction came back empty: "
+                         f"{response}")
+
                 # One mutation round trip on the dynamic graph.
                 request = {"op": "add_edges", "edges": [[0, 1], [1, 0]],
                            "tag": "mut"}
@@ -133,7 +155,7 @@ def main() -> None:
                 daemon.kill()
                 daemon.wait()
 
-    print("daemon_smoke: OK (pid file + query + mutate + stats + "
+    print("daemon_smoke: OK (pid file + query + matrix + mutate + stats + "
           "graceful SIGTERM exit)")
 
 

@@ -29,6 +29,7 @@
 #include "primitives/pagerank.hpp"
 #include "primitives/ranking.hpp"
 #include "primitives/sssp.hpp"
+#include "primitives/sssp_batch.hpp"
 #include "primitives/triangles.hpp"
 #include "util/types.hpp"
 
@@ -91,10 +92,33 @@ struct PprQuery {
   PprOptions opts{};
 };
 
+/// Many-to-many SSSP distance table: N sources × M targets in one query,
+/// executed as ≤64-lane SsspBatch waves. One query = one epoch-pinned
+/// snapshot = one cancel token; every wave of it sees the same adjacency.
+struct MatrixQuery {
+  std::vector<vid_t> sources;
+  /// Columns of the table; empty keeps every vertex (M = |V|).
+  std::vector<vid_t> targets;
+  /// On-demand path extraction: for each (source, target) pair the
+  /// result carries the vertex sequence of one shortest path (empty when
+  /// unreachable). The source must appear in `sources` — paths ride the
+  /// wave that already holds that source's full distance column, so they
+  /// cost one witness walk, not an extra SSSP.
+  std::vector<std::pair<vid_t, vid_t>> paths;
+  /// delta / backend / load-balance knobs, shared by every wave.
+  /// opts.reverse is stamped by the engine for the spmv backend.
+  SsspBatchOptions opts{};
+  /// Lanes per wave: 0 resolves via MatrixWaveWidth (the coalescing
+  /// budget model, gated on the scale-free hint like BFS wave
+  /// formation); the engine stamps it at submit from its own budget. An
+  /// explicit value (clamped to 64) always wins.
+  std::uint32_t wave = 0;
+};
+
 using QueryRequest =
     std::variant<BfsQuery, SsspQuery, BcQuery, CcQuery, PagerankQuery,
                  MstQuery, TrianglesQuery, LabelPropagationQuery, HitsQuery,
-                 SalsaQuery, PprQuery>;
+                 SalsaQuery, PprQuery, MatrixQuery>;
 
 /// Short primitive name of a request ("bfs", "sssp", ...).
 inline const char* KindName(const QueryRequest& request) {
@@ -114,6 +138,7 @@ inline const char* KindName(const QueryRequest& request) {
     const char* operator()(const HitsQuery&) const { return "hits"; }
     const char* operator()(const SalsaQuery&) const { return "salsa"; }
     const char* operator()(const PprQuery&) const { return "ppr"; }
+    const char* operator()(const MatrixQuery&) const { return "matrix"; }
   };
   return std::visit(Namer{}, request);
 }
@@ -157,6 +182,18 @@ inline std::optional<std::string> ValidateSource(const QueryRequest& request,
       if (auto err = check(seed)) return err;
     }
   }
+  if (const auto* m = std::get_if<MatrixQuery>(&request)) {
+    for (const vid_t s : m->sources) {
+      if (auto err = check(s)) return err;
+    }
+    for (const vid_t t : m->targets) {
+      if (auto err = check(t)) return err;
+    }
+    for (const auto& [s, t] : m->paths) {
+      if (auto err = check(s)) return err;
+      if (auto err = check(t)) return err;
+    }
+  }
   return std::nullopt;
 }
 
@@ -166,6 +203,11 @@ inline std::optional<std::string> ValidateSource(const QueryRequest& request,
 inline bool NeedsReverseGraph(const QueryRequest& request) {
   if (const auto* ppr = std::get_if<PprQuery>(&request)) {
     return ppr->opts.backend == core::SpmvBackend::kSpmv;
+  }
+  if (const auto* m = std::get_if<MatrixQuery>(&request)) {
+    // The spmv backend gathers over the reverse orientation; kAuto and
+    // kFrontier relax over the forward graph only.
+    return m->opts.backend == MatrixBackend::kSpmv;
   }
   return std::holds_alternative<HitsQuery>(request) ||
          std::holds_alternative<SalsaQuery>(request);
@@ -238,9 +280,10 @@ inline bool CoalesceCompatible(const QueryRequest& a,
 
 /// Copy of `request` with its source vertex replaced; requests without a
 /// source (CC, PageRank, MST, triangles, LP, HITS, SALSA) pass through
-/// unchanged. PPR interprets the source as a single-seed teleport set.
-/// This is how SubmitAll stamps one prototype request over a span of
-/// sources.
+/// unchanged, as does MatrixQuery (its source *list* is the whole
+/// request — fan it out by splitting the list, not via SubmitAll). PPR
+/// interprets the source as a single-seed teleport set. This is how
+/// SubmitAll stamps one prototype request over a span of sources.
 inline QueryRequest WithSource(QueryRequest request, vid_t source) {
   if (auto* bfs = std::get_if<BfsQuery>(&request)) {
     bfs->source = source;
@@ -252,6 +295,29 @@ inline QueryRequest WithSource(QueryRequest request, vid_t source) {
     ppr->seeds.assign(1, source);
   }
   return request;
+}
+
+/// Coalescing-budget wave width for a matrix query on an n-vertex graph,
+/// shared by SubmitImpl's stamp and RunMatrix's direct-call default. The
+/// lease-resident wave state (buffers that stay in the recycled
+/// workspace arena) costs ~64n bytes fixed — five lane-mask frontiers at
+/// 12n each plus flags and piles — and ~8n per lane for the distance
+/// column blocks (the spmv backend's two float blocks bound the frontier
+/// backend's one), so the budget caps the lane count at ≤64. Non-scale-
+/// free graphs fall back to single-lane waves — exactly the gate BFS
+/// wave formation applies, and the same break-even reasoning: a shared
+/// Δ window over long-diameter meshes re-scans the union frontier for
+/// little lane overlap.
+inline std::uint32_t MatrixWaveWidth(vid_t num_vertices, bool scale_free,
+                                     std::size_t budget_bytes) {
+  if (!scale_free) return 1;
+  const auto n = static_cast<std::size_t>(num_vertices);
+  const std::size_t fixed = 64 * n;
+  const std::size_t per_lane = 8 * n;
+  if (per_lane == 0) return kMaxBatchLanes;  // empty graph: width is moot
+  if (fixed + per_lane > budget_bytes) return 1;
+  return static_cast<std::uint32_t>(std::min<std::size_t>(
+      kMaxBatchLanes, (budget_bytes - fixed) / per_lane));
 }
 
 // --- responses --------------------------------------------------------------
@@ -284,10 +350,29 @@ inline bool IsTerminal(QueryStatus s) {
   return s != QueryStatus::kQueued && s != QueryStatus::kRunning;
 }
 
+/// Distance table from a MatrixQuery. Row-major: table[i * num_targets
+/// + j] is the shortest distance sources[i] → targets[j] (kInfinity when
+/// unreachable). Every cell is bit-identical to the matching scalar
+/// Sssp(g, sources[i]).dist[targets[j]] — the SsspBatch contract, so the
+/// table is reproducible across backends, wave splits and pool widths.
+struct MatrixResult {
+  std::size_t num_sources = 0;
+  std::size_t num_targets = 0;
+  std::vector<weight_t> table;
+  /// paths[k] answers the request's paths[k] pair: the vertex sequence
+  /// source..target of one shortest path, empty when unreachable.
+  std::vector<std::vector<vid_t>> paths;
+  /// SsspBatch waves the query was split into.
+  std::uint64_t waves = 0;
+  /// Aggregate across waves; iterations sums per-wave rounds.
+  core::TraversalStats stats;
+};
+
 using QueryResult =
     std::variant<std::monostate, BfsResult, SsspResult, BcResult, CcResult,
                  PagerankResult, MstResult, TriangleResult,
-                 LabelPropagationResult, HitsResult, SalsaResult, PprResult>;
+                 LabelPropagationResult, HitsResult, SalsaResult, PprResult,
+                 MatrixResult>;
 
 struct QueryResponse {
   QueryStatus status = QueryStatus::kQueued;
@@ -302,6 +387,16 @@ struct QueryResponse {
 };
 
 // --- dispatch ---------------------------------------------------------------
+
+/// Runs a MatrixQuery as a sequence of ≤wave-lane SsspBatch waves and
+/// projects the per-lane distance columns onto the target set (plus any
+/// requested witness-walk path extractions). `reverse` is required only
+/// for the kSpmv backend; a zero q.wave resolves via MatrixWaveWidth
+/// with the default engine budget. Defined in engine/matrix.cpp.
+MatrixResult RunMatrix(const graph::Csr& g, const MatrixQuery& q,
+                       const graph::Csr* reverse = nullptr,
+                       par::ThreadPool* pool = nullptr,
+                       const RunControl& ctl = {});
 
 /// The one request->primitive dispatch, shared by the engine's runners,
 /// the bench baselines and the soak oracle (so adding a family is a
@@ -341,6 +436,8 @@ inline QueryResult RunRequest(const graph::Csr& g,
           return Hits(g, *reverse, opts, ctl);
         } else if constexpr (std::is_same_v<Q, SalsaQuery>) {
           return Salsa(g, *reverse, opts, ctl);
+        } else if constexpr (std::is_same_v<Q, MatrixQuery>) {
+          return RunMatrix(g, q, reverse, pool, ctl);
         } else {
           static_assert(std::is_same_v<Q, PprQuery>);
           if (opts.backend == core::SpmvBackend::kSpmv) {

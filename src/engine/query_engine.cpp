@@ -384,6 +384,15 @@ QueryHandle QueryEngine::SubmitImpl(
   state->scale_free_hint = entry.scale_free ? 1 : 0;
   state->request = std::move(request);
   ApplyBackendPolicy(state->request, entry.backend);
+  // Matrix queries reuse the coalescing budget model for their internal
+  // wave width, gated on the registry's scale-free hint like BFS wave
+  // formation; an explicit request value always wins.
+  if (auto* m = std::get_if<MatrixQuery>(&state->request);
+      m != nullptr && m->wave == 0) {
+    m->wave = MatrixWaveWidth(state->graph->num_vertices(),
+                              entry.scale_free,
+                              options_.coalesce_budget_bytes);
+  }
   // kDefault opts into wave formation only from the SubmitAll fan-out
   // paths AND on scale-free graphs — wave formation breaks even on
   // meshes/road networks, so those skip it unless kOn forces the merge.

@@ -53,6 +53,7 @@
 #include "primitives/ranking.hpp"
 #include "primitives/sets.hpp"
 #include "primitives/sssp.hpp"
+#include "primitives/sssp_batch.hpp"
 #include "primitives/triangles.hpp"
 #include "primitives/label_propagation.hpp"
 #include "util/error.hpp"

@@ -69,7 +69,8 @@ enum : unsigned {
   kRankingFirst = par::ws::kUserFirst + 52,  // ranking.cpp (+52 .. +63)
   kBatchFirst = par::ws::kUserFirst + 64,  // bfs_batch/ppr_batch (+64..+79)
   kSpmvFirst = par::ws::kUserFirst + 80,  // core/spmv.hpp scratch (+80..+87)
-  kAppFirst = par::ws::kUserFirst + 88,  // applications / user code
+  kMatrixFirst = par::ws::kUserFirst + 88,  // sssp_batch.cpp (+88..+103)
+  kAppFirst = par::ws::kUserFirst + 104,  // applications / user code
 };
 }  // namespace pslot
 

@@ -1,6 +1,7 @@
 #include "primitives/sssp.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/advance.hpp"
 #include "core/compute.hpp"
@@ -47,6 +48,20 @@ struct SsspDedupFunctor {
 
 }  // namespace
 
+weight_t SsspDeltaHeuristic(const graph::Csr& g, par::ThreadPool& pool) {
+  // Davidson et al.: warp width × mean weight / mean degree. An edgeless
+  // graph would compute 0/0 = NaN here and feed it through std::max (where
+  // NaN makes the result depend on argument order); a non-finite or ≤0
+  // mean weight is equally meaningless as a bucket width.
+  if (g.num_edges() == 0) return 1;
+  const double mean_w =
+      static_cast<double>(par::ReduceSum(pool, g.weights())) /
+      static_cast<double>(g.num_edges());
+  if (!std::isfinite(mean_w) || mean_w <= 0) return 1;
+  return static_cast<weight_t>(std::max(
+      1.0, kWarpWidth * mean_w / std::max(1.0, g.average_degree())));
+}
+
 SsspResult Sssp(const graph::Csr& g, vid_t source,
                 const SsspOptions& opts) {
   return Sssp(g, source, opts, RunControl{});
@@ -90,11 +105,7 @@ SsspResult Sssp(const graph::Csr& g, vid_t source, const SsspOptions& opts,
   // Davidson et al.'s Δ heuristic: warp width × mean weight / mean degree.
   weight_t delta = opts.delta;
   if (opts.use_near_far && delta <= 0) {
-    const double mean_w =
-        static_cast<double>(par::ReduceSum(pool, g.weights())) /
-        static_cast<double>(g.num_edges());
-    delta = static_cast<weight_t>(std::max(
-        1.0, kWarpWidth * mean_w / std::max(1.0, g.average_degree())));
+    delta = SsspDeltaHeuristic(g, pool);
   }
 
   auto& frontier = ws.Get<core::VertexFrontier>(pslot::kSsspFirst);
@@ -122,8 +133,21 @@ SsspResult Sssp(const graph::Csr& g, vid_t source, const SsspOptions& opts,
       // Near slice exhausted: advance the Δ window and re-split the far
       // pile (paper: "We then update the priority function and operate on
       // the far slice"). Entries whose label improved below the window
-      // are re-claimed through the epoch filter next iteration.
-      threshold += delta;
+      // are re-claimed through the epoch filter next iteration. Jumping
+      // straight past the smallest far label (rather than stepping Δ at a
+      // time) guarantees each re-split promotes at least one vertex, even
+      // when Δ is tiny relative to the labels (threshold + Δ can round to
+      // threshold in float and would otherwise loop forever); the window
+      // schedule only orders work, so labels are unchanged.
+      const weight_t min_far = par::TransformReduce(
+          pool, far_pile.size(), kInfinity,
+          [](weight_t a, weight_t b) { return b < a ? b : a; },
+          [&](std::size_t i) { return result.dist[far_pile[i]]; }, &ws,
+          pslot::kSsspFirst + 7);
+      threshold = std::max(threshold + delta, min_far + delta);
+      if (!(threshold > min_far)) {
+        threshold = std::nextafter(min_far, kInfinity);
+      }
       still_far.clear();
       core::SplitNearFar(
           pool, std::span<const vid_t>(far_pile), near_buffer, still_far,

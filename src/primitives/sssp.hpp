@@ -50,4 +50,10 @@ SsspResult Sssp(const graph::Csr& g, vid_t source,
 SsspResult Sssp(const graph::Csr& g, vid_t source, const SsspOptions& opts,
                 const RunControl& ctl);
 
+/// Davidson et al.'s Δ heuristic (warp width × mean weight / mean degree),
+/// guarded against the degenerate inputs that poison it: an edgeless graph
+/// (0/0 = NaN), non-finite weights, or a ≤0 mean all fall back to Δ = 1.
+/// Shared by Sssp and SsspBatch so both pick identical bucket widths.
+weight_t SsspDeltaHeuristic(const graph::Csr& g, par::ThreadPool& pool);
+
 }  // namespace gunrock

@@ -1,0 +1,89 @@
+// Batched multi-source SSSP — the distance-matrix workhorse.
+//
+// Runs up to 64 single-source shortest-path queries as one wave, behind a
+// MatrixBackend switch:
+//
+//  - kFrontier extends the lane-mask MS-BFS machinery (Then et al., VLDB
+//    2015) to weighted delta-stepping: each source owns one lane of a
+//    per-vertex 64-bit mask, the distance labels live in a vertex-major
+//    n x L column block, and one near/far bucket structure (a shared Δ
+//    window) is shared by every lane — a single union-frontier edge scan
+//    relaxes all lanes' labels at once.
+//
+//  - kSpmv iterates the masked MinPlus semiring SpMM (GraphBLAST's view:
+//    one Bellman-Ford round IS y = A ⊗.⊕ x over (min, +)) to fixpoint,
+//    with converged lanes retiring from the sweep mask like PprBatch's.
+//
+// Contract: dist[l] is bit-identical to Sssp(g, sources[l]).dist for
+// every completed lane, under either backend, at any pool width. Both
+// backends and the scalar run relax with the same float fold —
+// fl(dist[u] + w) — so every label is the minimum over paths of the same
+// left-folded path sum, which is order- and schedule-invariant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "graph/csr.hpp"
+#include "primitives/bfs_batch.hpp"  // kMaxBatchLanes
+#include "primitives/options.hpp"
+
+namespace gunrock {
+
+/// Backend for batched SSSP / MatrixQuery waves.
+enum class MatrixBackend {
+  /// Pick per topology from the scale-free hint (the bench-derived
+  /// policy recorded in DESIGN.md §11).
+  kAuto,
+  /// Lane-mask delta-stepping over the frontier operators.
+  kFrontier,
+  /// Iterated masked MinPlus SpMM (merge-path, pool-width-invariant).
+  kSpmv,
+};
+
+struct SsspBatchOptions : CommonOptions {
+  /// Δ bucket width for the frontier backend; 0 selects the guarded
+  /// Davidson heuristic (SsspDeltaHeuristic — edgeless/degenerate
+  /// graphs fall back to Δ = 1).
+  weight_t delta = 0;
+  MatrixBackend backend = MatrixBackend::kAuto;
+  /// Gather orientation for the kSpmv backend: the reverse CSR for a
+  /// directed graph; null uses `g` itself (valid on symmetric graphs,
+  /// the same assumption scalar SSSP's pred recompute makes).
+  const graph::Csr* reverse = nullptr;
+};
+
+struct SsspBatchResult {
+  /// dist[l][v] = shortest distance from sources[l] (+inf unreachable);
+  /// valid only for lanes set in completed_mask.
+  std::vector<std::vector<weight_t>> dist;
+  /// Lanes that ran to convergence (dropped lanes are cleared).
+  std::uint64_t completed_mask = 0;
+  /// Per-lane work rounds: frontier backend counts advance rounds where
+  /// the lane's frontier was non-empty, spmv backend counts semiring
+  /// sweeps until the lane's column reached fixpoint.
+  std::vector<std::int32_t> lane_iterations;
+  /// Aggregate wave stats; edges_visited is shared across all lanes.
+  core::TraversalStats stats;
+};
+
+/// Runs SSSP from every source in `sources` (1..64 lanes, duplicates
+/// allowed) as one batched wave. Throws gunrock::Error on an unweighted
+/// graph, a bad source, or a bad lane count.
+SsspBatchResult SsspBatch(const graph::Csr& g,
+                          std::span<const vid_t> sources,
+                          const SsspBatchOptions& opts = {});
+
+/// Engine-invokable runner: scratch from ctl.workspace (slots
+/// pslot::kMatrixFirst..+15 plus the pslot::kSpmvFirst range for the
+/// spmv backend), ctl.cancel polled at round boundaries (stops the whole
+/// wave; throws core::Cancelled), and `lanes` polled right after it to
+/// drop individual lanes (per-query cancellation inside a wave).
+SsspBatchResult SsspBatch(const graph::Csr& g,
+                          std::span<const vid_t> sources,
+                          const SsspBatchOptions& opts, const RunControl& ctl,
+                          const BatchLaneControl& lanes = {});
+
+}  // namespace gunrock

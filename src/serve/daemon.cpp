@@ -36,7 +36,7 @@ double MsSince(std::chrono::steady_clock::time_point t0) {
 
 const char* const Daemon::kFamilies[Daemon::kNumFamilies] = {
     "bfs",  "sssp",      "bc", "cc",   "pagerank", "mst",
-    "triangles", "lp", "hits", "salsa", "ppr",
+    "triangles", "lp", "hits", "salsa", "ppr", "matrix",
 };
 
 /// Per-connection state. The reader thread owns the socket's read side

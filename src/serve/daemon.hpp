@@ -124,7 +124,7 @@ class Daemon {
   std::chrono::steady_clock::time_point start_time_;
 
   /// Per-family latency histograms, indexed in kFamilies order.
-  static constexpr int kNumFamilies = 11;
+  static constexpr int kNumFamilies = 12;
   static const char* const kFamilies[kNumFamilies];
   LatencyHistogram family_histograms_[kNumFamilies];
   /// Terminal-status counters maintained by the observer (the engine has

@@ -311,6 +311,14 @@ void AppendEscaped(std::string* out, const std::string& s) {
 }
 
 void AppendNumber(std::string* out, double value) {
+  // JSON has no non-finite literals; to_chars would happily emit "inf"
+  // or "nan" and produce an unparseable line. Ship null instead — the
+  // same convention the result encoders use for +inf distances — so
+  // Dump() output is always valid JSON whatever double reaches a Json.
+  if (!std::isfinite(value)) {
+    out->append("null");
+    return;
+  }
   // Shortest representation that round-trips the exact double — the
   // wire-level half of the daemon's bit-identity guarantee.
   char buf[32];

@@ -52,6 +52,13 @@ bool GetFinite(const Json& v, const std::string& key, double* out,
   if (!v.is_number()) {
     return FailDecode(error, "'" + key + "' must be a number");
   }
+  // The JSON grammar has no non-finite literals, but an overflowing
+  // exponent can still parse to ±inf — every numeric knob downstream
+  // assumes a finite value (means, bucket widths, damping sums), so the
+  // domain check lives here, named per key.
+  if (!std::isfinite(v.as_number())) {
+    return FailDecode(error, "'" + key + "' must be finite");
+  }
   *out = v.as_number();
   return true;
 }
@@ -129,6 +136,23 @@ bool GetSource(const Json& object, vid_t* out, std::string* error) {
   return true;
 }
 
+/// Reads an array of vertex ids (range checking against the graph stays
+/// with the engine, as for GetSource).
+bool GetVidArray(const Json& v, const std::string& key, bool allow_empty,
+                 std::vector<vid_t>* out, std::string* error) {
+  if (!v.is_array() || (!allow_empty && v.as_array().empty())) {
+    return FailDecode(error, "'" + key + "' must be a non-empty array");
+  }
+  out->clear();
+  out->reserve(v.as_array().size());
+  for (const Json& item : v.as_array()) {
+    long long x = 0;
+    if (!GetInt(item, key, INT32_MIN, INT32_MAX, &x, error)) return false;
+    out->push_back(static_cast<vid_t>(x));
+  }
+  return true;
+}
+
 bool DecodeCommonOpts(const Json::Object& opts, CommonOptions* common,
                       std::string* error) {
   const auto it = opts.find("load_balance");
@@ -197,10 +221,14 @@ bool DecodeKind(const std::string& kind, const Json& object,
       if (!GetBool(*v, "near_far", &q.opts.use_near_far, error)) return false;
     }
     if (const Json* v = opt("delta")) {
+      // 0 is the in-process sentinel for "use the Δ heuristic"; on the
+      // wire that is spelled by omitting the key, so an explicit value
+      // must be a usable bucket width.
       double d = 0.0;
       if (!GetFinite(*v, "delta", &d, error)) return false;
-      if (!(d >= 0.0)) {
-        return FailDecode(error, "'delta' must be >= 0");
+      if (!(d > 0.0)) {
+        return FailDecode(
+            error, "'delta' must be > 0 (omit it to use the Δ heuristic)");
       }
       q.opts.delta = static_cast<weight_t>(d);
     }
@@ -248,8 +276,11 @@ bool DecodeKind(const std::string& kind, const Json& object,
     }
     if (const Json* v = opt("damping")) {
       if (!GetFinite(*v, "damping", &q.opts.damping, error)) return false;
-      if (!(q.opts.damping >= 0.0 && q.opts.damping < 1.0)) {
-        return FailDecode(error, "'damping' must be in [0, 1)");
+      // 0 degenerates to the uniform teleport vector and 1 removes the
+      // teleport mass entirely (no convergence guarantee): both are
+      // outside the model, not parameter choices.
+      if (!(q.opts.damping > 0.0 && q.opts.damping < 1.0)) {
+        return FailDecode(error, "'damping' must be in (0, 1)");
       }
     }
     if (const Json* v = opt("tolerance")) {
@@ -362,8 +393,10 @@ bool DecodeKind(const std::string& kind, const Json& object,
     }
     if (const Json* v = opt("damping")) {
       if (!GetFinite(*v, "damping", &q.opts.damping, error)) return false;
-      if (!(q.opts.damping >= 0.0 && q.opts.damping < 1.0)) {
-        return FailDecode(error, "'damping' must be in [0, 1)");
+      // Same domain as pagerank: a teleport-only or teleport-free walk
+      // is outside the PPR model.
+      if (!(q.opts.damping > 0.0 && q.opts.damping < 1.0)) {
+        return FailDecode(error, "'damping' must be in (0, 1)");
       }
     }
     if (const Json* v = opt("tolerance")) {
@@ -407,11 +440,81 @@ bool DecodeKind(const std::string& kind, const Json& object,
     return true;
   }
 
+  if (kind == "matrix") {
+    engine::MatrixQuery q;
+    if (!CheckOptKeys(opts, "matrix",
+                      {"load_balance", "delta", "backend", "wave"},
+                      error) ||
+        !DecodeCommonOpts(opts, &q.opts, error)) {
+      return false;
+    }
+    if (const Json* v = opt("delta")) {
+      double d = 0.0;
+      if (!GetFinite(*v, "delta", &d, error)) return false;
+      if (!(d > 0.0)) {
+        return FailDecode(
+            error, "'delta' must be > 0 (omit it to use the Δ heuristic)");
+      }
+      q.opts.delta = static_cast<weight_t>(d);
+    }
+    if (const Json* v = opt("backend")) {
+      // Matrix backends are the frontier/semiring pair of sssp_batch,
+      // spelled like the SpmvBackend wire values.
+      core::SpmvBackend b = core::SpmvBackend::kAuto;
+      if (!GetBackend(*v, &b, error)) return false;
+      q.opts.backend = b == core::SpmvBackend::kFrontier
+                           ? MatrixBackend::kFrontier
+                       : b == core::SpmvBackend::kSpmv
+                           ? MatrixBackend::kSpmv
+                           : MatrixBackend::kAuto;
+    }
+    if (const Json* v = opt("wave")) {
+      long long w = 0;
+      if (!GetInt(*v, "wave", 1, kMaxBatchLanes, &w, error)) return false;
+      q.wave = static_cast<std::uint32_t>(w);
+    }
+    const Json* sources = object.Find("sources");
+    if (!sources) {
+      return FailDecode(error, "missing required field 'sources'");
+    }
+    if (!GetVidArray(*sources, "sources", /*allow_empty=*/false, &q.sources,
+                     error)) {
+      return false;
+    }
+    if (const Json* targets = object.Find("targets")) {
+      if (!GetVidArray(*targets, "targets", /*allow_empty=*/false,
+                       &q.targets, error)) {
+        return false;
+      }
+    }
+    if (const Json* paths = object.Find("paths")) {
+      if (!paths->is_array() || paths->as_array().empty()) {
+        return FailDecode(error, "'paths' must be a non-empty array");
+      }
+      for (const Json& pair : paths->as_array()) {
+        if (!pair.is_array() || pair.as_array().size() != 2) {
+          return FailDecode(error,
+                            "each 'paths' entry must be [source, target]");
+        }
+        long long s = 0, t = 0;
+        if (!GetInt(pair.as_array()[0], "paths", INT32_MIN, INT32_MAX, &s,
+                    error) ||
+            !GetInt(pair.as_array()[1], "paths", INT32_MIN, INT32_MAX, &t,
+                    error)) {
+          return false;
+        }
+        q.paths.emplace_back(static_cast<vid_t>(s), static_cast<vid_t>(t));
+      }
+    }
+    *out = q;
+    return true;
+  }
+
   return FailDecode(
       error,
       "unknown kind '" + kind +
           "' (expected one of bfs sssp bc cc pagerank mst triangles lp "
-          "hits salsa ppr)");
+          "hits salsa ppr matrix)");
 }
 
 // --- encode helpers ---------------------------------------------------------
@@ -542,6 +645,39 @@ struct PayloadEncoder {
     if (include_values) o["rank"] = NumberArray(r.rank);
     return Json(std::move(o));
   }
+
+  Json operator()(const engine::MatrixResult& r) const {
+    Json::Object o;
+    o["num_sources"] = Json(static_cast<std::int64_t>(r.num_sources));
+    o["num_targets"] = Json(static_cast<std::int64_t>(r.num_targets));
+    o["waves"] = Json(static_cast<std::int64_t>(r.waves));
+    // The table IS the payload (unlike the per-vertex arrays the
+    // `values` flag gates): one row per source, +inf cells shipped as
+    // null since JSON has no non-finite numbers.
+    Json::Array rows;
+    rows.reserve(r.num_sources);
+    for (std::size_t i = 0; i < r.num_sources; ++i) {
+      Json::Array row;
+      row.reserve(r.num_targets);
+      for (std::size_t j = 0; j < r.num_targets; ++j) {
+        const weight_t d = r.table[i * r.num_targets + j];
+        if (d < std::numeric_limits<weight_t>::infinity()) {
+          row.emplace_back(static_cast<double>(d));
+        } else {
+          row.emplace_back();
+        }
+      }
+      rows.emplace_back(std::move(row));
+    }
+    o["table"] = Json(std::move(rows));
+    if (!r.paths.empty()) {
+      Json::Array paths;
+      paths.reserve(r.paths.size());
+      for (const auto& p : r.paths) paths.push_back(NumberArray(p));
+      o["paths"] = Json(std::move(paths));
+    }
+    return Json(std::move(o));
+  }
 };
 
 }  // namespace
@@ -653,8 +789,9 @@ std::optional<WireRequest> DecodeRequest(std::string_view line,
 
   out.op = WireRequest::Op::kQuery;
   static const std::set<std::string> kQueryKeys = {
-      "op",   "graph",  "kind", "source",      "seeds",
-      "opts", "values", "tag",  "deadline_ms", "epoch",
+      "op",     "graph",   "kind",  "source", "seeds",       "sources",
+      "targets", "paths",  "opts",  "values", "deadline_ms", "epoch",
+      "tag",
   };
   for (const auto& [key, value] : parsed->as_object()) {
     (void)value;
@@ -685,12 +822,21 @@ std::optional<WireRequest> DecodeRequest(std::string_view line,
   if (!DecodeKind(kind->as_string(), *parsed, &out.request, error)) {
     return std::nullopt;
   }
-  // "seeds" is PPR-only; reject it elsewhere so it can't be silently
-  // ignored (DecodeKind consumed it for ppr).
+  // Kind-specific top-level fields are rejected elsewhere so they can't
+  // be silently ignored (DecodeKind consumed them for their kind).
   if (parsed->Find("seeds") &&
       !std::holds_alternative<engine::PprQuery>(out.request)) {
     FailDecode(error, "'seeds' is only valid for kind 'ppr'");
     return std::nullopt;
+  }
+  const bool is_matrix =
+      std::holds_alternative<engine::MatrixQuery>(out.request);
+  for (const char* key : {"sources", "targets", "paths"}) {
+    if (parsed->Find(key) && !is_matrix) {
+      FailDecode(error, "'" + std::string(key) +
+                            "' is only valid for kind 'matrix'");
+      return std::nullopt;
+    }
   }
   if (parsed->Find("source") &&
       !std::holds_alternative<engine::BfsQuery>(out.request) &&

@@ -173,6 +173,72 @@ TEST(DaemonTest, RoundTripBitIdenticalToDirectEngineCalls) {
   }
 }
 
+// The matrix wire op round-trips the full table (and extracted paths)
+// bit-identically to a direct engine submit of the same query — both go
+// through Submit, so both get the same wave stamp and backend policy.
+TEST(DaemonTest, MatrixRoundTripMatchesDirectEngineRun) {
+  auto daemon = MakeDaemon(MakeGraph());
+
+  engine::MatrixQuery frontier;
+  frontier.sources = {3, 5, 7};
+  frontier.targets = {0, 1, 2, 9};
+  frontier.paths = {{3, 0}, {7, 9}};
+  engine::MatrixQuery spmv = frontier;
+  spmv.opts.backend = MatrixBackend::kSpmv;
+
+  Json::Array sources, targets, paths;
+  for (const vid_t s : frontier.sources) sources.push_back(Json(s));
+  for (const vid_t t : frontier.targets) targets.push_back(Json(t));
+  for (const auto& [s, t] : frontier.paths) {
+    Json::Array pair;
+    pair.push_back(Json(s));
+    pair.push_back(Json(t));
+    paths.push_back(Json(std::move(pair)));
+  }
+  Json::Object extra;
+  extra["sources"] = Json(sources);
+  extra["targets"] = Json(targets);
+  extra["paths"] = Json(paths);
+  Json::Object spmv_opts;
+  spmv_opts["backend"] = Json("spmv");
+  Json::Object spmv_extra = extra;
+  spmv_extra["opts"] = Json(std::move(spmv_opts));
+
+  const struct {
+    const char* name;
+    Json wire;
+    engine::QueryRequest direct;
+  } cases[] = {
+      {"frontier", QueryLine("matrix", "m1", std::move(extra)), frontier},
+      {"spmv", QueryLine("matrix", "m2", std::move(spmv_extra)), spmv},
+  };
+
+  Client client(daemon->port());
+  for (const auto& c : cases) {
+    client.Send(c.wire);
+    const std::optional<Json> response = client.Read();
+    ASSERT_TRUE(response) << c.name;
+    EXPECT_EQ(Field(*response, "op"), "result") << c.name;
+    EXPECT_EQ(Field(*response, "kind"), "matrix") << c.name;
+    EXPECT_EQ(Field(*response, "status"), "done") << c.name;
+
+    const engine::QueryResponse direct =
+        daemon->engine().Submit("g", c.direct).Wait();
+    ASSERT_EQ(direct.status, engine::QueryStatus::kDone) << c.name;
+    const Json expected =
+        serve::EncodeResultPayload(direct.result, /*include_values=*/true);
+
+    const Json* wire_result = response->Find("result");
+    ASSERT_NE(wire_result, nullptr) << c.name;
+    EXPECT_EQ(wire_result->Dump(), expected.Dump()) << c.name;
+
+    // The table is the payload: shape fields and rows must be present.
+    ASSERT_NE(wire_result->Find("table"), nullptr) << c.name;
+    EXPECT_EQ(wire_result->Find("num_sources")->as_number(), 3) << c.name;
+    EXPECT_EQ(wire_result->Find("num_targets")->as_number(), 4) << c.name;
+  }
+}
+
 // --- finish-order streaming -------------------------------------------------
 
 // Responses arrive in finish order, not submission order: a BFS sent
@@ -264,6 +330,82 @@ TEST(DaemonTest, MalformedRequestsGetPerRequestErrors) {
   extra["source"] = Json(0);
   extra["values"] = Json(false);
   client.Send(QueryLine("bfs", "alive", std::move(extra)));
+  const std::optional<Json> ok = client.Read();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(Field(*ok, "status"), "done");
+}
+
+// Out-of-domain numeric option values are rejected at decode time with a
+// per-request {"op":"error"} naming the offending key — never silently
+// clamped, never admitted to the engine, never a dropped connection.
+TEST(DaemonTest, NumericDomainErrorsNameTheOffendingKey) {
+  auto daemon = MakeDaemon(MakeGraph());
+  Client client(daemon->port());
+
+  const struct {
+    const char* name;
+    const char* line;
+    const char* expect;  // substring of the "error" field
+  } cases[] = {
+      {"pagerank damping 0",
+       R"({"op":"query","kind":"pagerank","opts":{"damping":0}})",
+       "'damping' must be in (0, 1)"},
+      {"pagerank damping 1",
+       R"({"op":"query","kind":"pagerank","opts":{"damping":1}})",
+       "'damping' must be in (0, 1)"},
+      {"ppr damping 1",
+       R"({"op":"query","kind":"ppr","source":1,"opts":{"damping":1}})",
+       "'damping' must be in (0, 1)"},
+      {"sssp delta 0",
+       R"({"op":"query","kind":"sssp","source":1,"opts":{"delta":0}})",
+       "'delta' must be > 0"},
+      {"sssp delta negative",
+       R"({"op":"query","kind":"sssp","source":1,"opts":{"delta":-2}})",
+       "'delta' must be > 0"},
+      {"matrix delta 0",
+       R"({"op":"query","kind":"matrix","sources":[1],"opts":{"delta":0}})",
+       "'delta' must be > 0"},
+      // Overflowing literals never reach the option decoders: the JSON
+      // number parser rejects anything that lands non-finite.
+      {"overflow damping literal",
+       R"({"op":"query","kind":"pagerank","opts":{"damping":1e999}})",
+       "bad JSON"},
+      {"matrix missing sources", R"({"op":"query","kind":"matrix"})",
+       "missing required field 'sources'"},
+      {"matrix empty sources",
+       R"({"op":"query","kind":"matrix","sources":[]})",
+       "'sources' must be a non-empty array"},
+      {"sources on wrong kind",
+       R"({"op":"query","kind":"bfs","source":1,"sources":[1]})",
+       "'sources' is only valid for kind 'matrix'"},
+      {"matrix wave 0",
+       R"({"op":"query","kind":"matrix","sources":[1],"opts":{"wave":0}})",
+       "'wave' must be an integer in [1, 64]"},
+      {"matrix wave 65",
+       R"({"op":"query","kind":"matrix","sources":[1],"opts":{"wave":65}})",
+       "'wave' must be an integer in [1, 64]"},
+      {"matrix short paths entry",
+       R"({"op":"query","kind":"matrix","sources":[1],"paths":[[1]]})",
+       "each 'paths' entry must be [source, target]"},
+      {"matrix bad backend",
+       R"({"op":"query","kind":"matrix","sources":[1],"opts":{"backend":"gpu"}})",
+       "'backend' must be one of"},
+  };
+  for (const auto& c : cases) {
+    client.SendRaw(c.line);
+    const std::optional<Json> response = client.Read();
+    ASSERT_TRUE(response) << c.name;
+    EXPECT_EQ(Field(*response, "op"), "error") << c.name;
+    const std::string error = Field(*response, "error");
+    EXPECT_NE(error.find(c.expect), std::string::npos)
+        << c.name << ": missing '" << c.expect << "' in: " << error;
+  }
+
+  // The connection keeps serving after the rejection burst.
+  Json::Object extra;
+  extra["sources"] = Json(Json::Array{Json(0)});
+  extra["values"] = Json(false);
+  client.Send(QueryLine("matrix", "alive", std::move(extra)));
   const std::optional<Json> ok = client.Read();
   ASSERT_TRUE(ok);
   EXPECT_EQ(Field(*ok, "status"), "done");

@@ -1,0 +1,495 @@
+// Many-to-many SSSP distance tables: SsspBatch's bit-identical-per-lane
+// contract against N direct Sssp runs over the weighted topology corpus,
+// under both MatrixBackends, plus the numeric edge cases the matrix
+// workload must hold exactly — zero-weight edges, unreachable targets
+// (inf cells), per-lane drops mid-wave, warm-workspace reuse — and the
+// engine MatrixQuery layered on top (wave formation, epoch pinning,
+// cancel/deadline mid-wave).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/oracle.hpp"
+#include "common/topologies.hpp"
+#include "gunrock.hpp"
+
+namespace gunrock {
+namespace {
+
+using test::TopologyCase;
+
+graph::Coo ZeroWeightCoo() {
+  // A path with alternating zero/positive weights plus a zero-weight
+  // triangle: exercises equal-candidate relaxations (cand == old must
+  // not re-enqueue) and zero-cost multi-hop paths.
+  graph::Coo coo;
+  coo.num_vertices = 10;
+  coo.PushEdge(0, 1, 0);
+  coo.PushEdge(1, 2, 3);
+  coo.PushEdge(2, 3, 0);
+  coo.PushEdge(3, 4, 5);
+  coo.PushEdge(4, 5, 0);
+  coo.PushEdge(5, 6, 0);
+  coo.PushEdge(6, 7, 2);
+  coo.PushEdge(7, 0, 0);
+  coo.PushEdge(0, 8, 0);
+  coo.PushEdge(8, 9, 0);
+  coo.PushEdge(9, 0, 0);
+  return coo;
+}
+
+const std::vector<TopologyCase>& Cases() {
+  static const auto* cases = new std::vector<TopologyCase>(
+      test::CorpusBuilder()
+          .Weighted(true)
+          .Karate()
+          .Path(257)
+          .Star(100)
+          .Grid(29, 17)
+          .BinaryTree(9)
+          .Rmat(11, 8)
+          .Road(12, 9)
+          .Disconnected(4, 48)
+          .Custom("zero_weight", ZeroWeightCoo())
+          .Build());
+  return *cases;
+}
+
+/// 64 deterministic, well-spread sources (duplicates possible and
+/// intended on tiny graphs — a matrix wave may carry repeat rows).
+std::vector<vid_t> WaveSources(const graph::Csr& g) {
+  return test::SpreadSources(g, kMaxBatchLanes);
+}
+
+/// Scalar distance references, one per lane — the exact labels the batch
+/// must reproduce bitwise.
+std::vector<std::vector<weight_t>> ScalarDists(
+    const graph::Csr& g, const std::vector<vid_t>& sources) {
+  SsspOptions opts;
+  opts.compute_preds = false;
+  std::vector<std::vector<weight_t>> out;
+  out.reserve(sources.size());
+  for (const vid_t s : sources) {
+    out.push_back(Sssp(g, s, opts).dist);
+  }
+  return out;
+}
+
+std::string MatrixConfigName(
+    const ::testing::TestParamInfo<std::tuple<std::size_t, MatrixBackend>>&
+        info) {
+  const auto& [case_idx, backend] = info.param;
+  std::string name = Cases()[case_idx].name;
+  name += backend == MatrixBackend::kSpmv ? "_spmv" : "_frontier";
+  return test::SafeTestName(std::move(name));
+}
+
+class SsspBatchParamTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, MatrixBackend>> {};
+
+TEST_P(SsspBatchParamTest, EveryLaneBitIdenticalToDirectRuns) {
+  const auto& [case_idx, backend] = GetParam();
+  const auto& c = Cases()[case_idx];
+  const auto sources = WaveSources(c.graph);
+  const auto want = ScalarDists(c.graph, sources);
+
+  SsspBatchOptions opts;
+  opts.backend = backend;
+  const auto got = SsspBatch(c.graph, sources, opts);
+
+  ASSERT_EQ(got.dist.size(), sources.size());
+  EXPECT_EQ(got.completed_mask, par::LaneMaskOf(sources.size()));
+  for (std::size_t l = 0; l < sources.size(); ++l) {
+    EXPECT_EQ(got.dist[l], want[l]) << "lane " << l << " source "
+                                    << sources[l];
+  }
+}
+
+TEST_P(SsspBatchParamTest, UnreachableTargetsStayInfinite) {
+  const auto& [case_idx, backend] = GetParam();
+  const auto& c = Cases()[case_idx];
+  const auto sources = WaveSources(c.graph);
+  SsspBatchOptions opts;
+  opts.backend = backend;
+  const auto got = SsspBatch(c.graph, sources, opts);
+  SsspOptions sopts;
+  sopts.compute_preds = false;
+  for (std::size_t l = 0; l < sources.size(); ++l) {
+    const auto ref = Sssp(c.graph, sources[l], sopts);
+    for (std::size_t v = 0; v < ref.dist.size(); ++v) {
+      if (ref.dist[v] == kInfinity) {
+        ASSERT_EQ(got.dist[l][v], kInfinity)
+            << "lane " << l << " vertex " << v;
+      }
+    }
+  }
+}
+
+std::vector<std::tuple<std::size_t, MatrixBackend>> AllMatrixParams() {
+  std::vector<std::tuple<std::size_t, MatrixBackend>> params;
+  for (std::size_t i = 0; i < Cases().size(); ++i) {
+    params.emplace_back(i, MatrixBackend::kFrontier);
+    params.emplace_back(i, MatrixBackend::kSpmv);
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, SsspBatchParamTest,
+                         ::testing::ValuesIn(AllMatrixParams()),
+                         MatrixConfigName);
+
+// --- primitive edge cases ---------------------------------------------------
+
+TEST(SsspBatchTest, DroppedLaneLeavesOthersBitIdentical) {
+  const auto& c = Cases()[5];  // rmat
+  const auto sources = WaveSources(c.graph);
+  const auto want = ScalarDists(c.graph, sources);
+
+  const std::uint64_t dropped =
+      (std::uint64_t{1} << 3) | (std::uint64_t{1} << 41);
+  for (const auto backend :
+       {MatrixBackend::kFrontier, MatrixBackend::kSpmv}) {
+    std::atomic<int> polls{0};
+    BatchLaneControl lanes;
+    lanes.keep = [&](std::uint64_t active) {
+      return polls.fetch_add(1) >= 2 ? (active & ~dropped) : active;
+    };
+    SsspBatchOptions opts;
+    opts.backend = backend;
+    const auto got =
+        SsspBatch(c.graph, sources, opts, RunControl{}, lanes);
+    EXPECT_EQ(got.completed_mask & dropped, 0u);
+    for (std::size_t l = 0; l < sources.size(); ++l) {
+      if ((got.completed_mask >> l) & 1) {
+        EXPECT_EQ(got.dist[l], want[l]) << "lane " << l;
+      }
+    }
+  }
+}
+
+TEST(SsspBatchTest, AllLanesDroppedStopsTheWave) {
+  const auto& c = Cases()[5];
+  const auto sources = WaveSources(c.graph);
+  BatchLaneControl lanes;
+  lanes.keep = [](std::uint64_t) { return std::uint64_t{0}; };
+  for (const auto backend :
+       {MatrixBackend::kFrontier, MatrixBackend::kSpmv}) {
+    SsspBatchOptions opts;
+    opts.backend = backend;
+    const auto got =
+        SsspBatch(c.graph, sources, opts, RunControl{}, lanes);
+    EXPECT_EQ(got.completed_mask, 0u);
+  }
+}
+
+TEST(SsspBatchTest, DuplicateSourcesShareDistances) {
+  const auto& c = Cases()[0];  // karate
+  const std::vector<vid_t> sources = {5, 5, 5, 0};
+  const auto got = SsspBatch(c.graph, sources);
+  EXPECT_EQ(got.completed_mask, par::LaneMaskOf(4));
+  EXPECT_EQ(got.dist[0], got.dist[1]);
+  EXPECT_EQ(got.dist[0], got.dist[2]);
+  SsspOptions sopts;
+  sopts.compute_preds = false;
+  EXPECT_EQ(got.dist[0], Sssp(c.graph, 5, sopts).dist);
+}
+
+TEST(SsspBatchTest, TinyDeltaStillTerminates) {
+  // A denormal-small Δ makes the classic threshold += Δ schedule stall
+  // (threshold + Δ rounds back to threshold); the hardened window jump
+  // must still converge to the same labels.
+  const auto& c = Cases()[3];  // grid
+  const auto sources = test::SpreadSources(c.graph, 8);
+  const auto want = ScalarDists(c.graph, sources);
+  SsspBatchOptions opts;
+  opts.backend = MatrixBackend::kFrontier;
+  opts.delta = 1e-30f;
+  const auto got = SsspBatch(c.graph, sources, opts);
+  EXPECT_EQ(got.completed_mask, par::LaneMaskOf(sources.size()));
+  for (std::size_t l = 0; l < sources.size(); ++l) {
+    EXPECT_EQ(got.dist[l], want[l]) << "lane " << l;
+  }
+}
+
+TEST(SsspBatchTest, RejectsBadLaneCountsAndUnweightedGraphs) {
+  const auto& c = Cases()[0];
+  EXPECT_THROW(SsspBatch(c.graph, std::vector<vid_t>{}), Error);
+  EXPECT_THROW(SsspBatch(c.graph, std::vector<vid_t>(65, 0)), Error);
+  EXPECT_THROW(SsspBatch(c.graph, std::vector<vid_t>{-1}), Error);
+  const auto unweighted = test::Undirected(graph::MakePath(8));
+  EXPECT_THROW(SsspBatch(unweighted, std::vector<vid_t>{0}), Error);
+}
+
+TEST(SsspBatchTest, WarmWorkspaceReuseStaysBitIdentical) {
+  const auto& c = Cases()[5];
+  const auto sources = WaveSources(c.graph);
+  const auto want = ScalarDists(c.graph, sources);
+  core::Workspace ws;
+  RunControl ctl;
+  ctl.workspace = &ws;
+  for (const auto backend :
+       {MatrixBackend::kFrontier, MatrixBackend::kSpmv,
+        MatrixBackend::kFrontier}) {
+    SsspBatchOptions opts;
+    opts.backend = backend;
+    const auto got = SsspBatch(c.graph, sources, opts, ctl);
+    for (std::size_t l = 0; l < sources.size(); ++l) {
+      ASSERT_EQ(got.dist[l], want[l]) << "lane " << l;
+    }
+  }
+}
+
+TEST(SsspDeltaHeuristicTest, DegenerateInputsFallBackToOne) {
+  auto& pool = par::ThreadPool::Global();
+  // Edgeless graph: the unguarded heuristic computed 0/0 = NaN and fed
+  // it through std::max (order-dependent result).
+  graph::Coo empty;
+  empty.num_vertices = 5;
+  const auto edgeless = graph::BuildCsr(empty);
+  EXPECT_EQ(SsspDeltaHeuristic(edgeless, pool), 1.0f);
+
+  // All-zero weights: mean weight 0 is meaningless as a bucket width.
+  graph::Coo zeros;
+  zeros.num_vertices = 3;
+  zeros.PushEdge(0, 1, 0.0f);
+  zeros.PushEdge(1, 2, 0.0f);
+  EXPECT_EQ(SsspDeltaHeuristic(test::Undirected(std::move(zeros)), pool),
+            1.0f);
+
+  // A non-finite weight (an unvalidated ingest path can produce one)
+  // poisons the mean; the guard pins Δ = 1 instead of Δ = inf.
+  graph::Coo inf_w;
+  inf_w.num_vertices = 3;
+  inf_w.PushEdge(0, 1, kInfinity);
+  inf_w.PushEdge(1, 2, 2.0f);
+  EXPECT_EQ(SsspDeltaHeuristic(test::Undirected(std::move(inf_w)), pool),
+            1.0f);
+
+  // Sanity: a healthy graph still gets the real Davidson value.
+  graph::Coo ok;
+  ok.num_vertices = 3;
+  ok.PushEdge(0, 1, 4.0f);
+  ok.PushEdge(1, 2, 4.0f);
+  EXPECT_GT(SsspDeltaHeuristic(test::Undirected(std::move(ok)), pool),
+            1.0f);
+}
+
+TEST(SsspDeltaHeuristicTest, ScalarTinyDeltaStillTerminates) {
+  // The scalar runner shares the hardened window jump: a denormal Δ on a
+  // long-diameter mesh must terminate with the default-Δ labels.
+  const auto& c = Cases()[3];  // grid
+  SsspOptions opts;
+  opts.compute_preds = false;
+  const auto want = Sssp(c.graph, c.source, opts);
+  opts.delta = 1e-30f;
+  const auto got = Sssp(c.graph, c.source, opts);
+  EXPECT_EQ(got.dist, want.dist);
+}
+
+// --- MatrixQuery: the engine layer ------------------------------------------
+
+TEST_P(SsspBatchParamTest, RunMatrixTableBitIdenticalAcrossWaveSplits) {
+  const auto& [case_idx, backend] = GetParam();
+  const auto& c = Cases()[case_idx];
+  const auto sources = WaveSources(c.graph);
+  const auto want = ScalarDists(c.graph, sources);
+  const auto n = static_cast<std::size_t>(c.graph.num_vertices());
+
+  engine::MatrixQuery q;
+  q.sources = sources;
+  q.opts.backend = backend;
+  for (const std::uint32_t wave : {std::uint32_t{64}, std::uint32_t{7}}) {
+    q.wave = wave;
+    const auto r = engine::RunMatrix(c.graph, q);
+    ASSERT_EQ(r.num_sources, sources.size());
+    ASSERT_EQ(r.num_targets, n);
+    EXPECT_EQ(r.waves, (sources.size() + wave - 1) / wave);
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      const std::span<const weight_t> row(r.table.data() + i * n, n);
+      ASSERT_TRUE(std::equal(row.begin(), row.end(), want[i].begin()))
+          << c.name << " wave=" << wave << " row " << i;
+    }
+  }
+}
+
+TEST(MatrixQueryTest, TargetSubsetProjectsExactCells) {
+  const auto& c = Cases()[5];  // rmat
+  const auto sources = test::SpreadSources(c.graph, 9);
+  const auto want = ScalarDists(c.graph, sources);
+  engine::MatrixQuery q;
+  q.sources = sources;
+  q.targets = test::SpreadSources(c.graph, 17);
+  const auto r = engine::RunMatrix(c.graph, q);
+  ASSERT_EQ(r.num_targets, q.targets.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    for (std::size_t j = 0; j < q.targets.size(); ++j) {
+      EXPECT_EQ(r.table[i * r.num_targets + j],
+                want[i][static_cast<std::size_t>(q.targets[j])]);
+    }
+  }
+}
+
+TEST(MatrixQueryTest, PathExtractionWitnessesTheTableDistance) {
+  for (const std::size_t case_idx : {std::size_t{0}, std::size_t{8}}) {
+    const auto& c = Cases()[case_idx];  // karate + zero-weight plateaus
+    const auto sources = test::SpreadSources(c.graph, 4);
+    engine::MatrixQuery q;
+    q.sources = sources;
+    for (const vid_t s : sources) {
+      q.paths.emplace_back(s, static_cast<vid_t>(0));
+      q.paths.emplace_back(s, c.graph.num_vertices() - 1);
+    }
+    const auto r = engine::RunMatrix(c.graph, q);
+    ASSERT_EQ(r.paths.size(), q.paths.size());
+    for (std::size_t k = 0; k < q.paths.size(); ++k) {
+      const auto [s, t] = q.paths[k];
+      const std::size_t lane = static_cast<std::size_t>(
+          std::find(sources.begin(), sources.end(), s) - sources.begin());
+      const weight_t d =
+          r.table[lane * r.num_targets + static_cast<std::size_t>(t)];
+      const auto& path = r.paths[k];
+      if (d == kInfinity) {
+        EXPECT_TRUE(path.empty());
+        continue;
+      }
+      ASSERT_FALSE(path.empty()) << c.name << " pair " << s << "->" << t;
+      EXPECT_EQ(path.front(), s);
+      EXPECT_EQ(path.back(), t);
+      // Re-fold the path edge by edge with the same float order the
+      // labels used; the fold must land exactly on the table cell.
+      weight_t acc = 0;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        bool found = false;
+        for (eid_t e = c.graph.row_begin(path[i]);
+             e < c.graph.row_end(path[i]); ++e) {
+          if (c.graph.edge_dest(e) == path[i + 1]) {
+            acc = acc + c.graph.edge_weight(e);
+            found = true;
+            break;
+          }
+        }
+        ASSERT_TRUE(found) << "path hop " << path[i] << "->" << path[i + 1]
+                           << " is not an edge";
+      }
+      EXPECT_EQ(acc, d);
+    }
+  }
+}
+
+TEST(MatrixQueryTest, WaveWidthPolicy) {
+  // Non-scale-free topologies opt out of wave formation entirely (the
+  // BFS-wave gate); the coalescing budget caps lanes elsewhere.
+  EXPECT_EQ(engine::MatrixWaveWidth(1 << 20, false, 256u << 20), 1u);
+  EXPECT_EQ(engine::MatrixWaveWidth(1 << 10, true, 256u << 20), 64u);
+  // 64n fixed + 8n/lane: a budget of 96n holds exactly 4 lanes.
+  const vid_t n = 1 << 20;
+  EXPECT_EQ(engine::MatrixWaveWidth(
+                n, true, static_cast<std::size_t>(n) * 96),
+            4u);
+  // Budget below the fixed cost: solo lanes, never zero.
+  EXPECT_EQ(engine::MatrixWaveWidth(n, true, 1024), 1u);
+}
+
+TEST(MatrixQueryTest, EngineSubmitMatchesDirectRuns) {
+  const auto& c = Cases()[5];  // rmat: the registry hint enables waves
+  const auto sources = test::SpreadSources(c.graph, 24);
+  const auto want = ScalarDists(c.graph, sources);
+
+  engine::QueryEngine eng;
+  eng.RegisterGraph("g", c.graph);
+  engine::MatrixQuery q;
+  q.sources = sources;
+  q.targets = test::SpreadSources(c.graph, 8);
+  const auto resp = eng.Submit("g", q).Wait();
+  ASSERT_EQ(resp.status, engine::QueryStatus::kDone) << resp.error;
+  const auto& r = std::get<engine::MatrixResult>(resp.result);
+  EXPECT_GE(r.waves, 1u);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    for (std::size_t j = 0; j < q.targets.size(); ++j) {
+      EXPECT_EQ(r.table[i * r.num_targets + j],
+                want[i][static_cast<std::size_t>(q.targets[j])]);
+    }
+  }
+
+  // Out-of-range members surface the canonical per-request error.
+  engine::MatrixQuery bad = q;
+  bad.targets.push_back(c.graph.num_vertices());
+  const auto bad_resp = eng.Submit("g", bad).Wait();
+  EXPECT_EQ(bad_resp.status, engine::QueryStatus::kFailed);
+  EXPECT_NE(bad_resp.error.find("out of range"), std::string::npos);
+}
+
+TEST(MatrixQueryTest, CancelAndDeadlineStopTheQueryMidWave) {
+  const auto& c = Cases()[5];
+  engine::QueryEngineOptions eopts;
+  eopts.max_in_flight = 1;  // one runner: the second submit stays queued
+  engine::QueryEngine eng(eopts);
+  eng.RegisterGraph("g", c.graph);
+
+  engine::MatrixQuery big;
+  big.sources = WaveSources(c.graph);
+  big.wave = 1;  // 64 sequential waves: plenty of checkpoints to stop at
+
+  auto running = eng.Submit("g", big);
+  auto queued = eng.Submit("g", big);
+  queued.Cancel();  // still waiting behind the single runner
+  EXPECT_EQ(queued.Wait().status, engine::QueryStatus::kCancelled);
+  running.Cancel();
+  const auto rs = running.Wait().status;
+  EXPECT_TRUE(rs == engine::QueryStatus::kCancelled ||
+              rs == engine::QueryStatus::kDone);
+
+  engine::SubmitOptions dl;
+  dl.deadline_ms = 0.01;  // expires before the first wave finishes
+  const auto late = eng.Submit("g", big, dl).Wait();
+  EXPECT_TRUE(late.status == engine::QueryStatus::kDeadlineExceeded ||
+              late.status == engine::QueryStatus::kDone);
+}
+
+TEST(MatrixQueryTest, EpochPinnedTablesSurviveLaterCommits) {
+  // Base: a weighted path 0-1-2-3-4-5 (weight 4 per hop, mirrored).
+  graph::Coo coo;
+  coo.num_vertices = 6;
+  for (vid_t v = 0; v + 1 < 6; ++v) coo.PushEdge(v, v + 1, 4.0f);
+  auto dyn = std::make_shared<dynamic::DynamicGraph>(
+      test::Undirected(std::move(coo)));
+
+  engine::QueryEngine eng;
+  eng.RegisterDynamicGraph("d", dyn);
+  engine::MatrixQuery q;
+  q.sources = {0, 5};
+
+  const auto before =
+      eng.Submit("d", q).Wait();  // resolves epoch 1 (latest)
+  ASSERT_EQ(before.status, engine::QueryStatus::kDone) << before.error;
+  const auto& t1 = std::get<engine::MatrixResult>(before.result);
+  EXPECT_EQ(t1.table[0 * 6 + 5], 20.0f);  // 5 hops of weight 4
+
+  // Commit a shortcut that halves the 0..5 distance.
+  const dynamic::EdgeUpdate shortcut{0, 5, 2.0f};
+  dyn->AddEdges({&shortcut, 1});
+  ASSERT_TRUE(dyn->Commit().changed);
+
+  engine::SubmitOptions pin1;
+  pin1.epoch = 1;
+  const auto pinned = eng.Submit("d", q, pin1).Wait();
+  ASSERT_EQ(pinned.status, engine::QueryStatus::kDone) << pinned.error;
+  const auto& t1again = std::get<engine::MatrixResult>(pinned.result);
+  // Bit-identical to the pre-commit table: same epoch, same adjacency.
+  EXPECT_EQ(t1.table, t1again.table);
+
+  const auto after = eng.Submit("d", q).Wait();  // latest = epoch 2
+  ASSERT_EQ(after.status, engine::QueryStatus::kDone) << after.error;
+  const auto& t2 = std::get<engine::MatrixResult>(after.result);
+  EXPECT_EQ(t2.table[0 * 6 + 5], 2.0f);
+  EXPECT_EQ(t2.table[1 * 6 + 0], 2.0f);  // mirrored edge, row of source 5
+}
+
+}  // namespace
+}  // namespace gunrock
