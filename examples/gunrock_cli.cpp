@@ -49,6 +49,7 @@
 //                       the classic per-query request, predecessors
 //                       included). The summary reports achieved wave
 //                       sizes and wave throughput.
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
@@ -57,6 +58,7 @@
 #include <iostream>
 #include <mutex>
 #include <optional>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -94,6 +96,11 @@ struct Args {
   std::size_t quota = 0;
   bool stream = false;
   bool coalesce = true;
+  /// Bounded retry for queries refused at admission (status "rejected",
+  /// the retryable error class): resubmit up to this many times with
+  /// exponential backoff + jitter. 0 = fail fast.
+  int retries = 3;
+  double retry_base_ms = 50.0;  ///< first backoff step
   // mutate mode
   std::string updates_path;
   std::size_t mutate_batch = 0;  ///< auto-commit every N updates; 0 = off
@@ -114,6 +121,7 @@ struct Args {
                "bfs|sssp|bc|cc|pagerank|mst|triangles|lp|hits|salsa|ppr] "
                "[--inflight K] [--queue N] [--reject] [--deadline MS] "
                "[--quota K] [--stream] [--coalesce on|off] "
+               "[--retries N] [--retry-base MS] "
                "[graph options] [--json]\n"
                "       gunrock_cli serve [--primitive ...] [--inflight K] "
                "[graph options]   (reads \"<primitive> [source]\" lines "
@@ -259,6 +267,10 @@ Args Parse(int argc, char** argv) {
       args.deadline_ms = FlagDouble(flag, next(), 0.0);
     } else if (flag == "--quota") {
       args.quota = static_cast<std::size_t>(FlagInt(flag, next(), 0, 1 << 20));
+    } else if (flag == "--retries") {
+      args.retries = static_cast<int>(FlagInt(flag, next(), 0, 16));
+    } else if (flag == "--retry-base") {
+      args.retry_base_ms = FlagDouble(flag, next(), 0.0);
     } else if (flag == "--stream") {
       args.stream = true;
     } else if (flag == "--coalesce") {
@@ -506,6 +518,16 @@ int RunMatrixMode(const Args& args, graph::Csr graph) {
   return 0;
 }
 
+/// Backoff before retry attempt k (0-based): retry_base * 2^k, jittered
+/// down to [0.5, 1.0]x so a herd of rejected clients cannot
+/// resynchronize on the same instant.
+double RetryBackoffMs(const Args& args, int attempt, std::mt19937_64& rng) {
+  const int step = attempt > 20 ? 20 : attempt;
+  const double full = args.retry_base_ms * static_cast<double>(1ULL << step);
+  std::uniform_real_distribution<double> jitter(0.5 * full, full);
+  return jitter(rng);
+}
+
 /// `batch`: SubmitAll over a source-list file; per-query latency and
 /// aggregate throughput.
 int RunBatch(const Args& args, graph::Csr graph) {
@@ -537,11 +559,17 @@ int RunBatch(const Args& args, graph::Csr graph) {
   WallTimer wall;
   std::size_t done = 0;
   std::size_t total = sources.size();
+  // Queries refused at admission (the retryable class, only possible
+  // under --reject backpressure) — resubmitted with backoff below.
+  std::vector<std::size_t> rejected;
   // One response accounted (and reported) per completed query; shared by
   // both drain orders below.
   const auto consume = [&](std::size_t index,
                            const engine::QueryResponse& resp) {
     if (resp.status == engine::QueryStatus::kDone) ++done;
+    if (resp.status == engine::QueryStatus::kRejected) {
+      rejected.push_back(index);
+    }
     if (!args.json) {
       std::printf("query %-4zu %-8s src=%-8d status=%-18s "
                   "queue=%8.3f ms  run=%8.3f ms  total=%8.3f ms\n",
@@ -565,6 +593,45 @@ int RunBatch(const Args& args, graph::Csr graph) {
       consume(i, handles[i].Wait());
     }
   }
+
+  // Bounded retry with exponential backoff + jitter for the rejected
+  // class: under --reject a transient burst past queue/quota capacity is
+  // recoverable load, not a failed query.
+  std::size_t retried = 0;
+  std::size_t recovered = 0;
+  if (args.retries > 0 && !rejected.empty()) {
+    std::mt19937_64 rng(0x9e3779b97f4a7c15ULL);
+    const auto request_for = [&](vid_t src) {
+      auto request = MakeRequest(args, args.engine_primitive, src);
+      if (args.coalesce) {
+        if (auto* bfs = std::get_if<engine::BfsQuery>(&request)) {
+          bfs->opts.compute_preds = false;  // match the batch prototype
+        }
+      }
+      return request;
+    };
+    for (int attempt = 0; attempt < args.retries && !rejected.empty();
+         ++attempt) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          RetryBackoffMs(args, attempt, rng)));
+      std::vector<std::size_t> again = std::move(rejected);
+      rejected.clear();
+      retried += again.size();
+      std::vector<std::pair<std::size_t, engine::QueryHandle>> handles;
+      handles.reserve(again.size());
+      for (std::size_t index : again) {
+        handles.emplace_back(
+            index, engine.Submit("g", request_for(sources[index]), sopts));
+      }
+      for (auto& [index, handle] : handles) {
+        const engine::QueryResponse& resp = handle.Wait();
+        const std::size_t done_before = done;
+        consume(index, resp);
+        recovered += done - done_before;
+      }
+    }
+  }
+
   const double wall_ms = wall.ElapsedMs();
   const double qps = wall_ms > 0 ? 1000.0 * static_cast<double>(done) /
                                        wall_ms
@@ -587,7 +654,7 @@ int RunBatch(const Args& args, graph::Csr graph) {
                 "\"leases_recycled\":%zu,\"stream\":%s,"
                 "\"coalesce\":%s,\"waves\":%llu,\"coalesced\":%llu,"
                 "\"avg_wave\":%.2f,\"max_wave\":%llu,"
-                "\"wave_qps\":%.1f}\n",
+                "\"wave_qps\":%.1f,\"retried\":%zu,\"recovered\":%zu}\n",
                 args.engine_primitive.c_str(), total, done,
                 args.inflight, wall_ms, qps, ws.created, ws.recycled,
                 args.stream ? "true" : "false",
@@ -596,7 +663,7 @@ int RunBatch(const Args& args, graph::Csr graph) {
                 static_cast<unsigned long long>(stats.coalesced),
                 avg_wave,
                 static_cast<unsigned long long>(stats.max_wave),
-                wave_qps);
+                wave_qps, retried, recovered);
   } else {
     std::printf("batch: %zu/%zu queries done in %.2f ms  (%.1f q/s, "
                 "inflight=%u, %zu workspaces created, %zu leases "
@@ -616,6 +683,11 @@ int RunBatch(const Args& args, graph::Csr graph) {
                   avg_wave,
                   static_cast<unsigned long long>(stats.max_wave),
                   wave_qps);
+    }
+    if (retried > 0) {
+      std::printf("retries: resubmitted %zu rejected queries, %zu "
+                  "recovered (backoff base %.0f ms)\n",
+                  retried, recovered, args.retry_base_ms);
     }
   }
   return done == total ? 0 : 1;
@@ -642,6 +714,9 @@ int RunServe(const Args& args, graph::Csr graph) {
   struct Pending {
     engine::QueryHandle handle;
     std::string desc;
+    std::string kind;
+    vid_t src = 0;
+    int attempt = 0;  ///< resubmissions so far (retryable rejections)
   };
   std::mutex mutex;
   std::condition_variable cv;
@@ -649,6 +724,7 @@ int RunServe(const Args& args, graph::Csr graph) {
   bool input_done = false;
 
   std::thread reporter([&] {
+    std::mt19937_64 rng(0x9e3779b97f4a7c15ULL);
     for (;;) {
       Pending next;
       {
@@ -659,6 +735,29 @@ int RunServe(const Args& args, graph::Csr graph) {
         pending.pop_front();
       }
       const auto& resp = next.handle.Wait();
+      // Rejected at admission: retryable by contract — back off and
+      // resubmit up to --retries times before reporting the failure.
+      if (resp.status == engine::QueryStatus::kRejected &&
+          next.attempt < args.retries) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            RetryBackoffMs(args, next.attempt, rng)));
+        try {
+          auto handle = engine.Submit(
+              "g", MakeRequest(args, next.kind, next.src), sopts);
+          std::printf("[%llu] retry %d/%d %s\n",
+                      static_cast<unsigned long long>(handle.id()),
+                      next.attempt + 1, args.retries, next.desc.c_str());
+          std::fflush(stdout);
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            pending.push_back({std::move(handle), next.desc, next.kind,
+                               next.src, next.attempt + 1});
+          }
+          continue;
+        } catch (const Error& e) {
+          std::printf("retry submit failed: %s\n", e.what());
+        }
+      }
       std::printf("[%llu] %s -> %s  (queue %.3f ms, run %.3f ms)\n",
                   static_cast<unsigned long long>(next.handle.id()),
                   next.desc.c_str(), engine::ToString(resp.status),
@@ -728,7 +827,8 @@ int RunServe(const Args& args, graph::Csr graph) {
                   line.c_str());
       {
         std::lock_guard<std::mutex> lock(mutex);
-        pending.push_back({std::move(handle), line});
+        pending.push_back(
+            {std::move(handle), line, kind, static_cast<vid_t>(src), 0});
       }
       cv.notify_one();
     } catch (const Error& e) {

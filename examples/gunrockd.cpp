@@ -54,6 +54,35 @@ using gunrock::serve::LoadConfigFile;
       "  --deadline MS        default per-query deadline; 0 = none\n"
       "  --drain-deadline MS  graceful-drain budget on SIGTERM\n"
       "                       (default 5000)\n"
+      "\n"
+      "health/admin port (separate from the serving port):\n"
+      "  --admin-port N       liveness/readiness/stats/admin listener;\n"
+      "                       0 = ephemeral, off = disabled (default off).\n"
+      "                       Paths: /livez /readyz /stats /reopen-logs,\n"
+      "                       each also as \"GET <path>\" for curl\n"
+      "  --admin-port-file P  write the bound admin port to P\n"
+      "\n"
+      "slow-client defenses and overload shedding:\n"
+      "  --max-line N         request-line byte cap     (default 4194304)\n"
+      "  --read-deadline MS   a begun request line must complete within\n"
+      "                       MS or the connection is evicted; 0 = off\n"
+      "                       (default 30000)\n"
+      "  --idle-timeout MS    max quiet time between requests; 0 = off\n"
+      "  --write-deadline MS  a response write must land within MS or the\n"
+      "                       connection is evicted; 0 = off (default 30000)\n"
+      "  --max-connections N  shed connects over N with a retryable error;\n"
+      "                       0 = unlimited\n"
+      "  --shed-queue-depth N shed queries once the admission queue is N\n"
+      "                       deep; 0 = off\n"
+      "  --write-queue-max N  per-connection undelivered-response cap\n"
+      "                       (default 256)\n"
+      "  --sndbuf BYTES       SO_SNDBUF for accepted sockets; 0 = kernel\n"
+      "\n"
+      "structured event log:\n"
+      "  --log-file PATH      event log destination (default stderr)\n"
+      "  --log-max-bytes N    rotate the log once it exceeds N bytes;\n"
+      "                       0 = no rotation\n"
+      "  --log-keep K         rotated generations kept (default 1)\n"
       "  --help               this text\n"
       "\n"
       "protocol: one JSON request per line, one JSON response per line,\n"
@@ -122,6 +151,32 @@ DaemonConfig ParseArgs(int argc, char** argv) {
       apply("deadline_ms", next());
     } else if (flag == "--drain-deadline") {
       apply("drain_deadline_ms", next());
+    } else if (flag == "--admin-port") {
+      apply("admin_port", next());
+    } else if (flag == "--admin-port-file") {
+      apply("admin_port_file", next());
+    } else if (flag == "--max-line") {
+      apply("max_line", next());
+    } else if (flag == "--read-deadline") {
+      apply("read_deadline_ms", next());
+    } else if (flag == "--idle-timeout") {
+      apply("idle_timeout_ms", next());
+    } else if (flag == "--write-deadline") {
+      apply("write_deadline_ms", next());
+    } else if (flag == "--max-connections") {
+      apply("max_connections", next());
+    } else if (flag == "--shed-queue-depth") {
+      apply("shed_queue_depth", next());
+    } else if (flag == "--write-queue-max") {
+      apply("write_queue_max", next());
+    } else if (flag == "--sndbuf") {
+      apply("sndbuf", next());
+    } else if (flag == "--log-file") {
+      apply("log_file", next());
+    } else if (flag == "--log-max-bytes") {
+      apply("log_max_bytes", next());
+    } else if (flag == "--log-keep") {
+      apply("log_keep", next());
     } else {
       Fail("unknown flag '" + flag + "' (see --help)");
     }

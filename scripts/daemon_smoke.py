@@ -4,16 +4,22 @@
 Starts the daemon on an ephemeral port (discovered via --port-file),
 checks the --pid-file handshake, runs one BFS query, a dynamic-graph
 mutation round trip (add_edges + commit) and one "/stats" scrape over a
-TCP socket, then sends SIGTERM and asserts a clean graceful-drain exit
-(code 0) that removes the pid file. This is the cross-process twin of
-tests/test_daemon.cpp: that suite drives the Daemon class in-process;
-this script proves the shipped binary — flag parsing, signal handling,
-process lifecycle — works from the outside.
+TCP socket, scrapes the health/admin port (/livez, /readyz, GET /stats,
+/reopen-logs against a --log-file), exercises one retry-after-shed round
+trip against --max-connections, then sends SIGTERM and asserts a clean
+graceful-drain exit (code 0) that removes the pid file. Two extra
+process lifecycles pin the stale-pid-file contract: a pid file recording
+a dead pid is replaced (with an event=stale_pid log line), a pid file
+recording a live pid refuses startup. This is the cross-process twin of
+tests/test_daemon.cpp and tests/test_chaos.cpp: those suites drive the
+Daemon class in-process; this script proves the shipped binary — flag
+parsing, signal handling, process lifecycle — works from the outside.
 
 Usage: scripts/daemon_smoke.py path/to/gunrockd
 """
 
 import json
+import os
 import signal
 import socket
 import subprocess
@@ -48,114 +54,270 @@ def read_line(sock_file) -> str:
     return line.rstrip("\n")
 
 
+def admin_request(port: int, line: str) -> str:
+    """One request/one response on the health/admin port (its connections
+    are one-shot); returns everything the daemon sent back."""
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
+        s.sendall((line + "\n").encode())
+        chunks = []
+        while chunk := s.recv(4096):
+            chunks.append(chunk)
+    return b"".join(chunks).decode()
+
+
+def serve_phase(binary: str, tmp: str) -> None:
+    """The main lifecycle: queries, stats, admin scrapes, shed + retry,
+    graceful SIGTERM."""
+    port_file = Path(tmp) / "port"
+    pid_file = Path(tmp) / "pid"
+    admin_port_file = Path(tmp) / "admin_port"
+    log_file = Path(tmp) / "events.log"
+    daemon = subprocess.Popen(
+        [
+            binary,
+            "--port", "0",
+            "--port-file", str(port_file),
+            "--pid-file", str(pid_file),
+            "--admin-port", "0",
+            "--admin-port-file", str(admin_port_file),
+            "--log-file", str(log_file),
+            "--max-connections", "1",
+            "--graph", "smoke=rmat:scale=8,edge_factor=8,seed=1,"
+                       "dynamic=on",
+            "--inflight", "2",
+        ],
+    )
+    try:
+        port = wait_for_port_file(port_file)
+        admin_port = wait_for_port_file(admin_port_file)
+
+        # The daemon writes the pid file before the port file, so it
+        # must already hold the daemon's pid.
+        pid_text = pid_file.read_text().strip()
+        if pid_text != str(daemon.pid):
+            fail(f"pid file holds '{pid_text}', want '{daemon.pid}'")
+
+        with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
+            f = s.makefile("rw", encoding="utf-8", newline="\n")
+
+            # One query, round-tripped.
+            request = {"op": "query", "kind": "bfs", "source": 0,
+                       "values": False, "tag": "smoke"}
+            f.write(json.dumps(request) + "\n")
+            f.flush()
+            response = json.loads(read_line(f))
+            if response.get("op") != "result":
+                fail(f"expected a result response, got: {response}")
+            if response.get("status") != "done":
+                fail(f"query did not complete: {response}")
+            if response.get("tag") != "smoke":
+                fail(f"tag not echoed: {response}")
+
+            # One many-to-many distance table with an extracted path.
+            request = {"op": "query", "kind": "matrix",
+                       "sources": [0, 1], "targets": [0, 2],
+                       "paths": [[0, 2]], "tag": "mat"}
+            f.write(json.dumps(request) + "\n")
+            f.flush()
+            response = json.loads(read_line(f))
+            if response.get("status") != "done":
+                fail(f"matrix query did not complete: {response}")
+            result = response.get("result", {})
+            table = result.get("table")
+            if result.get("num_sources") != 2 or \
+                    result.get("num_targets") != 2 or \
+                    not isinstance(table, list) or len(table) != 2:
+                fail(f"matrix table has the wrong shape: {response}")
+            if table[0][0] != 0:
+                fail(f"matrix d(0,0) should be 0: {response}")
+            paths = result.get("paths")
+            if not paths or (table[0][1] is not None and not paths[0]):
+                fail(f"matrix path extraction came back empty: "
+                     f"{response}")
+
+            # One mutation round trip on the dynamic graph.
+            request = {"op": "add_edges", "edges": [[0, 1], [1, 0]],
+                       "tag": "mut"}
+            f.write(json.dumps(request) + "\n")
+            f.flush()
+            response = json.loads(read_line(f))
+            if response.get("op") != "mutated":
+                fail(f"expected a mutated response, got: {response}")
+            f.write(json.dumps({"op": "commit", "tag": "cmt"}) + "\n")
+            f.flush()
+            response = json.loads(read_line(f))
+            if response.get("op") != "committed":
+                fail(f"expected a committed response, got: {response}")
+            if response.get("epoch", 0) < 1:
+                fail(f"commit did not report an epoch: {response}")
+
+            # One stats scrape; the page ends with its "# end" marker.
+            f.write("/stats\n")
+            f.flush()
+            page = []
+            while (line := read_line(f)) != "# end":
+                page.append(line)
+            page_text = "\n".join(page)
+            for needle in ("gunrockd_uptime_ms", "engine_submitted",
+                           "dynamic_epoch"):
+                if needle not in page_text:
+                    fail(f"stats page missing {needle}:\n{page_text}")
+
+            # Health/admin port: liveness, readiness, stats — in both the
+            # line protocol and the curl-able GET form.
+            if admin_request(admin_port, "/livez").strip() != "ok":
+                fail("/livez did not answer ok")
+            if admin_request(admin_port, "/readyz").strip() != "ready":
+                fail("/readyz did not answer ready while serving")
+            admin_stats = admin_request(admin_port, "GET /stats HTTP/1.0")
+            if "200" not in admin_stats.splitlines()[0]:
+                fail(f"GET /stats was not a 200: {admin_stats[:200]}")
+            if "gunrockd_uptime_ms" not in admin_stats:
+                fail("admin GET /stats is missing the stats page")
+
+            # External-logrotate handshake: move the log aside, ask the
+            # daemon to reopen, and check new events land in a fresh file.
+            if "event=listening" not in log_file.read_text():
+                fail("--log-file did not capture the listening event")
+            rotated = log_file.with_suffix(".old")
+            log_file.rename(rotated)
+            if admin_request(admin_port, "/reopen-logs").strip() != "ok":
+                fail("/reopen-logs did not answer ok")
+            end = time.monotonic() + 10.0
+            while time.monotonic() < end:
+                if log_file.exists() and \
+                        "event=reopen_logs" in log_file.read_text():
+                    break
+                time.sleep(0.05)
+            else:
+                fail("reopened log file never got the reopen_logs event")
+
+            # Overload shedding: with --max-connections 1 and this
+            # connection holding the only slot, a second connect is
+            # answered with the canonical retryable error, then closed.
+            with socket.create_connection(("127.0.0.1", port),
+                                          timeout=30) as shed_sock:
+                shed_f = shed_sock.makefile("r", encoding="utf-8",
+                                            newline="\n")
+                refusal = json.loads(read_line(shed_f))
+                if refusal.get("op") != "error" or \
+                        refusal.get("retryable") is not True:
+                    fail(f"over-capacity connect was not a retryable "
+                         f"error: {refusal}")
+                if shed_f.readline():
+                    fail("shed connection was not closed after the error")
+                shed_f.close()
+
+            # makefile() pins the underlying fd: close it explicitly so
+            # the with-block exit really sends FIN and frees the slot.
+            f.close()
+
+        # Retry-after-shed: the held connection is gone, so a bounded
+        # retry with backoff must land inside the freed slot.
+        backoff_s, admitted = 0.025, False
+        for _ in range(8):
+            time.sleep(backoff_s)
+            backoff_s *= 2
+            try:
+                with socket.create_connection(("127.0.0.1", port),
+                                              timeout=30) as retry_sock:
+                    rf = retry_sock.makefile("rw", encoding="utf-8",
+                                             newline="\n")
+                    rf.write(json.dumps({"op": "ping", "tag": "rt"}) + "\n")
+                    rf.flush()
+                    response = json.loads(rf.readline() or "{}")
+                    rf.close()
+                    if response.get("op") == "pong":
+                        admitted = True
+                        break
+            except OSError:
+                continue
+        if not admitted:
+            fail("retry after shed never succeeded once capacity freed")
+
+        # Graceful drain: SIGTERM must exit 0 within the drain budget
+        # and the clean exit must remove the pid file.
+        daemon.send_signal(signal.SIGTERM)
+        code = daemon.wait(timeout=30)
+        if code != 0:
+            fail(f"gunrockd exited {code} on SIGTERM (want 0)")
+        if pid_file.exists():
+            fail("pid file survived a clean SIGTERM exit")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+
+def stale_pid_phase(binary: str, tmp: str) -> None:
+    """A pid file recording a dead pid must be replaced (with a logged
+    event=stale_pid); one recording a live pid must refuse startup."""
+    port_file = Path(tmp) / "stale_port"
+    pid_file = Path(tmp) / "stale_pid"
+    log_file = Path(tmp) / "stale_events.log"
+
+    # A real, definitely-exited pid.
+    ghost = subprocess.Popen([sys.executable, "-c", ""])
+    ghost.wait()
+    pid_file.write_text(f"{ghost.pid}\n")
+
+    daemon = subprocess.Popen(
+        [
+            binary,
+            "--port", "0",
+            "--port-file", str(port_file),
+            "--pid-file", str(pid_file),
+            "--log-file", str(log_file),
+            "--graph", "smoke=rmat:scale=6,edge_factor=8,seed=1",
+        ],
+    )
+    try:
+        wait_for_port_file(port_file)
+        if pid_file.read_text().strip() != str(daemon.pid):
+            fail("stale pid file was not replaced with the live pid")
+        if "event=stale_pid" not in log_file.read_text():
+            fail("stale-pid takeover was not logged as event=stale_pid")
+        daemon.send_signal(signal.SIGTERM)
+        if daemon.wait(timeout=30) != 0:
+            fail("daemon with replaced stale pid file did not exit 0")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+    # A live pid (our own) must refuse startup, leaving the file alone.
+    pid_file.write_text(f"{os.getpid()}\n")
+    refused = subprocess.run(
+        [
+            binary,
+            "--port", "0",
+            "--pid-file", str(pid_file),
+            "--graph", "smoke=rmat:scale=6,edge_factor=8,seed=1",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    if refused.returncode == 0:
+        fail("daemon started over a pid file recording a live process")
+    if "pid" not in refused.stderr:
+        fail(f"live-pid refusal did not mention the pid file: "
+             f"{refused.stderr}")
+    if pid_file.read_text().strip() != str(os.getpid()):
+        fail("refused startup clobbered the live pid file")
+
+
 def main() -> None:
     if len(sys.argv) != 2:
         fail(f"usage: {sys.argv[0]} path/to/gunrockd")
     binary = sys.argv[1]
 
     with tempfile.TemporaryDirectory(prefix="gunrockd_smoke.") as tmp:
-        port_file = Path(tmp) / "port"
-        pid_file = Path(tmp) / "pid"
-        daemon = subprocess.Popen(
-            [
-                binary,
-                "--port", "0",
-                "--port-file", str(port_file),
-                "--pid-file", str(pid_file),
-                "--graph", "smoke=rmat:scale=8,edge_factor=8,seed=1,"
-                           "dynamic=on",
-                "--inflight", "2",
-            ],
-        )
-        try:
-            port = wait_for_port_file(port_file)
-
-            # The daemon writes the pid file before the port file, so it
-            # must already hold the daemon's pid.
-            pid_text = pid_file.read_text().strip()
-            if pid_text != str(daemon.pid):
-                fail(f"pid file holds '{pid_text}', want '{daemon.pid}'")
-
-            with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
-                f = s.makefile("rw", encoding="utf-8", newline="\n")
-
-                # One query, round-tripped.
-                request = {"op": "query", "kind": "bfs", "source": 0,
-                           "values": False, "tag": "smoke"}
-                f.write(json.dumps(request) + "\n")
-                f.flush()
-                response = json.loads(read_line(f))
-                if response.get("op") != "result":
-                    fail(f"expected a result response, got: {response}")
-                if response.get("status") != "done":
-                    fail(f"query did not complete: {response}")
-                if response.get("tag") != "smoke":
-                    fail(f"tag not echoed: {response}")
-
-                # One many-to-many distance table with an extracted path.
-                request = {"op": "query", "kind": "matrix",
-                           "sources": [0, 1], "targets": [0, 2],
-                           "paths": [[0, 2]], "tag": "mat"}
-                f.write(json.dumps(request) + "\n")
-                f.flush()
-                response = json.loads(read_line(f))
-                if response.get("status") != "done":
-                    fail(f"matrix query did not complete: {response}")
-                result = response.get("result", {})
-                table = result.get("table")
-                if result.get("num_sources") != 2 or \
-                        result.get("num_targets") != 2 or \
-                        not isinstance(table, list) or len(table) != 2:
-                    fail(f"matrix table has the wrong shape: {response}")
-                if table[0][0] != 0:
-                    fail(f"matrix d(0,0) should be 0: {response}")
-                paths = result.get("paths")
-                if not paths or (table[0][1] is not None and not paths[0]):
-                    fail(f"matrix path extraction came back empty: "
-                         f"{response}")
-
-                # One mutation round trip on the dynamic graph.
-                request = {"op": "add_edges", "edges": [[0, 1], [1, 0]],
-                           "tag": "mut"}
-                f.write(json.dumps(request) + "\n")
-                f.flush()
-                response = json.loads(read_line(f))
-                if response.get("op") != "mutated":
-                    fail(f"expected a mutated response, got: {response}")
-                f.write(json.dumps({"op": "commit", "tag": "cmt"}) + "\n")
-                f.flush()
-                response = json.loads(read_line(f))
-                if response.get("op") != "committed":
-                    fail(f"expected a committed response, got: {response}")
-                if response.get("epoch", 0) < 1:
-                    fail(f"commit did not report an epoch: {response}")
-
-                # One stats scrape; the page ends with its "# end" marker.
-                f.write("/stats\n")
-                f.flush()
-                page = []
-                while (line := read_line(f)) != "# end":
-                    page.append(line)
-                page_text = "\n".join(page)
-                for needle in ("gunrockd_uptime_ms", "engine_submitted",
-                               "dynamic_epoch"):
-                    if needle not in page_text:
-                        fail(f"stats page missing {needle}:\n{page_text}")
-
-            # Graceful drain: SIGTERM must exit 0 within the drain budget
-            # and the clean exit must remove the pid file.
-            daemon.send_signal(signal.SIGTERM)
-            code = daemon.wait(timeout=30)
-            if code != 0:
-                fail(f"gunrockd exited {code} on SIGTERM (want 0)")
-            if pid_file.exists():
-                fail("pid file survived a clean SIGTERM exit")
-        finally:
-            if daemon.poll() is None:
-                daemon.kill()
-                daemon.wait()
+        serve_phase(binary, tmp)
+        stale_pid_phase(binary, tmp)
 
     print("daemon_smoke: OK (pid file + query + matrix + mutate + stats + "
+          "admin port + log reopen + shed/retry + stale-pid handling + "
           "graceful SIGTERM exit)")
 
 

@@ -249,6 +249,99 @@ bool ApplyDirective(const std::string& key, const std::string& value,
     config->default_deadline_ms = *v;
     return true;
   }
+  if (key == "admin_port") {
+    if (value == "off") {
+      config->admin_port = -1;
+      return true;
+    }
+    const auto p = util::ParseInt(value, 0, 65535);
+    if (!p) {
+      return FailConfig(error,
+                        "admin_port must be an integer in [0, 65535] or "
+                        "off, got '" + value + "'");
+    }
+    config->admin_port = static_cast<int>(*p);
+    return true;
+  }
+  if (key == "admin_port_file") {
+    config->admin_port_file = value;
+    return true;
+  }
+  if (key == "max_line") {
+    long long v = 0;
+    if (!ParsePositive(value, "max_line", 1LL << 30, &v, error)) return false;
+    config->max_line = static_cast<std::size_t>(v);
+    return true;
+  }
+  if (key == "read_deadline_ms" || key == "idle_timeout_ms" ||
+      key == "write_deadline_ms") {
+    const auto v = util::ParseDouble(value);
+    if (!v || !(*v >= 0.0)) {
+      return FailConfig(error,
+                        key + " must be a number >= 0, got '" + value + "'");
+    }
+    if (key == "read_deadline_ms") config->read_deadline_ms = *v;
+    else if (key == "idle_timeout_ms") config->idle_timeout_ms = *v;
+    else config->write_deadline_ms = *v;
+    return true;
+  }
+  if (key == "max_connections") {
+    const auto v = util::ParseInt(value, 0, 1 << 20);
+    if (!v) {
+      return FailConfig(error,
+                        "max_connections must be an integer >= 0, got '" +
+                            value + "' (0 = unlimited)");
+    }
+    config->max_connections = static_cast<std::size_t>(*v);
+    return true;
+  }
+  if (key == "shed_queue_depth") {
+    const auto v = util::ParseInt(value, 0, 1 << 20);
+    if (!v) {
+      return FailConfig(error,
+                        "shed_queue_depth must be an integer >= 0, got '" +
+                            value + "' (0 = off)");
+    }
+    config->shed_queue_depth = static_cast<std::size_t>(*v);
+    return true;
+  }
+  if (key == "write_queue_max") {
+    long long v = 0;
+    if (!ParsePositive(value, "write_queue_max", 1 << 20, &v, error)) {
+      return false;
+    }
+    config->write_queue_max = static_cast<std::size_t>(v);
+    return true;
+  }
+  if (key == "log_file") {
+    config->log_file = value;
+    return true;
+  }
+  if (key == "log_max_bytes") {
+    const auto v = util::ParseInt(value, 0, 1LL << 40);
+    if (!v) {
+      return FailConfig(error,
+                        "log_max_bytes must be an integer >= 0, got '" +
+                            value + "' (0 = no rotation)");
+    }
+    config->log_max_bytes = static_cast<std::uint64_t>(*v);
+    return true;
+  }
+  if (key == "log_keep") {
+    long long v = 0;
+    if (!ParsePositive(value, "log_keep", 64, &v, error)) return false;
+    config->log_keep = static_cast<int>(v);
+    return true;
+  }
+  if (key == "sndbuf") {
+    const auto v = util::ParseInt(value, 0, 1 << 30);
+    if (!v) {
+      return FailConfig(error, "sndbuf must be an integer >= 0, got '" +
+                                   value + "' (0 = kernel default)");
+    }
+    config->sndbuf = static_cast<int>(*v);
+    return true;
+  }
   if (key == "graph") {
     auto parsed = ParseGraphSpec(value, error);
     if (!parsed) return false;

@@ -18,6 +18,8 @@
 // naming the offending key, never a silently-defaulted graph.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -59,6 +61,44 @@ struct DaemonConfig {
   bool coalescing = true;     ///< engine wave coalescing
   double drain_deadline_ms = 5000.0;  ///< graceful-drain budget on SIGTERM
   double default_deadline_ms = 0.0;   ///< per-query default; 0 = none
+
+  // --- health/admin port (DESIGN §12) ---
+  /// Separate liveness/readiness/stats/admin listener; -1 = disabled,
+  /// 0 = kernel-assigned (see admin_port_file).
+  int admin_port = -1;
+  std::string admin_port_file;  ///< bound admin port written here
+
+  // --- slow-client defenses ---
+  std::size_t max_line = 1 << 22;  ///< request-line byte cap (kOversized)
+  /// Once a request line has begun, it must complete within this budget
+  /// or the connection is evicted (slow-loris defense); 0 = unlimited.
+  double read_deadline_ms = 30000.0;
+  /// Max quiet time with no partial line pending; 0 = unlimited (idle
+  /// keep-alive clients are welcome by default).
+  double idle_timeout_ms = 0.0;
+  /// Each response write must land within this budget or the connection
+  /// is evicted (stalled-reader defense); 0 = unlimited.
+  double write_deadline_ms = 30000.0;
+
+  // --- overload shedding (all answered with retryable errors) ---
+  std::size_t max_connections = 0;   ///< concurrent connections; 0 = ∞
+  /// Refuse new queries once the engine's admission queue is this deep;
+  /// 0 = no query-level shedding.
+  std::size_t shed_queue_depth = 0;
+  /// Bounded per-connection write backlog: max completions submitted but
+  /// not yet delivered to the socket; further queries on that connection
+  /// are shed until the writer catches up.
+  std::size_t write_queue_max = 256;
+
+  // --- structured event log ---
+  std::string log_file;           ///< empty = stderr
+  std::uint64_t log_max_bytes = 0;  ///< size-triggered rotation; 0 = off
+  int log_keep = 1;               ///< rotated generations kept
+
+  /// SO_SNDBUF for accepted sockets; 0 = kernel default. Tests use a
+  /// tiny buffer to provoke write stalls quickly.
+  int sndbuf = 0;
+
   std::vector<GraphConfig> graphs;
 };
 

@@ -1,7 +1,9 @@
 #include "serve/daemon.hpp"
 
+#include <signal.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cinttypes>
 #include <condition_variable>
 #include <cstdio>
@@ -48,6 +50,14 @@ struct Daemon::Connection {
   std::mutex write_mutex;
   engine::CompletionStream stream;
 
+  /// Set once the connection is evicted or its socket broke: the writer
+  /// keeps draining the stream (completions must be consumed) but skips
+  /// the socket, and the reader cancels in-flight queries on exit.
+  std::atomic<bool> dead{false};
+  /// Completions submitted but not yet delivered to the socket — the
+  /// bounded per-connection write backlog (config.write_queue_max).
+  std::atomic<std::size_t> outstanding{0};
+
   struct QueryMeta {
     std::string kind;
     Json tag;
@@ -58,11 +68,6 @@ struct Daemon::Connection {
 
   std::thread reader;
   std::thread writer;
-
-  bool WriteLine(const std::string& line) {
-    std::lock_guard<std::mutex> lock(write_mutex);
-    return socket.WriteAll(line + "\n");
-  }
 };
 
 Daemon::Daemon(DaemonConfig config)
@@ -118,6 +123,34 @@ void Daemon::AddDynamicGraph(const std::string& name, graph::Csr graph,
 }
 
 bool Daemon::Start(std::string* error) {
+  if (!log_.Open(config_.log_file, config_.log_max_bytes, config_.log_keep,
+                 error)) {
+    return false;
+  }
+
+  // Stale-pid check before anything expensive: refuse only if the
+  // recorded pid is actually alive; a leftover file from a crash is
+  // logged and replaced.
+  if (!config_.pid_file.empty()) {
+    std::ifstream in(config_.pid_file);
+    long long pid = 0;
+    if (in && (in >> pid) && pid > 0) {
+      errno = 0;
+      const bool alive =
+          ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
+      if (alive) {
+        if (error) {
+          *error = "pid file '" + config_.pid_file + "' records live pid " +
+                   std::to_string(pid) + "; refusing to start";
+        }
+        return false;
+      }
+      Log("stale_pid", "file=" + config_.pid_file +
+                           " pid=" + std::to_string(pid) +
+                           " action=replace");
+    }
+  }
+
   // Materialize the config's graph specs (prebuilt entries are already
   // registered by AddGraph).
   for (GraphConfig& spec : config_.graphs) {
@@ -156,6 +189,26 @@ bool Daemon::Start(std::string* error) {
 
   if (!listener_.Bind(config_.host, config_.port, error)) return false;
 
+  if (config_.admin_port >= 0) {
+    if (!admin_listener_.Bind(config_.host, config_.admin_port, error)) {
+      listener_.Close();
+      return false;
+    }
+    if (!config_.admin_port_file.empty()) {
+      std::ofstream out(config_.admin_port_file, std::ios::trunc);
+      out << admin_listener_.port() << "\n";
+      if (!out) {
+        if (error) {
+          *error = "cannot write admin port file '" +
+                   config_.admin_port_file + "'";
+        }
+        admin_listener_.Close();
+        listener_.Close();
+        return false;
+      }
+    }
+  }
+
   // Pid file first: the port file is the "ready" handshake for scripts,
   // so by the time it appears the pid file must already exist.
   if (!config_.pid_file.empty()) {
@@ -181,11 +234,18 @@ bool Daemon::Start(std::string* error) {
     }
   }
 
-  Log("listening", "host=" + config_.host +
-                       " port=" + std::to_string(listener_.port()) +
-                       " inflight=" + std::to_string(config_.inflight) +
-                       " queue=" + std::to_string(config_.queue));
+  Log("listening",
+      "host=" + config_.host + " port=" + std::to_string(listener_.port()) +
+          " admin_port=" +
+          (config_.admin_port >= 0 ? std::to_string(admin_listener_.port())
+                                   : std::string("off")) +
+          " inflight=" + std::to_string(config_.inflight) +
+          " queue=" + std::to_string(config_.queue));
+  if (config_.admin_port >= 0) {
+    admin_thread_ = std::thread([this] { AdminLoop(); });
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  ready_.store(true, std::memory_order_release);
   return true;
 }
 
@@ -194,6 +254,29 @@ void Daemon::AcceptLoop() {
     std::optional<Socket> accepted = listener_.Accept();
     if (!accepted) return;  // listener closed: drain has begun
     if (draining_.load()) continue;  // raced with Stop(): drop it
+
+    if (config_.max_connections > 0) {
+      std::size_t live = 0;
+      {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        live = connections_.size();
+      }
+      if (live >= config_.max_connections) {
+        // Over capacity: answer with the canonical retryable error and
+        // close — a short write budget so a hostile peer cannot stall
+        // the accept loop either.
+        sheds_.fetch_add(1, std::memory_order_relaxed);
+        Log("shed", "reason=max_connections live=" + std::to_string(live) +
+                        " max=" + std::to_string(config_.max_connections));
+        accepted->WriteAllWithin(
+            EncodeError(Json(), "server at connection capacity", true)
+                    .Dump() +
+                "\n",
+            1000.0);
+        continue;
+      }
+    }
+    if (config_.sndbuf > 0) accepted->SetSendBuffer(config_.sndbuf);
 
     auto conn = std::make_shared<Connection>();
     conn->socket = std::move(*accepted);
@@ -210,12 +293,42 @@ void Daemon::AcceptLoop() {
 }
 
 void Daemon::ReaderLoop(const std::shared_ptr<Connection>& conn) {
-  while (std::optional<std::string> line = conn->socket.ReadLine()) {
-    HandleLine(conn, *line);
+  Socket::ReadOptions opts;
+  opts.max_line = config_.max_line;
+  opts.line_deadline_ms = config_.read_deadline_ms;
+  opts.idle_timeout_ms = config_.idle_timeout_ms;
+  for (;;) {
+    Socket::ReadResult read = conn->socket.ReadLineBounded(opts);
+    if (read.status == Socket::ReadStatus::kLine) {
+      HandleLine(conn, read.line);
+      continue;
+    }
+    if (read.status == Socket::ReadStatus::kTimeout) {
+      // Slow-loris (partial line past the deadline) or idle past the
+      // idle timeout: evict rather than park this thread forever.
+      Evict(conn, "read_timeout");
+    } else if (read.status == Socket::ReadStatus::kOversized) {
+      // One error response (there is no line boundary to resync on),
+      // then a clean close.
+      SendLine(conn, EncodeError(Json(),
+                                 "request line exceeds max_line (" +
+                                     std::to_string(config_.max_line) +
+                                     " bytes)")
+                         .Dump());
+      Evict(conn, "oversized_line");
+    }
+    break;  // kEof / kError: normal teardown
   }
-  // EOF (client went away or drain shut the read side): no further
-  // submissions; the writer drains what is in flight and exits.
+  // No further submissions; the writer drains what is in flight and
+  // exits. The reader is the stream's only submitter, so after this
+  // point handles() is stable and an evicted connection's in-flight
+  // queries can be cancelled safely.
   conn->stream.CloseSubmission();
+  if (conn->dead.load(std::memory_order_acquire)) {
+    for (const engine::QueryHandle& handle : conn->stream.handles()) {
+      handle.Cancel();
+    }
+  }
   conn->writer.join();
   conn->socket.Close();
   Log("close", "conn=" + std::to_string(conn->id) +
@@ -242,9 +355,109 @@ void Daemon::WriterLoop(const std::shared_ptr<Connection>& conn) {
       meta = conn->meta[done->index];
     }
     const engine::QueryResponse& response = done->handle.Wait();
+    conn->outstanding.fetch_sub(1, std::memory_order_acq_rel);
+    // A dead connection's stream must still drain (completions are
+    // consumed exactly once), but its socket is off limits.
+    if (conn->dead.load(std::memory_order_acquire)) continue;
     const Json reply = EncodeResult(done->handle.id(), meta.tag,
                                     meta.kind.c_str(), response, meta.values);
-    conn->WriteLine(reply.Dump());
+    SendLine(conn, reply.Dump());
+  }
+}
+
+bool Daemon::SendLine(const std::shared_ptr<Connection>& conn,
+                      const std::string& line) {
+  if (conn->dead.load(std::memory_order_acquire)) return false;
+  Socket::WriteStatus status;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    status = conn->socket.WriteAllWithin(line + "\n",
+                                         config_.write_deadline_ms);
+  }
+  if (status == Socket::WriteStatus::kOk) return true;
+  // kTimeout is the stalled-reader attack; kError means the peer is
+  // gone. Either way the connection is done for.
+  Evict(conn, status == Socket::WriteStatus::kTimeout ? "write_timeout"
+                                                      : "write_error");
+  return false;
+}
+
+void Daemon::Evict(const std::shared_ptr<Connection>& conn,
+                   const char* reason) {
+  if (conn->dead.exchange(true, std::memory_order_acq_rel)) return;
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  Log("evict", "conn=" + std::to_string(conn->id) + " reason=" + reason);
+  // Wakes a blocked reader with EOF and fails all further sends; the
+  // reader's teardown cancels the in-flight queries.
+  conn->socket.ShutdownBoth();
+}
+
+void Daemon::AdminLoop() {
+  // Sequential one-shot exchanges: health probes are tiny and rare, so
+  // one thread with strict deadlines is simpler and safer than a pool.
+  for (;;) {
+    std::optional<Socket> accepted = admin_listener_.Accept();
+    if (!accepted) return;
+    ServeAdmin(std::move(*accepted));
+  }
+}
+
+void Daemon::ServeAdmin(Socket socket) {
+  Socket::ReadOptions opts;
+  opts.max_line = 4096;
+  opts.line_deadline_ms = 2000.0;
+  opts.idle_timeout_ms = 2000.0;
+  Socket::ReadResult read = socket.ReadLineBounded(opts);
+  if (read.status != Socket::ReadStatus::kLine) return;
+
+  // Both grammars: bare "/livez" from line clients and
+  // "GET /livez HTTP/1.1" from curl/kubelet-style probes.
+  std::string path = read.line;
+  bool http = false;
+  if (path.rfind("GET ", 0) == 0) {
+    http = true;
+    path = path.substr(4);
+    const std::size_t sp = path.find(' ');
+    if (sp != std::string::npos) path = path.substr(0, sp);
+  }
+
+  int status = 200;
+  std::string body;
+  bool end_marker = false;
+  if (path == "/livez") {
+    // Liveness: the process answers, full stop — stays true during
+    // drain so an orchestrator does not kill a draining daemon.
+    body = "ok\n";
+  } else if (path == "/readyz") {
+    const bool ready = ready_.load(std::memory_order_acquire) &&
+                       !draining_.load(std::memory_order_acquire);
+    body = ready ? "ready\n" : "draining\n";
+    if (!ready) status = 503;
+  } else if (path == "/stats") {
+    body = StatsText();
+    end_marker = true;
+  } else if (path == "/reopen-logs") {
+    log_.Reopen();
+    Log("reopen_logs", "source=admin");
+    body = "ok\n";
+  } else {
+    status = 404;
+    body = "unknown admin path '" + path + "'\n";
+  }
+
+  if (http) {
+    const char* reason = status == 200   ? "OK"
+                         : status == 503 ? "Service Unavailable"
+                                         : "Not Found";
+    socket.WriteAllWithin(
+        "HTTP/1.0 " + std::to_string(status) + " " + reason +
+            "\r\nContent-Type: text/plain\r\nContent-Length: " +
+            std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
+            body,
+        2000.0);
+  } else {
+    if (end_marker) body += "# end\n";
+    socket.WriteAllWithin(body, 2000.0);
   }
 }
 
@@ -259,16 +472,18 @@ void Daemon::HandleLine(const std::shared_ptr<Connection>& conn,
     const std::string body = StatsText();
     if (http_stats) {
       std::lock_guard<std::mutex> lock(conn->write_mutex);
-      conn->socket.WriteAll(
+      conn->socket.WriteAllWithin(
           "HTTP/1.0 200 OK\r\nContent-Type: text/plain\r\nContent-Length: " +
-          std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
-          body);
+              std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
+              body,
+          config_.write_deadline_ms);
       // HTTP clients expect the connection to end the exchange.
       conn->socket.ShutdownRead();
     } else {
       // Multi-line page on a line protocol: explicit end marker.
       std::lock_guard<std::mutex> lock(conn->write_mutex);
-      conn->socket.WriteAll(body + "# end\n");
+      conn->socket.WriteAllWithin(body + "# end\n",
+                                  config_.write_deadline_ms);
     }
     return;
   }
@@ -277,7 +492,7 @@ void Daemon::HandleLine(const std::shared_ptr<Connection>& conn,
   std::optional<WireRequest> request =
       DecodeRequest(line, default_graph_, &error);
   if (!request) {
-    conn->WriteLine(EncodeError(Json(), error).Dump());
+    SendLine(conn, EncodeError(Json(), error).Dump());
     return;
   }
 
@@ -286,7 +501,7 @@ void Daemon::HandleLine(const std::shared_ptr<Connection>& conn,
       Json::Object o;
       o["op"] = Json("pong");
       if (!request->tag.is_null()) o["tag"] = request->tag;
-      conn->WriteLine(Json(std::move(o)).Dump());
+      SendLine(conn, Json(std::move(o)).Dump());
       return;
     }
     case WireRequest::Op::kGraphs: {
@@ -307,7 +522,7 @@ void Daemon::HandleLine(const std::shared_ptr<Connection>& conn,
       o["op"] = Json("graphs");
       if (!request->tag.is_null()) o["tag"] = request->tag;
       o["graphs"] = Json(std::move(graphs));
-      conn->WriteLine(Json(std::move(o)).Dump());
+      SendLine(conn, Json(std::move(o)).Dump());
       return;
     }
     case WireRequest::Op::kStats: {
@@ -326,7 +541,7 @@ void Daemon::HandleLine(const std::shared_ptr<Connection>& conn,
       o["max_wave"] = Json(s.max_wave);
       o["queued"] = Json(s.queued);
       o["running"] = Json(s.running);
-      conn->WriteLine(Json(std::move(o)).Dump());
+      SendLine(conn, Json(std::move(o)).Dump());
       return;
     }
     case WireRequest::Op::kAddEdges:
@@ -349,9 +564,9 @@ void Daemon::HandleLine(const std::shared_ptr<Connection>& conn,
         o["applied"] = Json(static_cast<std::int64_t>(applied));
         o["ignored"] =
             Json(static_cast<std::int64_t>(request->edges.size() - applied));
-        conn->WriteLine(Json(std::move(o)).Dump());
+        SendLine(conn, Json(std::move(o)).Dump());
       } catch (const std::exception& e) {
-        conn->WriteLine(EncodeError(request->tag, e.what()).Dump());
+        SendLine(conn, EncodeError(request->tag, e.what()).Dump());
       }
       return;
     }
@@ -374,14 +589,43 @@ void Daemon::HandleLine(const std::shared_ptr<Connection>& conn,
         o["compacted"] = Json(info.compacted);
         o["base_edges"] = Json(static_cast<std::int64_t>(info.base_edges));
         o["delta_edges"] = Json(static_cast<std::int64_t>(info.delta_edges));
-        conn->WriteLine(Json(std::move(o)).Dump());
+        SendLine(conn, Json(std::move(o)).Dump());
       } catch (const std::exception& e) {
-        conn->WriteLine(EncodeError(request->tag, e.what()).Dump());
+        SendLine(conn, EncodeError(request->tag, e.what()).Dump());
       }
       return;
     }
     case WireRequest::Op::kQuery:
       break;
+  }
+
+  // Overload shedding, both gates answered with the canonical retryable
+  // error instead of a silent drop. Gate 1: the engine's admission queue
+  // is over the configured depth. Gate 2: this connection's undelivered
+  // completion backlog is at the bounded write-queue cap (a client that
+  // submits faster than it reads must not buffer unboundedly).
+  if (config_.shed_queue_depth > 0 &&
+      engine_.stats().queued >= config_.shed_queue_depth) {
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+    Log("shed", "conn=" + std::to_string(conn->id) +
+                    " reason=queue_depth depth=" +
+                    std::to_string(config_.shed_queue_depth));
+    SendLine(conn, EncodeError(request->tag,
+                               "server overloaded: admission queue full",
+                               true)
+                       .Dump());
+    return;
+  }
+  if (conn->outstanding.load(std::memory_order_acquire) >=
+      config_.write_queue_max) {
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+    Log("shed", "conn=" + std::to_string(conn->id) +
+                    " reason=write_queue max=" +
+                    std::to_string(config_.write_queue_max));
+    SendLine(conn, EncodeError(request->tag,
+                               "connection write queue full", true)
+                       .Dump());
+    return;
   }
 
   engine::SubmitOptions options;
@@ -399,6 +643,7 @@ void Daemon::HandleLine(const std::shared_ptr<Connection>& conn,
         engine::KindName(request->request), request->tag,
         request->include_values});
   }
+  conn->outstanding.fetch_add(1, std::memory_order_acq_rel);
   try {
     engine_.Submit(request->graph, std::move(request->request), options,
                    conn->stream);
@@ -407,7 +652,8 @@ void Daemon::HandleLine(const std::shared_ptr<Connection>& conn,
       std::lock_guard<std::mutex> lock(conn->meta_mutex);
       conn->meta.pop_back();
     }
-    conn->WriteLine(EncodeError(request->tag, e.what()).Dump());
+    conn->outstanding.fetch_sub(1, std::memory_order_acq_rel);
+    SendLine(conn, EncodeError(request->tag, e.what()).Dump());
   }
 }
 
@@ -446,6 +692,14 @@ std::string Daemon::StatsText() const {
   }
   addu("gunrockd_observed_total",
        observed_total_.load(std::memory_order_relaxed));
+  addu("gunrockd_ready",
+       ready_.load(std::memory_order_acquire) && !draining_.load() ? 1 : 0);
+  addu("gunrockd_draining", draining_.load() ? 1 : 0);
+  addu("gunrockd_evictions", evictions_.load(std::memory_order_relaxed));
+  addu("gunrockd_sheds", sheds_.load(std::memory_order_relaxed));
+  addu("gunrockd_accept_retries",
+       listener_.accept_retries() + admin_listener_.accept_retries());
+  addu("gunrockd_log_rotations", log_.rotations());
 
   const engine::QueryEngine::Stats s = engine_.stats();
   addu("engine_submitted", s.submitted);
@@ -512,6 +766,9 @@ std::string Daemon::StatsText() const {
 void Daemon::Stop() {
   std::lock_guard<std::mutex> stop_lock(stop_mutex_);
   if (stopped_) return;
+  // Readiness flips first: probes see "draining" for the whole drain
+  // while liveness stays true (the admin listener closes last).
+  ready_.store(false, std::memory_order_release);
   draining_.store(true);
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -562,8 +819,12 @@ void Daemon::Stop() {
   }
   finished_.clear();
   if (!config_.pid_file.empty()) std::remove(config_.pid_file.c_str());
-  stopped_ = true;
   Log("drain", "phase=done ms=" + std::to_string(MsSince(t0)));
+  // The admin port outlives the drain so /readyz and /livez stay
+  // scrapeable until the very end.
+  if (admin_listener_.listening()) admin_listener_.Close();
+  if (admin_thread_.joinable()) admin_thread_.join();
+  stopped_ = true;
 }
 
 void Daemon::Wait() {
@@ -574,9 +835,10 @@ void Daemon::Wait() {
 }
 
 void Daemon::Log(const char* event, const std::string& fields) const {
-  std::lock_guard<std::mutex> lock(log_mutex_);
-  std::fprintf(stderr, "gunrockd t=%.3f event=%s %s\n",
-               MsSince(start_time_) / 1000.0, event, fields.c_str());
+  char head[96];
+  std::snprintf(head, sizeof head, "gunrockd t=%.3f event=%s ",
+                MsSince(start_time_) / 1000.0, event);
+  log_.Write(head + fields);
 }
 
 }  // namespace gunrock::serve

@@ -45,6 +45,7 @@
 #include "serve/config.hpp"
 #include "serve/histogram.hpp"
 #include "serve/listener.hpp"
+#include "serve/log.hpp"
 
 namespace gunrock::serve {
 
@@ -75,6 +76,19 @@ class Daemon {
   /// The bound port (after Start(); resolves an ephemeral port 0).
   int port() const { return listener_.port(); }
 
+  /// The bound health/admin port (0 unless config.admin_port >= 0).
+  int admin_port() const { return admin_listener_.port(); }
+
+  /// Connections forcibly cut for misbehaving (slow-loris reads, stalled
+  /// writes, oversized lines) — `gunrockd_evictions` on /stats.
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Requests/connections refused with a retryable error under overload.
+  std::uint64_t sheds() const {
+    return sheds_.load(std::memory_order_relaxed);
+  }
+
   /// Graceful drain as documented above. Idempotent, thread-safe; the
   /// destructor calls it.
   void Stop();
@@ -96,6 +110,18 @@ class Daemon {
   void WriterLoop(const std::shared_ptr<Connection>& conn);
   void HandleLine(const std::shared_ptr<Connection>& conn,
                   const std::string& line);
+  /// Health/admin listener: sequential one-shot request/response
+  /// connections (probes), served on the admin thread.
+  void AdminLoop();
+  void ServeAdmin(Socket socket);
+  /// Writes one response line under the connection's write mutex and the
+  /// configured write deadline; on timeout/error the connection is
+  /// evicted. False once the connection is dead.
+  bool SendLine(const std::shared_ptr<Connection>& conn,
+                const std::string& line);
+  /// Marks the connection dead, logs a structured event, and shuts the
+  /// socket both ways (wakes a blocked reader; fails further sends).
+  void Evict(const std::shared_ptr<Connection>& conn, const char* reason);
   void Observe(const engine::QueryEngine::QueryObservation& obs);
   void Log(const char* event, const std::string& fields) const;
 
@@ -108,6 +134,15 @@ class Daemon {
 
   Listener listener_;
   std::thread accept_thread_;
+
+  Listener admin_listener_;
+  std::thread admin_thread_;
+  /// Readiness: true once Start() completes, flipped false first thing
+  /// in Stop() so /readyz reports draining while liveness stays up.
+  std::atomic<bool> ready_{false};
+
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> sheds_{0};
 
   mutable std::mutex connections_mutex_;
   std::condition_variable connections_cv_;  ///< signalled as readers exit
@@ -131,7 +166,9 @@ class Daemon {
   /// its own ledger; these exist so /stats survives engine shutdown).
   std::atomic<std::uint64_t> observed_total_{0};
 
-  mutable std::mutex log_mutex_;
+  /// Structured event-log sink (stderr or rotating file); internally
+  /// locked, hence usable from const Log().
+  mutable LogSink log_;
 };
 
 }  // namespace gunrock::serve

@@ -1,0 +1,78 @@
+#include "serve/fault.hpp"
+
+namespace gunrock::serve {
+
+namespace {
+
+std::atomic<FaultInjector*> g_injector{nullptr};
+
+/// splitmix64 finalizer: a high-quality 64-bit mix, cheap enough to run
+/// per decision.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void FaultInjector::Install(FaultInjector* injector) {
+  g_injector.store(injector, std::memory_order_release);
+}
+
+FaultInjector* FaultInjector::Get() {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+bool FaultInjector::Roll(int per_mille) {
+  if (per_mille <= 0) return false;
+  const std::uint64_t draw =
+      sequence_.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(Mix(config_.seed ^
+                              draw * 0x9e3779b97f4a7c15ULL) %
+                          1000) < per_mille;
+}
+
+bool FaultInjector::Charge() {
+  if (config_.budget < 0) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  // Claim one unit; a losing decrement below zero is handed back so the
+  // budget never goes net-negative under concurrent charges.
+  if (budget_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+    budget_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+FaultInjector::IoFault FaultInjector::OnRead(bool accepted) {
+  IoFault fault;
+  if (config_.accepted_only && !accepted) return fault;
+  if (Roll(config_.stall_pm) && Charge()) fault.stall_ms = config_.stall_ms;
+  if (Roll(config_.disconnect_pm) && Charge()) fault.disconnect = true;
+  if (Roll(config_.eintr_pm) && Charge()) fault.eintr = true;
+  if (Roll(config_.short_read_pm) && Charge()) fault.cap = config_.short_cap;
+  return fault;
+}
+
+FaultInjector::IoFault FaultInjector::OnWrite(bool accepted) {
+  IoFault fault;
+  if (config_.accepted_only && !accepted) return fault;
+  if (Roll(config_.stall_pm) && Charge()) fault.stall_ms = config_.stall_ms;
+  if (Roll(config_.disconnect_pm) && Charge()) fault.disconnect = true;
+  if (Roll(config_.eintr_pm) && Charge()) fault.eintr = true;
+  if (Roll(config_.short_write_pm) && Charge()) {
+    fault.cap = config_.short_cap;
+  }
+  return fault;
+}
+
+bool FaultInjector::OnAccept() {
+  return Roll(config_.accept_fail_pm) && Charge();
+}
+
+}  // namespace gunrock::serve

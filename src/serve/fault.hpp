@@ -1,0 +1,119 @@
+// Deterministic fault injection for the serve I/O path.
+//
+// Every Socket recv/send and Listener accept consults the process-global
+// injector through one relaxed atomic load — compiled in always, inert by
+// default (no injector installed), so production binaries pay a single
+// predictable branch and the chaos tests exercise the exact code the
+// daemon ships with, not a test-only build.
+//
+// Determinism: decisions are drawn from a seed-keyed splitmix64 sequence
+// over an atomic draw counter. The *sequence* of decisions is a pure
+// function of the seed; which thread consumes which draw depends on
+// scheduling, but the multiset of injected faults over any N draws is
+// seed-determined, and with a finite `budget` exactly min(budget, hits)
+// faults fire before the injector goes inert. That is what makes the
+// chaos suite reproducible instead of flaky: a failing seed replays the
+// same fault pressure every run.
+//
+// Scope: with `accepted_only` (the default) only sockets returned by
+// Listener::Accept — the daemon's side of every connection — suffer
+// faults, so in-process chaos tests keep clean client sockets and can
+// assert on every byte they receive.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace gunrock::serve {
+
+class FaultInjector {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+
+    // Per-mille odds per I/O call; each category rolls independently
+    // against the shared decision sequence.
+    int short_read_pm = 0;   ///< cap this recv at `short_cap` bytes
+    int short_write_pm = 0;  ///< cap this send at `short_cap` bytes
+    int eintr_pm = 0;        ///< fail this call with a synthetic EINTR
+    int stall_pm = 0;        ///< sleep `stall_ms` before this call
+    int disconnect_pm = 0;   ///< shutdown(SHUT_RDWR) the fd mid-call
+    int accept_fail_pm = 0;  ///< synthetic transient accept failure
+
+    int stall_ms = 1;
+    std::size_t short_cap = 1;
+
+    /// Only accepted (daemon-side) sockets suffer faults; client sockets
+    /// in the same process stay clean so tests can assert on them.
+    bool accepted_only = true;
+
+    /// Total faults to inject before the injector goes inert; -1 =
+    /// unlimited. A finite budget makes "exactly N EINTRs, then clean"
+    /// regression tests deterministic.
+    long long budget = -1;
+  };
+
+  /// The injected outcome for one recv/send call. `cap` bounds the bytes
+  /// the syscall may move (short I/O); `eintr` replaces the call with a
+  /// synthetic EINTR failure; `disconnect` tears the socket down first.
+  struct IoFault {
+    bool eintr = false;
+    bool disconnect = false;
+    int stall_ms = 0;
+    std::size_t cap = std::numeric_limits<std::size_t>::max();
+  };
+
+  explicit FaultInjector(const Config& config)
+      : config_(config), budget_(config.budget) {}
+
+  IoFault OnRead(bool accepted);
+  IoFault OnWrite(bool accepted);
+  /// True = inject one transient accept failure (the listener retries).
+  bool OnAccept();
+
+  /// Faults actually fired so far (after scope and budget filtering).
+  std::uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  /// Process-global install point; nullptr = inert (the default). The
+  /// injector must outlive every thread doing serve I/O — in tests,
+  /// declare the ScopedFaultInjector before the Daemon so the daemon
+  /// (and all its threads) is torn down first.
+  static void Install(FaultInjector* injector);
+  static FaultInjector* Get();
+
+ private:
+  bool Roll(int per_mille);
+  /// Consumes one budget unit; false once the budget is exhausted.
+  bool Charge();
+
+  Config config_;
+  std::atomic<std::uint64_t> sequence_{0};
+  std::atomic<long long> budget_;
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+/// RAII install/uninstall for tests. Declare it before the Daemon under
+/// test: locals are destroyed in reverse order, so the daemon's threads
+/// are joined before the injector goes away.
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(const FaultInjector::Config& config)
+      : injector_(config) {
+    FaultInjector::Install(&injector_);
+  }
+  ~ScopedFaultInjector() { FaultInjector::Install(nullptr); }
+
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+  FaultInjector& injector() { return injector_; }
+
+ private:
+  FaultInjector injector_;
+};
+
+}  // namespace gunrock::serve

@@ -3,11 +3,18 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
+
+#include "serve/fault.hpp"
 
 namespace gunrock::serve {
 
@@ -17,51 +24,163 @@ std::string Errno(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
 }
 
+using Clock = std::chrono::steady_clock;
+
+double RemainingMs(Clock::time_point deadline) {
+  return std::chrono::duration<double, std::milli>(deadline - Clock::now())
+      .count();
+}
+
+/// Millisecond poll timeout for a remaining budget: at least 1 so a
+/// sub-millisecond remainder still polls once instead of spinning.
+int PollTimeout(double remaining_ms) {
+  return std::max(1, static_cast<int>(std::ceil(remaining_ms)));
+}
+
 }  // namespace
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    accepted_ = other.accepted_;
     buffer_ = std::move(other.buffer_);
     other.fd_ = -1;
   }
   return *this;
 }
 
-std::optional<std::string> Socket::ReadLine(std::size_t max_line) {
+Socket::ReadResult Socket::ReadLineBounded(const ReadOptions& opts) {
+  bool line_started = !buffer_.empty();
+  Clock::time_point line_deadline{};
+  if (line_started && opts.line_deadline_ms > 0.0) {
+    line_deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(opts.line_deadline_ms));
+  }
   for (;;) {
     const std::size_t nl = buffer_.find('\n');
     if (nl != std::string::npos) {
       std::string line = buffer_.substr(0, nl);
       buffer_.erase(0, nl + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
-      return line;
+      return {ReadStatus::kLine, std::move(line)};
     }
-    if (buffer_.size() > max_line) return std::nullopt;
+    if (buffer_.size() > opts.max_line) return {ReadStatus::kOversized, {}};
+
+    // Wait for readability under whichever deadline applies: the
+    // line-completion budget once a partial line is pending, else the
+    // idle timeout, else forever.
+    int timeout_ms = -1;
+    if (line_started && opts.line_deadline_ms > 0.0) {
+      const double left = RemainingMs(line_deadline);
+      if (left <= 0.0) return {ReadStatus::kTimeout, {}};
+      timeout_ms = PollTimeout(left);
+    } else if (opts.idle_timeout_ms > 0.0) {
+      timeout_ms = PollTimeout(opts.idle_timeout_ms);
+    }
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc == 0) return {ReadStatus::kTimeout, {}};
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return {ReadStatus::kError, {}};
+    }
+
     char chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-    if (n <= 0) return std::nullopt;  // EOF or error
+    std::size_t cap = sizeof chunk;
+    if (FaultInjector* injector = FaultInjector::Get()) {
+      const FaultInjector::IoFault fault = injector->OnRead(accepted_);
+      if (fault.stall_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(fault.stall_ms));
+      }
+      if (fault.disconnect) ::shutdown(fd_, SHUT_RDWR);
+      if (fault.eintr) continue;  // a synthetic EINTR'd recv moved nothing
+      cap = std::min(cap, fault.cap);
+    }
+    const ssize_t n = ::recv(fd_, chunk, cap, 0);
+    if (n == 0) return {ReadStatus::kEof, {}};
+    if (n < 0) {
+      // EINTR is a retry, never EOF; EAGAIN just re-polls.
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return {ReadStatus::kError, {}};
+    }
     buffer_.append(chunk, static_cast<std::size_t>(n));
+    if (!line_started) {
+      // The first byte of a line starts its completion clock.
+      line_started = true;
+      if (opts.line_deadline_ms > 0.0) {
+        line_deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    opts.line_deadline_ms));
+      }
+    }
   }
 }
 
-bool Socket::WriteAll(const std::string& data) {
+std::optional<std::string> Socket::ReadLine(std::size_t max_line) {
+  ReadOptions opts;
+  opts.max_line = max_line;
+  ReadResult result = ReadLineBounded(opts);
+  if (result.status == ReadStatus::kLine) return std::move(result.line);
+  return std::nullopt;
+}
+
+Socket::WriteStatus Socket::WriteAllWithin(const std::string& data,
+                                           double deadline_ms) {
+  const bool bounded = deadline_ms > 0.0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double, std::milli>(deadline_ms));
   std::size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
+    std::size_t cap = data.size() - sent;
+    if (FaultInjector* injector = FaultInjector::Get()) {
+      const FaultInjector::IoFault fault = injector->OnWrite(accepted_);
+      if (fault.stall_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(fault.stall_ms));
+      }
+      if (fault.disconnect) ::shutdown(fd_, SHUT_RDWR);
+      if (fault.eintr) continue;  // a synthetic EINTR'd send moved nothing
+      cap = std::min(cap, fault.cap);
     }
-    sent += static_cast<std::size_t>(n);
+    // Under a deadline the send must not park: MSG_DONTWAIT plus a
+    // poll(POLLOUT) with the remaining budget.
+    const int flags = MSG_NOSIGNAL | (bounded ? MSG_DONTWAIT : 0);
+    const ssize_t n = ::send(fd_, data.data() + sent, cap, flags);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && bounded && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const double left = RemainingMs(deadline);
+      if (left <= 0.0) return WriteStatus::kTimeout;
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLOUT;
+      const int rc = ::poll(&pfd, 1, PollTimeout(left));
+      if (rc == 0) return WriteStatus::kTimeout;
+      if (rc < 0 && errno != EINTR) return WriteStatus::kError;
+      continue;
+    }
+    return WriteStatus::kError;
   }
-  return true;
+  return WriteStatus::kOk;
+}
+
+bool Socket::WriteAll(const std::string& data) {
+  return WriteAllWithin(data, 0.0) == WriteStatus::kOk;
 }
 
 void Socket::ShutdownRead() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 void Socket::Close() {
@@ -70,6 +189,12 @@ void Socket::Close() {
     fd_ = -1;
   }
   buffer_.clear();
+}
+
+void Socket::SetSendBuffer(int bytes) {
+  if (fd_ >= 0 && bytes > 0) {
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof bytes);
+  }
 }
 
 bool Listener::Bind(const std::string& host, int port, std::string* error) {
@@ -106,16 +231,45 @@ bool Listener::Bind(const std::string& host, int port, std::string* error) {
     return false;
   }
   port_ = ntohs(bound.sin_port);
+  closed_.store(false, std::memory_order_release);
   socket_ = std::move(holder);
   return true;
 }
 
 std::optional<Socket> Listener::Accept() {
-  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
-  if (fd < 0) return std::nullopt;
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  return Socket(fd);
+  for (;;) {
+    if (FaultInjector* injector = FaultInjector::Get()) {
+      if (injector->OnAccept()) {
+        // A synthetic transient failure: count it, back off a beat and
+        // try again — the pending connection stays in the backlog.
+        accept_retries_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+    }
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (closed_.load(std::memory_order_acquire)) return std::nullopt;
+      if (errno == EINTR || errno == ECONNABORTED) {
+        accept_retries_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Resource pressure: back off instead of dying — the shedding
+        // layer above keeps the connection count sane.
+        accept_retries_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      return std::nullopt;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    Socket accepted(fd);
+    accepted.MarkAccepted();
+    return accepted;
+  }
 }
 
 Socket ConnectTcp(const std::string& host, int port, std::string* error) {

@@ -3,9 +3,17 @@
 // is thread-per-connection (serving a handful of analytical clients, not
 // ten thousand idle ones), so blocking reads with a small buffer are the
 // right tool; the interesting concurrency lives in the QueryEngine.
+//
+// Robustness contract (DESIGN §12): every recv/send/accept retries EINTR,
+// can run under a poll-guarded deadline (the slow-client defenses), and
+// consults the process-global FaultInjector (serve/fault.hpp) so chaos
+// tests drive short I/O, stalls and disconnects through the exact
+// production code path.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -18,7 +26,10 @@ class Socket {
   explicit Socket(int fd) : fd_(fd) {}
   ~Socket() { Close(); }
 
-  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket(Socket&& other) noexcept
+      : fd_(other.fd_), accepted_(other.accepted_) {
+    other.fd_ = -1;
+  }
   Socket& operator=(Socket&& other) noexcept;
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
@@ -26,23 +37,65 @@ class Socket {
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
-  /// Reads up to and including the next '\n'; returns the line without
-  /// its terminator ("\r\n" also stripped, for telnet/curl users).
-  /// std::nullopt on EOF or error. Lines beyond `max_line` bytes abort
-  /// the connection (protocol lines are small; an unbounded line is an
-  /// attack, not a request).
+  struct ReadOptions {
+    /// Lines beyond this many bytes abort with kOversized (protocol
+    /// lines are small; an unbounded line is an attack, not a request).
+    std::size_t max_line = 1 << 22;
+    /// Once the first byte of a line has arrived, the full line must
+    /// follow within this budget; 0 = unlimited. This is the slow-loris
+    /// defense: dribbling a request one byte at a time cannot hold the
+    /// reader past the deadline, while an idle connection with no
+    /// partial line pending is not charged.
+    double line_deadline_ms = 0.0;
+    /// Max quiet time while no partial line is pending; 0 = unlimited
+    /// (idle keep-alive clients are welcome by default).
+    double idle_timeout_ms = 0.0;
+  };
+  enum class ReadStatus { kLine, kEof, kTimeout, kOversized, kError };
+  struct ReadResult {
+    ReadStatus status = ReadStatus::kError;
+    std::string line;  ///< filled for kLine only, terminator stripped
+  };
+
+  /// Reads up to and including the next '\n' under `opts`; "\r\n" is
+  /// also stripped, for telnet/curl users. EINTR'd recvs are retried,
+  /// never misread as EOF.
+  ReadResult ReadLineBounded(const ReadOptions& opts);
+
+  /// Unbounded compatibility wrapper: std::nullopt on EOF, error,
+  /// or an over-long line.
   std::optional<std::string> ReadLine(std::size_t max_line = 1 << 22);
 
-  /// Writes all of `data` (retrying short writes); false on error.
-  /// SIGPIPE-safe: uses MSG_NOSIGNAL, a vanished peer is a false return.
+  enum class WriteStatus { kOk, kTimeout, kError };
+
+  /// Writes all of `data`, retrying short writes and EINTR. With
+  /// `deadline_ms > 0` the send is poll-guarded: a peer that stops
+  /// reading (stalled-writer attack) costs at most the deadline, never
+  /// a parked thread. SIGPIPE-safe via MSG_NOSIGNAL.
+  WriteStatus WriteAllWithin(const std::string& data, double deadline_ms);
+
+  /// WriteAllWithin without a deadline; false on error.
   bool WriteAll(const std::string& data);
 
   /// Shuts down the read side (wakes a blocked ReadLine with EOF).
   void ShutdownRead();
+  /// Shuts down both directions: the eviction hammer — wakes a blocked
+  /// reader with EOF and makes every further send fail fast.
+  void ShutdownBoth();
   void Close();
+
+  /// SO_SNDBUF, for tests that need a small kernel buffer to provoke
+  /// write stalls quickly; no-op for bytes <= 0.
+  void SetSendBuffer(int bytes);
+
+  /// Marks this socket as accepted (daemon-side); the FaultInjector's
+  /// accepted_only scope keys off it.
+  void MarkAccepted() { accepted_ = true; }
+  bool accepted() const { return accepted_; }
 
  private:
   int fd_ = -1;
+  bool accepted_ = false;
   std::string buffer_;  // bytes read past the last returned line
 };
 
@@ -55,19 +108,28 @@ class Listener {
   /// Binds and listens. False (with `error`) on resolve/bind failure.
   bool Bind(const std::string& host, int port, std::string* error);
 
-  /// Blocking accept; std::nullopt on error or after Close() from
-  /// another thread (the shutdown path).
+  /// Blocking accept. Transient failures (EINTR, ECONNABORTED,
+  /// EMFILE/ENFILE/ENOBUFS/ENOMEM pressure, injected faults) are retried
+  /// internally — counted in accept_retries() — so a misbehaving client
+  /// or a brief fd shortage never kills the accept loop. std::nullopt
+  /// only after Close() or a non-recoverable error.
   std::optional<Socket> Accept();
 
   /// The actually-bound port (resolves port 0 to the kernel's choice).
   int port() const { return port_; }
   bool listening() const { return socket_.valid(); }
 
+  /// Transient accept failures survived so far (real + injected).
+  std::uint64_t accept_retries() const {
+    return accept_retries_.load(std::memory_order_relaxed);
+  }
+
   /// Closes the listening socket; a blocked Accept() returns nullopt.
   /// Already-accepted connections are unaffected. (shutdown() before
   /// close() — on Linux plain close() leaves a concurrent accept()
   /// blocked forever.)
   void Close() {
+    closed_.store(true, std::memory_order_release);
     socket_.ShutdownRead();
     socket_.Close();
   }
@@ -75,6 +137,8 @@ class Listener {
  private:
   Socket socket_;
   int port_ = 0;
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> accept_retries_{0};
 };
 
 /// Client-side connect for tests and the smoke script's C++ twin;

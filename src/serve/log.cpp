@@ -1,0 +1,76 @@
+#include "serve/log.hpp"
+
+#include <sys/stat.h>
+
+namespace gunrock::serve {
+
+namespace {
+
+std::uint64_t FileSize(const std::string& path) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+}  // namespace
+
+LogSink::~LogSink() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_) std::fclose(file_);
+}
+
+bool LogSink::Open(const std::string& path, std::uint64_t max_bytes,
+                   int keep, std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  path_ = path;
+  max_bytes_ = max_bytes;
+  keep_ = keep < 1 ? 1 : keep;
+  written_ = 0;
+  if (path_.empty()) return true;
+  file_ = std::fopen(path_.c_str(), "a");
+  if (!file_) {
+    if (error) *error = "cannot open log file '" + path_ + "'";
+    return false;
+  }
+  written_ = FileSize(path_);
+  return true;
+}
+
+void LogSink::Write(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (max_bytes_ > 0 && file_ && written_ >= max_bytes_) RotateLocked();
+  std::FILE* out = file_ ? file_ : stderr;
+  std::fprintf(out, "%s\n", line.c_str());
+  std::fflush(out);
+  written_ += line.size() + 1;
+}
+
+void LogSink::Reopen() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (path_.empty()) return;
+  if (file_) std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "a");
+  written_ = file_ ? FileSize(path_) : 0;
+}
+
+void LogSink::RotateLocked() {
+  std::fclose(file_);
+  file_ = nullptr;
+  // Shift generations oldest-first: path.(keep-1) -> path.keep, ...,
+  // path -> path.1. rename(2) replaces the target, so path.keep falls
+  // off the end.
+  for (int k = keep_; k >= 1; --k) {
+    const std::string to = path_ + "." + std::to_string(k);
+    const std::string from = k == 1 ? path_ : path_ + "." + std::to_string(k - 1);
+    std::rename(from.c_str(), to.c_str());
+  }
+  file_ = std::fopen(path_.c_str(), "a");
+  written_ = 0;
+  ++rotations_;
+}
+
+}  // namespace gunrock::serve

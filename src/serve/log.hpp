@@ -1,0 +1,62 @@
+// Structured event-log sink for gunrockd with size-triggered rotation.
+//
+// The daemon's log is a line-oriented `event=... key=value` stream. By
+// default it goes to stderr (systemd/journald land); with a file path the
+// sink owns a FILE* and rotates by size: once the current file exceeds
+// `max_bytes`, it is renamed to `<path>.1` (shifting older generations to
+// `.2`, `.3`, ... up to `keep`) and a fresh file is opened. `Reopen()`
+// supports external logrotate(8)-style rotation: close and reopen the
+// path so a rename-out-from-under is picked up.
+//
+// All methods are internally locked — Write() is safe from any daemon
+// thread — and a sink with an empty path never touches the filesystem.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace gunrock::serve {
+
+class LogSink {
+ public:
+  LogSink() = default;
+  ~LogSink();
+
+  LogSink(const LogSink&) = delete;
+  LogSink& operator=(const LogSink&) = delete;
+
+  /// Directs output to `path` (empty = stderr). `max_bytes` 0 disables
+  /// rotation; `keep` is the number of rotated generations retained.
+  /// False (with `error`) if the file cannot be opened.
+  bool Open(const std::string& path, std::uint64_t max_bytes,
+            int keep, std::string* error);
+
+  /// Appends one line (terminator added here), rotating first if the
+  /// current file has grown past max_bytes.
+  void Write(const std::string& line);
+
+  /// Closes and reopens the file at the configured path — the admin
+  /// port's `reopen-logs` op, for external rotation. No-op on stderr.
+  void Reopen();
+
+  /// Size-triggered rotations performed so far.
+  std::uint64_t rotations() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rotations_;
+  }
+
+ private:
+  void RotateLocked();
+
+  mutable std::mutex mutex_;
+  std::string path_;            // empty = stderr
+  std::FILE* file_ = nullptr;   // owned iff path_ non-empty
+  std::uint64_t max_bytes_ = 0;
+  std::uint64_t written_ = 0;   // bytes since open/rotate
+  int keep_ = 1;
+  std::uint64_t rotations_ = 0;
+};
+
+}  // namespace gunrock::serve

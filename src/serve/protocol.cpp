@@ -887,14 +887,20 @@ Json EncodeResult(std::uint64_t id, const Json& tag, const char* kind,
   } else if (!response.error.empty()) {
     o["error"] = Json(response.error);
   }
+  // Admission-control refusals are transient by contract: the same
+  // request resubmitted after backoff is expected to succeed.
+  if (response.status == engine::QueryStatus::kRejected) {
+    o["retryable"] = Json(true);
+  }
   return Json(std::move(o));
 }
 
-Json EncodeError(const Json& tag, const std::string& error) {
+Json EncodeError(const Json& tag, const std::string& error, bool retryable) {
   Json::Object o;
   o["op"] = Json("error");
   if (!tag.is_null()) o["tag"] = tag;
   o["error"] = Json(error);
+  if (retryable) o["retryable"] = Json(true);
   return Json(std::move(o));
 }
 

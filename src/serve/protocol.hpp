@@ -92,7 +92,10 @@ Json EncodeResult(std::uint64_t id, const Json& tag,
                   bool include_values);
 
 /// Per-request error response (malformed line, submit failure, ...).
-Json EncodeError(const Json& tag, const std::string& error);
+/// `retryable` marks load-shedding refusals — the client may retry with
+/// backoff; a malformed request must not carry it.
+Json EncodeError(const Json& tag, const std::string& error,
+                 bool retryable = false);
 
 /// Result payload for one engine result variant ("result" field of
 /// EncodeResult) — exposed for the round-trip tests.

@@ -1,0 +1,685 @@
+// Seeded chaos suite for gunrockd (DESIGN §12): drives the daemon's
+// production I/O path through the deterministic FaultInjector — short
+// reads/writes, synthetic EINTR, stalls, mid-message disconnects and
+// accept failures — over real loopback sockets, and asserts the
+// robustness contract: the daemon never deadlocks, never corrupts a
+// response stream (every surviving line parses and matches a tag the
+// client actually sent), evicts slow clients within the configured
+// deadline, sheds overload with retryable errors, and always completes
+// drain. Every schedule is a pure function of its seed, so a failure
+// replays exactly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/env.hpp"
+#include "gunrock.hpp"
+#include "serve/config.hpp"
+#include "serve/daemon.hpp"
+#include "serve/fault.hpp"
+#include "serve/json.hpp"
+#include "serve/listener.hpp"
+#include "serve/protocol.hpp"
+
+namespace gunrock {
+namespace {
+
+using serve::Daemon;
+using serve::DaemonConfig;
+using serve::FaultInjector;
+using serve::Json;
+using serve::ScopedFaultInjector;
+
+graph::Csr MakeGraph(int scale = 8, int edge_factor = 8) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edge_factor = edge_factor;
+  p.seed = 9000 + test::TestSeed();
+  auto coo = GenerateRmat(p, par::ThreadPool::Global());
+  graph::AttachRandomWeights(coo, 1, 64, /*seed=*/test::TestSeed());
+  graph::BuildOptions opts;
+  opts.symmetrize = true;
+  return graph::BuildCsr(coo, opts);
+}
+
+std::unique_ptr<Daemon> MakeDaemon(graph::Csr g, DaemonConfig config = {}) {
+  auto daemon = std::make_unique<Daemon>(std::move(config));
+  daemon->AddGraph("g", std::move(g));
+  std::string error;
+  EXPECT_TRUE(daemon->Start(&error)) << error;
+  return daemon;
+}
+
+/// Chaos-side client: bounded reads so a daemon deadlock fails the test
+/// instead of hanging it, and EOF is an expected outcome (injected
+/// disconnects), never an assertion failure.
+class Client {
+ public:
+  explicit Client(int port) {
+    std::string error;
+    socket_ = serve::ConnectTcp("127.0.0.1", port, &error);
+    EXPECT_TRUE(socket_.valid()) << error;
+  }
+
+  bool Send(const Json& request) { return SendRaw(request.Dump()); }
+  bool SendRaw(const std::string& line) {
+    return socket_.WriteAll(line + "\n");
+  }
+
+  /// Next response line within `deadline_ms`; nullopt on EOF or timeout.
+  /// Every line that does arrive must parse — a corrupt stream is a
+  /// test failure no matter which faults were injected.
+  std::optional<Json> Read(double deadline_ms = 30000.0) {
+    serve::Socket::ReadOptions opts;
+    opts.line_deadline_ms = deadline_ms;
+    opts.idle_timeout_ms = deadline_ms;
+    serve::Socket::ReadResult r = socket_.ReadLineBounded(opts);
+    if (r.status != serve::Socket::ReadStatus::kLine) return std::nullopt;
+    std::string error;
+    std::optional<Json> parsed = Json::Parse(r.line, &error);
+    EXPECT_TRUE(parsed.has_value()) << error << " in: " << r.line;
+    return parsed;
+  }
+
+  serve::Socket& socket() { return socket_; }
+
+ private:
+  serve::Socket socket_;
+};
+
+std::string Tag(const Json& response) {
+  const Json* tag = response.Find("tag");
+  return tag && tag->is_string() ? tag->as_string() : std::string();
+}
+
+std::string Op(const Json& response) {
+  const Json* op = response.Find("op");
+  return op && op->is_string() ? op->as_string() : std::string();
+}
+
+bool Retryable(const Json& response) {
+  const Json* v = response.Find("retryable");
+  return v && v->is_bool() && v->as_bool();
+}
+
+Json Query(const char* kind, const std::string& tag, Json::Object extra = {}) {
+  Json::Object o;
+  o["op"] = Json("query");
+  o["kind"] = Json(kind);
+  o["tag"] = Json(tag);
+  for (auto& [k, v] : extra) o[k] = std::move(v);
+  return Json(std::move(o));
+}
+
+/// A pagerank pinned to `iters` full sweeps (tolerance 0 disables early
+/// convergence) — the knob for queries slow enough to build queue
+/// pressure without bench-scale graphs.
+Json SlowQuery(const std::string& tag, int iters) {
+  Json::Object opts;
+  opts["tolerance"] = Json(0.0);
+  opts["max_iterations"] = Json(iters);
+  Json::Object extra;
+  extra["opts"] = Json(std::move(opts));
+  return Query("pagerank", tag, std::move(extra));
+}
+
+std::string MakeTag(const char* prefix, int a) {
+  std::string s(prefix);
+  s += std::to_string(a);
+  return s;
+}
+
+std::string MakeTag(const char* prefix, int a, const char* sep, int b) {
+  std::string s = MakeTag(prefix, a);
+  s += sep;
+  s += std::to_string(b);
+  return s;
+}
+
+Json Ping(const std::string& tag) {
+  Json::Object o;
+  o["op"] = Json("ping");
+  o["tag"] = Json(tag);
+  return Json(std::move(o));
+}
+
+/// Polls `pred` every few ms until true or `ms` elapsed.
+bool WaitFor(double ms, const std::function<bool()>& pred) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::milli>(ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+// --- the EINTR regression (satellite fix) -----------------------------------
+
+// Historically an EINTR'd recv was treated as EOF, silently dropping the
+// connection. The injector replays exactly that schedule: a burst of
+// synthetic EINTRs on the daemon's read path must be invisible to the
+// client.
+TEST(ChaosTest, EintrFromRecvIsRetriedNotEof) {
+  FaultInjector::Config faults;
+  faults.seed = 42;
+  faults.eintr_pm = 1000;  // every daemon-side read EINTRs...
+  faults.budget = 8;       // ...exactly 8 times, then clean
+  ScopedFaultInjector injector(faults);
+
+  auto daemon = MakeDaemon(MakeGraph());
+  Client client(daemon->port());
+  ASSERT_TRUE(client.Send(Ping("t1")));
+  std::optional<Json> pong = client.Read();
+  ASSERT_TRUE(pong.has_value()) << "EINTR was misread as EOF";
+  EXPECT_EQ(Op(*pong), "pong");
+  EXPECT_EQ(Tag(*pong), "t1");
+  EXPECT_GE(injector.injector().injected(), 1u);
+
+  // And a real query still round-trips after the schedule went inert.
+  Json::Object extra;
+  extra["source"] = Json(0);
+  ASSERT_TRUE(client.Send(Query("bfs", "t2", std::move(extra))));
+  std::optional<Json> result = client.Read();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(Op(*result), "result");
+  EXPECT_EQ(Tag(*result), "t2");
+}
+
+// --- determinism of the seam ------------------------------------------------
+
+// The decision sequence is a pure function of the seed: two injectors
+// with the same config produce identical fault schedules, and a finite
+// budget fires exactly min(budget, hits) faults before going inert.
+TEST(ChaosTest, InjectedFaultScheduleIsSeedDeterministic) {
+  FaultInjector::Config faults;
+  faults.seed = test::TestSeed() + 7;
+  faults.short_read_pm = 300;
+  faults.eintr_pm = 150;
+  faults.stall_pm = 100;
+  faults.disconnect_pm = 50;
+
+  const auto schedule = [&](std::uint64_t seed) {
+    FaultInjector::Config c = faults;
+    c.seed = seed;
+    FaultInjector injector(c);
+    std::string out;
+    for (int i = 0; i < 256; ++i) {
+      const FaultInjector::IoFault f = injector.OnRead(true);
+      out += f.eintr ? 'e' : '.';
+      out += f.disconnect ? 'd' : '.';
+      out += f.stall_ms > 0 ? 's' : '.';
+      out += f.cap != std::numeric_limits<std::size_t>::max() ? 'c' : '.';
+    }
+    return out;
+  };
+  EXPECT_EQ(schedule(faults.seed), schedule(faults.seed));
+  EXPECT_NE(schedule(faults.seed), schedule(faults.seed + 1));
+
+  // accepted_only scoping: client-side (non-accepted) sockets never
+  // suffer faults.
+  FaultInjector scoped(faults);
+  for (int i = 0; i < 64; ++i) {
+    const FaultInjector::IoFault f = scoped.OnRead(false);
+    EXPECT_FALSE(f.eintr || f.disconnect || f.stall_ms > 0 ||
+                 f.cap != std::numeric_limits<std::size_t>::max());
+  }
+  EXPECT_EQ(scoped.injected(), 0u);
+
+  FaultInjector::Config budgeted = faults;
+  budgeted.eintr_pm = 1000;
+  budgeted.budget = 3;
+  FaultInjector capped(budgeted);
+  for (int i = 0; i < 100; ++i) capped.OnRead(true);
+  EXPECT_EQ(capped.injected(), 3u);
+}
+
+// --- short/jittered I/O preserves every byte --------------------------------
+
+// 8 concurrent connections, each running tagged queries under heavy
+// short-read/short-write/stall pressure: every response must arrive,
+// parse, and carry a tag its own client sent. Short I/O reorders
+// syscalls, never bytes.
+TEST(ChaosTest, ShortAndJitteredIoPreservesEveryResponse) {
+  FaultInjector::Config faults;
+  faults.seed = 1000 + test::TestSeed();
+  faults.short_read_pm = 350;
+  faults.short_write_pm = 350;
+  faults.short_cap = 3;
+  faults.stall_pm = 80;
+  faults.stall_ms = 1;
+  ScopedFaultInjector injector(faults);
+
+  DaemonConfig config;
+  config.inflight = 4;
+  auto daemon = MakeDaemon(MakeGraph(), config);
+
+  constexpr int kClients = 8;
+  constexpr int kQueries = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client(daemon->port());
+      std::set<std::string> expected;
+      for (int q = 0; q < kQueries; ++q) {
+        const std::string tag = MakeTag("c", c, "-q", q);
+        Json::Object extra;
+        extra["source"] = Json(q);
+        if (!client.Send(Query("bfs", tag, std::move(extra)))) {
+          ++failures;
+          return;
+        }
+        expected.insert(tag);
+      }
+      std::set<std::string> received;
+      for (int q = 0; q < kQueries; ++q) {
+        std::optional<Json> response = client.Read();
+        if (!response) {
+          ++failures;
+          return;
+        }
+        if (Op(*response) != "result" ||
+            expected.count(Tag(*response)) == 0 ||
+            received.count(Tag(*response)) != 0) {
+          ++failures;
+          return;
+        }
+        received.insert(Tag(*response));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0)
+      << "a response was lost, duplicated or mistagged under short I/O";
+  EXPECT_GE(injector.injector().injected(), 1u);
+}
+
+// --- mid-message disconnects ------------------------------------------------
+
+// An injected mid-exchange disconnect kills exactly the unlucky
+// connection: its client sees clean EOF (never a corrupt line), and a
+// later connection is served normally once the budget is spent.
+TEST(ChaosTest, MidMessageDisconnectsLeaveOthersUnharmed) {
+  FaultInjector::Config faults;
+  faults.seed = 7;
+  faults.disconnect_pm = 1000;
+  faults.budget = 1;  // exactly one victim
+  ScopedFaultInjector injector(faults);
+
+  auto daemon = MakeDaemon(MakeGraph());
+
+  Client victim(daemon->port());
+  ASSERT_TRUE(victim.Send(Ping("v")));
+  // The daemon-side recv for this ping is the schedule's one disconnect:
+  // the victim sees EOF (or, at worst, a complete well-formed line —
+  // Read() asserts parseability either way).
+  (void)victim.Read(5000.0);
+  ASSERT_TRUE(WaitFor(5000.0, [&] {
+    return injector.injector().injected() >= 1;
+  }));
+
+  Client survivor(daemon->port());
+  ASSERT_TRUE(survivor.Send(Ping("s")));
+  std::optional<Json> pong = survivor.Read();
+  ASSERT_TRUE(pong.has_value()) << "disconnect bled onto a healthy conn";
+  EXPECT_EQ(Op(*pong), "pong");
+  EXPECT_EQ(Tag(*pong), "s");
+}
+
+// --- slow-loris eviction ----------------------------------------------------
+
+// A client that starts a request line and stalls is evicted once the
+// line deadline lapses — with a structured event and counter — while an
+// idle keep-alive client (no partial line) is never charged.
+TEST(ChaosTest, SlowLorisPartialLineIsEvictedWithinDeadline) {
+  DaemonConfig config;
+  config.read_deadline_ms = 200.0;
+  auto daemon = MakeDaemon(MakeGraph(), config);
+
+  Client idle(daemon->port());  // connected, quiet, no partial line
+
+  Client loris(daemon->port());
+  ASSERT_TRUE(loris.socket().WriteAll("{\"op\":"));  // no newline, ever
+  const auto t0 = std::chrono::steady_clock::now();
+  std::optional<Json> response = loris.Read(10000.0);
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_FALSE(response.has_value());  // evicted: EOF, no response
+  EXPECT_LT(waited_ms, 8000.0) << "eviction missed the deadline by miles";
+  ASSERT_TRUE(WaitFor(5000.0, [&] { return daemon->evictions() >= 1; }));
+
+  // The idle client was not charged and still works.
+  ASSERT_TRUE(idle.Send(Ping("still-here")));
+  std::optional<Json> pong = idle.Read();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(Op(*pong), "pong");
+  const std::string stats = daemon->StatsText();
+  EXPECT_NE(stats.find("gunrockd_evictions"), std::string::npos);
+}
+
+// --- stalled-writer eviction ------------------------------------------------
+
+// A peer that submits queries and never reads the responses cannot park
+// the writer thread: once the kernel buffers fill, the poll-guarded
+// write times out and the connection is evicted.
+TEST(ChaosTest, StalledWriterIsEvictedWithinDeadline) {
+  DaemonConfig config;
+  config.write_deadline_ms = 200.0;
+  config.sndbuf = 8192;  // small daemon-side buffer: stall fast
+  config.inflight = 2;
+  auto daemon = MakeDaemon(MakeGraph(12, 8), config);
+
+  Client stalled(daemon->port());
+  // Dozens of full-value pagerank responses (~tens of KB each) with no
+  // reader on the other end overwhelm any default socket buffering.
+  for (int q = 0; q < 50; ++q) {
+    if (!stalled.Send(SlowQuery(MakeTag("q", q), 5))) break;
+  }
+  ASSERT_TRUE(WaitFor(30000.0, [&] { return daemon->evictions() >= 1; }))
+      << "stalled reader never evicted";
+
+  Client healthy(daemon->port());
+  ASSERT_TRUE(healthy.Send(Ping("h")));
+  std::optional<Json> pong = healthy.Read();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(Op(*pong), "pong");
+}
+
+// --- connection-count shedding + retry-after-shed ---------------------------
+
+// Over max_connections the daemon answers the canonical retryable error
+// and closes; once capacity frees, a backoff retry succeeds — the full
+// shed/retry contract on one socket pair.
+TEST(ChaosTest, OverCapacityConnectionsAreShedWithRetryableErrors) {
+  DaemonConfig config;
+  config.max_connections = 1;
+  auto daemon = MakeDaemon(MakeGraph(), config);
+
+  auto holder = std::make_unique<Client>(daemon->port());
+  ASSERT_TRUE(holder->Send(Ping("hold")));
+  ASSERT_TRUE(holder->Read().has_value());  // holder is established
+
+  Client shed(daemon->port());
+  std::optional<Json> refusal = shed.Read(5000.0);
+  ASSERT_TRUE(refusal.has_value()) << "shed silently instead of answering";
+  EXPECT_EQ(Op(*refusal), "error");
+  EXPECT_TRUE(Retryable(*refusal)) << refusal->Dump();
+  EXPECT_FALSE(shed.Read(2000.0).has_value());  // then a clean close
+  EXPECT_GE(daemon->sheds(), 1u);
+
+  holder.reset();  // free the slot
+  // Bounded retry with backoff: reconnect until admitted.
+  bool admitted = false;
+  double backoff_ms = 25.0;
+  for (int attempt = 0; attempt < 8 && !admitted; ++attempt) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+    backoff_ms *= 2;
+    Client retry(daemon->port());
+    if (!retry.Send(Ping("retry"))) continue;
+    std::optional<Json> response = retry.Read(5000.0);
+    admitted = response && Op(*response) == "pong";
+  }
+  EXPECT_TRUE(admitted) << "retry never succeeded after capacity freed";
+}
+
+// --- queue-depth shedding + retry -------------------------------------------
+
+// With the admission queue past shed_queue_depth, new queries get a
+// retryable error instead of blocking the reader; after the queue
+// drains, the same query succeeds on retry.
+TEST(ChaosTest, QueueDepthShedsRetryableAndRetrySucceeds) {
+  DaemonConfig config;
+  config.inflight = 1;
+  config.shed_queue_depth = 1;
+  auto daemon = MakeDaemon(MakeGraph(11, 8), config);
+
+  Client flooder(daemon->port());
+  bool shed_seen = false;
+  for (int round = 0; round < 5 && !shed_seen; ++round) {
+    // Tens of ms each (seconds sanitized): a wide window in which the
+    // queue is nonempty, without outrunning the retry budget under ASan.
+    for (int q = 0; q < 16; ++q) {
+      ASSERT_TRUE(flooder.Send(SlowQuery(MakeTag("r", round, "-", q),
+                                         2000)));
+    }
+    if (!WaitFor(10000.0, [&] {
+          return daemon->engine().stats().queued >= 1;
+        })) {
+      continue;
+    }
+    Client probe(daemon->port());
+    ASSERT_TRUE(probe.Send(Ping("warm")));
+    ASSERT_TRUE(probe.Read().has_value());
+    ASSERT_TRUE(probe.Send(SlowQuery("probe", 1)));
+    std::optional<Json> response = probe.Read(30000.0);
+    ASSERT_TRUE(response.has_value());
+    if (Op(*response) == "error") {
+      EXPECT_TRUE(Retryable(*response)) << response->Dump();
+      shed_seen = true;
+      // Retry with backoff until the queue drains and the query runs.
+      bool recovered = false;
+      double backoff_ms = 50.0;
+      for (int attempt = 0; attempt < 10 && !recovered; ++attempt) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+        backoff_ms *= 2;
+        ASSERT_TRUE(probe.Send(SlowQuery("probe-retry", 1)));
+        std::optional<Json> retry = probe.Read(60000.0);
+        ASSERT_TRUE(retry.has_value());
+        recovered = Op(*retry) == "result";
+      }
+      EXPECT_TRUE(recovered) << "retry never succeeded after drain";
+    }
+  }
+  EXPECT_TRUE(shed_seen) << "queue never reached shed depth";
+  EXPECT_GE(daemon->sheds(), 1u);
+}
+
+// --- bounded per-connection write queue -------------------------------------
+
+// A connection that submits far faster than its responses can deliver
+// hits the bounded write backlog: excess queries are shed with retryable
+// errors, and every line on the wire is still tag-correct.
+TEST(ChaosTest, WriteQueueCapShedsExcessQueriesRetryably) {
+  DaemonConfig config;
+  config.inflight = 1;
+  config.write_queue_max = 2;
+  auto daemon = MakeDaemon(MakeGraph(11, 8), config);
+
+  Client client(daemon->port());
+  constexpr int kBurst = 8;
+  std::set<std::string> tags;
+  for (int q = 0; q < kBurst; ++q) {
+    const std::string tag = MakeTag("b", q);
+    ASSERT_TRUE(client.Send(SlowQuery(tag, 2000)));
+    tags.insert(tag);
+  }
+  int results = 0;
+  int retryable_errors = 0;
+  for (int q = 0; q < kBurst; ++q) {
+    std::optional<Json> response = client.Read(60000.0);
+    ASSERT_TRUE(response.has_value()) << "response " << q << " lost";
+    ASSERT_EQ(tags.count(Tag(*response)), 1u) << response->Dump();
+    if (Op(*response) == "result") {
+      ++results;
+    } else if (Op(*response) == "error" && Retryable(*response)) {
+      ++retryable_errors;
+    }
+  }
+  EXPECT_EQ(results + retryable_errors, kBurst);
+  EXPECT_GE(results, 2) << "even the in-cap queries were shed";
+  EXPECT_GE(retryable_errors, 1) << "the cap never engaged";
+  EXPECT_GE(daemon->sheds(), 1u);
+}
+
+// --- accept-path resilience -------------------------------------------------
+
+// Injected transient accept failures are retried inside the listener:
+// the accept loop survives, the pending connection is eventually served,
+// and the retries are counted.
+TEST(ChaosTest, AcceptFailuresDoNotKillTheAcceptLoop) {
+  FaultInjector::Config faults;
+  faults.seed = 11;
+  faults.accept_fail_pm = 1000;
+  faults.budget = 5;
+  ScopedFaultInjector injector(faults);
+
+  auto daemon = MakeDaemon(MakeGraph());
+  Client client(daemon->port());
+  ASSERT_TRUE(client.Send(Ping("p")));
+  std::optional<Json> pong = client.Read();
+  ASSERT_TRUE(pong.has_value()) << "accept loop died on injected failure";
+  EXPECT_EQ(Op(*pong), "pong");
+  EXPECT_EQ(injector.injector().injected(), 5u);
+  const std::string stats = daemon->StatsText();
+  EXPECT_NE(stats.find("gunrockd_accept_retries 5"), std::string::npos)
+      << stats;
+}
+
+// --- readiness flips during drain while liveness stays up -------------------
+
+// With an in-flight query holding the drain open, the admin port keeps
+// answering: /livez stays "ok", /readyz flips to "draining", and the
+// held connection still receives its response before the daemon exits.
+TEST(ChaosTest, DrainFlipsReadinessWhileLivenessStaysUp) {
+  DaemonConfig config;
+  config.admin_port = 0;
+  config.inflight = 1;
+  config.drain_deadline_ms = 30000.0;
+  auto daemon = MakeDaemon(MakeGraph(11, 8), config);
+  ASSERT_GT(daemon->admin_port(), 0);
+
+  const auto admin = [&](const std::string& path) -> std::string {
+    std::string error;
+    serve::Socket probe =
+        serve::ConnectTcp("127.0.0.1", daemon->admin_port(), &error);
+    if (!probe.valid()) return "";
+    if (!probe.WriteAll(path + "\n")) return "";
+    serve::Socket::ReadOptions opts;
+    opts.line_deadline_ms = 5000.0;
+    opts.idle_timeout_ms = 5000.0;
+    serve::Socket::ReadResult r = probe.ReadLineBounded(opts);
+    return r.status == serve::Socket::ReadStatus::kLine ? r.line : "";
+  };
+
+  EXPECT_EQ(admin("/livez"), "ok");
+  EXPECT_EQ(admin("/readyz"), "ready");
+
+  Client held(daemon->port());
+  // Long enough that the drain window is comfortably observable, short
+  // enough to stay inside the drain deadline even sanitized.
+  ASSERT_TRUE(held.Send(SlowQuery("held", 5000)));
+  ASSERT_TRUE(WaitFor(10000.0, [&] {
+    const auto s = daemon->engine().stats();
+    return s.running >= 1 || s.queued >= 1;
+  }));
+
+  std::thread stopper([&] { daemon->Stop(); });
+  // While the held query drains: readiness false, liveness true.
+  EXPECT_TRUE(WaitFor(10000.0, [&] {
+    return admin("/readyz") == "draining";
+  }));
+  EXPECT_EQ(admin("/livez"), "ok");
+
+  // The in-flight query completes through the drain, tag intact. (Join
+  // the stopper before any assertion can bail out of the test body.)
+  std::optional<Json> response = held.Read(60000.0);
+  stopper.join();
+  ASSERT_TRUE(response.has_value()) << "drain dropped an in-flight query";
+  EXPECT_EQ(Tag(*response), "held");
+}
+
+// --- the storm --------------------------------------------------------------
+
+// Everything at once: 10 concurrent clients under short I/O, EINTR,
+// stalls and occasional disconnects, then a drain in the middle of the
+// chaos. Surviving responses stay tag-correct, the daemon stays
+// reachable, and Stop() completes without deadlock.
+TEST(ChaosTest, ChaosStormThenDrainCompletesCleanly) {
+  FaultInjector::Config faults;
+  faults.seed = 5000 + test::TestSeed();
+  faults.short_read_pm = 250;
+  faults.short_write_pm = 250;
+  faults.short_cap = 5;
+  faults.eintr_pm = 120;
+  faults.stall_pm = 80;
+  faults.stall_ms = 1;
+  faults.disconnect_pm = 25;
+  ScopedFaultInjector injector(faults);
+
+  DaemonConfig config;
+  config.inflight = 4;
+  config.read_deadline_ms = 5000.0;
+  config.write_deadline_ms = 5000.0;
+  config.drain_deadline_ms = 30000.0;
+  auto daemon = MakeDaemon(MakeGraph(), config);
+
+  constexpr int kClients = 10;
+  constexpr int kQueries = 8;
+  std::atomic<int> corrupt{0};
+  std::atomic<int> completed{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client(daemon->port());
+      std::set<std::string> expected;
+      for (int q = 0; q < kQueries; ++q) {
+        const std::string tag = MakeTag("s", c, "-", q);
+        Json::Object extra;
+        extra["source"] = Json((c * kQueries + q) % 64);
+        if (!client.Send(Query("bfs", tag, std::move(extra)))) break;
+        expected.insert(tag);
+      }
+      for (std::size_t q = 0; q < expected.size(); ++q) {
+        std::optional<Json> response = client.Read(20000.0);
+        if (!response) break;  // disconnected mid-storm: acceptable
+        const std::string tag = Tag(*response);
+        if (Op(*response) == "result" && expected.count(tag) == 1) {
+          expected.erase(tag);
+          ++completed;
+        } else {
+          ++corrupt;  // mistagged, duplicated or foreign line
+          break;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(corrupt.load(), 0) << "a surviving response was corrupt";
+  EXPECT_GE(completed.load(), 1) << "the storm killed every exchange";
+
+  // The daemon is still reachable after the storm (retry through any
+  // injected disconnect on the probe itself)...
+  bool reachable = false;
+  for (int attempt = 0; attempt < 10 && !reachable; ++attempt) {
+    Client probe(daemon->port());
+    if (!probe.Send(Ping("alive"))) continue;
+    std::optional<Json> pong = probe.Read(5000.0);
+    reachable = pong && Op(*pong) == "pong";
+  }
+  EXPECT_TRUE(reachable);
+
+  // ...and drain completes under continued fault pressure (the injector
+  // stays installed through Stop()).
+  daemon->Stop();
+  daemon.reset();
+}
+
+}  // namespace
+}  // namespace gunrock

@@ -54,6 +54,15 @@ std::unique_ptr<Daemon> MakeDaemon(graph::Csr g, unsigned inflight = 2) {
   return daemon;
 }
 
+/// Same, but under an arbitrary config (hardening knobs and the like).
+std::unique_ptr<Daemon> MakeDaemonWith(graph::Csr g, DaemonConfig config) {
+  auto daemon = std::make_unique<Daemon>(std::move(config));
+  daemon->AddGraph("g", std::move(g));
+  std::string error;
+  EXPECT_TRUE(daemon->Start(&error)) << error;
+  return daemon;
+}
+
 /// Line-protocol client: connect, send one JSON (or raw) line, parse one
 /// JSON response line.
 class Client {
@@ -333,6 +342,81 @@ TEST(DaemonTest, MalformedRequestsGetPerRequestErrors) {
   const std::optional<Json> ok = client.Read();
   ASSERT_TRUE(ok);
   EXPECT_EQ(Field(*ok, "status"), "done");
+}
+
+// A request line that crosses max_line before any newline gets one error
+// response naming the cap, then a clean close — the daemon never buffers
+// an unbounded line — and a concurrent well-behaved connection is
+// untouched.
+TEST(DaemonTest, OversizedLineGetsOneErrorThenCleanClose) {
+  DaemonConfig config;
+  config.max_line = 256;
+  auto daemon = MakeDaemonWith(MakeGraph(), config);
+
+  Client bystander(daemon->port());
+  Client fat(daemon->port());
+  // 4 KB with no '\n': crosses the cap long before a line boundary.
+  ASSERT_TRUE(fat.socket().WriteAll(std::string(4096, 'a')));
+  const std::optional<Json> response = fat.Read();
+  ASSERT_TRUE(response) << "closed without the error response";
+  EXPECT_EQ(Field(*response, "op"), "error");
+  EXPECT_NE(Field(*response, "error").find("max_line"), std::string::npos)
+      << Field(*response, "error");
+  EXPECT_FALSE(fat.Read().has_value()) << "connection not closed";
+  EXPECT_GE(daemon->evictions(), 1u);
+
+  Json::Object extra;
+  extra["source"] = Json(1);
+  extra["values"] = Json(false);
+  bystander.Send(QueryLine("bfs", "fine", std::move(extra)));
+  const std::optional<Json> ok = bystander.Read();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(Field(*ok, "status"), "done");
+}
+
+// Binary garbage on the wire: where a line boundary exists the daemon
+// answers one parseable {"op":"error"} and the connection keeps working;
+// a truncated garbage stream (no newline, then close) is just a quiet
+// disconnect. Either way the daemon survives and other clients are
+// unaffected.
+TEST(DaemonTest, BinaryGarbageGetsErrorAndCleanClose) {
+  auto daemon = MakeDaemon(MakeGraph());
+
+  {
+    Client garbage(daemon->port());
+    std::string junk;
+    junk += '\x01';
+    junk += '\x00';  // embedded NUL — not even text
+    junk += "\xff\xfe{{[[\"";
+    junk += '\n';
+    ASSERT_TRUE(garbage.socket().WriteAll(junk));
+    const std::optional<Json> response = garbage.Read();
+    ASSERT_TRUE(response);  // Read() asserts the line parses
+    EXPECT_EQ(Field(*response, "op"), "error");
+
+    // The same connection still serves real requests afterwards.
+    Json::Object ping;
+    ping["op"] = Json("ping");
+    garbage.Send(Json(std::move(ping)));
+    const std::optional<Json> pong = garbage.Read();
+    ASSERT_TRUE(pong);
+    EXPECT_EQ(Field(*pong, "op"), "pong");
+  }
+  {
+    // Garbage with no newline, then an abrupt close: no response is
+    // owed, the reader just sees EOF mid-line.
+    Client truncated(daemon->port());
+    std::string junk("\x7f\x03garbage without a newline");
+    ASSERT_TRUE(truncated.socket().WriteAll(junk));
+  }  // destructor closes the socket
+
+  Client other(daemon->port());
+  Json::Object ping;
+  ping["op"] = Json("ping");
+  other.Send(Json(std::move(ping)));
+  const std::optional<Json> pong = other.Read();
+  ASSERT_TRUE(pong) << "garbage connections damaged the daemon";
+  EXPECT_EQ(Field(*pong, "op"), "pong");
 }
 
 // Out-of-domain numeric option values are rejected at decode time with a
